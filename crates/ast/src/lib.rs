@@ -1,0 +1,28 @@
+//! # cypher-ast
+//!
+//! The abstract syntax of Cypher, following the mathematical notation of
+//! *Cypher: An Evolving Query Language for Property Graphs* (SIGMOD 2018):
+//!
+//! * **patterns** (Figure 3): node patterns `χ = (a, L, P)`, relationship
+//!   patterns `ρ = (d, a, T, P, I)` and path patterns `χ₁ ρ₁ χ₂ ⋯ ρₙ₋₁ χₙ`,
+//!   optionally named (`π/a`);
+//! * **expressions, clauses and queries** (Figure 5), extended with the
+//!   surface constructs described in Sections 2–3 and 6 of the paper
+//!   (`ORDER BY` / `SKIP` / `LIMIT` / `DISTINCT`, updating clauses, `CASE`,
+//!   list comprehensions, quantifiers, parameters, and the Cypher 10
+//!   multiple-graph clauses).
+//!
+//! Names are plain strings at this level; the evaluators intern them against
+//! a graph's token table when a query is bound.
+
+pub mod display;
+pub mod expr;
+pub mod pattern;
+pub mod query;
+pub mod visit;
+
+pub use expr::{ArithOp, CmpOp, Expr, Literal, Quantifier};
+pub use pattern::{Dir, NodePattern, PathPattern, RangeSpec, RelPattern};
+pub use query::{
+    Clause, Query, RemoveItem, Return, ReturnItem, SetItem, SingleQuery, SortItem,
+};

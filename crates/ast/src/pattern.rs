@@ -1,0 +1,263 @@
+//! Pattern abstract syntax (paper Figure 3 and Section 4.2).
+
+use crate::expr::Expr;
+
+/// The direction `d ∈ {→, ←, ↔}` of a relationship pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Dir {
+    /// `-[]->` (left-to-right).
+    Out,
+    /// `<-[]-` (right-to-left).
+    In,
+    /// `-[]-` (undirected).
+    Both,
+}
+
+/// The range component `I` of a relationship pattern.
+///
+/// `I` is `nil` iff the `len` token is absent ([`RangeSpec::None`]);
+/// otherwise it is a pair of optional bounds where `nil` bounds default to
+/// `1` (lower) and `∞` (upper). The paper's `(m, n)` with `m = n ∈ N` is a
+/// *rigid* relationship pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum RangeSpec {
+    /// No `*`: exactly one relationship, and the bound value (if the pattern
+    /// is named) is the relationship itself, not a list — item (a″) in §4.2.
+    #[default]
+    None,
+    /// `*`, `*d`, `*d1..`, `*..d2` or `*d1..d2`: `(lower, upper)` where a
+    /// missing bound is `None`.
+    Var(Option<u64>, Option<u64>),
+}
+
+impl RangeSpec {
+    /// The concrete `[m, n]` range: `None` ⇒ `[1, 1]`; in `Var`, `nil`
+    /// bounds become `1` and `u64::MAX` (standing in for `∞`).
+    pub fn bounds(self) -> (u64, u64) {
+        match self {
+            RangeSpec::None => (1, 1),
+            RangeSpec::Var(lo, hi) => (lo.unwrap_or(1), hi.unwrap_or(u64::MAX)),
+        }
+    }
+
+    /// True when the pattern is rigid (`m = n`, including the `I = nil`
+    /// case).
+    pub fn is_rigid(self) -> bool {
+        let (m, n) = self.bounds();
+        m == n
+    }
+
+    /// True for the `I = nil` case, whose binding is a single relationship
+    /// rather than a list.
+    pub fn is_single(self) -> bool {
+        matches!(self, RangeSpec::None)
+    }
+}
+
+/// A node pattern `χ = (a, L, P)`: an optional name, a set of labels and a
+/// partial map from property keys to expressions.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NodePattern {
+    /// `a ∈ A ∪ {nil}`.
+    pub name: Option<String>,
+    /// `L ⊂ L`.
+    pub labels: Vec<String>,
+    /// `P : K ⇀ expressions`.
+    pub props: Vec<(String, Expr)>,
+}
+
+impl NodePattern {
+    /// The anonymous empty pattern `()` = `(nil, ∅, ∅)`.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// A named pattern `(name)`.
+    pub fn named(name: impl Into<String>) -> Self {
+        NodePattern {
+            name: Some(name.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a label.
+    pub fn with_label(mut self, l: impl Into<String>) -> Self {
+        self.labels.push(l.into());
+        self
+    }
+
+    /// Adds a property requirement.
+    pub fn with_prop(mut self, k: impl Into<String>, e: Expr) -> Self {
+        self.props.push((k.into(), e));
+        self
+    }
+}
+
+/// A relationship pattern `ρ = (d, a, T, P, I)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RelPattern {
+    /// The arrow direction.
+    pub dir: Dir,
+    /// `a ∈ A ∪ {nil}`.
+    pub name: Option<String>,
+    /// `T ⊂ T` (empty means any type).
+    pub types: Vec<String>,
+    /// `P : K ⇀ expressions`.
+    pub props: Vec<(String, Expr)>,
+    /// `I`.
+    pub range: RangeSpec,
+}
+
+impl RelPattern {
+    /// An anonymous single-hop pattern in the given direction.
+    pub fn any(dir: Dir) -> Self {
+        RelPattern {
+            dir,
+            name: None,
+            types: Vec::new(),
+            props: Vec::new(),
+            range: RangeSpec::None,
+        }
+    }
+
+    /// A typed single-hop pattern.
+    pub fn typed(dir: Dir, t: impl Into<String>) -> Self {
+        RelPattern {
+            types: vec![t.into()],
+            ..Self::any(dir)
+        }
+    }
+
+    /// Names the pattern.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the range (`*`, `*n..m`, …).
+    pub fn with_range(mut self, lo: Option<u64>, hi: Option<u64>) -> Self {
+        self.range = RangeSpec::Var(lo, hi);
+        self
+    }
+
+    /// True when rigid (see [`RangeSpec::is_rigid`]).
+    pub fn is_rigid(&self) -> bool {
+        self.range.is_rigid()
+    }
+}
+
+/// A path pattern `χ₁ ρ₁ χ₂ ⋯ ρₙ₋₁ χₙ`, optionally named (`π/a`, written
+/// `a = pattern` in Cypher syntax).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathPattern {
+    /// The optional path name `a` in `π/a`.
+    pub name: Option<String>,
+    /// `χ₁`.
+    pub start: NodePattern,
+    /// `(ρᵢ, χᵢ₊₁)` steps.
+    pub steps: Vec<(RelPattern, NodePattern)>,
+}
+
+impl PathPattern {
+    /// A single-node path pattern.
+    pub fn node(start: NodePattern) -> Self {
+        PathPattern {
+            name: None,
+            start,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a step.
+    pub fn step(mut self, rel: RelPattern, node: NodePattern) -> Self {
+        self.steps.push((rel, node));
+        self
+    }
+
+    /// Names the whole path (`a = (…)-[…]->(…)`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// True when every relationship pattern is rigid.
+    pub fn is_rigid(&self) -> bool {
+        self.steps.iter().all(|(r, _)| r.is_rigid())
+    }
+
+    /// All node patterns, in order.
+    pub fn node_patterns(&self) -> impl Iterator<Item = &NodePattern> {
+        std::iter::once(&self.start).chain(self.steps.iter().map(|(_, n)| n))
+    }
+
+    /// All relationship patterns, in order.
+    pub fn rel_patterns(&self) -> impl Iterator<Item = &RelPattern> {
+        self.steps.iter().map(|(r, _)| r)
+    }
+
+    /// The free variables `free(π)` of Section 4.2: every name appearing in
+    /// a node or relationship pattern, plus the path name for `π/a`.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |n: &Option<String>| {
+            if let Some(n) = n {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+        };
+        push(&self.start.name);
+        for (r, n) in &self.steps {
+            push(&r.name);
+            push(&n.name);
+        }
+        push(&self.name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bounds() {
+        assert_eq!(RangeSpec::None.bounds(), (1, 1));
+        assert_eq!(RangeSpec::Var(None, None).bounds(), (1, u64::MAX));
+        assert_eq!(RangeSpec::Var(Some(2), Some(5)).bounds(), (2, 5));
+        assert_eq!(RangeSpec::Var(None, Some(3)).bounds(), (1, 3));
+        assert!(RangeSpec::None.is_rigid());
+        assert!(RangeSpec::Var(Some(2), Some(2)).is_rigid());
+        assert!(!RangeSpec::Var(Some(1), Some(2)).is_rigid());
+        assert!(RangeSpec::None.is_single());
+        assert!(!RangeSpec::Var(Some(1), Some(1)).is_single());
+    }
+
+    #[test]
+    fn free_vars_in_order_no_dups() {
+        // (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)
+        let p = PathPattern::node(NodePattern::named("x").with_label("Teacher"))
+            .step(
+                RelPattern::typed(Dir::Out, "KNOWS").with_range(Some(1), Some(2)),
+                NodePattern::named("z"),
+            )
+            .step(
+                RelPattern::typed(Dir::Out, "KNOWS").with_range(Some(1), Some(2)),
+                NodePattern::named("y").with_label("Teacher"),
+            );
+        assert_eq!(p.free_vars(), vec!["x", "z", "y"]);
+        assert!(!p.is_rigid());
+
+        let named = p.clone().with_name("p");
+        assert_eq!(named.free_vars(), vec!["x", "z", "y", "p"]);
+    }
+
+    #[test]
+    fn rigid_detection() {
+        let p = PathPattern::node(NodePattern::any()).step(
+            RelPattern::typed(Dir::Out, "KNOWS").with_range(Some(2), Some(2)),
+            NodePattern::any(),
+        );
+        assert!(p.is_rigid());
+    }
+}

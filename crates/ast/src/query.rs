@@ -1,0 +1,259 @@
+//! Clause and query abstract syntax (paper Figure 5, "queries" and
+//! "clauses"), extended with the update clauses of Section 2 and the
+//! Cypher 10 multiple-graph clauses of Section 6.
+
+use crate::expr::Expr;
+use crate::pattern::PathPattern;
+
+/// One item of a return list: an expression with an optional alias.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReturnItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// `AS a` if present.
+    pub alias: Option<String>,
+}
+
+impl ReturnItem {
+    /// An unaliased item.
+    pub fn plain(expr: Expr) -> Self {
+        ReturnItem { expr, alias: None }
+    }
+
+    /// An aliased item.
+    pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
+        ReturnItem {
+            expr,
+            alias: Some(alias.into()),
+        }
+    }
+}
+
+/// An `ORDER BY` sort key.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SortItem {
+    /// The sort expression.
+    pub expr: Expr,
+    /// `true` for ascending (the default).
+    pub ascending: bool,
+}
+
+/// The body shared by `RETURN` and `WITH`: a return list (`∗` and/or
+/// items), `DISTINCT`, and the trailing sub-clauses.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Return {
+    /// `DISTINCT` modifier.
+    pub distinct: bool,
+    /// `∗` — project all current fields.
+    pub star: bool,
+    /// Explicit items.
+    pub items: Vec<ReturnItem>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<SortItem>,
+    /// `SKIP n`.
+    pub skip: Option<Expr>,
+    /// `LIMIT n`.
+    pub limit: Option<Expr>,
+}
+
+impl Return {
+    /// `RETURN *`.
+    pub fn star() -> Self {
+        Return {
+            star: true,
+            ..Self::default()
+        }
+    }
+
+    /// A plain item list.
+    pub fn items(items: Vec<ReturnItem>) -> Self {
+        Return {
+            items,
+            ..Self::default()
+        }
+    }
+}
+
+/// A `SET` item (paper Section 2, "Data modification").
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetItem {
+    /// `SET e.k = value`.
+    Prop(Expr, String, Expr),
+    /// `SET a = map` (replace all properties).
+    Replace(String, Expr),
+    /// `SET a += map` (merge properties).
+    Merge(String, Expr),
+    /// `SET a:Label1:Label2`.
+    Labels(String, Vec<String>),
+}
+
+/// A `REMOVE` item.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RemoveItem {
+    /// `REMOVE e.k`.
+    Prop(Expr, String),
+    /// `REMOVE a:Label1:Label2`.
+    Labels(String, Vec<String>),
+}
+
+/// A Cypher clause: a function from tables to tables (paper Section 2:
+/// "Each clause in a query is a function that takes a table and outputs a
+/// table").
+#[derive(Clone, PartialEq, Debug)]
+pub enum Clause {
+    /// `[OPTIONAL] MATCH pattern_tuple [WHERE expr]`.
+    Match {
+        /// `OPTIONAL` flag.
+        optional: bool,
+        /// The tuple of path patterns `π̄ = (π₁, …, πₙ)`.
+        patterns: Vec<PathPattern>,
+        /// The `WHERE` predicate, if any.
+        where_: Option<Expr>,
+    },
+    /// `WITH ret [WHERE expr]` — projection, aggregation and filtering
+    /// between query parts.
+    With {
+        /// The projection body.
+        ret: Return,
+        /// Post-projection filter.
+        where_: Option<Expr>,
+    },
+    /// `UNWIND expr AS a`.
+    Unwind {
+        /// The list expression.
+        expr: Expr,
+        /// The introduced name.
+        alias: String,
+    },
+    /// `CREATE pattern_tuple`.
+    Create {
+        /// Patterns to instantiate.
+        patterns: Vec<PathPattern>,
+    },
+    /// `MERGE pattern [ON CREATE SET …] [ON MATCH SET …]`.
+    Merge {
+        /// The single path pattern to match-or-create.
+        pattern: PathPattern,
+        /// `ON CREATE SET` items.
+        on_create: Vec<SetItem>,
+        /// `ON MATCH SET` items.
+        on_match: Vec<SetItem>,
+    },
+    /// `[DETACH] DELETE e₁, …`.
+    Delete {
+        /// `DETACH` flag.
+        detach: bool,
+        /// Entities to delete.
+        exprs: Vec<Expr>,
+    },
+    /// `SET item₁, …`.
+    Set {
+        /// Items.
+        items: Vec<SetItem>,
+    },
+    /// `REMOVE item₁, …`.
+    Remove {
+        /// Items.
+        items: Vec<RemoveItem>,
+    },
+    /// Cypher 10 (paper §6): `FROM GRAPH name` — switch the source graph
+    /// for subsequent reading clauses. We support the name form; the
+    /// `AT "url"` locator is accepted by the parser and recorded.
+    FromGraph {
+        /// The graph name.
+        name: String,
+        /// Optional `AT "<uri>"` locator text.
+        at: Option<String>,
+    },
+}
+
+/// A query part ending in `RETURN` (possibly combined with `UNION`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SingleQuery {
+    /// The clause sequence.
+    pub clauses: Vec<Clause>,
+    /// The final `RETURN`; update-only queries may omit it.
+    pub ret: Option<Return>,
+    /// Cypher 10 (paper §6, Example 6.1): `RETURN GRAPH name OF
+    /// pattern_tuple` — construct and register a new named graph from the
+    /// current driving table. Mutually exclusive with `ret`.
+    pub ret_graph: Option<(String, Vec<PathPattern>)>,
+}
+
+/// A full query: a single query or a `UNION [ALL]` of two queries
+/// (Figure 5, "unions").
+#[allow(clippy::large_enum_variant)] // queries are built once, not stored in bulk
+#[derive(Clone, PartialEq, Debug)]
+pub enum Query {
+    /// A clause sequence ending in `RETURN`.
+    Single(SingleQuery),
+    /// `q₁ UNION q₂` (set) or `q₁ UNION ALL q₂` (bag).
+    Union {
+        /// Bag (`ALL`) vs set semantics.
+        all: bool,
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+    },
+}
+
+impl Query {
+    /// Wraps a single query.
+    pub fn single(q: SingleQuery) -> Query {
+        Query::Single(q)
+    }
+
+    /// True iff any clause updates the graph.
+    pub fn is_updating(&self) -> bool {
+        match self {
+            Query::Single(q) => q.clauses.iter().any(|c| {
+                matches!(
+                    c,
+                    Clause::Create { .. }
+                        | Clause::Merge { .. }
+                        | Clause::Delete { .. }
+                        | Clause::Set { .. }
+                        | Clause::Remove { .. }
+                )
+            }),
+            Query::Union { left, right, .. } => left.is_updating() || right.is_updating(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::NodePattern;
+
+    #[test]
+    fn updating_detection() {
+        let read = Query::single(SingleQuery {
+            clauses: vec![Clause::Match {
+                optional: false,
+                patterns: vec![PathPattern::node(NodePattern::named("n"))],
+                where_: None,
+            }],
+            ret: Some(Return::star()),
+            ret_graph: None,
+        });
+        assert!(!read.is_updating());
+
+        let write = Query::single(SingleQuery {
+            clauses: vec![Clause::Create {
+                patterns: vec![PathPattern::node(NodePattern::named("n"))],
+            }],
+            ret: None,
+            ret_graph: None,
+        });
+        assert!(write.is_updating());
+
+        let union = Query::Union {
+            all: true,
+            left: Box::new(read),
+            right: Box::new(write),
+        };
+        assert!(union.is_updating());
+    }
+}

@@ -1,0 +1,143 @@
+//! Small analysis helpers over the AST, used by the evaluators and the
+//! planner (e.g. to decide which pattern variables are already bound by the
+//! driving table — the `free(π) − dom(u)` computation of Equation (1)).
+
+use crate::expr::Expr;
+use crate::pattern::PathPattern;
+
+/// Collects every variable referenced by an expression, excluding variables
+/// bound locally by list comprehensions and quantifiers.
+pub fn expr_vars(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(a) => {
+            if !out.contains(a) {
+                out.push(a.clone());
+            }
+        }
+        Expr::ListComprehension {
+            var,
+            list,
+            filter,
+            body,
+        } => {
+            expr_vars(list, out);
+            let mut inner = Vec::new();
+            if let Some(x) = filter {
+                expr_vars(x, &mut inner);
+            }
+            if let Some(x) = body {
+                expr_vars(x, &mut inner);
+            }
+            for v in inner {
+                if v != *var && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        Expr::Quantified { var, list, pred, .. } => {
+            expr_vars(list, out);
+            let mut inner = Vec::new();
+            expr_vars(pred, &mut inner);
+            for v in inner {
+                if v != *var && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        Expr::PatternComprehension {
+            pattern,
+            filter,
+            body,
+        } => {
+            // Pattern variables are local to the comprehension; outer
+            // references inside filter/body that collide are treated as
+            // local for this conservative analysis.
+            let locals = pattern_vars(pattern);
+            let mut inner = Vec::new();
+            if let Some(x) = filter {
+                expr_vars(x, &mut inner);
+            }
+            expr_vars(body, &mut inner);
+            for v in inner {
+                if !locals.contains(&v) && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        Expr::PatternPredicate(p) => {
+            // Pattern predicates reference outer variables by name.
+            for v in pattern_vars(p) {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            for np in p.node_patterns() {
+                for (_, pe) in &np.props {
+                    expr_vars(pe, out);
+                }
+            }
+            for rp in p.rel_patterns() {
+                for (_, pe) in &rp.props {
+                    expr_vars(pe, out);
+                }
+            }
+        }
+        _ => {
+            e.for_each_child(&mut |c| expr_vars(c, out));
+        }
+    }
+}
+
+/// All variables of a path pattern (identical to
+/// [`PathPattern::free_vars`], re-exported here for symmetry).
+pub fn pattern_vars(p: &PathPattern) -> Vec<String> {
+    p.free_vars()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn collects_vars_once() {
+        let e = Expr::And(
+            Box::new(Expr::eq(Expr::var("x"), Expr::var("y"))),
+            Box::new(Expr::eq(Expr::var("x"), Expr::int(1))),
+        );
+        let mut vars = Vec::new();
+        expr_vars(&e, &mut vars);
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn comprehension_var_is_local() {
+        // [x IN xs WHERE x > y | x] references xs and y but binds x.
+        let e = Expr::ListComprehension {
+            var: "x".into(),
+            list: Box::new(Expr::var("xs")),
+            filter: Some(Box::new(Expr::Cmp(
+                crate::expr::CmpOp::Gt,
+                Box::new(Expr::var("x")),
+                Box::new(Expr::var("y")),
+            ))),
+            body: Some(Box::new(Expr::var("x"))),
+        };
+        let mut vars = Vec::new();
+        expr_vars(&e, &mut vars);
+        assert_eq!(vars, vec!["xs", "y"]);
+    }
+
+    #[test]
+    fn quantifier_var_is_local() {
+        let e = Expr::Quantified {
+            q: crate::expr::Quantifier::All,
+            var: "x".into(),
+            list: Box::new(Expr::var("xs")),
+            pred: Box::new(Expr::eq(Expr::var("x"), Expr::var("z"))),
+        };
+        let mut vars = Vec::new();
+        expr_vars(&e, &mut vars);
+        assert_eq!(vars, vec!["xs", "z"]);
+    }
+}

@@ -1,0 +1,142 @@
+//! General scaling sweeps: variable-length depth, pattern length,
+//! aggregation width, update throughput, and a crossbeam-parallel
+//! read-scaling sanity check (the shared store is read-lockable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cypher::{run, run_read, Params, PropertyGraph};
+use cypher_workload::{chain, social_network};
+use std::sync::Arc;
+
+fn var_length_depth(c: &mut Criterion) {
+    let params = Params::new();
+    let g = chain(64);
+    let mut group = c.benchmark_group("scaling/var_length_depth");
+    for depth in [2u64, 4, 8, 16] {
+        let q = format!("MATCH (a)-[:NEXT*1..{depth}]->(b) RETURN count(*) AS c");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &q, |b, q| {
+            b.iter(|| run_read(&g, q, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn pattern_length(c: &mut Criterion) {
+    let params = Params::new();
+    let g = social_network(150, 5, 4, 3);
+    let mut group = c.benchmark_group("scaling/pattern_length");
+    for hops in [1usize, 2, 3] {
+        let mut q = String::from("MATCH (n0:Person)");
+        for i in 1..=hops {
+            q.push_str(&format!("-[:FRIEND]->(n{i})"));
+        }
+        q.push_str(" RETURN count(*) AS c");
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &q, |b, q| {
+            b.iter(|| run_read(&g, q, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn aggregation(c: &mut Criterion) {
+    let params = Params::new();
+    let g = social_network(500, 10, 6, 3);
+    let mut group = c.benchmark_group("scaling/aggregation");
+    group.bench_function("group_by_city", |b| {
+        b.iter(|| {
+            run_read(
+                &g,
+                "MATCH (p:Person)-[:IN]->(c:City)
+                 RETURN c.name AS city, count(p) AS pop, collect(p.name)[..3] AS sample",
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("count_distinct", |b| {
+        b.iter(|| {
+            run_read(
+                &g,
+                "MATCH (p:Person)-[:FRIEND]-(q) RETURN count(DISTINCT q) AS c",
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("order_by_limit", |b| {
+        b.iter(|| {
+            run_read(
+                &g,
+                "MATCH (p:Person)-[:FRIEND]-(q)
+                 WITH p, count(q) AS deg RETURN p.name, deg ORDER BY deg DESC LIMIT 10",
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn update_throughput(c: &mut Criterion) {
+    let params = Params::new();
+    let mut group = c.benchmark_group("scaling/updates");
+    group.bench_function("create_100_nodes", |b| {
+        b.iter(|| {
+            let mut g = PropertyGraph::new();
+            run(
+                &mut g,
+                "UNWIND range(1, 100) AS i CREATE (:Item {rank: i})",
+                &params,
+            )
+            .unwrap();
+            g.node_count()
+        })
+    });
+    group.bench_function("merge_match_or_create", |b| {
+        let mut g = PropertyGraph::new();
+        run(&mut g, "UNWIND range(1, 50) AS i CREATE (:K {v: i})", &params).unwrap();
+        b.iter(|| {
+            // Half match, half create; graph grows slowly across samples,
+            // which is fine for a throughput shape check.
+            run(
+                &mut g,
+                "UNWIND range(26, 75) AS i MERGE (:K {v: i})",
+                &params,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn parallel_readers(c: &mut Criterion) {
+    let params = Params::new();
+    let g = Arc::new(social_network(300, 5, 6, 3));
+    let q = "MATCH (a:Person)-[:FRIEND]->(b) RETURN count(*) AS c";
+    let mut group = c.benchmark_group("scaling/parallel_readers");
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    crossbeam::scope(|scope| {
+                        for _ in 0..threads {
+                            let g = Arc::clone(&g);
+                            let params = params.clone();
+                            scope.spawn(move |_| run_read(&g, q, &params).unwrap());
+                        }
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = var_length_depth, pattern_length, aggregation, update_throughput, parallel_readers
+}
+criterion_main!(benches);

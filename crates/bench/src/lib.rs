@@ -1,0 +1,12 @@
+//! # cypher-bench
+//!
+//! Criterion benchmark harness: one bench target per experiment of
+//! DESIGN.md's index (E1, E14–E18) plus general scaling sweeps. The
+//! binaries print the series the paper's narrative implies — who wins and
+//! by roughly what factor — and EXPERIMENTS.md records the measured
+//! numbers next to the paper's claims.
+
+/// Shared helper: format a mean duration in microseconds.
+pub fn us(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}

@@ -1,0 +1,337 @@
+//! Aggregating functions: `count`, `sum`, `avg`, `min`, `max`, `collect`,
+//! `stdev`, `stdevp`, `percentileCont`, `percentileDisc`.
+//!
+//! Aggregation is described in Section 3 of the paper: in a `WITH` or
+//! `RETURN` list, non-aggregating expressions act as implicit grouping
+//! keys, and each aggregate folds over the rows of its group. `null`
+//! inputs are skipped (so `count(s)` over the table of Figure 2a yields 0
+//! for Nils), and `DISTINCT` folds each distinct value once (as in
+//! `count(DISTINCT p2)` of the running example).
+
+use crate::error::{err, EvalError};
+use cypher_graph::Value;
+
+/// Which aggregate a call denotes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggKind {
+    /// `count(expr)` — number of non-null inputs.
+    Count,
+    /// `count(*)` — number of rows.
+    CountStar,
+    /// `sum(expr)`.
+    Sum,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)` (by comparability; incomparable mixes use orderability).
+    Min,
+    /// `max(expr)`.
+    Max,
+    /// `collect(expr)` — list of non-null inputs.
+    Collect,
+    /// `stdev(expr)` — sample standard deviation.
+    StDev,
+    /// `stdevp(expr)` — population standard deviation.
+    StDevP,
+    /// `percentileCont(expr, p)` — linear-interpolation percentile.
+    PercentileCont,
+    /// `percentileDisc(expr, p)` — nearest-rank percentile.
+    PercentileDisc,
+}
+
+impl AggKind {
+    /// Maps a (lower-case) function name to its kind.
+    pub fn from_name(name: &str) -> Option<AggKind> {
+        Some(match name {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "avg" => AggKind::Avg,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "collect" => AggKind::Collect,
+            "stdev" => AggKind::StDev,
+            "stdevp" => AggKind::StDevP,
+            "percentilecont" => AggKind::PercentileCont,
+            "percentiledisc" => AggKind::PercentileDisc,
+            _ => return None,
+        })
+    }
+}
+
+/// A running aggregate over one group.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    kind: AggKind,
+    distinct: bool,
+    rows: u64,
+    values: Vec<Value>,
+    /// Second argument (percentile), captured from the last row.
+    aux: Option<Value>,
+}
+
+impl Aggregator {
+    /// Creates an empty accumulator.
+    pub fn new(kind: AggKind, distinct: bool) -> Self {
+        Aggregator {
+            kind,
+            distinct,
+            rows: 0,
+            values: Vec::new(),
+            aux: None,
+        }
+    }
+
+    /// Feeds one row. For `count(*)` the value is ignored; for other
+    /// aggregates `null` inputs are skipped.
+    pub fn push(&mut self, v: Value) {
+        self.rows += 1;
+        if self.kind == AggKind::CountStar || v.is_null() {
+            return;
+        }
+        if self.distinct && self.values.iter().any(|x| x.equivalent(&v)) {
+            return;
+        }
+        self.values.push(v);
+    }
+
+    /// Feeds the auxiliary (second) argument for percentile aggregates.
+    pub fn push_aux(&mut self, v: Value) {
+        self.aux = Some(v);
+    }
+
+    /// Produces the aggregate result.
+    pub fn finish(self) -> Result<Value, EvalError> {
+        let vals = self.values;
+        match self.kind {
+            AggKind::CountStar => Ok(Value::int(self.rows as i64)),
+            AggKind::Count => Ok(Value::int(vals.len() as i64)),
+            AggKind::Collect => Ok(Value::List(vals)),
+            AggKind::Sum => sum(&vals),
+            AggKind::Avg => {
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let total = numeric_sum(&vals)?;
+                Ok(Value::float(total / vals.len() as f64))
+            }
+            AggKind::Min => Ok(vals
+                .into_iter()
+                .min_by(|a, b| a.cmp_order(b))
+                .unwrap_or(Value::Null)),
+            AggKind::Max => Ok(vals
+                .into_iter()
+                .max_by(|a, b| a.cmp_order(b))
+                .unwrap_or(Value::Null)),
+            AggKind::StDev => stdev(&vals, true),
+            AggKind::StDevP => stdev(&vals, false),
+            AggKind::PercentileCont => percentile(&vals, self.aux, true),
+            AggKind::PercentileDisc => percentile(&vals, self.aux, false),
+        }
+    }
+}
+
+fn numeric_sum(vals: &[Value]) -> Result<f64, EvalError> {
+    let mut total = 0.0;
+    for v in vals {
+        total += v
+            .as_number()
+            .ok_or_else(|| EvalError::new(format!("cannot aggregate {}", v.type_name())))?;
+    }
+    Ok(total)
+}
+
+fn sum(vals: &[Value]) -> Result<Value, EvalError> {
+    if vals.is_empty() {
+        return Ok(Value::int(0));
+    }
+    let all_ints = vals.iter().all(|v| matches!(v, Value::Integer(_)));
+    if all_ints {
+        let mut acc: i64 = 0;
+        for v in vals {
+            acc = acc
+                .checked_add(v.as_int().unwrap())
+                .ok_or_else(|| EvalError::new("integer overflow in sum()"))?;
+        }
+        Ok(Value::int(acc))
+    } else {
+        Ok(Value::float(numeric_sum(vals)?))
+    }
+}
+
+fn stdev(vals: &[Value], sample: bool) -> Result<Value, EvalError> {
+    let n = vals.len();
+    if n == 0 {
+        return Ok(Value::Null);
+    }
+    let denom = if sample { n.saturating_sub(1) } else { n };
+    if denom == 0 {
+        return Ok(Value::float(0.0));
+    }
+    let mean = numeric_sum(vals)? / n as f64;
+    let mut ss = 0.0;
+    for v in vals {
+        let x = v.as_number().unwrap();
+        ss += (x - mean) * (x - mean);
+    }
+    Ok(Value::float((ss / denom as f64).sqrt()))
+}
+
+fn percentile(vals: &[Value], aux: Option<Value>, cont: bool) -> Result<Value, EvalError> {
+    if vals.is_empty() {
+        return Ok(Value::Null);
+    }
+    let p = aux
+        .as_ref()
+        .and_then(Value::as_number)
+        .ok_or_else(|| EvalError::new("percentile requires a numeric percentile argument"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return err(format!("percentile must be in [0, 1], got {p}"));
+    }
+    let mut nums: Vec<f64> = Vec::with_capacity(vals.len());
+    for v in vals {
+        nums.push(
+            v.as_number()
+                .ok_or_else(|| EvalError::new("percentile over non-numeric value"))?,
+        );
+    }
+    nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if cont {
+        let rank = p * (nums.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Ok(Value::float(nums[lo] + (nums[hi] - nums[lo]) * frac))
+    } else {
+        // Nearest-rank: smallest value whose rank ≥ p·n.
+        let idx = ((p * nums.len() as f64).ceil() as usize).clamp(1, nums.len()) - 1;
+        let x = nums[idx];
+        // Preserve integer-ness when the inputs were integers.
+        if vals.iter().all(|v| matches!(v, Value::Integer(_))) {
+            Ok(Value::int(x as i64))
+        } else {
+            Ok(Value::float(x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, distinct: bool, vals: Vec<Value>) -> Value {
+        let mut a = Aggregator::new(kind, distinct);
+        for v in vals {
+            a.push(v);
+        }
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        // Figure 2a → 2b: count(s) for Nils (one null row) is 0.
+        assert_eq!(run(AggKind::Count, false, vec![Value::Null]), Value::int(0));
+        assert_eq!(
+            run(
+                AggKind::Count,
+                false,
+                vec![Value::int(1), Value::Null, Value::int(2)]
+            ),
+            Value::int(2)
+        );
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let mut a = Aggregator::new(AggKind::CountStar, false);
+        a.push(Value::Null);
+        a.push(Value::Null);
+        assert_eq!(a.finish().unwrap(), Value::int(2));
+    }
+
+    #[test]
+    fn count_distinct() {
+        // §3: count(DISTINCT p2) over {n4, n9, n5, n9} = 3.
+        let vals = vec![
+            Value::str("n4"),
+            Value::str("n9"),
+            Value::str("n5"),
+            Value::str("n9"),
+        ];
+        assert_eq!(run(AggKind::Count, true, vals), Value::int(3));
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let vals = vec![Value::int(1), Value::int(2), Value::int(3)];
+        assert_eq!(run(AggKind::Sum, false, vals.clone()), Value::int(6));
+        assert_eq!(run(AggKind::Avg, false, vals), Value::float(2.0));
+        assert_eq!(run(AggKind::Sum, false, vec![]), Value::int(0));
+        assert_eq!(run(AggKind::Avg, false, vec![]), Value::Null);
+        assert_eq!(
+            run(AggKind::Sum, false, vec![Value::int(1), Value::float(0.5)]),
+            Value::float(1.5)
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = vec![Value::int(3), Value::int(1), Value::int(2)];
+        assert_eq!(run(AggKind::Min, false, vals.clone()), Value::int(1));
+        assert_eq!(run(AggKind::Max, false, vals), Value::int(3));
+        assert_eq!(run(AggKind::Min, false, vec![]), Value::Null);
+    }
+
+    #[test]
+    fn collect_skips_nulls_keeps_duplicates() {
+        let vals = vec![Value::int(1), Value::Null, Value::int(1)];
+        assert_eq!(run(AggKind::Collect, false, vals).to_string(), "[1, 1]");
+        assert_eq!(
+            run(
+                AggKind::Collect,
+                true,
+                vec![Value::int(1), Value::int(1), Value::int(2)]
+            )
+            .to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(run(AggKind::Collect, false, vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn stdev_values() {
+        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&x| Value::float(x))
+            .collect();
+        let pop = run(AggKind::StDevP, false, vals.clone());
+        let Value::Float(p) = pop else { panic!() };
+        assert!((p - 2.0).abs() < 1e-9);
+        let samp = run(AggKind::StDev, false, vals);
+        let Value::Float(s) = samp else { panic!() };
+        assert!((s - 2.138089935).abs() < 1e-6);
+        assert_eq!(run(AggKind::StDev, false, vec![Value::int(5)]), Value::float(0.0));
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut a = Aggregator::new(AggKind::PercentileCont, false);
+        for i in 1..=5 {
+            a.push(Value::int(i));
+            a.push_aux(Value::float(0.5));
+        }
+        assert_eq!(a.finish().unwrap(), Value::float(3.0));
+
+        let mut b = Aggregator::new(AggKind::PercentileDisc, false);
+        for i in 1..=4 {
+            b.push(Value::int(i));
+            b.push_aux(Value::float(0.5));
+        }
+        assert_eq!(b.finish().unwrap(), Value::int(2));
+    }
+
+    #[test]
+    fn from_name_mapping() {
+        assert_eq!(AggKind::from_name("count"), Some(AggKind::Count));
+        assert_eq!(AggKind::from_name("collect"), Some(AggKind::Collect));
+        assert_eq!(AggKind::from_name("size"), None);
+    }
+}

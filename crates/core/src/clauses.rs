@@ -1,0 +1,787 @@
+//! Clause semantics `[[C]]_G : Table → Table` (paper Figure 7), extended
+//! with the aggregation behaviour described in Section 3 and the
+//! `DISTINCT` / `ORDER BY` / `SKIP` / `LIMIT` sub-clauses of the surface
+//! language.
+//!
+//! Implemented here:
+//!
+//! * `[[MATCH π̄ (WHERE e)]]` and `[[OPTIONAL MATCH π̄ (WHERE e)]]`,
+//! * `[[WITH ret (WHERE e)]]` (projection, grouping + aggregation),
+//! * `[[UNWIND e AS a]]` — including the paper's corner cases: an empty
+//!   list produces no rows and a non-list value (including `null`)
+//!   produces a single row,
+//! * `[[WHERE e]]` — keeps exactly the rows where the predicate is `true`.
+//!
+//! Updating clauses and `FROM GRAPH` are implemented by `cypher-engine`;
+//! the reference evaluator covers the read core formalized by the paper.
+
+use crate::aggregate::{AggKind, Aggregator};
+use crate::error::{err, EvalError};
+use crate::expr::{eval_expr, truth_of, Bindings, NoVars};
+use crate::matching::{match_patterns, unbound_free_vars};
+use crate::table::{Record, Schema, Table};
+use crate::EvalContext;
+use cypher_ast::expr::Expr;
+use cypher_ast::query::{Clause, Return, ReturnItem, SortItem};
+use cypher_ast::pattern::PathPattern;
+use cypher_graph::{Tri, Value};
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+/// Applies one clause to a driving table.
+pub fn apply_clause(
+    ctx: &EvalContext<'_>,
+    clause: &Clause,
+    table: Table,
+) -> Result<Table, EvalError> {
+    match clause {
+        Clause::Match {
+            optional,
+            patterns,
+            where_,
+        } => {
+            if *optional {
+                apply_optional_match(ctx, patterns, where_.as_ref(), table)
+            } else {
+                let matched = apply_match(ctx, patterns, table)?;
+                match where_ {
+                    Some(pred) => apply_where(ctx, pred, matched),
+                    None => Ok(matched),
+                }
+            }
+        }
+        Clause::With { ret, where_ } => {
+            let projected = apply_projection(ctx, ret, table)?;
+            match where_ {
+                Some(pred) => apply_where(ctx, pred, projected),
+                None => Ok(projected),
+            }
+        }
+        Clause::Unwind { expr, alias } => apply_unwind(ctx, expr, alias, table),
+        Clause::Create { .. }
+        | Clause::Merge { .. }
+        | Clause::Delete { .. }
+        | Clause::Set { .. }
+        | Clause::Remove { .. } => err(
+            "updating clauses are not part of the read core; use cypher-engine to execute them",
+        ),
+        Clause::FromGraph { .. } => {
+            err("FROM GRAPH requires the multigraph executor in cypher-engine")
+        }
+    }
+}
+
+/// `[[MATCH π̄]]_G(T) = ⊎_{u∈T} { u · u′ | u′ ∈ match(π̄, G, u) }`.
+pub fn apply_match(
+    ctx: &EvalContext<'_>,
+    patterns: &[PathPattern],
+    table: Table,
+) -> Result<Table, EvalError> {
+    let schema = table.schema().clone();
+    let new_vars = unbound_free_vars(patterns, &|n| schema.contains(n));
+    let mut out_schema = schema.clone();
+    for v in &new_vars {
+        out_schema = out_schema.with_field(v.clone());
+    }
+    let mut out = Table::empty(out_schema);
+    for u in table.rows() {
+        let bindings = Bindings::new(&schema, u);
+        let matches = match_patterns(ctx, &bindings, patterns)?;
+        for m in matches {
+            let mut row = u.clone();
+            for v in &new_vars {
+                let val = m
+                    .iter()
+                    .find(|(n, _)| n == v)
+                    .map(|(_, val)| val.clone())
+                    .expect("every free variable is bound by a successful match");
+                row.push(val);
+            }
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// `[[OPTIONAL MATCH π̄ WHERE e]]_G(T)`: per driving row, the matches of
+/// the single-row table — or one row padded with `null`s when there are
+/// none (Figure 7).
+pub fn apply_optional_match(
+    ctx: &EvalContext<'_>,
+    patterns: &[PathPattern],
+    where_: Option<&Expr>,
+    table: Table,
+) -> Result<Table, EvalError> {
+    let schema = table.schema().clone();
+    let new_vars = unbound_free_vars(patterns, &|n| schema.contains(n));
+    let mut out_schema = schema.clone();
+    for v in &new_vars {
+        out_schema = out_schema.with_field(v.clone());
+    }
+    let mut out = Table::empty(out_schema.clone());
+    for u in table.rows() {
+        let single = Table::new(schema.clone(), vec![u.clone()]);
+        let matched = apply_match(ctx, patterns, single)?;
+        let filtered = match where_ {
+            Some(pred) => apply_where(ctx, pred, matched)?,
+            None => matched,
+        };
+        if filtered.is_empty() {
+            let mut row = u.clone();
+            for _ in &new_vars {
+                row.push(Value::Null);
+            }
+            out.push(row);
+        } else {
+            for r in filtered.rows() {
+                out.push(r.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `[[WHERE e]]_G(T) = { u ∈ T | [[e]]_{G,u} = true }`.
+pub fn apply_where(
+    ctx: &EvalContext<'_>,
+    pred: &Expr,
+    table: Table,
+) -> Result<Table, EvalError> {
+    let schema = table.schema().clone();
+    let mut out = Table::empty(schema.clone());
+    for u in table.rows() {
+        let b = Bindings::new(&schema, u);
+        if truth_of(ctx, &b, pred)? == Tri::True {
+            out.push(u.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// `[[UNWIND e AS a]]_G(T)` (Figure 7): a list yields one row per element,
+/// the empty list yields no rows, and any other value — including `null` —
+/// yields a single row carrying that value. (Note: this follows the paper
+/// exactly; some implementations instead drop `null` rows.)
+pub fn apply_unwind(
+    ctx: &EvalContext<'_>,
+    expr: &Expr,
+    alias: &str,
+    table: Table,
+) -> Result<Table, EvalError> {
+    let schema = table.schema().clone();
+    if schema.contains(alias) {
+        return err(format!("UNWIND alias {alias} shadows an existing field"));
+    }
+    let out_schema = schema.with_field(alias.to_string());
+    let mut out = Table::empty(out_schema);
+    for u in table.rows() {
+        let b = Bindings::new(&schema, u);
+        let v = eval_expr(ctx, &b, expr)?;
+        match v {
+            Value::List(items) => {
+                for item in items {
+                    let mut row = u.clone();
+                    row.push(item);
+                    out.push(row);
+                }
+            }
+            other => {
+                let mut row = u.clone();
+                row.push(other);
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Projection (WITH / RETURN) with grouping and aggregation
+// ---------------------------------------------------------------------------
+
+/// The implementation-dependent injective naming function `α` of Section
+/// 4.3: we use the unparsed expression text, which matches the column
+/// headers of the paper's examples (e.g. `r.name`).
+pub fn alpha(e: &Expr) -> String {
+    e.to_string()
+}
+
+struct ProjItem {
+    /// Output column name.
+    name: String,
+    /// The (possibly rewritten) expression; aggregate subtrees are replaced
+    /// by placeholder parameters.
+    expr: Expr,
+    /// True when the original item contained an aggregate.
+    aggregated: bool,
+}
+
+struct AggSpec {
+    kind: AggKind,
+    distinct: bool,
+    arg: Option<Expr>,
+    aux: Option<Expr>,
+    placeholder: String,
+}
+
+/// Replaces each aggregate call in `e` by a fresh placeholder parameter
+/// (the placeholder names contain a space, which the surface syntax cannot
+/// produce, so they can never collide with user parameters).
+fn extract_aggregates(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
+    match e {
+        Expr::CountStar => {
+            let placeholder = format!(" agg {}", specs.len());
+            specs.push(AggSpec {
+                kind: AggKind::CountStar,
+                distinct: false,
+                arg: None,
+                aux: None,
+                placeholder: placeholder.clone(),
+            });
+            Expr::Param(placeholder)
+        }
+        Expr::FnCall {
+            name,
+            args,
+            distinct,
+        } => {
+            if let Some(kind) = AggKind::from_name(name) {
+                let placeholder = format!(" agg {}", specs.len());
+                specs.push(AggSpec {
+                    kind,
+                    distinct: *distinct,
+                    arg: args.first().cloned(),
+                    aux: args.get(1).cloned(),
+                    placeholder: placeholder.clone(),
+                });
+                Expr::Param(placeholder)
+            } else {
+                Expr::FnCall {
+                    name: name.clone(),
+                    args: args.iter().map(|a| extract_aggregates(a, specs)).collect(),
+                    distinct: *distinct,
+                }
+            }
+        }
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(extract_aggregates(a, specs))),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::List(items) => {
+            Expr::List(items.iter().map(|a| extract_aggregates(a, specs)).collect())
+        }
+        Expr::Map(kvs) => Expr::Map(
+            kvs.iter()
+                .map(|(k, v)| (k.clone(), extract_aggregates(v, specs)))
+                .collect(),
+        ),
+        Expr::Prop(e, k) => Expr::Prop(Box::new(extract_aggregates(e, specs)), k.clone()),
+        Expr::Index(a, b) => Expr::Index(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Slice(e, lo, hi) => Expr::Slice(
+            Box::new(extract_aggregates(e, specs)),
+            lo.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+            hi.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+        ),
+        Expr::In(a, b) => Expr::In(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::StartsWith(a, b) => Expr::StartsWith(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::EndsWith(a, b) => Expr::EndsWith(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Contains(a, b) => Expr::Contains(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Xor(a, b) => Expr::Xor(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(extract_aggregates(a, specs))),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(extract_aggregates(a, specs))),
+        Expr::IsNotNull(a) => Expr::IsNotNull(Box::new(extract_aggregates(a, specs))),
+        Expr::Case {
+            input,
+            whens,
+            else_,
+        } => Expr::Case {
+            input: input.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+            whens: whens
+                .iter()
+                .map(|(w, t)| (extract_aggregates(w, specs), extract_aggregates(t, specs)))
+                .collect(),
+            else_: else_.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+        },
+        // Scoped forms (list/pattern comprehensions, quantifiers, pattern
+        // predicates) cannot legally contain outer-level aggregates; they
+        // are left atomic — any aggregate inside them is reported by the
+        // evaluator.
+        other => other.clone(),
+    }
+}
+
+/// Applies a `WITH`/`RETURN` projection body: star expansion, grouping and
+/// aggregation, `DISTINCT`, `ORDER BY`, `SKIP`, `LIMIT`.
+pub fn apply_projection(
+    ctx: &EvalContext<'_>,
+    ret: &Return,
+    table: Table,
+) -> Result<Table, EvalError> {
+    // 1. Expand `∗` into explicit items (Figure 6's rewrite).
+    let mut items: Vec<ReturnItem> = Vec::new();
+    if ret.star {
+        if table.schema().is_empty() && ret.items.is_empty() {
+            return err("RETURN * / WITH * require at least one field");
+        }
+        for n in table.schema().names() {
+            items.push(ReturnItem::aliased(Expr::var(n.clone()), n.clone()));
+        }
+    }
+    items.extend(ret.items.iter().cloned());
+
+    // 2. Output names: the alias if present, else α(expr); must be distinct.
+    let mut proj: Vec<ProjItem> = Vec::new();
+    let mut any_agg = false;
+    let mut all_specs: Vec<AggSpec> = Vec::new();
+    for item in &items {
+        let name = item.alias.clone().unwrap_or_else(|| alpha(&item.expr));
+        let aggregated = item.expr.contains_aggregate();
+        any_agg |= aggregated;
+        let expr = if aggregated {
+            extract_aggregates(&item.expr, &mut all_specs)
+        } else {
+            item.expr.clone()
+        };
+        if proj.iter().any(|p| p.name == name) {
+            return err(format!("duplicate column name in projection: {name}"));
+        }
+        proj.push(ProjItem {
+            name,
+            expr,
+            aggregated,
+        });
+    }
+    let out_schema = Schema::new(proj.iter().map(|p| p.name.clone()).collect());
+
+    let schema = table.schema().clone();
+    let mut out = Table::empty(out_schema.clone());
+    // Pre-projection rows kept alongside the output so that ORDER BY can
+    // reference variables that were not projected (`RETURN a.i ORDER BY
+    // a.x` is legal Cypher). Grouped projections keep the group's
+    // representative row.
+    let mut sources: Vec<Record> = Vec::new();
+
+    if !any_agg {
+        for u in table.rows() {
+            let b = Bindings::new(&schema, u);
+            let mut row = Record::empty();
+            for p in &proj {
+                row.push(eval_expr(ctx, &b, &p.expr)?);
+            }
+            out.push(row);
+            sources.push(u.clone());
+        }
+    } else {
+        // 3. Group by the non-aggregated items ("the first expression, r,
+        //    is a non-aggregating expression and therefore acts as an
+        //    implicit grouping key" — §3).
+        let key_items: Vec<&ProjItem> = proj.iter().filter(|p| !p.aggregated).collect();
+        let mut groups: Vec<(Vec<Value>, Vec<Aggregator>, Record)> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for u in table.rows() {
+            let b = Bindings::new(&schema, u);
+            let mut key = Vec::with_capacity(key_items.len());
+            for p in &key_items {
+                key.push(eval_expr(ctx, &b, &p.expr)?);
+            }
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for k in &key {
+                k.hash_equivalent(&mut hasher);
+            }
+            let h = hasher.finish();
+            let bucket = buckets.entry(h).or_default();
+            let gi = bucket
+                .iter()
+                .copied()
+                .find(|&gi| {
+                    groups[gi]
+                        .0
+                        .iter()
+                        .zip(&key)
+                        .all(|(a, b)| a.equivalent(b))
+                })
+                .unwrap_or_else(|| {
+                    let aggs = all_specs
+                        .iter()
+                        .map(|s| Aggregator::new(s.kind, s.distinct))
+                        .collect();
+                    groups.push((key.clone(), aggs, u.clone()));
+                    bucket.push(groups.len() - 1);
+                    groups.len() - 1
+                });
+            // Feed every aggregator.
+            let (_, aggs, _) = &mut groups[gi];
+            for (agg, spec) in aggs.iter_mut().zip(&all_specs) {
+                let v = match &spec.arg {
+                    Some(argexpr) => eval_expr(ctx, &Bindings::new(&schema, u), argexpr)?,
+                    None => Value::Null,
+                };
+                agg.push(v);
+                if let Some(aux) = &spec.aux {
+                    let av = eval_expr(ctx, &Bindings::new(&schema, u), aux)?;
+                    agg.push_aux(av);
+                }
+            }
+        }
+
+        // An aggregation with no grouping keys over an empty table still
+        // produces one (empty) group — `RETURN count(*)` on nothing is 0.
+        if groups.is_empty() && key_items.is_empty() {
+            let aggs = all_specs
+                .iter()
+                .map(|s| Aggregator::new(s.kind, s.distinct))
+                .collect();
+            groups.push((Vec::new(), aggs, Record::empty()));
+        }
+
+        for (key, aggs, repr) in groups {
+            // Placeholder params carry this group's aggregate results.
+            let mut params = ctx.params.clone();
+            for (agg, spec) in aggs.into_iter().zip(&all_specs) {
+                params.insert(spec.placeholder.clone(), agg.finish()?);
+            }
+            let group_ctx = EvalContext {
+                graph: ctx.graph,
+                params: &params,
+                config: ctx.config,
+            };
+            let mut row = Record::empty();
+            let mut key_iter = key.into_iter();
+            for p in &proj {
+                if p.aggregated {
+                    // Non-key parts of an aggregated item are evaluated on
+                    // the group's representative row (the fabricated empty
+                    // group of an all-aggregate projection has none).
+                    let v = if repr.values().len() == schema.len() {
+                        eval_expr(&group_ctx, &Bindings::new(&schema, &repr), &p.expr)?
+                    } else {
+                        eval_expr(&group_ctx, &NoVars, &p.expr)?
+                    };
+                    row.push(v);
+                } else {
+                    row.push(key_iter.next().expect("key arity"));
+                }
+            }
+            out.push(row);
+            sources.push(if repr.values().len() == schema.len() {
+                repr
+            } else {
+                Record::empty()
+            });
+        }
+    }
+
+    // 4. DISTINCT (after which only projected columns remain addressable,
+    //    as in Cypher).
+    if ret.distinct {
+        out = out.dedup();
+        sources.clear();
+    }
+
+    // 5. ORDER BY: sort keys see the projected columns first, then (when
+    //    no DISTINCT intervened) the pre-projection scope.
+    if !ret.order_by.is_empty() {
+        let src = if sources.is_empty() {
+            None
+        } else {
+            Some((schema.clone(), sources))
+        };
+        out = apply_order_by_scoped(ctx, &ret.order_by, out, src)?;
+    }
+
+    // 6. SKIP / LIMIT.
+    let skip = eval_count(ctx, ret.skip.as_ref(), "SKIP")?;
+    let limit = match &ret.limit {
+        Some(_) => Some(eval_count(ctx, ret.limit.as_ref(), "LIMIT")?),
+        None => None,
+    };
+    if skip > 0 || limit.is_some() {
+        out = out.slice(skip, limit);
+    }
+    Ok(out)
+}
+
+fn eval_count(
+    ctx: &EvalContext<'_>,
+    e: Option<&Expr>,
+    what: &str,
+) -> Result<usize, EvalError> {
+    let Some(e) = e else { return Ok(0) };
+    let v = eval_expr(ctx, &NoVars, e)?;
+    match v.as_int() {
+        Some(i) if i >= 0 => Ok(i as usize),
+        _ => err(format!("{what} requires a non-negative integer, got {v}")),
+    }
+}
+
+/// Sorts by the `ORDER BY` keys, using the total orderability order
+/// (`null` last in ascending position).
+pub fn apply_order_by(
+    ctx: &EvalContext<'_>,
+    keys: &[SortItem],
+    table: Table,
+) -> Result<Table, EvalError> {
+    apply_order_by_scoped(ctx, keys, table, None)
+}
+
+/// Two-layer assignment: projected columns shadow the pre-projection row.
+struct SortScope<'a> {
+    projected: Bindings<'a>,
+    source: Option<Bindings<'a>>,
+}
+
+impl crate::expr::VarLookup for SortScope<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.projected
+            .lookup(name)
+            .or_else(|| self.source.as_ref().and_then(|s| s.lookup(name)))
+    }
+}
+
+/// [`apply_order_by`] with an optional pre-projection scope: `sources[i]`
+/// is the source record of output row `i` over `src.0`.
+fn apply_order_by_scoped(
+    ctx: &EvalContext<'_>,
+    keys: &[SortItem],
+    table: Table,
+    src: Option<(std::sync::Arc<Schema>, Vec<Record>)>,
+) -> Result<Table, EvalError> {
+    let schema = table.schema().clone();
+    // Precompute sort keys (decorate–sort–undecorate) so errors surface
+    // before the sort comparator runs.
+    let mut decorated: Vec<(Vec<Value>, Record)> = Vec::with_capacity(table.len());
+    for (i, u) in table.rows().iter().enumerate() {
+        let scope = SortScope {
+            projected: Bindings::new(&schema, u),
+            source: src
+                .as_ref()
+                .map(|(ss, rows)| Bindings::new(ss, &rows[i])),
+        };
+        let mut ks = Vec::with_capacity(keys.len());
+        for k in keys {
+            ks.push(eval_expr(ctx, &scope, &k.expr)?);
+        }
+        decorated.push((ks, u.clone()));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = ka[i].cmp_order(&kb[i]);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = Table::empty(schema);
+    for (_, r) in decorated {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table_of, EvalContext, Params};
+    use cypher_ast::query::Return;
+    use cypher_graph::PropertyGraph;
+    use cypher_parser::parse_expression;
+
+    fn ret_items(items: &[(&str, Option<&str>)]) -> Return {
+        Return {
+            items: items
+                .iter()
+                .map(|(e, a)| ReturnItem {
+                    expr: parse_expression(e).unwrap(),
+                    alias: a.map(String::from),
+                })
+                .collect(),
+            ..Return::default()
+        }
+    }
+
+    fn sample_table() -> Table {
+        table_of(
+            &["g", "v"],
+            vec![
+                vec![Value::str("a"), Value::int(1)],
+                vec![Value::str("a"), Value::int(2)],
+                vec![Value::str("b"), Value::int(30)],
+                vec![Value::str("b"), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn projection_without_aggregates_maps_rows() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let out =
+            apply_projection(&ctx, &ret_items(&[("v + 1", Some("w"))]), sample_table()).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.cell(0, "w"), Some(&Value::int(2)));
+        assert!(out.cell(3, "w").unwrap().is_null());
+    }
+
+    #[test]
+    fn grouping_keys_partition_rows() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let out = apply_projection(
+            &ctx,
+            &ret_items(&[("g", None), ("count(v)", Some("c")), ("sum(v)", Some("s"))]),
+            sample_table(),
+        )
+        .unwrap();
+        let expected = table_of(
+            &["g", "c", "s"],
+            vec![
+                vec![Value::str("a"), Value::int(2), Value::int(3)],
+                vec![Value::str("b"), Value::int(1), Value::int(30)],
+            ],
+        );
+        out.assert_bag_eq(&expected);
+    }
+
+    #[test]
+    fn null_group_key_forms_its_own_group() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let t = table_of(
+            &["k"],
+            vec![vec![Value::Null], vec![Value::Null], vec![Value::int(1)]],
+        );
+        let out = apply_projection(
+            &ctx,
+            &ret_items(&[("k", None), ("count(*)", Some("c"))]),
+            t,
+        )
+        .unwrap();
+        let expected = table_of(
+            &["k", "c"],
+            vec![
+                vec![Value::Null, Value::int(2)],
+                vec![Value::int(1), Value::int(1)],
+            ],
+        );
+        out.assert_bag_eq(&expected);
+    }
+
+    #[test]
+    fn alpha_names_are_expression_text() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let out = apply_projection(&ctx, &ret_items(&[("v", None)]), sample_table()).unwrap();
+        assert_eq!(out.schema().names(), &["v".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_output_names_rejected() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        // Both items project the name `v`.
+        let r = apply_projection(
+            &ctx,
+            &ret_items(&[("v", None), ("g", Some("v"))]),
+            sample_table(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn distinct_then_order_then_slice() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let mut ret = ret_items(&[("v", None)]);
+        ret.distinct = true;
+        ret.order_by = vec![SortItem {
+            expr: parse_expression("v").unwrap(),
+            ascending: false,
+        }];
+        ret.limit = Some(parse_expression("2").unwrap());
+        let out = apply_projection(&ctx, &ret, sample_table()).unwrap();
+        // Distinct values {1, 2, 30, null}; desc puts null first (null is
+        // greatest), then 30.
+        assert_eq!(out.len(), 2);
+        assert!(out.rows()[0].get(0).is_null());
+        assert_eq!(out.rows()[1].get(0), &Value::int(30));
+    }
+
+    #[test]
+    fn unwind_alias_shadowing_is_error() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let r = apply_unwind(
+            &ctx,
+            &parse_expression("[1]").unwrap(),
+            "v",
+            sample_table(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn where_on_empty_table_is_empty() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let t = Table::empty(Schema::new(vec!["x".into()]));
+        let out = apply_where(&ctx, &parse_expression("x > 0").unwrap(), t).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skip_limit_expressions_must_be_non_negative() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let mut ret = ret_items(&[("v", None)]);
+        ret.limit = Some(parse_expression("-1").unwrap());
+        assert!(apply_projection(&ctx, &ret, sample_table()).is_err());
+        let mut ret2 = ret_items(&[("v", None)]);
+        ret2.skip = Some(parse_expression("'x'").unwrap());
+        assert!(apply_projection(&ctx, &ret2, sample_table()).is_err());
+    }
+}

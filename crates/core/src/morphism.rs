@@ -1,0 +1,51 @@
+//! Pattern-matching morphism modes.
+//!
+//! Cypher 9 matches patterns under **relationship (edge) isomorphism**: "a
+//! path cannot traverse the same relationship more than once" (paper §4.2),
+//! which keeps variable-length results finite. Section 8 ("Configurable
+//! morphisms") envisions letting queries opt into homomorphism or node
+//! isomorphism instead; all three are implemented here and compared in
+//! experiment E14.
+
+/// Which repeated-element constraint pattern matching enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Morphism {
+    /// No relationship id may occur more than once across the matched tuple
+    /// of paths (Cypher 9 default).
+    #[default]
+    EdgeIsomorphism,
+    /// No node id may occur more than once across the matched tuple of
+    /// paths (strictly stronger than edge isomorphism on simple graphs).
+    NodeIsomorphism,
+    /// No constraint: classical graph homomorphism. Unbounded
+    /// variable-length patterns may then denote infinitely many paths, so
+    /// the matcher clamps `∞` upper bounds to
+    /// [`crate::MatchConfig::var_length_cap`].
+    Homomorphism,
+}
+
+impl Morphism {
+    /// True iff matched relationships must be pairwise distinct.
+    pub fn rels_distinct(self) -> bool {
+        matches!(self, Morphism::EdgeIsomorphism | Morphism::NodeIsomorphism)
+    }
+
+    /// True iff matched nodes must be pairwise distinct.
+    pub fn nodes_distinct(self) -> bool {
+        matches!(self, Morphism::NodeIsomorphism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_edge_isomorphism() {
+        assert_eq!(Morphism::default(), Morphism::EdgeIsomorphism);
+        assert!(Morphism::EdgeIsomorphism.rels_distinct());
+        assert!(!Morphism::EdgeIsomorphism.nodes_distinct());
+        assert!(Morphism::NodeIsomorphism.nodes_distinct());
+        assert!(!Morphism::Homomorphism.rels_distinct());
+    }
+}

@@ -1,0 +1,286 @@
+//! Query semantics `[[Q]]_G` (paper Figure 6).
+//!
+//! A query is a sequence of clauses ending in `RETURN`, or a `UNION
+//! [ALL]` of two queries. Its semantics is a function from tables to
+//! tables; the query's *output* applies that function to the table
+//! containing the single empty tuple:
+//!
+//! ```text
+//! output(Q, G) = [[Q]]_G(T())
+//! ```
+
+use crate::clauses::{apply_clause, apply_projection};
+use crate::error::{err, EvalError};
+use crate::table::Table;
+use crate::EvalContext;
+use cypher_ast::query::Query;
+
+/// Applies `[[Q]]_G` to an arbitrary driving table (the composition form;
+/// most callers want [`eval_query`] / [`output`]).
+pub fn eval_query_on(
+    ctx: &EvalContext<'_>,
+    q: &Query,
+    table: Table,
+) -> Result<Table, EvalError> {
+    match q {
+        Query::Single(sq) => {
+            if sq.ret_graph.is_some() {
+                return err(
+                    "RETURN GRAPH requires the multigraph executor in cypher-engine",
+                );
+            }
+            let mut t = table;
+            for c in &sq.clauses {
+                t = apply_clause(ctx, c, t)?;
+            }
+            match &sq.ret {
+                Some(ret) => {
+                    if ret.star && ret.items.is_empty() && t.schema().is_empty() {
+                        return err("RETURN * requires at least one field");
+                    }
+                    apply_projection(ctx, ret, t)
+                }
+                None => err("the reference evaluator requires a final RETURN"),
+            }
+        }
+        Query::Union { all, left, right } => {
+            let l = eval_query_on(ctx, left, table.clone())?;
+            let r = eval_query_on(ctx, right, table)?;
+            if !l.schema().same_fields(r.schema()) {
+                return err(format!(
+                    "UNION requires identical field sets: {:?} vs {:?}",
+                    l.schema().names(),
+                    r.schema().names()
+                ));
+            }
+            let u = l.bag_union(r);
+            Ok(if *all { u } else { u.dedup() })
+        }
+    }
+}
+
+/// `[[Q]]_G(T())`: evaluates a complete read query against the graph.
+pub fn eval_query(ctx: &EvalContext<'_>, q: &Query) -> Result<Table, EvalError> {
+    eval_query_on(ctx, q, Table::unit())
+}
+
+/// The paper's `output(Q, G)` notation; an alias for [`eval_query`].
+pub fn output(ctx: &EvalContext<'_>, q: &Query) -> Result<Table, EvalError> {
+    eval_query(ctx, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table_of, EvalContext, Params};
+    use cypher_graph::{PropertyGraph, Value};
+    use cypher_parser::parse_query;
+
+    /// The data graph of Figure 1: researchers, students, publications.
+    pub fn figure1() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let n1 = g.add_node(&["Researcher"], [("name", Value::str("Nils"))]);
+        let n2 = g.add_node(&["Publication"], [("acmid", Value::int(220))]);
+        let n3 = g.add_node(&["Publication"], [("acmid", Value::int(190))]);
+        let n4 = g.add_node(&["Publication"], [("acmid", Value::int(235))]);
+        let n5 = g.add_node(&["Publication"], [("acmid", Value::int(240))]);
+        let n6 = g.add_node(&["Researcher"], [("name", Value::str("Elin"))]);
+        let n7 = g.add_node(&["Student"], [("name", Value::str("Sten"))]);
+        let n8 = g.add_node(&["Student"], [("name", Value::str("Linda"))]);
+        let n9 = g.add_node(&["Publication"], [("acmid", Value::int(269))]);
+        let n10 = g.add_node(&["Researcher"], [("name", Value::str("Thor"))]);
+        g.add_rel(n1, n2, "AUTHORS", []).unwrap(); // r1
+        g.add_rel(n2, n3, "CITES", []).unwrap(); // r2
+        g.add_rel(n4, n2, "CITES", []).unwrap(); // r3
+        g.add_rel(n5, n2, "CITES", []).unwrap(); // r4
+        g.add_rel(n6, n5, "AUTHORS", []).unwrap(); // r5
+        g.add_rel(n6, n7, "SUPERVISES", []).unwrap(); // r6
+        g.add_rel(n6, n8, "SUPERVISES", []).unwrap(); // r7
+        g.add_rel(n10, n7, "SUPERVISES", []).unwrap(); // r8
+        g.add_rel(n9, n4, "CITES", []).unwrap(); // r9
+        g.add_rel(n6, n9, "AUTHORS", []).unwrap(); // r10
+        g.add_rel(n9, n5, "CITES", []).unwrap(); // r11
+        g
+    }
+
+    fn run(g: &PropertyGraph, src: &str) -> Table {
+        let params = Params::new();
+        let ctx = EvalContext::new(g, &params);
+        let q = parse_query(src).unwrap();
+        eval_query(&ctx, &q).unwrap()
+    }
+
+    #[test]
+    fn section3_full_query() {
+        // The running example: expected output table from §3.
+        let g = figure1();
+        let out = run(
+            &g,
+            "MATCH (r:Researcher)
+             OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+             WITH r, count(s) AS studentsSupervised
+             MATCH (r)-[:AUTHORS]->(p1:Publication)
+             OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+             RETURN r.name, studentsSupervised,
+                    count(DISTINCT p2) AS citedCount",
+        );
+        let expected = table_of(
+            &["r.name", "studentsSupervised", "citedCount"],
+            vec![
+                vec![Value::str("Nils"), Value::int(0), Value::int(3)],
+                vec![Value::str("Elin"), Value::int(2), Value::int(1)],
+            ],
+        );
+        out.assert_bag_eq(&expected);
+    }
+
+    #[test]
+    fn return_literal() {
+        let g = PropertyGraph::new();
+        let out = run(&g, "RETURN 1 + 1 AS two");
+        assert_eq!(out.cell(0, "two"), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn union_set_vs_bag() {
+        let g = PropertyGraph::new();
+        let set = run(&g, "RETURN 1 AS x UNION RETURN 1 AS x");
+        assert_eq!(set.len(), 1);
+        let bag = run(&g, "RETURN 1 AS x UNION ALL RETURN 1 AS x");
+        assert_eq!(bag.len(), 2);
+    }
+
+    #[test]
+    fn union_schema_mismatch_is_error() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let q = parse_query("RETURN 1 AS x UNION RETURN 1 AS y").unwrap();
+        assert!(eval_query(&ctx, &q).is_err());
+    }
+
+    #[test]
+    fn return_star_requires_fields() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let q = parse_query("RETURN *").unwrap();
+        assert!(eval_query(&ctx, &q).is_err());
+    }
+
+    #[test]
+    fn unwind_paper_semantics() {
+        let g = PropertyGraph::new();
+        let out = run(&g, "UNWIND [1, 2, 3] AS x RETURN x");
+        assert_eq!(out.len(), 3);
+        let empty = run(&g, "UNWIND [] AS x RETURN x");
+        assert_eq!(empty.len(), 0);
+        // Figure 7's "otherwise" branch: a non-list value (incl. null)
+        // produces one row.
+        let null_row = run(&g, "UNWIND null AS x RETURN x");
+        assert_eq!(null_row.len(), 1);
+        assert!(null_row.cell(0, "x").unwrap().is_null());
+        let scalar = run(&g, "UNWIND 7 AS x RETURN x");
+        assert_eq!(scalar.cell(0, "x"), Some(&Value::int(7)));
+    }
+
+    #[test]
+    fn with_where_filters_aggregates() {
+        let g = figure1();
+        // Researchers supervising more than one student: only Elin.
+        let out = run(
+            &g,
+            "MATCH (r:Researcher)-[:SUPERVISES]->(s)
+             WITH r, count(s) AS n WHERE n > 1
+             RETURN r.name AS name, n",
+        );
+        let expected = table_of(
+            &["name", "n"],
+            vec![vec![Value::str("Elin"), Value::int(2)]],
+        );
+        out.assert_bag_eq(&expected);
+    }
+
+    #[test]
+    fn order_by_skip_limit() {
+        let g = figure1();
+        let out = run(
+            &g,
+            "MATCH (p:Publication)
+             RETURN p.acmid AS id ORDER BY id DESC SKIP 1 LIMIT 2",
+        );
+        let expected = table_of(
+            &["id"],
+            vec![vec![Value::int(240)], vec![Value::int(235)]],
+        );
+        // ORDER BY is about sequence; check exact order.
+        assert_eq!(out.rows()[0].get(0), &Value::int(240));
+        assert_eq!(out.rows()[1].get(0), &Value::int(235));
+        out.assert_bag_eq(&expected);
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let g = figure1();
+        let out = run(
+            &g,
+            "MATCH (:Publication)-[:CITES]->(p:Publication) RETURN DISTINCT p.acmid AS id",
+        );
+        // CITES targets: n3 (from n2), n2 (from n4 and n5), n4 and n5
+        // (from n9) → distinct {n2, n3, n4, n5} = 4.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn count_star_on_empty_is_zero() {
+        let g = PropertyGraph::new();
+        let out = run(&g, "MATCH (n) RETURN count(*) AS c");
+        assert_eq!(out.cell(0, "c"), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_has_no_rows() {
+        let g = PropertyGraph::new();
+        let out = run(&g, "MATCH (n) RETURN n, count(*) AS c");
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn alpha_names_match_paper_headers() {
+        let g = figure1();
+        let out = run(&g, "MATCH (r:Researcher) RETURN r.name");
+        assert_eq!(out.schema().names(), &["r.name".to_string()]);
+    }
+
+    #[test]
+    fn aggregate_in_arithmetic() {
+        let g = figure1();
+        let out = run(
+            &g,
+            "MATCH (:Researcher)-[:SUPERVISES]->(s) RETURN count(s) * 10 AS c",
+        );
+        assert_eq!(out.cell(0, "c"), Some(&Value::int(30)));
+    }
+
+    #[test]
+    fn where_pattern_predicate() {
+        let g = figure1();
+        // Researchers who authored a publication that something cites.
+        let out = run(
+            &g,
+            "MATCH (r:Researcher)-[:AUTHORS]->(p)
+             WHERE (p)<-[:CITES]-()
+             RETURN DISTINCT r.name AS name",
+        );
+        assert_eq!(out.len(), 2); // Nils (n2 cited), Elin (n5 cited)
+    }
+
+    #[test]
+    fn updating_clause_rejected_by_reference() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let q = parse_query("CREATE (n) RETURN n").unwrap();
+        assert!(eval_query(&ctx, &q).is_err());
+    }
+}

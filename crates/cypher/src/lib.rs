@@ -1,0 +1,183 @@
+//! # cypher
+//!
+//! The facade crate of this reproduction of *Cypher: An Evolving Query
+//! Language for Property Graphs* (Francis et al., SIGMOD 2018): parse,
+//! plan and execute Cypher queries over in-memory property graphs.
+//!
+//! Two interchangeable evaluators are provided:
+//!
+//! * [`run`] / [`run_read`] — the production-style engine
+//!   ([`cypher_engine`]): cost-based planning, `Expand` chains over native
+//!   adjacency, Volcano iterators, update clauses;
+//! * [`run_reference`] — the literal transcription of the paper's formal
+//!   semantics ([`cypher_core`]), used as the differential-testing oracle.
+//!
+//! ```
+//! use cypher::{run, run_read, Params, PropertyGraph};
+//!
+//! let mut g = PropertyGraph::new();
+//! let params = Params::new();
+//! run(&mut g, "CREATE (:Researcher {name: 'Nils'})-[:AUTHORS]->(:Publication {acmid: 220})",
+//!     &params).unwrap();
+//! let out = run_read(&g, "MATCH (r:Researcher)-[:AUTHORS]->(p) RETURN r.name, p.acmid",
+//!     &params).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+use std::fmt;
+
+pub use cypher_ast as ast;
+pub use cypher_core::{
+    eval_query, table_of, EvalContext, EvalError, MatchConfig, Morphism, Params, Record, Schema,
+    Table,
+};
+pub use cypher_engine::{EngineConfig, MultiResult, PlannerMode};
+pub use cypher_graph::{
+    Catalog, Direction, NodeId, Path, PropertyGraph, RelId, Symbol, Temporal, Tri, Value,
+};
+pub use cypher_parser::{parse_expression, parse_pattern, parse_query, ParseError};
+pub use cypher_workload as workload;
+
+/// Anything that can go wrong between query text and result table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The text did not parse.
+    Parse(ParseError),
+    /// Evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+
+/// Parses and executes a query (reads and updates) with the default
+/// engine configuration.
+pub fn run(graph: &mut PropertyGraph, query: &str, params: &Params) -> Result<Table, Error> {
+    run_with(graph, query, params, EngineConfig::default())
+}
+
+/// Parses and executes a query with an explicit configuration.
+pub fn run_with(
+    graph: &mut PropertyGraph,
+    query: &str,
+    params: &Params,
+    cfg: EngineConfig,
+) -> Result<Table, Error> {
+    let q = parse_query(query)?;
+    Ok(cypher_engine::execute(graph, &q, params, cfg)?)
+}
+
+/// Parses and executes a read-only query through the planner engine.
+pub fn run_read(graph: &PropertyGraph, query: &str, params: &Params) -> Result<Table, Error> {
+    run_read_with(graph, query, params, EngineConfig::default())
+}
+
+/// Read-only execution with an explicit configuration.
+pub fn run_read_with(
+    graph: &PropertyGraph,
+    query: &str,
+    params: &Params,
+    cfg: EngineConfig,
+) -> Result<Table, Error> {
+    let q = parse_query(query)?;
+    Ok(cypher_engine::execute_read(graph, &q, params, cfg)?)
+}
+
+/// Parses and evaluates a read query with the **reference evaluator** —
+/// the paper's denotational semantics, used as the testing oracle.
+pub fn run_reference(
+    graph: &PropertyGraph,
+    query: &str,
+    params: &Params,
+) -> Result<Table, Error> {
+    run_reference_with(graph, query, params, MatchConfig::default())
+}
+
+/// Reference evaluation with an explicit matching configuration.
+pub fn run_reference_with(
+    graph: &PropertyGraph,
+    query: &str,
+    params: &Params,
+    config: MatchConfig,
+) -> Result<Table, Error> {
+    let q = parse_query(query)?;
+    let ctx = EvalContext::new(graph, params).with_config(config);
+    Ok(cypher_core::eval_query(&ctx, &q)?)
+}
+
+/// Renders the physical plans of a query's `MATCH` clauses (`EXPLAIN`).
+pub fn explain(graph: &PropertyGraph, query: &str) -> Result<String, Error> {
+    let q = parse_query(query)?;
+    Ok(cypher_engine::explain(graph, &q, EngineConfig::default()))
+}
+
+/// Executes a composed query over a catalog of named graphs (Cypher 10,
+/// paper Section 6).
+pub fn run_on_catalog(
+    catalog: &mut Catalog,
+    default_graph: &str,
+    query: &str,
+    params: &Params,
+) -> Result<MultiResult, Error> {
+    let q = parse_query(query)?;
+    Ok(cypher_engine::execute_on_catalog(
+        catalog,
+        default_graph,
+        &q,
+        params,
+        EngineConfig::default(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let mut g = PropertyGraph::new();
+        let params = Params::new();
+        run(&mut g, "CREATE (:P {x: 1}), (:P {x: 2})", &params).unwrap();
+        let t = run_read(&g, "MATCH (p:P) RETURN sum(p.x) AS s", &params).unwrap();
+        assert_eq!(t.cell(0, "s"), Some(&Value::int(3)));
+        let r = run_reference(&g, "MATCH (p:P) RETURN sum(p.x) AS s", &params).unwrap();
+        assert!(t.bag_eq(&r));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut g = PropertyGraph::new();
+        let params = Params::new();
+        let e = run(&mut g, "MATCH (", &params).unwrap_err();
+        assert!(matches!(e, Error::Parse(_)));
+        let e2 = run(&mut g, "RETURN nosuch", &params).unwrap_err();
+        assert!(matches!(e2, Error::Eval(_)));
+    }
+
+    #[test]
+    fn explain_works_via_facade() {
+        let g = workload::figure4();
+        let plan = explain(&g, "MATCH (t:Teacher)-[:KNOWS]->(x) RETURN x").unwrap();
+        assert!(plan.contains("Expand"));
+    }
+}

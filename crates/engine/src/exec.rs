@@ -1,0 +1,467 @@
+//! The clause-by-clause executor.
+//!
+//! Reading clauses (`MATCH`, `OPTIONAL MATCH`) are compiled by the planner
+//! and run through the Volcano pipeline of [`crate::ops`]; `WITH`,
+//! `UNWIND` and the final `RETURN` reuse the reference semantics of
+//! [`cypher_core`] directly (they are pipeline breakers with no
+//! plan-dependent behaviour). Updating clauses are dispatched to
+//! [`crate::update`].
+
+use crate::ops::{build_pipeline, run_to_table};
+use crate::plan::PlanStep;
+use crate::planner::{plan_match, PlannedMatch, PlannerMode};
+use crate::update;
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::PathPattern;
+use cypher_ast::query::{Clause, Query, SingleQuery};
+use cypher_core::clauses::{apply_projection, apply_unwind, apply_where};
+use cypher_core::error::{err, EvalError};
+use cypher_core::morphism::Morphism;
+use cypher_core::table::{Record, Schema, Table};
+use cypher_core::{EvalContext, MatchConfig, Params};
+use cypher_graph::{PropertyGraph, Value};
+
+/// Engine configuration: pattern-matching semantics plus the plan
+/// strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Morphism mode and variable-length safeguards (shared with the
+    /// reference evaluator).
+    pub match_config: MatchConfig,
+    /// Expand-based plans vs the cartesian baseline.
+    pub planner_mode: PlannerMode,
+}
+
+/// Executes a read-only query. Updating clauses are rejected; use
+/// [`execute`] for those.
+pub fn execute_read(
+    graph: &PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: EngineConfig,
+) -> Result<Table, EvalError> {
+    match q {
+        Query::Single(sq) => exec_single_read(graph, sq, params, cfg, Table::unit()),
+        Query::Union { all, left, right } => {
+            let l = execute_read(graph, left, params, cfg)?;
+            let r = execute_read(graph, right, params, cfg)?;
+            union_tables(l, r, *all)
+        }
+    }
+}
+
+/// Executes any query, including updating clauses, against a mutable
+/// graph. Returns the final table (empty, with no fields, for update-only
+/// queries).
+pub fn execute(
+    graph: &mut PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: EngineConfig,
+) -> Result<Table, EvalError> {
+    match q {
+        Query::Single(sq) => exec_single(graph, sq, params, cfg, Table::unit()),
+        Query::Union { all, left, right } => {
+            let l = execute(graph, left, params, cfg)?;
+            let r = execute(graph, right, params, cfg)?;
+            union_tables(l, r, *all)
+        }
+    }
+}
+
+fn union_tables(l: Table, r: Table, all: bool) -> Result<Table, EvalError> {
+    if !l.schema().same_fields(r.schema()) {
+        return err(format!(
+            "UNION requires identical field sets: {:?} vs {:?}",
+            l.schema().names(),
+            r.schema().names()
+        ));
+    }
+    let u = l.bag_union(r);
+    Ok(if all { u } else { u.dedup() })
+}
+
+fn exec_single_read(
+    graph: &PropertyGraph,
+    sq: &SingleQuery,
+    params: &Params,
+    cfg: EngineConfig,
+    mut t: Table,
+) -> Result<Table, EvalError> {
+    for clause in &sq.clauses {
+        t = match clause {
+            Clause::Match {
+                optional,
+                patterns,
+                where_,
+            } => exec_match(graph, params, cfg, patterns, where_.as_ref(), *optional, t)?,
+            Clause::With { ret, where_ } => {
+                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                let projected = apply_projection(&ctx, ret, t)?;
+                match where_ {
+                    Some(p) => apply_where(&ctx, p, projected)?,
+                    None => projected,
+                }
+            }
+            Clause::Unwind { expr, alias } => {
+                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                apply_unwind(&ctx, expr, alias, t)?
+            }
+            Clause::FromGraph { .. } => {
+                return err("FROM GRAPH requires a catalog; use the multigraph executor")
+            }
+            _ => return err("updating clause in a read-only execution"),
+        };
+    }
+    finish_single(graph, sq, params, cfg, t)
+}
+
+fn exec_single(
+    graph: &mut PropertyGraph,
+    sq: &SingleQuery,
+    params: &Params,
+    cfg: EngineConfig,
+    mut t: Table,
+) -> Result<Table, EvalError> {
+    for clause in &sq.clauses {
+        t = match clause {
+            Clause::Match {
+                optional,
+                patterns,
+                where_,
+            } => exec_match(graph, params, cfg, patterns, where_.as_ref(), *optional, t)?,
+            Clause::With { ret, where_ } => {
+                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                let projected = apply_projection(&ctx, ret, t)?;
+                match where_ {
+                    Some(p) => apply_where(&ctx, p, projected)?,
+                    None => projected,
+                }
+            }
+            Clause::Unwind { expr, alias } => {
+                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                apply_unwind(&ctx, expr, alias, t)?
+            }
+            Clause::Create { patterns } => update::exec_create(graph, params, cfg, patterns, t)?,
+            Clause::Merge {
+                pattern,
+                on_create,
+                on_match,
+            } => update::exec_merge(graph, params, cfg, pattern, on_create, on_match, t)?,
+            Clause::Delete { detach, exprs } => {
+                update::exec_delete(graph, params, cfg, *detach, exprs, t)?
+            }
+            Clause::Set { items } => update::exec_set(graph, params, cfg, items, t)?,
+            Clause::Remove { items } => update::exec_remove(graph, params, cfg, items, t)?,
+            Clause::FromGraph { .. } => {
+                return err("FROM GRAPH requires a catalog; use the multigraph executor")
+            }
+        };
+    }
+    finish_single(graph, sq, params, cfg, t)
+}
+
+fn finish_single(
+    graph: &PropertyGraph,
+    sq: &SingleQuery,
+    params: &Params,
+    cfg: EngineConfig,
+    t: Table,
+) -> Result<Table, EvalError> {
+    if sq.ret_graph.is_some() {
+        return err("RETURN GRAPH requires a catalog; use the multigraph executor");
+    }
+    match &sq.ret {
+        Some(ret) => {
+            if ret.star && ret.items.is_empty() && t.schema().is_empty() {
+                return err("RETURN * requires at least one field");
+            }
+            let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+            apply_projection(&ctx, ret, t)
+        }
+        // Update-only query: no rows, no fields.
+        None => Ok(Table::empty(Schema::empty())),
+    }
+}
+
+/// Executes one `[OPTIONAL] MATCH … [WHERE …]` clause through the planned
+/// pipeline.
+pub fn exec_match(
+    graph: &PropertyGraph,
+    params: &Params,
+    cfg: EngineConfig,
+    patterns: &[PathPattern],
+    where_: Option<&Expr>,
+    optional: bool,
+    table: Table,
+) -> Result<Table, EvalError> {
+    // Node isomorphism needs global node tracking that the pipeline does
+    // not model; delegate to the reference matcher (documented fallback).
+    if cfg.match_config.morphism == Morphism::NodeIsomorphism {
+        let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+        return if optional {
+            cypher_core::clauses::apply_optional_match(&ctx, patterns, where_, table)
+        } else {
+            let m = cypher_core::clauses::apply_match(&ctx, patterns, table)?;
+            match where_ {
+                Some(p) => apply_where(&ctx, p, m),
+                None => Ok(m),
+            }
+        };
+    }
+
+    let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+    if !optional {
+        let planned = plan_match(graph, table.schema().names(), patterns, cfg.planner_mode);
+        let mut steps = planned.plan.steps.clone();
+        if let Some(p) = where_ {
+            steps.push(PlanStep::FilterExpr { pred: p.clone() });
+        }
+        let pipeline = build_pipeline(&ctx, &steps, table.clone())?;
+        let raw = run_to_table(pipeline)?;
+        return Ok(project_visible(
+            raw,
+            table.schema().names(),
+            &planned.new_vars,
+        ));
+    }
+
+    // OPTIONAL MATCH: tag each driving row with a hidden index, run the
+    // pipeline (including the WHERE, per Figure 7), then null-pad inputs
+    // that produced nothing.
+    let idx_col = " opt_idx".to_string();
+    let mut tagged_schema = table.schema().clone();
+    tagged_schema = tagged_schema.with_field(idx_col.clone());
+    let mut tagged = Table::empty(tagged_schema.clone());
+    for (i, r) in table.rows().iter().enumerate() {
+        let mut row = r.clone();
+        row.push(Value::int(i as i64));
+        tagged.push(row);
+    }
+    let planned = plan_match(graph, tagged_schema.names(), patterns, cfg.planner_mode);
+    let mut steps = planned.plan.steps.clone();
+    if let Some(p) = where_ {
+        steps.push(PlanStep::FilterExpr { pred: p.clone() });
+    }
+    let pipeline = build_pipeline(&ctx, &steps, tagged)?;
+    let raw = run_to_table(pipeline)?;
+
+    // Group pipeline outputs by input index.
+    let idx_pos = raw.schema().index_of(&idx_col).expect("hidden idx kept");
+    let mut by_input: Vec<Vec<&Record>> = vec![Vec::new(); table.len()];
+    for r in raw.rows() {
+        let Value::Integer(i) = r.get(idx_pos) else {
+            unreachable!("index column holds integers")
+        };
+        by_input[*i as usize].push(r);
+    }
+
+    let mut out_schema = table.schema().clone();
+    for v in &planned.new_vars {
+        out_schema = out_schema.with_field(v.clone());
+    }
+    let mut out = Table::empty(out_schema);
+    let var_pos: Vec<usize> = planned
+        .new_vars
+        .iter()
+        .map(|v| raw.schema().index_of(v).expect("pipeline binds new vars"))
+        .collect();
+    for (i, input_row) in table.rows().iter().enumerate() {
+        if by_input[i].is_empty() {
+            let mut row = input_row.clone();
+            for _ in &planned.new_vars {
+                row.push(Value::Null);
+            }
+            out.push(row);
+        } else {
+            for m in &by_input[i] {
+                let mut row = input_row.clone();
+                for &p in &var_pos {
+                    row.push(m.get(p).clone());
+                }
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Projects the pipeline output down to the driving fields plus the new
+/// visible variables (dropping hidden bookkeeping columns).
+fn project_visible(raw: Table, driving: &[String], new_vars: &[String]) -> Table {
+    let mut names: Vec<String> = driving.to_vec();
+    names.extend(new_vars.iter().cloned());
+    let idxs: Vec<usize> = names
+        .iter()
+        .map(|n| raw.schema().index_of(n).expect("visible column present"))
+        .collect();
+    let schema = Schema::new(names);
+    let mut out = Table::empty(schema);
+    for r in raw.rows() {
+        out.push(Record::new(idxs.iter().map(|&i| r.get(i).clone()).collect()));
+    }
+    out
+}
+
+/// Renders the physical plan of every `MATCH` clause in a query — a
+/// minimal `EXPLAIN`.
+pub fn explain(graph: &PropertyGraph, q: &Query, cfg: EngineConfig) -> String {
+    fn go(graph: &PropertyGraph, q: &Query, cfg: EngineConfig, out: &mut String) {
+        match q {
+            Query::Single(sq) => {
+                let mut fields: Vec<String> = Vec::new();
+                for clause in &sq.clauses {
+                    if let Clause::Match {
+                        patterns, optional, ..
+                    } = clause
+                    {
+                        let PlannedMatch { plan, new_vars } =
+                            plan_match(graph, &fields, patterns, cfg.planner_mode);
+                        out.push_str(if *optional {
+                            "OPTIONAL MATCH plan:\n"
+                        } else {
+                            "MATCH plan:\n"
+                        });
+                        out.push_str(&plan.to_string());
+                        out.push('\n');
+                        fields.extend(new_vars);
+                    }
+                }
+            }
+            Query::Union { left, right, .. } => {
+                go(graph, left, cfg, out);
+                go(graph, right, cfg, out);
+            }
+        }
+    }
+    let mut s = String::new();
+    go(graph, q, cfg, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_parser::parse_query;
+
+    fn figure4() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let n1 = g.add_node(&["Teacher"], []);
+        let n2 = g.add_node(&["Student"], []);
+        let n3 = g.add_node(&["Teacher"], []);
+        let n4 = g.add_node(&["Teacher"], []);
+        g.add_rel(n1, n2, "KNOWS", []).unwrap();
+        g.add_rel(n2, n3, "KNOWS", []).unwrap();
+        g.add_rel(n3, n4, "KNOWS", []).unwrap();
+        g
+    }
+
+    fn run(g: &PropertyGraph, src: &str) -> Table {
+        let params = Params::new();
+        let q = parse_query(src).unwrap();
+        execute_read(g, &q, &params, EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_reference_on_figure4() {
+        let g = figure4();
+        let params = Params::new();
+        for src in [
+            "MATCH (x:Teacher) RETURN x",
+            "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y",
+            "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) RETURN x, z, y",
+            "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) RETURN x, y",
+            "MATCH (x)-[r]-(y) RETURN x, y",
+            "MATCH p = (x)-[:KNOWS*]->(y) RETURN x, y, length(p) AS len",
+            "OPTIONAL MATCH (s:Student)-[:TEACHES]->(t) RETURN s, t",
+            "MATCH (a), (b:Student) RETURN a, b",
+        ] {
+            let q = parse_query(src).unwrap();
+            let engine = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
+            let ctx = EvalContext::new(&g, &params);
+            let reference = cypher_core::eval_query(&ctx, &q).unwrap();
+            assert!(
+                engine.bag_eq(&reference),
+                "{src}\nengine:\n{engine}\nreference:\n{reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn cartesian_baseline_agrees_with_expand() {
+        let g = figure4();
+        let params = Params::new();
+        let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x, y").unwrap();
+        let fast = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
+        let slow = execute_read(
+            &g,
+            &q,
+            &params,
+            EngineConfig {
+                planner_mode: PlannerMode::CartesianJoin,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.bag_eq(&slow));
+    }
+
+    #[test]
+    fn optional_match_null_padding() {
+        let g = figure4();
+        let out = run(
+            &g,
+            "MATCH (x:Teacher) OPTIONAL MATCH (x)-[:KNOWS]->(y:Teacher) RETURN x, y",
+        );
+        // n1 knows n2 (Student, filtered), n3 knows n4, n4 knows nobody:
+        // rows (n1, null), (n3, n4), (n4, null).
+        assert_eq!(out.len(), 3);
+        let nulls = out
+            .rows()
+            .iter()
+            .filter(|r| r.get(1).is_null())
+            .count();
+        assert_eq!(nulls, 2);
+    }
+
+    #[test]
+    fn where_filters_in_pipeline() {
+        let g = figure4();
+        let out = run(&g, "MATCH (x)-[:KNOWS]->(y) WHERE y:Teacher RETURN x, y");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn update_then_read() {
+        let mut g = PropertyGraph::new();
+        let params = Params::new();
+        let q = parse_query(
+            "CREATE (a:Person {name: 'Ada'})-[:KNOWS {since: 1985}]->(b:Person {name: 'Bo'})",
+        )
+        .unwrap();
+        let out = execute(&mut g, &q, &params, EngineConfig::default()).unwrap();
+        assert_eq!(out.len(), 0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.rel_count(), 1);
+        let check = run(&g, "MATCH (a:Person)-[r:KNOWS]->(b) RETURN a.name, r.since, b.name");
+        assert_eq!(check.cell(0, "a.name"), Some(&Value::str("Ada")));
+        assert_eq!(check.cell(0, "r.since"), Some(&Value::int(1985)));
+    }
+
+    #[test]
+    fn read_execution_rejects_updates() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let q = parse_query("CREATE (n)").unwrap();
+        assert!(execute_read(&g, &q, &params, EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn explain_mentions_expand() {
+        let g = figure4();
+        let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x").unwrap();
+        let plan = explain(&g, &q, EngineConfig::default());
+        assert!(plan.contains("NodeByLabelScan"), "{plan}");
+        assert!(plan.contains("Expand"), "{plan}");
+    }
+}

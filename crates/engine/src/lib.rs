@@ -1,0 +1,50 @@
+//! # cypher-engine
+//!
+//! A production-style executor for the Cypher language of the SIGMOD 2018
+//! paper, built the way Section 2 describes the Neo4j implementation:
+//!
+//! * a **cost-based planner** ([`planner`]) choosing scan anchors by label
+//!   selectivity and compiling patterns to chains of the **`Expand`**
+//!   operator over native adjacency,
+//! * a **tuple-at-a-time (Volcano) iterator runtime** ([`ops`]),
+//! * the **update clauses** `CREATE` / `MERGE` / `DELETE` / `SET` /
+//!   `REMOVE` ([`update`]),
+//! * **multiple named graphs and query composition** (Cypher 10,
+//!   [`multigraph`]).
+//!
+//! `WITH`/`RETURN` projection, aggregation and `UNWIND` reuse the
+//! reference semantics of [`cypher_core`] — the two implementations share
+//! exactly the behaviour the paper defines once, and differ (and are
+//! differentially tested) on pattern matching, where the planner matters.
+//!
+//! ```
+//! use cypher_engine::{execute, EngineConfig};
+//! use cypher_core::Params;
+//! use cypher_graph::PropertyGraph;
+//! use cypher_parser::parse_query;
+//!
+//! let mut g = PropertyGraph::new();
+//! let params = Params::new();
+//! let create = parse_query(
+//!     "CREATE (:Service {name: 'db'})<-[:DEPENDS_ON]-(:Service {name: 'api'})",
+//! ).unwrap();
+//! execute(&mut g, &create, &params, EngineConfig::default()).unwrap();
+//!
+//! let q = parse_query(
+//!     "MATCH (s:Service)<-[:DEPENDS_ON]-(d) RETURN s.name AS svc, count(d) AS deps",
+//! ).unwrap();
+//! let out = execute(&mut g, &q, &params, EngineConfig::default()).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+pub mod exec;
+pub mod multigraph;
+pub mod ops;
+pub mod plan;
+pub mod planner;
+pub mod update;
+
+pub use exec::{execute, execute_read, explain, EngineConfig};
+pub use multigraph::{execute_on_catalog, MultiResult};
+pub use plan::{MatchPlan, PlanStep};
+pub use planner::{plan_match, PlannerMode};

@@ -1,0 +1,802 @@
+//! Volcano-style physical operators.
+//!
+//! The paper (Section 2): "The final query compilation uses either a
+//! simple tuple-at-a-time iterator-based execution model, or compiles the
+//! query to Java bytecode". We implement the iterator model: every
+//! operator exposes `next()` pulling one record at a time from its child.
+//! `Expand` exploits the native adjacency of [`cypher_graph`]: "it
+//! utilizes the fact that the data representation contains direct
+//! references from each node via its edges to the related nodes".
+
+use crate::plan::{PathElem, PlanStep};
+use cypher_core::error::{err, EvalError};
+use cypher_core::expr::{eval_expr, truth_of, Bindings};
+use cypher_core::morphism::Morphism;
+use cypher_core::table::{Record, Schema, Table};
+use cypher_core::EvalContext;
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::Dir;
+use cypher_graph::{Direction, NodeId, Path, RelId, Symbol, Tri, Value};
+use std::sync::Arc;
+
+/// A pull-based operator: a stream of records with a fixed schema.
+pub trait Operator {
+    /// The output schema.
+    fn schema(&self) -> &Arc<Schema>;
+    /// Pulls the next record, `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Record>, EvalError>;
+}
+
+/// Drains an operator into a materialized table.
+pub fn run_to_table(mut op: Box<dyn Operator + '_>) -> Result<Table, EvalError> {
+    let schema = op.schema().clone();
+    let mut out = Table::empty(schema);
+    while let Some(r) = op.next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Builds the operator pipeline for a compiled `MATCH` plan over a driving
+/// table.
+pub fn build_pipeline<'a>(
+    ctx: &'a EvalContext<'a>,
+    steps: &[PlanStep],
+    input: Table,
+) -> Result<Box<dyn Operator + 'a>, EvalError> {
+    let mut op: Box<dyn Operator + 'a> = Box::new(TableScan::new(input));
+    for step in steps {
+        op = attach(ctx, step, op)?;
+    }
+    Ok(op)
+}
+
+fn col_idx(schema: &Schema, name: &str) -> Result<usize, EvalError> {
+    schema
+        .index_of(name)
+        .ok_or_else(|| EvalError::new(format!("internal: unknown plan column {name:?}")))
+}
+
+fn attach<'a>(
+    ctx: &'a EvalContext<'a>,
+    step: &PlanStep,
+    child: Box<dyn Operator + 'a>,
+) -> Result<Box<dyn Operator + 'a>, EvalError> {
+    let schema = child.schema().clone();
+    Ok(match step {
+        PlanStep::Argument { var } => {
+            col_idx(&schema, var)?; // validated; pass-through
+            child
+        }
+        PlanStep::AllNodesScan { var } => Box::new(NodeScan {
+            schema: schema.with_field(var.clone()),
+            child,
+            nodes: ctx.graph.nodes().collect(),
+            row: None,
+            idx: 0,
+        }),
+        PlanStep::NodeByLabelScan { var, label } => {
+            let nodes = match ctx.graph.interner().get(label) {
+                Some(sym) => ctx.graph.nodes_with_label(sym).to_vec(),
+                None => Vec::new(),
+            };
+            Box::new(NodeScan {
+                schema: schema.with_field(var.clone()),
+                child,
+                nodes,
+                row: None,
+                idx: 0,
+            })
+        }
+        PlanStep::NodeByPropertyScan { var, key, value } => {
+            // The value is a literal or parameter: evaluable without a row.
+            let v = eval_expr(ctx, &cypher_core::expr::NoVars, value)?;
+            // `{k: null}` never matches (`=` with null is not true), and
+            // the index only answers equivalence queries — guard it out.
+            let nodes = if v.is_null() {
+                Vec::new()
+            } else {
+                match ctx.graph.interner().get(key) {
+                    Some(sym) => ctx.graph.nodes_with_prop(sym, &v),
+                    None => Vec::new(),
+                }
+            };
+            Box::new(NodeScan {
+                schema: schema.with_field(var.clone()),
+                child,
+                nodes,
+                row: None,
+                idx: 0,
+            })
+        }
+        PlanStep::RelScan { var } => Box::new(RelScanOp {
+            schema: schema.with_field(var.clone()),
+            child,
+            rels: ctx.graph.rels().collect(),
+            row: None,
+            idx: 0,
+        }),
+        PlanStep::Expand {
+            from,
+            rel,
+            to,
+            dir,
+            types,
+            lo,
+            hi,
+            single,
+            exclude,
+            props,
+        } => {
+            let from_idx = col_idx(&schema, from)?;
+            let rel_bound = schema.index_of(rel);
+            let to_bound = schema.index_of(to);
+            let mut out_schema = schema.clone();
+            if rel_bound.is_none() {
+                out_schema = out_schema.with_field(rel.clone());
+            }
+            if to_bound.is_none() && to != rel {
+                out_schema = out_schema.with_field(to.clone());
+            }
+            let exclude_idx: Vec<usize> = exclude
+                .iter()
+                .map(|c| col_idx(&schema, c))
+                .collect::<Result<_, _>>()?;
+            let type_syms = resolve_types(ctx, types);
+            Box::new(ExpandOp {
+                ctx,
+                schema: out_schema,
+                child,
+                from_idx,
+                rel_bound,
+                to_bound,
+                dir: dir_of(*dir),
+                type_syms,
+                lo: *lo,
+                hi: *hi,
+                single: *single,
+                exclude_idx,
+                props: props.clone(),
+                in_schema: schema,
+                pending: Vec::new(),
+            })
+        }
+        PlanStep::FilterLabels { var, labels } => {
+            let idx = col_idx(&schema, var)?;
+            let syms: Option<Vec<Symbol>> = labels
+                .iter()
+                .map(|l| ctx.graph.interner().get(l))
+                .collect();
+            Box::new(LabelFilter {
+                ctx,
+                schema,
+                child,
+                idx,
+                syms,
+            })
+        }
+        PlanStep::FilterProps { var, props } => {
+            let idx = col_idx(&schema, var)?;
+            Box::new(PropsFilter {
+                ctx,
+                schema,
+                child,
+                idx,
+                props: props.clone(),
+            })
+        }
+        PlanStep::FilterEndpoints {
+            rel,
+            from,
+            to,
+            dir,
+            types,
+            exclude,
+        } => {
+            let rel_idx = col_idx(&schema, rel)?;
+            let from_idx = col_idx(&schema, from)?;
+            let to_idx = col_idx(&schema, to)?;
+            let exclude_idx: Vec<usize> = exclude
+                .iter()
+                .map(|c| col_idx(&schema, c))
+                .collect::<Result<_, _>>()?;
+            Box::new(EndpointFilter {
+                ctx,
+                schema,
+                child,
+                rel_idx,
+                from_idx,
+                to_idx,
+                dir: *dir,
+                type_syms: resolve_types(ctx, types),
+                exclude_idx,
+            })
+        }
+        PlanStep::FilterExpr { pred } => Box::new(ExprFilter {
+            ctx,
+            schema,
+            child,
+            pred: pred.clone(),
+        }),
+        PlanStep::PathBind { var, elements } => {
+            let resolved: Vec<(bool, bool, usize)> = elements
+                .iter()
+                .map(|e| match e {
+                    PathElem::Node(c) => Ok((true, false, col_idx(&schema, c)?)),
+                    PathElem::Rel(c) => Ok((false, false, col_idx(&schema, c)?)),
+                    PathElem::RelList(c) => Ok((false, true, col_idx(&schema, c)?)),
+                })
+                .collect::<Result<_, EvalError>>()?;
+            Box::new(PathBindOp {
+                ctx,
+                schema: schema.with_field(var.clone()),
+                child,
+                elements: resolved,
+            })
+        }
+    })
+}
+
+/// `None` in the inner option marks a type that was never interned — such
+/// a pattern can match nothing.
+fn resolve_types(ctx: &EvalContext<'_>, types: &[String]) -> Option<Vec<Symbol>> {
+    if types.is_empty() {
+        return Some(Vec::new());
+    }
+    let resolved: Vec<Symbol> = types
+        .iter()
+        .filter_map(|t| ctx.graph.interner().get(t))
+        .collect();
+    if resolved.is_empty() {
+        None // no admissible type exists in this graph
+    } else {
+        Some(resolved)
+    }
+}
+
+fn dir_of(d: Dir) -> Direction {
+    match d {
+        Dir::Out => Direction::Outgoing,
+        Dir::In => Direction::Incoming,
+        Dir::Both => Direction::Both,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+struct TableScan {
+    schema: Arc<Schema>,
+    rows: std::vec::IntoIter<Record>,
+}
+
+impl TableScan {
+    fn new(t: Table) -> Self {
+        let schema = t.schema().clone();
+        TableScan {
+            schema,
+            rows: t.into_rows().into_iter(),
+        }
+    }
+}
+
+impl Operator for TableScan {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        Ok(self.rows.next())
+    }
+}
+
+struct NodeScan<'a> {
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    nodes: Vec<NodeId>,
+    row: Option<Record>,
+    idx: usize,
+}
+
+impl Operator for NodeScan<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        loop {
+            if self.row.is_none() {
+                self.row = self.child.next()?;
+                self.idx = 0;
+                if self.row.is_none() {
+                    return Ok(None);
+                }
+            }
+            if self.idx < self.nodes.len() {
+                let mut r = self.row.clone().unwrap();
+                r.push(Value::Node(self.nodes[self.idx]));
+                self.idx += 1;
+                return Ok(Some(r));
+            }
+            self.row = None;
+        }
+    }
+}
+
+struct RelScanOp<'a> {
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    rels: Vec<RelId>,
+    row: Option<Record>,
+    idx: usize,
+}
+
+impl Operator for RelScanOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        loop {
+            if self.row.is_none() {
+                self.row = self.child.next()?;
+                self.idx = 0;
+                if self.row.is_none() {
+                    return Ok(None);
+                }
+            }
+            if self.idx < self.rels.len() {
+                let mut r = self.row.clone().unwrap();
+                r.push(Value::Rel(self.rels[self.idx]));
+                self.idx += 1;
+                return Ok(Some(r));
+            }
+            self.row = None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expand
+// ---------------------------------------------------------------------------
+
+struct ExpandOp<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    in_schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    from_idx: usize,
+    rel_bound: Option<usize>,
+    to_bound: Option<usize>,
+    dir: Direction,
+    /// `Some(vec![])` = any type; `Some(list)` = one of; `None` = no
+    /// admissible type exists (match nothing).
+    type_syms: Option<Vec<Symbol>>,
+    lo: u64,
+    hi: u64,
+    single: bool,
+    exclude_idx: Vec<usize>,
+    props: Vec<(String, Expr)>,
+    pending: Vec<Record>,
+}
+
+impl ExpandOp<'_> {
+    fn type_ok(&self, r: RelId) -> bool {
+        match &self.type_syms {
+            None => false,
+            Some(list) if list.is_empty() => true,
+            Some(list) => {
+                let t = self.ctx.graph.rel_type(r).expect("live rel");
+                list.contains(&t)
+            }
+        }
+    }
+
+    fn rel_excluded(&self, row: &Record, r: RelId) -> bool {
+        if !self.ctx.config.morphism.rels_distinct() {
+            return false;
+        }
+        for &i in &self.exclude_idx {
+            match row.get(i) {
+                Value::Rel(r2) if *r2 == r => return true,
+                Value::List(items)
+                    if items.iter().any(|v| matches!(v, Value::Rel(r2) if *r2 == r)) =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Per-hop property conditions (variable-length patterns); expected
+    /// values depend only on the driving row, so they are evaluated once.
+    fn props_ok(&self, expected: &[(Symbol, Value)], r: RelId) -> bool {
+        for (k, want) in expected {
+            match self.ctx.graph.rel_prop(r, *k) {
+                Some(v) if v.equals(want).is_true() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn effective_hi(&self) -> u64 {
+        if self.hi != u64::MAX {
+            return self.hi;
+        }
+        match self.ctx.config.morphism {
+            Morphism::Homomorphism => self.ctx.config.var_length_cap,
+            _ => self.ctx.graph.rel_count() as u64,
+        }
+    }
+
+    /// Computes all expansions for one input row.
+    fn expand_row(&self, row: &Record) -> Result<Vec<Record>, EvalError> {
+        let mut out = Vec::new();
+        let from = match row.get(self.from_idx) {
+            Value::Node(n) => *n,
+            Value::Null => return Ok(out),
+            other => {
+                return err(format!(
+                    "Expand source must be a node, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        // Type/property conditions apply per traversed hop; when the type
+        // or a property key was never interned no hop can satisfy them —
+        // but a zero-hop (`*0..`) acceptance is still valid, its hop
+        // conditions being vacuous.
+        let mut hops_possible = self.type_syms.is_some();
+        // Evaluate expected per-hop property values once per row.
+        let mut expected: Vec<(Symbol, Value)> = Vec::with_capacity(self.props.len());
+        for (k, e) in &self.props {
+            let Some(sym) = self.ctx.graph.interner().get(k) else {
+                hops_possible = false;
+                continue;
+            };
+            let b = Bindings::new(&self.in_schema, row);
+            expected.push((sym, eval_expr(self.ctx, &b, e)?));
+        }
+
+        if self.single {
+            if !hops_possible {
+                return Ok(out);
+            }
+            for (r, next) in self.ctx.graph.expand(from, self.dir) {
+                if !self.type_ok(r) || self.rel_excluded(row, r) || !self.props_ok(&expected, r) {
+                    continue;
+                }
+                if let Some(ri) = self.rel_bound {
+                    if !row.get(ri).equivalent(&Value::Rel(r)) {
+                        continue;
+                    }
+                }
+                if let Some(ti) = self.to_bound {
+                    if !row.get(ti).equivalent(&Value::Node(next)) {
+                        continue;
+                    }
+                }
+                let mut rec = row.clone();
+                if self.rel_bound.is_none() {
+                    rec.push(Value::Rel(r));
+                }
+                if self.to_bound.is_none() {
+                    rec.push(Value::Node(next));
+                }
+                out.push(rec);
+            }
+        } else {
+            let hi = if hops_possible { self.effective_hi() } else { 0 };
+            let mut stack_rels: Vec<RelId> = Vec::new();
+            self.var_dfs(row, &expected, from, 0, hi, &mut stack_rels, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn var_dfs(
+        &self,
+        row: &Record,
+        expected: &[(Symbol, Value)],
+        at: NodeId,
+        k: u64,
+        hi: u64,
+        rels: &mut Vec<RelId>,
+        out: &mut Vec<Record>,
+    ) -> Result<(), EvalError> {
+        if k >= self.lo {
+            let list = Value::List(rels.iter().map(|&r| Value::Rel(r)).collect());
+            let mut emit = true;
+            if let Some(ri) = self.rel_bound {
+                emit &= row.get(ri).equivalent(&list);
+            }
+            if let Some(ti) = self.to_bound {
+                emit &= row.get(ti).equivalent(&Value::Node(at));
+            }
+            if emit {
+                let mut rec = row.clone();
+                if self.rel_bound.is_none() {
+                    rec.push(list);
+                }
+                if self.to_bound.is_none() {
+                    rec.push(Value::Node(at));
+                }
+                out.push(rec);
+            }
+        }
+        if k >= hi {
+            return Ok(());
+        }
+        let distinct = self.ctx.config.morphism.rels_distinct();
+        for (r, next) in self.ctx.graph.expand(at, self.dir) {
+            if !self.type_ok(r)
+                || self.rel_excluded(row, r)
+                || (distinct && rels.contains(&r))
+                || !self.props_ok(expected, r)
+            {
+                continue;
+            }
+            rels.push(r);
+            self.var_dfs(row, expected, next, k + 1, hi, rels, out)?;
+            rels.pop();
+        }
+        Ok(())
+    }
+}
+
+impl Operator for ExpandOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        loop {
+            if let Some(r) = self.pending.pop() {
+                return Ok(Some(r));
+            }
+            match self.child.next()? {
+                None => return Ok(None),
+                Some(row) => {
+                    let mut batch = self.expand_row(&row)?;
+                    batch.reverse(); // pop() then restores natural order
+                    self.pending = batch;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+struct LabelFilter<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    idx: usize,
+    /// `None` when some label was never interned (matches nothing).
+    syms: Option<Vec<Symbol>>,
+}
+
+impl Operator for LabelFilter<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        while let Some(row) = self.child.next()? {
+            let Some(syms) = &self.syms else { continue };
+            match row.get(self.idx) {
+                Value::Node(n) => {
+                    if syms.iter().all(|&l| self.ctx.graph.has_label(*n, l)) {
+                        return Ok(Some(row));
+                    }
+                }
+                Value::Null => {}
+                other => {
+                    return err(format!(
+                        "label filter on non-node {}",
+                        other.type_name()
+                    ))
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct PropsFilter<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    idx: usize,
+    props: Vec<(String, Expr)>,
+}
+
+impl Operator for PropsFilter<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        'rows: while let Some(row) = self.child.next()? {
+            let g = self.ctx.graph;
+            for (k, e) in &self.props {
+                let b = Bindings::new(&self.schema, &row);
+                let want = eval_expr(self.ctx, &b, e)?;
+                let got = match row.get(self.idx) {
+                    Value::Node(n) => g.interner().get(k).and_then(|s| g.node_prop(*n, s)),
+                    Value::Rel(r) => g.interner().get(k).and_then(|s| g.rel_prop(*r, s)),
+                    Value::Null => continue 'rows,
+                    other => {
+                        return err(format!(
+                            "property filter on {}",
+                            other.type_name()
+                        ))
+                    }
+                };
+                match got {
+                    Some(v) if v.equals(&want).is_true() => {}
+                    _ => continue 'rows,
+                }
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+struct EndpointFilter<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    rel_idx: usize,
+    from_idx: usize,
+    to_idx: usize,
+    dir: Dir,
+    type_syms: Option<Vec<Symbol>>,
+    exclude_idx: Vec<usize>,
+}
+
+impl Operator for EndpointFilter<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        'rows: while let Some(row) = self.child.next()? {
+            let g = self.ctx.graph;
+            let (Value::Rel(r), Value::Node(a), Value::Node(b)) = (
+                row.get(self.rel_idx),
+                row.get(self.from_idx),
+                row.get(self.to_idx),
+            ) else {
+                continue;
+            };
+            let (r, a, b) = (*r, *a, *b);
+            // Type admissibility.
+            match &self.type_syms {
+                None => continue,
+                Some(list) if list.is_empty() => {}
+                Some(list) => {
+                    if !list.contains(&g.rel_type(r).expect("live rel")) {
+                        continue;
+                    }
+                }
+            }
+            // Endpoint agreement per direction (item (e′) of §4.2).
+            let (src, tgt) = (g.src(r).unwrap(), g.tgt(r).unwrap());
+            let ok = match self.dir {
+                Dir::Out => src == a && tgt == b,
+                Dir::In => src == b && tgt == a,
+                Dir::Both => (src == a && tgt == b) || (src == b && tgt == a),
+            };
+            if !ok {
+                continue;
+            }
+            // Relationship isomorphism between scanned rel columns.
+            if self.ctx.config.morphism.rels_distinct() {
+                for &i in &self.exclude_idx {
+                    if let Value::Rel(r2) = row.get(i) {
+                        if *r2 == r {
+                            continue 'rows;
+                        }
+                    }
+                }
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+struct ExprFilter<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    pred: Expr,
+}
+
+impl Operator for ExprFilter<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        while let Some(row) = self.child.next()? {
+            let b = Bindings::new(&self.schema, &row);
+            if truth_of(self.ctx, &b, &self.pred)? == Tri::True {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path materialization
+// ---------------------------------------------------------------------------
+
+struct PathBindOp<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    /// `(is_node, is_list, column)` triples in path order.
+    elements: Vec<(bool, bool, usize)>,
+}
+
+impl Operator for PathBindOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, EvalError> {
+        let Some(mut row) = self.child.next()? else {
+            return Ok(None);
+        };
+        let g = self.ctx.graph;
+        let mut path: Option<Path> = None;
+        let mut current: Option<NodeId> = None;
+        let extend = |path: &mut Option<Path>, current: &mut Option<NodeId>, r: RelId| {
+            let cur = current.expect("path starts with a node");
+            let next = g.other_end(r, cur).expect("live rel endpoint");
+            path.as_mut().expect("path initialized").push(r, next);
+            *current = Some(next);
+        };
+        for &(is_node, is_list, idx) in &self.elements {
+            if is_node {
+                if path.is_none() {
+                    let Value::Node(n) = row.get(idx) else {
+                        return err("path element is not a node");
+                    };
+                    path = Some(Path::single(*n));
+                    current = Some(*n);
+                }
+                // Interior node columns are consistency-checked by the
+                // matcher; the walk itself determines them.
+            } else if is_list {
+                let Value::List(items) = row.get(idx).clone() else {
+                    return err("variable-length path element is not a list");
+                };
+                for v in items {
+                    let Value::Rel(r) = v else {
+                        return err("path relationship list holds a non-relationship");
+                    };
+                    extend(&mut path, &mut current, r);
+                }
+            } else {
+                let Value::Rel(r) = row.get(idx) else {
+                    return err("path element is not a relationship");
+                };
+                extend(&mut path, &mut current, *r);
+            }
+        }
+        row.push(Value::Path(path.expect("non-empty path pattern")));
+        Ok(Some(row))
+    }
+}

@@ -1,0 +1,270 @@
+//! Physical plan representation for `MATCH` pipelines.
+//!
+//! The paper (Section 2, "Neo4j implementation") describes execution plans
+//! that "contain largely the same operators as in relational database
+//! engines and an additional operator called Expand … semantically very
+//! similar to a relational join", which exploits the native adjacency of
+//! the store. The plan language here mirrors that: scans produce node
+//! bindings, `Expand` follows adjacency, filters check labels, properties
+//! and general predicates, and `PathBind` materializes named paths.
+
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::Dir;
+use std::fmt;
+
+/// Where a step's output column comes from / goes to. Columns whose name
+/// starts with a space are *hidden*: they carry anonymous pattern elements
+/// and bookkeeping, and are projected away when the clause finishes.
+pub type Col = String;
+
+/// One step of a `MATCH` pipeline. Steps are applied in order, each
+/// transforming the stream of rows (Volcano-style, one row at a time).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanStep {
+    /// Bind `var` to every node of the graph.
+    AllNodesScan {
+        /// Output column.
+        var: Col,
+    },
+    /// Bind `var` to every node with the given label (via the label
+    /// index).
+    NodeByLabelScan {
+        /// Output column.
+        var: Col,
+        /// The label narrowing the scan.
+        label: String,
+    },
+    /// Bind `var` to every node whose property `key` equals the constant
+    /// `value`, via the node property index (paper Section 5: "search
+    /// optimizations through indexing of node data").
+    NodeByPropertyScan {
+        /// Output column.
+        var: Col,
+        /// The indexed property key.
+        key: String,
+        /// The constant value expression (literal or parameter).
+        value: Expr,
+    },
+    /// Bind `var` to every relationship of the graph (used only by the
+    /// cartesian baseline plans of experiment E17).
+    RelScan {
+        /// Output column.
+        var: Col,
+    },
+    /// The start node is already bound by the driving table; no-op marker
+    /// kept for EXPLAIN readability.
+    Argument {
+        /// The pre-bound column.
+        var: Col,
+    },
+    /// Follow adjacency from `from`, binding `rel` and `to`.
+    ///
+    /// * single-hop (`lo == hi == 1`, `single == true`): `rel` is bound to
+    ///   the relationship itself;
+    /// * variable-length: `rel` is bound to the list of traversed
+    ///   relationships, with `lo..=hi` hops (`hi == u64::MAX` for `∞`).
+    ///
+    /// If `to` (or `rel`) is already bound in the incoming schema the step
+    /// degenerates to an expand-into (join filter). `exclude` lists the
+    /// relationship columns already bound within this `MATCH`, enforcing
+    /// relationship isomorphism positionally.
+    Expand {
+        /// Source node column (must be bound).
+        from: Col,
+        /// Relationship (or relationship-list) output column.
+        rel: Col,
+        /// Target node output column.
+        to: Col,
+        /// Pattern direction, as seen from `from`.
+        dir: Dir,
+        /// Admissible relationship types (empty = any).
+        types: Vec<String>,
+        /// Minimum hop count.
+        lo: u64,
+        /// Maximum hop count (`u64::MAX` = unbounded).
+        hi: u64,
+        /// True for the `I = nil` single-relationship form.
+        single: bool,
+        /// Relationship columns that this step's matches must not reuse.
+        exclude: Vec<Col>,
+        /// Per-hop relationship property conditions (variable-length
+        /// patterns check these on every traversed relationship;
+        /// single-hop conditions are emitted as a separate `FilterProps`).
+        props: Vec<(String, Expr)>,
+    },
+    /// Keep rows where the node in `var` has all the labels.
+    FilterLabels {
+        /// Node column.
+        var: Col,
+        /// Required labels.
+        labels: Vec<String>,
+    },
+    /// Keep rows where the entity in `var` has each property equal to the
+    /// expression's value (pattern property maps).
+    FilterProps {
+        /// Node or relationship column.
+        var: Col,
+        /// `key = expr` requirements.
+        props: Vec<(String, Expr)>,
+    },
+    /// Keep rows where both endpoint columns agree with the relationship
+    /// column (cartesian baseline only).
+    FilterEndpoints {
+        /// Relationship column.
+        rel: Col,
+        /// Source-side node column.
+        from: Col,
+        /// Target-side node column.
+        to: Col,
+        /// Direction.
+        dir: Dir,
+        /// Admissible types (empty = any).
+        types: Vec<String>,
+        /// Relationship columns that must differ from `rel`.
+        exclude: Vec<Col>,
+    },
+    /// Keep rows where a general predicate is `true` (the `WHERE` of the
+    /// clause).
+    FilterExpr {
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Materialize a named path (`π/a`) from its bound elements.
+    PathBind {
+        /// Output column for the path value.
+        var: Col,
+        /// The alternating element columns.
+        elements: Vec<PathElem>,
+    },
+}
+
+/// One element of a named path, referencing columns bound earlier in the
+/// pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathElem {
+    /// A node column.
+    Node(Col),
+    /// A single-relationship column.
+    Rel(Col),
+    /// A relationship-list column (variable-length step).
+    RelList(Col),
+}
+
+/// The compiled plan for one `MATCH` clause.
+#[derive(Clone, Debug, Default)]
+pub struct MatchPlan {
+    /// The pipeline steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Estimated output cardinality (cost-model output, for EXPLAIN).
+    pub estimated_rows: f64,
+}
+
+impl fmt::Display for PlanStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanStep::AllNodesScan { var } => write!(f, "AllNodesScan({var})"),
+            PlanStep::NodeByLabelScan { var, label } => {
+                write!(f, "NodeByLabelScan({var}:{label})")
+            }
+            PlanStep::NodeByPropertyScan { var, key, value } => {
+                write!(f, "NodeByPropertyScan({var}.{key} = {value})")
+            }
+            PlanStep::RelScan { var } => write!(f, "RelScan({var})"),
+            PlanStep::Argument { var } => write!(f, "Argument({var})"),
+            PlanStep::Expand {
+                from,
+                rel,
+                to,
+                dir,
+                types,
+                lo,
+                hi,
+                single,
+                ..
+            } => {
+                let arrow = match dir {
+                    Dir::Out => "->",
+                    Dir::In => "<-",
+                    Dir::Both => "--",
+                };
+                let t = if types.is_empty() {
+                    String::new()
+                } else {
+                    format!(":{}", types.join("|"))
+                };
+                let range = if *single {
+                    String::new()
+                } else if *hi == u64::MAX {
+                    format!("*{lo}..")
+                } else {
+                    format!("*{lo}..{hi}")
+                };
+                write!(f, "Expand({from}){arrow}[{rel}{t}{range}]({to})")
+            }
+            PlanStep::FilterLabels { var, labels } => {
+                write!(f, "Filter({var}:{})", labels.join(":"))
+            }
+            PlanStep::FilterProps { var, props } => {
+                let ks: Vec<&str> = props.iter().map(|(k, _)| k.as_str()).collect();
+                write!(f, "Filter({var}.{{{}}})", ks.join(", "))
+            }
+            PlanStep::FilterEndpoints { rel, from, to, .. } => {
+                write!(f, "FilterEndpoints({from})-[{rel}]-({to})")
+            }
+            PlanStep::FilterExpr { pred } => write!(f, "Filter({pred})"),
+            PlanStep::PathBind { var, .. } => write!(f, "ProjectPath({var})"),
+        }
+    }
+}
+
+impl fmt::Display for MatchPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{:indent$}{s}", "", indent = i)?;
+        }
+        write!(f, "(estimated rows: {:.1})", self.estimated_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let s = PlanStep::Expand {
+            from: "a".into(),
+            rel: "r".into(),
+            to: "b".into(),
+            dir: Dir::Out,
+            types: vec!["KNOWS".into()],
+            lo: 1,
+            hi: 1,
+            single: true,
+            exclude: vec![],
+            props: vec![],
+        };
+        assert_eq!(s.to_string(), "Expand(a)->[r:KNOWS](b)");
+        let v = PlanStep::Expand {
+            from: "a".into(),
+            rel: " anon0".into(),
+            to: "b".into(),
+            dir: Dir::In,
+            types: vec![],
+            lo: 1,
+            hi: u64::MAX,
+            single: false,
+            exclude: vec![],
+            props: vec![],
+        };
+        assert_eq!(v.to_string(), "Expand(a)<-[ anon0*1..](b)");
+        assert_eq!(
+            PlanStep::NodeByLabelScan {
+                var: "r".into(),
+                label: "Researcher".into()
+            }
+            .to_string(),
+            "NodeByLabelScan(r:Researcher)"
+        );
+    }
+}

@@ -1,0 +1,617 @@
+//! The cost-based `MATCH` planner.
+//!
+//! Mirrors the strategy the paper attributes to Neo4j (Section 2): query
+//! planning "based on the IDP algorithm, using a cost model" — for the
+//! linear path patterns of core Cypher, dynamic programming over join
+//! orders degenerates to choosing the cheapest *anchor* node pattern of
+//! each path (by label selectivity, or a pre-bound argument) and expanding
+//! outward along native adjacency with the `Expand` operator. Disconnected
+//! patterns compose by nested iteration, which is exactly a cartesian
+//! product.
+//!
+//! [`PlannerMode::CartesianJoin`] disables `Expand` and compiles rigid
+//! patterns to the relational baseline (scan nodes × scan relationships +
+//! endpoint filters) measured against `Expand` in experiment E17.
+
+use crate::plan::{MatchPlan, PathElem, PlanStep};
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::{Dir, NodePattern, PathPattern, RelPattern};
+use cypher_graph::PropertyGraph;
+
+/// A property value the planner may look up in the node property index: a
+/// literal or a parameter (anything not depending on the row).
+fn constant_prop(chi: &NodePattern) -> Option<(String, Expr)> {
+    chi.props
+        .iter()
+        .find(|(_, e)| matches!(e, Expr::Lit(_) | Expr::Param(_)))
+        .map(|(k, e)| (k.clone(), e.clone()))
+}
+
+/// Plan strategy selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlannerMode {
+    /// Anchor + `Expand` chains (the Neo4j-style plan).
+    #[default]
+    ExpandBased,
+    /// Relational baseline: cartesian scans + endpoint filters (falls back
+    /// to `Expand` for variable-length steps, which have no bounded
+    /// relational encoding).
+    CartesianJoin,
+}
+
+/// The output of planning one `MATCH` clause: the pipeline plus the
+/// *visible* (non-hidden) variables it introduces, in deterministic order.
+pub struct PlannedMatch {
+    /// The physical plan.
+    pub plan: MatchPlan,
+    /// New visible columns appended to the driving table.
+    pub new_vars: Vec<String>,
+}
+
+struct PlanCtx<'a> {
+    graph: &'a PropertyGraph,
+    bound: Vec<String>,
+    steps: Vec<PlanStep>,
+    rel_cols: Vec<String>,
+    anon_counter: usize,
+    est_rows: f64,
+}
+
+impl PlanCtx<'_> {
+    fn is_bound(&self, name: &str) -> bool {
+        self.bound.iter().any(|b| b == name)
+    }
+
+    fn bind(&mut self, name: &str) {
+        if !self.is_bound(name) {
+            self.bound.push(name.to_string());
+        }
+    }
+
+    fn fresh_anon(&mut self) -> String {
+        let n = format!(" anon{}", self.anon_counter);
+        self.anon_counter += 1;
+        n
+    }
+
+    fn label_cardinality(&self, label: &str) -> usize {
+        self.graph
+            .interner()
+            .get(label)
+            .map(|sym| self.graph.label_cardinality(sym))
+            .unwrap_or(0)
+    }
+
+    /// Estimated number of start candidates for a node pattern.
+    fn start_cost(&self, chi: &NodePattern) -> f64 {
+        if let Some(name) = &chi.name {
+            if self.is_bound(name) {
+                return 0.5; // already a single binding per driving row
+            }
+        }
+        // A constant property admits an index lookup — assume high
+        // selectivity (uniform-values heuristic, as in the cost model the
+        // paper cites).
+        if constant_prop(chi).is_some() {
+            return 1.0;
+        }
+        if chi.labels.is_empty() {
+            self.graph.node_count() as f64
+        } else {
+            chi.labels
+                .iter()
+                .map(|l| self.label_cardinality(l) as f64)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Average fan-out of one hop of the given relationship pattern.
+    fn expand_factor(&self, rho: &RelPattern) -> f64 {
+        let n = self.graph.node_count().max(1) as f64;
+        let r = if rho.types.is_empty() {
+            self.graph.rel_count() as f64
+        } else {
+            rho.types
+                .iter()
+                .map(|t| {
+                    self.graph
+                        .interner()
+                        .get(t)
+                        .map(|sym| self.graph.type_cardinality(sym))
+                        .unwrap_or(0) as f64
+                })
+                .sum()
+        };
+        let per_dir = r / n;
+        match rho.dir {
+            Dir::Both => per_dir * 2.0,
+            _ => per_dir,
+        }
+    }
+}
+
+/// Plans one `MATCH` clause over the given driving-table fields.
+pub fn plan_match(
+    graph: &PropertyGraph,
+    driving_fields: &[String],
+    patterns: &[PathPattern],
+    mode: PlannerMode,
+) -> PlannedMatch {
+    let mut ctx = PlanCtx {
+        graph,
+        bound: driving_fields.to_vec(),
+        steps: Vec::new(),
+        rel_cols: Vec::new(),
+        anon_counter: 0,
+        est_rows: 1.0,
+    };
+    let before: Vec<String> = ctx.bound.clone();
+
+    for pat in patterns {
+        let all_single = pat.rel_patterns().all(|r| r.range.is_single());
+        if mode == PlannerMode::CartesianJoin && all_single && !pat.steps.is_empty() {
+            plan_path_cartesian(&mut ctx, pat);
+        } else {
+            plan_path_expand(&mut ctx, pat);
+        }
+    }
+
+    let new_vars: Vec<String> = ctx
+        .bound
+        .iter()
+        .filter(|v| !before.contains(v) && !v.starts_with(' '))
+        .cloned()
+        .collect();
+    PlannedMatch {
+        plan: MatchPlan {
+            steps: ctx.steps,
+            estimated_rows: ctx.est_rows,
+        },
+        new_vars,
+    }
+}
+
+/// Column names for the nodes and relationships of a path, generating
+/// hidden names for anonymous positions.
+fn path_columns(ctx: &mut PlanCtx<'_>, pat: &PathPattern) -> (Vec<String>, Vec<String>) {
+    let mut node_cols = Vec::with_capacity(pat.steps.len() + 1);
+    let mut rel_cols = Vec::with_capacity(pat.steps.len());
+    let fresh_or = |ctx: &mut PlanCtx<'_>, name: &Option<String>| match name {
+        Some(n) => n.clone(),
+        None => ctx.fresh_anon(),
+    };
+    node_cols.push(fresh_or(ctx, &pat.start.name));
+    for (rho, chi) in &pat.steps {
+        rel_cols.push(fresh_or(ctx, &rho.name));
+        node_cols.push(fresh_or(ctx, &chi.name));
+    }
+    (node_cols, rel_cols)
+}
+
+/// Emits the scan/argument for a start node plus its label/property
+/// filters.
+fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
+    if ctx.is_bound(col) {
+        ctx.steps.push(PlanStep::Argument { var: col.into() });
+        emit_node_filters(ctx, col, chi, None);
+        return;
+    }
+    // Prefer an index lookup on a constant property.
+    if let Some((key, value)) = constant_prop(chi) {
+        ctx.steps.push(PlanStep::NodeByPropertyScan {
+            var: col.into(),
+            key: key.clone(),
+            value,
+        });
+        ctx.est_rows *= 1.0;
+        ctx.bind(col);
+        // Remaining labels and the other property conditions still apply;
+        // the scanned key is already exact (equivalence vs equality on
+        // the index is reconciled by a residual FilterProps when the
+        // value is numeric — cheap and keeps `=` semantics exact).
+        if !chi.labels.is_empty() {
+            ctx.steps.push(PlanStep::FilterLabels {
+                var: col.into(),
+                labels: chi.labels.clone(),
+            });
+        }
+        if !chi.props.is_empty() {
+            ctx.steps.push(PlanStep::FilterProps {
+                var: col.into(),
+                props: chi.props.clone(),
+            });
+        }
+        return;
+    }
+    if chi.labels.is_empty() {
+        ctx.steps.push(PlanStep::AllNodesScan { var: col.into() });
+        ctx.est_rows *= ctx.graph.node_count() as f64;
+        ctx.bind(col);
+        emit_node_filters(ctx, col, chi, None);
+    } else {
+        // Scan by the most selective label, filter the rest.
+        let best = chi
+            .labels
+            .iter()
+            .min_by_key(|l| ctx.label_cardinality(l))
+            .unwrap()
+            .clone();
+        ctx.est_rows *= ctx.label_cardinality(&best).max(1) as f64;
+        ctx.steps.push(PlanStep::NodeByLabelScan {
+            var: col.into(),
+            label: best.clone(),
+        });
+        ctx.bind(col);
+        emit_node_filters(ctx, col, chi, Some(&best));
+    }
+}
+
+/// Label/property filters for a node column; `scanned_label` was already
+/// established by a label scan and is skipped.
+fn emit_node_filters(
+    ctx: &mut PlanCtx<'_>,
+    col: &str,
+    chi: &NodePattern,
+    scanned_label: Option<&str>,
+) {
+    let labels: Vec<String> = chi
+        .labels
+        .iter()
+        .filter(|l| Some(l.as_str()) != scanned_label)
+        .cloned()
+        .collect();
+    if !labels.is_empty() {
+        ctx.steps.push(PlanStep::FilterLabels {
+            var: col.into(),
+            labels,
+        });
+    }
+    if !chi.props.is_empty() {
+        ctx.steps.push(PlanStep::FilterProps {
+            var: col.into(),
+            props: chi.props.clone(),
+        });
+    }
+}
+
+/// Emits one `Expand` step (plus target filters). `reversed` flips the
+/// written direction when expanding right-to-left.
+#[allow(clippy::too_many_arguments)]
+fn emit_expand(
+    ctx: &mut PlanCtx<'_>,
+    from_col: &str,
+    rel_col: &str,
+    to_col: &str,
+    rho: &RelPattern,
+    chi_to: &NodePattern,
+    reversed: bool,
+) {
+    let dir = if reversed {
+        match rho.dir {
+            Dir::Out => Dir::In,
+            Dir::In => Dir::Out,
+            Dir::Both => Dir::Both,
+        }
+    } else {
+        rho.dir
+    };
+    let (lo, hi) = rho.range.bounds();
+    ctx.steps.push(PlanStep::Expand {
+        from: from_col.into(),
+        rel: rel_col.into(),
+        to: to_col.into(),
+        dir,
+        types: rho.types.clone(),
+        lo,
+        hi,
+        single: rho.range.is_single(),
+        exclude: ctx.rel_cols.clone(),
+        props: if rho.range.is_single() {
+            Vec::new()
+        } else {
+            rho.props.clone()
+        },
+    });
+    ctx.est_rows *= ctx.expand_factor(rho).max(0.1);
+    ctx.rel_cols.push(rel_col.to_string());
+    ctx.bind(rel_col);
+    let newly_bound_to = !ctx.is_bound(to_col);
+    ctx.bind(to_col);
+    if newly_bound_to {
+        emit_node_filters(ctx, to_col, chi_to, None);
+    } else {
+        // Expand-into: the node is already constrained; still check
+        // labels/props in case this occurrence adds them.
+        emit_node_filters(ctx, to_col, chi_to, None);
+    }
+    // Relationship property conditions apply per traversed hop and are
+    // evaluated inside the Expand operator via FilterProps on single hops.
+    if !rho.props.is_empty() && rho.range.is_single() {
+        ctx.steps.push(PlanStep::FilterProps {
+            var: rel_col.into(),
+            props: rho.props.clone(),
+        });
+    }
+}
+
+fn plan_path_expand(ctx: &mut PlanCtx<'_>, pat: &PathPattern) {
+    let (node_cols, rel_cols) = path_columns(ctx, pat);
+    let node_pats: Vec<&NodePattern> = pat.node_patterns().collect();
+    let rel_pats: Vec<&RelPattern> = pat.rel_patterns().collect();
+
+    // Anchor selection: the cheapest node position. Variable-length
+    // relationship property maps force left-to-right evaluation from an
+    // anchor at or before them only in the sense of condition evaluation,
+    // which is order-independent here, so pure cost decides.
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for (i, chi) in node_pats.iter().enumerate() {
+        let mut cost = ctx.start_cost(chi);
+        // Prefer positions whose column is literally bound already.
+        if ctx.is_bound(&node_cols[i]) {
+            cost = 0.4;
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best = i;
+        }
+    }
+
+    emit_start(ctx, &node_cols[best], node_pats[best]);
+    // Expand rightwards from the anchor…
+    for i in best..rel_pats.len() {
+        emit_expand(
+            ctx,
+            &node_cols[i],
+            &rel_cols[i],
+            &node_cols[i + 1],
+            rel_pats[i],
+            node_pats[i + 1],
+            false,
+        );
+    }
+    // …then leftwards.
+    for i in (0..best).rev() {
+        emit_expand(
+            ctx,
+            &node_cols[i + 1],
+            &rel_cols[i],
+            &node_cols[i],
+            rel_pats[i],
+            node_pats[i],
+            true,
+        );
+    }
+
+    emit_path_bind(ctx, pat, &node_cols, &rel_cols);
+}
+
+fn plan_path_cartesian(ctx: &mut PlanCtx<'_>, pat: &PathPattern) {
+    let (node_cols, rel_cols) = path_columns(ctx, pat);
+    let node_pats: Vec<&NodePattern> = pat.node_patterns().collect();
+    let rel_pats: Vec<&RelPattern> = pat.rel_patterns().collect();
+
+    // Scan every node position…
+    for (col, chi) in node_cols.iter().zip(&node_pats) {
+        emit_start(ctx, col, chi);
+    }
+    // …scan every relationship position and filter endpoints.
+    for (i, rho) in rel_pats.iter().enumerate() {
+        let rel_col = &rel_cols[i];
+        if !ctx.is_bound(rel_col) {
+            ctx.steps.push(PlanStep::RelScan {
+                var: rel_col.clone(),
+            });
+            ctx.est_rows *= ctx.graph.rel_count().max(1) as f64;
+            ctx.bind(rel_col);
+        }
+        ctx.steps.push(PlanStep::FilterEndpoints {
+            rel: rel_col.clone(),
+            from: node_cols[i].clone(),
+            to: node_cols[i + 1].clone(),
+            dir: rho.dir,
+            types: rho.types.clone(),
+            exclude: ctx.rel_cols.clone(),
+        });
+        ctx.rel_cols.push(rel_col.clone());
+        if !rho.props.is_empty() {
+            ctx.steps.push(PlanStep::FilterProps {
+                var: rel_col.clone(),
+                props: rho.props.clone(),
+            });
+        }
+    }
+
+    emit_path_bind(ctx, pat, &node_cols, &rel_cols);
+}
+
+fn emit_path_bind(
+    ctx: &mut PlanCtx<'_>,
+    pat: &PathPattern,
+    node_cols: &[String],
+    rel_cols: &[String],
+) {
+    let Some(path_name) = &pat.name else { return };
+    let mut elements = vec![PathElem::Node(node_cols[0].clone())];
+    for (i, (rho, _)) in pat.steps.iter().enumerate() {
+        if rho.range.is_single() {
+            elements.push(PathElem::Rel(rel_cols[i].clone()));
+        } else {
+            elements.push(PathElem::RelList(rel_cols[i].clone()));
+        }
+        elements.push(PathElem::Node(node_cols[i + 1].clone()));
+    }
+    ctx.steps.push(PlanStep::PathBind {
+        var: path_name.clone(),
+        elements,
+    });
+    ctx.bind(path_name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_graph::Value;
+    use cypher_parser::parse_pattern;
+
+    fn sample_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        // 100 Person nodes, 3 Admin nodes, chain of KNOWS.
+        let mut prev = None;
+        for i in 0..100 {
+            let labels: &[&str] = if i < 3 { &["Person", "Admin"] } else { &["Person"] };
+            let n = g.add_node(labels, [("i", Value::int(i))]);
+            if let Some(p) = prev {
+                g.add_rel(p, n, "KNOWS", []).unwrap();
+            }
+            prev = Some(n);
+        }
+        g
+    }
+
+    #[test]
+    fn anchors_on_most_selective_label() {
+        let g = sample_graph();
+        let p = parse_pattern("(a:Person)-[:KNOWS]->(b:Admin)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        // The Admin side has 3 nodes vs 100 Person: anchor must be b.
+        match &planned.plan.steps[0] {
+            PlanStep::NodeByLabelScan { var, label } => {
+                assert_eq!(var, "b");
+                assert_eq!(label, "Admin");
+            }
+            other => panic!("expected label scan, got {other}"),
+        }
+        // And the expand runs right-to-left (reversed direction).
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Expand { from, to, dir: Dir::In, .. } if from == "b" && to == "a")));
+        // Binding order follows the traversal (anchor first).
+        assert_eq!(planned.new_vars, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn bound_variable_becomes_argument() {
+        let g = sample_graph();
+        let p = parse_pattern("(a)-[:KNOWS]->(b)").unwrap();
+        let planned = plan_match(&g, &["a".to_string()], &[p], PlannerMode::ExpandBased);
+        assert!(matches!(
+            &planned.plan.steps[0],
+            PlanStep::Argument { var } if var == "a"
+        ));
+        assert_eq!(planned.new_vars, vec!["b"]);
+    }
+
+    #[test]
+    fn anonymous_elements_get_hidden_columns() {
+        let g = sample_graph();
+        let p = parse_pattern("()-[:KNOWS]->()").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        assert!(planned.new_vars.is_empty());
+        let PlanStep::Expand { rel, .. } = &planned.plan.steps[1] else {
+            panic!("expected expand")
+        };
+        assert!(rel.starts_with(' '), "anonymous rel column is hidden");
+    }
+
+    #[test]
+    fn cartesian_mode_uses_rel_scans() {
+        let g = sample_graph();
+        let p = parse_pattern("(a:Admin)-[r:KNOWS]->(b)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::CartesianJoin);
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::RelScan { .. })));
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::FilterEndpoints { .. })));
+        assert!(!planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Expand { .. })));
+    }
+
+    #[test]
+    fn cartesian_mode_falls_back_for_var_length() {
+        let g = sample_graph();
+        let p = parse_pattern("(a)-[:KNOWS*1..3]->(b)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::CartesianJoin);
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Expand { .. })));
+    }
+
+    #[test]
+    fn exclusion_lists_grow_along_the_chain() {
+        let g = sample_graph();
+        let p = parse_pattern("(a)-[r1]->(b)-[r2]->(c)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        let expands: Vec<&PlanStep> = planned
+            .plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Expand { .. }))
+            .collect();
+        assert_eq!(expands.len(), 2);
+        let PlanStep::Expand { exclude, .. } = expands[1] else {
+            unreachable!()
+        };
+        assert_eq!(exclude.len(), 1, "second expand excludes the first rel");
+    }
+
+    #[test]
+    fn constant_property_uses_index_scan() {
+        let g = sample_graph();
+        let p = parse_pattern("(a:Person {i: 5})-[:KNOWS]->(b)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        match &planned.plan.steps[0] {
+            PlanStep::NodeByPropertyScan { var, key, .. } => {
+                assert_eq!(var, "a");
+                assert_eq!(key, "i");
+            }
+            other => panic!("expected property scan, got {other}"),
+        }
+        // The residual property filter keeps `=` semantics exact.
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::FilterProps { .. })));
+    }
+
+    #[test]
+    fn property_anchor_beats_label_anchor() {
+        let g = sample_graph();
+        // Anchor must move to b: {i: 7} pins a single node even though
+        // Admin is a small label on the other side.
+        let p = parse_pattern("(a:Admin)-[:KNOWS]->(b {i: 7})").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        assert!(
+            matches!(&planned.plan.steps[0], PlanStep::NodeByPropertyScan { var, .. } if var == "b"),
+            "plan: {}",
+            planned.plan
+        );
+    }
+
+    #[test]
+    fn named_path_emits_path_bind() {
+        let g = sample_graph();
+        let p = parse_pattern("p = (a)-[:KNOWS*]->(b)").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::PathBind { var, .. } if var == "p")));
+        assert!(planned.new_vars.contains(&"p".to_string()));
+    }
+}

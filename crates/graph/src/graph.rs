@@ -1,0 +1,924 @@
+//! The property graph `G = ⟨N, R, src, tgt, ι, λ, τ⟩` of paper Section 4.1,
+//! stored *natively*: each node record holds direct references to its
+//! incident relationships, in both directions, so that the `Expand`
+//! operator (paper Section 2, "Neo4j implementation") "never needs to read
+//! any unnecessary data, or proceed via an indirection such as an index in
+//! order to find related nodes".
+//!
+//! Mutation support (add/delete/set/remove) backs the update clauses of
+//! Section 2 (`CREATE`, `DELETE`, `SET`, `MERGE`).
+
+use crate::interner::{Interner, Symbol};
+use crate::value::Value;
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A node identifier — an element of the countably infinite set `N`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u64);
+
+/// A relationship identifier — an element of the countably infinite set `R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Direction of traversal relative to a node, mirroring the three arrow
+/// forms of relationship patterns (Figure 3): `->`, `<-` and undirected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Direction {
+    /// Follow relationships whose source is the current node.
+    Outgoing,
+    /// Follow relationships whose target is the current node.
+    Incoming,
+    /// Follow relationships in either orientation.
+    Both,
+}
+
+impl Direction {
+    /// The direction as seen from the other endpoint.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+            Direction::Both => Direction::Both,
+        }
+    }
+}
+
+/// Errors raised by graph mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The node id does not denote a live node.
+    NoSuchNode(NodeId),
+    /// The relationship id does not denote a live relationship.
+    NoSuchRel(RelId),
+    /// Attempted to delete a node that still has relationships without
+    /// `DETACH DELETE`.
+    NodeHasRelationships(NodeId, usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            GraphError::NoSuchRel(r) => write!(f, "no such relationship: {r}"),
+            GraphError::NodeHasRelationships(n, k) => {
+                write!(f, "cannot delete {n}: still has {k} relationship(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A small sorted-by-insertion property map `ι(e, ·)`; property counts are
+/// tiny in practice, so linear probing over a vector beats a hash table.
+#[derive(Default, Debug, Clone, PartialEq)]
+pub struct PropMap {
+    entries: Vec<(Symbol, Value)>,
+}
+
+impl PropMap {
+    /// Looks up a property.
+    pub fn get(&self, k: Symbol) -> Option<&Value> {
+        self.entries.iter().find(|(s, _)| *s == k).map(|(_, v)| v)
+    }
+
+    /// Sets a property, replacing any previous value. Setting `null`
+    /// removes the key, per Cypher `SET n.k = null` semantics.
+    pub fn set(&mut self, k: Symbol, v: Value) {
+        if v.is_null() {
+            self.remove(k);
+            return;
+        }
+        match self.entries.iter_mut().find(|(s, _)| *s == k) {
+            Some((_, slot)) => *slot = v,
+            None => self.entries.push((k, v)),
+        }
+    }
+
+    /// Removes a property, returning its value if present.
+    pub fn remove(&mut self, k: Symbol) -> Option<Value> {
+        let idx = self.entries.iter().position(|(s, _)| *s == k)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    /// Iterates over `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no properties are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all properties.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    labels: Vec<Symbol>,
+    props: PropMap,
+    /// Relationships whose `src` is this node, in insertion order.
+    out: Vec<RelId>,
+    /// Relationships whose `tgt` is this node, in insertion order.
+    inc: Vec<RelId>,
+}
+
+#[derive(Debug, Clone)]
+struct RelData {
+    src: NodeId,
+    tgt: NodeId,
+    rel_type: Symbol,
+    props: PropMap,
+}
+
+/// Aggregate statistics used by the cost-based planner (paper Section 2
+/// cites a selectivity cost model \[21\]).
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Live node count.
+    pub nodes: usize,
+    /// Live relationship count.
+    pub rels: usize,
+    /// Node count per label.
+    pub label_cardinality: FxHashMap<Symbol, usize>,
+    /// Relationship count per type.
+    pub type_cardinality: FxHashMap<Symbol, usize>,
+}
+
+/// An in-memory property graph with native adjacency.
+///
+/// Node and relationship ids are dense indices; deletions leave tombstones
+/// so that ids of live entities are stable (the formal model's identifiers
+/// never change meaning).
+#[derive(Debug, Clone, Default)]
+pub struct PropertyGraph {
+    nodes: Vec<Option<NodeData>>,
+    rels: Vec<Option<RelData>>,
+    interner: Interner,
+    label_index: FxHashMap<Symbol, Vec<NodeId>>,
+    /// Node property index: key → (value hash → nodes). Hash collisions
+    /// are resolved by the reader with an equivalence check. Backs the
+    /// planner's `NodeByPropertyScan` (the "indexing of node data" the
+    /// paper's Section 5 describes).
+    prop_index: FxHashMap<Symbol, FxHashMap<u64, Vec<NodeId>>>,
+    type_counts: FxHashMap<Symbol, usize>,
+    live_nodes: usize,
+    live_rels: usize,
+}
+
+fn value_bucket(v: &Value) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::fxhash::FxHasher::default();
+    v.hash_equivalent(&mut h);
+    h.finish()
+}
+
+impl PropertyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared access to the token interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the token interner (used when binding queries).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Interns a token string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Resolves a symbol to its text.
+    pub fn resolve(&self, s: Symbol) -> &str {
+        self.interner.resolve(s)
+    }
+
+    // -- construction --------------------------------------------------------
+
+    /// Adds a node with string labels and properties. Convenience wrapper
+    /// over [`PropertyGraph::add_node_syms`].
+    pub fn add_node(
+        &mut self,
+        labels: &[&str],
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> NodeId {
+        let label_syms: Vec<Symbol> = labels.iter().map(|l| self.interner.intern(l)).collect();
+        let prop_syms: Vec<(Symbol, Value)> = props
+            .into_iter()
+            .map(|(k, v)| (self.interner.intern(k), v))
+            .collect();
+        self.add_node_syms(label_syms, prop_syms)
+    }
+
+    /// Adds a node with pre-interned labels and properties.
+    pub fn add_node_syms(
+        &mut self,
+        labels: Vec<Symbol>,
+        props: Vec<(Symbol, Value)>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u64);
+        let mut pm = PropMap::default();
+        for (k, v) in props {
+            pm.set(k, v);
+        }
+        let mut labels = labels;
+        labels.sort_unstable();
+        labels.dedup();
+        for &l in &labels {
+            self.label_index.entry(l).or_default().push(id);
+        }
+        let indexed: Vec<(Symbol, u64)> =
+            pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
+        self.nodes.push(Some(NodeData {
+            labels,
+            props: pm,
+            out: Vec::new(),
+            inc: Vec::new(),
+        }));
+        for (k, bucket) in indexed {
+            self.prop_index
+                .entry(k)
+                .or_default()
+                .entry(bucket)
+                .or_default()
+                .push(id);
+        }
+        self.live_nodes += 1;
+        id
+    }
+
+    fn index_node_prop(&mut self, n: NodeId, k: Symbol, v: &Value) {
+        self.prop_index
+            .entry(k)
+            .or_default()
+            .entry(value_bucket(v))
+            .or_default()
+            .push(n);
+    }
+
+    fn unindex_node_prop(&mut self, n: NodeId, k: Symbol, v: &Value) {
+        if let Some(buckets) = self.prop_index.get_mut(&k) {
+            if let Some(list) = buckets.get_mut(&value_bucket(v)) {
+                if let Some(pos) = list.iter().position(|&x| x == n) {
+                    list.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Live nodes whose property `k` is equivalent to `v`, via the node
+    /// property index (deterministic order).
+    pub fn nodes_with_prop(&self, k: Symbol, v: &Value) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .prop_index
+            .get(&k)
+            .and_then(|b| b.get(&value_bucket(v)))
+            .map(|list| {
+                list.iter()
+                    .copied()
+                    .filter(|&n| {
+                        self.node_prop(n, k)
+                            .map(|w| w.equivalent(v))
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
+    /// Adds a relationship of the given type between two live nodes.
+    pub fn add_rel(
+        &mut self,
+        src: NodeId,
+        tgt: NodeId,
+        rel_type: &str,
+        props: impl IntoIterator<Item = (&'static str, Value)>,
+    ) -> Result<RelId, GraphError> {
+        let t = self.interner.intern(rel_type);
+        let prop_syms: Vec<(Symbol, Value)> = props
+            .into_iter()
+            .map(|(k, v)| (self.interner.intern(k), v))
+            .collect();
+        self.add_rel_syms(src, tgt, t, prop_syms)
+    }
+
+    /// Adds a relationship with a pre-interned type.
+    pub fn add_rel_syms(
+        &mut self,
+        src: NodeId,
+        tgt: NodeId,
+        rel_type: Symbol,
+        props: Vec<(Symbol, Value)>,
+    ) -> Result<RelId, GraphError> {
+        if !self.contains_node(src) {
+            return Err(GraphError::NoSuchNode(src));
+        }
+        if !self.contains_node(tgt) {
+            return Err(GraphError::NoSuchNode(tgt));
+        }
+        let id = RelId(self.rels.len() as u64);
+        let mut pm = PropMap::default();
+        for (k, v) in props {
+            pm.set(k, v);
+        }
+        self.rels.push(Some(RelData {
+            src,
+            tgt,
+            rel_type,
+            props: pm,
+        }));
+        self.node_mut(src).unwrap().out.push(id);
+        self.node_mut(tgt).unwrap().inc.push(id);
+        *self.type_counts.entry(rel_type).or_insert(0) += 1;
+        self.live_rels += 1;
+        Ok(id)
+    }
+
+    // -- deletion ------------------------------------------------------------
+
+    /// Deletes a relationship.
+    pub fn delete_rel(&mut self, r: RelId) -> Result<(), GraphError> {
+        let data = self
+            .rels
+            .get_mut(r.0 as usize)
+            .and_then(Option::take)
+            .ok_or(GraphError::NoSuchRel(r))?;
+        if let Some(n) = self.node_mut(data.src) {
+            n.out.retain(|&x| x != r);
+        }
+        if let Some(n) = self.node_mut(data.tgt) {
+            n.inc.retain(|&x| x != r);
+        }
+        if let Some(c) = self.type_counts.get_mut(&data.rel_type) {
+            *c = c.saturating_sub(1);
+        }
+        self.live_rels -= 1;
+        Ok(())
+    }
+
+    /// Deletes a node; fails if it still has incident relationships
+    /// (plain `DELETE` semantics).
+    pub fn delete_node(&mut self, n: NodeId) -> Result<(), GraphError> {
+        let deg = self.degree(n, Direction::Both);
+        if deg > 0 {
+            return Err(GraphError::NodeHasRelationships(n, deg));
+        }
+        self.remove_node_record(n)
+    }
+
+    /// Deletes a node together with all its relationships
+    /// (`DETACH DELETE` semantics).
+    pub fn detach_delete_node(&mut self, n: NodeId) -> Result<(), GraphError> {
+        if !self.contains_node(n) {
+            return Err(GraphError::NoSuchNode(n));
+        }
+        let mut incident: Vec<RelId> = self.out_rels(n).to_vec();
+        incident.extend_from_slice(self.in_rels(n));
+        incident.sort_unstable();
+        incident.dedup();
+        for r in incident {
+            self.delete_rel(r)?;
+        }
+        self.remove_node_record(n)
+    }
+
+    fn remove_node_record(&mut self, n: NodeId) -> Result<(), GraphError> {
+        let data = self
+            .nodes
+            .get_mut(n.0 as usize)
+            .and_then(Option::take)
+            .ok_or(GraphError::NoSuchNode(n))?;
+        for l in data.labels {
+            if let Some(v) = self.label_index.get_mut(&l) {
+                v.retain(|&x| x != n);
+            }
+        }
+        for (k, v) in data.props.iter() {
+            let bucket = value_bucket(v);
+            if let Some(buckets) = self.prop_index.get_mut(&k) {
+                if let Some(list) = buckets.get_mut(&bucket) {
+                    list.retain(|&x| x != n);
+                }
+            }
+        }
+        self.live_nodes -= 1;
+        Ok(())
+    }
+
+    // -- accessors -----------------------------------------------------------
+
+    fn node(&self, n: NodeId) -> Option<&NodeData> {
+        self.nodes.get(n.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn node_mut(&mut self, n: NodeId) -> Option<&mut NodeData> {
+        self.nodes.get_mut(n.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn rel(&self, r: RelId) -> Option<&RelData> {
+        self.rels.get(r.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn rel_mut(&mut self, r: RelId) -> Option<&mut RelData> {
+        self.rels.get_mut(r.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// True iff `n` is a live node of the graph.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.node(n).is_some()
+    }
+
+    /// True iff `r` is a live relationship.
+    pub fn contains_rel(&self, r: RelId) -> bool {
+        self.rel(r).is_some()
+    }
+
+    /// `λ(n)`: the labels of a node.
+    pub fn labels(&self, n: NodeId) -> &[Symbol] {
+        self.node(n).map(|d| d.labels.as_slice()).unwrap_or(&[])
+    }
+
+    /// True iff `ℓ ∈ λ(n)`.
+    pub fn has_label(&self, n: NodeId, l: Symbol) -> bool {
+        self.labels(n).contains(&l)
+    }
+
+    /// `τ(r)`: the type of a relationship.
+    pub fn rel_type(&self, r: RelId) -> Option<Symbol> {
+        self.rel(r).map(|d| d.rel_type)
+    }
+
+    /// `src(r)`.
+    pub fn src(&self, r: RelId) -> Option<NodeId> {
+        self.rel(r).map(|d| d.src)
+    }
+
+    /// `tgt(r)`.
+    pub fn tgt(&self, r: RelId) -> Option<NodeId> {
+        self.rel(r).map(|d| d.tgt)
+    }
+
+    /// Given a relationship and one endpoint, the other endpoint. For a
+    /// self-loop returns the same node.
+    pub fn other_end(&self, r: RelId, n: NodeId) -> Option<NodeId> {
+        let d = self.rel(r)?;
+        if d.src == n {
+            Some(d.tgt)
+        } else if d.tgt == n {
+            Some(d.src)
+        } else {
+            None
+        }
+    }
+
+    /// `ι(n, k)` for nodes.
+    pub fn node_prop(&self, n: NodeId, k: Symbol) -> Option<&Value> {
+        self.node(n).and_then(|d| d.props.get(k))
+    }
+
+    /// `ι(r, k)` for relationships.
+    pub fn rel_prop(&self, r: RelId, k: Symbol) -> Option<&Value> {
+        self.rel(r).and_then(|d| d.props.get(k))
+    }
+
+    /// Node property looked up by string key (convenience for tests).
+    pub fn node_prop_by_name(&self, n: NodeId, k: &str) -> Option<&Value> {
+        let sym = self.interner.get(k)?;
+        self.node_prop(n, sym)
+    }
+
+    /// Relationship property looked up by string key.
+    pub fn rel_prop_by_name(&self, r: RelId, k: &str) -> Option<&Value> {
+        let sym = self.interner.get(k)?;
+        self.rel_prop(r, sym)
+    }
+
+    /// Iterates over a node's properties.
+    pub fn node_props(&self, n: NodeId) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.node(n).into_iter().flat_map(|d| d.props.iter())
+    }
+
+    /// Iterates over a relationship's properties.
+    pub fn rel_props(&self, r: RelId) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.rel(r).into_iter().flat_map(|d| d.props.iter())
+    }
+
+    /// Outgoing relationships of a node (direct references, no index).
+    pub fn out_rels(&self, n: NodeId) -> &[RelId] {
+        self.node(n).map(|d| d.out.as_slice()).unwrap_or(&[])
+    }
+
+    /// Incoming relationships of a node.
+    pub fn in_rels(&self, n: NodeId) -> &[RelId] {
+        self.node(n).map(|d| d.inc.as_slice()).unwrap_or(&[])
+    }
+
+    /// All `(rel, neighbour)` pairs reachable from `n` in the given
+    /// direction. A self-loop appears once for `Outgoing`/`Incoming` and
+    /// twice for `Both` (once per orientation), matching the undirected
+    /// pattern semantics in §4.2 item (e′).
+    pub fn expand(&self, n: NodeId, dir: Direction) -> Vec<(RelId, NodeId)> {
+        let mut v = Vec::new();
+        match dir {
+            Direction::Outgoing => {
+                for &r in self.out_rels(n) {
+                    v.push((r, self.tgt(r).unwrap()));
+                }
+            }
+            Direction::Incoming => {
+                for &r in self.in_rels(n) {
+                    v.push((r, self.src(r).unwrap()));
+                }
+            }
+            Direction::Both => {
+                for &r in self.out_rels(n) {
+                    v.push((r, self.tgt(r).unwrap()));
+                }
+                for &r in self.in_rels(n) {
+                    // Skip self-loops here: already emitted from `out`.
+                    let s = self.src(r).unwrap();
+                    if s != n || self.tgt(r) != Some(n) {
+                        v.push((r, s));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Degree in the given direction.
+    pub fn degree(&self, n: NodeId, dir: Direction) -> usize {
+        match dir {
+            Direction::Outgoing => self.out_rels(n).len(),
+            Direction::Incoming => self.in_rels(n).len(),
+            Direction::Both => {
+                let loops = self
+                    .out_rels(n)
+                    .iter()
+                    .filter(|&&r| self.tgt(r) == Some(n))
+                    .count();
+                self.out_rels(n).len() + self.in_rels(n).len() - loops
+            }
+        }
+    }
+
+    /// Iterates over live node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().map(|_| NodeId(i as u64)))
+    }
+
+    /// Iterates over live relationship ids.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().map(|_| RelId(i as u64)))
+    }
+
+    /// Live nodes with the given label, via the label index.
+    pub fn nodes_with_label(&self, l: Symbol) -> &[NodeId] {
+        self.label_index.get(&l).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live relationships.
+    pub fn rel_count(&self) -> usize {
+        self.live_rels
+    }
+
+    /// Number of live nodes with a given label.
+    pub fn label_cardinality(&self, l: Symbol) -> usize {
+        self.nodes_with_label(l).len()
+    }
+
+    /// Number of live relationships of a given type.
+    pub fn type_cardinality(&self, t: Symbol) -> usize {
+        self.type_counts.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of planner statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            nodes: self.live_nodes,
+            rels: self.live_rels,
+            label_cardinality: self
+                .label_index
+                .iter()
+                .map(|(&l, v)| (l, v.len()))
+                .collect(),
+            type_cardinality: self.type_counts.clone(),
+        }
+    }
+
+    // -- mutation of live entities -------------------------------------------
+
+    /// `SET n.k = v` (removes the key when `v` is `null`).
+    pub fn set_node_prop(&mut self, n: NodeId, k: Symbol, v: Value) -> Result<(), GraphError> {
+        let old = self
+            .node(n)
+            .ok_or(GraphError::NoSuchNode(n))?
+            .props
+            .get(k)
+            .cloned();
+        if let Some(old) = &old {
+            self.unindex_node_prop(n, k, old);
+        }
+        if !v.is_null() {
+            self.index_node_prop(n, k, &v);
+        }
+        self.node_mut(n)
+            .map(|d| d.props.set(k, v))
+            .ok_or(GraphError::NoSuchNode(n))
+    }
+
+    /// `SET r.k = v` for relationships.
+    pub fn set_rel_prop(&mut self, r: RelId, k: Symbol, v: Value) -> Result<(), GraphError> {
+        self.rel_mut(r)
+            .map(|d| d.props.set(k, v))
+            .ok_or(GraphError::NoSuchRel(r))
+    }
+
+    /// `REMOVE n.k`.
+    pub fn remove_node_prop(&mut self, n: NodeId, k: Symbol) -> Result<(), GraphError> {
+        let old = self
+            .node(n)
+            .ok_or(GraphError::NoSuchNode(n))?
+            .props
+            .get(k)
+            .cloned();
+        if let Some(old) = &old {
+            self.unindex_node_prop(n, k, old);
+        }
+        self.node_mut(n)
+            .map(|d| {
+                d.props.remove(k);
+            })
+            .ok_or(GraphError::NoSuchNode(n))
+    }
+
+    /// Replaces all properties of a node (`SET n = {..}`).
+    pub fn replace_node_props(
+        &mut self,
+        n: NodeId,
+        props: Vec<(Symbol, Value)>,
+    ) -> Result<(), GraphError> {
+        let old: Vec<(Symbol, Value)> = self
+            .node(n)
+            .ok_or(GraphError::NoSuchNode(n))?
+            .props
+            .iter()
+            .map(|(k, v)| (k, v.clone()))
+            .collect();
+        for (k, v) in &old {
+            self.unindex_node_prop(n, *k, v);
+        }
+        let d = self.node_mut(n).expect("checked above");
+        d.props.clear();
+        for (k, v) in props {
+            d.props.set(k, v);
+        }
+        let new: Vec<(Symbol, Value)> = self
+            .node(n)
+            .expect("checked above")
+            .props
+            .iter()
+            .map(|(k, v)| (k, v.clone()))
+            .collect();
+        for (k, v) in new {
+            self.index_node_prop(n, k, &v);
+        }
+        Ok(())
+    }
+
+    /// `SET n:Label`.
+    pub fn add_label(&mut self, n: NodeId, l: Symbol) -> Result<(), GraphError> {
+        let d = self.node_mut(n).ok_or(GraphError::NoSuchNode(n))?;
+        if !d.labels.contains(&l) {
+            d.labels.push(l);
+            d.labels.sort_unstable();
+            self.label_index.entry(l).or_default().push(n);
+        }
+        Ok(())
+    }
+
+    /// `REMOVE n:Label`.
+    pub fn remove_label(&mut self, n: NodeId, l: Symbol) -> Result<(), GraphError> {
+        let d = self.node_mut(n).ok_or(GraphError::NoSuchNode(n))?;
+        if let Some(pos) = d.labels.iter().position(|&x| x == l) {
+            d.labels.remove(pos);
+            if let Some(v) = self.label_index.get_mut(&l) {
+                v.retain(|&x| x != n);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (PropertyGraph, NodeId, NodeId, RelId) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(&["Person"], [("name", Value::str("Ada"))]);
+        let b = g.add_node(&["Person", "Admin"], [("name", Value::str("Bo"))]);
+        let r = g.add_rel(a, b, "KNOWS", [("since", Value::int(1985))]).unwrap();
+        (g, a, b, r)
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let (g, a, b, r) = sample();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.rel_count(), 1);
+        assert_eq!(g.src(r), Some(a));
+        assert_eq!(g.tgt(r), Some(b));
+        assert_eq!(g.resolve(g.rel_type(r).unwrap()), "KNOWS");
+        assert_eq!(g.node_prop_by_name(a, "name"), Some(&Value::str("Ada")));
+        assert_eq!(g.rel_prop_by_name(r, "since"), Some(&Value::int(1985)));
+        let person = g.interner().get("Person").unwrap();
+        assert!(g.has_label(a, person));
+        assert_eq!(g.nodes_with_label(person), &[a, b]);
+    }
+
+    #[test]
+    fn adjacency_is_direct() {
+        let (g, a, b, r) = sample();
+        assert_eq!(g.out_rels(a), &[r]);
+        assert_eq!(g.in_rels(b), &[r]);
+        assert_eq!(g.expand(a, Direction::Outgoing), vec![(r, b)]);
+        assert_eq!(g.expand(b, Direction::Incoming), vec![(r, a)]);
+        assert_eq!(g.expand(a, Direction::Both), vec![(r, b)]);
+        assert_eq!(g.degree(a, Direction::Both), 1);
+        assert_eq!(g.degree(a, Direction::Incoming), 0);
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_both() {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node(&[], []);
+        let r = g.add_rel(n, n, "SELF", []).unwrap();
+        assert_eq!(g.degree(n, Direction::Both), 1);
+        // Both-direction expand yields the loop once.
+        assert_eq!(g.expand(n, Direction::Both), vec![(r, n)]);
+        assert_eq!(g.other_end(r, n), Some(n));
+    }
+
+    #[test]
+    fn delete_rel_updates_adjacency_and_counts() {
+        let (mut g, a, b, r) = sample();
+        g.delete_rel(r).unwrap();
+        assert_eq!(g.rel_count(), 0);
+        assert!(g.out_rels(a).is_empty());
+        assert!(g.in_rels(b).is_empty());
+        let t = g.interner().get("KNOWS").unwrap();
+        assert_eq!(g.type_cardinality(t), 0);
+        assert!(g.delete_rel(r).is_err());
+    }
+
+    #[test]
+    fn delete_node_refuses_when_connected() {
+        let (mut g, a, _, _) = sample();
+        assert!(matches!(
+            g.delete_node(a),
+            Err(GraphError::NodeHasRelationships(_, 1))
+        ));
+        g.detach_delete_node(a).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.rel_count(), 0);
+        let person = g.interner().get("Person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 1);
+    }
+
+    #[test]
+    fn tombstones_keep_ids_stable() {
+        let (mut g, a, b, _) = sample();
+        g.detach_delete_node(a).unwrap();
+        let c = g.add_node(&["Person"], []);
+        assert_ne!(c, a, "ids are never reused");
+        assert!(g.contains_node(b));
+        assert!(!g.contains_node(a));
+        let live: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(live, vec![b, c]);
+    }
+
+    #[test]
+    fn set_and_remove_props() {
+        let (mut g, a, _, r) = sample();
+        let k = g.intern("age");
+        g.set_node_prop(a, k, Value::int(36)).unwrap();
+        assert_eq!(g.node_prop(a, k), Some(&Value::int(36)));
+        g.set_node_prop(a, k, Value::Null).unwrap(); // null removes
+        assert_eq!(g.node_prop(a, k), None);
+        let w = g.intern("weight");
+        g.set_rel_prop(r, w, Value::float(0.5)).unwrap();
+        assert_eq!(g.rel_prop(r, w), Some(&Value::float(0.5)));
+    }
+
+    #[test]
+    fn labels_add_remove_update_index() {
+        let (mut g, a, _, _) = sample();
+        let l = g.intern("Admin");
+        assert!(!g.has_label(a, l));
+        g.add_label(a, l).unwrap();
+        assert!(g.has_label(a, l));
+        assert_eq!(g.label_cardinality(l), 2);
+        g.remove_label(a, l).unwrap();
+        assert!(!g.has_label(a, l));
+        assert_eq!(g.label_cardinality(l), 1);
+    }
+
+    #[test]
+    fn stats_reflect_graph() {
+        let (g, _, _, _) = sample();
+        let stats = g.stats();
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.rels, 1);
+        let person = g.interner().get("Person").unwrap();
+        assert_eq!(stats.label_cardinality[&person], 2);
+    }
+
+    #[test]
+    fn add_rel_to_missing_node_fails() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(&[], []);
+        assert!(g.add_rel(a, NodeId(99), "X", []).is_err());
+    }
+
+    #[test]
+    fn property_index_tracks_mutations() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(&["P"], [("name", Value::str("Ada")), ("age", Value::int(3))]);
+        let b = g.add_node(&["P"], [("name", Value::str("Bo"))]);
+        let name = g.interner().get("name").unwrap();
+        assert_eq!(g.nodes_with_prop(name, &Value::str("Ada")), vec![a]);
+        assert_eq!(g.nodes_with_prop(name, &Value::str("Bo")), vec![b]);
+        assert!(g.nodes_with_prop(name, &Value::str("Cy")).is_empty());
+
+        // Update re-indexes.
+        g.set_node_prop(a, name, Value::str("Ada2")).unwrap();
+        assert!(g.nodes_with_prop(name, &Value::str("Ada")).is_empty());
+        assert_eq!(g.nodes_with_prop(name, &Value::str("Ada2")), vec![a]);
+
+        // Setting null removes from the index.
+        g.set_node_prop(b, name, Value::Null).unwrap();
+        assert!(g.nodes_with_prop(name, &Value::str("Bo")).is_empty());
+
+        // Replace rebuilds.
+        let age = g.interner().get("age").unwrap();
+        g.replace_node_props(a, vec![(age, Value::int(9))]).unwrap();
+        assert!(g.nodes_with_prop(name, &Value::str("Ada2")).is_empty());
+        assert_eq!(g.nodes_with_prop(age, &Value::int(9)), vec![a]);
+
+        // Numeric equivalence: 9 and 9.0 share an index entry.
+        assert_eq!(g.nodes_with_prop(age, &Value::float(9.0)), vec![a]);
+
+        // Deleting the node cleans the index.
+        g.detach_delete_node(a).unwrap();
+        assert!(g.nodes_with_prop(age, &Value::int(9)).is_empty());
+    }
+
+    #[test]
+    fn labels_deduplicated() {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node(&["A", "A"], []);
+        assert_eq!(g.labels(n).len(), 1);
+    }
+}

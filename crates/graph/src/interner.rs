@@ -1,0 +1,145 @@
+//! String interning for the token sets of the paper's data model:
+//! property keys `K`, node labels `L`, relationship types `T` and names `A`.
+//!
+//! All four sets are countably infinite in the formalization; the interner
+//! realizes the finite fragment actually used by a graph or a query, mapping
+//! each distinct string to a dense [`Symbol`] so that label/type/key
+//! comparisons inside the matcher are integer comparisons.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string. Cheap to copy and compare; resolves back to the
+/// original text through the [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+///
+/// A single interner is shared by a [`crate::PropertyGraph`] for its keys,
+/// labels and types; queries intern their tokens into the same table when
+/// they are bound to a graph, so matching never compares strings.
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    map: FxHashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent: interning the same
+    /// string twice yields the same symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(arc.clone());
+        self.map.insert(arc, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it. Returns `None` if the string
+    /// has never been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol to a shared `Arc<str>` without copying.
+    pub fn resolve_arc(&self, sym: Symbol) -> Arc<str> {
+        self.strings[sym.index()].clone()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over all `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Person");
+        let b = i.intern("Person");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("KNOWS");
+        let b = i.intern("LIKES");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "KNOWS");
+        assert_eq!(i.resolve(b), "LIKES");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(all, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn case_sensitive() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("knows"), i.intern("KNOWS"));
+    }
+}

@@ -1,0 +1,837 @@
+//! Temporal types of the Cypher 10 proposal (paper Section 6, "Temporal
+//! types"): the instant types `Date`, `LocalTime`, `Time` (here
+//! [`ZonedDateTime`]'s time-of-day analogue is folded into the offset
+//! handling), `LocalDateTime`, `DateTime`, and the `Duration` type.
+//!
+//! Everything is implemented from scratch on the proleptic Gregorian
+//! calendar using the classic civil-from-days / days-from-civil algorithms,
+//! with nanosecond resolution, ISO-8601 parsing and printing, comparison,
+//! and duration arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Errors produced when parsing or constructing temporal values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalError(pub String);
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "temporal error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TemporalError> {
+    Err(TemporalError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Civil calendar math
+// ---------------------------------------------------------------------------
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+pub(crate) fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = y - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date `(year, month, day)` for days since 1970-01-01.
+pub(crate) fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + if m <= 2 { 1 } else { 0 }, m, d)
+}
+
+/// True for leap years in the proleptic Gregorian calendar.
+pub fn is_leap_year(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+pub(crate) const NANOS_PER_SEC: i64 = 1_000_000_000;
+pub(crate) const SECS_PER_DAY: i64 = 86_400;
+
+// ---------------------------------------------------------------------------
+// Date
+// ---------------------------------------------------------------------------
+
+/// A calendar date: `Date` of the Cypher temporal proposal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Date {
+    /// Days since the epoch 1970-01-01.
+    pub epoch_days: i64,
+}
+
+impl Date {
+    /// Builds a date from year/month/day, validating the calendar.
+    pub fn new(year: i64, month: u32, day: u32) -> Result<Self, TemporalError> {
+        if !(1..=12).contains(&month) {
+            return err(format!("month out of range: {month}"));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return err(format!("day out of range: {year}-{month:02}-{day:02}"));
+        }
+        Ok(Date {
+            epoch_days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// The `(year, month, day)` triple of this date.
+    pub fn ymd(self) -> (i64, u32, u32) {
+        civil_from_days(self.epoch_days)
+    }
+
+    /// Year component.
+    pub fn year(self) -> i64 {
+        self.ymd().0
+    }
+
+    /// Month component (1–12).
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// Day-of-month component (1–31).
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// ISO day of week, 1 = Monday … 7 = Sunday.
+    pub fn weekday(self) -> u32 {
+        // 1970-01-01 was a Thursday (ISO weekday 4).
+        (((self.epoch_days % 7) + 7 + 3) % 7 + 1) as u32
+    }
+
+    /// Adds a duration, applying month arithmetic first (clamping the day to
+    /// the end of the target month), then days, then sub-day components
+    /// (which are truncated for pure dates, as in the Cypher proposal).
+    pub fn plus(self, d: Duration) -> Date {
+        let (y, m, day) = self.ymd();
+        let total_months = (y * 12 + (m as i64 - 1)) + d.months;
+        let ny = total_months.div_euclid(12);
+        let nm = (total_months.rem_euclid(12) + 1) as u32;
+        let nd = day.min(days_in_month(ny, nm));
+        let base = days_from_civil(ny, nm, nd);
+        Date {
+            epoch_days: base + d.days + d.seconds.div_euclid(SECS_PER_DAY),
+        }
+    }
+
+    /// Parses `YYYY-MM-DD` (with optional leading `-` for negative years).
+    pub fn parse(s: &str) -> Result<Self, TemporalError> {
+        let (neg, rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s),
+        };
+        let parts: Vec<&str> = rest.split('-').collect();
+        if parts.len() != 3 {
+            return err(format!("invalid date: {s}"));
+        }
+        let y: i64 = parts[0]
+            .parse()
+            .map_err(|_| TemporalError(format!("invalid year in {s}")))?;
+        let m: u32 = parts[1]
+            .parse()
+            .map_err(|_| TemporalError(format!("invalid month in {s}")))?;
+        let d: u32 = parts[2]
+            .parse()
+            .map_err(|_| TemporalError(format!("invalid day in {s}")))?;
+        Date::new(if neg { -y } else { y }, m, d)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LocalTime
+// ---------------------------------------------------------------------------
+
+/// A time of day without timezone: `LocalTime`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LocalTime {
+    /// Nanoseconds since midnight, in `[0, 86_400 * 10^9)`.
+    pub nanos: i64,
+}
+
+impl LocalTime {
+    /// Builds a local time from components.
+    pub fn new(h: u32, min: u32, sec: u32, nano: u32) -> Result<Self, TemporalError> {
+        if h > 23 || min > 59 || sec > 59 || nano >= 1_000_000_000 {
+            return err(format!("time out of range: {h}:{min}:{sec}.{nano}"));
+        }
+        Ok(LocalTime {
+            nanos: ((h as i64 * 60 + min as i64) * 60 + sec as i64) * NANOS_PER_SEC + nano as i64,
+        })
+    }
+
+    /// Hour component (0–23).
+    pub fn hour(self) -> u32 {
+        (self.nanos / NANOS_PER_SEC / 3600) as u32
+    }
+
+    /// Minute component (0–59).
+    pub fn minute(self) -> u32 {
+        ((self.nanos / NANOS_PER_SEC / 60) % 60) as u32
+    }
+
+    /// Second component (0–59).
+    pub fn second(self) -> u32 {
+        ((self.nanos / NANOS_PER_SEC) % 60) as u32
+    }
+
+    /// Sub-second nanoseconds (0–999 999 999).
+    pub fn nanosecond(self) -> u32 {
+        (self.nanos % NANOS_PER_SEC) as u32
+    }
+
+    /// Parses `HH:MM`, `HH:MM:SS` or `HH:MM:SS.fraction`.
+    pub fn parse(s: &str) -> Result<Self, TemporalError> {
+        let (main, frac) = match s.split_once('.') {
+            Some((m, f)) => (m, Some(f)),
+            None => (s, None),
+        };
+        let parts: Vec<&str> = main.split(':').collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return err(format!("invalid time: {s}"));
+        }
+        let h: u32 = parts[0]
+            .parse()
+            .map_err(|_| TemporalError(format!("invalid hour in {s}")))?;
+        let m: u32 = parts[1]
+            .parse()
+            .map_err(|_| TemporalError(format!("invalid minute in {s}")))?;
+        let sec: u32 = if parts.len() == 3 {
+            parts[2]
+                .parse()
+                .map_err(|_| TemporalError(format!("invalid second in {s}")))?
+        } else {
+            0
+        };
+        let nano = match frac {
+            Some(f) if !f.is_empty() && f.len() <= 9 && f.bytes().all(|b| b.is_ascii_digit()) => {
+                let mut v: u32 = f.parse().unwrap();
+                for _ in f.len()..9 {
+                    v *= 10;
+                }
+                v
+            }
+            Some(f) => return err(format!("invalid fraction: {f}")),
+            None => 0,
+        };
+        LocalTime::new(h, m, sec, nano)
+    }
+}
+
+impl fmt::Display for LocalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.nanosecond();
+        if ns == 0 {
+            write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+        } else {
+            let mut frac = format!("{ns:09}");
+            while frac.ends_with('0') {
+                frac.pop();
+            }
+            write!(
+                f,
+                "{:02}:{:02}:{:02}.{frac}",
+                self.hour(),
+                self.minute(),
+                self.second()
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LocalDateTime & ZonedDateTime
+// ---------------------------------------------------------------------------
+
+/// A date paired with a time of day, without timezone: `LocalDateTime`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LocalDateTime {
+    /// The calendar date.
+    pub date: Date,
+    /// The time of day.
+    pub time: LocalTime,
+}
+
+impl LocalDateTime {
+    /// Pairs a date with a time.
+    pub fn new(date: Date, time: LocalTime) -> Self {
+        LocalDateTime { date, time }
+    }
+
+    /// Total nanoseconds since the epoch, ignoring timezone.
+    pub fn epoch_nanos(self) -> i128 {
+        self.date.epoch_days as i128 * (SECS_PER_DAY as i128 * NANOS_PER_SEC as i128)
+            + self.time.nanos as i128
+    }
+
+    /// Builds from nanoseconds since the epoch.
+    pub fn from_epoch_nanos(n: i128) -> Self {
+        let day_nanos = SECS_PER_DAY as i128 * NANOS_PER_SEC as i128;
+        let days = n.div_euclid(day_nanos);
+        let rem = n.rem_euclid(day_nanos);
+        LocalDateTime {
+            date: Date {
+                epoch_days: days as i64,
+            },
+            time: LocalTime { nanos: rem as i64 },
+        }
+    }
+
+    /// Adds a duration: month arithmetic on the date part, then exact
+    /// day/second/nanosecond arithmetic.
+    pub fn plus(self, d: Duration) -> Self {
+        let date = self.date.plus(Duration {
+            months: d.months,
+            ..Duration::ZERO
+        });
+        let base = LocalDateTime::new(date, self.time).epoch_nanos();
+        let delta = d.days as i128 * SECS_PER_DAY as i128 * NANOS_PER_SEC as i128
+            + d.seconds as i128 * NANOS_PER_SEC as i128
+            + d.nanos as i128;
+        LocalDateTime::from_epoch_nanos(base + delta)
+    }
+
+    /// Parses `DATE T TIME`, e.g. `2018-06-10T14:30:00`.
+    pub fn parse(s: &str) -> Result<Self, TemporalError> {
+        let (d, t) = s
+            .split_once('T')
+            .ok_or_else(|| TemporalError(format!("invalid datetime: {s}")))?;
+        Ok(LocalDateTime::new(Date::parse(d)?, LocalTime::parse(t)?))
+    }
+}
+
+impl fmt::Display for LocalDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}T{}", self.date, self.time)
+    }
+}
+
+/// A datetime with a fixed UTC offset: the proposal's `DateTime`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ZonedDateTime {
+    /// The local wall-clock datetime.
+    pub local: LocalDateTime,
+    /// Offset from UTC in seconds (e.g. `+02:00` is `7200`).
+    pub offset_seconds: i32,
+}
+
+impl ZonedDateTime {
+    /// Pairs a local datetime with a UTC offset in seconds.
+    pub fn new(local: LocalDateTime, offset_seconds: i32) -> Self {
+        ZonedDateTime {
+            local,
+            offset_seconds,
+        }
+    }
+
+    /// The UTC instant in nanoseconds since epoch.
+    pub fn instant_nanos(self) -> i128 {
+        self.local.epoch_nanos() - self.offset_seconds as i128 * NANOS_PER_SEC as i128
+    }
+
+    /// Parses `DATETIME(Z|±HH:MM)`, e.g. `2018-06-10T14:30:00+02:00`.
+    pub fn parse(s: &str) -> Result<Self, TemporalError> {
+        if let Some(rest) = s.strip_suffix('Z') {
+            return Ok(ZonedDateTime::new(LocalDateTime::parse(rest)?, 0));
+        }
+        // Find a '+' or '-' after the 'T'.
+        let t_pos = s
+            .find('T')
+            .ok_or_else(|| TemporalError(format!("invalid datetime: {s}")))?;
+        let tail = &s[t_pos..];
+        let sign_rel = tail.rfind(['+', '-']);
+        match sign_rel {
+            Some(rel) if rel > 0 => {
+                let split = t_pos + rel;
+                let local = LocalDateTime::parse(&s[..split])?;
+                let off = &s[split..];
+                let sign = if off.starts_with('-') { -1 } else { 1 };
+                let hm: Vec<&str> = off[1..].split(':').collect();
+                if hm.len() != 2 {
+                    return err(format!("invalid offset: {off}"));
+                }
+                let h: i32 = hm[0]
+                    .parse()
+                    .map_err(|_| TemporalError(format!("invalid offset: {off}")))?;
+                let m: i32 = hm[1]
+                    .parse()
+                    .map_err(|_| TemporalError(format!("invalid offset: {off}")))?;
+                Ok(ZonedDateTime::new(local, sign * (h * 3600 + m * 60)))
+            }
+            _ => err(format!("datetime has no offset: {s}")),
+        }
+    }
+}
+
+impl PartialOrd for ZonedDateTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ZonedDateTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.instant_nanos().cmp(&other.instant_nanos())
+    }
+}
+
+impl fmt::Display for ZonedDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset_seconds == 0 {
+            return write!(f, "{}Z", self.local);
+        }
+        let sign = if self.offset_seconds < 0 { '-' } else { '+' };
+        let abs = self.offset_seconds.unsigned_abs();
+        write!(f, "{}{sign}{:02}:{:02}", self.local, abs / 3600, (abs % 3600) / 60)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Duration
+// ---------------------------------------------------------------------------
+
+/// A duration with separate month, day and second/nanosecond components, as
+/// in the Cypher temporal proposal (months and days do not have a fixed
+/// length, so they are kept apart from exact seconds).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Duration {
+    /// Whole months.
+    pub months: i64,
+    /// Whole days.
+    pub days: i64,
+    /// Whole seconds.
+    pub seconds: i64,
+    /// Sub-second nanoseconds; normalized into `(-10^9, 10^9)` with the same
+    /// sign as `seconds` where possible.
+    pub nanos: i64,
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration {
+        months: 0,
+        days: 0,
+        seconds: 0,
+        nanos: 0,
+    };
+
+    /// Builds a normalized duration.
+    pub fn new(months: i64, days: i64, seconds: i64, nanos: i64) -> Self {
+        let mut d = Duration {
+            months,
+            days,
+            seconds,
+            nanos,
+        };
+        d.normalize();
+        d
+    }
+
+    fn normalize(&mut self) {
+        self.seconds += self.nanos.div_euclid(NANOS_PER_SEC);
+        self.nanos = self.nanos.rem_euclid(NANOS_PER_SEC);
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, o: Duration) -> Duration {
+        Duration::new(
+            self.months + o.months,
+            self.days + o.days,
+            self.seconds + o.seconds,
+            self.nanos + o.nanos,
+        )
+    }
+
+    /// Component-wise negation.
+    pub fn negate(self) -> Duration {
+        Duration::new(-self.months, -self.days, -self.seconds, -self.nanos)
+    }
+
+    /// Exact duration (days/seconds only) between two dates.
+    pub fn between_dates(a: Date, b: Date) -> Duration {
+        Duration::new(0, b.epoch_days - a.epoch_days, 0, 0)
+    }
+
+    /// Exact duration between two local datetimes (days + seconds + nanos).
+    pub fn between(a: LocalDateTime, b: LocalDateTime) -> Duration {
+        let diff = b.epoch_nanos() - a.epoch_nanos();
+        let day_nanos = SECS_PER_DAY as i128 * NANOS_PER_SEC as i128;
+        let days = diff.div_euclid(day_nanos);
+        let rem = diff.rem_euclid(day_nanos);
+        let seconds = rem.div_euclid(NANOS_PER_SEC as i128);
+        let nanos = rem.rem_euclid(NANOS_PER_SEC as i128);
+        Duration::new(0, days as i64, seconds as i64, nanos as i64)
+    }
+
+    /// Parses an ISO-8601 duration literal, e.g. `P1Y2M3DT4H5M6.5S`.
+    pub fn parse(s: &str) -> Result<Self, TemporalError> {
+        let (neg, rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s),
+        };
+        let rest = rest
+            .strip_prefix('P')
+            .ok_or_else(|| TemporalError(format!("duration must start with P: {s}")))?;
+        let (date_part, time_part) = match rest.split_once('T') {
+            Some((d, t)) => (d, t),
+            None => (rest, ""),
+        };
+        let mut months: i64 = 0;
+        let mut days: i64 = 0;
+        let mut seconds: i64 = 0;
+        let mut nanos: i64 = 0;
+
+        let mut parse_fields = |part: &str, is_time: bool| -> Result<(), TemporalError> {
+            let mut num = String::new();
+            for c in part.chars() {
+                if c.is_ascii_digit() || c == '.' {
+                    num.push(c);
+                } else {
+                    if num.is_empty() {
+                        return err(format!("invalid duration: {s}"));
+                    }
+                    let (int_part, frac_part) = match num.split_once('.') {
+                        Some((i, f)) => (i.to_string(), Some(f.to_string())),
+                        None => (num.clone(), None),
+                    };
+                    let v: i64 = int_part
+                        .parse()
+                        .map_err(|_| TemporalError(format!("invalid duration: {s}")))?;
+                    match (is_time, c) {
+                        (false, 'Y') => months += v * 12,
+                        (false, 'M') => months += v,
+                        (false, 'W') => days += v * 7,
+                        (false, 'D') => days += v,
+                        (true, 'H') => seconds += v * 3600,
+                        (true, 'M') => seconds += v * 60,
+                        (true, 'S') => {
+                            seconds += v;
+                            if let Some(f) = &frac_part {
+                                let mut ns: i64 = f
+                                    .parse()
+                                    .map_err(|_| TemporalError(format!("invalid duration: {s}")))?;
+                                for _ in f.len()..9 {
+                                    ns *= 10;
+                                }
+                                nanos += ns;
+                            }
+                        }
+                        _ => return err(format!("invalid duration designator {c} in {s}")),
+                    }
+                    if frac_part.is_some() && c != 'S' {
+                        return err(format!("fraction only allowed on seconds: {s}"));
+                    }
+                    num.clear();
+                }
+            }
+            if !num.is_empty() {
+                return err(format!("trailing number in duration: {s}"));
+            }
+            Ok(())
+        };
+        parse_fields(date_part, false)?;
+        parse_fields(time_part, true)?;
+        let d = Duration::new(months, days, seconds, nanos);
+        Ok(if neg { d.negate() } else { d })
+    }
+
+    /// Total seconds ignoring months/days calendar semantics, used for a
+    /// deterministic comparison order (months ≈ 30 days, the openCypher
+    /// orderability convention for durations).
+    pub fn comparable_nanos(self) -> i128 {
+        let days = self.months as i128 * 30 + self.days as i128;
+        days * SECS_PER_DAY as i128 * NANOS_PER_SEC as i128
+            + self.seconds as i128 * NANOS_PER_SEC as i128
+            + self.nanos as i128
+    }
+}
+
+impl PartialOrd for Duration {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Duration {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.comparable_nanos().cmp(&other.comparable_nanos())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Duration::ZERO {
+            return write!(f, "PT0S");
+        }
+        write!(f, "P")?;
+        let years = self.months / 12;
+        let months = self.months % 12;
+        if years != 0 {
+            write!(f, "{years}Y")?;
+        }
+        if months != 0 {
+            write!(f, "{months}M")?;
+        }
+        if self.days != 0 {
+            write!(f, "{}D", self.days)?;
+        }
+        if self.seconds != 0 || self.nanos != 0 {
+            write!(f, "T")?;
+            let h = self.seconds / 3600;
+            let m = (self.seconds % 3600) / 60;
+            let s = self.seconds % 60;
+            if h != 0 {
+                write!(f, "{h}H")?;
+            }
+            if m != 0 {
+                write!(f, "{m}M")?;
+            }
+            if s != 0 || self.nanos != 0 {
+                if self.nanos == 0 {
+                    write!(f, "{s}S")?;
+                } else {
+                    let mut frac = format!("{:09}", self.nanos);
+                    while frac.ends_with('0') {
+                        frac.pop();
+                    }
+                    write!(f, "{s}.{frac}S")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Temporal: the tagged union used by `Value`
+// ---------------------------------------------------------------------------
+
+/// Any temporal value; this is the variant payload used by
+/// [`crate::Value::Temporal`].
+#[derive(Clone, Copy, PartialEq, Debug, Hash, Eq)]
+pub enum Temporal {
+    /// A calendar date.
+    Date(Date),
+    /// A time of day.
+    LocalTime(LocalTime),
+    /// A date and time without zone.
+    LocalDateTime(LocalDateTime),
+    /// A date and time with a fixed UTC offset.
+    DateTime(ZonedDateTime),
+    /// A duration.
+    Duration(Duration),
+}
+
+impl Temporal {
+    /// A discriminant rank used for cross-type orderability.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Temporal::Date(_) => 0,
+            Temporal::LocalTime(_) => 1,
+            Temporal::LocalDateTime(_) => 2,
+            Temporal::DateTime(_) => 3,
+            Temporal::Duration(_) => 4,
+        }
+    }
+
+    /// Total order: same-type values compare naturally, different temporal
+    /// types compare by rank (an arbitrary but stable convention).
+    pub fn cmp_order(&self, other: &Temporal) -> Ordering {
+        use Temporal::*;
+        match (self, other) {
+            (Date(a), Date(b)) => a.cmp(b),
+            (LocalTime(a), LocalTime(b)) => a.cmp(b),
+            (LocalDateTime(a), LocalDateTime(b)) => a.cmp(b),
+            (DateTime(a), DateTime(b)) => a.cmp(b),
+            (Duration(a), Duration(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Temporal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Temporal::Date(d) => write!(f, "{d}"),
+            Temporal::LocalTime(t) => write!(f, "{t}"),
+            Temporal::LocalDateTime(dt) => write!(f, "{dt}"),
+            Temporal::DateTime(z) => write!(f, "{z}"),
+            Temporal::Duration(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_epoch() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn civil_roundtrip_many() {
+        for days in (-1_000_000..1_000_000).step_by(9973) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2018));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2018, 2), 28);
+    }
+
+    #[test]
+    fn date_parse_display_roundtrip() {
+        for s in ["2018-06-10", "1970-01-01", "0001-12-31", "2400-02-29"] {
+            assert_eq!(Date::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        assert!(Date::parse("2018-13-01").is_err());
+        assert!(Date::parse("2018-02-29").is_err());
+        assert!(Date::parse("2018-00-10").is_err());
+        assert!(Date::parse("hello").is_err());
+    }
+
+    #[test]
+    fn weekday_known() {
+        // SIGMOD'18 started Sunday 2018-06-10.
+        assert_eq!(Date::parse("2018-06-10").unwrap().weekday(), 7);
+        assert_eq!(Date::parse("1970-01-01").unwrap().weekday(), 4); // Thursday
+    }
+
+    #[test]
+    fn time_parse_variants() {
+        assert_eq!(LocalTime::parse("12:30").unwrap().to_string(), "12:30:00");
+        assert_eq!(LocalTime::parse("12:30:45").unwrap().to_string(), "12:30:45");
+        assert_eq!(
+            LocalTime::parse("12:30:45.5").unwrap().to_string(),
+            "12:30:45.5"
+        );
+        assert_eq!(
+            LocalTime::parse("12:30:45.123456789").unwrap().nanosecond(),
+            123_456_789
+        );
+        assert!(LocalTime::parse("25:00").is_err());
+    }
+
+    #[test]
+    fn datetime_parse_and_order() {
+        let a = ZonedDateTime::parse("2018-06-10T12:00:00+02:00").unwrap();
+        let b = ZonedDateTime::parse("2018-06-10T11:00:00+00:00").unwrap();
+        // 12:00+02:00 is 10:00Z, earlier than 11:00Z.
+        assert!(a < b);
+        let z = ZonedDateTime::parse("2018-06-10T10:00:00Z").unwrap();
+        assert_eq!(a.instant_nanos(), z.instant_nanos());
+    }
+
+    #[test]
+    fn duration_parse_display() {
+        let d = Duration::parse("P1Y2M3DT4H5M6S").unwrap();
+        assert_eq!(d.months, 14);
+        assert_eq!(d.days, 3);
+        assert_eq!(d.seconds, 4 * 3600 + 5 * 60 + 6);
+        assert_eq!(d.to_string(), "P1Y2M3DT4H5M6S");
+        assert_eq!(Duration::parse("PT0.5S").unwrap().nanos, 500_000_000);
+        assert_eq!(Duration::parse("P2W").unwrap().days, 14);
+        assert!(Duration::parse("1Y").is_err());
+    }
+
+    #[test]
+    fn date_plus_months_clamps() {
+        let jan31 = Date::new(2018, 1, 31).unwrap();
+        let feb = jan31.plus(Duration::new(1, 0, 0, 0));
+        assert_eq!(feb.to_string(), "2018-02-28");
+        let leap = Date::new(2016, 1, 31).unwrap().plus(Duration::new(1, 0, 0, 0));
+        assert_eq!(leap.to_string(), "2016-02-29");
+    }
+
+    #[test]
+    fn datetime_plus_duration_carries() {
+        let dt = LocalDateTime::parse("2018-12-31T23:59:59").unwrap();
+        let later = dt.plus(Duration::new(0, 0, 2, 0));
+        assert_eq!(later.to_string(), "2019-01-01T00:00:01");
+    }
+
+    #[test]
+    fn duration_between() {
+        let a = LocalDateTime::parse("2018-06-10T00:00:00").unwrap();
+        let b = LocalDateTime::parse("2018-06-15T06:00:00").unwrap();
+        let d = Duration::between(a, b);
+        assert_eq!((d.days, d.seconds), (5, 6 * 3600));
+        let back = Duration::between(b, a);
+        assert_eq!(back.comparable_nanos(), -d.comparable_nanos());
+    }
+
+    #[test]
+    fn negative_duration_roundtrip() {
+        let d = Duration::parse("-P1D").unwrap();
+        assert_eq!(d.days, -1);
+        assert_eq!(d.plus(Duration::parse("P1D").unwrap()), Duration::ZERO);
+    }
+
+    #[test]
+    fn temporal_cross_type_order_is_total() {
+        let vals = [
+            Temporal::Date(Date::new(2018, 1, 1).unwrap()),
+            Temporal::LocalTime(LocalTime::new(1, 0, 0, 0).unwrap()),
+            Temporal::Duration(Duration::ZERO),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.cmp_order(b);
+                let ba = b.cmp_order(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the value model: the orderability relation
+//! must be a total order (reflexive, antisymmetric, transitive) for
+//! `ORDER BY`/`DISTINCT` to be well-defined, equivalence must be its
+//! kernel, and the equivalence hash must agree with it.
+
+use cypher_graph::{NodeId, Path, RelId, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(Value::Integer),
+        (-100i64..100).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(0.0)),
+        Just(Value::Float(-0.0)),
+        "[a-c]{0,3}".prop_map(Value::str),
+        (0u64..5).prop_map(|i| Value::Node(NodeId(i))),
+        (0u64..5).prop_map(|i| Value::Rel(RelId(i))),
+        (0u64..3, 0u64..3).prop_map(|(n, r)| {
+            let mut p = Path::single(NodeId(n));
+            p.push(RelId(r), NodeId(n + 1));
+            Value::Path(p)
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            proptest::collection::btree_map("[a-b]{1,2}", inner, 0..3).prop_map(|m| {
+                Value::Map(
+                    m.into_iter()
+                        .map(|(k, v)| (std::sync::Arc::from(k.as_str()), v))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn order_is_reflexive(a in arb_value()) {
+        prop_assert_eq!(a.cmp_order(&a), Ordering::Equal);
+        prop_assert!(a.equivalent(&a));
+    }
+
+    #[test]
+    fn order_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp_order(&b), b.cmp_order(&a).reverse());
+    }
+
+    #[test]
+    fn order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.cmp_order(y));
+        // After sorting, every adjacent pair must be ≤ — and so must the
+        // outer pair (transitivity witnessed through the sort).
+        prop_assert!(v[0].cmp_order(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].cmp_order(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].cmp_order(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn equivalence_is_order_kernel(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.equivalent(&b), a.cmp_order(&b) == Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_agrees_with_equivalence(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        if a.equivalent(&b) {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash_equivalent(&mut ha);
+            b.hash_equivalent(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn equality_implies_equivalence(a in arb_value(), b in arb_value()) {
+        // `a = b` true ⇒ a ≡ b (the converse fails for null and NaN).
+        if a.equals(&b).is_true() {
+            prop_assert!(a.equivalent(&b));
+        }
+    }
+
+    #[test]
+    fn equals_is_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.equals(&b), b.equals(&a));
+    }
+
+    #[test]
+    fn null_sorts_last(a in arb_value()) {
+        if !a.is_null() {
+            prop_assert_eq!(a.cmp_order(&Value::Null), Ordering::Less);
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! The lexer: Cypher text → token stream with source positions.
+//!
+//! Keywords are not distinguished at this level — Cypher keywords are
+//! case-insensitive and non-reserved in many positions, so the parser
+//! matches identifier tokens against keywords contextually.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// An identifier or keyword (including backtick-quoted identifiers,
+    /// with the quotes removed).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (quotes removed, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `|`
+    Pipe,
+    /// `-`
+    Dash,
+    /// `+`
+    Plus,
+    /// `+=`
+    PlusEq,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `$`
+    Dollar,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::Pipe => write!(f, "|"),
+            Token::Dash => write!(f, "-"),
+            Token::Plus => write!(f, "+"),
+            Token::PlusEq => write!(f, "+="),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Caret => write!(f, "^"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Dollar => write!(f, "$"),
+        }
+    }
+}
+
+/// A token paired with its position in the source text.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexing failure with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError {
+                                    msg: "unterminated block comment".into(),
+                                    line: l,
+                                    col: c,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(c) if c == quote => return Ok(Token::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'\'') => out.push('\''),
+                    Some(b'"') => out.push('"'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.src.len() && (self.src[end] & 0xC0) == 0x80 {
+                            end += 1;
+                            self.bump();
+                        }
+                        let s = std::str::from_utf8(&self.src[start..end])
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A '.' begins a fraction only if followed by a digit (so `1..3`
+        // lexes as `1`, `..`, `3`).
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `1e` as ident boundary).
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| self.error(format!("invalid float literal {text}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| self.error(format!("integer literal out of range: {text}")))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        Token::Ident(std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string())
+    }
+
+    fn lex_backtick_ident(&mut self) -> Result<Token, LexError> {
+        self.bump(); // opening backtick
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated backtick identifier")),
+                Some(b'`') => return Ok(Token::Ident(out)),
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Spanned>, LexError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'\'' | b'"' => self.lex_string(c)?,
+            b'`' => self.lex_backtick_ident()?,
+            b'0'..=b'9' => self.lex_number()?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            b'(' => {
+                self.bump();
+                Token::LParen
+            }
+            b')' => {
+                self.bump();
+                Token::RParen
+            }
+            b'[' => {
+                self.bump();
+                Token::LBracket
+            }
+            b']' => {
+                self.bump();
+                Token::RBracket
+            }
+            b'{' => {
+                self.bump();
+                Token::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Token::RBrace
+            }
+            b',' => {
+                self.bump();
+                Token::Comma
+            }
+            b':' => {
+                self.bump();
+                Token::Colon
+            }
+            b';' => {
+                self.bump();
+                Token::Semicolon
+            }
+            b'|' => {
+                self.bump();
+                Token::Pipe
+            }
+            b'-' => {
+                self.bump();
+                Token::Dash
+            }
+            b'*' => {
+                self.bump();
+                Token::Star
+            }
+            b'/' => {
+                self.bump();
+                Token::Slash
+            }
+            b'%' => {
+                self.bump();
+                Token::Percent
+            }
+            b'^' => {
+                self.bump();
+                Token::Caret
+            }
+            b'$' => {
+                self.bump();
+                Token::Dollar
+            }
+            b'=' => {
+                self.bump();
+                Token::Eq
+            }
+            b'+' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::PlusEq
+                } else {
+                    Token::Plus
+                }
+            }
+            b'.' => {
+                self.bump();
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    Token::DotDot
+                } else {
+                    Token::Dot
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Token::Le
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Token::Neq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            other => {
+                return Err(self.error(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(Some(Spanned { tok, line, col }))
+    }
+}
+
+/// Lexes a complete source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(t) = lx.next_token()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_match() {
+        assert_eq!(
+            toks("MATCH (r:Researcher)"),
+            vec![
+                Token::Ident("MATCH".into()),
+                Token::LParen,
+                Token::Ident("r".into()),
+                Token::Colon,
+                Token::Ident("Researcher".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_decompose() {
+        assert_eq!(
+            toks("-[:CITES*]->"),
+            vec![
+                Token::Dash,
+                Token::LBracket,
+                Token::Colon,
+                Token::Ident("CITES".into()),
+                Token::Star,
+                Token::RBracket,
+                Token::Dash,
+                Token::Gt,
+            ]
+        );
+        assert_eq!(toks("<--"), vec![Token::Lt, Token::Dash, Token::Dash]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("2.5"), vec![Token::Float(2.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::Float(0.25)]);
+        // Slice syntax must not lex as a float.
+        assert_eq!(
+            toks("1..3"),
+            vec![Token::Int(1), Token::DotDot, Token::Int(3)]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#"'it\'s'"#), vec![Token::Str("it's".into())]);
+        assert_eq!(toks(r#""hi there""#), vec![Token::Str("hi there".into())]);
+        assert_eq!(toks(r#"'a\nb'"#), vec![Token::Str("a\nb".into())]);
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("RETURN // trailing\n 1 /* block\ncomment */ + 2"),
+            vec![
+                Token::Ident("RETURN".into()),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= <> > >= = + +="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Neq,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Plus,
+                Token::PlusEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn backtick_identifier() {
+        assert_eq!(
+            toks("`weird name`"),
+            vec![Token::Ident("weird name".into())]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("MATCH\n  (n)").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn dollar_parameter() {
+        assert_eq!(
+            toks("$param"),
+            vec![Token::Dollar, Token::Ident("param".into())]
+        );
+    }
+}

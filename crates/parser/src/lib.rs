@@ -1,0 +1,21 @@
+//! # cypher-parser
+//!
+//! Lexer and recursive-descent parser turning Cypher text into the
+//! [`cypher_ast`] abstract syntax. The grammar implemented is exactly the
+//! core grammar of Figures 3 and 5 of *Cypher: An Evolving Query Language
+//! for Property Graphs* (SIGMOD 2018), extended with the surface language
+//! the paper describes in prose: updating clauses, `ORDER BY` / `SKIP` /
+//! `LIMIT` / `DISTINCT`, `CASE`, comprehensions, quantifiers, parameters
+//! and the Cypher 10 multigraph clauses.
+//!
+//! ```
+//! use cypher_parser::parse_query;
+//! let q = parse_query("MATCH (r:Researcher) RETURN r.name").unwrap();
+//! assert!(!q.is_updating());
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Spanned, Token};
+pub use parser::{parse_expression, parse_pattern, parse_query, ParseError};

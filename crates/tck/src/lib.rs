@@ -1,0 +1,30 @@
+//! # cypher-tck
+//!
+//! A miniature Technology Compatibility Kit in the spirit of the
+//! openCypher TCK the paper describes (Section 5: "a Technology
+//! Compatibility Kit (TCK), designed using a language neutral framework
+//! (Cucumber)").
+//!
+//! Scenarios are written in a small given/when/then text DSL:
+//!
+//! ```text
+//! SCENARIO: count supervised students
+//! GIVEN
+//!   CREATE (r:Researcher {name: 'Elin'})-[:SUPERVISES]->(:Student)
+//! WHEN
+//!   MATCH (r:Researcher)-[:SUPERVISES]->(s) RETURN r.name AS n, count(s) AS c
+//! THEN
+//!   | n | c |
+//!   | 'Elin' | 1 |
+//! ```
+//!
+//! `GIVEN` is a Cypher update statement building the graph, `WHEN` the
+//! query under test, and `THEN` the expected table (bag equality; cells
+//! are Cypher literal expressions). `THEN ERROR` asserts that evaluation
+//! fails. Every scenario is run against **both** evaluators — the planner
+//! engine and the reference semantics — so the corpus doubles as a
+//! differential suite.
+
+pub mod runner;
+
+pub use runner::{parse_scenarios, run_scenario, run_scenarios, Scenario, TckError};

@@ -1,0 +1,292 @@
+//! Scenario parser and runner.
+
+use cypher::{
+    parse_expression, run, run_read, run_reference, EvalContext, Params, PropertyGraph, Record,
+    Schema, Table,
+};
+use cypher_core::expr::NoVars;
+use std::fmt;
+
+/// A single given/when/then scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The scenario title.
+    pub name: String,
+    /// Cypher update statements (one per line group) building the graph.
+    pub given: Vec<String>,
+    /// The query under test.
+    pub when: String,
+    /// The expected table, or `None` when an error is expected.
+    pub then: Option<ExpectedTable>,
+}
+
+/// An expected result table: header plus rows of literal expressions.
+#[derive(Debug, Clone)]
+pub struct ExpectedTable {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows of Cypher literal expressions (unevaluated text).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A scenario failure.
+#[derive(Debug)]
+pub struct TckError {
+    /// The failing scenario.
+    pub scenario: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario '{}': {}", self.scenario, self.message)
+    }
+}
+
+impl std::error::Error for TckError {}
+
+/// Parses a scenario corpus from its textual form.
+pub fn parse_scenarios(src: &str) -> Result<Vec<Scenario>, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Given,
+        When,
+        Then,
+    }
+    let mut out: Vec<Scenario> = Vec::new();
+    let mut current: Option<Scenario> = None;
+    let mut section = Section::None;
+    let mut expect_error = false;
+
+    for raw in src.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("SCENARIO:") {
+            if let Some(mut s) = current.take() {
+                if expect_error {
+                    s.then = None;
+                }
+                out.push(s);
+            }
+            current = Some(Scenario {
+                name: name.trim().to_string(),
+                given: Vec::new(),
+                when: String::new(),
+                then: Some(ExpectedTable {
+                    header: Vec::new(),
+                    rows: Vec::new(),
+                }),
+            });
+            section = Section::None;
+            expect_error = false;
+            continue;
+        }
+        let Some(s) = current.as_mut() else {
+            return Err(format!("content before first SCENARIO: {line}"));
+        };
+        match line {
+            "GIVEN" => {
+                section = Section::Given;
+                continue;
+            }
+            "WHEN" => {
+                section = Section::When;
+                continue;
+            }
+            "THEN" => {
+                section = Section::Then;
+                continue;
+            }
+            "THEN ERROR" => {
+                section = Section::Then;
+                expect_error = true;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::Given => s.given.push(line.to_string()),
+            Section::When => {
+                if !s.when.is_empty() {
+                    s.when.push(' ');
+                }
+                s.when.push_str(line);
+            }
+            Section::Then => {
+                if expect_error {
+                    return Err(format!("rows after THEN ERROR in '{}'", s.name));
+                }
+                let cells: Vec<String> = line
+                    .trim_matches('|')
+                    .split('|')
+                    .map(|c| c.trim().to_string())
+                    .collect();
+                let table = s.then.as_mut().expect("then table present");
+                if table.header.is_empty() {
+                    table.header = cells;
+                } else {
+                    if cells.len() != table.header.len() {
+                        return Err(format!(
+                            "row width mismatch in '{}': {line}",
+                            s.name
+                        ));
+                    }
+                    table.rows.push(cells);
+                }
+            }
+            _ => return Err(format!("line outside any section in '{}': {line}", s.name)),
+        }
+    }
+    if let Some(mut s) = current.take() {
+        if expect_error {
+            s.then = None;
+        }
+        out.push(s);
+    }
+    Ok(out)
+}
+
+fn expected_to_table(exp: &ExpectedTable) -> Result<Table, String> {
+    let schema = Schema::new(exp.header.clone());
+    let g = PropertyGraph::new();
+    let params = Params::new();
+    let ctx = EvalContext::new(&g, &params);
+    let mut rows = Vec::with_capacity(exp.rows.len());
+    for r in &exp.rows {
+        let mut vals = Vec::with_capacity(r.len());
+        for cell in r {
+            let e = parse_expression(cell).map_err(|e| format!("bad cell '{cell}': {e}"))?;
+            let v = cypher_core::eval_expr(&ctx, &NoVars, &e)
+                .map_err(|e| format!("bad cell '{cell}': {e}"))?;
+            vals.push(v);
+        }
+        rows.push(Record::new(vals));
+    }
+    Ok(Table::new(schema, rows))
+}
+
+/// Runs one scenario against both evaluators. Returns `Err` on the first
+/// divergence from the expectation.
+pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
+    let fail = |message: String| TckError {
+        scenario: s.name.clone(),
+        message,
+    };
+    let params = Params::new();
+    let mut g = PropertyGraph::new();
+    for stmt in &s.given {
+        run(&mut g, stmt, &params).map_err(|e| fail(format!("GIVEN failed: {e}")))?;
+    }
+    let engine_result = run_read(&g, &s.when, &params);
+    let reference_result = run_reference(&g, &s.when, &params);
+    match &s.then {
+        None => {
+            if engine_result.is_ok() {
+                return Err(fail("expected an error from the engine".into()));
+            }
+            if reference_result.is_ok() {
+                return Err(fail("expected an error from the reference".into()));
+            }
+            Ok(())
+        }
+        Some(exp) => {
+            let want = expected_to_table(exp).map_err(&fail)?;
+            let engine = engine_result.map_err(|e| fail(format!("engine failed: {e}")))?;
+            let reference =
+                reference_result.map_err(|e| fail(format!("reference failed: {e}")))?;
+            if !engine.bag_eq(&want) {
+                return Err(fail(format!(
+                    "engine result differs\nexpected:\n{want}\ngot:\n{engine}"
+                )));
+            }
+            if !reference.bag_eq(&want) {
+                return Err(fail(format!(
+                    "reference result differs\nexpected:\n{want}\ngot:\n{reference}"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Parses and runs a whole corpus, returning the number of scenarios on
+/// success.
+pub fn run_scenarios(src: &str) -> Result<usize, TckError> {
+    let scenarios = parse_scenarios(src).map_err(|message| TckError {
+        scenario: "<corpus>".into(),
+        message,
+    })?;
+    for s in &scenarios {
+        run_scenario(s)?;
+    }
+    Ok(scenarios.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_run_minimal() {
+        let n = run_scenarios(
+            "SCENARIO: simple count
+             GIVEN
+               CREATE (r:Researcher {name: 'Elin'})-[:SUPERVISES]->(:Student)
+             WHEN
+               MATCH (r:Researcher)-[:SUPERVISES]->(s) RETURN r.name AS n, count(s) AS c
+             THEN
+               | n | c |
+               | 'Elin' | 1 |",
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn failing_expectation_reports() {
+        let err = run_scenarios(
+            "SCENARIO: wrong expectation
+             WHEN
+               RETURN 1 AS x
+             THEN
+               | x |
+               | 2 |",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("differs"));
+    }
+
+    #[test]
+    fn expected_error_scenario() {
+        run_scenarios(
+            "SCENARIO: slice of integer is an error
+             WHEN
+               RETURN 1[0] AS x
+             THEN ERROR",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn multiline_when_and_comments() {
+        let n = run_scenarios(
+            "# a comment
+             SCENARIO: multiline
+             GIVEN
+               CREATE (:A {v: 1})
+               CREATE (:A {v: 2})
+             WHEN
+               MATCH (a:A)
+               RETURN sum(a.v) AS s
+             THEN
+               | s |
+               | 3 |",
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! # cypher-workload
+//!
+//! Deterministic synthetic graph generators for the application domains
+//! the paper draws its examples from (Sections 1 and 3): the Figure 1
+//! citation graph and Figure 4 teacher graph used by the formal examples,
+//! plus scaled-up generators for the industry queries — data-center
+//! dependency networks, fraud rings sharing personal information, social
+//! networks, and citation networks.
+//!
+//! All generators are seeded and reproducible; they substitute for the
+//! production datasets the paper's deployments run on (see DESIGN.md,
+//! "Simulated / substituted components").
+
+pub mod generators;
+
+pub use generators::*;

@@ -1,0 +1,112 @@
+//! The Section 3 walkthrough, step by step: every intermediate table the
+//! paper prints (Figure 2a, Figure 2b, the tables after lines 4 and 5, and
+//! the final result) is produced by running the corresponding query
+//! prefix. Also demonstrates parameters and the update language by
+//! extending the graph afterwards.
+//!
+//! ```sh
+//! cargo run --example academic_graph
+//! ```
+
+use cypher::workload::figure1;
+use cypher::{run, run_read, Params, Value};
+
+fn main() {
+    let mut g = figure1();
+    let params = Params::new();
+
+    println!("== Figure 2a: researchers and their (optional) students ==");
+    let fig2a = run_read(
+        &g,
+        "MATCH (r:Researcher)
+         OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+         RETURN r, s",
+        &params,
+    )
+    .unwrap();
+    println!("{fig2a}");
+
+    println!("== Figure 2b: WITH r, count(s) AS studentsSupervised ==");
+    let fig2b = run_read(
+        &g,
+        "MATCH (r:Researcher)
+         OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+         WITH r, count(s) AS studentsSupervised
+         RETURN r, studentsSupervised",
+        &params,
+    )
+    .unwrap();
+    println!("{fig2b}");
+
+    println!("== After line 4: Thor authored nothing and disappears ==");
+    let line4 = run_read(
+        &g,
+        "MATCH (r:Researcher)
+         OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+         WITH r, count(s) AS studentsSupervised
+         MATCH (r)-[:AUTHORS]->(p1:Publication)
+         RETURN r, studentsSupervised, p1",
+        &params,
+    )
+    .unwrap();
+    println!("{line4}");
+
+    println!("== After line 5: CITES* with the duplicate † rows ==");
+    let line5 = run_read(
+        &g,
+        "MATCH (r:Researcher)
+         OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+         WITH r, count(s) AS studentsSupervised
+         MATCH (r)-[:AUTHORS]->(p1:Publication)
+         OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+         RETURN r, studentsSupervised, p1, p2",
+        &params,
+    )
+    .unwrap();
+    println!("{line5}");
+
+    println!("== Final result (lines 6-7) ==");
+    let result = run_read(
+        &g,
+        "MATCH (r:Researcher)
+         OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+         WITH r, count(s) AS studentsSupervised
+         MATCH (r)-[:AUTHORS]->(p1:Publication)
+         OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+         RETURN r.name, studentsSupervised,
+                count(DISTINCT p2) AS citedCount",
+        &params,
+    )
+    .unwrap();
+    println!("{result}");
+
+    // Extend the graph: Thor finally publishes, citing Elin's p269.
+    println!("== Updating: Thor publishes (MERGE + CREATE) ==");
+    let mut p = Params::new();
+    p.insert("acmid".into(), Value::int(301));
+    run(
+        &mut g,
+        "MATCH (thor:Researcher {name: 'Thor'})
+         MERGE (paper:Publication {acmid: $acmid})
+         CREATE (thor)-[:AUTHORS]->(paper)
+         WITH paper
+         MATCH (cited:Publication {acmid: 269})
+         CREATE (paper)-[:CITES]->(cited)",
+        &p,
+    )
+    .unwrap();
+    let updated = run_read(
+        &g,
+        "MATCH (r:Researcher)-[:AUTHORS]->(p1:Publication)
+         OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+         RETURN r.name, count(DISTINCT p2) AS citedCount",
+        &params,
+    )
+    .unwrap();
+    println!("{updated}");
+    println!(
+        "graph now has {} nodes / {} relationships",
+        g.node_count(),
+        g.rel_count()
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build the paper's Figure 1 graph with Cypher `CREATE`
+//! statements, then run the Section 3 running example end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cypher::{explain, run, run_read, Params, PropertyGraph};
+
+fn main() {
+    let mut g = PropertyGraph::new();
+    let params = Params::new();
+
+    // Build the Figure 1 graph in Cypher itself.
+    run(
+        &mut g,
+        "CREATE (nils:Researcher {name: 'Nils'}),
+                (elin:Researcher {name: 'Elin'}),
+                (thor:Researcher {name: 'Thor'}),
+                (sten:Student {name: 'Sten'}),
+                (linda:Student {name: 'Linda'}),
+                (p220:Publication {acmid: 220}),
+                (p190:Publication {acmid: 190}),
+                (p235:Publication {acmid: 235}),
+                (p240:Publication {acmid: 240}),
+                (p269:Publication {acmid: 269}),
+                (nils)-[:AUTHORS]->(p220),
+                (elin)-[:AUTHORS]->(p240),
+                (elin)-[:AUTHORS]->(p269),
+                (elin)-[:SUPERVISES]->(sten),
+                (elin)-[:SUPERVISES]->(linda),
+                (thor)-[:SUPERVISES]->(sten),
+                (p220)-[:CITES]->(p190),
+                (p235)-[:CITES]->(p220),
+                (p240)-[:CITES]->(p220),
+                (p269)-[:CITES]->(p235),
+                (p269)-[:CITES]->(p240)",
+        &params,
+    )
+    .expect("graph construction");
+    println!(
+        "Built Figure 1: {} nodes, {} relationships\n",
+        g.node_count(),
+        g.rel_count()
+    );
+
+    // The running example of Section 3.
+    let query = "MATCH (r:Researcher)
+                 OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+                 WITH r, count(s) AS studentsSupervised
+                 MATCH (r)-[:AUTHORS]->(p1:Publication)
+                 OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+                 RETURN r.name, studentsSupervised,
+                        count(DISTINCT p2) AS citedCount";
+
+    println!("Query:\n{query}\n");
+    println!("Physical plan:\n{}", explain(&g, query).unwrap());
+
+    let table = run_read(&g, query, &params).expect("query execution");
+    println!("Result (the paper's final table):\n{table}");
+}

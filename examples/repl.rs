@@ -1,0 +1,97 @@
+//! An interactive Cypher shell over an in-memory graph.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Commands: any Cypher statement (reads and updates); `:explain <query>`
+//! prints the physical plan; `:schema` prints label/type statistics;
+//! `:load figure1|figure4|datacenter|fraud|social` replaces the graph with
+//! a generated workload; `:quit` exits.
+
+use cypher::{explain, run, Params, PropertyGraph};
+use cypher_workload as workload;
+use std::io::{self, BufRead, Write};
+
+fn print_schema(g: &PropertyGraph) {
+    println!("nodes: {}  relationships: {}", g.node_count(), g.rel_count());
+    let stats = g.stats();
+    let mut labels: Vec<_> = stats
+        .label_cardinality
+        .iter()
+        .map(|(&s, &c)| (g.resolve(s).to_string(), c))
+        .collect();
+    labels.sort();
+    for (l, c) in labels {
+        println!("  (:{l})            {c}");
+    }
+    let mut types: Vec<_> = stats
+        .type_cardinality
+        .iter()
+        .map(|(&s, &c)| (g.resolve(s).to_string(), c))
+        .collect();
+    types.sort();
+    for (t, c) in types {
+        println!("  -[:{t}]->         {c}");
+    }
+}
+
+fn main() {
+    let mut g = workload::figure1();
+    let params = Params::new();
+    println!("cypher-rs shell — Figure 1 graph loaded. :quit to exit.");
+    let stdin = io::stdin();
+    loop {
+        print!("cypher> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_str() {
+            ":quit" | ":q" | ":exit" => break,
+            ":schema" => {
+                print_schema(&g);
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(target) = line.strip_prefix(":load ") {
+            g = match target.trim() {
+                "figure1" => workload::figure1(),
+                "figure4" => workload::figure4(),
+                "datacenter" => workload::datacenter(200, 4, 2, 42),
+                "fraud" => workload::fraud_rings(100, 4, 4, 7),
+                "social" => workload::social_network(200, 6, 5, 11),
+                other => {
+                    println!("unknown workload: {other}");
+                    continue;
+                }
+            };
+            print_schema(&g);
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":explain ") {
+            match explain(&g, q) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        match run(&mut g, &line, &params) {
+            Ok(table) => {
+                print!("{table}");
+                println!(
+                    "{} row(s) in {:.1} ms",
+                    table.len(),
+                    t0.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Regression suite: each test pins a bug found (and fixed) during the
+//! development of this reproduction, so it stays fixed.
+
+use cypher::{run_read, run_reference, Params, PropertyGraph, Value};
+
+/// Zero-hop variable-length patterns must accept even when the
+/// relationship type (or a property key) was never interned in the graph:
+/// the per-hop conditions are vacuous over zero hops. (The engine's
+/// Expand operator used to bail out entirely.)
+#[test]
+fn zero_hop_accepts_with_unknown_type() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["A"], [("i", Value::int(0))]);
+    let params = Params::new();
+    let q = "MATCH (a)-[rs:NEVER_USED*0..2]->(b) RETURN a.i, size(rs) AS hops, b.i";
+    let engine = run_read(&g, q, &params).unwrap();
+    let reference = run_reference(&g, q, &params).unwrap();
+    assert!(engine.bag_eq(&reference));
+    assert_eq!(engine.len(), 1);
+    assert_eq!(engine.cell(0, "hops"), Some(&Value::int(0)));
+}
+
+/// `exists(<pattern>)` must return the pattern's truth value, not test the
+/// resulting boolean for null-ness (which made every `exists` true).
+#[test]
+fn exists_of_non_matching_pattern_is_false() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["A"], []);
+    let params = Params::new();
+    let q = "MATCH (a:A) RETURN exists((a)-[:NOPE]->()) AS e";
+    for t in [
+        run_read(&g, q, &params).unwrap(),
+        run_reference(&g, q, &params).unwrap(),
+    ] {
+        assert_eq!(t.cell(0, "e"), Some(&Value::Bool(false)));
+    }
+}
+
+/// `ORDER BY` must be able to reference pre-projection variables
+/// (`RETURN a.i ORDER BY a.x` is legal Cypher), with projected aliases
+/// taking precedence on collision.
+#[test]
+fn order_by_sees_pre_projection_scope() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["P"], [("i", Value::int(1)), ("w", Value::int(9))]);
+    g.add_node(&["P"], [("i", Value::int(2)), ("w", Value::int(8))]);
+    let params = Params::new();
+    let q = "MATCH (p:P) RETURN p.i AS i ORDER BY p.w";
+    for t in [
+        run_read(&g, q, &params).unwrap(),
+        run_reference(&g, q, &params).unwrap(),
+    ] {
+        assert_eq!(t.rows()[0].get(0), &Value::int(2));
+        assert_eq!(t.rows()[1].get(0), &Value::int(1));
+    }
+    // After DISTINCT, only projected columns are addressable.
+    let bad = "MATCH (p:P) RETURN DISTINCT p.i AS i ORDER BY p.w";
+    assert!(run_read(&g, bad, &params).is_err());
+}
+
+/// Negative numeric literals must round-trip through render/parse
+/// (`-1` folds to the literal −1; `(-1).a` keeps its parens).
+#[test]
+fn negative_literal_roundtrip() {
+    use cypher::ast::expr::{Expr, Literal};
+    use cypher::parse_expression;
+    let e = parse_expression("-1").unwrap();
+    assert_eq!(e, Expr::Lit(Literal::Integer(-1)));
+    let rendered = Expr::Prop(Box::new(Expr::Lit(Literal::Integer(-1))), "a".into()).to_string();
+    assert_eq!(rendered, "(-1).a");
+    let back = parse_expression(&rendered).unwrap();
+    assert!(matches!(back, Expr::Prop(_, _)));
+}
+
+/// `1..3` must lex as integer–range–integer, not as the float `1.` etc.
+#[test]
+fn slice_bounds_not_floats() {
+    assert_eq!(
+        run_read(
+            &PropertyGraph::new(),
+            "RETURN [9, 8, 7][1..3] AS s",
+            &Params::new()
+        )
+        .unwrap()
+        .cell(0, "s")
+        .unwrap()
+        .to_string(),
+        "[8, 7]"
+    );
+}
+
+/// A duplicate output name in a projection is an error, not a panic.
+#[test]
+fn duplicate_projection_names_error_cleanly() {
+    let g = PropertyGraph::new();
+    let params = Params::new();
+    assert!(run_read(&g, "RETURN 1 AS x, 2 AS x", &params).is_err());
+}
+
+/// An aggregate inside `WHERE` is an error even when rows exist.
+#[test]
+fn aggregate_in_where_is_error() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&[], []);
+    let params = Params::new();
+    assert!(run_read(&g, "MATCH (n) WHERE count(n) > 0 RETURN n", &params).is_err());
+}
+
+/// Expanding from a null-bound variable yields no matches (and no error):
+/// chaining MATCH after a failed OPTIONAL MATCH drops those rows.
+#[test]
+fn match_from_null_binding_drops_row() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["A"], []);
+    let params = Params::new();
+    let q = "MATCH (a:A)
+             OPTIONAL MATCH (a)-[:X]->(b)
+             MATCH (b)-[:Y]->(c)
+             RETURN count(*) AS n";
+    for t in [
+        run_read(&g, q, &params).unwrap(),
+        run_reference(&g, q, &params).unwrap(),
+    ] {
+        assert_eq!(t.cell(0, "n"), Some(&Value::int(0)));
+    }
+}
+
+/// Self-loops appear exactly once in undirected expansion (not once per
+/// orientation).
+#[test]
+fn self_loop_undirected_multiplicity() {
+    let mut g = PropertyGraph::new();
+    let n = g.add_node(&[], []);
+    g.add_rel(n, n, "L", []).unwrap();
+    let params = Params::new();
+    let q = "MATCH (a)-[r:L]-(b) RETURN count(*) AS c";
+    for t in [
+        run_read(&g, q, &params).unwrap(),
+        run_reference(&g, q, &params).unwrap(),
+    ] {
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(1)));
+    }
+}
+
+/// The property-index scan must not match `{k: null}` (equality with null
+/// is never true, even though null ≡ null under equivalence).
+#[test]
+fn null_property_pattern_never_matches() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["P"], []); // no k at all
+    let params = Params::new();
+    let q = "MATCH (p:P {k: null}) RETURN count(*) AS c";
+    for t in [
+        run_read(&g, q, &params).unwrap(),
+        run_reference(&g, q, &params).unwrap(),
+    ] {
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(0)));
+    }
+}
+
+/// Property-index lookups respect numeric equivalence (1 vs 1.0) while
+/// the residual filter keeps `=` exactness.
+#[test]
+fn property_index_numeric_equivalence() {
+    let mut g = PropertyGraph::new();
+    g.add_node(&["P"], [("k", Value::int(1))]);
+    g.add_node(&["P"], [("k", Value::float(1.0))]);
+    let params = Params::new();
+    let q = "MATCH (p:P {k: 1}) RETURN count(*) AS c";
+    let engine = run_read(&g, q, &params).unwrap();
+    let reference = run_reference(&g, q, &params).unwrap();
+    assert!(engine.bag_eq(&reference));
+    assert_eq!(engine.cell(0, "c"), Some(&Value::int(2)), "1 = 1.0 is true");
+}
+
+/// Aggregates nested under slices, indexing, CASE etc. must be extracted
+/// by the projection rewriter (`collect(x)[..3]` used to error).
+#[test]
+fn aggregates_nested_in_composite_expressions() {
+    let mut g = PropertyGraph::new();
+    for i in 1..=5 {
+        g.add_node(&["P"], [("v", Value::int(i))]);
+    }
+    let params = Params::new();
+    for (q, expect) in [
+        (
+            "MATCH (p:P) WITH p.v AS v ORDER BY v RETURN collect(v)[..2] AS x",
+            "[1, 2]",
+        ),
+        ("MATCH (p:P) RETURN collect(p.v)[0] IS NULL AS x", "false"),
+        (
+            "MATCH (p:P) RETURN CASE WHEN count(*) > 3 THEN 'many' ELSE 'few' END AS x",
+            "'many'",
+        ),
+        ("MATCH (p:P) RETURN (sum(p.v) IN [15]) AS x", "true"),
+        ("MATCH (p:P) RETURN {total: sum(p.v)}.total AS x", "15"),
+    ] {
+        let a = run_read(&g, q, &params).unwrap();
+        let b = run_reference(&g, q, &params).unwrap();
+        assert!(a.bag_eq(&b), "divergence on {q}");
+        assert_eq!(a.cell(0, "x").unwrap().to_string(), expect, "{q}");
+    }
+}

@@ -1,0 +1,541 @@
+//! The mini-TCK corpus (paper Section 5: openCypher ships "a Technology
+//! Compatibility Kit (TCK)"). Every scenario runs against both the planner
+//! engine and the reference semantics; see `crates/tck` for the DSL.
+
+use cypher_tck::run_scenarios;
+
+#[test]
+fn matching_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: match all nodes
+GIVEN
+  CREATE (:A), (:B), ()
+WHEN
+  MATCH (n) RETURN count(*) AS c
+THEN
+  | c |
+  | 3 |
+
+SCENARIO: match by label
+GIVEN
+  CREATE (:A {x: 1}), (:A {x: 2}), (:B {x: 3})
+WHEN
+  MATCH (n:A) RETURN n.x AS x
+THEN
+  | x |
+  | 1 |
+  | 2 |
+
+SCENARIO: match on property map
+GIVEN
+  CREATE (:P {name: 'Ada'}), (:P {name: 'Bo'})
+WHEN
+  MATCH (p:P {name: 'Ada'}) RETURN p.name AS n
+THEN
+  | n |
+  | 'Ada' |
+
+SCENARIO: directed relationship
+GIVEN
+  CREATE (:A {i: 1})-[:R]->(:A {i: 2})
+WHEN
+  MATCH (a)-[:R]->(b) RETURN a.i AS s, b.i AS t
+THEN
+  | s | t |
+  | 1 | 2 |
+
+SCENARIO: undirected matches both ways
+GIVEN
+  CREATE (:A {i: 1})-[:R]->(:A {i: 2})
+WHEN
+  MATCH (a)-[:R]-(b) RETURN a.i AS s, b.i AS t
+THEN
+  | s | t |
+  | 1 | 2 |
+  | 2 | 1 |
+
+SCENARIO: relationship property in pattern
+GIVEN
+  CREATE (:A)-[:R {w: 1}]->(:B)
+  CREATE (:A)-[:R {w: 2}]->(:B)
+WHEN
+  MATCH ()-[r:R {w: 2}]->() RETURN count(*) AS c
+THEN
+  | c |
+  | 1 |
+
+SCENARIO: multiple relationship types
+GIVEN
+  CREATE (:A {i: 1})-[:X]->(:B), (:A {i: 2})-[:Y]->(:B), (:A {i: 3})-[:Z]->(:B)
+WHEN
+  MATCH (a)-[:X|Y]->() RETURN a.i AS i
+THEN
+  | i |
+  | 1 |
+  | 2 |
+
+SCENARIO: variable length bounded
+GIVEN
+  CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})-[:R]->(:N {i: 3})
+WHEN
+  MATCH (a {i: 0})-[:R*1..2]->(b) RETURN b.i AS i
+THEN
+  | i |
+  | 1 |
+  | 2 |
+
+SCENARIO: variable length zero hops binds same node
+GIVEN
+  CREATE (:N {i: 0})-[:R]->(:N {i: 1})
+WHEN
+  MATCH (a {i: 0})-[:R*0..1]->(b) RETURN b.i AS i
+THEN
+  | i |
+  | 0 |
+  | 1 |
+
+SCENARIO: relationship isomorphism forbids reuse
+GIVEN
+  CREATE (:N {i: 0})-[:R]->(:N {i: 1})
+WHEN
+  MATCH (a)-[r1:R]->(b)-[r2:R]->(c) RETURN count(*) AS c
+THEN
+  | c |
+  | 0 |
+
+SCENARIO: disconnected patterns form cross product
+GIVEN
+  CREATE (:A), (:A), (:B)
+WHEN
+  MATCH (a:A), (b:B) RETURN count(*) AS c
+THEN
+  | c |
+  | 2 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 11);
+}
+
+#[test]
+fn filtering_and_expression_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: where with comparison
+GIVEN
+  CREATE (:P {x: 1}), (:P {x: 5}), (:P {x: 9})
+WHEN
+  MATCH (p:P) WHERE p.x > 4 RETURN p.x AS x
+THEN
+  | x |
+  | 5 |
+  | 9 |
+
+SCENARIO: null property comparisons drop rows
+GIVEN
+  CREATE (:P {x: 1}), (:P)
+WHEN
+  MATCH (p:P) WHERE p.x > 0 RETURN count(*) AS c
+THEN
+  | c |
+  | 1 |
+
+SCENARIO: three valued logic in where
+GIVEN
+  CREATE (:P {x: 1}), (:P)
+WHEN
+  MATCH (p:P) WHERE p.x > 0 OR p.x IS NULL RETURN count(*) AS c
+THEN
+  | c |
+  | 2 |
+
+SCENARIO: string predicates
+GIVEN
+  CREATE (:P {name: 'Nils'}), (:P {name: 'Elin'}), (:P {name: 'Thor'})
+WHEN
+  MATCH (p:P) WHERE p.name STARTS WITH 'N' OR p.name ENDS WITH 'or' RETURN p.name AS n
+THEN
+  | n |
+  | 'Nils' |
+  | 'Thor' |
+
+SCENARIO: in list
+GIVEN
+  CREATE (:P {x: 1}), (:P {x: 2}), (:P {x: 3})
+WHEN
+  MATCH (p:P) WHERE p.x IN [1, 3] RETURN p.x AS x
+THEN
+  | x |
+  | 1 |
+  | 3 |
+
+SCENARIO: label predicate expression
+GIVEN
+  CREATE (:SSN {v: 1}), (:Address {v: 2}), (:Other {v: 3})
+WHEN
+  MATCH (n) WHERE n:SSN OR n:Address RETURN n.v AS v
+THEN
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: case expression
+GIVEN
+  CREATE (:P {x: -2}), (:P {x: 3})
+WHEN
+  MATCH (p:P) RETURN CASE WHEN p.x < 0 THEN 'neg' ELSE 'pos' END AS s
+THEN
+  | s |
+  | 'neg' |
+  | 'pos' |
+
+SCENARIO: list comprehension and quantifier
+WHEN
+  RETURN [x IN range(1, 5) WHERE x % 2 = 1 | x * 10] AS odds, all(y IN [1, 2] WHERE y > 0) AS ok
+THEN
+  | odds | ok |
+  | [10, 30, 50] | true |
+
+SCENARIO: arithmetic and coalesce
+WHEN
+  RETURN 7 / 2 AS intdiv, 7.0 / 2 AS floatdiv, coalesce(null, 'x') AS c
+THEN
+  | intdiv | floatdiv | c |
+  | 3 | 3.5 | 'x' |
+
+SCENARIO: pattern predicate existential
+GIVEN
+  CREATE (:P {i: 1})-[:L]->(:Q)
+  CREATE (:P {i: 2})
+WHEN
+  MATCH (p:P) WHERE (p)-[:L]->(:Q) RETURN p.i AS i
+THEN
+  | i |
+  | 1 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 10);
+}
+
+#[test]
+fn projection_and_aggregation_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: implicit grouping keys
+GIVEN
+  CREATE (:P {g: 'a', v: 1}), (:P {g: 'a', v: 2}), (:P {g: 'b', v: 3})
+WHEN
+  MATCH (p:P) RETURN p.g AS g, sum(p.v) AS s
+THEN
+  | g | s |
+  | 'a' | 3 |
+  | 'b' | 3 |
+
+SCENARIO: count star versus count expr
+GIVEN
+  CREATE (:P {v: 1}), (:P)
+WHEN
+  MATCH (p:P) RETURN count(*) AS rows, count(p.v) AS vals
+THEN
+  | rows | vals |
+  | 2 | 1 |
+
+SCENARIO: collect builds lists
+GIVEN
+  CREATE (:P {v: 2}), (:P {v: 1})
+WHEN
+  MATCH (p:P) WITH p.v AS v ORDER BY v RETURN collect(v) AS vs
+THEN
+  | vs |
+  | [1, 2] |
+
+SCENARIO: distinct projection
+GIVEN
+  CREATE (:P {v: 1}), (:P {v: 1}), (:P {v: 2})
+WHEN
+  MATCH (p:P) RETURN DISTINCT p.v AS v
+THEN
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: order skip limit
+GIVEN
+  CREATE (:P {v: 3}), (:P {v: 1}), (:P {v: 4}), (:P {v: 2})
+WHEN
+  MATCH (p:P) RETURN p.v AS v ORDER BY v DESC SKIP 1 LIMIT 2
+THEN
+  | v |
+  | 3 |
+  | 2 |
+
+SCENARIO: with chains aggregations
+GIVEN
+  CREATE (:P {g: 'a', v: 1}), (:P {g: 'a', v: 2}), (:P {g: 'b', v: 30})
+WHEN
+  MATCH (p:P) WITH p.g AS g, sum(p.v) AS s WHERE s > 5 RETURN g, s
+THEN
+  | g | s |
+  | 'b' | 30 |
+
+SCENARIO: min max avg
+GIVEN
+  CREATE (:P {v: 1}), (:P {v: 2}), (:P {v: 3})
+WHEN
+  MATCH (p:P) RETURN min(p.v) AS lo, max(p.v) AS hi, avg(p.v) AS mean
+THEN
+  | lo | hi | mean |
+  | 1 | 3 | 2.0 |
+
+SCENARIO: union distinct and all
+GIVEN
+  CREATE (:A {v: 1}), (:B {v: 1})
+WHEN
+  MATCH (a:A) RETURN a.v AS v UNION MATCH (b:B) RETURN b.v AS v
+THEN
+  | v |
+  | 1 |
+
+SCENARIO: unwind expands lists
+WHEN
+  UNWIND [1, 2] AS x UNWIND ['a', 'b'] AS y RETURN x, y
+THEN
+  | x | y |
+  | 1 | 'a' |
+  | 1 | 'b' |
+  | 2 | 'a' |
+  | 2 | 'b' |
+
+SCENARIO: aggregation over empty match is zero
+WHEN
+  MATCH (n:Nope) RETURN count(n) AS c
+THEN
+  | c |
+  | 0 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 10);
+}
+
+#[test]
+fn pipeline_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: collect then unwind roundtrip
+GIVEN
+  CREATE (:P {v: 1}), (:P {v: 2})
+WHEN
+  MATCH (p:P) WITH collect(p) AS ps UNWIND ps AS q RETURN q.v AS v
+THEN
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: rebind node variable across clauses
+GIVEN
+  CREATE (:A {i: 1})-[:R]->(:B {i: 2})-[:R]->(:C {i: 3})
+WHEN
+  MATCH (a:A)-[:R]->(b) MATCH (b)-[:R]->(c) RETURN a.i, b.i, c.i
+THEN
+  | a.i | b.i | c.i |
+  | 1 | 2 | 3 |
+
+SCENARIO: relationship reuse allowed across separate match clauses
+GIVEN
+  CREATE (:A {i: 1})-[:R]->(:B {i: 2})
+WHEN
+  MATCH (a)-[r:R]->(b) MATCH (x)-[r]->(y) RETURN x.i, y.i
+THEN
+  | x.i | y.i |
+  | 1 | 2 |
+
+SCENARIO: with limits intermediate results
+GIVEN
+  CREATE (:P {v: 1}), (:P {v: 2}), (:P {v: 3})
+WHEN
+  MATCH (p:P) WITH p ORDER BY p.v DESC LIMIT 1 RETURN p.v AS v
+THEN
+  | v |
+  | 3 |
+
+SCENARIO: where after with sees aliases only
+GIVEN
+  CREATE (:P {v: 5})
+WHEN
+  MATCH (p:P) WITH p.v AS v WHERE v = 5 RETURN v
+THEN
+  | v |
+  | 5 |
+
+SCENARIO: optional match keeps rows when pattern var prebound
+GIVEN
+  CREATE (:A {i: 1})
+WHEN
+  MATCH (a:A) OPTIONAL MATCH (a)-[:NOPE]->(b) RETURN a.i, b
+THEN
+  | a.i | b |
+  | 1 | null |
+
+SCENARIO: cross product of unwinds with filtering
+WHEN
+  UNWIND [1, 2, 3] AS x UNWIND [10, 20] AS y WITH x, y WHERE x * y > 39 RETURN x, y
+THEN
+  | x | y |
+  | 2 | 20 |
+  | 3 | 20 |
+
+SCENARIO: union all across different matches
+GIVEN
+  CREATE (:A {v: 1}), (:B {v: 1})
+WHEN
+  MATCH (a:A) RETURN a.v AS v UNION ALL MATCH (b:B) RETURN b.v AS v
+THEN
+  | v |
+  | 1 |
+  | 1 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 8);
+}
+
+#[test]
+fn path_and_temporal_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: named path length
+GIVEN
+  CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})
+WHEN
+  MATCH p = (a {i: 0})-[:R*]->(b {i: 2}) RETURN length(p) AS len
+THEN
+  | len |
+  | 2 |
+
+SCENARIO: nodes and relationships of a path
+GIVEN
+  CREATE (:N {i: 0})-[:R]->(:N {i: 1})
+WHEN
+  MATCH p = (a {i: 0})-[:R]->(b) RETURN size(nodes(p)) AS n, size(relationships(p)) AS r
+THEN
+  | n | r |
+  | 2 | 1 |
+
+SCENARIO: zero length named path
+GIVEN
+  CREATE (:N {i: 0})
+WHEN
+  MATCH p = (a:N) RETURN length(p) AS len
+THEN
+  | len |
+  | 0 |
+
+SCENARIO: date comparison in where
+GIVEN
+  CREATE (:E {on: date('2018-06-10')})
+  CREATE (:E {on: date('2019-06-10')})
+WHEN
+  MATCH (e:E) WHERE e.on < date('2019-01-01') RETURN e.on.year AS y
+THEN
+  | y |
+  | 2018 |
+
+SCENARIO: duration arithmetic
+WHEN
+  RETURN (date('2018-06-10') + duration('P1M2D')).month AS m,
+         (date('2018-06-10') + duration('P1M2D')).day AS d
+THEN
+  | m | d |
+  | 7 | 12 |
+
+SCENARIO: order by with nulls last
+GIVEN
+  CREATE (:P {v: 2}), (:P), (:P {v: 1})
+WHEN
+  MATCH (p:P) RETURN p.v AS v ORDER BY v LIMIT 2
+THEN
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: order by descending on strings
+GIVEN
+  CREATE (:P {s: 'a'}), (:P {s: 'c'}), (:P {s: 'b'})
+WHEN
+  MATCH (p:P) RETURN p.s AS s ORDER BY s DESC LIMIT 1
+THEN
+  | s |
+  | 'c' |
+
+SCENARIO: order by pre projection variable
+GIVEN
+  CREATE (:P {a: 1, b: 9}), (:P {a: 2, b: 8})
+WHEN
+  MATCH (p:P) RETURN p.a AS a ORDER BY p.b
+THEN
+  | a |
+  | 2 |
+  | 1 |
+
+SCENARIO: merge inside tck given
+GIVEN
+  MERGE (a:Hub {name: 'h'})
+  MERGE (a:Hub {name: 'h'})
+WHEN
+  MATCH (h:Hub) RETURN count(*) AS c
+THEN
+  | c |
+  | 1 |
+
+SCENARIO: property index lookup agrees with filter
+GIVEN
+  CREATE (:P {k: 1}), (:P {k: 2}), (:P {k: 2}), (:Q {k: 2})
+WHEN
+  MATCH (p:P {k: 2}) RETURN count(*) AS c
+THEN
+  | c |
+  | 2 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 10);
+}
+
+#[test]
+fn error_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: undefined variable
+WHEN
+  RETURN nosuchvar
+THEN ERROR
+
+SCENARIO: division by zero
+WHEN
+  RETURN 1 / 0 AS x
+THEN ERROR
+
+SCENARIO: union with different columns
+WHEN
+  RETURN 1 AS x UNION RETURN 1 AS y
+THEN ERROR
+
+SCENARIO: missing parameter
+WHEN
+  RETURN $missing AS x
+THEN ERROR
+
+SCENARIO: aggregate in where
+GIVEN
+  CREATE ()
+WHEN
+  MATCH (n) WHERE count(n) > 0 RETURN n
+THEN ERROR
+",
+    )
+    .unwrap();
+    assert_eq!(n, 5);
+}
