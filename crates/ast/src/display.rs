@@ -72,135 +72,135 @@ impl fmt::Display for ArithOp {
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            use Expr::*;
-            match self {
-                Lit(l) => write!(f, "{l}"),
-                Var(a) => write!(f, "{a}"),
-                Param(p) => write!(f, "${p}"),
-                Prop(e, k) => write!(f, "{e}.{k}"),
-                Map(kvs) => {
-                    write!(f, "{{")?;
-                    for (i, (k, v)) in kvs.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{k}: {v}")?;
+        use Expr::*;
+        match self {
+            Lit(l) => write!(f, "{l}"),
+            Var(a) => write!(f, "{a}"),
+            Param(p) => write!(f, "${p}"),
+            Prop(e, k) => write!(f, "{e}.{k}"),
+            Map(kvs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in kvs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, "}}")
+                    write!(f, "{k}: {v}")?;
                 }
-                List(es) => {
-                    write!(f, "[")?;
-                    for (i, e) in es.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{e}")?;
+                write!(f, "}}")
+            }
+            List(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, "]")
+                    write!(f, "{e}")?;
                 }
-                In(a, b) => write!(f, "({a} IN {b})"),
-                Index(a, b) => write!(f, "{a}[{b}]"),
-                Slice(e, lo, hi) => {
-                    write!(f, "{e}[")?;
-                    if let Some(lo) = lo {
-                        write!(f, "{lo}")?;
-                    }
-                    write!(f, "..")?;
-                    if let Some(hi) = hi {
-                        write!(f, "{hi}")?;
-                    }
-                    write!(f, "]")
+                write!(f, "]")
+            }
+            In(a, b) => write!(f, "({a} IN {b})"),
+            Index(a, b) => write!(f, "{a}[{b}]"),
+            Slice(e, lo, hi) => {
+                write!(f, "{e}[")?;
+                if let Some(lo) = lo {
+                    write!(f, "{lo}")?;
                 }
-                StartsWith(a, b) => write!(f, "({a} STARTS WITH {b})"),
-                EndsWith(a, b) => write!(f, "({a} ENDS WITH {b})"),
-                Contains(a, b) => write!(f, "({a} CONTAINS {b})"),
-                Or(a, b) => write!(f, "({a} OR {b})"),
-                And(a, b) => write!(f, "({a} AND {b})"),
-                Xor(a, b) => write!(f, "({a} XOR {b})"),
-                Not(e) => write!(f, "(NOT {e})"),
-                IsNull(e) => write!(f, "({e} IS NULL)"),
-                IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
-                Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
-                Arith(op, a, b) => write!(f, "({a} {op} {b})"),
-                Neg(e) => write!(f, "(-{e})"),
-                FnCall {
-                    name,
-                    args,
-                    distinct,
-                } => {
-                    write!(f, "{name}(")?;
-                    if *distinct {
-                        write!(f, "DISTINCT ")?;
-                    }
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{a}")?;
-                    }
-                    write!(f, ")")
+                write!(f, "..")?;
+                if let Some(hi) = hi {
+                    write!(f, "{hi}")?;
                 }
-                CountStar => write!(f, "count(*)"),
-                HasLabels(e, ls) => {
-                    write!(f, "({e}")?;
-                    for l in ls {
-                        write!(f, ":{l}")?;
-                    }
-                    write!(f, ")")
+                write!(f, "]")
+            }
+            StartsWith(a, b) => write!(f, "({a} STARTS WITH {b})"),
+            EndsWith(a, b) => write!(f, "({a} ENDS WITH {b})"),
+            Contains(a, b) => write!(f, "({a} CONTAINS {b})"),
+            Or(a, b) => write!(f, "({a} OR {b})"),
+            And(a, b) => write!(f, "({a} AND {b})"),
+            Xor(a, b) => write!(f, "({a} XOR {b})"),
+            Not(e) => write!(f, "(NOT {e})"),
+            IsNull(e) => write!(f, "({e} IS NULL)"),
+            IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Neg(e) => write!(f, "(-{e})"),
+            FnCall {
+                name,
+                args,
+                distinct,
+            } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
                 }
-                Case {
-                    input,
-                    whens,
-                    else_,
-                } => {
-                    write!(f, "CASE")?;
-                    if let Some(i) = input {
-                        write!(f, " {i}")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    for (w, t) in whens {
-                        write!(f, " WHEN {w} THEN {t}")?;
-                    }
-                    if let Some(e) = else_ {
-                        write!(f, " ELSE {e}")?;
-                    }
-                    write!(f, " END")
+                    write!(f, "{a}")?;
                 }
-                ListComprehension {
-                    var,
-                    list,
-                    filter,
-                    body,
-                } => {
-                    write!(f, "[{var} IN {list}")?;
-                    if let Some(p) = filter {
-                        write!(f, " WHERE {p}")?;
-                    }
-                    if let Some(b) = body {
-                        write!(f, " | {b}")?;
-                    }
-                    write!(f, "]")
+                write!(f, ")")
+            }
+            CountStar => write!(f, "count(*)"),
+            HasLabels(e, ls) => {
+                write!(f, "({e}")?;
+                for l in ls {
+                    write!(f, ":{l}")?;
                 }
-                Quantified { q, var, list, pred } => {
-                    let name = match q {
-                        Quantifier::All => "all",
-                        Quantifier::Any => "any",
-                        Quantifier::None => "none",
-                        Quantifier::Single => "single",
-                    };
-                    write!(f, "{name}({var} IN {list} WHERE {pred})")
+                write!(f, ")")
+            }
+            Case {
+                input,
+                whens,
+                else_,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(i) = input {
+                    write!(f, " {i}")?;
                 }
-                PatternPredicate(p) => write!(f, "{p}"),
-                PatternComprehension {
-                    pattern,
-                    filter,
-                    body,
-                } => {
-                    write!(f, "[{pattern}")?;
-                    if let Some(p) = filter {
-                        write!(f, " WHERE {p}")?;
-                    }
-                    write!(f, " | {body}]")
+                for (w, t) in whens {
+                    write!(f, " WHEN {w} THEN {t}")?;
                 }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ListComprehension {
+                var,
+                list,
+                filter,
+                body,
+            } => {
+                write!(f, "[{var} IN {list}")?;
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                if let Some(b) = body {
+                    write!(f, " | {b}")?;
+                }
+                write!(f, "]")
+            }
+            Quantified { q, var, list, pred } => {
+                let name = match q {
+                    Quantifier::All => "all",
+                    Quantifier::Any => "any",
+                    Quantifier::None => "none",
+                    Quantifier::Single => "single",
+                };
+                write!(f, "{name}({var} IN {list} WHERE {pred})")
+            }
+            PatternPredicate(p) => write!(f, "{p}"),
+            PatternComprehension {
+                pattern,
+                filter,
+                body,
+            } => {
+                write!(f, "[{pattern}")?;
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                write!(f, " | {body}]")
+            }
         }
     }
 }

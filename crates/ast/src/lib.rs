@@ -15,6 +15,8 @@
 //! Names are plain strings at this level; the evaluators intern them against
 //! a graph's token table when a query is bound.
 
+#![warn(missing_docs)]
+
 pub mod display;
 pub mod expr;
 pub mod pattern;
@@ -23,6 +25,4 @@ pub mod visit;
 
 pub use expr::{ArithOp, CmpOp, Expr, Literal, Quantifier};
 pub use pattern::{Dir, NodePattern, PathPattern, RangeSpec, RelPattern};
-pub use query::{
-    Clause, Query, RemoveItem, Return, ReturnItem, SetItem, SingleQuery, SortItem,
-};
+pub use query::{Clause, Query, RemoveItem, Return, ReturnItem, SetItem, SingleQuery, SortItem};

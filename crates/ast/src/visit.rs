@@ -34,7 +34,9 @@ pub fn expr_vars(e: &Expr, out: &mut Vec<String>) {
                 }
             }
         }
-        Expr::Quantified { var, list, pred, .. } => {
+        Expr::Quantified {
+            var, list, pred, ..
+        } => {
             expr_vars(list, out);
             let mut inner = Vec::new();
             expr_vars(pred, &mut inner);

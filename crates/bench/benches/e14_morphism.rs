@@ -14,8 +14,10 @@ fn cycle_with_chords(n: u64) -> PropertyGraph {
     let mut g = PropertyGraph::new();
     let ids: Vec<_> = (0..n).map(|_| g.add_node(&["N"], [])).collect();
     for i in 0..n as usize {
-        g.add_rel(ids[i], ids[(i + 1) % n as usize], "E", []).unwrap();
-        g.add_rel(ids[i], ids[(i + 2) % n as usize], "E", []).unwrap();
+        g.add_rel(ids[i], ids[(i + 1) % n as usize], "E", [])
+            .unwrap();
+        g.add_rel(ids[i], ids[(i + 2) % n as usize], "E", [])
+            .unwrap();
     }
     g
 }

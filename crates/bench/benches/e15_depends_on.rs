@@ -16,17 +16,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e15_depends_on");
     for services in [50usize, 100, 200] {
         let g = datacenter(services, 4, 2, 42);
-        group.bench_with_input(
-            BenchmarkId::new("engine", services),
-            &g,
-            |b, g| b.iter(|| run_read(g, QUERY, &params).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("engine", services), &g, |b, g| {
+            b.iter(|| run_read(g, QUERY, &params).unwrap())
+        });
         if services <= 100 {
-            group.bench_with_input(
-                BenchmarkId::new("reference", services),
-                &g,
-                |b, g| b.iter(|| run_reference(g, QUERY, &params).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("reference", services), &g, |b, g| {
+                b.iter(|| run_reference(g, QUERY, &params).unwrap())
+            });
         }
     }
     group.finish();

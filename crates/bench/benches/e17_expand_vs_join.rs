@@ -11,8 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cypher::{run_read_with, EngineConfig, Params, PlannerMode};
 use cypher_workload::social_network;
 
-const ONE_HOP: &str =
-    "MATCH (a:Person)-[:FRIEND]->(b:Person) RETURN count(*) AS c";
+const ONE_HOP: &str = "MATCH (a:Person)-[:FRIEND]->(b:Person) RETURN count(*) AS c";
 const TWO_HOP: &str =
     "MATCH (a:Person)-[:FRIEND]->(b:Person)-[:FRIEND]->(c:Person) RETURN count(*) AS c";
 
@@ -28,21 +27,17 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(6));
     for persons in [25usize, 50, 100] {
         let g = social_network(persons, 5, 4, 3);
-        group.bench_with_input(
-            BenchmarkId::new("expand/one_hop", persons),
-            &g,
-            |b, g| b.iter(|| run_read_with(g, ONE_HOP, &params, expand).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("expand/one_hop", persons), &g, |b, g| {
+            b.iter(|| run_read_with(g, ONE_HOP, &params, expand).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("cartesian/one_hop", persons),
             &g,
             |b, g| b.iter(|| run_read_with(g, ONE_HOP, &params, cartesian).unwrap()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("expand/two_hop", persons),
-            &g,
-            |b, g| b.iter(|| run_read_with(g, TWO_HOP, &params, expand).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("expand/two_hop", persons), &g, |b, g| {
+            b.iter(|| run_read_with(g, TWO_HOP, &params, expand).unwrap())
+        });
         // The baseline's two-hop cost is |V|³·|R|²-flavoured; only the
         // smallest size is affordable (that *is* the experiment's point).
         if persons <= 25 {

@@ -1,5 +1,5 @@
 //! General scaling sweeps: variable-length depth, pattern length,
-//! aggregation width, update throughput, and a crossbeam-parallel
+//! aggregation width, update throughput, and a scoped-thread parallel
 //! read-scaling sanity check (the shared store is read-lockable).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -93,7 +93,12 @@ fn update_throughput(c: &mut Criterion) {
     });
     group.bench_function("merge_match_or_create", |b| {
         let mut g = PropertyGraph::new();
-        run(&mut g, "UNWIND range(1, 50) AS i CREATE (:K {v: i})", &params).unwrap();
+        run(
+            &mut g,
+            "UNWIND range(1, 50) AS i CREATE (:K {v: i})",
+            &params,
+        )
+        .unwrap();
         b.iter(|| {
             // Half match, half create; graph grows slowly across samples,
             // which is fine for a throughput shape check.
@@ -119,14 +124,13 @@ fn parallel_readers(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    crossbeam::scope(|scope| {
+                    std::thread::scope(|scope| {
                         for _ in 0..threads {
                             let g = Arc::clone(&g);
                             let params = params.clone();
-                            scope.spawn(move |_| run_read(&g, q, &params).unwrap());
+                            scope.spawn(move || run_read(&g, q, &params).unwrap());
                         }
                     })
-                    .unwrap()
                 })
             },
         );

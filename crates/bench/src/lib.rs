@@ -6,6 +6,8 @@
 //! by roughly what factor — and EXPERIMENTS.md records the measured
 //! numbers next to the paper's claims.
 
+#![warn(missing_docs)]
+
 /// Shared helper: format a mean duration in microseconds.
 pub fn us(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e6

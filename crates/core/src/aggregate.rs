@@ -308,7 +308,10 @@ mod tests {
         let samp = run(AggKind::StDev, false, vals);
         let Value::Float(s) = samp else { panic!() };
         assert!((s - 2.138089935).abs() < 1e-6);
-        assert_eq!(run(AggKind::StDev, false, vec![Value::int(5)]), Value::float(0.0));
+        assert_eq!(
+            run(AggKind::StDev, false, vec![Value::int(5)]),
+            Value::float(0.0)
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::matching::{match_patterns, unbound_free_vars};
 use crate::table::{Record, Schema, Table};
 use crate::EvalContext;
 use cypher_ast::expr::Expr;
-use cypher_ast::query::{Clause, Return, ReturnItem, SortItem};
 use cypher_ast::pattern::PathPattern;
+use cypher_ast::query::{Clause, Return, ReturnItem, SortItem};
 use cypher_graph::{Tri, Value};
 use std::collections::HashMap;
 use std::hash::Hasher;
@@ -62,9 +62,9 @@ pub fn apply_clause(
         | Clause::Merge { .. }
         | Clause::Delete { .. }
         | Clause::Set { .. }
-        | Clause::Remove { .. } => err(
-            "updating clauses are not part of the read core; use cypher-engine to execute them",
-        ),
+        | Clause::Remove { .. } => {
+            err("updating clauses are not part of the read core; use cypher-engine to execute them")
+        }
         Clause::FromGraph { .. } => {
             err("FROM GRAPH requires the multigraph executor in cypher-engine")
         }
@@ -142,11 +142,7 @@ pub fn apply_optional_match(
 }
 
 /// `[[WHERE e]]_G(T) = { u ∈ T | [[e]]_{G,u} = true }`.
-pub fn apply_where(
-    ctx: &EvalContext<'_>,
-    pred: &Expr,
-    table: Table,
-) -> Result<Table, EvalError> {
+pub fn apply_where(ctx: &EvalContext<'_>, pred: &Expr, table: Table) -> Result<Table, EvalError> {
     let schema = table.schema().clone();
     let mut out = Table::empty(schema.clone());
     for u in table.rows() {
@@ -328,12 +324,16 @@ fn extract_aggregates(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
             whens,
             else_,
         } => Expr::Case {
-            input: input.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+            input: input
+                .as_ref()
+                .map(|x| Box::new(extract_aggregates(x, specs))),
             whens: whens
                 .iter()
                 .map(|(w, t)| (extract_aggregates(w, specs), extract_aggregates(t, specs)))
                 .collect(),
-            else_: else_.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+            else_: else_
+                .as_ref()
+                .map(|x| Box::new(extract_aggregates(x, specs))),
         },
         // Scoped forms (list/pattern comprehensions, quantifiers, pattern
         // predicates) cannot legally contain outer-level aggregates; they
@@ -427,13 +427,7 @@ pub fn apply_projection(
             let gi = bucket
                 .iter()
                 .copied()
-                .find(|&gi| {
-                    groups[gi]
-                        .0
-                        .iter()
-                        .zip(&key)
-                        .all(|(a, b)| a.equivalent(b))
-                })
+                .find(|&gi| groups[gi].0.iter().zip(&key).all(|(a, b)| a.equivalent(b)))
                 .unwrap_or_else(|| {
                     let aggs = all_specs
                         .iter()
@@ -535,11 +529,7 @@ pub fn apply_projection(
     Ok(out)
 }
 
-fn eval_count(
-    ctx: &EvalContext<'_>,
-    e: Option<&Expr>,
-    what: &str,
-) -> Result<usize, EvalError> {
+fn eval_count(ctx: &EvalContext<'_>, e: Option<&Expr>, what: &str) -> Result<usize, EvalError> {
     let Some(e) = e else { return Ok(0) };
     let v = eval_expr(ctx, &NoVars, e)?;
     match v.as_int() {
@@ -587,9 +577,7 @@ fn apply_order_by_scoped(
     for (i, u) in table.rows().iter().enumerate() {
         let scope = SortScope {
             projected: Bindings::new(&schema, u),
-            source: src
-                .as_ref()
-                .map(|(ss, rows)| Bindings::new(ss, &rows[i])),
+            source: src.as_ref().map(|(ss, rows)| Bindings::new(ss, &rows[i])),
         };
         let mut ks = Vec::with_capacity(keys.len());
         for k in keys {
@@ -689,12 +677,8 @@ mod tests {
             &["k"],
             vec![vec![Value::Null], vec![Value::Null], vec![Value::int(1)]],
         );
-        let out = apply_projection(
-            &ctx,
-            &ret_items(&[("k", None), ("count(*)", Some("c"))]),
-            t,
-        )
-        .unwrap();
+        let out =
+            apply_projection(&ctx, &ret_items(&[("k", None), ("count(*)", Some("c"))]), t).unwrap();
         let expected = table_of(
             &["k", "c"],
             vec![
@@ -753,12 +737,7 @@ mod tests {
         let g = PropertyGraph::new();
         let params = Params::new();
         let ctx = EvalContext::new(&g, &params);
-        let r = apply_unwind(
-            &ctx,
-            &parse_expression("[1]").unwrap(),
-            "v",
-            sample_table(),
-        );
+        let r = apply_unwind(&ctx, &parse_expression("[1]").unwrap(), "v", sample_table());
         assert!(r.is_err());
     }
 

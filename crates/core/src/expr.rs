@@ -380,7 +380,10 @@ pub fn eval_expr(
             let rows = matching::match_patterns(ctx, u, std::slice::from_ref(pattern))?;
             let mut out = Vec::with_capacity(rows.len());
             for bindings in rows {
-                let scope = WithBindings { parent: u, bindings: &bindings };
+                let scope = WithBindings {
+                    parent: u,
+                    bindings: &bindings,
+                };
                 if let Some(p) = filter {
                     if truth_of(ctx, &scope, p)? != Tri::True {
                         continue;
@@ -413,11 +416,7 @@ impl VarLookup for WithBindings<'_> {
 
 /// Evaluates an expression to a three-valued truth value (the coercion used
 /// by `WHERE` and the logical connectives).
-pub fn truth_of(
-    ctx: &EvalContext<'_>,
-    u: &dyn VarLookup,
-    e: &Expr,
-) -> Result<Tri, EvalError> {
+pub fn truth_of(ctx: &EvalContext<'_>, u: &dyn VarLookup, e: &Expr) -> Result<Tri, EvalError> {
     let v = eval_expr(ctx, u, e)?;
     match v {
         Value::Bool(b) => Ok(Tri::from_bool(b)),
@@ -439,11 +438,7 @@ fn eval_literal(l: &Literal) -> Value {
     }
 }
 
-fn eval_prop_access(
-    ctx: &EvalContext<'_>,
-    base: &Value,
-    key: &str,
-) -> Result<Value, EvalError> {
+fn eval_prop_access(ctx: &EvalContext<'_>, base: &Value, key: &str) -> Result<Value, EvalError> {
     match base {
         Value::Null => Ok(Value::Null),
         Value::Node(n) => Ok(ctx
@@ -535,7 +530,10 @@ fn eval_slice(base: &Value, lo: Option<Value>, hi: Option<Value>) -> Result<Valu
                 let j = if *i < 0 { i + len } else { *i };
                 Ok(Some(j.clamp(0, len)))
             }
-            other => err(format!("slice bound must be an integer, got {}", other.type_name())),
+            other => err(format!(
+                "slice bound must be an integer, got {}",
+                other.type_name()
+            )),
         }
     };
     let start = match &lo {
@@ -628,15 +626,18 @@ fn eval_arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
                 out.extend(y.iter().cloned());
                 Ok(List(out))
             }
-            (Temporal(cypher_graph::Temporal::Duration(x)), Temporal(cypher_graph::Temporal::Duration(y))) => {
-                Ok(Temporal(cypher_graph::Temporal::Duration(x.plus(*y))))
-            }
-            (Temporal(cypher_graph::Temporal::Date(d)), Temporal(cypher_graph::Temporal::Duration(x))) => {
-                Ok(Temporal(cypher_graph::Temporal::Date(d.plus(*x))))
-            }
-            (Temporal(cypher_graph::Temporal::LocalDateTime(dt)), Temporal(cypher_graph::Temporal::Duration(x))) => {
-                Ok(Temporal(cypher_graph::Temporal::LocalDateTime(dt.plus(*x))))
-            }
+            (
+                Temporal(cypher_graph::Temporal::Duration(x)),
+                Temporal(cypher_graph::Temporal::Duration(y)),
+            ) => Ok(Temporal(cypher_graph::Temporal::Duration(x.plus(*y)))),
+            (
+                Temporal(cypher_graph::Temporal::Date(d)),
+                Temporal(cypher_graph::Temporal::Duration(x)),
+            ) => Ok(Temporal(cypher_graph::Temporal::Date(d.plus(*x)))),
+            (
+                Temporal(cypher_graph::Temporal::LocalDateTime(dt)),
+                Temporal(cypher_graph::Temporal::Duration(x)),
+            ) => Ok(Temporal(cypher_graph::Temporal::LocalDateTime(dt.plus(*x)))),
             (x, y) => err(format!(
                 "cannot add {} and {}",
                 x.type_name(),
@@ -651,15 +652,22 @@ fn eval_arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
             (Float(x), Float(y)) => Ok(Float(x - y)),
             (Integer(x), Float(y)) => Ok(Float(*x as f64 - y)),
             (Float(x), Integer(y)) => Ok(Float(x - *y as f64)),
-            (Temporal(cypher_graph::Temporal::Duration(x)), Temporal(cypher_graph::Temporal::Duration(y))) => {
-                Ok(Temporal(cypher_graph::Temporal::Duration(x.plus(y.negate()))))
-            }
-            (Temporal(cypher_graph::Temporal::Date(d)), Temporal(cypher_graph::Temporal::Duration(x))) => {
-                Ok(Temporal(cypher_graph::Temporal::Date(d.plus(x.negate()))))
-            }
-            (Temporal(cypher_graph::Temporal::LocalDateTime(dt)), Temporal(cypher_graph::Temporal::Duration(x))) => {
-                Ok(Temporal(cypher_graph::Temporal::LocalDateTime(dt.plus(x.negate()))))
-            }
+            (
+                Temporal(cypher_graph::Temporal::Duration(x)),
+                Temporal(cypher_graph::Temporal::Duration(y)),
+            ) => Ok(Temporal(cypher_graph::Temporal::Duration(
+                x.plus(y.negate()),
+            ))),
+            (
+                Temporal(cypher_graph::Temporal::Date(d)),
+                Temporal(cypher_graph::Temporal::Duration(x)),
+            ) => Ok(Temporal(cypher_graph::Temporal::Date(d.plus(x.negate())))),
+            (
+                Temporal(cypher_graph::Temporal::LocalDateTime(dt)),
+                Temporal(cypher_graph::Temporal::Duration(x)),
+            ) => Ok(Temporal(cypher_graph::Temporal::LocalDateTime(
+                dt.plus(x.negate()),
+            ))),
             (x, y) => err(format!(
                 "cannot subtract {} from {}",
                 y.type_name(),

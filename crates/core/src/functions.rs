@@ -21,7 +21,10 @@ fn arity(name: &str, args: &[Value], n: usize) -> Result<(), EvalError> {
     if args.len() == n {
         Ok(())
     } else {
-        err(format!("{name}() expects {n} argument(s), got {}", args.len()))
+        err(format!(
+            "{name}() expects {n} argument(s), got {}",
+            args.len()
+        ))
     }
 }
 
@@ -39,7 +42,10 @@ pub fn apply_function(
                 Value::Null => Ok(Value::Null),
                 Value::Node(n) => Ok(Value::int(n.0 as i64)),
                 Value::Rel(r) => Ok(Value::int(r.0 as i64)),
-                v => err(format!("id() requires a node or relationship, got {}", v.type_name())),
+                v => err(format!(
+                    "id() requires a node or relationship, got {}",
+                    v.type_name()
+                )),
             }
         }
         "labels" => {
@@ -67,7 +73,10 @@ pub fn apply_function(
                         .ok_or_else(|| EvalError::new("dangling relationship"))?;
                     Ok(Value::str(ctx.graph.resolve(t)))
                 }
-                v => err(format!("type() requires a relationship, got {}", v.type_name())),
+                v => err(format!(
+                    "type() requires a relationship, got {}",
+                    v.type_name()
+                )),
             }
         }
         "properties" => {
@@ -113,7 +122,9 @@ pub fn apply_function(
                         .map(|(k, _)| Value::str(ctx.graph.resolve(k)))
                         .collect(),
                 )),
-                Value::Map(m) => Ok(Value::List(m.keys().map(|k| Value::str(k.as_ref())).collect())),
+                Value::Map(m) => Ok(Value::List(
+                    m.keys().map(|k| Value::str(k.as_ref())).collect(),
+                )),
                 v => err(format!("keys() does not apply to {}", v.type_name())),
             }
         }
@@ -130,7 +141,10 @@ pub fn apply_function(
                     .src(*r)
                     .map(Value::Node)
                     .ok_or_else(|| EvalError::new("dangling relationship")),
-                v => err(format!("startNode() requires a relationship, got {}", v.type_name())),
+                v => err(format!(
+                    "startNode() requires a relationship, got {}",
+                    v.type_name()
+                )),
             }
         }
         "endnode" => {
@@ -142,7 +156,10 @@ pub fn apply_function(
                     .tgt(*r)
                     .map(Value::Node)
                     .ok_or_else(|| EvalError::new("dangling relationship")),
-                v => err(format!("endNode() requires a relationship, got {}", v.type_name())),
+                v => err(format!(
+                    "endNode() requires a relationship, got {}",
+                    v.type_name()
+                )),
             }
         }
         // -- paths ------------------------------------------------------------
@@ -150,7 +167,9 @@ pub fn apply_function(
             arity(name, &args, 1)?;
             match &args[0] {
                 Value::Null => Ok(Value::Null),
-                Value::Path(p) => Ok(Value::List(p.nodes().into_iter().map(Value::Node).collect())),
+                Value::Path(p) => Ok(Value::List(
+                    p.nodes().into_iter().map(Value::Node).collect(),
+                )),
                 v => err(format!("nodes() requires a path, got {}", v.type_name())),
             }
         }
@@ -159,7 +178,10 @@ pub fn apply_function(
             match &args[0] {
                 Value::Null => Ok(Value::Null),
                 Value::Path(p) => Ok(Value::List(p.rels().into_iter().map(Value::Rel).collect())),
-                v => err(format!("relationships() requires a path, got {}", v.type_name())),
+                v => err(format!(
+                    "relationships() requires a path, got {}",
+                    v.type_name()
+                )),
             }
         }
         "length" => {
@@ -245,7 +267,10 @@ pub fn apply_function(
             }
             Ok(Value::List(out))
         }
-        "coalesce" => Ok(args.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
+        "coalesce" => Ok(args
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
         // -- conversions ---------------------------------------------------------
         "tostring" => {
             arity(name, &args, 1)?;
@@ -428,16 +453,15 @@ pub fn apply_function(
             arity(name, &args, 2)?;
             match (&args[0], &args[1]) {
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                (
-                    Value::Temporal(Temporal::Date(a)),
-                    Value::Temporal(Temporal::Date(b)),
-                ) => Ok(Value::Temporal(Temporal::Duration(Duration::between_dates(
-                    *a, *b,
-                )))),
+                (Value::Temporal(Temporal::Date(a)), Value::Temporal(Temporal::Date(b))) => Ok(
+                    Value::Temporal(Temporal::Duration(Duration::between_dates(*a, *b))),
+                ),
                 (
                     Value::Temporal(Temporal::LocalDateTime(a)),
                     Value::Temporal(Temporal::LocalDateTime(b)),
-                ) => Ok(Value::Temporal(Temporal::Duration(Duration::between(*a, *b)))),
+                ) => Ok(Value::Temporal(Temporal::Duration(Duration::between(
+                    *a, *b,
+                )))),
                 _ => err("durationBetween() requires two dates or two localdatetimes"),
             }
         }
@@ -446,8 +470,12 @@ pub fn apply_function(
 }
 
 fn int_arg(name: &str, v: &Value) -> Result<i64, EvalError> {
-    v.as_int()
-        .ok_or_else(|| EvalError::new(format!("{name}() requires an integer, got {}", v.type_name())))
+    v.as_int().ok_or_else(|| {
+        EvalError::new(format!(
+            "{name}() requires an integer, got {}",
+            v.type_name()
+        ))
+    })
 }
 
 fn str_arg<'a>(name: &str, v: &'a Value) -> Result<&'a str, EvalError> {
@@ -466,11 +494,7 @@ fn float_fn(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> Result<Value,
     }
 }
 
-fn string_fn(
-    name: &str,
-    args: &[Value],
-    f: impl Fn(&str) -> String,
-) -> Result<Value, EvalError> {
+fn string_fn(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> Result<Value, EvalError> {
     arity(name, args, 1)?;
     match &args[0] {
         Value::Null => Ok(Value::Null),
@@ -489,7 +513,10 @@ fn temporal_ctor(
             .map(Value::Temporal)
             .map_err(|e| EvalError::new(e.to_string())),
         Value::Temporal(t) => Ok(Value::Temporal(*t)),
-        v => err(format!("temporal constructor requires a string, got {}", v.type_name())),
+        v => err(format!(
+            "temporal constructor requires a string, got {}",
+            v.type_name()
+        )),
     }
 }
 
@@ -503,7 +530,8 @@ mod tests {
         let mut g = PropertyGraph::new();
         let a = g.add_node(&["Person", "Admin"], [("name", Value::str("Ada"))]);
         let b = g.add_node(&["Person"], []);
-        g.add_rel(a, b, "KNOWS", [("since", Value::int(1985))]).unwrap();
+        g.add_rel(a, b, "KNOWS", [("since", Value::int(1985))])
+            .unwrap();
         (g, Params::new())
     }
 
@@ -522,7 +550,10 @@ mod tests {
             call(&g, &p, "labels", vec![Value::Node(n)]).to_string(),
             "['Person', 'Admin']" // interning order
         );
-        assert_eq!(call(&g, &p, "type", vec![Value::Rel(r)]), Value::str("KNOWS"));
+        assert_eq!(
+            call(&g, &p, "type", vec![Value::Rel(r)]),
+            Value::str("KNOWS")
+        );
         assert_eq!(
             call(&g, &p, "keys", vec![Value::Node(n)]).to_string(),
             "['name']"
@@ -550,11 +581,23 @@ mod tests {
             "[3, 2, 1]"
         );
         assert_eq!(
-            call(&g, &p, "range", vec![Value::int(1), Value::int(5), Value::int(2)]).to_string(),
+            call(
+                &g,
+                &p,
+                "range",
+                vec![Value::int(1), Value::int(5), Value::int(2)]
+            )
+            .to_string(),
             "[1, 3, 5]"
         );
         assert_eq!(
-            call(&g, &p, "range", vec![Value::int(3), Value::int(1), Value::int(-1)]).to_string(),
+            call(
+                &g,
+                &p,
+                "range",
+                vec![Value::int(3), Value::int(1), Value::int(-1)]
+            )
+            .to_string(),
             "[3, 2, 1]"
         );
         assert_eq!(
@@ -572,12 +615,18 @@ mod tests {
     #[test]
     fn conversion_functions() {
         let (g, p) = ctx_graph();
-        assert_eq!(call(&g, &p, "tostring", vec![Value::int(7)]), Value::str("7"));
+        assert_eq!(
+            call(&g, &p, "tostring", vec![Value::int(7)]),
+            Value::str("7")
+        );
         assert_eq!(
             call(&g, &p, "tointeger", vec![Value::str(" 42 ")]),
             Value::int(42)
         );
-        assert_eq!(call(&g, &p, "tointeger", vec![Value::str("x")]), Value::Null);
+        assert_eq!(
+            call(&g, &p, "tointeger", vec![Value::str("x")]),
+            Value::Null
+        );
         assert_eq!(
             call(&g, &p, "tofloat", vec![Value::str("2.5")]),
             Value::float(2.5)
@@ -592,8 +641,14 @@ mod tests {
     fn numeric_functions() {
         let (g, p) = ctx_graph();
         assert_eq!(call(&g, &p, "abs", vec![Value::int(-3)]), Value::int(3));
-        assert_eq!(call(&g, &p, "sign", vec![Value::float(-0.5)]), Value::int(-1));
-        assert_eq!(call(&g, &p, "ceil", vec![Value::float(1.2)]), Value::float(2.0));
+        assert_eq!(
+            call(&g, &p, "sign", vec![Value::float(-0.5)]),
+            Value::int(-1)
+        );
+        assert_eq!(
+            call(&g, &p, "ceil", vec![Value::float(1.2)]),
+            Value::float(2.0)
+        );
         assert_eq!(call(&g, &p, "sqrt", vec![Value::int(9)]), Value::float(3.0));
         assert_eq!(call(&g, &p, "abs", vec![Value::Null]), Value::Null);
     }

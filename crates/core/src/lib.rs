@@ -39,6 +39,8 @@
 //! assert_eq!(out.cell(0, "r.name"), Some(&Value::str("Nils")));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod clauses;
 pub mod error;

@@ -285,8 +285,7 @@ impl<'a> MatchState<'a> {
             } else {
                 false
             };
-            let node_ok =
-                !self.ctx.config.morphism.nodes_distinct() || node_fresh;
+            let node_ok = !self.ctx.config.morphism.nodes_distinct() || node_fresh;
             if sat && node_ok {
                 let path = Path::single(n);
                 self.match_steps(patterns, idx, 0, n, path)?;
@@ -349,7 +348,16 @@ impl<'a> MatchState<'a> {
             let (lo, hi) = rho.range.bounds();
             let hi = self.effective_upper(hi);
             self.var_length_dfs(
-                patterns, pat_idx, step_idx, current, path, rho, chi, lo, hi, 0,
+                patterns,
+                pat_idx,
+                step_idx,
+                current,
+                path,
+                rho,
+                chi,
+                lo,
+                hi,
+                0,
                 Vec::new(),
             )
         }
@@ -383,9 +391,7 @@ impl<'a> MatchState<'a> {
             let Some(rel_guard) = self.try_bind(&rho.name, Value::Rel(r)) else {
                 continue;
             };
-            self.step_to(
-                patterns, pat_idx, step_idx, &path, r, next, chi,
-            )?;
+            self.step_to(patterns, pat_idx, step_idx, &path, r, next, chi)?;
             self.unbind(rel_guard);
         }
         Ok(())
@@ -536,8 +542,17 @@ impl<'a> MatchState<'a> {
             let mut new_rels = rels_so_far.clone();
             new_rels.push(r);
             self.var_length_dfs(
-                patterns, pat_idx, step_idx, next, new_path, rho, chi, lo, hi,
-                k + 1, new_rels,
+                patterns,
+                pat_idx,
+                step_idx,
+                next,
+                new_path,
+                rho,
+                chi,
+                lo,
+                hi,
+                k + 1,
+                new_rels,
             )?;
             if rel_marked {
                 self.used_rels.remove(&r);
@@ -621,7 +636,10 @@ mod tests {
         // satisfied by p1 (z=n2, y=n3) and p2 under two assignments
         // (z=n2, y=n4) and (z=n3, y=n4).
         let g = figure4();
-        let rows = run(&g, "(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)");
+        let rows = run(
+            &g,
+            "(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)",
+        );
         assert_eq!(rows.len(), 3);
     }
 
@@ -631,7 +649,10 @@ mod tests {
         // pattern two ways (splits 1+2 and 2+1): two copies of the same
         // assignment are added to the bag.
         let g = figure4();
-        let rows = run(&g, "(x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher)");
+        let rows = run(
+            &g,
+            "(x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher)",
+        );
         assert_eq!(rows.len(), 3); // (n1,n3) once + (n1,n4) twice
         let n4 = Value::Node(NodeId(3));
         let to_n4 = rows
@@ -663,10 +684,12 @@ mod tests {
         assert_eq!(all.len(), 4);
         let ys: Vec<NodeId> = all
             .iter()
-            .map(|(_, r)| match &r.iter().find(|(n, _)| n == "y").unwrap().1 {
-                Value::Node(n) => *n,
-                _ => panic!(),
-            })
+            .map(
+                |(_, r)| match &r.iter().find(|(n, _)| n == "y").unwrap().1 {
+                    Value::Node(n) => *n,
+                    _ => panic!(),
+                },
+            )
             .collect();
         assert!(ys.contains(&NodeId(1)));
         assert!(ys.contains(&NodeId(2)));
@@ -747,7 +770,11 @@ mod tests {
         let p1 = parse_pattern("(a)-[r1]->(b)").unwrap();
         let p2 = parse_pattern("(c)-[r2]->(d)").unwrap();
         let rows = match_patterns(&ctx, &NoVars, &[p1, p2]).unwrap();
-        assert_eq!(rows.len(), 0, "only one edge exists; tuples need two distinct");
+        assert_eq!(
+            rows.len(),
+            0,
+            "only one edge exists; tuples need two distinct"
+        );
     }
 
     #[test]

@@ -17,17 +17,11 @@ use cypher_ast::query::Query;
 
 /// Applies `[[Q]]_G` to an arbitrary driving table (the composition form;
 /// most callers want [`eval_query`] / [`output`]).
-pub fn eval_query_on(
-    ctx: &EvalContext<'_>,
-    q: &Query,
-    table: Table,
-) -> Result<Table, EvalError> {
+pub fn eval_query_on(ctx: &EvalContext<'_>, q: &Query, table: Table) -> Result<Table, EvalError> {
     match q {
         Query::Single(sq) => {
             if sq.ret_graph.is_some() {
-                return err(
-                    "RETURN GRAPH requires the multigraph executor in cypher-engine",
-                );
+                return err("RETURN GRAPH requires the multigraph executor in cypher-engine");
             }
             let mut t = table;
             for c in &sq.clauses {
@@ -209,10 +203,7 @@ mod tests {
             "MATCH (p:Publication)
              RETURN p.acmid AS id ORDER BY id DESC SKIP 1 LIMIT 2",
         );
-        let expected = table_of(
-            &["id"],
-            vec![vec![Value::int(240)], vec![Value::int(235)]],
-        );
+        let expected = table_of(&["id"], vec![vec![Value::int(240)], vec![Value::int(235)]]);
         // ORDER BY is about sequence; check exact order.
         assert_eq!(out.rows()[0].get(0), &Value::int(240));
         assert_eq!(out.rows()[1].get(0), &Value::int(235));

@@ -437,10 +437,7 @@ mod tests {
 
     #[test]
     fn slice_skip_limit() {
-        let t = table_of(
-            &["x"],
-            (0..10).map(|i| vec![Value::int(i)]).collect(),
-        );
+        let t = table_of(&["x"], (0..10).map(|i| vec![Value::int(i)]).collect());
         assert_eq!(t.clone().slice(2, Some(3)).len(), 3);
         assert_eq!(t.clone().slice(8, Some(5)).len(), 2);
         assert_eq!(t.clone().slice(20, None).len(), 0);

@@ -24,6 +24,8 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fmt;
 
 pub use cypher_ast as ast;
@@ -105,11 +107,7 @@ pub fn run_read_with(
 
 /// Parses and evaluates a read query with the **reference evaluator** —
 /// the paper's denotational semantics, used as the testing oracle.
-pub fn run_reference(
-    graph: &PropertyGraph,
-    query: &str,
-    params: &Params,
-) -> Result<Table, Error> {
+pub fn run_reference(graph: &PropertyGraph, query: &str, params: &Params) -> Result<Table, Error> {
     run_reference_with(graph, query, params, MatchConfig::default())
 }
 

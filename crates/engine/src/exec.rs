@@ -9,7 +9,7 @@
 
 use crate::ops::{build_pipeline, run_to_table};
 use crate::plan::PlanStep;
-use crate::planner::{plan_match, PlannedMatch, PlannerMode};
+use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
 use crate::update;
 use cypher_ast::expr::Expr;
 use cypher_ast::pattern::PathPattern;
@@ -21,15 +21,54 @@ use cypher_core::table::{Record, Schema, Table};
 use cypher_core::{EvalContext, MatchConfig, Params};
 use cypher_graph::{PropertyGraph, Value};
 
-/// Engine configuration: pattern-matching semantics plus the plan
-/// strategy.
-#[derive(Clone, Copy, Debug, Default)]
+/// Engine configuration: pattern-matching semantics, the plan strategy,
+/// and which secondary indexes the planner may exploit.
+#[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Morphism mode and variable-length safeguards (shared with the
     /// reference evaluator).
     pub match_config: MatchConfig,
     /// Expand-based plans vs the cartesian baseline.
     pub planner_mode: PlannerMode,
+    /// Allow `NodeIndexScan` over the label index (on by default).
+    /// Turning an index off changes plans, never results.
+    pub use_label_index: bool,
+    /// Allow `PropertyIndexSeek` over the exact-match property indexes
+    /// (on by default).
+    pub use_property_index: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            match_config: MatchConfig::default(),
+            planner_mode: PlannerMode::default(),
+            use_label_index: true,
+            use_property_index: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The planner-facing slice of this configuration.
+    pub fn planner_options(&self) -> PlannerOptions {
+        PlannerOptions {
+            mode: self.planner_mode,
+            use_label_index: self.use_label_index,
+            use_property_index: self.use_property_index,
+        }
+    }
+
+    /// This configuration with both index families disabled — every
+    /// `MATCH` anchor becomes a scan plus filters. Useful as a planner
+    /// baseline and in differential tests.
+    pub fn without_indexes(self) -> Self {
+        EngineConfig {
+            use_label_index: false,
+            use_property_index: false,
+            ..self
+        }
+    }
 }
 
 /// Executes a read-only query. Updating clauses are rejected; use
@@ -212,7 +251,12 @@ pub fn exec_match(
 
     let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
     if !optional {
-        let planned = plan_match(graph, table.schema().names(), patterns, cfg.planner_mode);
+        let planned = plan_match(
+            graph,
+            table.schema().names(),
+            patterns,
+            cfg.planner_options(),
+        );
         let mut steps = planned.plan.steps.clone();
         if let Some(p) = where_ {
             steps.push(PlanStep::FilterExpr { pred: p.clone() });
@@ -238,7 +282,12 @@ pub fn exec_match(
         row.push(Value::int(i as i64));
         tagged.push(row);
     }
-    let planned = plan_match(graph, tagged_schema.names(), patterns, cfg.planner_mode);
+    let planned = plan_match(
+        graph,
+        tagged_schema.names(),
+        patterns,
+        cfg.planner_options(),
+    );
     let mut steps = planned.plan.steps.clone();
     if let Some(p) = where_ {
         steps.push(PlanStep::FilterExpr { pred: p.clone() });
@@ -298,7 +347,9 @@ fn project_visible(raw: Table, driving: &[String], new_vars: &[String]) -> Table
     let schema = Schema::new(names);
     let mut out = Table::empty(schema);
     for r in raw.rows() {
-        out.push(Record::new(idxs.iter().map(|&i| r.get(i).clone()).collect()));
+        out.push(Record::new(
+            idxs.iter().map(|&i| r.get(i).clone()).collect(),
+        ));
     }
     out
 }
@@ -316,7 +367,7 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: EngineConfig) -> String {
                     } = clause
                     {
                         let PlannedMatch { plan, new_vars } =
-                            plan_match(graph, &fields, patterns, cfg.planner_mode);
+                            plan_match(graph, &fields, patterns, cfg.planner_options());
                         out.push_str(if *optional {
                             "OPTIONAL MATCH plan:\n"
                         } else {
@@ -416,11 +467,7 @@ mod tests {
         // n1 knows n2 (Student, filtered), n3 knows n4, n4 knows nobody:
         // rows (n1, null), (n3, n4), (n4, null).
         assert_eq!(out.len(), 3);
-        let nulls = out
-            .rows()
-            .iter()
-            .filter(|r| r.get(1).is_null())
-            .count();
+        let nulls = out.rows().iter().filter(|r| r.get(1).is_null()).count();
         assert_eq!(nulls, 2);
     }
 
@@ -443,7 +490,10 @@ mod tests {
         assert_eq!(out.len(), 0);
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.rel_count(), 1);
-        let check = run(&g, "MATCH (a:Person)-[r:KNOWS]->(b) RETURN a.name, r.since, b.name");
+        let check = run(
+            &g,
+            "MATCH (a:Person)-[r:KNOWS]->(b) RETURN a.name, r.since, b.name",
+        );
         assert_eq!(check.cell(0, "a.name"), Some(&Value::str("Ada")));
         assert_eq!(check.cell(0, "r.since"), Some(&Value::int(1985)));
     }
@@ -461,7 +511,44 @@ mod tests {
         let g = figure4();
         let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x").unwrap();
         let plan = explain(&g, &q, EngineConfig::default());
-        assert!(plan.contains("NodeByLabelScan"), "{plan}");
+        assert!(plan.contains("NodeIndexScan"), "{plan}");
         assert!(plan.contains("Expand"), "{plan}");
+    }
+
+    #[test]
+    fn explain_shows_property_index_seek() {
+        let mut g = PropertyGraph::new();
+        let params = Params::new();
+        let create = parse_query("CREATE (:Person {name: 'Ada'}), (:Person {name: 'Bo'})").unwrap();
+        execute(&mut g, &create, &params, EngineConfig::default()).unwrap();
+        let q = parse_query("MATCH (n:Person {name: 'Ada'}) RETURN n").unwrap();
+        let plan = explain(&g, &q, EngineConfig::default());
+        assert!(
+            plan.contains("PropertyIndexSeek(n:Person.name = 'Ada')"),
+            "{plan}"
+        );
+        // With the property index off the anchor falls back to the label
+        // index; with both off, to a full scan.
+        let no_prop = explain(
+            &g,
+            &q,
+            EngineConfig {
+                use_property_index: false,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(no_prop.contains("NodeIndexScan(n:Person)"), "{no_prop}");
+        let no_idx = explain(&g, &q, EngineConfig::default().without_indexes());
+        assert!(no_idx.contains("AllNodesScan"), "{no_idx}");
+    }
+
+    #[test]
+    fn index_toggles_do_not_change_results() {
+        let g = figure4();
+        let params = Params::new();
+        let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x, y").unwrap();
+        let on = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
+        let off = execute_read(&g, &q, &params, EngineConfig::default().without_indexes()).unwrap();
+        assert!(on.bag_eq(&off));
     }
 }

@@ -37,6 +37,8 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod multigraph;
 pub mod ops;
@@ -47,4 +49,4 @@ pub mod update;
 pub use exec::{execute, execute_read, explain, EngineConfig};
 pub use multigraph::{execute_on_catalog, MultiResult};
 pub use plan::{MatchPlan, PlanStep};
-pub use planner::{plan_match, PlannerMode};
+pub use planner::{plan_match, PlannerMode, PlannerOptions};

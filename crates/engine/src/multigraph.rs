@@ -151,7 +151,15 @@ fn construct_graph(
         for pat in patterns {
             let b = Bindings::new(schema, row);
             // Resolve the start node.
-            let mut current = resolve_constructed_node(src, params, cfg, &pat.start, &b, &mut copy_node, &mut out)?;
+            let mut current = resolve_constructed_node(
+                src,
+                params,
+                cfg,
+                &pat.start,
+                &b,
+                &mut copy_node,
+                &mut out,
+            )?;
             for (rho, chi) in &pat.steps {
                 if !rho.range.is_single() || rho.types.len() != 1 {
                     return err("RETURN GRAPH requires single typed relationships");
@@ -262,13 +270,14 @@ mod tests {
 
         // Compose: query the constructed graph.
         drop(g);
-        let q2 = parse_query(
-            "FROM GRAPH friends MATCH (x)-[:SHARE_FRIEND]->(y) RETURN x.name, y.name",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("FROM GRAPH friends MATCH (x)-[:SHARE_FRIEND]->(y) RETURN x.name, y.name")
+                .unwrap();
         let res2 =
             execute_on_catalog(&mut cat, "soc_net", &q2, &params, EngineConfig::default()).unwrap();
-        let MultiResult::Table(t) = res2 else { panic!() };
+        let MultiResult::Table(t) = res2 else {
+            panic!()
+        };
         assert_eq!(t.len(), 2);
     }
 

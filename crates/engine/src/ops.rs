@@ -9,13 +9,13 @@
 //! references from each node via its edges to the related nodes".
 
 use crate::plan::{PathElem, PlanStep};
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::Dir;
 use cypher_core::error::{err, EvalError};
 use cypher_core::expr::{eval_expr, truth_of, Bindings};
 use cypher_core::morphism::Morphism;
 use cypher_core::table::{Record, Schema, Table};
 use cypher_core::EvalContext;
-use cypher_ast::expr::Expr;
-use cypher_ast::pattern::Dir;
 use cypher_graph::{Direction, NodeId, Path, RelId, Symbol, Tri, Value};
 use std::sync::Arc;
 
@@ -75,7 +75,7 @@ fn attach<'a>(
             row: None,
             idx: 0,
         }),
-        PlanStep::NodeByLabelScan { var, label } => {
+        PlanStep::NodeIndexScan { var, label } => {
             let nodes = match ctx.graph.interner().get(label) {
                 Some(sym) => ctx.graph.nodes_with_label(sym).to_vec(),
                 None => Vec::new(),
@@ -88,17 +88,29 @@ fn attach<'a>(
                 idx: 0,
             })
         }
-        PlanStep::NodeByPropertyScan { var, key, value } => {
+        PlanStep::PropertyIndexSeek {
+            var,
+            label,
+            key,
+            value,
+        } => {
             // The value is a literal or parameter: evaluable without a row.
             let v = eval_expr(ctx, &cypher_core::expr::NoVars, value)?;
             // `{k: null}` never matches (`=` with null is not true), and
             // the index only answers equivalence queries — guard it out.
+            let interner = ctx.graph.interner();
             let nodes = if v.is_null() {
                 Vec::new()
             } else {
-                match ctx.graph.interner().get(key) {
-                    Some(sym) => ctx.graph.nodes_with_prop(sym, &v),
-                    None => Vec::new(),
+                match (label, interner.get(key)) {
+                    (_, None) => Vec::new(),
+                    // Composite (label, key, value) seek.
+                    (Some(l), Some(k)) => match interner.get(l) {
+                        Some(l) => ctx.graph.nodes_with_label_prop(l, k, &v),
+                        None => Vec::new(),
+                    },
+                    // Key-only seek.
+                    (None, Some(k)) => ctx.graph.nodes_with_prop(k, &v),
                 }
             };
             Box::new(NodeScan {
@@ -163,10 +175,8 @@ fn attach<'a>(
         }
         PlanStep::FilterLabels { var, labels } => {
             let idx = col_idx(&schema, var)?;
-            let syms: Option<Vec<Symbol>> = labels
-                .iter()
-                .map(|l| ctx.graph.interner().get(l))
-                .collect();
+            let syms: Option<Vec<Symbol>> =
+                labels.iter().map(|l| ctx.graph.interner().get(l)).collect();
             Box::new(LabelFilter {
                 ctx,
                 schema,
@@ -401,7 +411,9 @@ impl ExpandOp<'_> {
             match row.get(i) {
                 Value::Rel(r2) if *r2 == r => return true,
                 Value::List(items)
-                    if items.iter().any(|v| matches!(v, Value::Rel(r2) if *r2 == r)) =>
+                    if items
+                        .iter()
+                        .any(|v| matches!(v, Value::Rel(r2) if *r2 == r)) =>
                 {
                     return true;
                 }
@@ -490,7 +502,11 @@ impl ExpandOp<'_> {
                 out.push(rec);
             }
         } else {
-            let hi = if hops_possible { self.effective_hi() } else { 0 };
+            let hi = if hops_possible {
+                self.effective_hi()
+            } else {
+                0
+            };
             let mut stack_rels: Vec<RelId> = Vec::new();
             self.var_dfs(row, &expected, from, 0, hi, &mut stack_rels, &mut out)?;
         }
@@ -598,12 +614,7 @@ impl Operator for LabelFilter<'_> {
                     }
                 }
                 Value::Null => {}
-                other => {
-                    return err(format!(
-                        "label filter on non-node {}",
-                        other.type_name()
-                    ))
-                }
+                other => return err(format!("label filter on non-node {}", other.type_name())),
             }
         }
         Ok(None)
@@ -633,12 +644,7 @@ impl Operator for PropsFilter<'_> {
                     Value::Node(n) => g.interner().get(k).and_then(|s| g.node_prop(*n, s)),
                     Value::Rel(r) => g.interner().get(k).and_then(|s| g.rel_prop(*r, s)),
                     Value::Null => continue 'rows,
-                    other => {
-                        return err(format!(
-                            "property filter on {}",
-                            other.type_name()
-                        ))
-                    }
+                    other => return err(format!("property filter on {}", other.type_name())),
                 };
                 match got {
                     Some(v) if v.equals(&want).is_true() => {}

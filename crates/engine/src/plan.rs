@@ -26,20 +26,24 @@ pub enum PlanStep {
         /// Output column.
         var: Col,
     },
-    /// Bind `var` to every node with the given label (via the label
-    /// index).
-    NodeByLabelScan {
+    /// Bind `var` to every node with the given label, via the label
+    /// secondary index.
+    NodeIndexScan {
         /// Output column.
         var: Col,
         /// The label narrowing the scan.
         label: String,
     },
-    /// Bind `var` to every node whose property `key` equals the constant
-    /// `value`, via the node property index (paper Section 5: "search
-    /// optimizations through indexing of node data").
-    NodeByPropertyScan {
+    /// Bind `var` to the nodes whose property `key` equals the constant
+    /// `value`, seeking the exact-match property index (paper Section 5:
+    /// "search optimizations through indexing of node data"). With a
+    /// `label` the composite `(label, key, value)` index answers the seek
+    /// directly; without one the key-only index is used.
+    PropertyIndexSeek {
         /// Output column.
         var: Col,
+        /// The label of the composite index used, if any.
+        label: Option<String>,
         /// The indexed property key.
         key: String,
         /// The constant value expression (literal or parameter).
@@ -163,12 +167,18 @@ impl fmt::Display for PlanStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanStep::AllNodesScan { var } => write!(f, "AllNodesScan({var})"),
-            PlanStep::NodeByLabelScan { var, label } => {
-                write!(f, "NodeByLabelScan({var}:{label})")
+            PlanStep::NodeIndexScan { var, label } => {
+                write!(f, "NodeIndexScan({var}:{label})")
             }
-            PlanStep::NodeByPropertyScan { var, key, value } => {
-                write!(f, "NodeByPropertyScan({var}.{key} = {value})")
-            }
+            PlanStep::PropertyIndexSeek {
+                var,
+                label,
+                key,
+                value,
+            } => match label {
+                Some(l) => write!(f, "PropertyIndexSeek({var}:{l}.{key} = {value})"),
+                None => write!(f, "PropertyIndexSeek({var}.{key} = {value})"),
+            },
             PlanStep::RelScan { var } => write!(f, "RelScan({var})"),
             PlanStep::Argument { var } => write!(f, "Argument({var})"),
             PlanStep::Expand {
@@ -259,12 +269,22 @@ mod tests {
         };
         assert_eq!(v.to_string(), "Expand(a)<-[ anon0*1..](b)");
         assert_eq!(
-            PlanStep::NodeByLabelScan {
+            PlanStep::NodeIndexScan {
                 var: "r".into(),
                 label: "Researcher".into()
             }
             .to_string(),
-            "NodeByLabelScan(r:Researcher)"
+            "NodeIndexScan(r:Researcher)"
+        );
+        assert_eq!(
+            PlanStep::PropertyIndexSeek {
+                var: "n".into(),
+                label: Some("Person".into()),
+                key: "name".into(),
+                value: Expr::var("x".to_string()),
+            }
+            .to_string(),
+            "PropertyIndexSeek(n:Person.name = x)"
         );
     }
 }

@@ -4,10 +4,18 @@
 //! planning "based on the IDP algorithm, using a cost model" — for the
 //! linear path patterns of core Cypher, dynamic programming over join
 //! orders degenerates to choosing the cheapest *anchor* node pattern of
-//! each path (by label selectivity, or a pre-bound argument) and expanding
+//! each path (by index statistics, or a pre-bound argument) and expanding
 //! outward along native adjacency with the `Expand` operator. Disconnected
 //! patterns compose by nested iteration, which is exactly a cartesian
 //! product.
+//!
+//! Anchor costing is **statistics-driven**: the store maintains per-label
+//! node counts and per-`(label, key)` entry/distinct-value counts (see
+//! `cypher_graph::index`), and the planner prices each candidate start
+//! position as the expected number of rows its scan or seek produces —
+//! `|label|` for a `NodeIndexScan`, `entries / distinct` for a
+//! `PropertyIndexSeek` (the uniform-values assumption of the selectivity
+//! cost model the paper cites).
 //!
 //! [`PlannerMode::CartesianJoin`] disables `Expand` and compiles rigid
 //! patterns to the relational baseline (scan nodes × scan relationships +
@@ -18,13 +26,13 @@ use cypher_ast::expr::Expr;
 use cypher_ast::pattern::{Dir, NodePattern, PathPattern, RelPattern};
 use cypher_graph::PropertyGraph;
 
-/// A property value the planner may look up in the node property index: a
-/// literal or a parameter (anything not depending on the row).
-fn constant_prop(chi: &NodePattern) -> Option<(String, Expr)> {
+/// Constant property values the planner may look up in the property
+/// index: literals or parameters (anything not depending on the row).
+fn constant_props(chi: &NodePattern) -> impl Iterator<Item = (&String, &Expr)> {
     chi.props
         .iter()
-        .find(|(_, e)| matches!(e, Expr::Lit(_) | Expr::Param(_)))
-        .map(|(k, e)| (k.clone(), e.clone()))
+        .filter(|(_, e)| matches!(e, Expr::Lit(_) | Expr::Param(_)))
+        .map(|(k, e)| (k, e))
 }
 
 /// Plan strategy selector.
@@ -39,6 +47,40 @@ pub enum PlannerMode {
     CartesianJoin,
 }
 
+/// Everything the planner needs to know besides the graph: the plan
+/// strategy plus which index families it may exploit. Turning an index
+/// off never affects results — only the shape (and speed) of the plan.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerOptions {
+    /// Plan strategy (`Expand` chains vs the cartesian baseline).
+    pub mode: PlannerMode,
+    /// Allow `NodeIndexScan` over the label index (otherwise label
+    /// predicates compile to `AllNodesScan` + `FilterLabels`).
+    pub use_label_index: bool,
+    /// Allow `PropertyIndexSeek` over the exact-match property indexes
+    /// (otherwise constant property predicates become residual filters).
+    pub use_property_index: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            mode: PlannerMode::default(),
+            use_label_index: true,
+            use_property_index: true,
+        }
+    }
+}
+
+impl From<PlannerMode> for PlannerOptions {
+    fn from(mode: PlannerMode) -> Self {
+        PlannerOptions {
+            mode,
+            ..PlannerOptions::default()
+        }
+    }
+}
+
 /// The output of planning one `MATCH` clause: the pipeline plus the
 /// *visible* (non-hidden) variables it introduces, in deterministic order.
 pub struct PlannedMatch {
@@ -50,11 +92,21 @@ pub struct PlannedMatch {
 
 struct PlanCtx<'a> {
     graph: &'a PropertyGraph,
+    opts: PlannerOptions,
     bound: Vec<String>,
     steps: Vec<PlanStep>,
     rel_cols: Vec<String>,
     anon_counter: usize,
     est_rows: f64,
+}
+
+/// The index access the planner selected for a start node, with its
+/// estimated output cardinality.
+struct SeekChoice {
+    label: Option<String>,
+    key: String,
+    value: Expr,
+    est: f64,
 }
 
 impl PlanCtx<'_> {
@@ -82,20 +134,76 @@ impl PlanCtx<'_> {
             .unwrap_or(0)
     }
 
-    /// Estimated number of start candidates for a node pattern.
+    /// Expected rows of an equality seek on `(label, key)` (composite
+    /// index) or `key` alone, from the store's index statistics.
+    fn seek_estimate(&self, label: Option<&str>, key: &str) -> f64 {
+        let interner = self.graph.interner();
+        let Some(k) = interner.get(key) else {
+            return 0.0; // never-interned key: nothing can match
+        };
+        match label {
+            Some(l) => match interner.get(l) {
+                Some(l) => self
+                    .graph
+                    .label_prop_index_cardinality(l, k)
+                    .seek_estimate(),
+                None => 0.0,
+            },
+            None => self.graph.prop_index_cardinality(k).seek_estimate(),
+        }
+    }
+
+    /// The cheapest index seek available for a node pattern, if the
+    /// property index is enabled and the pattern pins a constant value.
+    fn best_seek(&self, chi: &NodePattern) -> Option<SeekChoice> {
+        if !self.opts.use_property_index {
+            return None;
+        }
+        let mut best: Option<SeekChoice> = None;
+        for (key, value) in constant_props(chi) {
+            // Prefer the composite index through the most selective
+            // label; ties keep the composite (earlier candidates win).
+            let mut choice: Option<(Option<&str>, f64)> = None;
+            for cand in chi
+                .labels
+                .iter()
+                .map(|l| (Some(l.as_str()), self.seek_estimate(Some(l), key)))
+                .chain(std::iter::once((None, self.seek_estimate(None, key))))
+            {
+                if choice.map(|(_, est)| cand.1 < est).unwrap_or(true) {
+                    choice = Some(cand);
+                }
+            }
+            let candidate = choice.map(|(label, est)| SeekChoice {
+                label: label.map(String::from),
+                key: key.clone(),
+                value: value.clone(),
+                est,
+            });
+            if let Some(c) = candidate {
+                if best.as_ref().map(|b| c.est < b.est).unwrap_or(true) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// Estimated number of start candidates for a node pattern, from the
+    /// index statistics.
     fn start_cost(&self, chi: &NodePattern) -> f64 {
         if let Some(name) = &chi.name {
             if self.is_bound(name) {
                 return 0.5; // already a single binding per driving row
             }
         }
-        // A constant property admits an index lookup — assume high
-        // selectivity (uniform-values heuristic, as in the cost model the
-        // paper cites).
-        if constant_prop(chi).is_some() {
-            return 1.0;
+        if let Some(seek) = self.best_seek(chi) {
+            // An index seek returns `entries / distinct` rows on average;
+            // clamp to ≥ a nominal fraction of a row so a seek still
+            // prices above a pre-bound argument.
+            return seek.est.max(0.6);
         }
-        if chi.labels.is_empty() {
+        if chi.labels.is_empty() || !self.opts.use_label_index {
             self.graph.node_count() as f64
         } else {
             chi.labels
@@ -131,14 +239,19 @@ impl PlanCtx<'_> {
 }
 
 /// Plans one `MATCH` clause over the given driving-table fields.
+///
+/// `opts` accepts a bare [`PlannerMode`] (index usage defaults to on) or
+/// full [`PlannerOptions`].
 pub fn plan_match(
     graph: &PropertyGraph,
     driving_fields: &[String],
     patterns: &[PathPattern],
-    mode: PlannerMode,
+    opts: impl Into<PlannerOptions>,
 ) -> PlannedMatch {
+    let opts = opts.into();
     let mut ctx = PlanCtx {
         graph,
+        opts,
         bound: driving_fields.to_vec(),
         steps: Vec::new(),
         rel_cols: Vec::new(),
@@ -149,7 +262,7 @@ pub fn plan_match(
 
     for pat in patterns {
         let all_single = pat.rel_patterns().all(|r| r.range.is_single());
-        if mode == PlannerMode::CartesianJoin && all_single && !pat.steps.is_empty() {
+        if opts.mode == PlannerMode::CartesianJoin && all_single && !pat.steps.is_empty() {
             plan_path_cartesian(&mut ctx, pat);
         } else {
             plan_path_expand(&mut ctx, pat);
@@ -196,34 +309,26 @@ fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
         emit_node_filters(ctx, col, chi, None);
         return;
     }
-    // Prefer an index lookup on a constant property.
-    if let Some((key, value)) = constant_prop(chi) {
-        ctx.steps.push(PlanStep::NodeByPropertyScan {
+    // Prefer an index seek on a constant property — the composite
+    // (label, key, value) index when a label is present.
+    if let Some(seek) = ctx.best_seek(chi) {
+        let scanned_label = seek.label.clone();
+        ctx.steps.push(PlanStep::PropertyIndexSeek {
             var: col.into(),
-            key: key.clone(),
-            value,
+            label: seek.label,
+            key: seek.key,
+            value: seek.value,
         });
-        ctx.est_rows *= 1.0;
+        ctx.est_rows *= seek.est.max(1.0);
         ctx.bind(col);
-        // Remaining labels and the other property conditions still apply;
-        // the scanned key is already exact (equivalence vs equality on
-        // the index is reconciled by a residual FilterProps when the
-        // value is numeric — cheap and keeps `=` semantics exact).
-        if !chi.labels.is_empty() {
-            ctx.steps.push(PlanStep::FilterLabels {
-                var: col.into(),
-                labels: chi.labels.clone(),
-            });
-        }
-        if !chi.props.is_empty() {
-            ctx.steps.push(PlanStep::FilterProps {
-                var: col.into(),
-                props: chi.props.clone(),
-            });
-        }
+        // Labels not covered by the composite seek and all property
+        // conditions still apply; the re-checked key is cheap and keeps
+        // `=` semantics exact (the index answers *equivalence* queries,
+        // which differ from `=` on numerics vs nulls).
+        emit_node_filters(ctx, col, chi, scanned_label.as_deref());
         return;
     }
-    if chi.labels.is_empty() {
+    if chi.labels.is_empty() || !ctx.opts.use_label_index {
         ctx.steps.push(PlanStep::AllNodesScan { var: col.into() });
         ctx.est_rows *= ctx.graph.node_count() as f64;
         ctx.bind(col);
@@ -237,7 +342,7 @@ fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
             .unwrap()
             .clone();
         ctx.est_rows *= ctx.label_cardinality(&best).max(1) as f64;
-        ctx.steps.push(PlanStep::NodeByLabelScan {
+        ctx.steps.push(PlanStep::NodeIndexScan {
             var: col.into(),
             label: best.clone(),
         });
@@ -459,7 +564,11 @@ mod tests {
         // 100 Person nodes, 3 Admin nodes, chain of KNOWS.
         let mut prev = None;
         for i in 0..100 {
-            let labels: &[&str] = if i < 3 { &["Person", "Admin"] } else { &["Person"] };
+            let labels: &[&str] = if i < 3 {
+                &["Person", "Admin"]
+            } else {
+                &["Person"]
+            };
             let n = g.add_node(labels, [("i", Value::int(i))]);
             if let Some(p) = prev {
                 g.add_rel(p, n, "KNOWS", []).unwrap();
@@ -476,7 +585,7 @@ mod tests {
         let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
         // The Admin side has 3 nodes vs 100 Person: anchor must be b.
         match &planned.plan.steps[0] {
-            PlanStep::NodeByLabelScan { var, label } => {
+            PlanStep::NodeIndexScan { var, label } => {
                 assert_eq!(var, "b");
                 assert_eq!(label, "Admin");
             }
@@ -574,11 +683,14 @@ mod tests {
         let p = parse_pattern("(a:Person {i: 5})-[:KNOWS]->(b)").unwrap();
         let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
         match &planned.plan.steps[0] {
-            PlanStep::NodeByPropertyScan { var, key, .. } => {
+            PlanStep::PropertyIndexSeek {
+                var, label, key, ..
+            } => {
                 assert_eq!(var, "a");
+                assert_eq!(label.as_deref(), Some("Person"), "composite index used");
                 assert_eq!(key, "i");
             }
-            other => panic!("expected property scan, got {other}"),
+            other => panic!("expected property seek, got {other}"),
         }
         // The residual property filter keeps `=` semantics exact.
         assert!(planned
@@ -596,10 +708,78 @@ mod tests {
         let p = parse_pattern("(a:Admin)-[:KNOWS]->(b {i: 7})").unwrap();
         let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
         assert!(
-            matches!(&planned.plan.steps[0], PlanStep::NodeByPropertyScan { var, .. } if var == "b"),
+            matches!(&planned.plan.steps[0], PlanStep::PropertyIndexSeek { var, .. } if var == "b"),
             "plan: {}",
             planned.plan
         );
+    }
+
+    #[test]
+    fn statistics_pick_the_more_selective_key() {
+        let mut g = PropertyGraph::new();
+        // `kind` has 2 distinct values over 100 nodes (est. 50 rows per
+        // seek); `serial` is unique (est. 1 row). The planner must seek
+        // on `serial`.
+        for i in 0..100 {
+            g.add_node(
+                &["Device"],
+                [("kind", Value::int(i % 2)), ("serial", Value::int(i))],
+            );
+        }
+        let p = parse_pattern("(d:Device {kind: 1, serial: 37})").unwrap();
+        let planned = plan_match(&g, &[], &[p], PlannerMode::ExpandBased);
+        match &planned.plan.steps[0] {
+            PlanStep::PropertyIndexSeek { key, label, .. } => {
+                assert_eq!(key, "serial");
+                assert_eq!(label.as_deref(), Some("Device"));
+            }
+            other => panic!("expected property seek, got {other}"),
+        }
+        assert!(planned.plan.estimated_rows <= 2.0, "{}", planned.plan);
+    }
+
+    #[test]
+    fn disabling_property_index_falls_back_to_label_scan() {
+        let g = sample_graph();
+        let p = parse_pattern("(a:Person {i: 5})").unwrap();
+        let opts = PlannerOptions {
+            use_property_index: false,
+            ..PlannerOptions::default()
+        };
+        let planned = plan_match(&g, &[], &[p], opts);
+        assert!(
+            matches!(&planned.plan.steps[0], PlanStep::NodeIndexScan { .. }),
+            "plan: {}",
+            planned.plan
+        );
+        // Property conditions survive as residual filters.
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::FilterProps { .. })));
+    }
+
+    #[test]
+    fn disabling_all_indexes_scans_everything() {
+        let g = sample_graph();
+        let p = parse_pattern("(a:Person {i: 5})").unwrap();
+        let opts = PlannerOptions {
+            use_label_index: false,
+            use_property_index: false,
+            ..PlannerOptions::default()
+        };
+        let planned = plan_match(&g, &[], &[p], opts);
+        assert!(
+            matches!(&planned.plan.steps[0], PlanStep::AllNodesScan { .. }),
+            "plan: {}",
+            planned.plan
+        );
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::FilterLabels { .. })));
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! `MERGE` extend rows with the entities they bind, the others pass rows
 //! through — so updating queries compose linearly exactly like reading
 //! ones.
+//!
+//! **Index maintenance**: every mutation here bottoms out in a
+//! [`PropertyGraph`] mutator (`add_node_syms`, `set_node_prop`,
+//! `add_label`, `detach_delete_node`, …), each of which updates the
+//! label, property and composite label/property indexes incrementally
+//! (see `cypher_graph::index`). There is no code path that changes the
+//! store without updating the indexes, so a `MATCH` planned against the
+//! indexes right after any sequence of update clauses sees exactly the
+//! mutated graph — the invariant the differential test suite
+//! (`tests/index_differential.rs`) exercises.
 
 use crate::exec::EngineConfig;
 use cypher_ast::expr::Expr;
@@ -66,11 +76,7 @@ impl cypher_core::VarLookup for RowView<'_> {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.clone())
-            .or_else(|| {
-                self.schema
-                    .index_of(name)
-                    .map(|i| self.row.get(i).clone())
-            })
+            .or_else(|| self.schema.index_of(name).map(|i| self.row.get(i).clone()))
     }
 }
 
@@ -102,7 +108,8 @@ fn create_pattern(
         return err("CREATE cannot bind a path name");
     }
     // Resolve or create the start node, then walk the steps.
-    let mut current = resolve_or_create_node(graph, params, cfg, &pat.start, schema, row, bindings)?;
+    let mut current =
+        resolve_or_create_node(graph, params, cfg, &pat.start, schema, row, bindings)?;
     for (rho, chi) in &pat.steps {
         if !rho.range.is_single() {
             return err("CREATE requires single relationships (no variable length)");
@@ -282,7 +289,10 @@ fn apply_set_items(
                         .map_err(|e| EvalError::new(e.to_string()))?,
                     Value::Null => {} // SET on null is a no-op
                     other => {
-                        return err(format!("SET target must be a node or relationship, got {}", other.type_name()))
+                        return err(format!(
+                            "SET target must be a node or relationship, got {}",
+                            other.type_name()
+                        ))
                     }
                 }
             }
@@ -480,7 +490,9 @@ pub fn exec_delete(
     nodes.dedup();
     for r in rels {
         if graph.contains_rel(r) {
-            graph.delete_rel(r).map_err(|e| EvalError::new(e.to_string()))?;
+            graph
+                .delete_rel(r)
+                .map_err(|e| EvalError::new(e.to_string()))?;
         }
     }
     for n in nodes {

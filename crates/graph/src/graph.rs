@@ -8,9 +8,10 @@
 //! Mutation support (add/delete/set/remove) backs the update clauses of
 //! Section 2 (`CREATE`, `DELETE`, `SET`, `MERGE`).
 
+use crate::fxhash::FxHashMap;
+use crate::index::{value_bucket, IndexCardinality, IndexSet};
 use crate::interner::{Interner, Symbol};
 use crate::value::Value;
-use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// A node identifier — an element of the countably infinite set `N`.
@@ -165,6 +166,9 @@ pub struct GraphStats {
     pub label_cardinality: FxHashMap<Symbol, usize>,
     /// Relationship count per type.
     pub type_cardinality: FxHashMap<Symbol, usize>,
+    /// Entry/distinct-value counts per indexed property key, from which
+    /// the planner derives equality-seek selectivities.
+    pub prop_cardinality: FxHashMap<Symbol, IndexCardinality>,
 }
 
 /// An in-memory property graph with native adjacency.
@@ -177,22 +181,15 @@ pub struct PropertyGraph {
     nodes: Vec<Option<NodeData>>,
     rels: Vec<Option<RelData>>,
     interner: Interner,
-    label_index: FxHashMap<Symbol, Vec<NodeId>>,
-    /// Node property index: key → (value hash → nodes). Hash collisions
-    /// are resolved by the reader with an equivalence check. Backs the
-    /// planner's `NodeByPropertyScan` (the "indexing of node data" the
-    /// paper's Section 5 describes).
-    prop_index: FxHashMap<Symbol, FxHashMap<u64, Vec<NodeId>>>,
+    /// Label, property and composite label/property indexes, maintained
+    /// incrementally by every mutation below (see [`crate::index`]). They
+    /// back the planner's `NodeIndexScan` and `PropertyIndexSeek`
+    /// operators (the "indexing of node data" the paper's Section 5
+    /// describes).
+    indexes: IndexSet,
     type_counts: FxHashMap<Symbol, usize>,
     live_nodes: usize,
     live_rels: usize,
-}
-
-fn value_bucket(v: &Value) -> u64 {
-    use std::hash::Hasher;
-    let mut h = crate::fxhash::FxHasher::default();
-    v.hash_equivalent(&mut h);
-    h.finish()
 }
 
 impl PropertyGraph {
@@ -239,11 +236,7 @@ impl PropertyGraph {
     }
 
     /// Adds a node with pre-interned labels and properties.
-    pub fn add_node_syms(
-        &mut self,
-        labels: Vec<Symbol>,
-        props: Vec<(Symbol, Value)>,
-    ) -> NodeId {
+    pub fn add_node_syms(&mut self, labels: Vec<Symbol>, props: Vec<(Symbol, Value)>) -> NodeId {
         let id = NodeId(self.nodes.len() as u64);
         let mut pm = PropMap::default();
         for (k, v) in props {
@@ -252,66 +245,60 @@ impl PropertyGraph {
         let mut labels = labels;
         labels.sort_unstable();
         labels.dedup();
-        for &l in &labels {
-            self.label_index.entry(l).or_default().push(id);
-        }
-        let indexed: Vec<(Symbol, u64)> =
-            pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
+        let indexed: Vec<(Symbol, u64)> = pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
+        self.indexes.on_node_added(id, &labels, &indexed);
         self.nodes.push(Some(NodeData {
             labels,
             props: pm,
             out: Vec::new(),
             inc: Vec::new(),
         }));
-        for (k, bucket) in indexed {
-            self.prop_index
-                .entry(k)
-                .or_default()
-                .entry(bucket)
-                .or_default()
-                .push(id);
-        }
         self.live_nodes += 1;
         id
     }
 
-    fn index_node_prop(&mut self, n: NodeId, k: Symbol, v: &Value) {
-        self.prop_index
-            .entry(k)
-            .or_default()
-            .entry(value_bucket(v))
-            .or_default()
-            .push(n);
-    }
-
-    fn unindex_node_prop(&mut self, n: NodeId, k: Symbol, v: &Value) {
-        if let Some(buckets) = self.prop_index.get_mut(&k) {
-            if let Some(list) = buckets.get_mut(&value_bucket(v)) {
-                if let Some(pos) = list.iter().position(|&x| x == n) {
-                    list.swap_remove(pos);
-                }
-            }
-        }
+    /// The node's current `(key, value bucket)` pairs, as the index hooks
+    /// expect them.
+    fn indexed_props(&self, n: NodeId) -> Vec<(Symbol, u64)> {
+        self.node(n)
+            .map(|d| d.props.iter().map(|(k, v)| (k, value_bucket(v))).collect())
+            .unwrap_or_default()
     }
 
     /// Live nodes whose property `k` is equivalent to `v`, via the node
     /// property index (deterministic order).
     pub fn nodes_with_prop(&self, k: Symbol, v: &Value) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
-            .prop_index
-            .get(&k)
-            .and_then(|b| b.get(&value_bucket(v)))
-            .map(|list| {
-                list.iter()
-                    .copied()
-                    .filter(|&n| {
-                        self.node_prop(n, k)
-                            .map(|w| w.equivalent(v))
-                            .unwrap_or(false)
-                    })
-                    .collect()
+            .indexes
+            .prop_candidates(k, value_bucket(v))
+            .iter()
+            .copied()
+            .filter(|&n| {
+                self.node_prop(n, k)
+                    .map(|w| w.equivalent(v))
+                    .unwrap_or(false)
             })
-            .unwrap_or_default();
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Live nodes with label `l` whose property `k` is equivalent to `v`,
+    /// via the composite label/property index (deterministic order). This
+    /// is the storage-side half of the planner's `PropertyIndexSeek`.
+    pub fn nodes_with_label_prop(&self, l: Symbol, k: Symbol, v: &Value) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .indexes
+            .label_prop_candidates(l, k, value_bucket(v))
+            .iter()
+            .copied()
+            .filter(|&n| {
+                debug_assert!(self.has_label(n, l), "composite index label drift");
+                self.node_prop(n, k)
+                    .map(|w| w.equivalent(v))
+                    .unwrap_or(false)
+            })
+            .collect();
         out.sort_unstable();
         out
     }
@@ -418,19 +405,12 @@ impl PropertyGraph {
             .get_mut(n.0 as usize)
             .and_then(Option::take)
             .ok_or(GraphError::NoSuchNode(n))?;
-        for l in data.labels {
-            if let Some(v) = self.label_index.get_mut(&l) {
-                v.retain(|&x| x != n);
-            }
-        }
-        for (k, v) in data.props.iter() {
-            let bucket = value_bucket(v);
-            if let Some(buckets) = self.prop_index.get_mut(&k) {
-                if let Some(list) = buckets.get_mut(&bucket) {
-                    list.retain(|&x| x != n);
-                }
-            }
-        }
+        let indexed: Vec<(Symbol, u64)> = data
+            .props
+            .iter()
+            .map(|(k, v)| (k, value_bucket(v)))
+            .collect();
+        self.indexes.on_node_removed(n, &data.labels, &indexed);
         self.live_nodes -= 1;
         Ok(())
     }
@@ -610,7 +590,7 @@ impl PropertyGraph {
 
     /// Live nodes with the given label, via the label index.
     pub fn nodes_with_label(&self, l: Symbol) -> &[NodeId] {
-        self.label_index.get(&l).map(|v| v.as_slice()).unwrap_or(&[])
+        self.indexes.nodes_with_label(l)
     }
 
     /// Number of live nodes.
@@ -633,17 +613,25 @@ impl PropertyGraph {
         self.type_counts.get(&t).copied().unwrap_or(0)
     }
 
+    /// Cardinality statistics of the property index for key `k`
+    /// (`entries` nodes spread over `distinct` values).
+    pub fn prop_index_cardinality(&self, k: Symbol) -> IndexCardinality {
+        self.indexes.prop_cardinality(k)
+    }
+
+    /// Cardinality statistics of the composite `(label, key)` index.
+    pub fn label_prop_index_cardinality(&self, l: Symbol, k: Symbol) -> IndexCardinality {
+        self.indexes.label_prop_cardinality(l, k)
+    }
+
     /// Snapshot of planner statistics.
     pub fn stats(&self) -> GraphStats {
         GraphStats {
             nodes: self.live_nodes,
             rels: self.live_rels,
-            label_cardinality: self
-                .label_index
-                .iter()
-                .map(|(&l, v)| (l, v.len()))
-                .collect(),
+            label_cardinality: self.indexes.label_cardinalities().collect(),
             type_cardinality: self.type_counts.clone(),
+            prop_cardinality: self.indexes.prop_cardinalities().collect(),
         }
     }
 
@@ -651,17 +639,14 @@ impl PropertyGraph {
 
     /// `SET n.k = v` (removes the key when `v` is `null`).
     pub fn set_node_prop(&mut self, n: NodeId, k: Symbol, v: Value) -> Result<(), GraphError> {
-        let old = self
-            .node(n)
-            .ok_or(GraphError::NoSuchNode(n))?
-            .props
-            .get(k)
-            .cloned();
-        if let Some(old) = &old {
-            self.unindex_node_prop(n, k, old);
+        let d = self.node(n).ok_or(GraphError::NoSuchNode(n))?;
+        let labels = d.labels.clone();
+        let old_bucket = d.props.get(k).map(value_bucket);
+        if let Some(bucket) = old_bucket {
+            self.indexes.on_prop_removed(n, &labels, k, bucket);
         }
         if !v.is_null() {
-            self.index_node_prop(n, k, &v);
+            self.indexes.on_prop_set(n, &labels, k, value_bucket(&v));
         }
         self.node_mut(n)
             .map(|d| d.props.set(k, v))
@@ -677,14 +662,11 @@ impl PropertyGraph {
 
     /// `REMOVE n.k`.
     pub fn remove_node_prop(&mut self, n: NodeId, k: Symbol) -> Result<(), GraphError> {
-        let old = self
-            .node(n)
-            .ok_or(GraphError::NoSuchNode(n))?
-            .props
-            .get(k)
-            .cloned();
-        if let Some(old) = &old {
-            self.unindex_node_prop(n, k, old);
+        let d = self.node(n).ok_or(GraphError::NoSuchNode(n))?;
+        let labels = d.labels.clone();
+        let old_bucket = d.props.get(k).map(value_bucket);
+        if let Some(bucket) = old_bucket {
+            self.indexes.on_prop_removed(n, &labels, k, bucket);
         }
         self.node_mut(n)
             .map(|d| {
@@ -699,30 +681,21 @@ impl PropertyGraph {
         n: NodeId,
         props: Vec<(Symbol, Value)>,
     ) -> Result<(), GraphError> {
-        let old: Vec<(Symbol, Value)> = self
+        let labels = self
             .node(n)
             .ok_or(GraphError::NoSuchNode(n))?
-            .props
-            .iter()
-            .map(|(k, v)| (k, v.clone()))
-            .collect();
-        for (k, v) in &old {
-            self.unindex_node_prop(n, *k, v);
+            .labels
+            .clone();
+        for (k, bucket) in self.indexed_props(n) {
+            self.indexes.on_prop_removed(n, &labels, k, bucket);
         }
         let d = self.node_mut(n).expect("checked above");
         d.props.clear();
         for (k, v) in props {
             d.props.set(k, v);
         }
-        let new: Vec<(Symbol, Value)> = self
-            .node(n)
-            .expect("checked above")
-            .props
-            .iter()
-            .map(|(k, v)| (k, v.clone()))
-            .collect();
-        for (k, v) in new {
-            self.index_node_prop(n, k, &v);
+        for (k, bucket) in self.indexed_props(n) {
+            self.indexes.on_prop_set(n, &labels, k, bucket);
         }
         Ok(())
     }
@@ -733,7 +706,8 @@ impl PropertyGraph {
         if !d.labels.contains(&l) {
             d.labels.push(l);
             d.labels.sort_unstable();
-            self.label_index.entry(l).or_default().push(n);
+            let indexed = self.indexed_props(n);
+            self.indexes.on_label_added(n, l, &indexed);
         }
         Ok(())
     }
@@ -743,9 +717,8 @@ impl PropertyGraph {
         let d = self.node_mut(n).ok_or(GraphError::NoSuchNode(n))?;
         if let Some(pos) = d.labels.iter().position(|&x| x == l) {
             d.labels.remove(pos);
-            if let Some(v) = self.label_index.get_mut(&l) {
-                v.retain(|&x| x != n);
-            }
+            let indexed = self.indexed_props(n);
+            self.indexes.on_label_removed(n, l, &indexed);
         }
         Ok(())
     }
@@ -759,7 +732,9 @@ mod tests {
         let mut g = PropertyGraph::new();
         let a = g.add_node(&["Person"], [("name", Value::str("Ada"))]);
         let b = g.add_node(&["Person", "Admin"], [("name", Value::str("Bo"))]);
-        let r = g.add_rel(a, b, "KNOWS", [("since", Value::int(1985))]).unwrap();
+        let r = g
+            .add_rel(a, b, "KNOWS", [("since", Value::int(1985))])
+            .unwrap();
         (g, a, b, r)
     }
 
@@ -885,7 +860,10 @@ mod tests {
     #[test]
     fn property_index_tracks_mutations() {
         let mut g = PropertyGraph::new();
-        let a = g.add_node(&["P"], [("name", Value::str("Ada")), ("age", Value::int(3))]);
+        let a = g.add_node(
+            &["P"],
+            [("name", Value::str("Ada")), ("age", Value::int(3))],
+        );
         let b = g.add_node(&["P"], [("name", Value::str("Bo"))]);
         let name = g.interner().get("name").unwrap();
         assert_eq!(g.nodes_with_prop(name, &Value::str("Ada")), vec![a]);
@@ -913,6 +891,49 @@ mod tests {
         // Deleting the node cleans the index.
         g.detach_delete_node(a).unwrap();
         assert!(g.nodes_with_prop(age, &Value::int(9)).is_empty());
+    }
+
+    #[test]
+    fn composite_index_follows_label_and_prop_churn() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node(&["P"], [("k", Value::int(1))]);
+        let b = g.add_node(&["P", "Q"], [("k", Value::int(1))]);
+        let _c = g.add_node(&["P"], [("k", Value::int(2))]);
+        let p = g.interner().get("P").unwrap();
+        let q = g.interner().get("Q").unwrap();
+        let k = g.interner().get("k").unwrap();
+
+        assert_eq!(g.nodes_with_label_prop(p, k, &Value::int(1)), vec![a, b]);
+        assert_eq!(g.nodes_with_label_prop(q, k, &Value::int(1)), vec![b]);
+        // Numeric equivalence reaches the same bucket.
+        assert_eq!(
+            g.nodes_with_label_prop(p, k, &Value::float(1.0)),
+            vec![a, b]
+        );
+
+        // Adding a label back-fills the composite entries for existing
+        // properties.
+        g.add_label(a, q).unwrap();
+        assert_eq!(g.nodes_with_label_prop(q, k, &Value::int(1)), vec![a, b]);
+        // Removing it drops them again.
+        g.remove_label(a, q).unwrap();
+        assert_eq!(g.nodes_with_label_prop(q, k, &Value::int(1)), vec![b]);
+
+        // SET rewrites relocate the entry to the new value's bucket.
+        g.set_node_prop(a, k, Value::int(2)).unwrap();
+        assert_eq!(g.nodes_with_label_prop(p, k, &Value::int(1)), vec![b]);
+        assert!(g.nodes_with_label_prop(p, k, &Value::int(2)).contains(&a));
+
+        // Statistics reflect the index contents.
+        let c = g.prop_index_cardinality(k);
+        assert_eq!(c.entries, 3);
+        assert_eq!(c.distinct, 2);
+        let pc = g.label_prop_index_cardinality(p, k);
+        assert_eq!(pc.entries, 3);
+
+        // Deletion cleans the composite index.
+        g.detach_delete_node(b).unwrap();
+        assert!(g.nodes_with_label_prop(q, k, &Value::int(1)).is_empty());
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //!   Section 6 of the paper),
 //! * [`Path`] — the path values `path(n₁, r₁, …, nₘ)` of Section 4.1.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod fxhash;
 pub mod graph;
+pub mod index;
 pub mod interner;
 pub mod path;
 pub mod temporal;
@@ -35,6 +38,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use graph::{Direction, GraphError, GraphStats, NodeId, PropertyGraph, RelId};
+pub use index::{IndexCardinality, IndexSet};
 pub use interner::{Interner, Symbol};
 pub use path::Path;
 pub use temporal::{Date, Duration, LocalDateTime, LocalTime, Temporal, ZonedDateTime};

@@ -260,7 +260,13 @@ impl fmt::Display for LocalTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = self.nanosecond();
         if ns == 0 {
-            write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+            write!(
+                f,
+                "{:02}:{:02}:{:02}",
+                self.hour(),
+                self.minute(),
+                self.second()
+            )
         } else {
             let mut frac = format!("{ns:09}");
             while frac.ends_with('0') {
@@ -420,7 +426,13 @@ impl fmt::Display for ZonedDateTime {
         }
         let sign = if self.offset_seconds < 0 { '-' } else { '+' };
         let abs = self.offset_seconds.unsigned_abs();
-        write!(f, "{}{sign}{:02}:{:02}", self.local, abs / 3600, (abs % 3600) / 60)
+        write!(
+            f,
+            "{}{sign}{:02}:{:02}",
+            self.local,
+            abs / 3600,
+            (abs % 3600) / 60
+        )
     }
 }
 
@@ -752,7 +764,10 @@ mod tests {
     #[test]
     fn time_parse_variants() {
         assert_eq!(LocalTime::parse("12:30").unwrap().to_string(), "12:30:00");
-        assert_eq!(LocalTime::parse("12:30:45").unwrap().to_string(), "12:30:45");
+        assert_eq!(
+            LocalTime::parse("12:30:45").unwrap().to_string(),
+            "12:30:45"
+        );
         assert_eq!(
             LocalTime::parse("12:30:45.5").unwrap().to_string(),
             "12:30:45.5"
@@ -791,7 +806,9 @@ mod tests {
         let jan31 = Date::new(2018, 1, 31).unwrap();
         let feb = jan31.plus(Duration::new(1, 0, 0, 0));
         assert_eq!(feb.to_string(), "2018-02-28");
-        let leap = Date::new(2016, 1, 31).unwrap().plus(Duration::new(1, 0, 0, 0));
+        let leap = Date::new(2016, 1, 31)
+            .unwrap()
+            .plus(Duration::new(1, 0, 0, 0));
         assert_eq!(leap.to_string(), "2016-02-29");
     }
 

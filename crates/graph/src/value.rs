@@ -157,7 +157,12 @@ impl Value {
 
     /// Builds a map value from `(key, value)` pairs.
     pub fn map(items: impl IntoIterator<Item = (String, Value)>) -> Value {
-        Value::Map(items.into_iter().map(|(k, v)| (Arc::from(k.as_str()), v)).collect())
+        Value::Map(
+            items
+                .into_iter()
+                .map(|(k, v)| (Arc::from(k.as_str()), v))
+                .collect(),
+        )
     }
 
     /// True iff this is `null`.
@@ -589,10 +594,7 @@ mod tests {
     fn compare_incomparable_is_none() {
         assert_eq!(Value::int(1).compare(&Value::str("a")), None);
         assert_eq!(Value::Null.compare(&Value::int(1)), None);
-        assert_eq!(
-            Value::int(1).compare(&Value::int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::int(1).compare(&Value::int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::str("a").compare(&Value::str("b")),
             Some(Ordering::Less)

@@ -315,7 +315,11 @@ impl<'a> Lexer<'a> {
         {
             self.bump();
         }
-        Token::Ident(std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string())
+        Token::Ident(
+            std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string(),
+        )
     }
 
     fn lex_backtick_ident(&mut self) -> Result<Token, LexError> {

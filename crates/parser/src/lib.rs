@@ -14,6 +14,8 @@
 //! assert!(!q.is_updating());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod lexer;
 pub mod parser;
 

@@ -137,7 +137,9 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected '{t}', found {}",
-                self.peek().map(|x| x.to_string()).unwrap_or("end of input".into())
+                self.peek()
+                    .map(|x| x.to_string())
+                    .unwrap_or("end of input".into())
             )))
         }
     }
@@ -165,7 +167,9 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected keyword {kw}, found {}",
-                self.peek().map(|x| x.to_string()).unwrap_or("end of input".into())
+                self.peek()
+                    .map(|x| x.to_string())
+                    .unwrap_or("end of input".into())
             )))
         }
     }
@@ -179,7 +183,9 @@ impl Parser {
             }
             _ => Err(self.error(format!(
                 "expected identifier, found {}",
-                self.peek().map(|x| x.to_string()).unwrap_or("end of input".into())
+                self.peek()
+                    .map(|x| x.to_string())
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -869,7 +875,9 @@ impl Parser {
             }
             other => Err(self.error(format!(
                 "expected expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -939,9 +947,7 @@ impl Parser {
         if self.check_tok(&Token::LParen) {
             let save = self.pos;
             if let Ok(pat) = self.path_pattern() {
-                if !pat.steps.is_empty()
-                    && (self.at_kw("WHERE") || self.check_tok(&Token::Pipe))
-                {
+                if !pat.steps.is_empty() && (self.at_kw("WHERE") || self.check_tok(&Token::Pipe)) {
                     let filter = if self.eat_kw("WHERE") {
                         Some(Box::new(self.expr()?))
                     } else {
@@ -1211,16 +1217,14 @@ mod tests {
     #[test]
     fn case_expressions() {
         let e = parse_expression("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END").unwrap();
-        assert!(matches!(
-            e,
-            Expr::Case {
-                input: None,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Case { input: None, .. }));
         let e2 = parse_expression("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").unwrap();
         match e2 {
-            Expr::Case { input, whens, else_ } => {
+            Expr::Case {
+                input,
+                whens,
+                else_,
+            } => {
                 assert!(input.is_some());
                 assert_eq!(whens.len(), 2);
                 assert!(else_.is_none());

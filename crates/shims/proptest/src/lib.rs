@@ -1,0 +1,92 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Implements the strategy combinators, macros and collection helpers the
+//! workspace's property tests use, over a deterministic per-test RNG.
+//! Each `proptest!` test runs `ProptestConfig::cases` generated inputs
+//! (default 256). **Shrinking is intentionally not implemented**: a
+//! failing case panics with the ordinary assertion message instead of a
+//! minimized counterexample.
+//!
+//! Determinism: the RNG is seeded from the test function's name, so a
+//! failure reproduces exactly by re-running the same test binary — there
+//! is no persistence file.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly between alternative strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes an ordinary `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,159 @@
+//! Regex-lite string generation.
+//!
+//! The real crate generates `String`s matching a full regex. The patterns
+//! used in this workspace are all concatenations of character classes
+//! with optional bounded repetitions — e.g. `"[a-z][a-z0-9]{0,4}"` — so
+//! this module implements exactly that subset:
+//!
+//! * `[...]` character classes with literal characters and `a-z` ranges,
+//! * a literal character as an atom,
+//! * `{n}` / `{n,m}` repetition suffixes (default: exactly once).
+//!
+//! Unsupported syntax panics at generation time with the offending
+//! pattern, so a silently-wrong generator can't mask a test.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// One of these characters, uniformly.
+    Class(Vec<char>),
+    /// Exactly this character.
+    Lit(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            c if c == '{'
+                || c == '}'
+                || c == ']'
+                || c == '('
+                || c == ')'
+                || c == '|'
+                || c == '*'
+                || c == '+'
+                || c == '?'
+                || c == '\\'
+                || c == '.' =>
+            {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional {n} / {n,m} repetition suffix.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min + 1) as u64;
+        let reps = piece.min + rng.below(span) as u32;
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_name("string");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z][a-z0-9]{0,4}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 5, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn space_in_class() {
+        let mut rng = TestRng::from_name("string2");
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z ]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn rejects_unsupported() {
+        let mut rng = TestRng::from_name("string3");
+        generate_from_pattern("a+", &mut rng);
+    }
+}

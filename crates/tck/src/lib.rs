@@ -25,6 +25,8 @@
 //! engine and the reference semantics — so the corpus doubles as a
 //! differential suite.
 
+#![warn(missing_docs)]
+
 pub mod runner;
 
 pub use runner::{parse_scenarios, run_scenario, run_scenarios, Scenario, TckError};

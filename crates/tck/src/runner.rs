@@ -130,10 +130,7 @@ pub fn parse_scenarios(src: &str) -> Result<Vec<Scenario>, String> {
                     table.header = cells;
                 } else {
                     if cells.len() != table.header.len() {
-                        return Err(format!(
-                            "row width mismatch in '{}': {line}",
-                            s.name
-                        ));
+                        return Err(format!("row width mismatch in '{}': {line}", s.name));
                     }
                     table.rows.push(cells);
                 }
@@ -196,8 +193,7 @@ pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
         Some(exp) => {
             let want = expected_to_table(exp).map_err(&fail)?;
             let engine = engine_result.map_err(|e| fail(format!("engine failed: {e}")))?;
-            let reference =
-                reference_result.map_err(|e| fail(format!("reference failed: {e}")))?;
+            let reference = reference_result.map_err(|e| fail(format!("reference failed: {e}")))?;
             if !engine.bag_eq(&want) {
                 return Err(fail(format!(
                     "engine result differs\nexpected:\n{want}\ngot:\n{engine}"

@@ -95,12 +95,7 @@ pub fn datacenter(services: usize, layers: usize, deps_per: usize, seed: u64) ->
 /// account holders each `HAS` personal-information nodes (`SSN`,
 /// `PhoneNumber`, `Address`); `rings` groups of `ring_size` holders share
 /// a single piece of information — the rings the query must surface.
-pub fn fraud_rings(
-    holders: usize,
-    rings: usize,
-    ring_size: usize,
-    seed: u64,
-) -> PropertyGraph {
+pub fn fraud_rings(holders: usize, rings: usize, ring_size: usize, seed: u64) -> PropertyGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = PropertyGraph::new();
     let holder_ids: Vec<NodeId> = (0..holders)
@@ -124,10 +119,7 @@ pub fn fraud_rings(
     // Fraud rings: `ring_size` distinct holders share one address or SSN.
     for ring in 0..rings {
         let label = if ring % 2 == 0 { "Address" } else { "SSN" };
-        let shared = g.add_node(
-            &[label],
-            [("value", Value::str(format!("shared-{ring}")))],
-        );
+        let shared = g.add_node(&[label], [("value", Value::str(format!("shared-{ring}")))]);
         let mut members = Vec::new();
         while members.len() < ring_size.min(holders) {
             let h = holder_ids[rng.gen_range(0..holder_ids.len())];
@@ -191,12 +183,7 @@ pub fn citation_network(
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = PropertyGraph::new();
     let researcher_ids: Vec<NodeId> = (0..researchers)
-        .map(|i| {
-            g.add_node(
-                &["Researcher"],
-                [("name", Value::str(format!("r{i}")))],
-            )
-        })
+        .map(|i| g.add_node(&["Researcher"], [("name", Value::str(format!("r{i}")))]))
         .collect();
     // Students: one per two researchers.
     for (i, chunk) in researcher_ids.chunks(2).enumerate() {
@@ -258,7 +245,10 @@ pub fn random_graph(
             }
             g.add_node(
                 &node_labels,
-                [("v", Value::int(rng.gen_range(0..10))), ("i", Value::int(i as i64))],
+                [
+                    ("v", Value::int(rng.gen_range(0..10))),
+                    ("i", Value::int(i as i64)),
+                ],
             )
         })
         .collect();

@@ -11,6 +11,8 @@
 //! production datasets the paper's deployments run on (see DESIGN.md,
 //! "Simulated / substituted components").
 
+#![warn(missing_docs)]
+
 pub mod generators;
 
 pub use generators::*;

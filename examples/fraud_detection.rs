@@ -35,7 +35,10 @@ fn main() {
     // Cross-check the engine against the paper's formal semantics.
     let reference = run_reference(&g, q, &params).expect("reference");
     assert!(rings.bag_eq(&reference));
-    println!("Reference evaluator agrees on all {} ring(s).\n", rings.len());
+    println!(
+        "Reference evaluator agrees on all {} ring(s).\n",
+        rings.len()
+    );
 
     // Second-degree analysis: holders appearing in more than one ring.
     let repeat = run_read(

@@ -14,7 +14,11 @@ use cypher_workload as workload;
 use std::io::{self, BufRead, Write};
 
 fn print_schema(g: &PropertyGraph) {
-    println!("nodes: {}  relationships: {}", g.node_count(), g.rel_count());
+    println!(
+        "nodes: {}  relationships: {}",
+        g.node_count(),
+        g.rel_count()
+    );
     let stats = g.stats();
     let mut labels: Vec<_> = stats
         .label_cardinality

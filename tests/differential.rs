@@ -8,9 +8,7 @@
 //! file is that comparison.
 
 use cypher::workload::random_graph;
-use cypher::{
-    run_read_with, run_reference, EngineConfig, Params, PlannerMode, PropertyGraph,
-};
+use cypher::{run_read_with, run_reference, EngineConfig, Params, PlannerMode, PropertyGraph};
 
 /// The query corpus: read queries over labels A/B and types X/Y exercising
 /// matching, optional matching, variable-length patterns, filtering,
@@ -98,16 +96,33 @@ fn corpus_on_edge_case_graphs() {
     check_graph(&PropertyGraph::new(), "empty");
     // Single node, no relationships.
     let mut single = PropertyGraph::new();
-    single.add_node(&["A"], [("i", cypher::Value::int(0)), ("v", cypher::Value::int(1))]);
+    single.add_node(
+        &["A"],
+        [("i", cypher::Value::int(0)), ("v", cypher::Value::int(1))],
+    );
     check_graph(&single, "single node");
     // Self-loops and parallel edges.
     let mut loops = PropertyGraph::new();
-    let a = loops.add_node(&["A"], [("i", cypher::Value::int(0)), ("v", cypher::Value::int(3))]);
-    let b = loops.add_node(&["B"], [("i", cypher::Value::int(1)), ("v", cypher::Value::int(7))]);
-    loops.add_rel(a, a, "X", [("w", cypher::Value::int(1))]).unwrap();
-    loops.add_rel(a, b, "X", [("w", cypher::Value::int(2))]).unwrap();
-    loops.add_rel(a, b, "X", [("w", cypher::Value::int(3))]).unwrap();
-    loops.add_rel(b, a, "Y", [("w", cypher::Value::int(4))]).unwrap();
+    let a = loops.add_node(
+        &["A"],
+        [("i", cypher::Value::int(0)), ("v", cypher::Value::int(3))],
+    );
+    let b = loops.add_node(
+        &["B"],
+        [("i", cypher::Value::int(1)), ("v", cypher::Value::int(7))],
+    );
+    loops
+        .add_rel(a, a, "X", [("w", cypher::Value::int(1))])
+        .unwrap();
+    loops
+        .add_rel(a, b, "X", [("w", cypher::Value::int(2))])
+        .unwrap();
+    loops
+        .add_rel(a, b, "X", [("w", cypher::Value::int(3))])
+        .unwrap();
+    loops
+        .add_rel(b, a, "Y", [("w", cypher::Value::int(4))])
+        .unwrap();
     check_graph(&loops, "loops and parallel edges");
 }
 

@@ -178,10 +178,7 @@ fn exists_function() {
     }
     // Nils does not supervise; Elin and Thor do.
     let sup: Vec<&Value> = a.rows().iter().map(|r| r.get(3)).collect();
-    assert_eq!(
-        sup.iter().filter(|v| ***v == Value::Bool(true)).count(),
-        2
-    );
+    assert_eq!(sup.iter().filter(|v| ***v == Value::Bool(true)).count(), 2);
 }
 
 #[test]
@@ -250,7 +247,10 @@ fn parameters_everywhere() {
     let mut params = Params::new();
     params.insert("name".into(), Value::str("Elin"));
     params.insert("min".into(), Value::int(1));
-    params.insert("list".into(), Value::list([Value::int(220), Value::int(240)]));
+    params.insert(
+        "list".into(),
+        Value::list([Value::int(220), Value::int(240)]),
+    );
     let q = "MATCH (r:Researcher {name: $name})-[:AUTHORS]->(p)
              WHERE p.acmid IN $list
              RETURN count(p) >= $min AS ok";

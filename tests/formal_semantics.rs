@@ -47,9 +47,8 @@ fn e8_example_4_3_rigid_pattern_unique_assignment() {
 fn e9_example_4_4_variable_length_assignments() {
     // With the middle node named, three assignments exist:
     // (x=n1, z=n2, y=n3), (x=n1, z=n2, y=n4), (x=n1, z=n3, y=n4).
-    let out = both(
-        "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) RETURN x, z, y",
-    );
+    let out =
+        both("MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) RETURN x, z, y");
     out.assert_bag_eq(&table_of(
         &["x", "z", "y"],
         vec![
@@ -65,9 +64,7 @@ fn e10_example_4_5_bag_multiplicity() {
     // Anonymous middle: the n1→n4 path satisfies the pattern through two
     // rigid expansions (splits 1+2 and 2+1), so two copies of the same
     // assignment appear in the bag.
-    let out = both(
-        "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) RETURN x, y",
-    );
+    let out = both("MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) RETURN x, y");
     out.assert_bag_eq(&table_of(
         &["x", "y"],
         vec![

@@ -146,19 +146,18 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(a),
                 Box::new(b)
             )),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp(
+                CmpOp::Le,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
             inner.clone().prop_map(|a| Expr::IsNull(Box::new(a))),
-            (inner.clone(), "[a-z]{1,4}")
-                .prop_map(|(a, k)| Expr::Prop(Box::new(a), k)),
+            (inner.clone(), "[a-z]{1,4}").prop_map(|(a, k)| Expr::Prop(Box::new(a), k)),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::In(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::In(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Case {
                 input: None,
                 whens: vec![(a, b)],

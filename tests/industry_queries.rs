@@ -28,7 +28,10 @@ fn e15_network_management_top_dependency() {
     );
     // And its dependent count must dominate any single node's in-degree.
     let dependents = engine.cell(0, "dependents").unwrap().as_int().unwrap();
-    assert!(dependents > 2, "hub should accumulate transitive dependents");
+    assert!(
+        dependents > 2,
+        "hub should accumulate transitive dependents"
+    );
 }
 
 #[test]

@@ -7,8 +7,8 @@
 //! queries choose; this suite pins the behaviour of all three modes.
 
 use cypher::{
-    run_read_with, run_reference_with, EngineConfig, MatchConfig, Morphism, Params,
-    PropertyGraph, Value,
+    run_read_with, run_reference_with, EngineConfig, MatchConfig, Morphism, Params, PropertyGraph,
+    Value,
 };
 
 fn self_loop() -> PropertyGraph {
@@ -115,7 +115,11 @@ fn e14_node_isomorphism_strictest() {
     assert_eq!(node.cell(0, "c"), Some(&Value::int(0)));
 
     let homo = run_reference_with(&g, q, &params, cfg(Morphism::Homomorphism, 8)).unwrap();
-    assert_eq!(homo.cell(0, "c"), Some(&Value::int(3)), "triangle has no 3-walk besides the cycles");
+    assert_eq!(
+        homo.cell(0, "c"),
+        Some(&Value::int(3)),
+        "triangle has no 3-walk besides the cycles"
+    );
 }
 
 #[test]
@@ -166,5 +170,8 @@ fn e14_morphisms_agree_on_acyclic_simple_graphs() {
         let t = run_reference_with(&g, q, &params, cfg(m, 16)).unwrap();
         results.push(t.cell(0, "c").unwrap().clone());
     }
-    assert!(results.windows(2).all(|w| w[0].equivalent(&w[1])), "{results:?}");
+    assert!(
+        results.windows(2).all(|w| w[0].equivalent(&w[1])),
+        "{results:?}"
+    );
 }

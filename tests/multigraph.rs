@@ -3,9 +3,7 @@
 //! network, then compose a follow-up query that joins it with a citizen
 //! register.
 
-use cypher::{
-    run_on_catalog, Catalog, MultiResult, Params, PropertyGraph, Value,
-};
+use cypher::{run_on_catalog, Catalog, MultiResult, Params, PropertyGraph, Value};
 
 /// A social network in which a–b share friend c, and d is isolated; plus a
 /// register assigning cities.
@@ -15,9 +13,12 @@ fn setup() -> Catalog {
     let b = soc.add_node(&["Person"], [("name", Value::str("b"))]);
     let c = soc.add_node(&["Person"], [("name", Value::str("c"))]);
     let d = soc.add_node(&["Person"], [("name", Value::str("d"))]);
-    soc.add_rel(a, c, "FRIEND", [("since", Value::int(2000))]).unwrap();
-    soc.add_rel(b, c, "FRIEND", [("since", Value::int(2002))]).unwrap();
-    soc.add_rel(d, a, "FRIEND", [("since", Value::int(1990))]).unwrap();
+    soc.add_rel(a, c, "FRIEND", [("since", Value::int(2000))])
+        .unwrap();
+    soc.add_rel(b, c, "FRIEND", [("since", Value::int(2002))])
+        .unwrap();
+    soc.add_rel(d, a, "FRIEND", [("since", Value::int(1990))])
+        .unwrap();
 
     let mut register = PropertyGraph::new();
     let houston = register.add_node(&["City"], [("name", Value::str("Houston"))]);
@@ -80,7 +81,9 @@ fn e19_example_6_1_projection_then_composition() {
         &params,
     )
     .unwrap();
-    let MultiResult::Table(t) = res2 else { panic!() };
+    let MultiResult::Table(t) = res2 else {
+        panic!()
+    };
     assert_eq!(t.len(), 2, "a and b share a city, both orders");
     assert_eq!(t.cell(0, "city"), Some(&Value::str("Houston")));
 }

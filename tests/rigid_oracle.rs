@@ -143,8 +143,7 @@ fn oracle_on_parallel_edges() {
 #[test]
 fn rigid_expansion_counts() {
     // |rigid(π)| for π with two *1..2 steps is 4, as in Example 4.4.
-    let pat =
-        parse_pattern("(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)").unwrap();
+    let pat = parse_pattern("(x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)").unwrap();
     assert_eq!(rigid_expansions(&pat).len(), 4);
     let single = parse_pattern("(a)-[:X]->(b)").unwrap();
     assert_eq!(rigid_expansions(&single).len(), 1);

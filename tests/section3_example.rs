@@ -151,9 +151,6 @@ fn e1_final_result_table() {
 fn line1_initial_bindings() {
     // The very first clause: three researcher bindings n1, n6, n10.
     let (out, _) = both("MATCH (r:Researcher) RETURN r");
-    let expected = table_of(
-        &["r"],
-        vec![vec![node(1)], vec![node(6)], vec![node(10)]],
-    );
+    let expected = table_of(&["r"], vec![vec![node(1)], vec![node(6)], vec![node(10)]]);
     out.assert_bag_eq(&expected);
 }

@@ -111,10 +111,7 @@ fn optional_match_defaults_to_where_true() {
 fn match_where_equals_where_after_match() {
     // [[MATCH π̄ WHERE e]] = [[WHERE e]] ∘ [[MATCH π̄]].
     let g = figure1();
-    let fused = both(
-        &g,
-        "MATCH (p:Publication) WHERE p.acmid > 230 RETURN p",
-    );
+    let fused = both(&g, "MATCH (p:Publication) WHERE p.acmid > 230 RETURN p");
     let split = both(
         &g,
         "MATCH (p:Publication) WITH * WHERE p.acmid > 230 RETURN p",

@@ -33,7 +33,12 @@ fn create_nodes_and_relationships() {
 #[test]
 fn create_per_driving_row() {
     let (mut g, params) = fresh();
-    run(&mut g, "UNWIND [1, 2, 3] AS i CREATE (:Item {rank: i})", &params).unwrap();
+    run(
+        &mut g,
+        "UNWIND [1, 2, 3] AS i CREATE (:Item {rank: i})",
+        &params,
+    )
+    .unwrap();
     assert_eq!(g.node_count(), 3);
     let t = run_read(&g, "MATCH (x:Item) RETURN sum(x.rank) AS s", &params).unwrap();
     assert_eq!(t.cell(0, "s"), Some(&Value::int(6)));
