@@ -18,6 +18,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cypher::{run_read_with, EngineConfig, Params, PropertyGraph, Value};
 
+#[global_allocator]
+static ALLOC: cypher_bench::CountingAlloc = cypher_bench::CountingAlloc;
+
 const NODES: usize = 100_000;
 const POINT_QUERY: &str = "MATCH (n:Account {serial: 31337}) RETURN n.shard";
 const SHARD_QUERY: &str = "MATCH (n:Account {shard: 7}) RETURN count(*) AS c";
@@ -52,6 +55,33 @@ fn bench(c: &mut Criterion) {
     let d = run_read_with(&g, POINT_QUERY, &params, no_indexes).unwrap();
     assert!(a.bag_eq(&b) && a.bag_eq(&d), "configs disagree");
     assert_eq!(a.len(), 1);
+
+    // Allocation tripwires. The composite seek touches one posting list
+    // and one row — its budget is a few hundred allocations (parse +
+    // plan + projection), nowhere near the node count. The label scan
+    // walks every Account row but must stay within a small per-row
+    // budget: scan sources no longer clone-then-grow the driving record
+    // per emitted row (`Record::cloned_with_extra`), nor copy the scanned
+    // item list per operator (`Arc`-shared).
+    let (_, seek_allocs) = cypher_bench::allocations_during(|| {
+        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, indexed).unwrap())
+    });
+    let (_, scan_allocs) = cypher_bench::allocations_during(|| {
+        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, label_only).unwrap())
+    });
+    println!(
+        "e19: allocations — index seek {seek_allocs}, label scan {scan_allocs} \
+         ({:.2}/row)",
+        scan_allocs as f64 / NODES as f64
+    );
+    assert!(
+        seek_allocs < 2_000,
+        "point seek allocation budget blown: {seek_allocs}"
+    );
+    assert!(
+        (scan_allocs as usize) < 3 * NODES,
+        "label scan allocation budget blown: {scan_allocs} for {NODES} rows"
+    );
 
     let mut group = c.benchmark_group("e19_index_seek");
     group.bench_with_input(BenchmarkId::new("full_scan", NODES), &g, |b, g| {

@@ -1,14 +1,72 @@
 //! # cypher-bench
 //!
 //! Criterion benchmark harness: one bench target per experiment of
-//! DESIGN.md's index (E1, E14–E18) plus general scaling sweeps. The
+//! DESIGN.md's index (E1, E14–E20) plus general scaling sweeps. The
 //! binaries print the series the paper's narrative implies — who wins and
 //! by roughly what factor — and EXPERIMENTS.md records the measured
 //! numbers next to the paper's claims.
 
 #![warn(missing_docs)]
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Shared helper: format a mean duration in microseconds.
 pub fn us(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e6
+}
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// An allocation-counting wrapper around the system allocator. Bench
+/// binaries install it with
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: cypher_bench::CountingAlloc = cypher_bench::CountingAlloc;
+/// ```
+///
+/// and then assert per-query allocation budgets via
+/// [`allocations_during`] — the regression tripwire for "this hot loop
+/// quietly started cloning per row" (experiments E19/E20 pin the scan and
+/// seek paths this way).
+pub struct CountingAlloc;
+
+// SAFETY: defers to `System` for every operation; the counter is a
+// side-effect-free atomic increment.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Heap allocations (including reallocations) counted so far. Only
+/// meaningful when [`CountingAlloc`] is installed as the global
+/// allocator; otherwise stays 0.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result together with the number of heap
+/// allocations it performed (on this and every other thread — runs where
+/// the workload spawns workers count the workers too).
+pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocation_count();
+    let out = f();
+    (out, allocation_count() - before)
 }

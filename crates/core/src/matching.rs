@@ -482,28 +482,21 @@ impl<'a> MatchState<'a> {
         if k >= lo {
             // Accept here: bind the list of traversed relationships (item
             // (a′): `u(a) = list(r₁, …, rₘ)`, the empty list for m = 0).
+            // A failed endpoint bind (the variable is pinned to another
+            // node) only skips *this* acceptance — longer traversals may
+            // still reach the pinned node, so the hop enumeration below
+            // must continue regardless.
             let list = Value::List(rels_so_far.iter().map(|&r| Value::Rel(r)).collect());
             if let Some(rel_guard) = self.try_bind(&rho.name, list) {
-                let Some(node_guard) = self.try_bind(&chi.name, Value::Node(current)) else {
-                    self.unbind(rel_guard);
-                    return Ok(());
-                };
-                let mut keep = self.sat_node_conditions(current, chi)?;
-                // Under node isomorphism the endpoint was already marked
-                // used when we stepped onto it (or it is the start node);
-                // nothing further to check beyond zero-length acceptance.
-                let mut node_marked = false;
-                if keep && k == 0 && self.ctx.config.morphism.nodes_distinct() {
-                    // Zero hops: the node is the same position as the
-                    // previous node pattern; it is already marked.
-                    node_marked = false;
-                    keep = true;
+                if let Some(node_guard) = self.try_bind(&chi.name, Value::Node(current)) {
+                    // Under node isomorphism the endpoint was already
+                    // marked used when we stepped onto it (or it is the
+                    // start node); nothing further to check here.
+                    if self.sat_node_conditions(current, chi)? {
+                        self.match_steps(patterns, pat_idx, step_idx + 1, current, path.clone())?;
+                    }
+                    self.unbind(node_guard);
                 }
-                let _ = node_marked;
-                if keep {
-                    self.match_steps(patterns, pat_idx, step_idx + 1, current, path.clone())?;
-                }
-                self.unbind(node_guard);
                 self.unbind(rel_guard);
             }
         }

@@ -1,13 +1,16 @@
 //! The clause-by-clause executor.
 //!
 //! Reading clauses (`MATCH`, `OPTIONAL MATCH`) are compiled by the planner
-//! and run through the Volcano pipeline of [`crate::ops`]; `WITH`,
-//! `UNWIND` and the final `RETURN` reuse the reference semantics of
-//! [`cypher_core`] directly (they are pipeline breakers with no
-//! plan-dependent behaviour). Updating clauses are dispatched to
+//! and run through the batch (morsel-driven) pipeline of [`crate::ops`],
+//! parallelized across a worker pool when [`EngineConfig::num_threads`]
+//! allows; `WITH`, `UNWIND` and the final `RETURN` reuse the reference
+//! semantics of [`cypher_core`] directly (they are pipeline *breakers*:
+//! aggregation, `ORDER BY` and `DISTINCT` need the whole input, so the
+//! per-morsel partial results are merged — in morsel order — into one
+//! table exactly at these boundaries). Updating clauses are dispatched to
 //! [`crate::update`].
 
-use crate::ops::{build_pipeline, run_to_table};
+use crate::ops::{run_plan, ExecOptions, DEFAULT_MORSEL_SIZE};
 use crate::plan::PlanStep;
 use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
 use crate::update;
@@ -22,7 +25,8 @@ use cypher_core::{EvalContext, MatchConfig, Params};
 use cypher_graph::{PropertyGraph, Value};
 
 /// Engine configuration: pattern-matching semantics, the plan strategy,
-/// and which secondary indexes the planner may exploit.
+/// which secondary indexes the planner may exploit, and the batch/thread
+/// knobs of the morsel-driven runtime.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Morphism mode and variable-length safeguards (shared with the
@@ -36,15 +40,50 @@ pub struct EngineConfig {
     /// Allow `PropertyIndexSeek` over the exact-match property indexes
     /// (on by default).
     pub use_property_index: bool,
+    /// Rows per batch (morsel) flowing between operators, and the
+    /// granularity at which parallel workers claim scan work. Defaults to
+    /// 1024 (override with the `CYPHER_MORSEL_SIZE` environment variable;
+    /// clamped to ≥ 1 at execution time).
+    pub morsel_size: usize,
+    /// Worker threads for morsel-parallel `MATCH` pipelines. `1` (the
+    /// default; override with `CYPHER_NUM_THREADS`) runs the classic
+    /// single-threaded executor with zero dispatch overhead and
+    /// reproduces its output bit-for-bit. Any higher count produces the
+    /// *same row sequence* — morsels are merged in claim-index order, so
+    /// results never depend on thread scheduling.
+    pub num_threads: usize,
+}
+
+/// Reads a `usize ≥ 1` override from the environment, once. The CI matrix
+/// uses these hooks to run the whole suite under degenerate morsels and a
+/// multi-threaded pool without touching any test.
+fn env_exec_defaults() -> (usize, usize) {
+    static CACHE: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let read = |name: &str, fallback: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&v| v >= 1)
+                .unwrap_or(fallback)
+        };
+        (
+            read("CYPHER_MORSEL_SIZE", DEFAULT_MORSEL_SIZE),
+            read("CYPHER_NUM_THREADS", 1),
+        )
+    })
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let (morsel_size, num_threads) = env_exec_defaults();
         EngineConfig {
             match_config: MatchConfig::default(),
             planner_mode: PlannerMode::default(),
             use_label_index: true,
             use_property_index: true,
+            morsel_size,
+            num_threads,
         }
     }
 }
@@ -59,6 +98,14 @@ impl EngineConfig {
         }
     }
 
+    /// The runtime-facing slice of this configuration.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            morsel_size: self.morsel_size.max(1),
+            num_threads: self.num_threads.max(1),
+        }
+    }
+
     /// This configuration with both index families disabled — every
     /// `MATCH` anchor becomes a scan plus filters. Useful as a planner
     /// baseline and in differential tests.
@@ -66,6 +113,22 @@ impl EngineConfig {
         EngineConfig {
             use_label_index: false,
             use_property_index: false,
+            ..self
+        }
+    }
+
+    /// This configuration with the given worker-thread count.
+    pub fn with_threads(self, num_threads: usize) -> Self {
+        EngineConfig {
+            num_threads,
+            ..self
+        }
+    }
+
+    /// This configuration with the given morsel size.
+    pub fn with_morsel_size(self, morsel_size: usize) -> Self {
+        EngineConfig {
+            morsel_size,
             ..self
         }
     }
@@ -261,13 +324,9 @@ pub fn exec_match(
         if let Some(p) = where_ {
             steps.push(PlanStep::FilterExpr { pred: p.clone() });
         }
-        let pipeline = build_pipeline(&ctx, &steps, table.clone())?;
-        let raw = run_to_table(pipeline)?;
-        return Ok(project_visible(
-            raw,
-            table.schema().names(),
-            &planned.new_vars,
-        ));
+        let driving: Vec<String> = table.schema().names().to_vec();
+        let raw = run_plan(&ctx, &steps, table, cfg.exec_options())?;
+        return Ok(project_visible(raw, &driving, &planned.new_vars));
     }
 
     // OPTIONAL MATCH: tag each driving row with a hidden index, run the
@@ -292,8 +351,7 @@ pub fn exec_match(
     if let Some(p) = where_ {
         steps.push(PlanStep::FilterExpr { pred: p.clone() });
     }
-    let pipeline = build_pipeline(&ctx, &steps, tagged)?;
-    let raw = run_to_table(pipeline)?;
+    let raw = run_plan(&ctx, &steps, tagged, cfg.exec_options())?;
 
     // Group pipeline outputs by input index.
     let idx_pos = raw.schema().index_of(&idx_col).expect("hidden idx kept");
@@ -375,6 +433,24 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: EngineConfig) -> String {
                         });
                         out.push_str(&plan.to_string());
                         out.push('\n');
+                        // Surface the runtime's parallelism: a plan whose
+                        // anchor is a source is dispatched morsel-wise
+                        // across the worker pool — once the source's
+                        // output exceeds one morsel (below that the pool
+                        // cannot help and run_plan stays sequential).
+                        if cfg.num_threads > 1 {
+                            if plan.steps.first().is_some_and(|s| s.is_source()) {
+                                out.push_str(&format!(
+                                    "(parallel: {} threads, morsel size {m}; \
+                                     engages when driving rows × scanned items \
+                                     exceed {m})\n",
+                                    cfg.num_threads,
+                                    m = cfg.morsel_size.max(1)
+                                ));
+                            } else {
+                                out.push_str("(sequential: source is pre-bound)\n");
+                            }
+                        }
                         fields.extend(new_vars);
                     }
                 }
@@ -540,6 +616,86 @@ mod tests {
         assert!(no_prop.contains("NodeIndexScan(n:Person)"), "{no_prop}");
         let no_idx = explain(&g, &q, EngineConfig::default().without_indexes());
         assert!(no_idx.contains("AllNodesScan"), "{no_idx}");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_row_for_row() {
+        // 200 nodes so every morsel size below actually chunks the scan.
+        let mut g = PropertyGraph::new();
+        let mut prev = None;
+        for i in 0..200 {
+            let labels: &[&str] = if i % 3 == 0 { &["Hub"] } else { &["Leaf"] };
+            let n = g.add_node(labels, [("i", Value::int(i))]);
+            if let Some(p) = prev {
+                g.add_rel(p, n, "NEXT", []).unwrap();
+            }
+            prev = Some(n);
+        }
+        let params = Params::new();
+        let seq = EngineConfig::default().with_threads(1);
+        for src in [
+            "MATCH (n:Hub) RETURN n",
+            "MATCH (n) WHERE n.i > 100 RETURN n.i AS i",
+            "MATCH (a:Hub)-[:NEXT]->(b) RETURN a.i AS x, b.i AS y",
+            "MATCH (a)-[:NEXT*1..2]->(b:Hub) RETURN a, b",
+            "MATCH (x:Hub) OPTIONAL MATCH (x)-[:NEXT]->(y:Hub) RETURN x, y",
+        ] {
+            let q = parse_query(src).unwrap();
+            let base = execute_read(&g, &q, &params, seq).unwrap();
+            for (threads, morsel) in [(2, 1), (3, 7), (4, 64), (8, 1024)] {
+                let cfg = seq.with_threads(threads).with_morsel_size(morsel);
+                let par = execute_read(&g, &q, &params, cfg).unwrap();
+                // Identical row *sequence*, not merely the same bag:
+                // morsels are merged in claim-index order.
+                assert!(
+                    par.ordered_eq(&base),
+                    "{src} (threads={threads}, morsel={morsel})\nseq:\n{base}\npar:\n{par}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_errors_match_sequential_errors() {
+        let mut g = PropertyGraph::new();
+        for i in 0..50 {
+            g.add_node(&["N"], [("v", Value::int(i))]);
+        }
+        let params = Params::new();
+        // `+` on a node is an evaluation error raised mid-pipeline.
+        let q = parse_query("MATCH (n:N) WHERE n + 1 = 2 RETURN n").unwrap();
+        let seq_err =
+            execute_read(&g, &q, &params, EngineConfig::default().with_threads(1)).unwrap_err();
+        let par_err = execute_read(
+            &g,
+            &q,
+            &params,
+            EngineConfig::default().with_threads(4).with_morsel_size(4),
+        )
+        .unwrap_err();
+        assert_eq!(seq_err, par_err, "parallel error is the canonical one");
+    }
+
+    #[test]
+    fn explain_shows_parallelism() {
+        let g = figure4();
+        let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x").unwrap();
+        let seq = explain(&g, &q, EngineConfig::default().with_threads(1));
+        assert!(!seq.contains("parallel:"), "{seq}");
+        let par = explain(
+            &g,
+            &q,
+            EngineConfig::default()
+                .with_threads(4)
+                .with_morsel_size(512),
+        );
+        assert!(
+            par.contains(
+                "(parallel: 4 threads, morsel size 512; \
+                 engages when driving rows × scanned items exceed 512)"
+            ),
+            "{par}"
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! * a **cost-based planner** ([`planner`]) choosing scan anchors by label
 //!   selectivity and compiling patterns to chains of the **`Expand`**
 //!   operator over native adjacency,
-//! * a **tuple-at-a-time (Volcano) iterator runtime** ([`ops`]),
+//! * a **batch-at-a-time (morsel-driven) runtime** ([`ops`]): operators
+//!   exchange [`ops::RowBatch`]es of up to `morsel_size` rows, and scan
+//!   sources are partitioned into morsels dispatched across a
+//!   `std::thread::scope` worker pool when `num_threads > 1` — with the
+//!   guarantee that every thread count produces the same row sequence,
 //! * the **update clauses** `CREATE` / `MERGE` / `DELETE` / `SET` /
 //!   `REMOVE` ([`update`]),
 //! * **multiple named graphs and query composition** (Cypher 10,
@@ -48,5 +52,6 @@ pub mod update;
 
 pub use exec::{execute, execute_read, explain, EngineConfig};
 pub use multigraph::{execute_on_catalog, MultiResult};
+pub use ops::{ExecOptions, RowBatch, DEFAULT_MORSEL_SIZE};
 pub use plan::{MatchPlan, PlanStep};
 pub use planner::{plan_match, PlannerMode, PlannerOptions};

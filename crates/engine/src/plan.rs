@@ -18,7 +18,8 @@ use std::fmt;
 pub type Col = String;
 
 /// One step of a `MATCH` pipeline. Steps are applied in order, each
-/// transforming the stream of rows (Volcano-style, one row at a time).
+/// transforming the stream of row batches (morsel-driven, a
+/// [`crate::ops::RowBatch`] at a time).
 #[derive(Clone, Debug, PartialEq)]
 pub enum PlanStep {
     /// Bind `var` to every node of the graph.
@@ -89,6 +90,13 @@ pub enum PlanStep {
         hi: u64,
         /// True for the `I = nil` single-relationship form.
         single: bool,
+        /// True when the planner walks this step right-to-left (the anchor
+        /// sits at or beyond the pattern's right end). `dir` is already
+        /// flipped accordingly; variable-length steps must additionally
+        /// reverse the traversed relationship list so `rel` binds it in
+        /// *pattern* order (left to right, as the formal semantics and
+        /// `ProjectPath` both require).
+        reversed: bool,
         /// Relationship columns that this step's matches must not reuse.
         exclude: Vec<Col>,
         /// Per-hop relationship property conditions (variable-length
@@ -140,6 +148,24 @@ pub enum PlanStep {
         /// The alternating element columns.
         elements: Vec<PathElem>,
     },
+}
+
+impl PlanStep {
+    /// True for the *source* steps — the scans and seeks that multiply the
+    /// driving table by a materialized item list (`AllNodesScan`,
+    /// `NodeIndexScan`, `PropertyIndexSeek`, `RelScan`). Sources are where
+    /// the morsel-driven executor injects parallelism: their item list is
+    /// partitioned into morsels and dispatched across the worker pool (see
+    /// [`crate::ops::run_plan`]).
+    pub fn is_source(&self) -> bool {
+        matches!(
+            self,
+            PlanStep::AllNodesScan { .. }
+                | PlanStep::NodeIndexScan { .. }
+                | PlanStep::PropertyIndexSeek { .. }
+                | PlanStep::RelScan { .. }
+        )
+    }
 }
 
 /// One element of a named path, referencing columns bound earlier in the
@@ -251,6 +277,7 @@ mod tests {
             lo: 1,
             hi: 1,
             single: true,
+            reversed: false,
             exclude: vec![],
             props: vec![],
         };
@@ -264,6 +291,7 @@ mod tests {
             lo: 1,
             hi: u64::MAX,
             single: false,
+            reversed: true,
             exclude: vec![],
             props: vec![],
         };

@@ -20,6 +20,12 @@
 //! [`PlannerMode::CartesianJoin`] disables `Expand` and compiles rigid
 //! patterns to the relational baseline (scan nodes × scan relationships +
 //! endpoint filters) measured against `Expand` in experiment E17.
+//!
+//! Anchor choice doubles as the executor's **parallelism decision**: every
+//! plan starts with a source step (scan or seek) unless the anchor is
+//! pre-bound, and [`crate::ops::run_plan`] partitions exactly that source
+//! into morsels for the worker pool. Picking the cheapest anchor therefore
+//! also picks the smallest work list to split.
 
 use crate::plan::{MatchPlan, PathElem, PlanStep};
 use cypher_ast::expr::Expr;
@@ -410,6 +416,7 @@ fn emit_expand(
         lo,
         hi,
         single: rho.range.is_single(),
+        reversed,
         exclude: ctx.rel_cols.clone(),
         props: if rho.range.is_single() {
             Vec::new()

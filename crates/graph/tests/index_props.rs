@@ -1,0 +1,240 @@
+//! Property-based testing of **incremental index maintenance**: random
+//! interleavings of every mutating operation the store offers must (a)
+//! never panic, (b) leave every index family answering exactly what a
+//! brute-force scan of the live graph answers, and (c) agree with the
+//! indexes of a graph rebuilt from scratch out of the mutated graph's
+//! live contents — the recomputation obligation of incremental view
+//! maintenance (cf. Berkholz et al., "Answering FO+MOD queries under
+//! updates").
+
+use cypher_graph::index::value_bucket;
+use cypher_graph::{NodeId, PropertyGraph, Value};
+use proptest::prelude::*;
+
+const LABELS: [&str; 2] = ["P", "Q"];
+const KEYS: [&str; 2] = ["k", "m"];
+const VALUES: i64 = 5;
+
+/// One encoded mutation: `(kind, a, value, c)` with the indices taken
+/// modulo the live entity lists at application time.
+type Op = (u8, usize, i64, usize);
+
+fn apply(
+    g: &mut PropertyGraph,
+    nodes: &mut Vec<NodeId>,
+    rels: &mut Vec<cypher_graph::RelId>,
+    op: Op,
+) {
+    let (kind, a, v, c) = op;
+    let pick = |list: &[NodeId], i: usize| list[i % list.len()];
+    match kind {
+        // Node creation, with label subsets and one or two indexed props.
+        0 | 1 => {
+            let mut labels: Vec<&str> = Vec::new();
+            if a % 2 == 0 {
+                labels.push(LABELS[0]);
+            }
+            if c % 2 == 0 {
+                labels.push(LABELS[1]);
+            }
+            let n = if c % 3 == 0 {
+                g.add_node(&labels, [("k", Value::int(v)), ("m", Value::int(v % 2))])
+            } else {
+                g.add_node(&labels, [("k", Value::int(v))])
+            };
+            nodes.push(n);
+        }
+        2 if !nodes.is_empty() => {
+            let r = g
+                .add_rel(pick(nodes, a), pick(nodes, c), "T", [])
+                .expect("live endpoints");
+            rels.push(r);
+        }
+        3 if !rels.is_empty() => {
+            let r = rels.swap_remove(a % rels.len());
+            g.delete_rel(r).expect("live rel");
+        }
+        4 if !nodes.is_empty() => {
+            let n = nodes.swap_remove(a % nodes.len());
+            g.detach_delete_node(n).expect("live node");
+            rels.retain(|&r| g.contains_rel(r));
+        }
+        5 if !nodes.is_empty() => {
+            let k = g.intern(KEYS[c % KEYS.len()]);
+            g.set_node_prop(pick(nodes, a), k, Value::int(v)).unwrap();
+        }
+        // `SET n.k = null` removes the key (and its index entries).
+        6 if !nodes.is_empty() => {
+            let k = g.intern(KEYS[c % KEYS.len()]);
+            g.set_node_prop(pick(nodes, a), k, Value::Null).unwrap();
+        }
+        7 if !nodes.is_empty() => {
+            let k = g.intern(KEYS[c % KEYS.len()]);
+            g.remove_node_prop(pick(nodes, a), k).unwrap();
+        }
+        8 if !nodes.is_empty() => {
+            let l = g.intern(LABELS[c % LABELS.len()]);
+            g.add_label(pick(nodes, a), l).unwrap();
+        }
+        9 if !nodes.is_empty() => {
+            let l = g.intern(LABELS[c % LABELS.len()]);
+            g.remove_label(pick(nodes, a), l).unwrap();
+        }
+        10 if !nodes.is_empty() => {
+            let k = g.intern("k");
+            g.replace_node_props(pick(nodes, a), vec![(k, Value::int(v))])
+                .unwrap();
+        }
+        _ => {} // mutation on an empty graph: no-op
+    }
+}
+
+/// Brute-force oracle: scan every live node instead of consulting any
+/// index (the "rebuilt from scratch" answer for membership queries).
+fn brute_label(g: &PropertyGraph, label: &str) -> Vec<NodeId> {
+    match g.interner().get(label) {
+        Some(l) => g.nodes().filter(|&n| g.has_label(n, l)).collect(),
+        None => Vec::new(),
+    }
+}
+
+fn brute_prop(g: &PropertyGraph, key: &str, v: &Value) -> Vec<NodeId> {
+    match g.interner().get(key) {
+        Some(k) => g
+            .nodes()
+            .filter(|&n| g.node_prop(n, k).map(|w| w.equivalent(v)).unwrap_or(false))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+fn brute_label_prop(g: &PropertyGraph, label: &str, key: &str, v: &Value) -> Vec<NodeId> {
+    let with_label = brute_label(g, label);
+    match g.interner().get(key) {
+        Some(k) => with_label
+            .into_iter()
+            .filter(|&n| g.node_prop(n, k).map(|w| w.equivalent(v)).unwrap_or(false))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Every index family must answer exactly like the brute-force scan.
+fn assert_indexes_match_scan(g: &PropertyGraph, when: &str) {
+    for label in LABELS {
+        if let Some(l) = g.interner().get(label) {
+            let mut indexed: Vec<NodeId> = g.nodes_with_label(l).to_vec();
+            indexed.sort_unstable();
+            assert_eq!(indexed, brute_label(g, label), "label {label} ({when})");
+        }
+        for key in KEYS {
+            for v in 0..VALUES {
+                let v = Value::int(v);
+                if let (Some(l), Some(k)) = (g.interner().get(label), g.interner().get(key)) {
+                    assert_eq!(
+                        g.nodes_with_label_prop(l, k, &v),
+                        brute_label_prop(g, label, key, &v),
+                        "composite ({label}, {key}, {v}) ({when})"
+                    );
+                }
+            }
+        }
+    }
+    for key in KEYS {
+        let Some(k) = g.interner().get(key) else {
+            continue;
+        };
+        for v in 0..VALUES {
+            let v = Value::int(v);
+            assert_eq!(
+                g.nodes_with_prop(k, &v),
+                brute_prop(g, key, &v),
+                "property ({key}, {v}) ({when})"
+            );
+        }
+        // Cardinality statistics: entries = live nodes carrying the key,
+        // distinct = distinct value buckets among them.
+        let card = g.prop_index_cardinality(k);
+        let holders: Vec<NodeId> = g.nodes().filter(|&n| g.node_prop(n, k).is_some()).collect();
+        let mut buckets: Vec<u64> = holders
+            .iter()
+            .map(|&n| value_bucket(g.node_prop(n, k).unwrap()))
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        assert_eq!(card.entries, holders.len(), "entries of {key} ({when})");
+        assert_eq!(card.distinct, buckets.len(), "distinct of {key} ({when})");
+    }
+}
+
+/// Rebuilds a fresh graph from the live contents of `g` and checks that
+/// its (from-scratch) indexes answer the same membership queries, modulo
+/// the id renaming of the rebuild.
+fn assert_matches_rebuild(g: &PropertyGraph) {
+    let mut fresh = PropertyGraph::new();
+    let mut map: std::collections::BTreeMap<NodeId, NodeId> = std::collections::BTreeMap::new();
+    for n in g.nodes() {
+        let labels: Vec<_> = g
+            .labels(n)
+            .iter()
+            .map(|&l| fresh.intern(g.resolve(l)))
+            .collect();
+        let props: Vec<_> = g
+            .node_props(n)
+            .map(|(k, v)| (g.resolve(k).to_string(), v.clone()))
+            .collect();
+        let props = props
+            .into_iter()
+            .map(|(k, v)| (fresh.intern(&k), v))
+            .collect();
+        map.insert(n, fresh.add_node_syms(labels, props));
+    }
+    for label in LABELS {
+        let old: Vec<NodeId> = brute_label(g, label).into_iter().map(|n| map[&n]).collect();
+        let mut rebuilt = match fresh.interner().get(label) {
+            Some(l) => fresh.nodes_with_label(l).to_vec(),
+            None => Vec::new(),
+        };
+        rebuilt.sort_unstable();
+        let mut old = old;
+        old.sort_unstable();
+        assert_eq!(rebuilt, old, "rebuilt label index for {label}");
+        for key in KEYS {
+            for v in 0..VALUES {
+                let v = Value::int(v);
+                let mut old: Vec<NodeId> = brute_label_prop(g, label, key, &v)
+                    .into_iter()
+                    .map(|n| map[&n])
+                    .collect();
+                old.sort_unstable();
+                let rebuilt = match (fresh.interner().get(label), fresh.interner().get(key)) {
+                    (Some(l), Some(k)) => fresh.nodes_with_label_prop(l, k, &v),
+                    _ => Vec::new(),
+                };
+                assert_eq!(rebuilt, old, "rebuilt composite ({label}, {key}, {v})");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Interleaved mutations + index-backed seeks: no panics, and after
+    // *every* operation each index family equals a from-scratch scan; at
+    // the end the incrementally-maintained indexes also agree with a
+    // graph rebuilt from the live contents.
+    #[test]
+    fn interleaved_mutations_keep_indexes_exact(
+        ops in proptest::collection::vec((0u8..11, 0usize..128, 0i64..VALUES, 0usize..128), 1..40)
+    ) {
+        let mut g = PropertyGraph::new();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut rels: Vec<cypher_graph::RelId> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut g, &mut nodes, &mut rels, *op);
+            assert_indexes_match_scan(&g, &format!("after op {i} = {op:?}"));
+        }
+        assert_matches_rebuild(&g);
+    }
+}

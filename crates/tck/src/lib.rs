@@ -20,10 +20,16 @@
 //!
 //! `GIVEN` is a Cypher update statement building the graph, `WHEN` the
 //! query under test, and `THEN` the expected table (bag equality; cells
-//! are Cypher literal expressions). `THEN ERROR` asserts that evaluation
-//! fails. Every scenario is run against **both** evaluators — the planner
-//! engine and the reference semantics — so the corpus doubles as a
-//! differential suite.
+//! are Cypher literal expressions). `THEN ORDERED` demands the rows
+//! *in the given order* — the determinism obligation of `ORDER BY` (and
+//! of `SKIP`/`LIMIT` after it). `THEN ERROR` asserts that evaluation
+//! fails. Every scenario is run against **three** evaluators — the
+//! sequential planner engine, the same engine under a 4-thread
+//! morsel-parallel configuration (2-row morsels, so even tiny graphs
+//! split), and the reference semantics — so the corpus doubles as a
+//! differential suite for both the planner and the parallel runtime; the
+//! parallel run must additionally reproduce the sequential row sequence
+//! exactly, whatever the expectation style.
 
 #![warn(missing_docs)]
 

@@ -1,8 +1,8 @@
 //! Scenario parser and runner.
 
 use cypher::{
-    parse_expression, run, run_read, run_reference, EvalContext, Params, PropertyGraph, Record,
-    Schema, Table,
+    parse_expression, run, run_read, run_read_with, run_reference, EngineConfig, EvalContext,
+    Params, PropertyGraph, Record, Schema, Table,
 };
 use cypher_core::expr::NoVars;
 use std::fmt;
@@ -18,6 +18,11 @@ pub struct Scenario {
     pub when: String,
     /// The expected table, or `None` when an error is expected.
     pub then: Option<ExpectedTable>,
+    /// True for `THEN ORDERED` scenarios: results must match the expected
+    /// table *row for row*, not merely as a bag — the determinism
+    /// obligation of `ORDER BY` (and of `SKIP`/`LIMIT` after it), which
+    /// must hold identically under parallel execution.
+    pub ordered: bool,
 }
 
 /// An expected result table: header plus rows of literal expressions.
@@ -80,6 +85,7 @@ pub fn parse_scenarios(src: &str) -> Result<Vec<Scenario>, String> {
                     header: Vec::new(),
                     rows: Vec::new(),
                 }),
+                ordered: false,
             });
             section = Section::None;
             expect_error = false;
@@ -104,6 +110,11 @@ pub fn parse_scenarios(src: &str) -> Result<Vec<Scenario>, String> {
             "THEN ERROR" => {
                 section = Section::Then;
                 expect_error = true;
+                continue;
+            }
+            "THEN ORDERED" => {
+                section = Section::Then;
+                s.ordered = true;
                 continue;
             }
             _ => {}
@@ -166,8 +177,18 @@ fn expected_to_table(exp: &ExpectedTable) -> Result<Table, String> {
     Ok(Table::new(schema, rows))
 }
 
-/// Runs one scenario against both evaluators. Returns `Err` on the first
-/// divergence from the expectation.
+/// The parallel configuration every scenario is additionally run under: a
+/// 4-thread pool with deliberately tiny (2-row) morsels, so even the small
+/// TCK graphs split into several units of parallel work.
+fn parallel_config() -> EngineConfig {
+    EngineConfig::default().with_threads(4).with_morsel_size(2)
+}
+
+/// Runs one scenario against the sequential engine, the morsel-parallel
+/// engine, and the reference evaluator. Returns `Err` on the first
+/// divergence from the expectation (row-for-row for `THEN ORDERED`
+/// scenarios, bag equality otherwise). The parallel run must always
+/// reproduce the sequential row sequence exactly.
 pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
     let fail = |message: String| TckError {
         scenario: s.name.clone(),
@@ -179,11 +200,15 @@ pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
         run(&mut g, stmt, &params).map_err(|e| fail(format!("GIVEN failed: {e}")))?;
     }
     let engine_result = run_read(&g, &s.when, &params);
+    let parallel_result = run_read_with(&g, &s.when, &params, parallel_config());
     let reference_result = run_reference(&g, &s.when, &params);
     match &s.then {
         None => {
             if engine_result.is_ok() {
                 return Err(fail("expected an error from the engine".into()));
+            }
+            if parallel_result.is_ok() {
+                return Err(fail("expected an error from the parallel engine".into()));
             }
             if reference_result.is_ok() {
                 return Err(fail("expected an error from the reference".into()));
@@ -193,15 +218,38 @@ pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
         Some(exp) => {
             let want = expected_to_table(exp).map_err(&fail)?;
             let engine = engine_result.map_err(|e| fail(format!("engine failed: {e}")))?;
+            let parallel =
+                parallel_result.map_err(|e| fail(format!("parallel engine failed: {e}")))?;
             let reference = reference_result.map_err(|e| fail(format!("reference failed: {e}")))?;
-            if !engine.bag_eq(&want) {
+            let matches = |got: &Table| {
+                if s.ordered {
+                    got.ordered_eq(&want)
+                } else {
+                    got.bag_eq(&want)
+                }
+            };
+            let mode = if s.ordered { " (ordered)" } else { "" };
+            if !matches(&engine) {
                 return Err(fail(format!(
-                    "engine result differs\nexpected:\n{want}\ngot:\n{engine}"
+                    "engine result differs{mode}\nexpected:\n{want}\ngot:\n{engine}"
                 )));
             }
-            if !reference.bag_eq(&want) {
+            if !matches(&parallel) {
                 return Err(fail(format!(
-                    "reference result differs\nexpected:\n{want}\ngot:\n{reference}"
+                    "parallel engine result differs{mode}\nexpected:\n{want}\ngot:\n{parallel}"
+                )));
+            }
+            if !matches(&reference) {
+                return Err(fail(format!(
+                    "reference result differs{mode}\nexpected:\n{want}\ngot:\n{reference}"
+                )));
+            }
+            // Independent of the expectation style, parallel execution
+            // must reproduce the sequential row sequence exactly.
+            if !parallel.ordered_eq(&engine) {
+                return Err(fail(format!(
+                    "parallel row order drifted from sequential\nsequential:\n{engine}\
+                     parallel:\n{parallel}"
                 )));
             }
             Ok(())
@@ -265,6 +313,38 @@ mod tests {
              THEN ERROR",
         )
         .unwrap();
+    }
+
+    #[test]
+    fn then_ordered_checks_row_order() {
+        // Correct order passes…
+        run_scenarios(
+            "SCENARIO: ordered ok
+             GIVEN
+               CREATE (:N {v: 2}), (:N {v: 1}), (:N {v: 3})
+             WHEN
+               MATCH (n:N) RETURN n.v AS v ORDER BY v
+             THEN ORDERED
+               | v |
+               | 1 |
+               | 2 |
+               | 3 |",
+        )
+        .unwrap();
+        // …the same rows in the wrong order fail, though they bag-match.
+        let err = run_scenarios(
+            "SCENARIO: ordered violation
+             GIVEN
+               CREATE (:N {v: 2}), (:N {v: 1})
+             WHEN
+               MATCH (n:N) RETURN n.v AS v ORDER BY v
+             THEN ORDERED
+               | v |
+               | 2 |
+               | 1 |",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ordered"), "{err}");
     }
 
     #[test]

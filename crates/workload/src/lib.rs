@@ -10,9 +10,16 @@
 //! All generators are seeded and reproducible; they substitute for the
 //! production datasets the paper's deployments run on (see DESIGN.md,
 //! "Simulated / substituted components").
+//!
+//! Besides graphs, [`queries`] generates random *queries* from a small
+//! grammar — the workload side of the parallel differential harness
+//! (`tests/parallel_differential.rs`), which replays each one at several
+//! thread counts and against the reference oracle.
 
 #![warn(missing_docs)]
 
 pub mod generators;
+pub mod queries;
 
 pub use generators::*;
+pub use queries::{random_queries, QueryGenerator, QueryVocabulary};

@@ -1,0 +1,288 @@
+//! Grammar-driven random Cypher query generator — the workload half of the
+//! parallel differential test harness.
+//!
+//! Queries are drawn from a small grammar covering the read surface the
+//! engine parallelizes: linear `MATCH` patterns (with optional second
+//! paths, shared variables, variable-length hops), `WHERE` predicates over
+//! the integer properties the [`crate::random_graph`] substrate guarantees
+//! (`v`, `i`), and the full family of pipeline breakers — aggregation,
+//! `DISTINCT`, `ORDER BY`, `SKIP`/`LIMIT`.
+//!
+//! Two invariants keep every generated query *differentially comparable*
+//! (equal as a sorted multiset across evaluators and thread counts):
+//!
+//! * every variable referenced by `WHERE` or `RETURN` is bound by the
+//!   `MATCH`, so no query errors;
+//! * `SKIP`/`LIMIT` only follow an `ORDER BY` whose key is the query's
+//!   single projected column, so the kept multiset is fully determined
+//!   even when the sort has ties (tied rows are then indistinguishable).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The vocabulary a [`QueryGenerator`] draws from. The default matches the
+/// `random_graph(_, _, &["A", "B"], &["X", "Y"], _)` substrate of the
+/// differential suites: labels `A`/`B`, relationship types `X`/`Y`, and
+/// integer node properties `v` (small, collision-heavy) and `i` (unique).
+#[derive(Debug, Clone)]
+pub struct QueryVocabulary {
+    /// Node labels patterns and predicates may mention.
+    pub labels: Vec<String>,
+    /// Relationship types patterns may mention.
+    pub types: Vec<String>,
+    /// Integer-valued node property keys.
+    pub int_props: Vec<String>,
+}
+
+impl Default for QueryVocabulary {
+    fn default() -> Self {
+        QueryVocabulary {
+            labels: vec!["A".into(), "B".into()],
+            types: vec!["X".into(), "Y".into()],
+            int_props: vec!["v".into(), "i".into()],
+        }
+    }
+}
+
+/// A deterministic stream of random read queries: same seed, same
+/// queries, on every run and platform (the RNG is the workspace's own
+/// [`rand::rngs::SmallRng`] shim).
+#[derive(Debug)]
+pub struct QueryGenerator {
+    rng: SmallRng,
+    vocab: QueryVocabulary,
+}
+
+impl QueryGenerator {
+    /// A generator over the default vocabulary.
+    pub fn new(seed: u64) -> QueryGenerator {
+        QueryGenerator::with_vocabulary(seed, QueryVocabulary::default())
+    }
+
+    /// A generator over an explicit vocabulary.
+    pub fn with_vocabulary(seed: u64, vocab: QueryVocabulary) -> QueryGenerator {
+        QueryGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            vocab,
+        }
+    }
+
+    /// Draws the next query.
+    pub fn next_query(&mut self) -> String {
+        let mut vars: Vec<String> = Vec::new();
+        let mut rel_vars: Vec<String> = Vec::new();
+
+        let mut pattern = self.gen_path(&mut vars, &mut rel_vars);
+        if self.rng.gen_bool(0.2) {
+            let second = self.gen_path(&mut vars, &mut rel_vars);
+            pattern.push_str(", ");
+            pattern.push_str(&second);
+        }
+
+        let mut q = format!("MATCH {pattern}");
+        if self.rng.gen_bool(0.45) {
+            q.push_str(" WHERE ");
+            q.push_str(&self.gen_predicate(&vars));
+        }
+        q.push(' ');
+        q.push_str(&self.gen_return(&vars, &rel_vars));
+        q
+    }
+
+    /// `path := node (rel node){0..2}`, binding fresh (or occasionally
+    /// shared) node variables.
+    fn gen_path(&mut self, vars: &mut Vec<String>, rel_vars: &mut Vec<String>) -> String {
+        let hops = self.rng.gen_range(0..3);
+        let mut s = self.gen_node(vars);
+        for _ in 0..hops {
+            s.push_str(&self.gen_rel(rel_vars));
+            s.push_str(&self.gen_node(vars));
+        }
+        s
+    }
+
+    /// `node := '(' var (':' label)? ('{v: k}')? ')'`. One time in ten the
+    /// variable is a re-used earlier binding (a join / shared endpoint).
+    fn gen_node(&mut self, vars: &mut Vec<String>) -> String {
+        let var = if !vars.is_empty() && self.rng.gen_bool(0.1) {
+            vars[self.rng.gen_range(0..vars.len())].clone()
+        } else {
+            let v = format!("n{}", vars.len());
+            vars.push(v.clone());
+            v
+        };
+        let label = if self.rng.gen_bool(0.5) {
+            format!(":{}", pick(&mut self.rng, &self.vocab.labels))
+        } else {
+            String::new()
+        };
+        let props = if self.rng.gen_bool(0.3) {
+            format!(" {{v: {}}}", self.rng.gen_range(0..10))
+        } else {
+            String::new()
+        };
+        format!("({var}{label}{props})")
+    }
+
+    /// `rel := '-[' var? (':' type)? range? ']-'` with a direction.
+    fn gen_rel(&mut self, rel_vars: &mut Vec<String>) -> String {
+        let var = if self.rng.gen_bool(0.25) {
+            let v = format!("r{}", rel_vars.len());
+            rel_vars.push(v.clone());
+            v
+        } else {
+            String::new()
+        };
+        let ty = if self.rng.gen_bool(0.6) {
+            format!(":{}", pick(&mut self.rng, &self.vocab.types))
+        } else {
+            String::new()
+        };
+        let range = if self.rng.gen_bool(0.2) {
+            *pick(&mut self.rng, &["*0..1", "*1..2", "*1..3"])
+        } else {
+            ""
+        };
+        let body = format!("[{var}{ty}{range}]");
+        match self.rng.gen_range(0..3) {
+            0 => format!("-{body}->"),
+            1 => format!("<-{body}-"),
+            _ => format!("-{body}-"),
+        }
+    }
+
+    /// `pred := cmp ((AND|OR) cmp)?` over bound node variables.
+    fn gen_predicate(&mut self, vars: &[String]) -> String {
+        let first = self.gen_comparison(vars);
+        if self.rng.gen_bool(0.3) {
+            let op = if self.rng.gen_bool(0.5) { "AND" } else { "OR" };
+            let second = self.gen_comparison(vars);
+            format!("{first} {op} {second}")
+        } else {
+            first
+        }
+    }
+
+    fn gen_comparison(&mut self, vars: &[String]) -> String {
+        let var = pick(&mut self.rng, vars).clone();
+        match self.rng.gen_range(0..5) {
+            0 => format!("{var}.v > {}", self.rng.gen_range(0..10)),
+            1 => format!("{var}.v < {}", self.rng.gen_range(0..10)),
+            2 => format!("{var}.v = {}", self.rng.gen_range(0..10)),
+            3 => {
+                let other = pick(&mut self.rng, vars).clone();
+                format!("{var}.v = {other}.v")
+            }
+            _ => format!("{var}:{}", pick(&mut self.rng, &self.vocab.labels)),
+        }
+    }
+
+    /// `ret := RETURN (DISTINCT)? items (ORDER BY …)? (SKIP/LIMIT)?`.
+    fn gen_return(&mut self, vars: &[String], rel_vars: &[String]) -> String {
+        match self.rng.gen_range(0..7) {
+            // Entity values (nodes, occasionally a relationship binding).
+            0 => {
+                let mut items: Vec<String> = Vec::new();
+                items.push(pick(&mut self.rng, vars).clone());
+                if !rel_vars.is_empty() && self.rng.gen_bool(0.5) {
+                    items.push(pick(&mut self.rng, rel_vars).clone());
+                } else if vars.len() > 1 && self.rng.gen_bool(0.5) {
+                    items.push(pick(&mut self.rng, vars).clone());
+                }
+                items.sort();
+                items.dedup();
+                format!("RETURN {}", items.join(", "))
+            }
+            // Property projections.
+            1 => {
+                let a = pick(&mut self.rng, vars).clone();
+                if vars.len() > 1 && self.rng.gen_bool(0.5) {
+                    let b = pick(&mut self.rng, vars).clone();
+                    format!("RETURN {a}.v AS a0, {b}.i AS a1")
+                } else {
+                    format!("RETURN {a}.v AS a0")
+                }
+            }
+            // Bare and grouped aggregation.
+            2 => "RETURN count(*) AS c".to_string(),
+            3 => {
+                let g = pick(&mut self.rng, vars).clone();
+                format!("RETURN {g}.v AS g, count(*) AS c")
+            }
+            // DISTINCT (a pipeline breaker with per-worker duplicates).
+            4 => {
+                let a = pick(&mut self.rng, vars).clone();
+                let key = pick(&mut self.rng, &self.vocab.int_props).clone();
+                format!("RETURN DISTINCT {a}.{key} AS d")
+            }
+            // ORDER BY without truncation: any projection may ride along.
+            5 => {
+                let a = pick(&mut self.rng, vars).clone();
+                let dir = if self.rng.gen_bool(0.5) { " DESC" } else { "" };
+                format!("RETURN {a}.v AS s ORDER BY s{dir}")
+            }
+            // ORDER BY + SKIP/LIMIT: single projected column == sort key,
+            // so ties cannot make the kept multiset ambiguous.
+            _ => {
+                let a = pick(&mut self.rng, vars).clone();
+                let key = pick(&mut self.rng, &self.vocab.int_props).clone();
+                let dir = if self.rng.gen_bool(0.5) { " DESC" } else { "" };
+                let skip = if self.rng.gen_bool(0.4) {
+                    format!(" SKIP {}", self.rng.gen_range(0..3))
+                } else {
+                    String::new()
+                };
+                format!(
+                    "RETURN {a}.{key} AS k ORDER BY k{dir}{skip} LIMIT {}",
+                    self.rng.gen_range(1..6)
+                )
+            }
+        }
+    }
+}
+
+/// Uniform draw from a slice, free-standing so callers can borrow the
+/// vocabulary and the RNG at the same time.
+fn pick<'v, T>(rng: &mut SmallRng, options: &'v [T]) -> &'v T {
+    &options[rng.gen_range(0..options.len())]
+}
+
+/// Draws `n` queries from a fresh generator — convenience for test
+/// harnesses.
+pub fn random_queries(n: usize, seed: u64) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..n).map(|_| gen.next_query()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(random_queries(50, 7), random_queries(50, 7));
+        assert_ne!(random_queries(50, 7), random_queries(50, 8));
+    }
+
+    #[test]
+    fn queries_are_well_formed_enough() {
+        for q in random_queries(300, 42) {
+            assert!(q.starts_with("MATCH ("), "{q}");
+            assert!(q.contains("RETURN"), "{q}");
+            // SKIP/LIMIT only ever follow an ORDER BY (determinism rule).
+            if q.contains("LIMIT") || q.contains("SKIP") {
+                assert!(q.contains("ORDER BY"), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn grammar_covers_the_breakers() {
+        let qs = random_queries(400, 1).join("\n");
+        for needle in [
+            "count(*)", "DISTINCT", "ORDER BY", "LIMIT", "WHERE", "*1..2",
+        ] {
+            assert!(qs.contains(needle), "400 queries never produced {needle}");
+        }
+    }
+}

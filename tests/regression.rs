@@ -201,3 +201,82 @@ fn aggregates_nested_in_composite_expressions() {
         assert_eq!(a.cell(0, "x").unwrap().to_string(), expect, "{q}");
     }
 }
+
+/// Variable-length patterns whose *endpoint* variable is pre-bound used to
+/// lose every traversal longer than the first acceptance attempt: the
+/// reference matcher's DFS returned outright when the endpoint bind
+/// failed, instead of continuing to deeper hop counts that might reach the
+/// pinned node. Found by the grammar-driven parallel differential harness.
+#[test]
+fn var_length_to_prebound_endpoint_keeps_long_paths() {
+    let mut g = PropertyGraph::new();
+    let a = g.add_node(&["A"], [("i", Value::int(0))]);
+    let b = g.add_node(&["B"], [("i", Value::int(1))]);
+    let c = g.add_node(&["A"], [("i", Value::int(2))]);
+    let d = g.add_node(&["B"], [("i", Value::int(3))]);
+    g.add_rel(a, b, "X", []).unwrap();
+    g.add_rel(b, c, "X", []).unwrap();
+    g.add_rel(c, d, "Y", []).unwrap();
+    let params = Params::new();
+    // n0 is bound by the first pattern before the var-length pattern runs.
+    let q = "MATCH (n0), (n1)<-[r*1..3]-(n0) RETURN n0.i AS s, n1.i AS t, size(r) AS hops";
+    let engine = run_read(&g, q, &params).unwrap();
+    let reference = run_reference(&g, q, &params).unwrap();
+    assert!(
+        engine.bag_eq(&reference),
+        "engine:\n{engine}reference:\n{reference}"
+    );
+    // Chain of 3 relationships: 3 one-hop + 2 two-hop + 1 three-hop paths.
+    assert_eq!(engine.len(), 6);
+}
+
+/// When the planner anchors a variable-length expand at the pattern's
+/// *right* end (e.g. the right node is pre-bound), the traversed
+/// relationship list must still bind in pattern order — left to right —
+/// as the formal semantics (item (a')) and path projection require. The
+/// engine used to bind it in traversal order, i.e. reversed.
+#[test]
+fn reversed_var_length_expand_binds_rels_in_pattern_order() {
+    let mut g = PropertyGraph::new();
+    let a = g.add_node(&["A"], []);
+    let b = g.add_node(&["B"], []);
+    let c = g.add_node(&["C"], []);
+    g.add_rel(a, b, "X", [("ord", Value::int(1))]).unwrap();
+    g.add_rel(b, c, "X", [("ord", Value::int(2))]).unwrap();
+    let params = Params::new();
+    // n2 (the right end) is pre-bound, so the expand runs right-to-left.
+    let q = "MATCH (n2:C) MATCH (n0)-[r*2]->(n2) RETURN r[0].ord AS first, r[1].ord AS second";
+    let engine = run_read(&g, q, &params).unwrap();
+    let reference = run_reference(&g, q, &params).unwrap();
+    assert!(
+        engine.bag_eq(&reference),
+        "engine:\n{engine}reference:\n{reference}"
+    );
+    assert_eq!(engine.cell(0, "first"), Some(&Value::int(1)));
+    assert_eq!(engine.cell(0, "second"), Some(&Value::int(2)));
+    // And the named-path projection over the same shape must not panic.
+    let p = "MATCH (n2:C) MATCH p = (n0)-[*2]->(n2) RETURN length(p) AS l";
+    let t = run_read(&g, p, &params).unwrap();
+    assert_eq!(t.cell(0, "l"), Some(&Value::int(2)));
+}
+
+/// A filter that can match nothing (never-interned label, empty scan
+/// list) must still surface evaluation errors raised upstream of it:
+/// short-circuiting to "no rows" would diverge from the oracle, which
+/// evaluates the erroring expression regardless.
+#[test]
+fn impossible_filters_still_surface_upstream_errors() {
+    let mut g = PropertyGraph::new();
+    let a = g.add_node(&["A"], []);
+    let b = g.add_node(&["A"], []);
+    g.add_rel(a, b, "X", [("w", Value::int(1))]).unwrap();
+    let params = Params::new();
+    // The per-hop property expression `a + 1` errors (node + integer);
+    // `:Zzz` was never interned, so the label filter downstream of the
+    // expand matches nothing — but must not swallow the error.
+    let q = "MATCH (a:A), (b:A) MATCH (a)-[*1..2 {w: a + 1}]->(b:Zzz) RETURN a";
+    let engine = run_read(&g, q, &params);
+    let reference = run_reference(&g, q, &params);
+    assert!(engine.is_err(), "engine must propagate the upstream error");
+    assert!(reference.is_err(), "oracle errors on the same expression");
+}

@@ -539,3 +539,118 @@ THEN ERROR
     .unwrap();
     assert_eq!(n, 5);
 }
+
+/// `ORDER BY` / `SKIP` / `LIMIT` / `DISTINCT` determinism under parallel
+/// execution: every scenario here runs (like all scenarios) on the
+/// sequential engine, the 4-thread morsel-parallel engine, and the
+/// reference oracle — and the `THEN ORDERED` ones demand the exact row
+/// sequence, not just the right bag. The runner separately asserts that
+/// the parallel row order never drifts from the sequential one.
+#[test]
+fn parallel_determinism_scenarios() {
+    let n = run_scenarios(
+        "
+SCENARIO: order by ascending is exact under parallel execution
+GIVEN
+  CREATE (:N {v: 3}), (:N {v: 1}), (:N {v: 2}), (:N {v: 5}), (:N {v: 4})
+WHEN
+  MATCH (n:N) RETURN n.v AS v ORDER BY v
+THEN ORDERED
+  | v |
+  | 1 |
+  | 2 |
+  | 3 |
+  | 4 |
+  | 5 |
+
+SCENARIO: order by descending with a secondary key
+GIVEN
+  CREATE (:P {a: 1, b: 'x'}), (:P {a: 2, b: 'y'}), (:P {a: 1, b: 'w'}), (:P {a: 2, b: 'z'})
+WHEN
+  MATCH (p:P) RETURN p.a AS a, p.b AS b ORDER BY a DESC, b
+THEN ORDERED
+  | a | b |
+  | 2 | 'y' |
+  | 2 | 'z' |
+  | 1 | 'w' |
+  | 1 | 'x' |
+
+SCENARIO: null sorts last whatever the thread count
+GIVEN
+  CREATE (:N {v: 2}), (:N), (:N {v: 1})
+WHEN
+  MATCH (n:N) RETURN n.v AS v ORDER BY v
+THEN ORDERED
+  | v |
+  | 1 |
+  | 2 |
+  | null |
+
+SCENARIO: order by with skip and limit stays deterministic
+GIVEN
+  CREATE (:M {i: 1}), (:M {i: 2}), (:M {i: 3}), (:M {i: 4}), (:M {i: 5}), (:M {i: 6})
+WHEN
+  MATCH (m:M) RETURN m.i AS i ORDER BY i SKIP 2 LIMIT 3
+THEN ORDERED
+  | i |
+  | 3 |
+  | 4 |
+  | 5 |
+
+SCENARIO: limit over a sorted expand keeps the smallest keys
+GIVEN
+  CREATE (a:Hub {name: 'h'})
+  MATCH (a:Hub) CREATE (a)-[:R]->(:Leaf {i: 4}), (a)-[:R]->(:Leaf {i: 2}), (a)-[:R]->(:Leaf {i: 3}), (a)-[:R]->(:Leaf {i: 1})
+WHEN
+  MATCH (:Hub)-[:R]->(l:Leaf) RETURN l.i AS i ORDER BY i DESC LIMIT 2
+THEN ORDERED
+  | i |
+  | 4 |
+  | 3 |
+
+SCENARIO: distinct collapses duplicates identically across workers
+GIVEN
+  CREATE (:D {v: 1}), (:D {v: 2}), (:D {v: 1}), (:D {v: 2}), (:D {v: 1})
+WHEN
+  MATCH (d:D) RETURN DISTINCT d.v AS v ORDER BY v
+THEN ORDERED
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: distinct without order is a bag of unique rows
+GIVEN
+  CREATE (:D {v: 1}), (:D {v: 2}), (:D {v: 1})
+WHEN
+  MATCH (d:D) RETURN DISTINCT d.v AS v
+THEN
+  | v |
+  | 1 |
+  | 2 |
+
+SCENARIO: grouped aggregation ordered by the aggregate
+GIVEN
+  CREATE (:G {k: 'a'}), (:G {k: 'b'}), (:G {k: 'a'}), (:G {k: 'a'}), (:G {k: 'b'}), (:G {k: 'c'})
+WHEN
+  MATCH (g:G) RETURN g.k AS k, count(*) AS c ORDER BY c DESC, k
+THEN ORDERED
+  | k | c |
+  | 'a' | 3 |
+  | 'b' | 2 |
+  | 'c' | 1 |
+
+SCENARIO: order by over a parallel expand with aggregation upstream
+GIVEN
+  CREATE (:S {i: 1})-[:T]->(:S {i: 2})-[:T]->(:S {i: 3})-[:T]->(:S {i: 4})
+WHEN
+  MATCH (a:S)-[:T]->(b:S) WITH a.i AS src, count(b) AS fanout RETURN src, fanout ORDER BY src DESC
+THEN ORDERED
+  | src | fanout |
+  | 3 | 1 |
+  | 2 | 1 |
+  | 1 | 1 |
+",
+    )
+    .unwrap();
+    assert_eq!(n, 9);
+}
