@@ -28,15 +28,15 @@ fn bench(c: &mut Criterion) {
     for persons in [25usize, 50, 100] {
         let g = social_network(persons, 5, 4, 3);
         group.bench_with_input(BenchmarkId::new("expand/one_hop", persons), &g, |b, g| {
-            b.iter(|| run_read_with(g, ONE_HOP, &params, expand).unwrap())
+            b.iter(|| run_read_with(g, ONE_HOP, &params, &expand).unwrap())
         });
         group.bench_with_input(
             BenchmarkId::new("cartesian/one_hop", persons),
             &g,
-            |b, g| b.iter(|| run_read_with(g, ONE_HOP, &params, cartesian).unwrap()),
+            |b, g| b.iter(|| run_read_with(g, ONE_HOP, &params, &cartesian).unwrap()),
         );
         group.bench_with_input(BenchmarkId::new("expand/two_hop", persons), &g, |b, g| {
-            b.iter(|| run_read_with(g, TWO_HOP, &params, expand).unwrap())
+            b.iter(|| run_read_with(g, TWO_HOP, &params, &expand).unwrap())
         });
         // The baseline's two-hop cost is |V|³·|R|²-flavoured; only the
         // smallest size is affordable (that *is* the experiment's point).
@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("cartesian/two_hop", persons),
                 &g,
-                |b, g| b.iter(|| run_read_with(g, TWO_HOP, &params, cartesian).unwrap()),
+                |b, g| b.iter(|| run_read_with(g, TWO_HOP, &params, &cartesian).unwrap()),
             );
         }
     }

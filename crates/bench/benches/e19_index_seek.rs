@@ -50,9 +50,9 @@ fn bench(c: &mut Criterion) {
     let no_indexes = EngineConfig::default().without_indexes();
 
     // Sanity: all three configurations agree before we time them.
-    let a = run_read_with(&g, POINT_QUERY, &params, indexed).unwrap();
-    let b = run_read_with(&g, POINT_QUERY, &params, label_only).unwrap();
-    let d = run_read_with(&g, POINT_QUERY, &params, no_indexes).unwrap();
+    let a = run_read_with(&g, POINT_QUERY, &params, &indexed).unwrap();
+    let b = run_read_with(&g, POINT_QUERY, &params, &label_only).unwrap();
+    let d = run_read_with(&g, POINT_QUERY, &params, &no_indexes).unwrap();
     assert!(a.bag_eq(&b) && a.bag_eq(&d), "configs disagree");
     assert_eq!(a.len(), 1);
 
@@ -64,10 +64,10 @@ fn bench(c: &mut Criterion) {
     // per emitted row (`Record::cloned_with_extra`), nor copy the scanned
     // item list per operator (`Arc`-shared).
     let (_, seek_allocs) = cypher_bench::allocations_during(|| {
-        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, indexed).unwrap())
+        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, &indexed).unwrap())
     });
     let (_, scan_allocs) = cypher_bench::allocations_during(|| {
-        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, label_only).unwrap())
+        criterion::black_box(run_read_with(&g, POINT_QUERY, &params, &label_only).unwrap())
     });
     println!(
         "e19: allocations — index seek {seek_allocs}, label scan {scan_allocs} \
@@ -85,19 +85,19 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e19_index_seek");
     group.bench_with_input(BenchmarkId::new("full_scan", NODES), &g, |b, g| {
-        b.iter(|| run_read_with(g, POINT_QUERY, &params, no_indexes).unwrap())
+        b.iter(|| run_read_with(g, POINT_QUERY, &params, &no_indexes).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("label_scan", NODES), &g, |b, g| {
-        b.iter(|| run_read_with(g, POINT_QUERY, &params, label_only).unwrap())
+        b.iter(|| run_read_with(g, POINT_QUERY, &params, &label_only).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("index_seek", NODES), &g, |b, g| {
-        b.iter(|| run_read_with(g, POINT_QUERY, &params, indexed).unwrap())
+        b.iter(|| run_read_with(g, POINT_QUERY, &params, &indexed).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("shard_seek", NODES), &g, |b, g| {
-        b.iter(|| run_read_with(g, SHARD_QUERY, &params, indexed).unwrap())
+        b.iter(|| run_read_with(g, SHARD_QUERY, &params, &indexed).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("shard_scan", NODES), &g, |b, g| {
-        b.iter(|| run_read_with(g, SHARD_QUERY, &params, no_indexes).unwrap())
+        b.iter(|| run_read_with(g, SHARD_QUERY, &params, &no_indexes).unwrap())
     });
     group.finish();
 }

@@ -56,7 +56,7 @@ fn cfg(threads: usize) -> EngineConfig {
 }
 
 /// Median-of-5 wall time of one run.
-fn time_once(g: &PropertyGraph, q: &str, params: &Params, c: EngineConfig) -> f64 {
+fn time_once(g: &PropertyGraph, q: &str, params: &Params, c: &EngineConfig) -> f64 {
     let mut samples: Vec<f64> = (0..5)
         .map(|_| {
             let t = Instant::now();
@@ -73,9 +73,9 @@ fn bench(c: &mut Criterion) {
     let params = Params::new();
 
     // Sanity: identical rows (not just bags) across thread counts.
-    let seq = run_read_with(&g, SCAN_QUERY, &params, cfg(1)).unwrap();
+    let seq = run_read_with(&g, SCAN_QUERY, &params, &cfg(1)).unwrap();
     for t in [2, 4] {
-        let par = run_read_with(&g, SCAN_QUERY, &params, cfg(t)).unwrap();
+        let par = run_read_with(&g, SCAN_QUERY, &params, &cfg(t)).unwrap();
         assert!(par.ordered_eq(&seq), "threads={t} changed the result");
     }
     assert_eq!(seq.len(), 1);
@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
     // the bound has 3× headroom over the measured ~1.1/row so only a
     // real per-row regression (e.g. property-map cloning) trips it.
     let (_, allocs) = cypher_bench::allocations_during(|| {
-        criterion::black_box(run_read_with(&g, SCAN_QUERY, &params, cfg(1)).unwrap())
+        criterion::black_box(run_read_with(&g, SCAN_QUERY, &params, &cfg(1)).unwrap())
     });
     println!(
         "e20: sequential scan of {NODES} rows allocates {allocs} times \
@@ -104,7 +104,7 @@ fn bench(c: &mut Criterion) {
     let join_query = "MATCH (a:Account {serial: 0}) MATCH (n:Account) \
                       WHERE n.serial = a.serial + 99999 RETURN n.shard";
     let (join_out, join_allocs) = cypher_bench::allocations_during(|| {
-        criterion::black_box(run_read_with(&g, join_query, &params, cfg(1)).unwrap())
+        criterion::black_box(run_read_with(&g, join_query, &params, &cfg(1)).unwrap())
     });
     assert_eq!(join_out.len(), 1);
     println!(
@@ -119,8 +119,8 @@ fn bench(c: &mut Criterion) {
     );
 
     // Speedup summary (printed even where the timing loop below runs).
-    let t1 = time_once(&g, SCAN_QUERY, &params, cfg(1));
-    let t4 = time_once(&g, SCAN_QUERY, &params, cfg(4));
+    let t1 = time_once(&g, SCAN_QUERY, &params, &cfg(1));
+    let t4 = time_once(&g, SCAN_QUERY, &params, &cfg(4));
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -143,12 +143,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e20_parallel_scan");
     for threads in [1, 2, 4] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &g, |b, g| {
-            b.iter(|| run_read_with(g, SCAN_QUERY, &params, cfg(threads)).unwrap())
+            b.iter(|| run_read_with(g, SCAN_QUERY, &params, &cfg(threads)).unwrap())
         });
     }
     for threads in [1, 4] {
         group.bench_with_input(BenchmarkId::new("agg_threads", threads), &g, |b, g| {
-            b.iter(|| run_read_with(g, AGG_QUERY, &params, cfg(threads)).unwrap())
+            b.iter(|| run_read_with(g, AGG_QUERY, &params, &cfg(threads)).unwrap())
         });
     }
     group.finish();

@@ -1,0 +1,283 @@
+//! The `Database` facade: open / query / checkpoint / close over an
+//! optionally durable property graph.
+//!
+//! This is the layer that turns the storage engine's pieces into one
+//! coherent lifecycle:
+//!
+//! 1. **open** — `cypher_storage::Store::open` recovers the graph from
+//!    the latest valid snapshot plus the replayed WAL tail, then a
+//!    [`SharedChangeBuffer`] sink is installed into the graph so every
+//!    subsequent mutation is captured;
+//! 2. **query** — the engine executes; afterwards, whatever change
+//!    records the query produced are drained and appended to the WAL as
+//!    **one atomic batch** (all-or-nothing on replay). A query that
+//!    errors midway still commits the mutations it *did* apply — the
+//!    in-memory graph keeps them (Cypher has no rollback), so the disk
+//!    must too, or memory and disk would diverge;
+//! 3. **checkpoint** — when the WAL outgrows
+//!    [`EngineConfig::wal_compact_bytes`] (or on demand), the graph is
+//!    snapshotted and the WAL truncated;
+//! 4. **close** — fsyncs the WAL. Every committed batch is handed to
+//!    the OS at commit time, so dropping without closing survives
+//!    *process* crashes; surviving OS crashes / power loss additionally
+//!    needs the fsync that `close` and every checkpoint perform (a torn
+//!    not-yet-synced tail is truncated on recovery, never mis-read).
+
+use crate::{run_reference_with, Error, Table};
+use cypher_core::Params;
+use cypher_engine::EngineConfig;
+use cypher_graph::{PropertyGraph, SharedChangeBuffer};
+use cypher_storage::{RecoveryReport, Store};
+use std::path::Path;
+
+/// A property graph with an optional durable store behind it.
+///
+/// ```
+/// use cypher::{Database, Params};
+///
+/// let dir = std::env::temp_dir().join(format!("cypher-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let params = Params::new();
+/// {
+///     let mut db = Database::open(&dir).unwrap();
+///     db.query("CREATE (:Person {name: 'Ada'})", &params).unwrap();
+/// } // dropped: committed batches are already with the OS
+/// let mut db = Database::open(&dir).unwrap();
+/// let out = db.query("MATCH (p:Person) RETURN p.name", &params).unwrap();
+/// assert_eq!(out.len(), 1);
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct Database {
+    graph: PropertyGraph,
+    cfg: EngineConfig,
+    buffer: SharedChangeBuffer,
+    store: Option<Store>,
+    recovery: RecoveryReport,
+}
+
+impl Database {
+    /// Opens (creating if necessary) a durable database at `dir`,
+    /// recovering whatever a previous process committed there.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database, Error> {
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.as_ref().to_path_buf());
+        Database::open_with(cfg)
+    }
+
+    /// Opens a database as configured: durable when
+    /// [`EngineConfig::persistence`] is set (which defaults from the
+    /// `CYPHER_DATA_DIR` environment variable), in-memory otherwise.
+    pub fn open_with(cfg: EngineConfig) -> Result<Database, Error> {
+        let (graph, store, recovery) = match &cfg.persistence {
+            Some(dir) => {
+                let (store, graph) = Store::open(dir)?;
+                let recovery = store.report().clone();
+                (graph, Some(store), recovery)
+            }
+            None => (PropertyGraph::new(), None, RecoveryReport::default()),
+        };
+        let mut db = Database {
+            graph,
+            cfg,
+            buffer: SharedChangeBuffer::new(),
+            store,
+            recovery,
+        };
+        if db.store.is_some() {
+            db.graph.set_change_sink(Box::new(db.buffer.clone()));
+        }
+        Ok(db)
+    }
+
+    /// An in-memory database (no files, no WAL); mostly for tests and as
+    /// the oracle half of differential harnesses.
+    pub fn in_memory() -> Database {
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = None;
+        Database::open_with(cfg).expect("in-memory open cannot fail")
+    }
+
+    /// Executes one query (reads and updates). A mutating query's change
+    /// records are committed to the WAL as one atomic batch after the
+    /// engine finishes; the snapshot-compaction trigger runs afterwards.
+    pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
+        let result = (|| {
+            let q = crate::parse_query(query)?;
+            Ok(cypher_engine::execute(
+                &mut self.graph,
+                &q,
+                params,
+                &self.cfg,
+            )?)
+        })();
+        // Commit even when the query errored: the in-memory graph keeps
+        // whatever mutations were applied before the error, so the log
+        // must record them to stay the graph's source of truth.
+        let changes = self.buffer.drain();
+        if let Some(store) = &mut self.store {
+            if !changes.is_empty() {
+                store.commit(&changes)?;
+            }
+            if store.wal_bytes() > self.cfg.wal_compact_bytes {
+                store.checkpoint(&self.graph)?;
+            }
+        }
+        result
+    }
+
+    /// Evaluates a read query with the reference evaluator (the paper's
+    /// denotational semantics) against the current graph.
+    pub fn query_reference(&self, query: &str, params: &Params) -> Result<Table, Error> {
+        run_reference_with(&self.graph, query, params, self.cfg.match_config)
+    }
+
+    /// Forces a snapshot + WAL truncation now. No-op for in-memory
+    /// databases.
+    pub fn checkpoint(&mut self) -> Result<(), Error> {
+        if let Some(store) = &mut self.store {
+            store.checkpoint(&self.graph)?;
+        }
+        Ok(())
+    }
+
+    /// Syncs the WAL to stable storage and consumes the database. Every
+    /// committed batch is handed to the OS at commit time (durable
+    /// against process crashes); `close` forces the fsync that makes the
+    /// tail durable against OS crashes and power loss too.
+    pub fn close(mut self) -> Result<(), Error> {
+        if let Some(store) = &mut self.store {
+            store.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Read access to the underlying graph.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// What recovery found when this database was opened (all zeros for
+    /// in-memory databases).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Number of WAL batches committed over the store's lifetime; `None`
+    /// for in-memory databases. The recovery differential uses this to
+    /// map kill points back to statement prefixes.
+    pub fn batches_committed(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.batches_committed())
+    }
+
+    /// Current WAL size in bytes; `None` for in-memory databases.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.wal_bytes())
+    }
+
+    /// Current snapshot generation; `None` for in-memory databases.
+    pub fn generation(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.generation())
+    }
+
+    /// The engine configuration this database executes with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_graph::Value;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cypher-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_roundtrip_across_open() {
+        let dir = tmpdir("roundtrip");
+        let params = Params::new();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.query(
+                "CREATE (:P {name: 'Ada'})-[:KNOWS {since: 1985}]->(:P {name: 'Bo'})",
+                &params,
+            )
+            .unwrap();
+            db.query("MATCH (n:P {name: 'Bo'}) SET n.age = 3", &params)
+                .unwrap();
+            assert_eq!(db.batches_committed(), Some(2));
+            db.close().unwrap();
+        }
+        let mut db = Database::open(&dir).unwrap();
+        assert_eq!(db.recovery().batches_replayed, 2);
+        let out = db
+            .query(
+                "MATCH (a:P)-[r:KNOWS]->(b) RETURN a.name, r.since, b.age",
+                &params,
+            )
+            .unwrap();
+        assert_eq!(out.cell(0, "a.name"), Some(&Value::str("Ada")));
+        assert_eq!(out.cell(0, "r.since"), Some(&Value::int(1985)));
+        assert_eq!(out.cell(0, "b.age"), Some(&Value::int(3)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_trigger_snapshots_and_truncates() {
+        let dir = tmpdir("compact");
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.clone());
+        cfg.wal_compact_bytes = 512; // tiny: trigger quickly
+        let mut db = Database::open_with(cfg.clone()).unwrap();
+        for i in 0..50 {
+            db.query(&format!("CREATE (:N {{i: {i}}})"), &params)
+                .unwrap();
+        }
+        assert!(db.generation().unwrap() > 0, "compaction never triggered");
+        assert!(db.wal_bytes().unwrap() <= 512 + 200, "wal was truncated");
+        let dump = db.graph().canonical_dump();
+        db.close().unwrap();
+        let db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(db2.graph().canonical_dump(), dump);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_query_keeps_memory_and_disk_aligned() {
+        let dir = tmpdir("failed");
+        let params = Params::new();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.query("CREATE (:A {v: 1}), (:A {v: 2})", &params)
+                .unwrap();
+            // DELETE without DETACH on a connected node errors after the
+            // CREATE clause already ran.
+            db.query("CREATE (a:B)-[:X]->(b:B) WITH a DELETE a", &params)
+                .unwrap_err();
+            let dump = db.graph().canonical_dump();
+            db.close().unwrap();
+            let db2 = Database::open(&dir).unwrap();
+            assert_eq!(
+                db2.graph().canonical_dump(),
+                dump,
+                "partial mutations of a failed query must be durable too"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_database_has_no_files() {
+        let params = Params::new();
+        let mut db = Database::in_memory();
+        db.query("CREATE (:N)", &params).unwrap();
+        assert_eq!(db.batches_committed(), None);
+        assert_eq!(db.wal_bytes(), None);
+        assert!(!db.graph().has_change_sink());
+    }
+}

@@ -12,6 +12,13 @@
 //! * [`run_reference`] — the literal transcription of the paper's formal
 //!   semantics ([`cypher_core`]), used as the differential-testing oracle.
 //!
+//! For graphs that must outlive the process, [`Database`] wraps the
+//! engine in the durable open/query/checkpoint/close lifecycle of
+//! [`cypher_storage`]: every query's mutations are committed to a
+//! write-ahead log as one atomic batch and compacted into snapshots,
+//! and reopening the data directory recovers the graph — indexes
+//! included — exactly.
+//!
 //! ```
 //! use cypher::{run, run_read, Params, PropertyGraph};
 //!
@@ -35,18 +42,39 @@ pub use cypher_core::{
 };
 pub use cypher_engine::{EngineConfig, MultiResult, PlannerMode};
 pub use cypher_graph::{
-    Catalog, Direction, NodeId, Path, PropertyGraph, RelId, Symbol, Temporal, Tri, Value,
+    Catalog, Change, Direction, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer, Symbol,
+    Temporal, Tri, Value,
 };
 pub use cypher_parser::{parse_expression, parse_pattern, parse_query, ParseError};
+pub use cypher_storage as storage;
+pub use cypher_storage::{RecoveryReport, StorageError, Store};
 pub use cypher_workload as workload;
 
+mod database;
+pub use database::Database;
+
 /// Anything that can go wrong between query text and result table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Error {
     /// The text did not parse.
     Parse(ParseError),
     /// Evaluation failed.
     Eval(EvalError),
+    /// The durable storage engine failed (I/O, corruption, recovery).
+    Storage(std::sync::Arc<StorageError>),
+}
+
+/// Structural equality; storage errors (which wrap non-comparable
+/// `io::Error`s) compare by rendered message.
+impl PartialEq for Error {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Error::Parse(a), Error::Parse(b)) => a == b,
+            (Error::Eval(a), Error::Eval(b)) => a == b,
+            (Error::Storage(a), Error::Storage(b)) => a.to_string() == b.to_string(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +82,7 @@ impl fmt::Display for Error {
         match self {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -72,10 +101,16 @@ impl From<EvalError> for Error {
     }
 }
 
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(std::sync::Arc::new(e))
+    }
+}
+
 /// Parses and executes a query (reads and updates) with the default
 /// engine configuration.
 pub fn run(graph: &mut PropertyGraph, query: &str, params: &Params) -> Result<Table, Error> {
-    run_with(graph, query, params, EngineConfig::default())
+    run_with(graph, query, params, &EngineConfig::default())
 }
 
 /// Parses and executes a query with an explicit configuration.
@@ -83,7 +118,7 @@ pub fn run_with(
     graph: &mut PropertyGraph,
     query: &str,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<Table, Error> {
     let q = parse_query(query)?;
     Ok(cypher_engine::execute(graph, &q, params, cfg)?)
@@ -91,7 +126,7 @@ pub fn run_with(
 
 /// Parses and executes a read-only query through the planner engine.
 pub fn run_read(graph: &PropertyGraph, query: &str, params: &Params) -> Result<Table, Error> {
-    run_read_with(graph, query, params, EngineConfig::default())
+    run_read_with(graph, query, params, &EngineConfig::default())
 }
 
 /// Read-only execution with an explicit configuration.
@@ -99,7 +134,7 @@ pub fn run_read_with(
     graph: &PropertyGraph,
     query: &str,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<Table, Error> {
     let q = parse_query(query)?;
     Ok(cypher_engine::execute_read(graph, &q, params, cfg)?)
@@ -126,7 +161,7 @@ pub fn run_reference_with(
 /// Renders the physical plans of a query's `MATCH` clauses (`EXPLAIN`).
 pub fn explain(graph: &PropertyGraph, query: &str) -> Result<String, Error> {
     let q = parse_query(query)?;
-    Ok(cypher_engine::explain(graph, &q, EngineConfig::default()))
+    Ok(cypher_engine::explain(graph, &q, &EngineConfig::default()))
 }
 
 /// Executes a composed query over a catalog of named graphs (Cypher 10,
@@ -143,7 +178,7 @@ pub fn run_on_catalog(
         default_graph,
         &q,
         params,
-        EngineConfig::default(),
+        &EngineConfig::default(),
     )?)
 }
 

@@ -25,9 +25,10 @@ use cypher_core::{EvalContext, MatchConfig, Params};
 use cypher_graph::{PropertyGraph, Value};
 
 /// Engine configuration: pattern-matching semantics, the plan strategy,
-/// which secondary indexes the planner may exploit, and the batch/thread
-/// knobs of the morsel-driven runtime.
-#[derive(Clone, Copy, Debug)]
+/// which secondary indexes the planner may exploit, the batch/thread
+/// knobs of the morsel-driven runtime, and the durability knobs the
+/// `Database` facade consumes.
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Morphism mode and variable-length safeguards (shared with the
     /// reference evaluator).
@@ -52,14 +53,29 @@ pub struct EngineConfig {
     /// *same row sequence* — morsels are merged in claim-index order, so
     /// results never depend on thread scheduling.
     pub num_threads: usize,
+    /// Data directory for the durable storage engine. `None` (the default
+    /// when the `CYPHER_DATA_DIR` environment variable is unset) keeps the
+    /// graph purely in memory. The engine's executors ignore this knob —
+    /// the `cypher::Database` facade consumes it to open a write-ahead
+    /// log + snapshot store and commit each query's mutations as one
+    /// atomic batch.
+    pub persistence: Option<std::path::PathBuf>,
+    /// Snapshot-compaction trigger: when the WAL grows beyond this many
+    /// bytes, the `Database` facade checkpoints (snapshot + WAL truncate).
+    /// Defaults to 4 MiB; override with `CYPHER_WAL_COMPACT_BYTES`.
+    pub wal_compact_bytes: u64,
 }
 
-/// Reads a `usize ≥ 1` override from the environment, once. The CI matrix
+/// Default WAL size (bytes) beyond which a snapshot is taken.
+pub const DEFAULT_WAL_COMPACT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Reads the execution defaults from the environment, once. The CI matrix
 /// uses these hooks to run the whole suite under degenerate morsels and a
 /// multi-threaded pool without touching any test.
-fn env_exec_defaults() -> (usize, usize) {
-    static CACHE: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| {
+fn env_exec_defaults() -> &'static (usize, usize, Option<std::path::PathBuf>, u64) {
+    static CACHE: std::sync::OnceLock<(usize, usize, Option<std::path::PathBuf>, u64)> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
         let read = |name: &str, fallback: usize| {
             std::env::var(name)
                 .ok()
@@ -67,23 +83,35 @@ fn env_exec_defaults() -> (usize, usize) {
                 .filter(|&v| v >= 1)
                 .unwrap_or(fallback)
         };
+        let data_dir = std::env::var_os("CYPHER_DATA_DIR")
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from);
+        let compact = std::env::var("CYPHER_WAL_COMPACT_BYTES")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(DEFAULT_WAL_COMPACT_BYTES);
         (
             read("CYPHER_MORSEL_SIZE", DEFAULT_MORSEL_SIZE),
             read("CYPHER_NUM_THREADS", 1),
+            data_dir,
+            compact,
         )
     })
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        let (morsel_size, num_threads) = env_exec_defaults();
+        let (morsel_size, num_threads, persistence, wal_compact_bytes) = env_exec_defaults();
         EngineConfig {
             match_config: MatchConfig::default(),
             planner_mode: PlannerMode::default(),
             use_label_index: true,
             use_property_index: true,
-            morsel_size,
-            num_threads,
+            morsel_size: *morsel_size,
+            num_threads: *num_threads,
+            persistence: persistence.clone(),
+            wal_compact_bytes: *wal_compact_bytes,
         }
     }
 }
@@ -140,7 +168,7 @@ pub fn execute_read(
     graph: &PropertyGraph,
     q: &Query,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<Table, EvalError> {
     match q {
         Query::Single(sq) => exec_single_read(graph, sq, params, cfg, Table::unit()),
@@ -159,7 +187,7 @@ pub fn execute(
     graph: &mut PropertyGraph,
     q: &Query,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<Table, EvalError> {
     match q {
         Query::Single(sq) => exec_single(graph, sq, params, cfg, Table::unit()),
@@ -187,7 +215,7 @@ fn exec_single_read(
     graph: &PropertyGraph,
     sq: &SingleQuery,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     mut t: Table,
 ) -> Result<Table, EvalError> {
     for clause in &sq.clauses {
@@ -222,7 +250,7 @@ fn exec_single(
     graph: &mut PropertyGraph,
     sq: &SingleQuery,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     mut t: Table,
 ) -> Result<Table, EvalError> {
     for clause in &sq.clauses {
@@ -267,7 +295,7 @@ fn finish_single(
     graph: &PropertyGraph,
     sq: &SingleQuery,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     t: Table,
 ) -> Result<Table, EvalError> {
     if sq.ret_graph.is_some() {
@@ -291,7 +319,7 @@ fn finish_single(
 pub fn exec_match(
     graph: &PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     patterns: &[PathPattern],
     where_: Option<&Expr>,
     optional: bool,
@@ -414,8 +442,8 @@ fn project_visible(raw: Table, driving: &[String], new_vars: &[String]) -> Table
 
 /// Renders the physical plan of every `MATCH` clause in a query — a
 /// minimal `EXPLAIN`.
-pub fn explain(graph: &PropertyGraph, q: &Query, cfg: EngineConfig) -> String {
-    fn go(graph: &PropertyGraph, q: &Query, cfg: EngineConfig, out: &mut String) {
+pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
+    fn go(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig, out: &mut String) {
         match q {
             Query::Single(sq) => {
                 let mut fields: Vec<String> = Vec::new();
@@ -486,7 +514,7 @@ mod tests {
     fn run(g: &PropertyGraph, src: &str) -> Table {
         let params = Params::new();
         let q = parse_query(src).unwrap();
-        execute_read(g, &q, &params, EngineConfig::default()).unwrap()
+        execute_read(g, &q, &params, &EngineConfig::default()).unwrap()
     }
 
     #[test]
@@ -504,7 +532,7 @@ mod tests {
             "MATCH (a), (b:Student) RETURN a, b",
         ] {
             let q = parse_query(src).unwrap();
-            let engine = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
+            let engine = execute_read(&g, &q, &params, &EngineConfig::default()).unwrap();
             let ctx = EvalContext::new(&g, &params);
             let reference = cypher_core::eval_query(&ctx, &q).unwrap();
             assert!(
@@ -519,12 +547,12 @@ mod tests {
         let g = figure4();
         let params = Params::new();
         let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x, y").unwrap();
-        let fast = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
+        let fast = execute_read(&g, &q, &params, &EngineConfig::default()).unwrap();
         let slow = execute_read(
             &g,
             &q,
             &params,
-            EngineConfig {
+            &EngineConfig {
                 planner_mode: PlannerMode::CartesianJoin,
                 ..EngineConfig::default()
             },
@@ -562,7 +590,7 @@ mod tests {
             "CREATE (a:Person {name: 'Ada'})-[:KNOWS {since: 1985}]->(b:Person {name: 'Bo'})",
         )
         .unwrap();
-        let out = execute(&mut g, &q, &params, EngineConfig::default()).unwrap();
+        let out = execute(&mut g, &q, &params, &EngineConfig::default()).unwrap();
         assert_eq!(out.len(), 0);
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.rel_count(), 1);
@@ -579,14 +607,14 @@ mod tests {
         let g = PropertyGraph::new();
         let params = Params::new();
         let q = parse_query("CREATE (n)").unwrap();
-        assert!(execute_read(&g, &q, &params, EngineConfig::default()).is_err());
+        assert!(execute_read(&g, &q, &params, &EngineConfig::default()).is_err());
     }
 
     #[test]
     fn explain_mentions_expand() {
         let g = figure4();
         let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x").unwrap();
-        let plan = explain(&g, &q, EngineConfig::default());
+        let plan = explain(&g, &q, &EngineConfig::default());
         assert!(plan.contains("NodeIndexScan"), "{plan}");
         assert!(plan.contains("Expand"), "{plan}");
     }
@@ -596,9 +624,9 @@ mod tests {
         let mut g = PropertyGraph::new();
         let params = Params::new();
         let create = parse_query("CREATE (:Person {name: 'Ada'}), (:Person {name: 'Bo'})").unwrap();
-        execute(&mut g, &create, &params, EngineConfig::default()).unwrap();
+        execute(&mut g, &create, &params, &EngineConfig::default()).unwrap();
         let q = parse_query("MATCH (n:Person {name: 'Ada'}) RETURN n").unwrap();
-        let plan = explain(&g, &q, EngineConfig::default());
+        let plan = explain(&g, &q, &EngineConfig::default());
         assert!(
             plan.contains("PropertyIndexSeek(n:Person.name = 'Ada')"),
             "{plan}"
@@ -608,13 +636,13 @@ mod tests {
         let no_prop = explain(
             &g,
             &q,
-            EngineConfig {
+            &EngineConfig {
                 use_property_index: false,
                 ..EngineConfig::default()
             },
         );
         assert!(no_prop.contains("NodeIndexScan(n:Person)"), "{no_prop}");
-        let no_idx = explain(&g, &q, EngineConfig::default().without_indexes());
+        let no_idx = explain(&g, &q, &EngineConfig::default().without_indexes());
         assert!(no_idx.contains("AllNodesScan"), "{no_idx}");
     }
 
@@ -641,10 +669,10 @@ mod tests {
             "MATCH (x:Hub) OPTIONAL MATCH (x)-[:NEXT]->(y:Hub) RETURN x, y",
         ] {
             let q = parse_query(src).unwrap();
-            let base = execute_read(&g, &q, &params, seq).unwrap();
+            let base = execute_read(&g, &q, &params, &seq).unwrap();
             for (threads, morsel) in [(2, 1), (3, 7), (4, 64), (8, 1024)] {
-                let cfg = seq.with_threads(threads).with_morsel_size(morsel);
-                let par = execute_read(&g, &q, &params, cfg).unwrap();
+                let cfg = seq.clone().with_threads(threads).with_morsel_size(morsel);
+                let par = execute_read(&g, &q, &params, &cfg).unwrap();
                 // Identical row *sequence*, not merely the same bag:
                 // morsels are merged in claim-index order.
                 assert!(
@@ -665,12 +693,12 @@ mod tests {
         // `+` on a node is an evaluation error raised mid-pipeline.
         let q = parse_query("MATCH (n:N) WHERE n + 1 = 2 RETURN n").unwrap();
         let seq_err =
-            execute_read(&g, &q, &params, EngineConfig::default().with_threads(1)).unwrap_err();
+            execute_read(&g, &q, &params, &EngineConfig::default().with_threads(1)).unwrap_err();
         let par_err = execute_read(
             &g,
             &q,
             &params,
-            EngineConfig::default().with_threads(4).with_morsel_size(4),
+            &EngineConfig::default().with_threads(4).with_morsel_size(4),
         )
         .unwrap_err();
         assert_eq!(seq_err, par_err, "parallel error is the canonical one");
@@ -680,12 +708,12 @@ mod tests {
     fn explain_shows_parallelism() {
         let g = figure4();
         let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x").unwrap();
-        let seq = explain(&g, &q, EngineConfig::default().with_threads(1));
+        let seq = explain(&g, &q, &EngineConfig::default().with_threads(1));
         assert!(!seq.contains("parallel:"), "{seq}");
         let par = explain(
             &g,
             &q,
-            EngineConfig::default()
+            &EngineConfig::default()
                 .with_threads(4)
                 .with_morsel_size(512),
         );
@@ -703,8 +731,9 @@ mod tests {
         let g = figure4();
         let params = Params::new();
         let q = parse_query("MATCH (x:Teacher)-[:KNOWS]->(y) RETURN x, y").unwrap();
-        let on = execute_read(&g, &q, &params, EngineConfig::default()).unwrap();
-        let off = execute_read(&g, &q, &params, EngineConfig::default().without_indexes()).unwrap();
+        let on = execute_read(&g, &q, &params, &EngineConfig::default()).unwrap();
+        let off =
+            execute_read(&g, &q, &params, &EngineConfig::default().without_indexes()).unwrap();
         assert!(on.bag_eq(&off));
     }
 }

@@ -32,12 +32,12 @@
 //! let create = parse_query(
 //!     "CREATE (:Service {name: 'db'})<-[:DEPENDS_ON]-(:Service {name: 'api'})",
 //! ).unwrap();
-//! execute(&mut g, &create, &params, EngineConfig::default()).unwrap();
+//! execute(&mut g, &create, &params, &EngineConfig::default()).unwrap();
 //!
 //! let q = parse_query(
 //!     "MATCH (s:Service)<-[:DEPENDS_ON]-(d) RETURN s.name AS svc, count(d) AS deps",
 //! ).unwrap();
-//! let out = execute(&mut g, &q, &params, EngineConfig::default()).unwrap();
+//! let out = execute(&mut g, &q, &params, &EngineConfig::default()).unwrap();
 //! assert_eq!(out.len(), 1);
 //! ```
 

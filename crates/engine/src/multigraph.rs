@@ -38,7 +38,7 @@ pub fn execute_on_catalog(
     default_graph: &str,
     q: &Query,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<MultiResult, EvalError> {
     let Query::Single(sq) = q else {
         return err("UNION is not supported in multigraph composition");
@@ -51,7 +51,7 @@ fn exec_single(
     default_graph: &str,
     sq: &SingleQuery,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
 ) -> Result<MultiResult, EvalError> {
     let mut current = default_graph.to_string();
     let mut t = Table::unit();
@@ -118,7 +118,7 @@ fn exec_single(
 fn construct_graph(
     src: &PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     patterns: &[PathPattern],
     table: &Table,
 ) -> Result<PropertyGraph, EvalError> {
@@ -193,7 +193,7 @@ fn construct_graph(
 fn resolve_constructed_node(
     src: &PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     chi: &cypher_ast::pattern::NodePattern,
     b: &Bindings<'_>,
     copy_node: &mut impl FnMut(&mut PropertyGraph, NodeId) -> NodeId,
@@ -257,7 +257,7 @@ mod tests {
         )
         .unwrap();
         let res =
-            execute_on_catalog(&mut cat, "soc_net", &q, &params, EngineConfig::default()).unwrap();
+            execute_on_catalog(&mut cat, "soc_net", &q, &params, &EngineConfig::default()).unwrap();
         let MultiResult::Graph(name) = res else {
             panic!("expected a graph result")
         };
@@ -273,8 +273,8 @@ mod tests {
         let q2 =
             parse_query("FROM GRAPH friends MATCH (x)-[:SHARE_FRIEND]->(y) RETURN x.name, y.name")
                 .unwrap();
-        let res2 =
-            execute_on_catalog(&mut cat, "soc_net", &q2, &params, EngineConfig::default()).unwrap();
+        let res2 = execute_on_catalog(&mut cat, "soc_net", &q2, &params, &EngineConfig::default())
+            .unwrap();
         let MultiResult::Table(t) = res2 else {
             panic!()
         };
@@ -290,7 +290,7 @@ mod tests {
         let params = Params::new();
         let q = parse_query("FROM GRAPH register MATCH (c:City) RETURN c.name").unwrap();
         let res =
-            execute_on_catalog(&mut cat, "soc_net", &q, &params, EngineConfig::default()).unwrap();
+            execute_on_catalog(&mut cat, "soc_net", &q, &params, &EngineConfig::default()).unwrap();
         let MultiResult::Table(t) = res else { panic!() };
         assert_eq!(t.cell(0, "c.name"), Some(&Value::str("Houston")));
     }
@@ -301,7 +301,7 @@ mod tests {
         let params = Params::new();
         let q = parse_query("FROM GRAPH nope MATCH (n) RETURN n").unwrap();
         assert!(
-            execute_on_catalog(&mut cat, "soc_net", &q, &params, EngineConfig::default()).is_err()
+            execute_on_catalog(&mut cat, "soc_net", &q, &params, &EngineConfig::default()).is_err()
         );
     }
 
@@ -316,7 +316,7 @@ mod tests {
              RETURN GRAPH pairs OF (a)-[:PAIRED]->(b)",
         )
         .unwrap();
-        execute_on_catalog(&mut cat, "soc_net", &q, &params, EngineConfig::default()).unwrap();
+        execute_on_catalog(&mut cat, "soc_net", &q, &params, &EngineConfig::default()).unwrap();
         let g = cat.get("pairs").unwrap();
         let g = g.read();
         assert_eq!(g.node_count(), 3, "each source node copied once");

@@ -33,7 +33,7 @@ use cypher_graph::{NodeId, PropertyGraph, RelId, Symbol, Value};
 pub fn exec_create(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     patterns: &[PathPattern],
     table: Table,
 ) -> Result<Table, EvalError> {
@@ -83,7 +83,7 @@ impl cypher_core::VarLookup for RowView<'_> {
 fn eval_props(
     graph: &PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     props: &[(String, Expr)],
     view: &RowView<'_>,
 ) -> Result<Vec<(String, Value)>, EvalError> {
@@ -98,7 +98,7 @@ fn eval_props(
 fn create_pattern(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     pat: &PathPattern,
     schema: &cypher_core::Schema,
     row: &Record,
@@ -150,7 +150,7 @@ fn create_pattern(
 fn resolve_or_create_node(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     chi: &cypher_ast::pattern::NodePattern,
     schema: &cypher_core::Schema,
     row: &Record,
@@ -208,7 +208,7 @@ fn resolve_or_create_node(
 pub fn exec_merge(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     pattern: &PathPattern,
     on_create: &[SetItem],
     on_match: &[SetItem],
@@ -266,7 +266,7 @@ pub fn exec_merge(
 fn apply_set_items(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     items: &[SetItem],
     schema: &cypher_core::Schema,
     row: &Record,
@@ -369,7 +369,7 @@ fn apply_set_items(
 pub fn exec_set(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     items: &[SetItem],
     table: Table,
 ) -> Result<Table, EvalError> {
@@ -384,7 +384,7 @@ pub fn exec_set(
 pub fn exec_remove(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     items: &[RemoveItem],
     table: Table,
 ) -> Result<Table, EvalError> {
@@ -452,7 +452,7 @@ pub fn exec_remove(
 pub fn exec_delete(
     graph: &mut PropertyGraph,
     params: &Params,
-    cfg: EngineConfig,
+    cfg: &EngineConfig,
     detach: bool,
     exprs: &[Expr],
     table: Table,

@@ -1,0 +1,174 @@
+//! Logical change records — the mutation stream of the property graph.
+//!
+//! Every mutator of [`crate::PropertyGraph`] describes the mutation it
+//! performed as a [`Change`] and hands it to the graph's pluggable
+//! [`ChangeSink`] (when one is installed). The stream is *logical*: records
+//! name entities by their public ids and tokens by their **strings**, never
+//! by interner symbols, so a stream is self-describing — replaying it into
+//! an empty graph (re-interning every token) reproduces the exact same
+//! graph, indexes included. This is the property the durable storage engine
+//! (`cypher-storage`) builds on: the write-ahead log is precisely this
+//! stream, framed and checksummed on disk.
+//!
+//! Records are emitted *after* the mutation succeeds, in mutation order;
+//! failed mutations emit nothing. Compound mutators decompose: `DETACH
+//! DELETE` emits one [`Change::DeleteRel`] per incident relationship
+//! followed by a [`Change::DeleteNode`], so every record maps to exactly
+//! one primitive store operation and replay never needs compound logic.
+
+use crate::graph::{NodeId, RelId};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// One logical mutation of a [`crate::PropertyGraph`], named by public ids
+/// and token strings (interner-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// A node was created. `id` is always the next unused node id — ids
+    /// are dense and never reused, so replay can verify it.
+    AddNode {
+        /// The id assigned to the new node.
+        id: NodeId,
+        /// Its labels, sorted and deduplicated.
+        labels: Vec<Arc<str>>,
+        /// Its properties after key deduplication and `null` removal.
+        props: Vec<(Arc<str>, Value)>,
+    },
+    /// A relationship was created between two live nodes.
+    AddRel {
+        /// The id assigned to the new relationship.
+        id: RelId,
+        /// Source node.
+        src: NodeId,
+        /// Target node.
+        tgt: NodeId,
+        /// The relationship type.
+        rel_type: Arc<str>,
+        /// Its properties after key deduplication and `null` removal.
+        props: Vec<(Arc<str>, Value)>,
+    },
+    /// A node with no incident relationships was deleted.
+    DeleteNode {
+        /// The deleted node.
+        id: NodeId,
+    },
+    /// A relationship was deleted.
+    DeleteRel {
+        /// The deleted relationship.
+        id: RelId,
+    },
+    /// `SET n.key = value` (a `null` value removes the key).
+    SetNodeProp {
+        /// The node.
+        id: NodeId,
+        /// The property key.
+        key: Arc<str>,
+        /// The new value (`null` removes).
+        value: Value,
+    },
+    /// `SET r.key = value` for relationships.
+    SetRelProp {
+        /// The relationship.
+        id: RelId,
+        /// The property key.
+        key: Arc<str>,
+        /// The new value (`null` removes).
+        value: Value,
+    },
+    /// `REMOVE n.key`.
+    RemoveNodeProp {
+        /// The node.
+        id: NodeId,
+        /// The removed key.
+        key: Arc<str>,
+    },
+    /// `SET n = {…}`: all properties replaced at once.
+    ReplaceNodeProps {
+        /// The node.
+        id: NodeId,
+        /// The complete new property set.
+        props: Vec<(Arc<str>, Value)>,
+    },
+    /// `SET n:Label` (emitted only when the label was actually added).
+    AddLabel {
+        /// The node.
+        id: NodeId,
+        /// The added label.
+        label: Arc<str>,
+    },
+    /// `REMOVE n:Label` (emitted only when the label was actually removed).
+    RemoveLabel {
+        /// The node.
+        id: NodeId,
+        /// The removed label.
+        label: Arc<str>,
+    },
+}
+
+/// A pluggable consumer of the graph's change stream.
+///
+/// Installed into a [`crate::PropertyGraph`] with
+/// [`crate::PropertyGraph::set_change_sink`]; every successful mutation
+/// calls [`ChangeSink::record`] exactly once per primitive change, in
+/// mutation order. Sinks must be `Send + Sync` because the graph itself is
+/// shared across the parallel executor's worker threads (readers never
+/// touch the sink — only `&mut` mutators do).
+pub trait ChangeSink: Send + Sync {
+    /// Consumes one change record.
+    fn record(&mut self, change: Change);
+}
+
+/// A [`ChangeSink`] that appends into a buffer shared with its creator:
+/// the graph owns the sink, the caller keeps a clone and drains the
+/// buffered records after each unit of work (the `Database` facade drains
+/// once per query to form an atomic WAL batch).
+#[derive(Clone, Debug, Default)]
+pub struct SharedChangeBuffer {
+    inner: Arc<parking_lot::RwLock<Vec<Change>>>,
+}
+
+impl SharedChangeBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes every buffered record, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<Change> {
+        std::mem::take(&mut *self.inner.write())
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl ChangeSink for SharedChangeBuffer {
+    fn record(&mut self, change: Change) {
+        self.inner.write().push(change);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_buffer_drains() {
+        let buf = SharedChangeBuffer::new();
+        let mut sink = buf.clone();
+        sink.record(Change::DeleteRel { id: RelId(3) });
+        sink.record(Change::DeleteNode { id: NodeId(1) });
+        assert_eq!(buf.len(), 2);
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(buf.is_empty());
+        assert_eq!(drained[0], Change::DeleteRel { id: RelId(3) });
+    }
+}

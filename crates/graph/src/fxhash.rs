@@ -55,7 +55,20 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn finish(&self) -> u64 {
-        self.hash
+        // Final avalanche (splitmix64-style). The multiplicative core
+        // alone leaves the low k bits of the output a function of only
+        // the low k bits of the input — and `std::collections::HashMap`
+        // indexes slots by the *low* bits. Inputs whose low bits are
+        // constant (e.g. `f64::to_bits` of small integers, whose
+        // left-aligned mantissas leave 30+ trailing zeros — exactly what
+        // `Value::hash_equivalent` feeds the property indexes) then
+        // collapse every key into one probe chain, turning index
+        // maintenance quadratic. Two xor-shift/multiply rounds spread
+        // high-bit entropy everywhere.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
     }
 }
 

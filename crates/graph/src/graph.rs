@@ -8,11 +8,13 @@
 //! Mutation support (add/delete/set/remove) backs the update clauses of
 //! Section 2 (`CREATE`, `DELETE`, `SET`, `MERGE`).
 
+use crate::change::{Change, ChangeSink};
 use crate::fxhash::FxHashMap;
 use crate::index::{value_bucket, IndexCardinality, IndexSet};
 use crate::interner::{Interner, Symbol};
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// A node identifier — an element of the countably infinite set `N`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -67,6 +69,9 @@ pub enum GraphError {
     /// Attempted to delete a node that still has relationships without
     /// `DETACH DELETE`.
     NodeHasRelationships(NodeId, usize),
+    /// A [`PropertyGraph::restore`] input was internally inconsistent
+    /// (out-of-order ids, dangling endpoints, slot counts too small).
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +82,7 @@ impl fmt::Display for GraphError {
             GraphError::NodeHasRelationships(n, k) => {
                 write!(f, "cannot delete {n}: still has {k} relationship(s)")
             }
+            GraphError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
         }
     }
 }
@@ -171,12 +177,39 @@ pub struct GraphStats {
     pub prop_cardinality: FxHashMap<Symbol, IndexCardinality>,
 }
 
+/// The full state of one live node, as exported into snapshots: public
+/// id, labels and properties named by **strings** (interner-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeState {
+    /// The node's id.
+    pub id: NodeId,
+    /// Its labels, sorted and deduplicated.
+    pub labels: Vec<Arc<str>>,
+    /// Its properties in property-map order.
+    pub props: Vec<(Arc<str>, Value)>,
+}
+
+/// The full state of one live relationship, as exported into snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelState {
+    /// The relationship's id.
+    pub id: RelId,
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub tgt: NodeId,
+    /// The relationship type.
+    pub rel_type: Arc<str>,
+    /// Its properties in property-map order.
+    pub props: Vec<(Arc<str>, Value)>,
+}
+
 /// An in-memory property graph with native adjacency.
 ///
 /// Node and relationship ids are dense indices; deletions leave tombstones
 /// so that ids of live entities are stable (the formal model's identifiers
 /// never change meaning).
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct PropertyGraph {
     nodes: Vec<Option<NodeData>>,
     rels: Vec<Option<RelData>>,
@@ -190,6 +223,43 @@ pub struct PropertyGraph {
     type_counts: FxHashMap<Symbol, usize>,
     live_nodes: usize,
     live_rels: usize,
+    /// The pluggable change-stream consumer (see [`crate::change`]).
+    /// `None` (the default) makes every emission a no-op branch.
+    sink: Option<Box<dyn ChangeSink>>,
+}
+
+/// Clones the graph **without** its change sink: a clone is a detached
+/// in-memory copy (the differential-test oracle pattern), not a second
+/// writer of the same durable store.
+impl Clone for PropertyGraph {
+    fn clone(&self) -> Self {
+        PropertyGraph {
+            nodes: self.nodes.clone(),
+            rels: self.rels.clone(),
+            interner: self.interner.clone(),
+            indexes: self.indexes.clone(),
+            type_counts: self.type_counts.clone(),
+            live_nodes: self.live_nodes,
+            live_rels: self.live_rels,
+            sink: None,
+        }
+    }
+}
+
+/// `Debug` for the graph, omitting the (non-`Debug`) change sink.
+impl fmt::Debug for PropertyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PropertyGraph")
+            .field("nodes", &self.nodes)
+            .field("rels", &self.rels)
+            .field("interner", &self.interner)
+            .field("indexes", &self.indexes)
+            .field("type_counts", &self.type_counts)
+            .field("live_nodes", &self.live_nodes)
+            .field("live_rels", &self.live_rels)
+            .field("sink", &self.sink.as_ref().map(|_| "<ChangeSink>"))
+            .finish()
+    }
 }
 
 impl PropertyGraph {
@@ -216,6 +286,42 @@ impl PropertyGraph {
     /// Resolves a symbol to its text.
     pub fn resolve(&self, s: Symbol) -> &str {
         self.interner.resolve(s)
+    }
+
+    // -- change stream -------------------------------------------------------
+
+    /// Installs a change sink; every subsequent successful mutation emits
+    /// one [`Change`] record per primitive store operation. Replaces any
+    /// previous sink.
+    pub fn set_change_sink(&mut self, sink: Box<dyn ChangeSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed change sink, if any.
+    pub fn take_change_sink(&mut self) -> Option<Box<dyn ChangeSink>> {
+        self.sink.take()
+    }
+
+    /// True when a change sink is installed (mutations are being recorded).
+    pub fn has_change_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Hands a record to the sink, if one is installed. Callers guard with
+    /// [`PropertyGraph::has_change_sink`] before building the (allocating)
+    /// record, so the unplugged path costs one branch.
+    fn emit(&mut self, change: Change) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(change);
+        }
+    }
+
+    /// Resolves a property map into `(string key, value)` pairs for a
+    /// change record.
+    fn resolved_props(&self, pm: &PropMap) -> Vec<(Arc<str>, Value)> {
+        pm.iter()
+            .map(|(k, v)| (self.interner.resolve_arc(k), v.clone()))
+            .collect()
     }
 
     // -- construction --------------------------------------------------------
@@ -247,6 +353,17 @@ impl PropertyGraph {
         labels.dedup();
         let indexed: Vec<(Symbol, u64)> = pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
         self.indexes.on_node_added(id, &labels, &indexed);
+        if self.has_change_sink() {
+            let change = Change::AddNode {
+                id,
+                labels: labels
+                    .iter()
+                    .map(|&l| self.interner.resolve_arc(l))
+                    .collect(),
+                props: self.resolved_props(&pm),
+            };
+            self.emit(change);
+        }
         self.nodes.push(Some(NodeData {
             labels,
             props: pm,
@@ -338,6 +455,16 @@ impl PropertyGraph {
         for (k, v) in props {
             pm.set(k, v);
         }
+        if self.has_change_sink() {
+            let change = Change::AddRel {
+                id,
+                src,
+                tgt,
+                rel_type: self.interner.resolve_arc(rel_type),
+                props: self.resolved_props(&pm),
+            };
+            self.emit(change);
+        }
         self.rels.push(Some(RelData {
             src,
             tgt,
@@ -370,6 +497,7 @@ impl PropertyGraph {
             *c = c.saturating_sub(1);
         }
         self.live_rels -= 1;
+        self.emit(Change::DeleteRel { id: r });
         Ok(())
     }
 
@@ -412,6 +540,7 @@ impl PropertyGraph {
             .collect();
         self.indexes.on_node_removed(n, &data.labels, &indexed);
         self.live_nodes -= 1;
+        self.emit(Change::DeleteNode { id: n });
         Ok(())
     }
 
@@ -648,6 +777,14 @@ impl PropertyGraph {
         if !v.is_null() {
             self.indexes.on_prop_set(n, &labels, k, value_bucket(&v));
         }
+        if self.has_change_sink() {
+            let change = Change::SetNodeProp {
+                id: n,
+                key: self.interner.resolve_arc(k),
+                value: v.clone(),
+            };
+            self.emit(change);
+        }
         self.node_mut(n)
             .map(|d| d.props.set(k, v))
             .ok_or(GraphError::NoSuchNode(n))
@@ -655,6 +792,17 @@ impl PropertyGraph {
 
     /// `SET r.k = v` for relationships.
     pub fn set_rel_prop(&mut self, r: RelId, k: Symbol, v: Value) -> Result<(), GraphError> {
+        if !self.contains_rel(r) {
+            return Err(GraphError::NoSuchRel(r));
+        }
+        if self.has_change_sink() {
+            let change = Change::SetRelProp {
+                id: r,
+                key: self.interner.resolve_arc(k),
+                value: v.clone(),
+            };
+            self.emit(change);
+        }
         self.rel_mut(r)
             .map(|d| d.props.set(k, v))
             .ok_or(GraphError::NoSuchRel(r))
@@ -667,6 +815,13 @@ impl PropertyGraph {
         let old_bucket = d.props.get(k).map(value_bucket);
         if let Some(bucket) = old_bucket {
             self.indexes.on_prop_removed(n, &labels, k, bucket);
+        }
+        if self.has_change_sink() {
+            let change = Change::RemoveNodeProp {
+                id: n,
+                key: self.interner.resolve_arc(k),
+            };
+            self.emit(change);
         }
         self.node_mut(n)
             .map(|d| {
@@ -697,6 +852,15 @@ impl PropertyGraph {
         for (k, bucket) in self.indexed_props(n) {
             self.indexes.on_prop_set(n, &labels, k, bucket);
         }
+        if self.has_change_sink() {
+            // Emit the post-deduplication state, so replay is idempotent
+            // with respect to duplicate keys in the input.
+            let props = self
+                .node(n)
+                .map(|d| self.resolved_props(&d.props))
+                .unwrap_or_default();
+            self.emit(Change::ReplaceNodeProps { id: n, props });
+        }
         Ok(())
     }
 
@@ -708,6 +872,13 @@ impl PropertyGraph {
             d.labels.sort_unstable();
             let indexed = self.indexed_props(n);
             self.indexes.on_label_added(n, l, &indexed);
+            if self.has_change_sink() {
+                let change = Change::AddLabel {
+                    id: n,
+                    label: self.interner.resolve_arc(l),
+                };
+                self.emit(change);
+            }
         }
         Ok(())
     }
@@ -719,8 +890,207 @@ impl PropertyGraph {
             d.labels.remove(pos);
             let indexed = self.indexed_props(n);
             self.indexes.on_label_removed(n, l, &indexed);
+            if self.has_change_sink() {
+                let change = Change::RemoveLabel {
+                    id: n,
+                    label: self.interner.resolve_arc(l),
+                };
+                self.emit(change);
+            }
         }
         Ok(())
+    }
+
+    // -- durable-state export / restore --------------------------------------
+
+    /// Total node slots, live and tombstoned: the next node id to be
+    /// assigned. Snapshots record it so restored graphs keep assigning
+    /// fresh ids (ids are never reused).
+    pub fn node_slot_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total relationship slots, live and tombstoned.
+    pub fn rel_slot_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Exports every live node in id order, tokens resolved to strings.
+    pub fn export_nodes(&self) -> Vec<NodeState> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| {
+                d.as_ref().map(|d| NodeState {
+                    id: NodeId(i as u64),
+                    labels: d
+                        .labels
+                        .iter()
+                        .map(|&l| self.interner.resolve_arc(l))
+                        .collect(),
+                    props: self.resolved_props(&d.props),
+                })
+            })
+            .collect()
+    }
+
+    /// Exports every live relationship in id order.
+    pub fn export_rels(&self) -> Vec<RelState> {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| {
+                d.as_ref().map(|d| RelState {
+                    id: RelId(i as u64),
+                    src: d.src,
+                    tgt: d.tgt,
+                    rel_type: self.interner.resolve_arc(d.rel_type),
+                    props: self.resolved_props(&d.props),
+                })
+            })
+            .collect()
+    }
+
+    /// Reconstructs a graph from exported state, validating internal
+    /// consistency (replay must be total — corrupt snapshots become a
+    /// structured error, never a panic). Indexes are rebuilt from scratch;
+    /// because posting lists are canonically sorted, the rebuilt index set
+    /// is bit-identical to the incrementally-maintained one of the graph
+    /// that produced the export.
+    pub fn restore(
+        node_slots: usize,
+        rel_slots: usize,
+        nodes: Vec<NodeState>,
+        rels: Vec<RelState>,
+    ) -> Result<PropertyGraph, GraphError> {
+        let bad = |msg: String| GraphError::InvalidSnapshot(msg);
+        let mut g = PropertyGraph::new();
+        g.nodes = (0..node_slots).map(|_| None).collect();
+        let mut last_node: Option<u64> = None;
+        for ns in nodes {
+            let idx = ns.id.0 as usize;
+            if idx >= node_slots {
+                return Err(bad(format!(
+                    "node {} beyond slot count {node_slots}",
+                    ns.id
+                )));
+            }
+            if last_node.is_some_and(|p| ns.id.0 <= p) {
+                return Err(bad(format!(
+                    "node ids not strictly increasing at {}",
+                    ns.id
+                )));
+            }
+            last_node = Some(ns.id.0);
+            let mut labels: Vec<Symbol> = ns.labels.iter().map(|l| g.interner.intern(l)).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            let mut pm = PropMap::default();
+            for (k, v) in ns.props {
+                pm.set(g.interner.intern(&k), v);
+            }
+            let indexed: Vec<(Symbol, u64)> =
+                pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
+            g.indexes.on_node_added(ns.id, &labels, &indexed);
+            g.nodes[idx] = Some(NodeData {
+                labels,
+                props: pm,
+                out: Vec::new(),
+                inc: Vec::new(),
+            });
+            g.live_nodes += 1;
+        }
+        g.rels = (0..rel_slots).map(|_| None).collect();
+        let mut last_rel: Option<u64> = None;
+        for rs in rels {
+            let idx = rs.id.0 as usize;
+            if idx >= rel_slots {
+                return Err(bad(format!("rel {} beyond slot count {rel_slots}", rs.id)));
+            }
+            if last_rel.is_some_and(|p| rs.id.0 <= p) {
+                return Err(bad(format!("rel ids not strictly increasing at {}", rs.id)));
+            }
+            last_rel = Some(rs.id.0);
+            if !g.contains_node(rs.src) {
+                return Err(bad(format!("rel {} has dangling source {}", rs.id, rs.src)));
+            }
+            if !g.contains_node(rs.tgt) {
+                return Err(bad(format!("rel {} has dangling target {}", rs.id, rs.tgt)));
+            }
+            let rel_type = g.interner.intern(&rs.rel_type);
+            let mut pm = PropMap::default();
+            for (k, v) in rs.props {
+                pm.set(g.interner.intern(&k), v);
+            }
+            g.rels[idx] = Some(RelData {
+                src: rs.src,
+                tgt: rs.tgt,
+                rel_type,
+                props: pm,
+            });
+            // Relationships are exported in id order, which is exactly the
+            // order `add_rel` appended them to the adjacency lists (ids
+            // are never reused and deletions preserve relative order), so
+            // rebuilt out/in lists match the original lists verbatim.
+            g.node_mut(rs.src).expect("validated above").out.push(rs.id);
+            g.node_mut(rs.tgt).expect("validated above").inc.push(rs.id);
+            *g.type_counts.entry(rel_type).or_insert(0) += 1;
+            g.live_rels += 1;
+        }
+        Ok(g)
+    }
+
+    /// Renders the complete observable state — entities, adjacency, type
+    /// counts and all three index families — in a canonical, interner- and
+    /// hash-map-order-independent text form. Two graphs with equal dumps
+    /// are indistinguishable to every query and every planner statistic;
+    /// the crash-recovery differential suite compares dumps of recovered
+    /// graphs against the in-memory oracle.
+    pub fn canonical_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "slots nodes={} rels={} live nodes={} rels={}",
+            self.nodes.len(),
+            self.rels.len(),
+            self.live_nodes,
+            self.live_rels
+        )
+        .unwrap();
+        for ns in self.export_nodes() {
+            // Labels are stored sorted by interner *symbol* (assignment
+            // order); sort the strings so the dump is genuinely
+            // interner-independent — a graph rebuilt by replay interns
+            // tokens in a different order than one that also interned
+            // tokens for read-only queries.
+            let mut labels = ns.labels;
+            labels.sort();
+            let mut props = ns.props;
+            props.sort_by(|a, b| a.0.cmp(&b.0));
+            writeln!(out, "node {} labels={labels:?} props={props:?}", ns.id).unwrap();
+        }
+        for rs in self.export_rels() {
+            let mut props = rs.props;
+            props.sort_by(|a, b| a.0.cmp(&b.0));
+            writeln!(
+                out,
+                "rel {} {}->{} type={} props={props:?}",
+                rs.id, rs.src, rs.tgt, rs.rel_type
+            )
+            .unwrap();
+        }
+        let mut types: Vec<(String, usize)> = self
+            .type_counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&t, &c)| (self.interner.resolve(t).to_string(), c))
+            .collect();
+        types.sort();
+        writeln!(out, "type-counts {types:?}").unwrap();
+        let resolve = |s: Symbol| self.interner.resolve(s).to_string();
+        self.indexes.canonical_dump(&resolve, &mut out);
+        out
     }
 }
 

@@ -61,6 +61,24 @@ impl IndexCardinality {
     }
 }
 
+/// Inserts into a posting list, keeping it sorted by node id. Posting
+/// lists are **canonically ordered**: the common case (a freshly created
+/// node, whose id exceeds every existing one) is an O(1) append, while
+/// late label/property additions to old nodes pay a binary-search insert.
+/// Canonical order is what lets crash recovery rebuild every index
+/// bit-identical to the incrementally-maintained one — index state is a
+/// pure function of graph content, never of mutation history.
+fn insert_sorted(list: &mut Vec<NodeId>, n: NodeId) {
+    match list.last() {
+        Some(&last) if last >= n => {
+            if let Err(pos) = list.binary_search(&n) {
+                list.insert(pos, n);
+            }
+        }
+        _ => list.push(n),
+    }
+}
+
 /// One value-bucketed posting-list map plus its running totals.
 #[derive(Debug, Clone, Default)]
 struct ValueBuckets {
@@ -70,14 +88,14 @@ struct ValueBuckets {
 
 impl ValueBuckets {
     fn insert(&mut self, bucket: u64, n: NodeId) {
-        self.buckets.entry(bucket).or_default().push(n);
+        insert_sorted(self.buckets.entry(bucket).or_default(), n);
         self.entries += 1;
     }
 
     fn remove(&mut self, bucket: u64, n: NodeId) {
         if let Some(list) = self.buckets.get_mut(&bucket) {
-            if let Some(pos) = list.iter().position(|&x| x == n) {
-                list.swap_remove(pos);
+            if let Ok(pos) = list.binary_search(&n) {
+                list.remove(pos);
                 self.entries -= 1;
                 if list.is_empty() {
                     self.buckets.remove(&bucket);
@@ -99,6 +117,19 @@ impl ValueBuckets {
             distinct: self.buckets.len(),
         }
     }
+
+    /// Canonical rendering: buckets sorted by hash, lists verbatim.
+    fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut buckets: Vec<(u64, &Vec<NodeId>)> =
+            self.buckets.iter().map(|(&h, v)| (h, v)).collect();
+        buckets.sort_by_key(|&(h, _)| h);
+        let mut s = String::new();
+        for (h, nodes) in buckets {
+            write!(s, "{h:016x}={nodes:?} ").unwrap();
+        }
+        s
+    }
 }
 
 /// The full set of node indexes of one [`crate::graph::PropertyGraph`].
@@ -108,7 +139,8 @@ impl ValueBuckets {
 /// touched) — the incremental cost of staying consistent.
 #[derive(Debug, Clone, Default)]
 pub struct IndexSet {
-    /// `ℓ → nodes`, insertion-ordered (scan order is deterministic).
+    /// `ℓ → nodes`, sorted by node id (scan order is deterministic *and*
+    /// canonical — see [`insert_sorted`]).
     labels: FxHashMap<Symbol, Vec<NodeId>>,
     /// `k → value → nodes`.
     props: FxHashMap<Symbol, ValueBuckets>,
@@ -129,7 +161,7 @@ impl IndexSet {
     /// must already be deduplicated.
     pub fn on_node_added(&mut self, n: NodeId, labels: &[Symbol], props: &[(Symbol, u64)]) {
         for &l in labels {
-            self.labels.entry(l).or_default().push(n);
+            insert_sorted(self.labels.entry(l).or_default(), n);
         }
         for &(k, bucket) in props {
             self.props.entry(k).or_default().insert(bucket, n);
@@ -164,7 +196,7 @@ impl IndexSet {
 
     /// A label was added to a live node with the given current properties.
     pub fn on_label_added(&mut self, n: NodeId, l: Symbol, props: &[(Symbol, u64)]) {
-        self.labels.entry(l).or_default().push(n);
+        insert_sorted(self.labels.entry(l).or_default(), n);
         for &(k, bucket) in props {
             self.label_props
                 .entry((l, k))
@@ -265,6 +297,50 @@ impl IndexSet {
     /// property key.
     pub fn prop_cardinalities(&self) -> impl Iterator<Item = (Symbol, IndexCardinality)> + '_ {
         self.props.iter().map(|(&k, b)| (k, b.cardinality()))
+    }
+
+    // -- canonical dump ------------------------------------------------------
+
+    /// Renders the complete index contents in a canonical, hash-map-order-
+    /// independent form: labels/keys are resolved to strings through
+    /// `resolve` and sorted, value buckets are sorted by bucket hash, and
+    /// posting lists appear verbatim (they are sorted by construction).
+    ///
+    /// Two `IndexSet`s with equal dumps answer every lookup identically —
+    /// this is the "bit-identical indexes" witness of the crash-recovery
+    /// differential suite.
+    pub fn canonical_dump(&self, resolve: &dyn Fn(Symbol) -> String, out: &mut String) {
+        use std::fmt::Write;
+        let mut labels: Vec<(String, &Vec<NodeId>)> = self
+            .labels
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&l, v)| (resolve(l), v))
+            .collect();
+        labels.sort();
+        for (l, nodes) in labels {
+            writeln!(out, "label-index {l}: {nodes:?}").unwrap();
+        }
+        let mut props: Vec<(String, &ValueBuckets)> = self
+            .props
+            .iter()
+            .filter(|(_, b)| b.entries > 0)
+            .map(|(&k, b)| (resolve(k), b))
+            .collect();
+        props.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, b) in props {
+            writeln!(out, "prop-index {k}: {}", b.dump()).unwrap();
+        }
+        let mut composite: Vec<(String, String, &ValueBuckets)> = self
+            .label_props
+            .iter()
+            .filter(|(_, b)| b.entries > 0)
+            .map(|(&(l, k), b)| (resolve(l), resolve(k), b))
+            .collect();
+        composite.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        for (l, k, b) in composite {
+            writeln!(out, "composite-index {l}/{k}: {}", b.dump()).unwrap();
+        }
     }
 }
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod change;
 pub mod fxhash;
 pub mod graph;
 pub mod index;
@@ -37,7 +38,10 @@ pub mod temporal;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use graph::{Direction, GraphError, GraphStats, NodeId, PropertyGraph, RelId};
+pub use change::{Change, ChangeSink, SharedChangeBuffer};
+pub use graph::{
+    Direction, GraphError, GraphStats, NodeId, NodeState, PropertyGraph, RelId, RelState,
+};
 pub use index::{IndexCardinality, IndexSet};
 pub use interner::{Interner, Symbol};
 pub use path::Path;

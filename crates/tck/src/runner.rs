@@ -200,7 +200,7 @@ pub fn run_scenario(s: &Scenario) -> Result<(), TckError> {
         run(&mut g, stmt, &params).map_err(|e| fail(format!("GIVEN failed: {e}")))?;
     }
     let engine_result = run_read(&g, &s.when, &params);
-    let parallel_result = run_read_with(&g, &s.when, &params, parallel_config());
+    let parallel_result = run_read_with(&g, &s.when, &params, &parallel_config());
     let reference_result = run_reference(&g, &s.when, &params);
     match &s.then {
         None => {

@@ -22,4 +22,4 @@ pub mod generators;
 pub mod queries;
 
 pub use generators::*;
-pub use queries::{random_queries, QueryGenerator, QueryVocabulary};
+pub use queries::{random_queries, random_updates, QueryGenerator, QueryVocabulary};

@@ -51,6 +51,9 @@ impl Default for QueryVocabulary {
 pub struct QueryGenerator {
     rng: SmallRng,
     vocab: QueryVocabulary,
+    /// Counter behind the fresh `i` values update statements assign, so
+    /// generated `CREATE`s never collide with the substrate's unique ids.
+    fresh: i64,
 }
 
 impl QueryGenerator {
@@ -64,6 +67,7 @@ impl QueryGenerator {
         QueryGenerator {
             rng: SmallRng::seed_from_u64(seed),
             vocab,
+            fresh: 1_000,
         }
     }
 
@@ -87,6 +91,86 @@ impl QueryGenerator {
         q.push(' ');
         q.push_str(&self.gen_return(&vars, &rel_vars));
         q
+    }
+
+    /// Draws the next **update** statement: `CREATE`, `SET` (property,
+    /// map-replace, map-merge, label), `REMOVE` (property, label),
+    /// `DELETE`/`DETACH DELETE`, or `MERGE` with `ON CREATE`/`ON MATCH`.
+    ///
+    /// Every statement is total over any graph shaped by the vocabulary —
+    /// deletions always detach, matches that bind nothing make the update
+    /// a no-op — so a generated stream never errors and is exactly
+    /// reproducible: the substrate the recovery and parallel differential
+    /// harnesses replay against their oracles.
+    pub fn next_update(&mut self) -> String {
+        let label = pick(&mut self.rng, &self.vocab.labels).clone();
+        let label2 = pick(&mut self.rng, &self.vocab.labels).clone();
+        let ty = pick(&mut self.rng, &self.vocab.types).clone();
+        let k = self.rng.gen_range(0..10);
+        let k2 = self.rng.gen_range(0..10);
+        match self.rng.gen_range(0..10) {
+            // Grow the graph: CREATE dominates so workloads stay dense.
+            0 | 1 => {
+                let (i1, i2) = (self.fresh, self.fresh + 1);
+                self.fresh += 2;
+                format!(
+                    "CREATE (:{label} {{v: {k}, i: {i1}}})-[:{ty} {{w: {k2}}}]->\
+                     (:{label2} {{v: {k2}, i: {i2}}})"
+                )
+            }
+            2 => {
+                let i1 = self.fresh;
+                self.fresh += 1;
+                format!("CREATE (:{label} {{v: {k}, i: {i1}}})")
+            }
+            // Point and predicate SETs.
+            3 => format!("MATCH (n:{label}) WHERE n.v = {k} SET n.v = {k2}"),
+            4 => {
+                let i1 = self.fresh;
+                self.fresh += 1;
+                if self.rng.gen_bool(0.5) {
+                    format!("MATCH (n:{label} {{v: {k}}}) SET n += {{u: {i1}}}")
+                } else {
+                    format!("MATCH (n:{label} {{v: {k}}}) SET n = {{v: {k2}, i: {i1}}}")
+                }
+            }
+            // Relationship property churn.
+            5 => format!("MATCH (a:{label})-[r:{ty}]->(b) SET r.w = {k2}"),
+            // Label churn (exercises the composite-index backfill).
+            6 => {
+                if self.rng.gen_bool(0.5) {
+                    format!("MATCH (n:{label}) WHERE n.v = {k} SET n:{label2}")
+                } else {
+                    format!("MATCH (n:{label}) WHERE n.v = {k} REMOVE n:{label2}")
+                }
+            }
+            // Property removal.
+            7 => format!("MATCH (n:{label} {{v: {k}}}) REMOVE n.v"),
+            // Deletions: relationships alone, or detach-delete nodes.
+            8 => {
+                if self.rng.gen_bool(0.6) {
+                    format!("MATCH (a)-[r:{ty}]->(b:{label}) WHERE b.v = {k} DELETE r")
+                } else {
+                    format!("MATCH (n:{label}) WHERE n.v = {k} DETACH DELETE n")
+                }
+            }
+            // MERGE, with and without conditional SETs.
+            _ => {
+                let i1 = self.fresh;
+                self.fresh += 1;
+                match self.rng.gen_range(0..3) {
+                    0 => format!("MERGE (n:{label} {{v: {k}}})"),
+                    1 => format!(
+                        "MERGE (n:{label} {{v: {k}}}) \
+                         ON CREATE SET n.i = {i1} ON MATCH SET n.u = {k2}"
+                    ),
+                    _ => format!(
+                        "MERGE (a:{label} {{v: {k}}})-[:{ty}]->(b:{label2} {{v: {k2}}}) \
+                         ON CREATE SET a.i = {i1}"
+                    ),
+                }
+            }
+        }
     }
 
     /// `path := node (rel node){0..2}`, binding fresh (or occasionally
@@ -254,6 +338,12 @@ pub fn random_queries(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|_| gen.next_query()).collect()
 }
 
+/// Draws `n` update statements from a fresh generator.
+pub fn random_updates(n: usize, seed: u64) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..n).map(|_| gen.next_update()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +362,48 @@ mod tests {
             // SKIP/LIMIT only ever follow an ORDER BY (determinism rule).
             if q.contains("LIMIT") || q.contains("SKIP") {
                 assert!(q.contains("ORDER BY"), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_generator_is_deterministic_and_covers_the_clauses() {
+        assert_eq!(random_updates(80, 7), random_updates(80, 7));
+        assert_ne!(random_updates(80, 7), random_updates(80, 8));
+        let us = random_updates(400, 3).join("\n");
+        for needle in [
+            "CREATE",
+            "SET",
+            "REMOVE n.v",
+            "REMOVE n:",
+            "SET n:",
+            "DELETE r",
+            "DETACH DELETE",
+            "MERGE",
+            "ON CREATE",
+            "ON MATCH",
+            "SET n += {",
+            "SET n = {",
+            "SET r.w",
+        ] {
+            assert!(us.contains(needle), "400 updates never produced {needle}");
+        }
+    }
+
+    #[test]
+    fn fresh_ids_never_repeat() {
+        let mut gen = QueryGenerator::new(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let u = gen.next_update();
+            for part in u.split("i: ") {
+                if let Some(num) = part.split(['}', ',']).next() {
+                    if let Ok(i) = num.trim().parse::<i64>() {
+                        if i >= 1_000 {
+                            assert!(seen.insert(i), "fresh id {i} repeated in {u}");
+                        }
+                    }
+                }
             }
         }
     }

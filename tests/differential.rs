@@ -51,7 +51,7 @@ fn check_graph(g: &PropertyGraph, label: &str) {
     for q in CORPUS {
         let reference = run_reference(g, q, &params)
             .unwrap_or_else(|e| panic!("[{label}] reference failed on {q}: {e}"));
-        let expand = run_read_with(g, q, &params, EngineConfig::default())
+        let expand = run_read_with(g, q, &params, &EngineConfig::default())
             .unwrap_or_else(|e| panic!("[{label}] engine failed on {q}: {e}"));
         assert!(
             expand.bag_eq(&reference),
@@ -61,7 +61,7 @@ fn check_graph(g: &PropertyGraph, label: &str) {
             g,
             q,
             &params,
-            EngineConfig {
+            &EngineConfig {
                 planner_mode: PlannerMode::CartesianJoin,
                 ..EngineConfig::default()
             },

@@ -36,9 +36,9 @@ const READ_CORPUS: &[&str] = &[
 
 /// Asserts the three evaluation strategies agree on `q` over `g`.
 fn assert_agree(g: &PropertyGraph, q: &str, params: &Params) {
-    let with_idx = run_read_with(g, q, params, EngineConfig::default())
+    let with_idx = run_read_with(g, q, params, &EngineConfig::default())
         .unwrap_or_else(|e| panic!("indexed engine failed on {q}: {e}"));
-    let without_idx = run_read_with(g, q, params, EngineConfig::default().without_indexes())
+    let without_idx = run_read_with(g, q, params, &EngineConfig::default().without_indexes())
         .unwrap_or_else(|e| panic!("index-free engine failed on {q}: {e}"));
     let oracle =
         run_reference(g, q, params).unwrap_or_else(|e| panic!("reference failed on {q}: {e}"));
@@ -85,7 +85,7 @@ fn corpus_agrees_after_interleaved_updates() {
             "MATCH (m:Marker) REMOVE m.slot",
         ];
         for step in steps {
-            run_with(&mut g, step, &params, EngineConfig::default())
+            run_with(&mut g, step, &params, &EngineConfig::default())
                 .unwrap_or_else(|e| panic!("update step failed ({step}): {e}"));
             for q in READ_CORPUS {
                 assert_agree(&g, q, &params);
@@ -117,7 +117,7 @@ fn explain_surfaces_index_choice() {
         &mut g,
         "CREATE (:Person {name: 'Ada'}), (:Person {name: 'Bo'}), (:Bot {name: 'Ada'})",
         &params,
-        EngineConfig::default(),
+        &EngineConfig::default(),
     )
     .unwrap();
     let plan = explain(&g, "MATCH (n:Person {name: 'Ada'}) RETURN n").unwrap();
@@ -142,7 +142,7 @@ fn seeks_respect_equality_semantics_on_numerics() {
         &mut g,
         "CREATE (:N {v: 1}), (:N {v: 1.0}), (:N {v: 2})",
         &params,
-        EngineConfig::default(),
+        &EngineConfig::default(),
     )
     .unwrap();
     assert_agree(&g, "MATCH (n:N {v: 1}) RETURN count(*) AS c", &params);
@@ -151,7 +151,7 @@ fn seeks_respect_equality_semantics_on_numerics() {
         &g,
         "MATCH (n:N {v: 1}) RETURN count(*) AS c",
         &params,
-        EngineConfig::default(),
+        &EngineConfig::default(),
     )
     .unwrap();
     assert_eq!(t.cell(0, "c"), Some(&Value::int(2)));

@@ -38,7 +38,7 @@ fn e14_self_loop_edge_isomorphism_yields_two() {
         &g,
         q,
         &params,
-        EngineConfig {
+        &EngineConfig {
             match_config: cfg(Morphism::EdgeIsomorphism, 64),
             ..EngineConfig::default()
         },
@@ -67,7 +67,7 @@ fn e14_homomorphism_grows_with_the_cap() {
             &g,
             q,
             &params,
-            EngineConfig {
+            &EngineConfig {
                 match_config: cfg(Morphism::Homomorphism, cap),
                 ..EngineConfig::default()
             },
@@ -144,7 +144,7 @@ fn e14_engine_delegates_node_isomorphism() {
             &g,
             q,
             &params,
-            EngineConfig {
+            &EngineConfig {
                 match_config: config,
                 ..EngineConfig::default()
             },

@@ -21,10 +21,10 @@ fn cfg(threads: usize, morsel: usize) -> EngineConfig {
 /// Runs one query under every configuration, cross-checks the results,
 /// and returns the sequential table.
 fn check_query(g: &PropertyGraph, q: &str, params: &Params) -> Table {
-    let seq = run_read_with(g, q, params, cfg(1, 1024))
+    let seq = run_read_with(g, q, params, &cfg(1, 1024))
         .unwrap_or_else(|e| panic!("sequential engine failed on {q}: {e}"));
     for (threads, morsel) in [(4, 8), (2, 1), (3, 1024)] {
-        let par = run_read_with(g, q, params, cfg(threads, morsel)).unwrap_or_else(|e| {
+        let par = run_read_with(g, q, params, &cfg(threads, morsel)).unwrap_or_else(|e| {
             panic!("parallel engine (threads={threads}, morsel={morsel}) failed on {q}: {e}")
         });
         // Exact row-sequence equality — which subsumes multiset equality.
@@ -72,18 +72,17 @@ fn five_hundred_generated_queries_agree_across_thread_counts() {
 fn generated_queries_agree_after_graph_mutations() {
     // Re-check a slice of the workload after update clauses have churned
     // the graph (and thus the indexes the parallel sources seek through).
+    // The update statements come from the same grammar-driven generator
+    // the crash-recovery differential replays (`QueryGenerator::
+    // next_update`), so both harnesses exercise one mutation surface.
     let params = Params::new();
     let mut g = random_graph(18, 30, &["A", "B"], &["X", "Y"], 99);
-    let updates = [
-        "CREATE (:A {v: 3, i: 100})-[:X]->(:B {v: 3, i: 101})",
-        "MATCH (n:A {v: 1}) SET n.v = 7",
-        "MATCH (n:B) WHERE n.v = 2 SET n:A",
-        "MATCH (a:A)-[r:Y]->(b) DELETE r",
-    ];
-    for (step, u) in updates.iter().enumerate() {
-        cypher::run(&mut g, u, &params).unwrap_or_else(|e| panic!("update failed ({u}): {e}"));
-        let mut gen = QueryGenerator::new(7000 + step as u64);
-        for _ in 0..25 {
+    let mut ugen = QueryGenerator::new(4242);
+    for step in 0..8u64 {
+        let u = ugen.next_update();
+        cypher::run(&mut g, &u, &params).unwrap_or_else(|e| panic!("update failed ({u}): {e}"));
+        let mut gen = QueryGenerator::new(7000 + step);
+        for _ in 0..15 {
             let q = gen.next_query();
             check_query(&g, &q, &params);
         }

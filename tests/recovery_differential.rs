@@ -1,0 +1,278 @@
+//! Differential testing of the **durable storage engine**, in the style
+//! the morsel executor was verified (`tests/parallel_differential.rs`):
+//! a grammar-driven random workload of mixed reads and updates runs
+//! simultaneously against an in-memory oracle graph and a persistent
+//! [`Database`], then the write-ahead log is killed at **every record
+//! boundary and mid-record** and reopened. Each kill point must recover
+//! exactly the oracle's state after the corresponding committed batch
+//! prefix — entities, adjacency, statistics *and* all three index
+//! families, compared through [`PropertyGraph::canonical_dump`], which
+//! renders index posting lists verbatim (so "bit-identical indexes" is
+//! literally asserted, not approximated by query sampling).
+//!
+//! Workload count is tunable via `CYPHER_RECOVERY_WORKLOADS` (default
+//! 200, the acceptance floor).
+
+use cypher::storage::wal;
+use cypher::workload::QueryGenerator;
+use cypher::{Database, EngineConfig, Params, PropertyGraph};
+use std::path::PathBuf;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cypher-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn durable_cfg(dir: &PathBuf, compact_bytes: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = Some(dir.clone());
+    cfg.wal_compact_bytes = compact_bytes;
+    cfg
+}
+
+/// One mixed workload: two update statements for every read query, drawn
+/// from the same deterministic generator both sides replay.
+fn workload(seed: u64, len: usize) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..len)
+        .map(|i| {
+            if i % 3 == 2 {
+                gen.next_query()
+            } else {
+                gen.next_update()
+            }
+        })
+        .collect()
+}
+
+fn workload_count() -> u64 {
+    std::env::var("CYPHER_RECOVERY_WORKLOADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+#[test]
+fn generated_workloads_survive_kill_points_at_every_record_boundary() {
+    let params = Params::new();
+    let n = workload_count();
+    let mut total_kill_points = 0usize;
+    for seed in 0..n {
+        let stmts = workload(seed, 12);
+        let dir = fresh_dir(&format!("sweep-{seed}"));
+        let cfg = durable_cfg(&dir, u64::MAX); // no compaction: one WAL holds the history
+        let mut db = Database::open_with(cfg.clone()).unwrap();
+        let mut oracle = PropertyGraph::new();
+
+        // Run both sides in lockstep; record the oracle's canonical state
+        // after every committed batch (read-only statements commit none).
+        let mut dump_at_batches: Vec<String> = vec![oracle.canonical_dump()];
+        for s in &stmts {
+            let mem = cypher::run(&mut oracle, s, &params);
+            let dur = db.query(s, &params);
+            match (mem, dur) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.ordered_eq(&b),
+                    "result drift on {s} (seed {seed})\nmem:\n{a}\ndurable:\n{b}"
+                ),
+                (a, b) => panic!("generated statement errored: {s}\nmem: {a:?}\ndurable: {b:?}"),
+            }
+            let batches = db.batches_committed().unwrap() as usize;
+            while dump_at_batches.len() <= batches {
+                dump_at_batches.push(oracle.canonical_dump());
+            }
+        }
+        let final_dump = oracle.canonical_dump();
+        assert_eq!(
+            db.graph().canonical_dump(),
+            final_dump,
+            "live durable graph diverged (seed {seed})"
+        );
+        db.close().unwrap();
+
+        // Clean reopen: state, indexes and query answers all match.
+        {
+            let mut db2 = Database::open_with(cfg.clone()).unwrap();
+            assert_eq!(
+                db2.graph().canonical_dump(),
+                final_dump,
+                "clean reopen diverged (seed {seed})"
+            );
+            let mut qgen = QueryGenerator::new(100_000 + seed);
+            for _ in 0..3 {
+                let q = qgen.next_query();
+                let recovered = db2.query(&q, &params).unwrap();
+                let mem = cypher::run_read(&oracle, &q, &params).unwrap();
+                assert!(
+                    recovered.ordered_eq(&mem),
+                    "read drift after reopen on {q} (seed {seed})"
+                );
+                let reference = db2.query_reference(&q, &params).unwrap();
+                assert!(
+                    recovered.bag_eq(&reference),
+                    "recovered engine diverges from the reference oracle on {q}"
+                );
+            }
+        }
+
+        // Kill-point sweep: truncate the WAL at every record boundary and
+        // in the middle of every record; recovery must land exactly on
+        // the committed-batch prefix state.
+        let wal_path = dir.join("wal-0000000000.log");
+        let wal_bytes = std::fs::read(&wal_path).unwrap();
+        let records = wal::scan(&wal_path).unwrap();
+        let mut kill_points: Vec<(u64, usize)> = Vec::new(); // (cut offset, batches expected)
+        kill_points.push((4, 0)); // mid-magic
+        kill_points.push((wal::WAL_MAGIC.len() as u64, 0)); // empty log
+        let mut commits_before = 0usize;
+        for r in &records {
+            let mid = (r.start + r.end) / 2;
+            if mid > r.start {
+                kill_points.push((mid, commits_before)); // mid-record tear
+            }
+            kill_points.push((r.end, r.commits_through as usize)); // boundary
+            commits_before = r.commits_through as usize;
+        }
+        for &(cut, expected_batches) in &kill_points {
+            let kdir = fresh_dir(&format!("kill-{seed}-{cut}"));
+            std::fs::create_dir_all(&kdir).unwrap();
+            std::fs::write(kdir.join("wal-0000000000.log"), &wal_bytes[..cut as usize]).unwrap();
+            let db3 = Database::open_with(durable_cfg(&kdir, u64::MAX)).unwrap();
+            assert_eq!(
+                db3.recovery().batches_replayed as usize,
+                expected_batches,
+                "wrong batch count at kill point {cut} (seed {seed})"
+            );
+            assert_eq!(
+                db3.graph().canonical_dump(),
+                dump_at_batches[expected_batches],
+                "recovered state at kill point {cut} is not the batch-{expected_batches} \
+                 prefix (seed {seed})"
+            );
+            drop(db3);
+            let _ = std::fs::remove_dir_all(&kdir);
+        }
+        total_kill_points += kill_points.len();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        total_kill_points as u64 >= n * 10,
+        "sweep too shallow: {total_kill_points} kill points over {n} workloads"
+    );
+}
+
+#[test]
+fn compaction_preserves_the_differential_under_churn() {
+    // A tiny compaction threshold forces many snapshot+truncate cycles
+    // mid-workload; reopening across them must still match the oracle.
+    let params = Params::new();
+    for seed in 0..10u64 {
+        let dir = fresh_dir(&format!("compact-{seed}"));
+        let cfg = durable_cfg(&dir, 700);
+        let mut db = Database::open_with(cfg.clone()).unwrap();
+        let mut oracle = PropertyGraph::new();
+        let stmts = workload(500 + seed, 30);
+        for (i, s) in stmts.iter().enumerate() {
+            let mem = cypher::run(&mut oracle, s, &params);
+            let dur = db.query(s, &params);
+            assert_eq!(mem.is_ok(), dur.is_ok(), "{s}");
+            // Periodically bounce the process (close + reopen).
+            if i % 11 == 10 {
+                db.close().unwrap();
+                db = Database::open_with(cfg.clone()).unwrap();
+                assert_eq!(
+                    db.graph().canonical_dump(),
+                    oracle.canonical_dump(),
+                    "reopen across compaction diverged (seed {seed}, step {i})"
+                );
+            }
+        }
+        assert!(
+            db.generation().unwrap() > 0,
+            "threshold never triggered a checkpoint (seed {seed})"
+        );
+        assert_eq!(db.graph().canonical_dump(), oracle.canonical_dump());
+        db.close().unwrap();
+        let db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(db2.graph().canonical_dump(), oracle.canonical_dump());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn random_wal_corruption_never_panics() {
+    // Flip bytes throughout a real WAL; opening must always return — a
+    // prefix recovery or a structured error, never a panic or a wrong
+    // "clean" recovery (the recovered state must be one of the oracle's
+    // batch-prefix states).
+    let params = Params::new();
+    let dir = fresh_dir("corrupt");
+    let cfg = durable_cfg(&dir, u64::MAX);
+    let mut db = Database::open_with(cfg).unwrap();
+    let mut oracle = PropertyGraph::new();
+    let mut prefix_dumps = vec![oracle.canonical_dump()];
+    for s in workload(9_999, 12) {
+        let mem = cypher::run(&mut oracle, &s, &params);
+        let dur = db.query(&s, &params);
+        assert_eq!(mem.is_ok(), dur.is_ok());
+        let batches = db.batches_committed().unwrap() as usize;
+        while prefix_dumps.len() <= batches {
+            prefix_dumps.push(oracle.canonical_dump());
+        }
+    }
+    db.close().unwrap();
+    let wal_path = dir.join("wal-0000000000.log");
+    let wal_bytes = std::fs::read(&wal_path).unwrap();
+    let step = (wal_bytes.len() / 97).max(1);
+    for flip_at in (0..wal_bytes.len()).step_by(step) {
+        for mask in [0x01u8, 0x80] {
+            let kdir = fresh_dir(&format!("corrupt-{flip_at}-{mask}"));
+            std::fs::create_dir_all(&kdir).unwrap();
+            let mut bad = wal_bytes.clone();
+            bad[flip_at] ^= mask;
+            std::fs::write(kdir.join("wal-0000000000.log"), &bad).unwrap();
+            match Database::open_with(durable_cfg(&kdir, u64::MAX)) {
+                Ok(recovered) => {
+                    let dump = recovered.graph().canonical_dump();
+                    assert!(
+                        prefix_dumps.contains(&dump),
+                        "corruption at byte {flip_at} (mask {mask:#x}) recovered to a state \
+                         that is not any committed prefix"
+                    );
+                }
+                Err(cypher::Error::Storage(_)) => {} // detected, structured
+                Err(other) => panic!("unexpected error class: {other}"),
+            }
+            let _ = std::fs::remove_dir_all(&kdir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_database_keeps_assigning_fresh_ids() {
+    // Tombstones survive persistence: ids deleted before a crash are
+    // never reused after recovery.
+    let params = Params::new();
+    let dir = fresh_dir("tombstone");
+    let cfg = durable_cfg(&dir, u64::MAX);
+    {
+        let mut db = Database::open_with(cfg.clone()).unwrap();
+        db.query("CREATE (:A {i: 0}), (:A {i: 1}), (:A {i: 2})", &params)
+            .unwrap();
+        db.query("MATCH (n:A {i: 2}) DETACH DELETE n", &params)
+            .unwrap();
+        db.close().unwrap();
+    }
+    let mut db = Database::open_with(cfg).unwrap();
+    assert_eq!(db.graph().node_slot_count(), 3, "tombstone slot survived");
+    db.query("CREATE (:A {i: 3})", &params).unwrap();
+    let out = db
+        .query("MATCH (n:A) RETURN n.i AS i ORDER BY i", &params)
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    // The new node occupies slot 3, not the tombstoned slot 2.
+    assert_eq!(db.graph().node_slot_count(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
