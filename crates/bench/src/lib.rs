@@ -17,6 +17,26 @@ pub fn us(d: std::time::Duration) -> f64 {
 }
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(bytes: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    // Racy max is fine: the peak is a diagnostic watermark, and the CAS
+    // loop converges under contention.
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+fn on_dealloc(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
 
 /// An allocation-counting wrapper around the system allocator. Bench
 /// binaries install it with
@@ -29,28 +49,32 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// and then assert per-query allocation budgets via
 /// [`allocations_during`] — the regression tripwire for "this hot loop
 /// quietly started cloning per row" (experiments E19/E20 pin the scan and
-/// seek paths this way).
+/// seek paths this way) — and **peak live bytes** via [`peak_during`],
+/// the tripwire for "this breaker quietly went back to materializing its
+/// whole input" (experiment E22 pins partial aggregation this way).
 pub struct CountingAlloc;
 
-// SAFETY: defers to `System` for every operation; the counter is a
-// side-effect-free atomic increment.
+// SAFETY: defers to `System` for every operation; the counters are
+// side-effect-free atomic arithmetic.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        on_alloc(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        on_alloc(new_size);
+        on_dealloc(layout.size());
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        on_alloc(layout.size());
         System.alloc_zeroed(layout)
     }
 }
@@ -62,6 +86,11 @@ pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Bytes currently allocated and not yet freed (all threads).
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
 /// Runs `f` and returns its result together with the number of heap
 /// allocations it performed (on this and every other thread — runs where
 /// the workload spawns workers count the workers too).
@@ -69,4 +98,16 @@ pub fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let before = allocation_count();
     let out = f();
     (out, allocation_count() - before)
+}
+
+/// Runs `f` and returns its result together with the **peak growth of
+/// live heap bytes** above the starting level during the call — the
+/// "how much did this query materialize at its worst moment" number.
+/// Like the counters, it observes every thread.
+pub fn peak_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let baseline = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(baseline, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK_BYTES.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(baseline))
 }

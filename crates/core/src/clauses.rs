@@ -15,18 +15,18 @@
 //! Updating clauses and `FROM GRAPH` are implemented by `cypher-engine`;
 //! the reference evaluator covers the read core formalized by the paper.
 
-use crate::aggregate::{AggKind, Aggregator};
 use crate::error::{err, EvalError};
 use crate::expr::{eval_expr, truth_of, Bindings, NoVars};
 use crate::matching::{match_patterns, unbound_free_vars};
+use crate::project::{GroupedAggState, ProjectionPlan};
 use crate::table::{Record, Schema, Table};
 use crate::EvalContext;
 use cypher_ast::expr::Expr;
 use cypher_ast::pattern::PathPattern;
-use cypher_ast::query::{Clause, Return, ReturnItem, SortItem};
+use cypher_ast::query::{Clause, Return, SortItem};
 use cypher_graph::{Tri, Value};
-use std::collections::HashMap;
-use std::hash::Hasher;
+
+pub use crate::project::alpha;
 
 /// Applies one clause to a driving table.
 pub fn apply_clause(
@@ -195,315 +195,57 @@ pub fn apply_unwind(
 // Projection (WITH / RETURN) with grouping and aggregation
 // ---------------------------------------------------------------------------
 
-/// The implementation-dependent injective naming function `α` of Section
-/// 4.3: we use the unparsed expression text, which matches the column
-/// headers of the paper's examples (e.g. `r.name`).
-pub fn alpha(e: &Expr) -> String {
-    e.to_string()
-}
-
-struct ProjItem {
-    /// Output column name.
-    name: String,
-    /// The (possibly rewritten) expression; aggregate subtrees are replaced
-    /// by placeholder parameters.
-    expr: Expr,
-    /// True when the original item contained an aggregate.
-    aggregated: bool,
-}
-
-struct AggSpec {
-    kind: AggKind,
-    distinct: bool,
-    arg: Option<Expr>,
-    aux: Option<Expr>,
-    placeholder: String,
-}
-
-/// Replaces each aggregate call in `e` by a fresh placeholder parameter
-/// (the placeholder names contain a space, which the surface syntax cannot
-/// produce, so they can never collide with user parameters).
-fn extract_aggregates(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
-    match e {
-        Expr::CountStar => {
-            let placeholder = format!(" agg {}", specs.len());
-            specs.push(AggSpec {
-                kind: AggKind::CountStar,
-                distinct: false,
-                arg: None,
-                aux: None,
-                placeholder: placeholder.clone(),
-            });
-            Expr::Param(placeholder)
-        }
-        Expr::FnCall {
-            name,
-            args,
-            distinct,
-        } => {
-            if let Some(kind) = AggKind::from_name(name) {
-                let placeholder = format!(" agg {}", specs.len());
-                specs.push(AggSpec {
-                    kind,
-                    distinct: *distinct,
-                    arg: args.first().cloned(),
-                    aux: args.get(1).cloned(),
-                    placeholder: placeholder.clone(),
-                });
-                Expr::Param(placeholder)
-            } else {
-                Expr::FnCall {
-                    name: name.clone(),
-                    args: args.iter().map(|a| extract_aggregates(a, specs)).collect(),
-                    distinct: *distinct,
-                }
-            }
-        }
-        Expr::Arith(op, a, b) => Expr::Arith(
-            *op,
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Cmp(op, a, b) => Expr::Cmp(
-            *op,
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Neg(a) => Expr::Neg(Box::new(extract_aggregates(a, specs))),
-        Expr::Or(a, b) => Expr::Or(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::And(a, b) => Expr::And(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::List(items) => {
-            Expr::List(items.iter().map(|a| extract_aggregates(a, specs)).collect())
-        }
-        Expr::Map(kvs) => Expr::Map(
-            kvs.iter()
-                .map(|(k, v)| (k.clone(), extract_aggregates(v, specs)))
-                .collect(),
-        ),
-        Expr::Prop(e, k) => Expr::Prop(Box::new(extract_aggregates(e, specs)), k.clone()),
-        Expr::Index(a, b) => Expr::Index(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Slice(e, lo, hi) => Expr::Slice(
-            Box::new(extract_aggregates(e, specs)),
-            lo.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
-            hi.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
-        ),
-        Expr::In(a, b) => Expr::In(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::StartsWith(a, b) => Expr::StartsWith(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::EndsWith(a, b) => Expr::EndsWith(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Contains(a, b) => Expr::Contains(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Xor(a, b) => Expr::Xor(
-            Box::new(extract_aggregates(a, specs)),
-            Box::new(extract_aggregates(b, specs)),
-        ),
-        Expr::Not(a) => Expr::Not(Box::new(extract_aggregates(a, specs))),
-        Expr::IsNull(a) => Expr::IsNull(Box::new(extract_aggregates(a, specs))),
-        Expr::IsNotNull(a) => Expr::IsNotNull(Box::new(extract_aggregates(a, specs))),
-        Expr::Case {
-            input,
-            whens,
-            else_,
-        } => Expr::Case {
-            input: input
-                .as_ref()
-                .map(|x| Box::new(extract_aggregates(x, specs))),
-            whens: whens
-                .iter()
-                .map(|(w, t)| (extract_aggregates(w, specs), extract_aggregates(t, specs)))
-                .collect(),
-            else_: else_
-                .as_ref()
-                .map(|x| Box::new(extract_aggregates(x, specs))),
-        },
-        // Scoped forms (list/pattern comprehensions, quantifiers, pattern
-        // predicates) cannot legally contain outer-level aggregates; they
-        // are left atomic — any aggregate inside them is reported by the
-        // evaluator.
-        other => other.clone(),
-    }
-}
-
 /// Applies a `WITH`/`RETURN` projection body: star expansion, grouping and
 /// aggregation, `DISTINCT`, `ORDER BY`, `SKIP`, `LIMIT`.
+///
+/// The heavy lifting lives in [`crate::project`]: the body is compiled
+/// once into a [`ProjectionPlan`] and the rows folded through a
+/// [`GroupedAggState`] — the *same* state type the parallel engine folds
+/// per morsel, so the sequential reference semantics and the pushdown
+/// share one implementation.
 pub fn apply_projection(
     ctx: &EvalContext<'_>,
     ret: &Return,
     table: Table,
 ) -> Result<Table, EvalError> {
-    // 1. Expand `∗` into explicit items (Figure 6's rewrite).
-    let mut items: Vec<ReturnItem> = Vec::new();
-    if ret.star {
-        if table.schema().is_empty() && ret.items.is_empty() {
-            return err("RETURN * / WITH * require at least one field");
-        }
-        for n in table.schema().names() {
-            items.push(ReturnItem::aliased(Expr::var(n.clone()), n.clone()));
-        }
-    }
-    items.extend(ret.items.iter().cloned());
-
-    // 2. Output names: the alias if present, else α(expr); must be distinct.
-    let mut proj: Vec<ProjItem> = Vec::new();
-    let mut any_agg = false;
-    let mut all_specs: Vec<AggSpec> = Vec::new();
-    for item in &items {
-        let name = item.alias.clone().unwrap_or_else(|| alpha(&item.expr));
-        let aggregated = item.expr.contains_aggregate();
-        any_agg |= aggregated;
-        let expr = if aggregated {
-            extract_aggregates(&item.expr, &mut all_specs)
-        } else {
-            item.expr.clone()
-        };
-        if proj.iter().any(|p| p.name == name) {
-            return err(format!("duplicate column name in projection: {name}"));
-        }
-        proj.push(ProjItem {
-            name,
-            expr,
-            aggregated,
-        });
-    }
-    let out_schema = Schema::new(proj.iter().map(|p| p.name.clone()).collect());
-
+    let plan = ProjectionPlan::compile(ret, table.schema())?;
     let schema = table.schema().clone();
-    let mut out = Table::empty(out_schema.clone());
+    let mut out;
     // Pre-projection rows kept alongside the output so that ORDER BY can
     // reference variables that were not projected (`RETURN a.i ORDER BY
     // a.x` is legal Cypher). Grouped projections keep the group's
-    // representative row.
+    // representative row; DISTINCT drops the scope entirely.
     let mut sources: Vec<Record> = Vec::new();
 
-    if !any_agg {
+    if plan.is_aggregating() {
+        let mut state = GroupedAggState::new(true);
         for u in table.rows() {
-            let b = Bindings::new(&schema, u);
-            let mut row = Record::empty();
-            for p in &proj {
-                row.push(eval_expr(ctx, &b, &p.expr)?);
-            }
-            out.push(row);
+            state.feed(ctx, &plan, &schema, u)?;
+        }
+        let (t, srcs) = state.finalize(ctx, &plan, &schema)?;
+        out = t;
+        sources = srcs;
+        // DISTINCT over the grouped rows (after which only projected
+        // columns remain addressable, as in Cypher).
+        if ret.distinct {
+            out = out.dedup();
+            sources.clear();
+        }
+    } else if ret.distinct {
+        // A DISTINCT projection is grouping by every item with no
+        // aggregates: first occurrence kept, original row order preserved.
+        let mut state = GroupedAggState::new(false);
+        for u in table.rows() {
+            state.feed(ctx, &plan, &schema, u)?;
+        }
+        let (t, _) = state.finalize(ctx, &plan, &schema)?;
+        out = t;
+    } else {
+        out = Table::empty(plan.out_schema().clone());
+        for u in table.rows() {
+            out.push(plan.project_row(ctx, &schema, u)?);
             sources.push(u.clone());
         }
-    } else {
-        // 3. Group by the non-aggregated items ("the first expression, r,
-        //    is a non-aggregating expression and therefore acts as an
-        //    implicit grouping key" — §3).
-        let key_items: Vec<&ProjItem> = proj.iter().filter(|p| !p.aggregated).collect();
-        let mut groups: Vec<(Vec<Value>, Vec<Aggregator>, Record)> = Vec::new();
-        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-
-        for u in table.rows() {
-            let b = Bindings::new(&schema, u);
-            let mut key = Vec::with_capacity(key_items.len());
-            for p in &key_items {
-                key.push(eval_expr(ctx, &b, &p.expr)?);
-            }
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            for k in &key {
-                k.hash_equivalent(&mut hasher);
-            }
-            let h = hasher.finish();
-            let bucket = buckets.entry(h).or_default();
-            let gi = bucket
-                .iter()
-                .copied()
-                .find(|&gi| groups[gi].0.iter().zip(&key).all(|(a, b)| a.equivalent(b)))
-                .unwrap_or_else(|| {
-                    let aggs = all_specs
-                        .iter()
-                        .map(|s| Aggregator::new(s.kind, s.distinct))
-                        .collect();
-                    groups.push((key.clone(), aggs, u.clone()));
-                    bucket.push(groups.len() - 1);
-                    groups.len() - 1
-                });
-            // Feed every aggregator.
-            let (_, aggs, _) = &mut groups[gi];
-            for (agg, spec) in aggs.iter_mut().zip(&all_specs) {
-                let v = match &spec.arg {
-                    Some(argexpr) => eval_expr(ctx, &Bindings::new(&schema, u), argexpr)?,
-                    None => Value::Null,
-                };
-                agg.push(v);
-                if let Some(aux) = &spec.aux {
-                    let av = eval_expr(ctx, &Bindings::new(&schema, u), aux)?;
-                    agg.push_aux(av);
-                }
-            }
-        }
-
-        // An aggregation with no grouping keys over an empty table still
-        // produces one (empty) group — `RETURN count(*)` on nothing is 0.
-        if groups.is_empty() && key_items.is_empty() {
-            let aggs = all_specs
-                .iter()
-                .map(|s| Aggregator::new(s.kind, s.distinct))
-                .collect();
-            groups.push((Vec::new(), aggs, Record::empty()));
-        }
-
-        for (key, aggs, repr) in groups {
-            // Placeholder params carry this group's aggregate results.
-            let mut params = ctx.params.clone();
-            for (agg, spec) in aggs.into_iter().zip(&all_specs) {
-                params.insert(spec.placeholder.clone(), agg.finish()?);
-            }
-            let group_ctx = EvalContext {
-                graph: ctx.graph,
-                params: &params,
-                config: ctx.config,
-            };
-            let mut row = Record::empty();
-            let mut key_iter = key.into_iter();
-            for p in &proj {
-                if p.aggregated {
-                    // Non-key parts of an aggregated item are evaluated on
-                    // the group's representative row (the fabricated empty
-                    // group of an all-aggregate projection has none).
-                    let v = if repr.values().len() == schema.len() {
-                        eval_expr(&group_ctx, &Bindings::new(&schema, &repr), &p.expr)?
-                    } else {
-                        eval_expr(&group_ctx, &NoVars, &p.expr)?
-                    };
-                    row.push(v);
-                } else {
-                    row.push(key_iter.next().expect("key arity"));
-                }
-            }
-            out.push(row);
-            sources.push(if repr.values().len() == schema.len() {
-                repr
-            } else {
-                Record::empty()
-            });
-        }
-    }
-
-    // 4. DISTINCT (after which only projected columns remain addressable,
-    //    as in Cypher).
-    if ret.distinct {
-        out = out.dedup();
-        sources.clear();
     }
 
     // 5. ORDER BY: sort keys see the projected columns first, then (when
@@ -529,7 +271,10 @@ pub fn apply_projection(
     Ok(out)
 }
 
-fn eval_count(ctx: &EvalContext<'_>, e: Option<&Expr>, what: &str) -> Result<usize, EvalError> {
+/// Evaluates a `SKIP`/`LIMIT` count expression (row-independent; `None`
+/// means 0). Shared with the engine's top-k pushdown, which needs the
+/// bound before the rows flow.
+pub fn eval_count(ctx: &EvalContext<'_>, e: Option<&Expr>, what: &str) -> Result<usize, EvalError> {
     let Some(e) = e else { return Ok(0) };
     let v = eval_expr(ctx, &NoVars, e)?;
     match v.as_int() {
@@ -563,8 +308,11 @@ impl crate::expr::VarLookup for SortScope<'_> {
 }
 
 /// [`apply_order_by`] with an optional pre-projection scope: `sources[i]`
-/// is the source record of output row `i` over `src.0`.
-fn apply_order_by_scoped(
+/// is the source record of output row `i` over `src.0`. Public because
+/// the engine's aggregation pushdown sorts its merged group rows through
+/// exactly this path (sort keys may reference each group's representative
+/// source row).
+pub fn apply_order_by_scoped(
     ctx: &EvalContext<'_>,
     keys: &[SortItem],
     table: Table,
@@ -606,7 +354,7 @@ fn apply_order_by_scoped(
 mod tests {
     use super::*;
     use crate::{table_of, EvalContext, Params};
-    use cypher_ast::query::Return;
+    use cypher_ast::query::{Return, ReturnItem};
     use cypher_graph::PropertyGraph;
     use cypher_parser::parse_expression;
 

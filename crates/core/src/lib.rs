@@ -48,6 +48,7 @@ pub mod expr;
 pub mod functions;
 pub mod matching;
 pub mod morphism;
+pub mod project;
 pub mod query;
 pub mod table;
 

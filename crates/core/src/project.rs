@@ -1,0 +1,857 @@
+//! Reusable projection machinery: compiled `WITH`/`RETURN` bodies,
+//! grouped-aggregation partial states, and bounded top-k accumulators.
+//!
+//! [`crate::clauses::apply_projection`] (the sequential reference path)
+//! and the morsel-driven engine's partial-aggregation pushdown are **one
+//! implementation**: both compile the projection once into a
+//! [`ProjectionPlan`], fold rows into a [`GroupedAggState`] (or a
+//! [`TopKState`] for `ORDER BY … LIMIT`), and finalize. The states are
+//! self-contained and `Send`, so the engine can fold one per morsel inside
+//! its worker pool and merge them **in morsel order** — which, because
+//! every constituent ([`crate::aggregate::Aggregator`], distinct sets,
+//! group creation order, top-k tie-breaking) is defined to reproduce the
+//! row-order fold under in-order merging, keeps parallel output
+//! bit-identical to sequential output.
+
+use crate::aggregate::{AggKind, Aggregator};
+use crate::error::{err, EvalError};
+use crate::expr::{eval_expr, Bindings, NoVars, VarLookup};
+use crate::table::{Record, Schema, Table};
+use crate::EvalContext;
+use cypher_ast::expr::Expr;
+use cypher_ast::query::{Return, ReturnItem, SortItem};
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// The implementation-dependent injective naming function `α` of Section
+/// 4.3: we use the unparsed expression text, which matches the column
+/// headers of the paper's examples (e.g. `r.name`).
+pub fn alpha(e: &Expr) -> String {
+    e.to_string()
+}
+
+/// One compiled projection item.
+struct ProjItem {
+    /// Output column name.
+    name: String,
+    /// The (possibly rewritten) expression; aggregate subtrees are replaced
+    /// by placeholder parameters.
+    expr: Expr,
+    /// True when the original item contained an aggregate.
+    aggregated: bool,
+}
+
+/// One extracted aggregate call.
+struct AggSpec {
+    kind: AggKind,
+    distinct: bool,
+    arg: Option<Expr>,
+    aux: Option<Expr>,
+    placeholder: String,
+}
+
+/// Replaces each aggregate call in `e` by a fresh placeholder parameter
+/// (the placeholder names contain a space, which the surface syntax cannot
+/// produce, so they can never collide with user parameters).
+fn extract_aggregates(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr {
+    match e {
+        Expr::CountStar => {
+            let placeholder = format!(" agg {}", specs.len());
+            specs.push(AggSpec {
+                kind: AggKind::CountStar,
+                distinct: false,
+                arg: None,
+                aux: None,
+                placeholder: placeholder.clone(),
+            });
+            Expr::Param(placeholder)
+        }
+        Expr::FnCall {
+            name,
+            args,
+            distinct,
+        } => {
+            if let Some(kind) = AggKind::from_name(name) {
+                let placeholder = format!(" agg {}", specs.len());
+                specs.push(AggSpec {
+                    kind,
+                    distinct: *distinct,
+                    arg: args.first().cloned(),
+                    aux: args.get(1).cloned(),
+                    placeholder: placeholder.clone(),
+                });
+                Expr::Param(placeholder)
+            } else {
+                Expr::FnCall {
+                    name: name.clone(),
+                    args: args.iter().map(|a| extract_aggregates(a, specs)).collect(),
+                    distinct: *distinct,
+                }
+            }
+        }
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(extract_aggregates(a, specs))),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::List(items) => {
+            Expr::List(items.iter().map(|a| extract_aggregates(a, specs)).collect())
+        }
+        Expr::Map(kvs) => Expr::Map(
+            kvs.iter()
+                .map(|(k, v)| (k.clone(), extract_aggregates(v, specs)))
+                .collect(),
+        ),
+        Expr::Prop(e, k) => Expr::Prop(Box::new(extract_aggregates(e, specs)), k.clone()),
+        Expr::Index(a, b) => Expr::Index(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Slice(e, lo, hi) => Expr::Slice(
+            Box::new(extract_aggregates(e, specs)),
+            lo.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+            hi.as_ref().map(|x| Box::new(extract_aggregates(x, specs))),
+        ),
+        Expr::In(a, b) => Expr::In(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::StartsWith(a, b) => Expr::StartsWith(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::EndsWith(a, b) => Expr::EndsWith(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Contains(a, b) => Expr::Contains(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Xor(a, b) => Expr::Xor(
+            Box::new(extract_aggregates(a, specs)),
+            Box::new(extract_aggregates(b, specs)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(extract_aggregates(a, specs))),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(extract_aggregates(a, specs))),
+        Expr::IsNotNull(a) => Expr::IsNotNull(Box::new(extract_aggregates(a, specs))),
+        Expr::Case {
+            input,
+            whens,
+            else_,
+        } => Expr::Case {
+            input: input
+                .as_ref()
+                .map(|x| Box::new(extract_aggregates(x, specs))),
+            whens: whens
+                .iter()
+                .map(|(w, t)| (extract_aggregates(w, specs), extract_aggregates(t, specs)))
+                .collect(),
+            else_: else_
+                .as_ref()
+                .map(|x| Box::new(extract_aggregates(x, specs))),
+        },
+        // Scoped forms (list/pattern comprehensions, quantifiers, pattern
+        // predicates) cannot legally contain outer-level aggregates; they
+        // are left atomic — any aggregate inside them is reported by the
+        // evaluator.
+        other => other.clone(),
+    }
+}
+
+/// A `WITH`/`RETURN` body compiled against a concrete input schema: star
+/// expansion done, output names resolved and checked, aggregate subtrees
+/// extracted. Compiling is cheap and pure — both the sequential evaluator
+/// and every parallel worker share one instance.
+pub struct ProjectionPlan {
+    items: Vec<ProjItem>,
+    specs: Vec<AggSpec>,
+    out_schema: Arc<Schema>,
+    any_agg: bool,
+}
+
+impl ProjectionPlan {
+    /// Compiles a projection body against the input schema. Fails on the
+    /// same conditions the sequential path reported: `RETURN *` over no
+    /// fields, duplicate output column names.
+    pub fn compile(ret: &Return, input: &Schema) -> Result<ProjectionPlan, EvalError> {
+        // 1. Expand `∗` into explicit items (Figure 6's rewrite).
+        let mut items: Vec<ReturnItem> = Vec::new();
+        if ret.star {
+            if input.is_empty() && ret.items.is_empty() {
+                return err("RETURN * / WITH * require at least one field");
+            }
+            for n in input.names() {
+                items.push(ReturnItem::aliased(Expr::var(n.clone()), n.clone()));
+            }
+        }
+        items.extend(ret.items.iter().cloned());
+
+        // 2. Output names: the alias if present, else α(expr); must be
+        //    distinct.
+        let mut proj: Vec<ProjItem> = Vec::new();
+        let mut any_agg = false;
+        let mut specs: Vec<AggSpec> = Vec::new();
+        for item in &items {
+            let name = item.alias.clone().unwrap_or_else(|| alpha(&item.expr));
+            let aggregated = item.expr.contains_aggregate();
+            any_agg |= aggregated;
+            let expr = if aggregated {
+                extract_aggregates(&item.expr, &mut specs)
+            } else {
+                item.expr.clone()
+            };
+            if proj.iter().any(|p| p.name == name) {
+                return err(format!("duplicate column name in projection: {name}"));
+            }
+            proj.push(ProjItem {
+                name,
+                expr,
+                aggregated,
+            });
+        }
+        let out_schema = Schema::new(proj.iter().map(|p| p.name.clone()).collect());
+        Ok(ProjectionPlan {
+            items: proj,
+            specs,
+            out_schema,
+            any_agg,
+        })
+    }
+
+    /// True when any item contains an aggregate (the projection groups).
+    pub fn is_aggregating(&self) -> bool {
+        self.any_agg
+    }
+
+    /// The output schema (one column per item, in order).
+    pub fn out_schema(&self) -> &Arc<Schema> {
+        &self.out_schema
+    }
+
+    /// Output names of the non-aggregated items — the implicit grouping
+    /// keys (for `EXPLAIN`).
+    pub fn key_names(&self) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|p| !p.aggregated)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Rendered aggregate calls, e.g. `count(*)`, `sum(DISTINCT x)` (for
+    /// `EXPLAIN`).
+    pub fn agg_display(&self) -> Vec<String> {
+        self.specs
+            .iter()
+            .map(|s| {
+                let name = match s.kind {
+                    AggKind::CountStar => return "count(*)".to_string(),
+                    AggKind::Count => "count",
+                    AggKind::Sum => "sum",
+                    AggKind::Avg => "avg",
+                    AggKind::Min => "min",
+                    AggKind::Max => "max",
+                    AggKind::Collect => "collect",
+                    AggKind::StDev => "stdev",
+                    AggKind::StDevP => "stdevp",
+                    AggKind::PercentileCont => "percentileCont",
+                    AggKind::PercentileDisc => "percentileDisc",
+                };
+                let d = if s.distinct { "DISTINCT " } else { "" };
+                let a = s.arg.as_ref().map(alpha).unwrap_or_default();
+                format!("{name}({d}{a})")
+            })
+            .collect()
+    }
+
+    /// Evaluates the non-aggregated projection of one row (the map-only
+    /// path and the per-row half of top-k).
+    pub fn project_row(
+        &self,
+        ctx: &EvalContext<'_>,
+        schema: &Schema,
+        row: &Record,
+    ) -> Result<Record, EvalError> {
+        let b = Bindings::new(schema, row);
+        let mut out = Record::empty();
+        for p in &self.items {
+            out.push(eval_expr(ctx, &b, &p.expr)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped aggregation
+// ---------------------------------------------------------------------------
+
+struct Group {
+    key: Vec<Value>,
+    aggs: Vec<Aggregator>,
+    /// The group's first source row (`None` for key-only/distinct states
+    /// that will never need a pre-projection scope).
+    repr: Option<Record>,
+}
+
+use cypher_graph::Value;
+
+/// A partial grouped-aggregation state: feed rows, merge sibling states
+/// (in row order), finalize into the projected table.
+///
+/// With an aggregating [`ProjectionPlan`] this is hash-grouped
+/// aggregation; with a non-aggregating plan every item acts as a key and
+/// the state degenerates to ordered duplicate elimination — exactly the
+/// semantics of a `DISTINCT` projection (first occurrence kept, original
+/// row order preserved).
+pub struct GroupedAggState {
+    groups: Vec<Group>,
+    buckets: HashMap<u64, Vec<usize>>,
+    /// Keep per-group representative source rows (needed only when an
+    /// `ORDER BY` may reference the pre-projection scope).
+    keep_repr: bool,
+}
+
+impl GroupedAggState {
+    /// An empty state. `keep_repr` retains each group's first source row
+    /// so `ORDER BY` can reference non-projected variables; pass `false`
+    /// for `DISTINCT` projections (whose ORDER BY only sees projected
+    /// columns).
+    pub fn new(keep_repr: bool) -> GroupedAggState {
+        GroupedAggState {
+            groups: Vec::new(),
+            buckets: HashMap::new(),
+            keep_repr,
+        }
+    }
+
+    /// Number of groups so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn key_hash(key: &[Value]) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for k in key {
+            k.hash_equivalent(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    fn group_index(
+        &mut self,
+        key: Vec<Value>,
+        plan: &ProjectionPlan,
+        repr: Option<Record>,
+    ) -> usize {
+        let h = Self::key_hash(&key);
+        let bucket = self.buckets.entry(h).or_default();
+        if let Some(&gi) = bucket.iter().find(|&&gi| {
+            let g = &self.groups[gi];
+            g.key.len() == key.len() && g.key.iter().zip(&key).all(|(a, b)| a.equivalent(b))
+        }) {
+            return gi;
+        }
+        let aggs = plan
+            .specs
+            .iter()
+            .map(|s| Aggregator::new(s.kind, s.distinct))
+            .collect();
+        self.groups.push(Group { key, aggs, repr });
+        bucket.push(self.groups.len() - 1);
+        self.groups.len() - 1
+    }
+
+    /// Folds one source row in: evaluates the grouping keys, finds or
+    /// creates the group, and feeds every aggregator.
+    pub fn feed(
+        &mut self,
+        ctx: &EvalContext<'_>,
+        plan: &ProjectionPlan,
+        schema: &Schema,
+        row: &Record,
+    ) -> Result<(), EvalError> {
+        let b = Bindings::new(schema, row);
+        let mut key = Vec::with_capacity(plan.items.len());
+        for p in plan.items.iter().filter(|p| !p.aggregated) {
+            key.push(eval_expr(ctx, &b, &p.expr)?);
+        }
+        let repr = if self.keep_repr {
+            Some(row.clone())
+        } else {
+            None
+        };
+        let gi = self.group_index(key, plan, repr);
+        let group = &mut self.groups[gi];
+        for (agg, spec) in group.aggs.iter_mut().zip(&plan.specs) {
+            let v = match &spec.arg {
+                Some(argexpr) => eval_expr(ctx, &Bindings::new(schema, row), argexpr)?,
+                None => Value::Null,
+            };
+            agg.push(v);
+            if let Some(aux) = &spec.aux {
+                let av = eval_expr(ctx, &Bindings::new(schema, row), aux)?;
+                agg.push_aux(av);
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds a sibling state covering **later** rows into this one. Group
+    /// creation order, representative rows and every aggregator reproduce
+    /// the row-order fold, so merging states in morsel order yields the
+    /// bit-identical sequential result.
+    pub fn merge(&mut self, other: GroupedAggState, plan: &ProjectionPlan) {
+        for g in other.groups {
+            let gi = self.group_index(g.key, plan, g.repr);
+            let group = &mut self.groups[gi];
+            if group.aggs.is_empty() {
+                group.aggs = g.aggs;
+            } else {
+                for (mine, theirs) in group.aggs.iter_mut().zip(g.aggs) {
+                    mine.merge(theirs);
+                }
+            }
+        }
+    }
+
+    /// Finishes every group into an output row. Returns the projected
+    /// table plus, per output row, the group's source row (for the
+    /// `ORDER BY` pre-projection scope; empty when `keep_repr` was off).
+    ///
+    /// An aggregation with no grouping keys over no rows still produces
+    /// one (empty) group — `RETURN count(*)` on nothing is 0.
+    pub fn finalize(
+        mut self,
+        ctx: &EvalContext<'_>,
+        plan: &ProjectionPlan,
+        src_schema: &Schema,
+    ) -> Result<(Table, Vec<Record>), EvalError> {
+        let has_keys = plan.items.iter().any(|p| !p.aggregated);
+        if self.groups.is_empty() && !has_keys && plan.any_agg {
+            let aggs = plan
+                .specs
+                .iter()
+                .map(|s| Aggregator::new(s.kind, s.distinct))
+                .collect();
+            self.groups.push(Group {
+                key: Vec::new(),
+                aggs,
+                repr: None,
+            });
+        }
+
+        let mut out = Table::empty(plan.out_schema.clone());
+        let mut sources: Vec<Record> = Vec::new();
+        for group in self.groups {
+            if !plan.any_agg {
+                // Key-only (DISTINCT) state: the key *is* the output row.
+                out.push(Record::new(group.key));
+                continue;
+            }
+            // Placeholder params carry this group's aggregate results.
+            let mut params = ctx.params.clone();
+            for (agg, spec) in group.aggs.into_iter().zip(&plan.specs) {
+                params.insert(spec.placeholder.clone(), agg.finish()?);
+            }
+            let group_ctx = EvalContext {
+                graph: ctx.graph,
+                params: &params,
+                config: ctx.config,
+            };
+            let mut row = Record::empty();
+            let mut key_iter = group.key.into_iter();
+            let repr_ok = group
+                .repr
+                .as_ref()
+                .is_some_and(|r| r.values().len() == src_schema.len());
+            for p in &plan.items {
+                if p.aggregated {
+                    // Non-key parts of an aggregated item are evaluated on
+                    // the group's representative row (the fabricated empty
+                    // group of an all-aggregate projection has none).
+                    let v = if repr_ok {
+                        eval_expr(
+                            &group_ctx,
+                            &Bindings::new(src_schema, group.repr.as_ref().unwrap()),
+                            &p.expr,
+                        )?
+                    } else {
+                        eval_expr(&group_ctx, &NoVars, &p.expr)?
+                    };
+                    row.push(v);
+                } else {
+                    row.push(key_iter.next().expect("key arity"));
+                }
+            }
+            out.push(row);
+            if self.keep_repr {
+                sources.push(if repr_ok {
+                    group.repr.unwrap()
+                } else {
+                    Record::empty()
+                });
+            }
+        }
+        Ok((out, sources))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded top-k
+// ---------------------------------------------------------------------------
+
+/// One retained row: its sort keys, a per-state sequence number (for
+/// stability), and the projected output row.
+struct TopKEntry {
+    keys: Vec<Value>,
+    seq: u64,
+    row: Record,
+}
+
+/// A bounded accumulator for `ORDER BY … LIMIT` (optionally with `SKIP`):
+/// keeps the first `k = skip + limit` rows of the stable sort order, in a
+/// max-heap, so memory is O(k) instead of O(rows).
+///
+/// Stability matches [`Table::sort_by`] (a stable sort): among rows whose
+/// keys compare equal, earlier rows win. Within one state the sequence
+/// number arbitrates; across states, [`TopKState::merge_sorted`] orders
+/// states before sequence numbers — so feeding morsels into separate
+/// states and merging them in morsel order reproduces the sequential
+/// stable sort's prefix exactly.
+pub struct TopKState {
+    k: usize,
+    /// Ascending flag per sort key.
+    ascending: Vec<bool>,
+    /// Max-heap by (keys, seq): `heap[0]` is the worst retained entry.
+    heap: Vec<TopKEntry>,
+    next_seq: u64,
+}
+
+/// Two-layer assignment for sort keys: projected columns shadow the
+/// pre-projection row (the `RETURN a.i ORDER BY a.x` scoping rule).
+struct TopKScope<'a> {
+    projected: Bindings<'a>,
+    source: Option<Bindings<'a>>,
+}
+
+impl VarLookup for TopKScope<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.projected
+            .lookup(name)
+            .or_else(|| self.source.as_ref().and_then(|s| s.lookup(name)))
+    }
+}
+
+impl TopKState {
+    /// An empty accumulator retaining the first `k` rows of the order
+    /// defined by `keys`.
+    pub fn new(k: usize, keys: &[SortItem]) -> TopKState {
+        TopKState {
+            k,
+            ascending: keys.iter().map(|s| s.ascending).collect(),
+            heap: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn cmp_keys(&self, a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+        for (i, asc) in self.ascending.iter().enumerate() {
+            let ord = a[i].cmp_order(&b[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    fn cmp_entries(&self, a: &TopKEntry, b: &TopKEntry) -> std::cmp::Ordering {
+        self.cmp_keys(&a.keys, &b.keys).then(a.seq.cmp(&b.seq))
+    }
+
+    /// Evaluates the sort keys of one projected row (with its optional
+    /// source row for the pre-projection scope) and offers it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn feed(
+        &mut self,
+        ctx: &EvalContext<'_>,
+        keys: &[SortItem],
+        out_schema: &Schema,
+        out_row: Record,
+        src_schema: &Schema,
+        src_row: Option<&Record>,
+    ) -> Result<(), EvalError> {
+        let scope = TopKScope {
+            projected: Bindings::new(out_schema, &out_row),
+            source: src_row.map(|r| Bindings::new(src_schema, r)),
+        };
+        let mut ks = Vec::with_capacity(keys.len());
+        for k in keys {
+            ks.push(eval_expr(ctx, &scope, &k.expr)?);
+        }
+        self.offer(ks, out_row);
+        Ok(())
+    }
+
+    /// Offers a row with pre-computed sort keys.
+    pub fn offer(&mut self, keys: Vec<Value>, row: Record) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.k == 0 {
+            return;
+        }
+        let entry = TopKEntry { keys, seq, row };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1);
+        } else if self.cmp_entries(&entry, &self.heap[0]) == std::cmp::Ordering::Less {
+            self.heap[0] = entry;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.cmp_entries(&self.heap[i], &self.heap[parent]) == std::cmp::Ordering::Greater {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len()
+                && self.cmp_entries(&self.heap[l], &self.heap[largest])
+                    == std::cmp::Ordering::Greater
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && self.cmp_entries(&self.heap[r], &self.heap[largest])
+                    == std::cmp::Ordering::Greater
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drains this state into `(keys, row)` pairs sorted by (keys, seq).
+    fn into_sorted(self) -> Vec<(Vec<Value>, u64, Record)> {
+        let ascending = self.ascending.clone();
+        let mut entries: Vec<TopKEntry> = self.heap;
+        entries.sort_by(|a, b| {
+            for (i, asc) in ascending.iter().enumerate() {
+                let ord = a.keys[i].cmp_order(&b.keys[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.seq.cmp(&b.seq)
+        });
+        entries
+            .into_iter()
+            .map(|e| (e.keys, e.seq, e.row))
+            .collect()
+    }
+
+    /// Merges partial states **in row (morsel) order** and produces the
+    /// final `skip..skip+limit` slice as rows. Equivalent to stably
+    /// sorting the concatenated inputs and slicing.
+    pub fn merge_sorted(
+        states: Vec<TopKState>,
+        keys: &[SortItem],
+        skip: usize,
+        limit: usize,
+        out_schema: Arc<Schema>,
+    ) -> Table {
+        // Concatenate per-state sorted survivors in state order, then
+        // stable-sort by keys alone: ties keep state order then seq order,
+        // which is exactly the global stable order.
+        let ascending: Vec<bool> = keys.iter().map(|s| s.ascending).collect();
+        let mut all: Vec<(Vec<Value>, Record)> = Vec::new();
+        for st in states {
+            for (ks, _, row) in st.into_sorted() {
+                all.push((ks, row));
+            }
+        }
+        all.sort_by(|(ka, _), (kb, _)| {
+            for (i, asc) in ascending.iter().enumerate() {
+                let ord = ka[i].cmp_order(&kb[i]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut out = Table::empty(out_schema);
+        for (_, row) in all.into_iter().skip(skip).take(limit) {
+            out.push(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table_of, Params};
+    use cypher_ast::query::Return;
+    use cypher_graph::PropertyGraph;
+    use cypher_parser::{parse_expression, parse_query};
+
+    fn ret_of(src: &str) -> Return {
+        let q = parse_query(&format!("MATCH (n) {src}")).unwrap();
+        match q {
+            cypher_ast::query::Query::Single(sq) => sq.ret.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn compile_reports_duplicates_and_star() {
+        let schema = Schema::new(vec!["n".into()]);
+        assert!(ProjectionPlan::compile(&ret_of("RETURN n.v AS a, n.i AS a"), &schema).is_err());
+        let empty = Schema::empty();
+        let star = Return {
+            star: true,
+            ..Return::default()
+        };
+        assert!(ProjectionPlan::compile(&star, &empty).is_err());
+    }
+
+    #[test]
+    fn grouped_state_split_feed_matches_single_feed() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let ret = ret_of("RETURN n AS g, count(*) AS c, sum(v) AS s");
+        let table = table_of(
+            &["n", "v"],
+            vec![
+                vec![Value::str("a"), Value::int(1)],
+                vec![Value::str("b"), Value::float(0.25)],
+                vec![Value::str("a"), Value::int(2)],
+                vec![Value::str("b"), Value::float(0.5)],
+                vec![Value::str("c"), Value::Null],
+            ],
+        );
+        let schema = table.schema().clone();
+        let plan = ProjectionPlan::compile(&ret, &schema).unwrap();
+
+        let mut whole = GroupedAggState::new(true);
+        for r in table.rows() {
+            whole.feed(&ctx, &plan, &schema, r).unwrap();
+        }
+        let (base, _) = whole.finalize(&ctx, &plan, &schema).unwrap();
+
+        for chunk in [1usize, 2, 3] {
+            let mut acc = GroupedAggState::new(true);
+            for part in table.rows().chunks(chunk) {
+                let mut s = GroupedAggState::new(true);
+                for r in part {
+                    s.feed(&ctx, &plan, &schema, r).unwrap();
+                }
+                acc.merge(s, &plan);
+            }
+            let (merged, _) = acc.finalize(&ctx, &plan, &schema).unwrap();
+            assert!(
+                merged.ordered_eq(&base),
+                "chunk={chunk}\nbase:\n{base}\nmerged:\n{merged}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_keyless_aggregation_yields_one_group() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let ret = ret_of("RETURN count(*) AS c");
+        let schema = Schema::new(vec!["n".into()]);
+        let plan = ProjectionPlan::compile(&ret, &schema).unwrap();
+        let st = GroupedAggState::new(true);
+        let (out, _) = st.finalize(&ctx, &plan, &schema).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "c"), Some(&Value::int(0)));
+    }
+
+    #[test]
+    fn topk_matches_stable_sort_prefix() {
+        let g = PropertyGraph::new();
+        let params = Params::new();
+        let ctx = EvalContext::new(&g, &params);
+        let keys = vec![SortItem {
+            expr: parse_expression("k").unwrap(),
+            ascending: true,
+        }];
+        let schema = Schema::new(vec!["k".into(), "tag".into()]);
+        // Ties on k; stability must keep the earlier tag.
+        let rows: Vec<Record> = (0..40)
+            .map(|i| Record::new(vec![Value::int((i % 7) as i64), Value::int(i)]))
+            .collect();
+        for (skip, limit) in [(0usize, 5usize), (3, 4), (0, 40), (10, 100)] {
+            let k = skip + limit;
+            // Single state.
+            let mut st = TopKState::new(k, &keys);
+            for r in &rows {
+                st.feed(&ctx, &keys, &schema, r.clone(), &schema, None)
+                    .unwrap();
+            }
+            let got = TopKState::merge_sorted(vec![st], &keys, skip, limit, schema.clone());
+            // Oracle: stable sort + slice.
+            let mut t = Table::new(schema.clone(), rows.clone());
+            t.sort_by(|a, b| a.get(0).cmp_order(b.get(0)));
+            let want = t.slice(skip, Some(limit));
+            assert!(
+                got.ordered_eq(&want),
+                "skip={skip} limit={limit}\nwant:\n{want}\ngot:\n{got}"
+            );
+            // Partitioned into several states, merged in order.
+            for chunk in [1usize, 7, 16] {
+                let mut states = Vec::new();
+                for part in rows.chunks(chunk) {
+                    let mut s = TopKState::new(k, &keys);
+                    for r in part {
+                        s.feed(&ctx, &keys, &schema, r.clone(), &schema, None)
+                            .unwrap();
+                    }
+                    states.push(s);
+                }
+                let merged = TopKState::merge_sorted(states, &keys, skip, limit, schema.clone());
+                assert!(
+                    merged.ordered_eq(&want),
+                    "chunk={chunk} skip={skip} limit={limit}\nwant:\n{want}\ngot:\n{merged}"
+                );
+            }
+        }
+    }
+}

@@ -17,10 +17,40 @@ use std::sync::Arc;
 /// The ordered field names of a table. Field order is a presentation
 /// artifact ("the order in which the fields appear is only for notation
 /// purposes"); operations that combine tables match fields by name.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Name→position resolution is the innermost loop of expression
+/// evaluation (every variable reference of every row resolves through
+/// [`Schema::index_of`]), so wide schemas build a hash index lazily, once
+/// per schema — schemas are immutable and `Arc`-shared, so the index is
+/// built at plan/build time in practice, never per row.
+#[derive(Debug, Default)]
 pub struct Schema {
     names: Vec<String>,
+    /// Lazily-built name→position map; only consulted above
+    /// [`INDEX_THRESHOLD`] fields, below which the linear probe wins.
+    index: std::sync::OnceLock<std::collections::HashMap<String, usize>>,
 }
+
+/// Schemas narrower than this resolve names by linear probe (cheaper than
+/// hashing for a handful of fields).
+const INDEX_THRESHOLD: usize = 9;
+
+impl Clone for Schema {
+    fn clone(&self) -> Self {
+        Schema {
+            names: self.names.clone(),
+            index: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Schema {}
 
 impl Schema {
     /// An empty schema (the domain of the empty record `()`).
@@ -40,7 +70,10 @@ impl Schema {
                 "duplicate field name in schema: {n}"
             );
         }
-        Arc::new(Schema { names })
+        Arc::new(Schema {
+            names,
+            index: std::sync::OnceLock::new(),
+        })
     }
 
     /// The field names in presentation order.
@@ -58,8 +91,22 @@ impl Schema {
         self.names.is_empty()
     }
 
-    /// The positional index of a field.
+    /// The positional index of a field. O(1) expected for wide schemas
+    /// (hash index, built once per schema), linear probe for narrow ones.
     pub fn index_of(&self, name: &str) -> Option<usize> {
+        if self.names.len() >= INDEX_THRESHOLD {
+            return self
+                .index
+                .get_or_init(|| {
+                    self.names
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| (n.clone(), i))
+                        .collect()
+                })
+                .get(name)
+                .copied();
+        }
         self.names.iter().position(|n| n == name)
     }
 
@@ -77,7 +124,10 @@ impl Schema {
         let mut names = self.names.clone();
         assert!(!names.contains(&name), "duplicate field name: {name}");
         names.push(name);
-        Arc::new(Schema { names })
+        Arc::new(Schema {
+            names,
+            index: std::sync::OnceLock::new(),
+        })
     }
 
     /// True iff both schemas have the same name *set* (uniformity up to

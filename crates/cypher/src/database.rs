@@ -24,11 +24,102 @@
 //!    not-yet-synced tail is truncated on recovery, never mis-read).
 
 use crate::{run_reference_with, Error, Table};
+use cypher_ast::query::Query;
 use cypher_core::Params;
-use cypher_engine::EngineConfig;
+use cypher_engine::{stats_fingerprint, EngineConfig, PlanMemo};
 use cypher_graph::{PropertyGraph, SharedChangeBuffer};
 use cypher_storage::{RecoveryReport, Store};
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+
+/// Counters of the `Database` parse+plan cache. All zeros when the cache
+/// is disabled (`EngineConfig::plan_cache_size == 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Queries answered entirely from cache (no parse, no planning).
+    pub hits: u64,
+    /// Queries that were parsed (and planned) fresh.
+    pub misses: u64,
+    /// Cache entries whose plans were discarded because the index
+    /// statistics drifted far enough to re-plan (the parse is kept).
+    pub invalidations: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// One cached query: the parsed AST, the memoized plans, and the
+/// fingerprints they are valid under.
+struct CacheEntry {
+    query: Arc<Query>,
+    memo: Arc<PlanMemo>,
+    stats_fp: u64,
+    cfg_fp: u64,
+    last_used: u64,
+}
+
+/// An LRU parse+plan cache keyed by query text.
+#[derive(Default)]
+struct PlanCache {
+    entries: HashMap<String, CacheEntry>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Looks up (or creates) the entry for `text`, validating fingerprints.
+    fn resolve(
+        &mut self,
+        text: &str,
+        capacity: usize,
+        cfg_fp: u64,
+        stats_fp: u64,
+    ) -> Result<(Arc<Query>, Arc<PlanMemo>), Error> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(text) {
+            if e.cfg_fp == cfg_fp {
+                e.last_used = self.tick;
+                if e.stats_fp != stats_fp {
+                    // Statistics moved: keep the parse, drop the plans.
+                    e.memo = Arc::new(PlanMemo::new());
+                    e.stats_fp = stats_fp;
+                    self.stats.invalidations += 1;
+                } else {
+                    self.stats.hits += 1;
+                }
+                return Ok((Arc::clone(&e.query), Arc::clone(&e.memo)));
+            }
+            // Config changed under the same text: replace below.
+            self.entries.remove(text);
+        }
+        self.stats.misses += 1;
+        let query = Arc::new(crate::parse_query(text)?);
+        let memo = Arc::new(PlanMemo::new());
+        if self.entries.len() >= capacity {
+            // Evict the least-recently-used entry (capacity ≥ 1 here).
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            text.to_string(),
+            CacheEntry {
+                query: Arc::clone(&query),
+                memo: Arc::clone(&memo),
+                stats_fp,
+                cfg_fp,
+                last_used: self.tick,
+            },
+        );
+        Ok((query, memo))
+    }
+}
 
 /// A property graph with an optional durable store behind it.
 ///
@@ -53,6 +144,11 @@ pub struct Database {
     buffer: SharedChangeBuffer,
     store: Option<Store>,
     recovery: RecoveryReport,
+    cache: PlanCache,
+    /// `(graph version, statistics fingerprint)` memo: the fingerprint is
+    /// only recomputed after a mutation actually happened, so cache hits
+    /// on read-only workloads cost one counter comparison.
+    stats_fp: Option<(u64, u64)>,
 }
 
 impl Database {
@@ -82,6 +178,8 @@ impl Database {
             buffer: SharedChangeBuffer::new(),
             store,
             recovery,
+            cache: PlanCache::default(),
+            stats_fp: None,
         };
         if db.store.is_some() {
             db.graph.set_change_sink(Box::new(db.buffer.clone()));
@@ -100,14 +198,44 @@ impl Database {
     /// Executes one query (reads and updates). A mutating query's change
     /// records are committed to the WAL as one atomic batch after the
     /// engine finishes; the snapshot-compaction trigger runs afterwards.
+    ///
+    /// Repeated query texts skip parsing and `MATCH` planning entirely via
+    /// the LRU plan cache (capacity [`EngineConfig::plan_cache_size`];
+    /// `0` disables). Cached plans are dropped — the parse is kept — when
+    /// the index statistics drift far enough to change plan choice
+    /// (log₂-bucketed fingerprint; see `cypher_engine::stats_fingerprint`).
+    /// Parameters are *not* part of the cache key: plans embed parameter
+    /// *expressions*, evaluated freshly on every execution.
     pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
         let result = (|| {
-            let q = crate::parse_query(query)?;
-            Ok(cypher_engine::execute(
+            let capacity = self.cfg.plan_cache_size;
+            if capacity == 0 {
+                let q = crate::parse_query(query)?;
+                return Ok(cypher_engine::execute(
+                    &mut self.graph,
+                    &q,
+                    params,
+                    &self.cfg,
+                )?);
+            }
+            let version = self.graph.version();
+            let stats_fp = match self.stats_fp {
+                Some((v, fp)) if v == version => fp,
+                _ => {
+                    let fp = stats_fingerprint(&self.graph);
+                    self.stats_fp = Some((version, fp));
+                    fp
+                }
+            };
+            let (q, memo) =
+                self.cache
+                    .resolve(query, capacity, self.cfg.plan_fingerprint(), stats_fp)?;
+            Ok(cypher_engine::execute_cached(
                 &mut self.graph,
                 &q,
                 params,
                 &self.cfg,
+                Some(&memo),
             )?)
         })();
         // Commit even when the query errored: the in-memory graph keeps
@@ -182,6 +310,25 @@ impl Database {
     /// The engine configuration this database executes with.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Hit/miss/invalidation/eviction counters of the parse+plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats
+    }
+
+    /// Number of query texts currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.cache.entries.len()
+    }
+
+    /// Renders the physical plans (and projection pushdowns) this
+    /// database's configuration produces for `query` against the current
+    /// graph and statistics — the `EXPLAIN` witness the plan-cache tests
+    /// compare before and after invalidation.
+    pub fn explain(&self, query: &str) -> Result<String, Error> {
+        let q = crate::parse_query(query)?;
+        Ok(cypher_engine::explain(&self.graph, &q, &self.cfg))
     }
 }
 

@@ -40,7 +40,7 @@ pub use cypher_core::{
     eval_query, table_of, EvalContext, EvalError, MatchConfig, Morphism, Params, Record, Schema,
     Table,
 };
-pub use cypher_engine::{EngineConfig, MultiResult, PlannerMode};
+pub use cypher_engine::{EngineConfig, MultiResult, PartialAggMode, PlanMemo, PlannerMode};
 pub use cypher_graph::{
     Catalog, Change, Direction, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer, Symbol,
     Temporal, Tri, Value,
@@ -51,7 +51,7 @@ pub use cypher_storage::{RecoveryReport, StorageError, Store};
 pub use cypher_workload as workload;
 
 mod database;
-pub use database::Database;
+pub use database::{Database, PlanCacheStats};
 
 /// Anything that can go wrong between query text and result table.
 #[derive(Debug, Clone)]

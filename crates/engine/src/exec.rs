@@ -3,23 +3,28 @@
 //! Reading clauses (`MATCH`, `OPTIONAL MATCH`) are compiled by the planner
 //! and run through the batch (morsel-driven) pipeline of [`crate::ops`],
 //! parallelized across a worker pool when [`EngineConfig::num_threads`]
-//! allows; `WITH`, `UNWIND` and the final `RETURN` reuse the reference
-//! semantics of [`cypher_core`] directly (they are pipeline *breakers*:
-//! aggregation, `ORDER BY` and `DISTINCT` need the whole input, so the
-//! per-morsel partial results are merged — in morsel order — into one
-//! table exactly at these boundaries). Updating clauses are dispatched to
+//! allows. Mid-query `WITH` and `UNWIND` reuse the reference semantics of
+//! [`cypher_core`] directly (they are pipeline *breakers*: the per-morsel
+//! partial results are merged — in morsel order — into one table at these
+//! boundaries). The **final** `MATCH … RETURN` of an aggregating,
+//! `DISTINCT` or `ORDER BY … LIMIT` query is instead *fused* through
+//! [`crate::pushdown`]: workers fold partial aggregate / top-k states and
+//! no merged table ever materializes. Updating clauses are dispatched to
 //! [`crate::update`].
 
+use crate::cache::{plan_match_memo, MemoSite, PlanMemo};
 use crate::ops::{run_plan, ExecOptions, DEFAULT_MORSEL_SIZE};
 use crate::plan::PlanStep;
 use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
+use crate::pushdown::{ret_pushdown, try_fused_match_projection, FusedOutcome, PushdownKind};
 use crate::update;
 use cypher_ast::expr::Expr;
 use cypher_ast::pattern::PathPattern;
-use cypher_ast::query::{Clause, Query, SingleQuery};
+use cypher_ast::query::{Clause, Query, Return, SingleQuery};
 use cypher_core::clauses::{apply_projection, apply_unwind, apply_where};
 use cypher_core::error::{err, EvalError};
 use cypher_core::morphism::Morphism;
+use cypher_core::project::ProjectionPlan;
 use cypher_core::table::{Record, Schema, Table};
 use cypher_core::{EvalContext, MatchConfig, Params};
 use cypher_graph::{PropertyGraph, Value};
@@ -64,17 +69,67 @@ pub struct EngineConfig {
     /// bytes, the `Database` facade checkpoints (snapshot + WAL truncate).
     /// Defaults to 4 MiB; override with `CYPHER_WAL_COMPACT_BYTES`.
     pub wal_compact_bytes: u64,
+    /// Whether the final aggregating/`DISTINCT`/`ORDER BY … LIMIT`
+    /// projection is pushed down into the morsel pipeline (partial
+    /// aggregation / top-k). Defaults to [`PartialAggMode::Auto`];
+    /// override with `CYPHER_PARTIAL_AGG` (`off` / `auto` / `force`).
+    /// Never changes results — only where the folding happens.
+    pub partial_agg: PartialAggMode,
+    /// Capacity of the `cypher::Database` parse+plan LRU cache (entries);
+    /// `0` disables caching. Defaults to 128; override with
+    /// `CYPHER_PLAN_CACHE_SIZE`. The stateless `run`/`run_read` helpers
+    /// ignore this knob — only the `Database` facade holds a cache.
+    pub plan_cache_size: usize,
 }
 
 /// Default WAL size (bytes) beyond which a snapshot is taken.
 pub const DEFAULT_WAL_COMPACT_BYTES: u64 = 4 * 1024 * 1024;
 
+/// Default capacity of the `Database` parse+plan cache.
+pub const DEFAULT_PLAN_CACHE_SIZE: usize = 128;
+
+/// When the executor pushes the final projection into the morsel workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartialAggMode {
+    /// Never push down: always materialize the match output and project
+    /// it sequentially (the pre-pushdown behaviour; differential
+    /// baseline).
+    Off,
+    /// Push down whenever the final clause qualifies; dispatch to the
+    /// worker pool under the same work-size gate as the scan pipeline.
+    #[default]
+    Auto,
+    /// Like `Auto`, but parallel dispatch engages regardless of the
+    /// work-size gate — every qualifying query exercises the partial
+    /// merge path even on tiny inputs (CI's worst-case-interleaving
+    /// matrix cell).
+    Force,
+}
+
+impl PartialAggMode {
+    fn from_env(s: &str) -> PartialAggMode {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "no" => PartialAggMode::Off,
+            "force" => PartialAggMode::Force,
+            _ => PartialAggMode::Auto,
+        }
+    }
+}
+
 /// Reads the execution defaults from the environment, once. The CI matrix
 /// uses these hooks to run the whole suite under degenerate morsels and a
 /// multi-threaded pool without touching any test.
-fn env_exec_defaults() -> &'static (usize, usize, Option<std::path::PathBuf>, u64) {
-    static CACHE: std::sync::OnceLock<(usize, usize, Option<std::path::PathBuf>, u64)> =
-        std::sync::OnceLock::new();
+struct EnvDefaults {
+    morsel_size: usize,
+    num_threads: usize,
+    persistence: Option<std::path::PathBuf>,
+    wal_compact_bytes: u64,
+    partial_agg: PartialAggMode,
+    plan_cache_size: usize,
+}
+
+fn env_exec_defaults() -> &'static EnvDefaults {
+    static CACHE: std::sync::OnceLock<EnvDefaults> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| {
         let read = |name: &str, fallback: usize| {
             std::env::var(name)
@@ -91,27 +146,40 @@ fn env_exec_defaults() -> &'static (usize, usize, Option<std::path::PathBuf>, u6
             .and_then(|s| s.parse::<u64>().ok())
             .filter(|&v| v >= 1)
             .unwrap_or(DEFAULT_WAL_COMPACT_BYTES);
-        (
-            read("CYPHER_MORSEL_SIZE", DEFAULT_MORSEL_SIZE),
-            read("CYPHER_NUM_THREADS", 1),
-            data_dir,
-            compact,
-        )
+        let partial_agg = std::env::var("CYPHER_PARTIAL_AGG")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(|s| PartialAggMode::from_env(&s))
+            .unwrap_or_default();
+        let plan_cache_size = std::env::var("CYPHER_PLAN_CACHE_SIZE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PLAN_CACHE_SIZE);
+        EnvDefaults {
+            morsel_size: read("CYPHER_MORSEL_SIZE", DEFAULT_MORSEL_SIZE),
+            num_threads: read("CYPHER_NUM_THREADS", 1),
+            persistence: data_dir,
+            wal_compact_bytes: compact,
+            partial_agg,
+            plan_cache_size,
+        }
     })
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        let (morsel_size, num_threads, persistence, wal_compact_bytes) = env_exec_defaults();
+        let env = env_exec_defaults();
         EngineConfig {
             match_config: MatchConfig::default(),
             planner_mode: PlannerMode::default(),
             use_label_index: true,
             use_property_index: true,
-            morsel_size: *morsel_size,
-            num_threads: *num_threads,
-            persistence: persistence.clone(),
-            wal_compact_bytes: *wal_compact_bytes,
+            morsel_size: env.morsel_size,
+            num_threads: env.num_threads,
+            persistence: env.persistence.clone(),
+            wal_compact_bytes: env.wal_compact_bytes,
+            partial_agg: env.partial_agg,
+            plan_cache_size: env.plan_cache_size,
         }
     }
 }
@@ -160,6 +228,22 @@ impl EngineConfig {
             ..self
         }
     }
+
+    /// This configuration with the given partial-aggregation mode.
+    pub fn with_partial_agg(self, partial_agg: PartialAggMode) -> Self {
+        EngineConfig {
+            partial_agg,
+            ..self
+        }
+    }
+
+    /// This configuration with the given plan-cache capacity (0 disables).
+    pub fn with_plan_cache_size(self, plan_cache_size: usize) -> Self {
+        EngineConfig {
+            plan_cache_size,
+            ..self
+        }
+    }
 }
 
 /// Executes a read-only query. Updating clauses are rejected; use
@@ -170,11 +254,39 @@ pub fn execute_read(
     params: &Params,
     cfg: &EngineConfig,
 ) -> Result<Table, EvalError> {
+    execute_read_cached(graph, q, params, cfg, None)
+}
+
+/// [`execute_read`] with an optional [`PlanMemo`]: `MATCH` clauses reuse
+/// plans the memo already holds and record the plans they compile.
+pub fn execute_read_cached(
+    graph: &PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: &EngineConfig,
+    memo: Option<&PlanMemo>,
+) -> Result<Table, EvalError> {
+    let mut branch = 0usize;
+    exec_query_read(graph, q, params, cfg, memo, &mut branch)
+}
+
+fn exec_query_read(
+    graph: &PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: &EngineConfig,
+    memo: Option<&PlanMemo>,
+    branch: &mut usize,
+) -> Result<Table, EvalError> {
     match q {
-        Query::Single(sq) => exec_single_read(graph, sq, params, cfg, Table::unit()),
+        Query::Single(sq) => {
+            let b = *branch;
+            *branch += 1;
+            exec_single_read(graph, sq, params, cfg, Table::unit(), memo, b)
+        }
         Query::Union { all, left, right } => {
-            let l = execute_read(graph, left, params, cfg)?;
-            let r = execute_read(graph, right, params, cfg)?;
+            let l = exec_query_read(graph, left, params, cfg, memo, branch)?;
+            let r = exec_query_read(graph, right, params, cfg, memo, branch)?;
             union_tables(l, r, *all)
         }
     }
@@ -189,11 +301,39 @@ pub fn execute(
     params: &Params,
     cfg: &EngineConfig,
 ) -> Result<Table, EvalError> {
+    execute_cached(graph, q, params, cfg, None)
+}
+
+/// [`execute`] with an optional [`PlanMemo`] (see
+/// [`execute_read_cached`]).
+pub fn execute_cached(
+    graph: &mut PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: &EngineConfig,
+    memo: Option<&PlanMemo>,
+) -> Result<Table, EvalError> {
+    let mut branch = 0usize;
+    exec_query(graph, q, params, cfg, memo, &mut branch)
+}
+
+fn exec_query(
+    graph: &mut PropertyGraph,
+    q: &Query,
+    params: &Params,
+    cfg: &EngineConfig,
+    memo: Option<&PlanMemo>,
+    branch: &mut usize,
+) -> Result<Table, EvalError> {
     match q {
-        Query::Single(sq) => exec_single(graph, sq, params, cfg, Table::unit()),
+        Query::Single(sq) => {
+            let b = *branch;
+            *branch += 1;
+            exec_single(graph, sq, params, cfg, Table::unit(), memo, b)
+        }
         Query::Union { all, left, right } => {
-            let l = execute(graph, left, params, cfg)?;
-            let r = execute(graph, right, params, cfg)?;
+            let l = exec_query(graph, left, params, cfg, memo, branch)?;
+            let r = exec_query(graph, right, params, cfg, memo, branch)?;
             union_tables(l, r, *all)
         }
     }
@@ -211,20 +351,100 @@ fn union_tables(l: Table, r: Table, all: bool) -> Result<Table, EvalError> {
     Ok(if all { u } else { u.dedup() })
 }
 
+/// True when the final-`MATCH`-plus-`RETURN` of a query may take the
+/// fused (pushed-down) path at all: pushdown enabled, the pipeline
+/// executor in charge (node isomorphism delegates matching to the
+/// reference matcher), no `RETURN GRAPH`, and a qualifying projection.
+fn fused_applicable(cfg: &EngineConfig, sq: &SingleQuery, ret: &Return) -> bool {
+    cfg.partial_agg != PartialAggMode::Off
+        && cfg.match_config.morphism != Morphism::NodeIsomorphism
+        && sq.ret_graph.is_none()
+        && ret_pushdown(ret).is_some()
+}
+
+/// Runs the final `MATCH` clause fused with the query's `RETURN`. On
+/// `Done` the returned table is the query's final output.
+fn exec_fused_final(
+    graph: &PropertyGraph,
+    params: &Params,
+    cfg: &EngineConfig,
+    memo: Option<(&PlanMemo, MemoSite)>,
+    patterns: &[PathPattern],
+    where_: Option<&Expr>,
+    ret: &Return,
+    t: Table,
+) -> FusedOutcome {
+    let planned = plan_match_memo(
+        memo,
+        graph,
+        table_names(&t),
+        patterns,
+        cfg.planner_options(),
+    );
+    let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+    try_fused_match_projection(&ctx, cfg, &planned, where_, ret, t)
+}
+
+fn table_names(t: &Table) -> &[String] {
+    t.schema().names()
+}
+
 fn exec_single_read(
     graph: &PropertyGraph,
     sq: &SingleQuery,
     params: &Params,
     cfg: &EngineConfig,
     mut t: Table,
+    memo: Option<&PlanMemo>,
+    branch: usize,
 ) -> Result<Table, EvalError> {
-    for clause in &sq.clauses {
+    for (i, clause) in sq.clauses.iter().enumerate() {
+        let site = memo.map(|m| (m, (branch, i)));
+        // The final MATCH of an aggregating / DISTINCT / top-k query is
+        // fused with the RETURN: workers fold partial states instead of
+        // materializing the match output.
+        if i + 1 == sq.clauses.len() {
+            if let (
+                Clause::Match {
+                    optional: false,
+                    patterns,
+                    where_,
+                },
+                Some(ret),
+            ) = (clause, &sq.ret)
+            {
+                if fused_applicable(cfg, sq, ret) {
+                    match exec_fused_final(
+                        graph,
+                        params,
+                        cfg,
+                        site,
+                        patterns,
+                        where_.as_ref(),
+                        ret,
+                        t,
+                    ) {
+                        FusedOutcome::Done(out) => return Ok(out),
+                        FusedOutcome::Skipped(orig) => t = orig,
+                    }
+                }
+            }
+        }
         t = match clause {
             Clause::Match {
                 optional,
                 patterns,
                 where_,
-            } => exec_match(graph, params, cfg, patterns, where_.as_ref(), *optional, t)?,
+            } => exec_match_memo(
+                graph,
+                params,
+                cfg,
+                patterns,
+                where_.as_ref(),
+                *optional,
+                t,
+                site,
+            )?,
             Clause::With { ret, where_ } => {
                 let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
                 let projected = apply_projection(&ctx, ret, t)?;
@@ -252,14 +472,53 @@ fn exec_single(
     params: &Params,
     cfg: &EngineConfig,
     mut t: Table,
+    memo: Option<&PlanMemo>,
+    branch: usize,
 ) -> Result<Table, EvalError> {
-    for clause in &sq.clauses {
+    for (i, clause) in sq.clauses.iter().enumerate() {
+        let site = memo.map(|m| (m, (branch, i)));
+        if i + 1 == sq.clauses.len() {
+            if let (
+                Clause::Match {
+                    optional: false,
+                    patterns,
+                    where_,
+                },
+                Some(ret),
+            ) = (clause, &sq.ret)
+            {
+                if fused_applicable(cfg, sq, ret) {
+                    match exec_fused_final(
+                        graph,
+                        params,
+                        cfg,
+                        site,
+                        patterns,
+                        where_.as_ref(),
+                        ret,
+                        t,
+                    ) {
+                        FusedOutcome::Done(out) => return Ok(out),
+                        FusedOutcome::Skipped(orig) => t = orig,
+                    }
+                }
+            }
+        }
         t = match clause {
             Clause::Match {
                 optional,
                 patterns,
                 where_,
-            } => exec_match(graph, params, cfg, patterns, where_.as_ref(), *optional, t)?,
+            } => exec_match_memo(
+                graph,
+                params,
+                cfg,
+                patterns,
+                where_.as_ref(),
+                *optional,
+                t,
+                site,
+            )?,
             Clause::With { ret, where_ } => {
                 let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
                 let projected = apply_projection(&ctx, ret, t)?;
@@ -325,6 +584,21 @@ pub fn exec_match(
     optional: bool,
     table: Table,
 ) -> Result<Table, EvalError> {
+    exec_match_memo(graph, params, cfg, patterns, where_, optional, table, None)
+}
+
+/// [`exec_match`] with an optional plan-memo site.
+#[allow(clippy::too_many_arguments)]
+fn exec_match_memo(
+    graph: &PropertyGraph,
+    params: &Params,
+    cfg: &EngineConfig,
+    patterns: &[PathPattern],
+    where_: Option<&Expr>,
+    optional: bool,
+    table: Table,
+    memo: Option<(&PlanMemo, MemoSite)>,
+) -> Result<Table, EvalError> {
     // Node isomorphism needs global node tracking that the pipeline does
     // not model; delegate to the reference matcher (documented fallback).
     if cfg.match_config.morphism == Morphism::NodeIsomorphism {
@@ -342,7 +616,8 @@ pub fn exec_match(
 
     let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
     if !optional {
-        let planned = plan_match(
+        let planned = plan_match_memo(
+            memo,
             graph,
             table.schema().names(),
             patterns,
@@ -369,7 +644,8 @@ pub fn exec_match(
         row.push(Value::int(i as i64));
         tagged.push(row);
     }
-    let planned = plan_match(
+    let planned = plan_match_memo(
+        memo,
         graph,
         tagged_schema.names(),
         patterns,
@@ -441,45 +717,83 @@ fn project_visible(raw: Table, driving: &[String], new_vars: &[String]) -> Table
 }
 
 /// Renders the physical plan of every `MATCH` clause in a query — a
-/// minimal `EXPLAIN`.
+/// minimal `EXPLAIN` — plus the projection pushdowns the executor will
+/// apply (`PartialAggregate(keys=…, aggs=…)` / `TopK(k=…)`).
 pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
     fn go(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig, out: &mut String) {
         match q {
             Query::Single(sq) => {
                 let mut fields: Vec<String> = Vec::new();
-                for clause in &sq.clauses {
-                    if let Clause::Match {
-                        patterns, optional, ..
-                    } = clause
-                    {
-                        let PlannedMatch { plan, new_vars } =
-                            plan_match(graph, &fields, patterns, cfg.planner_options());
-                        out.push_str(if *optional {
-                            "OPTIONAL MATCH plan:\n"
-                        } else {
-                            "MATCH plan:\n"
-                        });
-                        out.push_str(&plan.to_string());
-                        out.push('\n');
-                        // Surface the runtime's parallelism: a plan whose
-                        // anchor is a source is dispatched morsel-wise
-                        // across the worker pool — once the source's
-                        // output exceeds one morsel (below that the pool
-                        // cannot help and run_plan stays sequential).
-                        if cfg.num_threads > 1 {
-                            if plan.steps.first().is_some_and(|s| s.is_source()) {
-                                out.push_str(&format!(
-                                    "(parallel: {} threads, morsel size {m}; \
-                                     engages when driving rows × scanned items \
-                                     exceed {m})\n",
-                                    cfg.num_threads,
-                                    m = cfg.morsel_size.max(1)
-                                ));
+                for (i, clause) in sq.clauses.iter().enumerate() {
+                    match clause {
+                        Clause::Match {
+                            patterns, optional, ..
+                        } => {
+                            let PlannedMatch { plan, new_vars } =
+                                plan_match(graph, &fields, patterns, cfg.planner_options());
+                            out.push_str(if *optional {
+                                "OPTIONAL MATCH plan:\n"
                             } else {
-                                out.push_str("(sequential: source is pre-bound)\n");
+                                "MATCH plan:\n"
+                            });
+                            out.push_str(&plan.to_string());
+                            out.push('\n');
+                            // Surface the runtime's parallelism: a plan
+                            // whose anchor is a source is dispatched
+                            // morsel-wise across the worker pool — once
+                            // the source's output exceeds one morsel
+                            // (below that the pool cannot help and
+                            // run_plan stays sequential).
+                            if cfg.num_threads > 1 {
+                                if plan.steps.first().is_some_and(|s| s.is_source()) {
+                                    out.push_str(&format!(
+                                        "(parallel: {} threads, morsel size {m}; \
+                                         engages when driving rows × scanned items \
+                                         exceed {m})\n",
+                                        cfg.num_threads,
+                                        m = cfg.morsel_size.max(1)
+                                    ));
+                                } else {
+                                    out.push_str("(sequential: source is pre-bound)\n");
+                                }
+                            }
+                            fields.extend(new_vars.iter().cloned());
+                            // The final MATCH of a qualifying query fuses
+                            // with the RETURN; surface what the workers
+                            // will fold.
+                            if i + 1 == sq.clauses.len() && !*optional {
+                                if let Some(ret) = &sq.ret {
+                                    if fused_applicable(cfg, sq, ret) {
+                                        explain_pushdown(graph, cfg, ret, &fields, out);
+                                    }
+                                }
                             }
                         }
-                        fields.extend(new_vars);
+                        // Projection replaces the visible schema; UNWIND
+                        // appends its alias — mirrored here so later plans
+                        // (and the pushdown line) see the schema the
+                        // executor actually runs with.
+                        Clause::With { ret, .. } => {
+                            let distinct_names = fields
+                                .iter()
+                                .collect::<std::collections::HashSet<_>>()
+                                .len()
+                                == fields.len();
+                            fields = if distinct_names {
+                                match ProjectionPlan::compile(ret, &Schema::new(fields.clone())) {
+                                    Ok(plan) => plan.out_schema().names().to_vec(),
+                                    Err(_) => Vec::new(),
+                                }
+                            } else {
+                                Vec::new()
+                            };
+                        }
+                        Clause::Unwind { alias, .. } => {
+                            if !fields.contains(alias) {
+                                fields.push(alias.clone());
+                            }
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -492,6 +806,52 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
     let mut s = String::new();
     go(graph, q, cfg, &mut s);
     s
+}
+
+/// Renders the pushdown line of a qualifying final projection.
+fn explain_pushdown(
+    graph: &PropertyGraph,
+    cfg: &EngineConfig,
+    ret: &Return,
+    fields: &[String],
+    out: &mut String,
+) {
+    let vis = Schema::new(fields.to_vec());
+    let Ok(plan) = ProjectionPlan::compile(ret, &vis) else {
+        return;
+    };
+    match ret_pushdown(ret) {
+        Some(PushdownKind::Aggregate) => {
+            out.push_str(&format!(
+                "PartialAggregate(keys=[{}], aggs=[{}])\n",
+                plan.key_names().join(", "),
+                plan.agg_display().join(", ")
+            ));
+        }
+        Some(PushdownKind::Distinct) => {
+            out.push_str(&format!(
+                "PartialAggregate(keys=[{}], aggs=[], distinct)\n",
+                plan.key_names().join(", ")
+            ));
+        }
+        Some(PushdownKind::TopK) => {
+            // Best effort without the caller's parameters.
+            let params = Params::new();
+            let ctx = EvalContext::new(graph, &params).with_config(cfg.match_config);
+            let k = match (
+                cypher_core::clauses::eval_count(&ctx, ret.skip.as_ref(), "SKIP"),
+                cypher_core::clauses::eval_count(&ctx, ret.limit.as_ref(), "LIMIT"),
+            ) {
+                (Ok(s), Ok(l)) => Some(s.saturating_add(l)),
+                _ => None,
+            };
+            match k {
+                Some(k) => out.push_str(&format!("TopK(k={k})\n")),
+                None => out.push_str("TopK(k=?)\n"),
+            }
+        }
+        None => {}
+    }
 }
 
 #[cfg(test)]

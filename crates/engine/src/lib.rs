@@ -16,10 +16,20 @@
 //! * **multiple named graphs and query composition** (Cypher 10,
 //!   [`multigraph`]).
 //!
-//! `WITH`/`RETURN` projection, aggregation and `UNWIND` reuse the
+//! `WITH`/`UNWIND` (and mid-query projection generally) reuse the
 //! reference semantics of [`cypher_core`] — the two implementations share
 //! exactly the behaviour the paper defines once, and differ (and are
 //! differentially tested) on pattern matching, where the planner matters.
+//! The **final** projection of a qualifying query is *fused* into the
+//! morsel pipeline instead: aggregation and `DISTINCT` fold per-morsel
+//! `GroupedAggState`s (the same type the reference semantics fold
+//! through) and `ORDER BY … LIMIT` folds bounded top-k heaps, merged in
+//! morsel order so results stay bit-identical across thread counts and
+//! morsel sizes — surfaced in `EXPLAIN` as `PartialAggregate(…)` /
+//! `TopK(k=…)` and controlled by [`EngineConfig::partial_agg`]. Repeated
+//! queries skip planning through a [`PlanMemo`] (see [`cache`]), which
+//! the `cypher::Database` facade wires into an LRU parse+plan cache with
+//! statistics-fingerprint invalidation.
 //!
 //! ```
 //! use cypher_engine::{execute, EngineConfig};
@@ -43,14 +53,20 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exec;
 pub mod multigraph;
 pub mod ops;
 pub mod plan;
 pub mod planner;
+mod pushdown;
 pub mod update;
 
-pub use exec::{execute, execute_read, explain, EngineConfig};
+pub use cache::{stats_fingerprint, PlanMemo};
+pub use exec::{
+    execute, execute_cached, execute_read, execute_read_cached, explain, EngineConfig,
+    PartialAggMode,
+};
 pub use multigraph::{execute_on_catalog, MultiResult};
 pub use ops::{ExecOptions, RowBatch, DEFAULT_MORSEL_SIZE};
 pub use plan::{MatchPlan, PlanStep};

@@ -173,6 +173,56 @@ pub fn run_plan<'a>(
     run_to_table(pipeline)
 }
 
+/// The generic morsel dispatcher behind [`run_plan`] and the
+/// partial-aggregation pushdown: `threads` scoped workers claim morsel
+/// indices `0..n_morsels` from a shared atomic counter, run `work` on
+/// each, and the per-morsel results are returned **indexed by morsel** so
+/// the caller can merge them in claim-index order (the determinism
+/// contract). After any failure remaining morsels are skipped (`None`
+/// slots); the first stored error is returned in place of the slots.
+pub(crate) fn parallel_morsels<P, F>(
+    threads: usize,
+    n_morsels: usize,
+    work: F,
+) -> Result<Vec<Option<P>>, EvalError>
+where
+    P: Send,
+    F: Fn(usize) -> Result<P, EvalError> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<P, EvalError>>>> =
+        Mutex::new((0..n_morsels).map(|_| None).collect());
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_morsels) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_morsels || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let res = work(i);
+                if res.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().unwrap()[i] = Some(res);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n_morsels);
+    for slot in slots.into_inner().unwrap() {
+        match slot {
+            // Skipped after a failure elsewhere; callers re-run
+            // sequentially for the canonical error.
+            None => out.push(None),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(p)) => out.push(Some(p)),
+        }
+    }
+    Ok(out)
+}
+
 /// Runs `rest` (the plan minus its source, with `rest_sources` its
 /// pre-resolved scan lists) over every morsel of `driving × items`, on
 /// `threads` scoped workers claiming morsels from a shared atomic
@@ -192,46 +242,26 @@ fn run_parallel<'a>(
     let n_morsels = total.div_ceil(morsel);
     let src_schema = driving.schema().with_field(var.to_string());
 
-    let next = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let slots: Mutex<Vec<Option<Result<Table, EvalError>>>> =
-        Mutex::new((0..n_morsels).map(|_| None).collect());
-
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n_morsels) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_morsels || failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let lo = i * morsel;
-                let hi = ((i + 1) * morsel).min(total);
-                let res = run_morsel(
-                    ctx,
-                    rest,
-                    rest_sources,
-                    driving,
-                    &src_schema,
-                    items,
-                    lo..hi,
-                    morsel,
-                );
-                if res.is_err() {
-                    failed.store(true, Ordering::Relaxed);
-                }
-                slots.lock().unwrap()[i] = Some(res);
-            });
-        }
-    });
+    let slots = parallel_morsels(threads, n_morsels, |i| {
+        let lo = i * morsel;
+        let hi = ((i + 1) * morsel).min(total);
+        run_morsel(
+            ctx,
+            rest,
+            rest_sources,
+            driving,
+            &src_schema,
+            items,
+            lo..hi,
+            morsel,
+        )
+    })?;
 
     let mut out: Option<Table> = None;
-    for slot in slots.into_inner().unwrap() {
+    for slot in slots {
         match slot {
-            // Skipped after a failure elsewhere; the caller re-runs
-            // sequentially for the canonical error.
             None => {}
-            Some(Err(e)) => return Err(e),
-            Some(Ok(t)) => match &mut out {
+            Some(t) => match &mut out {
                 None => out = Some(t),
                 Some(acc) => {
                     for r in t.into_rows() {
@@ -275,13 +305,13 @@ fn run_morsel<'a>(
 
 /// A source step's resolved scan list: the bound column plus the
 /// `Arc`-shared items, or `None` for non-source steps.
-type PreparedSource = Option<(String, Arc<[Value]>)>;
+pub(crate) type PreparedSource = Option<(String, Arc<[Value]>)>;
 
 /// Resolves every source step of a plan to its scan list, once. Parallel
 /// runs share the result across all morsels of the worker pool, so a
 /// second scan inside the pipeline (a disconnected pattern) is not
 /// re-collected per morsel.
-fn prepare_sources(
+pub(crate) fn prepare_sources(
     ctx: &EvalContext<'_>,
     steps: &[PlanStep],
 ) -> Result<Vec<PreparedSource>, EvalError> {
@@ -361,7 +391,7 @@ pub fn build_pipeline<'a>(
 }
 
 /// [`build_pipeline`] over pre-resolved source lists (one entry per step).
-fn build_prepared<'a>(
+pub(crate) fn build_prepared<'a>(
     ctx: &'a EvalContext<'a>,
     steps: &[PlanStep],
     prepared: &[PreparedSource],
@@ -438,6 +468,12 @@ fn attach<'a>(
                 .map(|c| col_idx(&schema, c))
                 .collect::<Result<_, _>>()?;
             let type_syms = resolve_types(ctx, types);
+            // Per-hop property keys resolved once per operator; `None`
+            // marks a key that was never interned (no hop can satisfy it).
+            let props = props
+                .iter()
+                .map(|(k, e)| (ctx.graph.interner().get(k), e.clone()))
+                .collect();
             Box::new(ExpandOp {
                 ctx,
                 schema: out_schema,
@@ -452,7 +488,7 @@ fn attach<'a>(
                 single: *single,
                 reversed: *reversed,
                 exclude_idx,
-                props: props.clone(),
+                props,
                 in_schema: schema,
                 cap,
                 input: None,
@@ -474,12 +510,18 @@ fn attach<'a>(
         }
         PlanStep::FilterProps { var, props } => {
             let idx = col_idx(&schema, var)?;
+            // Property keys are interned symbols; resolve them once per
+            // operator instead of hashing the key string on every row.
+            let props = props
+                .iter()
+                .map(|(k, e)| (ctx.graph.interner().get(k), e.clone()))
+                .collect();
             Box::new(PropsFilter {
                 ctx,
                 schema,
                 child,
                 idx,
-                props: props.clone(),
+                props,
             })
         }
         PlanStep::FilterEndpoints {
@@ -684,7 +726,8 @@ struct ExpandOp<'a> {
     single: bool,
     reversed: bool,
     exclude_idx: Vec<usize>,
-    props: Vec<(String, Expr)>,
+    /// Per-hop property conditions, keys pre-resolved at build time.
+    props: Vec<(Option<Symbol>, Expr)>,
     cap: usize,
     /// Current input batch plus cursor, and the expansion of the current
     /// row still awaiting emission (stored reversed; popped off the end).
@@ -765,15 +808,16 @@ impl ExpandOp<'_> {
         // but a zero-hop (`*0..`) acceptance is still valid, its hop
         // conditions being vacuous.
         let mut hops_possible = self.type_syms.is_some();
-        // Evaluate expected per-hop property values once per row.
+        // Evaluate expected per-hop property values once per row (the
+        // keys were resolved once per operator at build time).
         let mut expected: Vec<(Symbol, Value)> = Vec::with_capacity(self.props.len());
-        for (k, e) in &self.props {
-            let Some(sym) = self.ctx.graph.interner().get(k) else {
+        for (sym, e) in &self.props {
+            let Some(sym) = sym else {
                 hops_possible = false;
                 continue;
             };
             let b = Bindings::new(&self.in_schema, row);
-            expected.push((sym, eval_expr(self.ctx, &b, e)?));
+            expected.push((*sym, eval_expr(self.ctx, &b, e)?));
         }
 
         if self.single {
@@ -969,18 +1013,20 @@ struct PropsFilter<'a> {
     schema: Arc<Schema>,
     child: Box<dyn Operator + 'a>,
     idx: usize,
-    props: Vec<(String, Expr)>,
+    /// `(symbol, expected-value expr)`; a `None` symbol is a key that was
+    /// never interned — no entity can carry it.
+    props: Vec<(Option<Symbol>, Expr)>,
 }
 
 impl PropsFilter<'_> {
     fn keep(&self, row: &Record) -> Result<bool, EvalError> {
         let g = self.ctx.graph;
-        for (k, e) in &self.props {
+        for (sym, e) in &self.props {
             let b = Bindings::new(&self.schema, row);
             let want = eval_expr(self.ctx, &b, e)?;
             let got = match row.get(self.idx) {
-                Value::Node(n) => g.interner().get(k).and_then(|s| g.node_prop(*n, s)),
-                Value::Rel(r) => g.interner().get(k).and_then(|s| g.rel_prop(*r, s)),
+                Value::Node(n) => sym.and_then(|s| g.node_prop(*n, s)),
+                Value::Rel(r) => sym.and_then(|s| g.rel_prop(*r, s)),
                 Value::Null => return Ok(false),
                 other => return err(format!("property filter on {}", other.type_name())),
             };

@@ -89,6 +89,7 @@ impl From<PlannerMode> for PlannerOptions {
 
 /// The output of planning one `MATCH` clause: the pipeline plus the
 /// *visible* (non-hidden) variables it introduces, in deterministic order.
+#[derive(Debug, Clone)]
 pub struct PlannedMatch {
     /// The physical plan.
     pub plan: MatchPlan,

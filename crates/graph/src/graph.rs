@@ -226,6 +226,10 @@ pub struct PropertyGraph {
     /// The pluggable change-stream consumer (see [`crate::change`]).
     /// `None` (the default) makes every emission a no-op branch.
     sink: Option<Box<dyn ChangeSink>>,
+    /// Monotonic mutation counter: bumped by every mutating entry point,
+    /// so callers (the plan cache) can skip recomputing statistics
+    /// fingerprints while the graph is provably unchanged.
+    version: u64,
 }
 
 /// Clones the graph **without** its change sink: a clone is a detached
@@ -242,6 +246,7 @@ impl Clone for PropertyGraph {
             live_nodes: self.live_nodes,
             live_rels: self.live_rels,
             sink: None,
+            version: self.version,
         }
     }
 }
@@ -316,6 +321,20 @@ impl PropertyGraph {
         }
     }
 
+    /// A monotonic counter that moves whenever the graph (and therefore
+    /// any statistic derived from it) may have changed. Cheap enough to
+    /// poll per query; equal versions guarantee equal statistics.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Bumps [`PropertyGraph::version`]; called on entry to every
+    /// mutating operation (a bump on a failed mutation is harmless — it
+    /// only costs one fingerprint recomputation).
+    fn touch(&mut self) {
+        self.version += 1;
+    }
+
     /// Resolves a property map into `(string key, value)` pairs for a
     /// change record.
     fn resolved_props(&self, pm: &PropMap) -> Vec<(Arc<str>, Value)> {
@@ -343,6 +362,7 @@ impl PropertyGraph {
 
     /// Adds a node with pre-interned labels and properties.
     pub fn add_node_syms(&mut self, labels: Vec<Symbol>, props: Vec<(Symbol, Value)>) -> NodeId {
+        self.touch();
         let id = NodeId(self.nodes.len() as u64);
         let mut pm = PropMap::default();
         for (k, v) in props {
@@ -444,6 +464,7 @@ impl PropertyGraph {
         rel_type: Symbol,
         props: Vec<(Symbol, Value)>,
     ) -> Result<RelId, GraphError> {
+        self.touch();
         if !self.contains_node(src) {
             return Err(GraphError::NoSuchNode(src));
         }
@@ -482,6 +503,7 @@ impl PropertyGraph {
 
     /// Deletes a relationship.
     pub fn delete_rel(&mut self, r: RelId) -> Result<(), GraphError> {
+        self.touch();
         let data = self
             .rels
             .get_mut(r.0 as usize)
@@ -504,6 +526,7 @@ impl PropertyGraph {
     /// Deletes a node; fails if it still has incident relationships
     /// (plain `DELETE` semantics).
     pub fn delete_node(&mut self, n: NodeId) -> Result<(), GraphError> {
+        self.touch();
         let deg = self.degree(n, Direction::Both);
         if deg > 0 {
             return Err(GraphError::NodeHasRelationships(n, deg));
@@ -514,6 +537,7 @@ impl PropertyGraph {
     /// Deletes a node together with all its relationships
     /// (`DETACH DELETE` semantics).
     pub fn detach_delete_node(&mut self, n: NodeId) -> Result<(), GraphError> {
+        self.touch();
         if !self.contains_node(n) {
             return Err(GraphError::NoSuchNode(n));
         }
@@ -768,6 +792,7 @@ impl PropertyGraph {
 
     /// `SET n.k = v` (removes the key when `v` is `null`).
     pub fn set_node_prop(&mut self, n: NodeId, k: Symbol, v: Value) -> Result<(), GraphError> {
+        self.touch();
         let d = self.node(n).ok_or(GraphError::NoSuchNode(n))?;
         let labels = d.labels.clone();
         let old_bucket = d.props.get(k).map(value_bucket);
@@ -792,6 +817,7 @@ impl PropertyGraph {
 
     /// `SET r.k = v` for relationships.
     pub fn set_rel_prop(&mut self, r: RelId, k: Symbol, v: Value) -> Result<(), GraphError> {
+        self.touch();
         if !self.contains_rel(r) {
             return Err(GraphError::NoSuchRel(r));
         }
@@ -810,6 +836,7 @@ impl PropertyGraph {
 
     /// `REMOVE n.k`.
     pub fn remove_node_prop(&mut self, n: NodeId, k: Symbol) -> Result<(), GraphError> {
+        self.touch();
         let d = self.node(n).ok_or(GraphError::NoSuchNode(n))?;
         let labels = d.labels.clone();
         let old_bucket = d.props.get(k).map(value_bucket);
@@ -836,6 +863,7 @@ impl PropertyGraph {
         n: NodeId,
         props: Vec<(Symbol, Value)>,
     ) -> Result<(), GraphError> {
+        self.touch();
         let labels = self
             .node(n)
             .ok_or(GraphError::NoSuchNode(n))?
@@ -866,6 +894,7 @@ impl PropertyGraph {
 
     /// `SET n:Label`.
     pub fn add_label(&mut self, n: NodeId, l: Symbol) -> Result<(), GraphError> {
+        self.touch();
         let d = self.node_mut(n).ok_or(GraphError::NoSuchNode(n))?;
         if !d.labels.contains(&l) {
             d.labels.push(l);
@@ -885,6 +914,7 @@ impl PropertyGraph {
 
     /// `REMOVE n:Label`.
     pub fn remove_label(&mut self, n: NodeId, l: Symbol) -> Result<(), GraphError> {
+        self.touch();
         let d = self.node_mut(n).ok_or(GraphError::NoSuchNode(n))?;
         if let Some(pos) = d.labels.iter().position(|&x| x == l) {
             d.labels.remove(pos);

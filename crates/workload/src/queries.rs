@@ -173,6 +173,125 @@ impl QueryGenerator {
         }
     }
 
+    /// Draws the next **aggregation-heavy** query: implicit grouping
+    /// keys, `count`/`sum`/`min`/`max`/`avg`/`collect(DISTINCT …)`,
+    /// `DISTINCT` projections, `ORDER BY … LIMIT` (top-k shaped), and
+    /// `WITH`-chained aggregates — the workload the partial-aggregation
+    /// pushdown must get bit-identical across thread counts and morsel
+    /// sizes.
+    ///
+    /// Differential-comparability invariants on top of the base grammar's:
+    ///
+    /// * every `ORDER BY` sorts by a **total** order — the leading sort
+    ///   key is either a grouping key (distinct per output row), a
+    ///   `DISTINCT` output column, or the substrate's unique `i`
+    ///   property — so even row-for-row comparison against the reference
+    ///   oracle is well-defined;
+    /// * `collect` is the only order-sensitive aggregate emitted, and the
+    ///   harness canonicalizes list cells before comparing against the
+    ///   oracle (engines feed rows in a different order than the
+    ///   reference matcher; engine-vs-engine stays exact).
+    pub fn next_aggregate_query(&mut self) -> String {
+        let mut vars: Vec<String> = Vec::new();
+        let mut rel_vars: Vec<String> = Vec::new();
+        let mut pattern = self.gen_path(&mut vars, &mut rel_vars);
+        if self.rng.gen_bool(0.15) {
+            let second = self.gen_path(&mut vars, &mut rel_vars);
+            pattern.push_str(", ");
+            pattern.push_str(&second);
+        }
+        let mut q = format!("MATCH {pattern}");
+        if self.rng.gen_bool(0.4) {
+            q.push_str(" WHERE ");
+            q.push_str(&self.gen_predicate(&vars));
+        }
+        q.push(' ');
+        q.push_str(&self.gen_aggregate_return(&vars));
+        q
+    }
+
+    /// The projection half of [`QueryGenerator::next_aggregate_query`].
+    fn gen_aggregate_return(&mut self, vars: &[String]) -> String {
+        let g = pick(&mut self.rng, vars).clone();
+        let a = pick(&mut self.rng, vars).clone();
+        let dir = if self.rng.gen_bool(0.5) { " DESC" } else { "" };
+        let limit = self.rng.gen_range(1..6);
+        match self.rng.gen_range(0..9) {
+            // Grouped count, optionally ordered by the (distinct) key.
+            0 => {
+                if self.rng.gen_bool(0.5) {
+                    format!("RETURN {g}.v AS g, count(*) AS c")
+                } else {
+                    format!("RETURN {g}.v AS g, count(*) AS c ORDER BY g{dir} LIMIT {limit}")
+                }
+            }
+            // A fuller aggregate battery over one grouping key.
+            1 => format!(
+                "RETURN {g}.v AS g, count({a}.i) AS c, sum({a}.v) AS s, \
+                 min({a}.i) AS mn, max({a}.i) AS mx"
+            ),
+            // Exact float aggregation (avg is float-valued).
+            2 => {
+                if self.rng.gen_bool(0.5) {
+                    format!("RETURN {g}.v AS g, avg({a}.i) AS m ORDER BY g{dir}")
+                } else {
+                    format!("RETURN {g}.v AS g, sum({a}.i) AS s, avg({a}.v) AS m")
+                }
+            }
+            // Keyless (single-group) aggregates, incl. DISTINCT variants.
+            3 => match self.rng.gen_range(0..4) {
+                0 => "RETURN count(*) AS c".to_string(),
+                1 => format!("RETURN count(DISTINCT {a}.v) AS c"),
+                2 => format!("RETURN sum(DISTINCT {a}.v) AS s, count(*) AS c"),
+                _ => format!("RETURN min({a}.v) AS mn, max({a}.v) AS mx, avg({a}.i) AS m"),
+            },
+            // collect(DISTINCT …): order-sensitive value, distinct set.
+            4 => format!("RETURN {g}.v AS g, collect(DISTINCT {a}.v) AS xs"),
+            // DISTINCT projections (ordered and truncated variants).
+            5 => {
+                let key = pick(&mut self.rng, &self.vocab.int_props).clone();
+                match self.rng.gen_range(0..3) {
+                    0 => format!("RETURN DISTINCT {a}.{key} AS d"),
+                    1 => format!("RETURN DISTINCT {a}.{key} AS d ORDER BY d{dir}"),
+                    _ => format!("RETURN DISTINCT {a}.{key} AS d ORDER BY d{dir} LIMIT {limit}"),
+                }
+            }
+            // Top-k: ORDER BY the unique `i`, so the kept rows are exact.
+            6 => {
+                let skip = if self.rng.gen_bool(0.4) {
+                    format!(" SKIP {}", self.rng.gen_range(0..3))
+                } else {
+                    String::new()
+                };
+                if self.rng.gen_bool(0.5) {
+                    format!("RETURN {a}.i AS k ORDER BY k{dir}{skip} LIMIT {limit}")
+                } else {
+                    // Multi-key sort: ties on v broken by the unique i.
+                    format!(
+                        "RETURN {a}.i AS k, {a}.v AS w \
+                         ORDER BY w{dir}, k{skip} LIMIT {limit}"
+                    )
+                }
+            }
+            // WITH-chained aggregates: aggregate over aggregates.
+            7 => {
+                if self.rng.gen_bool(0.5) {
+                    format!(
+                        "WITH {g}.v AS g, count(*) AS c \
+                         RETURN g, sum(c) AS s ORDER BY g{dir}"
+                    )
+                } else {
+                    format!(
+                        "WITH {g}.v AS g, count(*) AS c WHERE c > 1 \
+                         RETURN count(*) AS groups, sum(c) AS rows"
+                    )
+                }
+            }
+            // Aggregates combined with scalar arithmetic on the key.
+            _ => format!("RETURN {g}.v + 1 AS g1, count(*) AS c, sum({a}.i) AS s"),
+        }
+    }
+
     /// `path := node (rel node){0..2}`, binding fresh (or occasionally
     /// shared) node variables.
     fn gen_path(&mut self, vars: &mut Vec<String>, rel_vars: &mut Vec<String>) -> String {
@@ -344,6 +463,12 @@ pub fn random_updates(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|_| gen.next_update()).collect()
 }
 
+/// Draws `n` aggregation-heavy queries from a fresh generator.
+pub fn random_aggregate_queries(n: usize, seed: u64) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..n).map(|_| gen.next_aggregate_query()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +529,46 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_grammar_is_deterministic_and_covers_the_features() {
+        assert_eq!(
+            random_aggregate_queries(60, 5),
+            random_aggregate_queries(60, 5)
+        );
+        assert_ne!(
+            random_aggregate_queries(60, 5),
+            random_aggregate_queries(60, 6)
+        );
+        let qs = random_aggregate_queries(400, 2).join("\n");
+        for needle in [
+            "count(*)",
+            "count(DISTINCT",
+            "sum(",
+            "sum(DISTINCT",
+            "min(",
+            "max(",
+            "avg(",
+            "collect(DISTINCT",
+            "RETURN DISTINCT",
+            "ORDER BY",
+            "LIMIT",
+            "SKIP",
+            "WITH",
+            "WHERE",
+        ] {
+            assert!(
+                qs.contains(needle),
+                "400 agg queries never produced {needle}"
+            );
+        }
+        // Truncation only ever follows a total-order ORDER BY.
+        for q in random_aggregate_queries(400, 2) {
+            if q.contains("LIMIT") || q.contains("SKIP") {
+                assert!(q.contains("ORDER BY"), "{q}");
             }
         }
     }

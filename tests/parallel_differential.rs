@@ -10,7 +10,10 @@
 //! sequence* as sequential output. Both properties are asserted.
 
 use cypher::workload::{random_graph, QueryGenerator};
-use cypher::{run_read_with, run_reference, EngineConfig, Params, PropertyGraph, Table};
+use cypher::{
+    run_read_with, run_reference, EngineConfig, Params, PartialAggMode, PropertyGraph, Record,
+    Table, Value,
+};
 
 fn cfg(threads: usize, morsel: usize) -> EngineConfig {
     EngineConfig::default()
@@ -43,6 +46,85 @@ fn check_query(g: &PropertyGraph, q: &str, params: &Params) -> Table {
     seq
 }
 
+/// Sorts every list cell (collect output) by the orderability order, so
+/// tables can be compared against the reference oracle, which feeds
+/// aggregation in a different row order than the engine pipelines.
+fn canonicalize_lists(t: &Table) -> Table {
+    let mut out = Table::empty(t.schema().clone());
+    for r in t.rows() {
+        let vals: Vec<Value> = r
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::List(items) => {
+                    let mut sorted = items.clone();
+                    sorted.sort_by(|a, b| a.cmp_order(b));
+                    Value::List(sorted)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        out.push(Record::new(vals));
+    }
+    out
+}
+
+/// Runs one aggregation-heavy query under the full pushdown matrix —
+/// merged-table baseline (pushdown off), sequential fused fold, parallel
+/// partial aggregation at several thread/morsel combinations (including
+/// force mode, which exercises the merge path regardless of input size) —
+/// and cross-checks every result row-for-row, then checks the baseline
+/// against the reference oracle.
+fn check_aggregate_query(g: &PropertyGraph, q: &str, params: &Params) -> Table {
+    let base_cfg = cfg(1, 1024).with_partial_agg(PartialAggMode::Off);
+    let base = run_read_with(g, q, params, &base_cfg)
+        .unwrap_or_else(|e| panic!("baseline engine failed on {q}: {e}"));
+    let variants: [(usize, usize, PartialAggMode); 5] = [
+        (1, 1024, PartialAggMode::Auto), // sequential fused fold
+        (4, 8, PartialAggMode::Auto),
+        (2, 1, PartialAggMode::Force), // worst-case merge interleaving
+        (4, 1, PartialAggMode::Force),
+        (3, 1024, PartialAggMode::Force),
+    ];
+    for (threads, morsel, mode) in variants {
+        let c = cfg(threads, morsel).with_partial_agg(mode);
+        let out = run_read_with(g, q, params, &c).unwrap_or_else(|e| {
+            panic!(
+                "pushdown engine (threads={threads}, morsel={morsel}, {mode:?}) failed on {q}: {e}"
+            )
+        });
+        // Exact row sequence — aggregation results must not merely agree
+        // as bags, they must be bit-identical in order and value (floats
+        // included) for every thread count and morsel size.
+        assert!(
+            out.ordered_eq(&base),
+            "pushdown drifted (threads={threads}, morsel={morsel}, {mode:?}) on {q}\n\
+             baseline:\n{base}\npushdown:\n{out}"
+        );
+    }
+    let oracle =
+        run_reference(g, q, params).unwrap_or_else(|e| panic!("reference failed on {q}: {e}"));
+    let canon_engine = canonicalize_lists(&base);
+    let canon_oracle = canonicalize_lists(&oracle);
+    if q.contains("ORDER BY") {
+        // Every ordered query of the aggregate grammar sorts by a total
+        // order (up to identical rows), so even the oracle must agree on
+        // the exact row sequence.
+        assert!(
+            canon_engine.ordered_eq(&canon_oracle),
+            "engine diverges from the oracle row order on {q}\n\
+             engine:\n{base}\nreference:\n{oracle}"
+        );
+    } else {
+        assert!(
+            canon_engine.bag_eq(&canon_oracle),
+            "engine diverges from the reference oracle on {q}\n\
+             engine:\n{base}\nreference:\n{oracle}"
+        );
+    }
+    base
+}
+
 #[test]
 fn five_hundred_generated_queries_agree_across_thread_counts() {
     let params = Params::new();
@@ -66,6 +148,47 @@ fn five_hundred_generated_queries_agree_across_thread_counts() {
         nonempty * 2 >= total,
         "workload too vacuous: {nonempty}/{total} queries returned rows"
     );
+}
+
+#[test]
+fn aggregation_corpus_agrees_across_pushdown_configs() {
+    let params = Params::new();
+    let mut total = 0usize;
+    let mut nonempty = 0usize;
+    for seed in 0..4u64 {
+        let g = random_graph(22, 40, &["A", "B"], &["X", "Y"], 50 + seed);
+        let mut gen = QueryGenerator::new(3000 + seed);
+        for _ in 0..110 {
+            let q = gen.next_aggregate_query();
+            total += 1;
+            if !check_aggregate_query(&g, &q, &params).is_empty() {
+                nonempty += 1;
+            }
+        }
+    }
+    assert!(total >= 400, "only {total} aggregate queries generated");
+    assert!(
+        nonempty * 2 >= total,
+        "aggregate workload too vacuous: {nonempty}/{total} queries returned rows"
+    );
+}
+
+#[test]
+fn aggregation_corpus_agrees_after_graph_mutations() {
+    // The same corpus with update statements churning the graph (and the
+    // index statistics the planner anchors the fused pipelines on).
+    let params = Params::new();
+    let mut g = random_graph(18, 30, &["A", "B"], &["X", "Y"], 77);
+    let mut ugen = QueryGenerator::new(8888);
+    for step in 0..6u64 {
+        let u = ugen.next_update();
+        cypher::run(&mut g, &u, &params).unwrap_or_else(|e| panic!("update failed ({u}): {e}"));
+        let mut gen = QueryGenerator::new(9000 + step);
+        for _ in 0..12 {
+            let q = gen.next_aggregate_query();
+            check_aggregate_query(&g, &q, &params);
+        }
+    }
 }
 
 #[test]

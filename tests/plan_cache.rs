@@ -1,0 +1,180 @@
+//! The `Database` parse+plan cache: hit/miss accounting, LRU eviction,
+//! statistics-driven invalidation (witnessed through `EXPLAIN`), and the
+//! guarantee that cached plans honor fresh parameters.
+
+use cypher::{Database, EngineConfig, Params, Value};
+
+/// An in-memory database with an explicit cache capacity (immune to the
+/// CI matrix's environment overrides).
+fn db_with_cache(capacity: usize) -> Database {
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = None;
+    cfg.plan_cache_size = capacity;
+    Database::open_with(cfg).unwrap()
+}
+
+#[test]
+fn repeated_query_hits_the_cache() {
+    let params = Params::new();
+    let mut db = db_with_cache(16);
+    db.query("CREATE (:P {v: 1}), (:P {v: 2})", &params)
+        .unwrap();
+    let q = "MATCH (n:P) RETURN n.v AS v ORDER BY v";
+    let first = db.query(q, &params).unwrap();
+    let s = db.plan_cache_stats();
+    assert_eq!((s.hits, s.invalidations), (0, 0), "{s:?}");
+    // The CREATE moved the statistics fingerprint? No — the entry for
+    // this text was created *after* the CREATE ran; repeated runs with an
+    // unchanged graph must be pure hits.
+    let second = db.query(q, &params).unwrap();
+    let third = db.query(q, &params).unwrap();
+    assert!(second.ordered_eq(&first) && third.ordered_eq(&first));
+    let s = db.plan_cache_stats();
+    assert!(s.hits >= 2, "repeated hot query did not hit: {s:?}");
+    // Distinct texts miss independently.
+    db.query("MATCH (n:P) RETURN count(*) AS c", &params)
+        .unwrap();
+    assert!(db.plan_cache_stats().misses >= 3);
+}
+
+#[test]
+fn lru_evicts_under_capacity() {
+    let params = Params::new();
+    let mut db = db_with_cache(2);
+    db.query("CREATE (:P {v: 1})", &params).unwrap(); // entry 1
+    let qa = "MATCH (a:P) RETURN a.v AS v";
+    let qb = "MATCH (b:P) RETURN b.v AS v";
+    let qc = "MATCH (c:P) RETURN c.v AS v";
+    db.query(qa, &params).unwrap(); // evicts the CREATE (LRU)
+    db.query(qb, &params).unwrap(); // evicts…
+    db.query(qa, &params).unwrap(); // refresh A
+    db.query(qc, &params).unwrap(); // evicts B (least recently used)
+    assert!(db.plan_cache_len() <= 2, "capacity not enforced");
+    let before = db.plan_cache_stats();
+    assert!(before.evictions >= 2, "{before:?}");
+    // A stayed (recently used): hit. B was evicted: miss.
+    db.query(qa, &params).unwrap();
+    assert_eq!(db.plan_cache_stats().hits, before.hits + 1);
+    db.query(qb, &params).unwrap();
+    assert_eq!(db.plan_cache_stats().misses, before.misses + 1);
+}
+
+#[test]
+fn statistics_drift_invalidates_and_replans() {
+    let params = Params::new();
+    let mut db = db_with_cache(16);
+    // Parameterized updates keep each statement one cache entry — the
+    // point of the test is statistics invalidation, not LRU churn.
+    let with_i = |i: i64| {
+        let mut p = Params::new();
+        p.insert("i".into(), Value::int(i));
+        p
+    };
+    // Label A is tiny, label B is big: the anchor of the path must be A.
+    for i in 0..4 {
+        db.query("CREATE (:A {i: $i})-[:X]->(:B {i: $i})", &with_i(i))
+            .unwrap();
+    }
+    for i in 0..96 {
+        db.query("CREATE (:B {i: $i})", &with_i(100 + i)).unwrap();
+    }
+    let q = "MATCH (a:A)-[:X]->(b:B) RETURN count(*) AS c";
+    let before = db.explain(q).unwrap();
+    assert!(
+        before.contains("NodeIndexScan(a:A)"),
+        "expected the A anchor before growth:\n{before}"
+    );
+    let out = db.query(q, &params).unwrap();
+    assert_eq!(out.cell(0, "c"), Some(&Value::int(4)));
+    db.query(q, &params).unwrap();
+    let warm = db.plan_cache_stats();
+    assert!(warm.hits >= 1, "{warm:?}");
+
+    // Blow label A up far past B: the anchor decision flips, so the
+    // bucketed statistics fingerprint must move and the cached plans must
+    // be dropped (the parse is kept — invalidation, not a miss).
+    for i in 0..1000 {
+        db.query("CREATE (:A {i: $i})", &with_i(10_000 + i))
+            .unwrap();
+    }
+    let after = db.explain(q).unwrap();
+    assert!(
+        after.contains("NodeIndexScan(b:B)"),
+        "expected the anchor to flip to B after growth:\n{after}"
+    );
+    assert_ne!(before, after, "EXPLAIN witness did not change");
+    let pre = db.plan_cache_stats();
+    let out = db.query(q, &params).unwrap();
+    assert_eq!(out.cell(0, "c"), Some(&Value::int(4)));
+    let post = db.plan_cache_stats();
+    assert!(
+        post.invalidations > pre.invalidations,
+        "statistics drift did not invalidate: {pre:?} → {post:?}"
+    );
+}
+
+#[test]
+fn cached_plans_honor_fresh_params() {
+    let mut db = db_with_cache(16);
+    let none = Params::new();
+    db.query(
+        "CREATE (:P {v: 1, i: 10}), (:P {v: 2, i: 20}), (:P {v: 2, i: 21})",
+        &none,
+    )
+    .unwrap();
+    let q = "MATCH (n:P {v: $x}) RETURN n.i AS i ORDER BY i";
+    let mut p1 = Params::new();
+    p1.insert("x".into(), Value::int(1));
+    let mut p2 = Params::new();
+    p2.insert("x".into(), Value::int(2));
+    let r1 = db.query(q, &p1).unwrap();
+    assert_eq!(r1.len(), 1);
+    assert_eq!(r1.cell(0, "i"), Some(&Value::int(10)));
+    let hits_before = db.plan_cache_stats().hits;
+    // Same text, different parameters: must be a cache hit AND produce
+    // the rows of the *new* parameters (plans embed the parameter
+    // expression, never its value).
+    let r2 = db.query(q, &p2).unwrap();
+    assert_eq!(db.plan_cache_stats().hits, hits_before + 1);
+    assert_eq!(r2.len(), 2);
+    assert_eq!(r2.cell(0, "i"), Some(&Value::int(20)));
+    assert_eq!(r2.cell(1, "i"), Some(&Value::int(21)));
+}
+
+#[test]
+fn zero_capacity_disables_the_cache() {
+    let params = Params::new();
+    let mut db = db_with_cache(0);
+    db.query("CREATE (:P {v: 1})", &params).unwrap();
+    db.query("MATCH (n:P) RETURN n.v AS v", &params).unwrap();
+    db.query("MATCH (n:P) RETURN n.v AS v", &params).unwrap();
+    assert_eq!(db.plan_cache_stats(), Default::default());
+    assert_eq!(db.plan_cache_len(), 0);
+}
+
+#[test]
+fn cached_aggregate_queries_stay_correct_under_pushdown() {
+    // The plan cache composes with the partial-aggregation pushdown: the
+    // fused path plans through the same memo.
+    let params = Params::new();
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = None;
+    cfg.plan_cache_size = 8;
+    cfg.num_threads = 4;
+    cfg.morsel_size = 2;
+    let mut db = Database::open_with(cfg).unwrap();
+    for i in 0..40 {
+        db.query(&format!("CREATE (:P {{v: {}, i: {i}}})", i % 4), &params)
+            .unwrap();
+    }
+    let q = "MATCH (n:P) RETURN n.v AS g, count(*) AS c, sum(n.i) AS s ORDER BY g";
+    let first = db.query(q, &params).unwrap();
+    assert_eq!(first.len(), 4);
+    let hits_before = db.plan_cache_stats().hits;
+    let second = db.query(q, &params).unwrap();
+    assert!(second.ordered_eq(&first));
+    assert!(db.plan_cache_stats().hits > hits_before);
+    // The reference oracle agrees.
+    let oracle = db.query_reference(q, &params).unwrap();
+    assert!(first.bag_eq(&oracle));
+}
