@@ -1,37 +1,51 @@
-//! The `Database` facade: open / query / checkpoint / close over an
-//! optionally durable property graph.
+//! The `Database` facade: a **transactional, multi-version** property
+//! graph — open / session / query / checkpoint / close — over the
+//! versioned core of [`cypher_graph::VersionedGraph`] and the durable
+//! store of [`cypher_storage`].
 //!
-//! This is the layer that turns the storage engine's pieces into one
-//! coherent lifecycle:
+//! ## Concurrency model (snapshot isolation, single writer)
+//!
+//! * Any number of [`Session`]s (cheap handles onto one shared database)
+//!   run **read queries concurrently**, each against a frozen
+//!   [`GraphView`]. Reader admission is lock-free (a few atomics — see
+//!   `cypher_graph::version`), so an in-flight writer never blocks
+//!   readers and readers never block the writer.
+//! * **Write queries are serialized** by the writer lock. A writer
+//!   executes against a private copy-on-write clone of the latest
+//!   version; its mutations become visible **all at once** when the
+//!   batch commits: the change records are sealed in the WAL first
+//!   (durability), then the new version is published (visibility) —
+//!   so every version a reader can pin is recoverable from disk, and no
+//!   reader ever observes a torn mid-batch state.
+//! * [`Session::begin_read`] pins the latest version for a multi-query
+//!   read transaction: every query until [`Session::commit`] sees that
+//!   one frozen state, regardless of concurrent commits.
+//!
+//! ## Durability lifecycle (unchanged from the storage engine's design)
 //!
 //! 1. **open** — `cypher_storage::Store::open` recovers the graph from
-//!    the latest valid snapshot plus the replayed WAL tail, then a
-//!    [`SharedChangeBuffer`] sink is installed into the graph so every
-//!    subsequent mutation is captured;
-//! 2. **query** — the engine executes; afterwards, whatever change
-//!    records the query produced are drained and appended to the WAL as
-//!    **one atomic batch** (all-or-nothing on replay). A query that
-//!    errors midway still commits the mutations it *did* apply — the
-//!    in-memory graph keeps them (Cypher has no rollback), so the disk
-//!    must too, or memory and disk would diverge;
+//!    the latest valid snapshot plus the replayed WAL tail; the result
+//!    is published as the initial version (= batches recovered);
+//! 2. **query** — one WAL batch per mutating query; a query that errors
+//!    midway still commits the mutations it *did* apply (Cypher has no
+//!    rollback), atomically, so memory and disk stay aligned;
 //! 3. **checkpoint** — when the WAL outgrows
-//!    [`EngineConfig::wal_compact_bytes`] (or on demand), the graph is
-//!    snapshotted and the WAL truncated;
-//! 4. **close** — fsyncs the WAL. Every committed batch is handed to
-//!    the OS at commit time, so dropping without closing survives
-//!    *process* crashes; surviving OS crashes / power loss additionally
-//!    needs the fsync that `close` and every checkpoint perform (a torn
-//!    not-yet-synced tail is truncated on recovery, never mis-read).
+//!    [`EngineConfig::wal_compact_bytes`] (or on demand), the latest
+//!    version is snapshotted and the WAL truncated;
+//! 4. **close** — fsyncs the WAL (committed batches are already with
+//!    the OS, so dropping without closing survives *process* crashes).
 
 use crate::{run_reference_with, Error, Table};
 use cypher_ast::query::Query;
+use cypher_core::error::EvalError;
 use cypher_core::Params;
 use cypher_engine::{stats_fingerprint, EngineConfig, PlanMemo};
-use cypher_graph::{PropertyGraph, SharedChangeBuffer};
+use cypher_graph::{GraphView, PropertyGraph, SharedChangeBuffer, VersionedGraph};
 use cypher_storage::{RecoveryReport, Store};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Counters of the `Database` parse+plan cache. All zeros when the cache
 /// is disabled (`EngineConfig::plan_cache_size == 0`).
@@ -41,24 +55,33 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Queries that were parsed (and planned) fresh.
     pub misses: u64,
-    /// Cache entries whose plans were discarded because the index
-    /// statistics drifted far enough to re-plan (the parse is kept).
+    /// Cache entries that held no plans valid under the querying
+    /// session's statistics fingerprint, so the plans were compiled
+    /// fresh (the parse is kept).
     pub invalidations: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
 }
 
-/// One cached query: the parsed AST, the memoized plans, and the
-/// fingerprints they are valid under.
+/// Plan memos kept per cached query text: one per recent statistics
+/// fingerprint, so concurrent sessions pinned at different versions
+/// (hence different statistics) don't thrash each other's plans.
+const MEMOS_PER_ENTRY: usize = 4;
+
+/// One cached query: the parsed AST plus memoized plans per recent
+/// statistics fingerprint.
 struct CacheEntry {
     query: Arc<Query>,
-    memo: Arc<PlanMemo>,
-    stats_fp: u64,
     cfg_fp: u64,
+    /// `(stats fingerprint, plans, last used)` — tiny LRU within the
+    /// entry.
+    memos: Vec<(u64, Arc<PlanMemo>, u64)>,
     last_used: u64,
 }
 
-/// An LRU parse+plan cache keyed by query text.
+/// An LRU parse+plan cache keyed by query text, shared by every session
+/// of a database (interior `Mutex`, held only to resolve entries —
+/// never across execution).
 #[derive(Default)]
 struct PlanCache {
     entries: HashMap<String, CacheEntry>,
@@ -67,33 +90,77 @@ struct PlanCache {
 }
 
 impl PlanCache {
-    /// Looks up (or creates) the entry for `text`, validating fingerprints.
-    fn resolve(
+    /// Looks up the entry for `text`, returning the parsed query plus
+    /// the plan memo valid under `stats_fp`. `None` means the text is
+    /// not cached (or was cached under another config and has been
+    /// dropped) — the caller parses **outside the cache lock** and
+    /// completes with [`PlanCache::insert`].
+    ///
+    /// `count` suppresses the public counters for internal re-lookups
+    /// (a write transaction re-validating its memo against its actual
+    /// base statistics, or the adopt path after a racing insert).
+    fn lookup(
         &mut self,
         text: &str,
+        cfg_fp: u64,
+        stats_fp: u64,
+        count: bool,
+    ) -> Option<(Arc<Query>, Arc<PlanMemo>)> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(text) {
+            if e.cfg_fp == cfg_fp {
+                e.last_used = tick;
+                if let Some(slot) = e.memos.iter_mut().find(|(fp, _, _)| *fp == stats_fp) {
+                    slot.2 = tick;
+                    if count {
+                        self.stats.hits += 1;
+                    }
+                    return Some((Arc::clone(&e.query), Arc::clone(&slot.1)));
+                }
+                // Statistics moved (or this session is pinned at another
+                // version): keep the parse, plan fresh under this
+                // fingerprint. Older fingerprints stay cached so a
+                // session still pinned before the mutation keeps *its*
+                // plans too.
+                let memo = Arc::new(PlanMemo::new());
+                if e.memos.len() >= MEMOS_PER_ENTRY {
+                    if let Some(lru) = e
+                        .memos
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, _, used))| *used)
+                        .map(|(i, _)| i)
+                    {
+                        e.memos.remove(lru);
+                    }
+                }
+                e.memos.push((stats_fp, Arc::clone(&memo), tick));
+                if count {
+                    self.stats.invalidations += 1;
+                }
+                return Some((Arc::clone(&e.query), memo));
+            }
+            // Config changed under the same text: drop; the caller
+            // reparses and reinserts.
+            self.entries.remove(text);
+        }
+        None
+    }
+
+    /// Completes a miss: records the externally parsed query (evicting
+    /// LRU at capacity) and returns its fresh memo.
+    fn insert(
+        &mut self,
+        text: &str,
+        query: Arc<Query>,
         capacity: usize,
         cfg_fp: u64,
         stats_fp: u64,
-    ) -> Result<(Arc<Query>, Arc<PlanMemo>), Error> {
+    ) -> (Arc<Query>, Arc<PlanMemo>) {
         self.tick += 1;
-        if let Some(e) = self.entries.get_mut(text) {
-            if e.cfg_fp == cfg_fp {
-                e.last_used = self.tick;
-                if e.stats_fp != stats_fp {
-                    // Statistics moved: keep the parse, drop the plans.
-                    e.memo = Arc::new(PlanMemo::new());
-                    e.stats_fp = stats_fp;
-                    self.stats.invalidations += 1;
-                } else {
-                    self.stats.hits += 1;
-                }
-                return Ok((Arc::clone(&e.query), Arc::clone(&e.memo)));
-            }
-            // Config changed under the same text: replace below.
-            self.entries.remove(text);
-        }
+        let tick = self.tick;
         self.stats.misses += 1;
-        let query = Arc::new(crate::parse_query(text)?);
         let memo = Arc::new(PlanMemo::new());
         if self.entries.len() >= capacity {
             // Evict the least-recently-used entry (capacity ≥ 1 here).
@@ -111,17 +178,273 @@ impl PlanCache {
             text.to_string(),
             CacheEntry {
                 query: Arc::clone(&query),
-                memo: Arc::clone(&memo),
-                stats_fp,
                 cfg_fp,
-                last_used: self.tick,
+                memos: vec![(stats_fp, Arc::clone(&memo), tick)],
+                last_used: tick,
             },
         );
-        Ok((query, memo))
+        (query, memo)
     }
 }
 
-/// A property graph with an optional durable store behind it.
+/// The writer-side state: the durable store and the change buffer that
+/// collects each query's mutation records. Everything here is touched
+/// only under the writer lock.
+struct WriterState {
+    store: Option<Store>,
+    buffer: SharedChangeBuffer,
+    poisoned_msg: Option<String>,
+}
+
+/// Lock-free mirror of the store's observability counters, refreshed
+/// under the writer lock after every commit/checkpoint. Monitoring
+/// getters (`batches_committed`, `wal_bytes`, `generation`) read these
+/// instead of taking the writer lock — which an in-flight bulk write
+/// transaction can hold for the whole duration of its query.
+struct StoreMetrics {
+    durable: bool,
+    batches: AtomicU64,
+    wal_bytes: AtomicU64,
+    generation: AtomicU64,
+}
+
+impl StoreMetrics {
+    fn of(store: &Option<Store>) -> StoreMetrics {
+        let m = StoreMetrics {
+            durable: store.is_some(),
+            batches: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        };
+        if let Some(s) = store {
+            m.refresh(s);
+        }
+        m
+    }
+
+    fn refresh(&self, store: &Store) {
+        self.batches
+            .store(store.batches_committed(), Ordering::Relaxed);
+        self.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+        self.generation.store(store.generation(), Ordering::Relaxed);
+    }
+
+    fn read(&self, counter: &AtomicU64) -> Option<u64> {
+        self.durable.then(|| counter.load(Ordering::Relaxed))
+    }
+}
+
+/// Everything shared between a [`Database`] and its [`Session`]s.
+struct DbInner {
+    versioned: VersionedGraph,
+    cfg: EngineConfig,
+    recovery: RecoveryReport,
+    writer: Mutex<WriterState>,
+    metrics: StoreMetrics,
+    cache: Mutex<PlanCache>,
+    /// `(version, statistics fingerprint)` memo for recent versions: the
+    /// fingerprint is recomputed only when a session reads a version it
+    /// hasn't been computed for — read-only traffic on a quiet graph
+    /// costs one lookup.
+    stats_fp: Mutex<Vec<(u64, u64)>>,
+}
+
+impl DbInner {
+    /// Resolves `text` through the shared plan cache: the cache `Mutex`
+    /// is held only for lookup/insert — a cache-miss **parse runs
+    /// unlocked**, so one session parsing a large query never serializes
+    /// other sessions' query startup. `count` as in
+    /// [`PlanCache::lookup`].
+    fn resolve_cached(
+        &self,
+        text: &str,
+        capacity: usize,
+        stats_fp: u64,
+        count: bool,
+    ) -> Result<(Arc<Query>, Arc<PlanMemo>), Error> {
+        let cfg_fp = self.cfg.plan_fingerprint();
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(text, cfg_fp, stats_fp, count)
+        {
+            return Ok(hit);
+        }
+        let parsed = Arc::new(crate::parse_query(text)?);
+        let mut c = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing session may have inserted while we parsed: adopt its
+        // entry. Counted under the caller's flag — an absent-entry
+        // lookup increments nothing, so this query's outcome has not
+        // been accounted yet and the adoption *is* its cache hit.
+        if let Some(hit) = c.lookup(text, cfg_fp, stats_fp, count) {
+            return Ok(hit);
+        }
+        Ok(c.insert(text, parsed, capacity, cfg_fp, stats_fp))
+    }
+
+    /// The statistics fingerprint of `view`, memoized by version.
+    fn stats_fp_for(&self, view: &GraphView) -> u64 {
+        let mut memo = self.stats_fp.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&(_, fp)) = memo.iter().find(|(v, _)| *v == view.version()) {
+            return fp;
+        }
+        let fp = stats_fingerprint(view.graph());
+        memo.push((view.version(), fp));
+        if memo.len() > 16 {
+            memo.remove(0);
+        }
+        fp
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Executes one query: reads run lock-free against `view`; updating
+    /// queries take the writer lock (refused when `pinned` — a read
+    /// transaction never mutates).
+    fn query_at(
+        self: &Arc<Self>,
+        view: &GraphView,
+        pinned: bool,
+        text: &str,
+        params: &Params,
+    ) -> Result<Table, Error> {
+        let capacity = self.cfg.plan_cache_size;
+        let (q, memo) = if capacity == 0 {
+            (Arc::new(crate::parse_query(text)?), None)
+        } else {
+            let stats_fp = self.stats_fp_for(view);
+            let (q, memo) = self.resolve_cached(text, capacity, stats_fp, true)?;
+            (q, Some(memo))
+        };
+        if !q.is_updating() {
+            return Ok(cypher_engine::execute_read_cached(
+                view,
+                &q,
+                params,
+                &self.cfg,
+                memo.as_deref(),
+            )?);
+        }
+        if pinned {
+            return Err(Error::Eval(EvalError::new(
+                "updating query inside a read transaction: \
+                 call Session::commit() to release the pinned snapshot first",
+            )));
+        }
+        self.write_query(text, &q, params)
+    }
+
+    /// Executes an updating query as one transaction: private
+    /// copy-on-write clone → execute → drain the change records → seal
+    /// them in the WAL as one atomic batch → publish the new version.
+    fn write_query(&self, text: &str, q: &Arc<Query>, params: &Params) -> Result<Table, Error> {
+        let mut w = self.lock_writer();
+        if let Some(msg) = &w.poisoned_msg {
+            return Err(Error::Eval(EvalError::new(msg.clone())));
+        }
+        // Resolve the plan memo against the statistics this transaction
+        // will *actually* execute under — the latest version is frozen
+        // for the duration (we hold the writer lock). The caller's
+        // pre-lock resolution may have been computed against an older
+        // version; caching plans chosen under these statistics into
+        // that older fingerprint's slot would poison it for sessions
+        // genuinely pinned there. Quiet: this query's cache outcome was
+        // already counted.
+        let capacity = self.cfg.plan_cache_size;
+        let memo = if capacity == 0 {
+            None
+        } else {
+            let base = self.versioned.latest();
+            let fp = self.stats_fp_for(&base);
+            Some(self.resolve_cached(text, capacity, fp, false)?.1)
+        };
+        let memo = memo.as_deref();
+        let mut txn = self.versioned.begin_write();
+        let durable = w.store.is_some();
+        if durable {
+            // Collect this transaction's change records for the WAL
+            // batch. Discard anything a previous transaction left
+            // behind: a query that *panicked* mid-execution aborted its
+            // clone but could not drain the records it had already
+            // emitted — sealing them into this batch would write
+            // mutations to disk that no published version ever
+            // contained.
+            let _stale = w.buffer.drain();
+            txn.graph_mut().set_change_sink(Box::new(w.buffer.clone()));
+        }
+        // In-memory databases skip the sink entirely (no records to
+        // seal); the mutation counter is their did-anything-mutate
+        // detector.
+        let version_before = txn.graph().version();
+        let result = cypher_engine::execute_cached(txn.graph_mut(), q, params, &self.cfg, memo)
+            .map_err(Error::from);
+        // Even an errored query publishes (and seals) the mutations it
+        // did apply before failing — Cypher has no rollback, so the
+        // already-executed clauses are real and must be durable; they
+        // become visible to readers atomically like any other batch.
+        let changes = if durable {
+            w.buffer.drain()
+        } else {
+            Vec::new()
+        };
+        let version = match &mut w.store {
+            Some(store) => {
+                if changes.is_empty() {
+                    txn.abort();
+                    return result;
+                }
+                // Seal first: a version is published only once the batch
+                // that produced it is recoverable.
+                match store.commit(&changes) {
+                    Ok(seq) => seq + 1,
+                    Err(e) => {
+                        // The in-memory mutations cannot be made durable;
+                        // dropping the unpublished transaction keeps
+                        // readers (and future recovery) on the last
+                        // consistent version. The database stops
+                        // accepting writes: retrying against a store
+                        // that already failed a seal risks interleaving
+                        // half-sealed batches.
+                        w.poisoned_msg = Some(format!(
+                            "database is read-only after a failed WAL commit: {e}"
+                        ));
+                        txn.abort();
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => {
+                if txn.graph().version() == version_before {
+                    // No mutator ran (e.g. a SET whose MATCH bound
+                    // nothing): nothing to publish. A *failed* mutation
+                    // attempt bumps the counter without changing state;
+                    // publishing that content-identical version is
+                    // harmless.
+                    txn.abort();
+                    return result;
+                }
+                txn.base_version() + 1
+            }
+        };
+        let published = txn.commit_as(version);
+        if let Some(store) = &mut w.store {
+            if store.wal_bytes() > self.cfg.wal_compact_bytes {
+                let ck = store.checkpoint(published.graph());
+                self.metrics.refresh(store);
+                ck?;
+            } else {
+                self.metrics.refresh(store);
+            }
+        }
+        result
+    }
+}
+
+/// A transactional property graph with an optional durable store behind
+/// it and snapshot-isolated concurrent sessions on top.
 ///
 /// ```
 /// use cypher::{Database, Params};
@@ -138,17 +461,27 @@ impl PlanCache {
 /// assert_eq!(out.len(), 1);
 /// std::fs::remove_dir_all(&dir).unwrap();
 /// ```
+///
+/// For concurrent use, hand each thread its own [`Session`]:
+///
+/// ```
+/// use cypher::{Database, Params};
+///
+/// let db = Database::in_memory();
+/// let params = Params::new();
+/// let mut reader = db.session();
+/// let mut writer = db.session();
+/// writer.query("CREATE (:N {v: 1})", &params).unwrap();
+/// let v = reader.begin_read(); // pin: a frozen snapshot
+/// writer.query("CREATE (:N {v: 2})", &params).unwrap();
+/// let pinned = reader.query("MATCH (n:N) RETURN count(*) AS c", &params).unwrap();
+/// assert_eq!(format!("{:?}", pinned.cell(0, "c").unwrap()), "Integer(1)");
+/// reader.commit(); // release the pin
+/// assert!(reader.version().is_none());
+/// assert_eq!(v, 1);
+/// ```
 pub struct Database {
-    graph: PropertyGraph,
-    cfg: EngineConfig,
-    buffer: SharedChangeBuffer,
-    store: Option<Store>,
-    recovery: RecoveryReport,
-    cache: PlanCache,
-    /// `(graph version, statistics fingerprint)` memo: the fingerprint is
-    /// only recomputed after a mutation actually happened, so cache hits
-    /// on read-only workloads cost one counter comparison.
-    stats_fp: Option<(u64, u64)>,
+    inner: Arc<DbInner>,
 }
 
 impl Database {
@@ -164,27 +497,31 @@ impl Database {
     /// [`EngineConfig::persistence`] is set (which defaults from the
     /// `CYPHER_DATA_DIR` environment variable), in-memory otherwise.
     pub fn open_with(cfg: EngineConfig) -> Result<Database, Error> {
-        let (graph, store, recovery) = match &cfg.persistence {
+        let (graph, store, recovery, initial_version) = match &cfg.persistence {
             Some(dir) => {
                 let (store, graph) = Store::open(dir)?;
                 let recovery = store.report().clone();
-                (graph, Some(store), recovery)
+                let v = store.batches_committed();
+                (graph, Some(store), recovery, v)
             }
-            None => (PropertyGraph::new(), None, RecoveryReport::default()),
+            None => (PropertyGraph::new(), None, RecoveryReport::default(), 0),
         };
-        let mut db = Database {
-            graph,
-            cfg,
-            buffer: SharedChangeBuffer::new(),
-            store,
-            recovery,
-            cache: PlanCache::default(),
-            stats_fp: None,
-        };
-        if db.store.is_some() {
-            db.graph.set_change_sink(Box::new(db.buffer.clone()));
-        }
-        Ok(db)
+        let metrics = StoreMetrics::of(&store);
+        Ok(Database {
+            inner: Arc::new(DbInner {
+                versioned: VersionedGraph::new(graph, initial_version),
+                cfg,
+                recovery,
+                writer: Mutex::new(WriterState {
+                    store,
+                    buffer: SharedChangeBuffer::new(),
+                    poisoned_msg: None,
+                }),
+                metrics,
+                cache: Mutex::new(PlanCache::default()),
+                stats_fp: Mutex::new(Vec::new()),
+            }),
+        })
     }
 
     /// An in-memory database (no files, no WAL); mostly for tests and as
@@ -195,140 +532,236 @@ impl Database {
         Database::open_with(cfg).expect("in-memory open cannot fail")
     }
 
-    /// Executes one query (reads and updates). A mutating query's change
-    /// records are committed to the WAL as one atomic batch after the
-    /// engine finishes; the snapshot-compaction trigger runs afterwards.
+    /// Opens a new session: an independent, cheap handle onto this
+    /// database. Sessions on one database share the graph, the durable
+    /// store and the plan cache; each may pin its own read snapshot, and
+    /// any number of them may run queries concurrently (send them to
+    /// other threads freely).
+    pub fn session(&self) -> Session {
+        Session {
+            inner: Arc::clone(&self.inner),
+            pinned: None,
+        }
+    }
+
+    /// Executes one query (reads and updates) in auto-commit mode.
+    ///
+    /// Reads run lock-free against the latest published version. An
+    /// updating query runs as one write transaction: its change records
+    /// are sealed in the WAL as one atomic batch, then the new version
+    /// is published to readers (the snapshot-compaction trigger runs
+    /// afterwards).
     ///
     /// Repeated query texts skip parsing and `MATCH` planning entirely via
-    /// the LRU plan cache (capacity [`EngineConfig::plan_cache_size`];
-    /// `0` disables). Cached plans are dropped — the parse is kept — when
-    /// the index statistics drift far enough to change plan choice
-    /// (log₂-bucketed fingerprint; see `cypher_engine::stats_fingerprint`).
-    /// Parameters are *not* part of the cache key: plans embed parameter
-    /// *expressions*, evaluated freshly on every execution.
+    /// the shared LRU plan cache (capacity [`EngineConfig::plan_cache_size`];
+    /// `0` disables). Plans are memoized per statistics fingerprint —
+    /// when the index statistics drift far enough to change plan choice
+    /// (log₂-bucketed; see `cypher_engine::stats_fingerprint`), the entry
+    /// replans while keeping the parse. Parameters are *not* part of the
+    /// cache key: plans embed parameter *expressions*, evaluated freshly
+    /// on every execution.
     pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
-        let result = (|| {
-            let capacity = self.cfg.plan_cache_size;
-            if capacity == 0 {
-                let q = crate::parse_query(query)?;
-                return Ok(cypher_engine::execute(
-                    &mut self.graph,
-                    &q,
-                    params,
-                    &self.cfg,
-                )?);
-            }
-            let version = self.graph.version();
-            let stats_fp = match self.stats_fp {
-                Some((v, fp)) if v == version => fp,
-                _ => {
-                    let fp = stats_fingerprint(&self.graph);
-                    self.stats_fp = Some((version, fp));
-                    fp
-                }
-            };
-            let (q, memo) =
-                self.cache
-                    .resolve(query, capacity, self.cfg.plan_fingerprint(), stats_fp)?;
-            Ok(cypher_engine::execute_cached(
-                &mut self.graph,
-                &q,
-                params,
-                &self.cfg,
-                Some(&memo),
-            )?)
-        })();
-        // Commit even when the query errored: the in-memory graph keeps
-        // whatever mutations were applied before the error, so the log
-        // must record them to stay the graph's source of truth.
-        let changes = self.buffer.drain();
-        if let Some(store) = &mut self.store {
-            if !changes.is_empty() {
-                store.commit(&changes)?;
-            }
-            if store.wal_bytes() > self.cfg.wal_compact_bytes {
-                store.checkpoint(&self.graph)?;
-            }
-        }
-        result
+        let view = self.inner.versioned.latest();
+        self.inner.query_at(&view, false, query, params)
     }
 
     /// Evaluates a read query with the reference evaluator (the paper's
-    /// denotational semantics) against the current graph.
+    /// denotational semantics) against the latest version.
     pub fn query_reference(&self, query: &str, params: &Params) -> Result<Table, Error> {
-        run_reference_with(&self.graph, query, params, self.cfg.match_config)
+        let view = self.inner.versioned.latest();
+        run_reference_with(view.graph(), query, params, self.inner.cfg.match_config)
     }
 
     /// Forces a snapshot + WAL truncation now. No-op for in-memory
     /// databases.
     pub fn checkpoint(&mut self) -> Result<(), Error> {
-        if let Some(store) = &mut self.store {
-            store.checkpoint(&self.graph)?;
+        let mut w = self.inner.lock_writer();
+        // Under the writer lock no commit is in flight, so the latest
+        // published version is exactly the state of every sealed batch.
+        let view = self.inner.versioned.latest();
+        if let Some(store) = &mut w.store {
+            let ck = store.checkpoint(view.graph());
+            self.inner.metrics.refresh(store);
+            ck?;
         }
         Ok(())
     }
 
-    /// Syncs the WAL to stable storage and consumes the database. Every
-    /// committed batch is handed to the OS at commit time (durable
+    /// Syncs the WAL to stable storage and consumes the database handle.
+    /// Every committed batch is handed to the OS at commit time (durable
     /// against process crashes); `close` forces the fsync that makes the
     /// tail durable against OS crashes and power loss too.
-    pub fn close(mut self) -> Result<(), Error> {
-        if let Some(store) = &mut self.store {
+    ///
+    /// Sessions outlive the handle but the *write path does not*: after
+    /// `close`, updating queries on any surviving session fail loudly —
+    /// silently accepting a commit that will never be fsynced would
+    /// break the durability promise `close` just made. Reads (which
+    /// only touch published in-memory versions) keep working.
+    pub fn close(self) -> Result<(), Error> {
+        let mut w = self.inner.lock_writer();
+        if let Some(store) = &mut w.store {
             store.sync()?;
         }
+        // Drop the store now (not when the last Session drops): this
+        // releases the data directory's single-writer lock, so the
+        // directory can be reopened even while sessions linger.
+        w.store = None;
+        w.poisoned_msg =
+            Some("database has been closed: open it again to resume writing".to_string());
         Ok(())
     }
 
-    /// Read access to the underlying graph.
-    pub fn graph(&self) -> &PropertyGraph {
-        &self.graph
+    /// The latest published version of the graph, as a frozen snapshot
+    /// handle (derefs to [`PropertyGraph`], so the whole read API is
+    /// available on it).
+    pub fn graph(&self) -> GraphView {
+        self.inner.versioned.latest()
+    }
+
+    /// The version id of the latest committed transaction (0 for a fresh
+    /// in-memory database; the recovered batch count after `open`).
+    pub fn version(&self) -> u64 {
+        self.inner.versioned.latest_version()
     }
 
     /// What recovery found when this database was opened (all zeros for
     /// in-memory databases).
     pub fn recovery(&self) -> &RecoveryReport {
-        &self.recovery
+        &self.inner.recovery
     }
 
     /// Number of WAL batches committed over the store's lifetime; `None`
     /// for in-memory databases. The recovery differential uses this to
-    /// map kill points back to statement prefixes.
+    /// map kill points back to statement prefixes. Lock-free (reads a
+    /// mirror refreshed at each commit), so monitoring never stalls
+    /// behind an in-flight write transaction.
     pub fn batches_committed(&self) -> Option<u64> {
-        self.store.as_ref().map(|s| s.batches_committed())
+        self.inner.metrics.read(&self.inner.metrics.batches)
     }
 
-    /// Current WAL size in bytes; `None` for in-memory databases.
+    /// WAL size in bytes as of the last commit/checkpoint; `None` for
+    /// in-memory databases. Lock-free mirror, like
+    /// [`Database::batches_committed`].
     pub fn wal_bytes(&self) -> Option<u64> {
-        self.store.as_ref().map(|s| s.wal_bytes())
+        self.inner.metrics.read(&self.inner.metrics.wal_bytes)
     }
 
-    /// Current snapshot generation; `None` for in-memory databases.
+    /// Snapshot generation as of the last commit/checkpoint; `None` for
+    /// in-memory databases. Lock-free mirror, like
+    /// [`Database::batches_committed`].
     pub fn generation(&self) -> Option<u64> {
-        self.store.as_ref().map(|s| s.generation())
+        self.inner.metrics.read(&self.inner.metrics.generation)
     }
 
     /// The engine configuration this database executes with.
     pub fn config(&self) -> &EngineConfig {
-        &self.cfg
+        &self.inner.cfg
     }
 
-    /// Hit/miss/invalidation/eviction counters of the parse+plan cache.
+    /// Hit/miss/invalidation/eviction counters of the parse+plan cache
+    /// (shared across all sessions).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.cache.stats
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
     }
 
     /// Number of query texts currently cached.
     pub fn plan_cache_len(&self) -> usize {
-        self.cache.entries.len()
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
     }
 
     /// Renders the physical plans (and projection pushdowns) this
-    /// database's configuration produces for `query` against the current
-    /// graph and statistics — the `EXPLAIN` witness the plan-cache tests
+    /// database's configuration produces for `query` against the latest
+    /// version's statistics — the `EXPLAIN` witness the plan-cache tests
     /// compare before and after invalidation.
     pub fn explain(&self, query: &str) -> Result<String, Error> {
         let q = crate::parse_query(query)?;
-        Ok(cypher_engine::explain(&self.graph, &q, &self.cfg))
+        let view = self.inner.versioned.latest();
+        Ok(cypher_engine::explain(&view, &q, &self.inner.cfg))
+    }
+}
+
+/// One client's handle onto a shared [`Database`]: the unit of
+/// concurrency and of read-transaction scope.
+///
+/// * `query()` outside a read transaction auto-commits: reads execute
+///   against the latest version, updates run as their own atomic write
+///   transaction.
+/// * [`Session::begin_read`] … [`Session::commit`] brackets a **read
+///   transaction**: every query in between executes against the one
+///   version pinned at `begin_read`, unaffected by concurrent commits
+///   (snapshot isolation — repeatable reads, no torn batches). Updating
+///   queries are refused while pinned.
+///
+/// Sessions are `Send`: create one per thread and query away. All
+/// sessions share the plan cache, so a hot query planned by one session
+/// is a cache hit for every other session at the same statistics
+/// fingerprint.
+pub struct Session {
+    inner: Arc<DbInner>,
+    pinned: Option<GraphView>,
+}
+
+impl Session {
+    /// Starts (or restarts) a read transaction: pins the latest
+    /// published version and returns its id. Until [`Session::commit`],
+    /// every query of this session executes against this frozen
+    /// snapshot.
+    pub fn begin_read(&mut self) -> u64 {
+        let view = self.inner.versioned.latest();
+        let v = view.version();
+        self.pinned = Some(view);
+        v
+    }
+
+    /// Ends the read transaction, releasing the pinned snapshot (and
+    /// with it, eventually, the memory of that version). No-op when no
+    /// transaction is open. The name mirrors the transactional bracket;
+    /// read transactions have nothing to make durable.
+    pub fn commit(&mut self) {
+        self.pinned = None;
+    }
+
+    /// The version this session is pinned at, if a read transaction is
+    /// open.
+    pub fn version(&self) -> Option<u64> {
+        self.pinned.as_ref().map(|v| v.version())
+    }
+
+    /// The snapshot this session's next read query will execute against:
+    /// the pinned version inside a read transaction, the latest version
+    /// otherwise.
+    pub fn snapshot(&self) -> GraphView {
+        match &self.pinned {
+            Some(v) => v.clone(),
+            None => self.inner.versioned.latest(),
+        }
+    }
+
+    /// Executes one query in this session. Inside a read transaction,
+    /// reads see the pinned snapshot and updates are refused; outside,
+    /// behaves exactly like [`Database::query`].
+    pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
+        let (view, pinned) = match &self.pinned {
+            Some(v) => (v.clone(), true),
+            None => (self.inner.versioned.latest(), false),
+        };
+        self.inner.query_at(&view, pinned, query, params)
+    }
+
+    /// Evaluates a read query with the reference evaluator against this
+    /// session's snapshot (pinned or latest).
+    pub fn query_reference(&self, query: &str, params: &Params) -> Result<Table, Error> {
+        let view = self.snapshot();
+        run_reference_with(view.graph(), query, params, self.inner.cfg.match_config)
     }
 }
 
@@ -357,10 +790,12 @@ mod tests {
             db.query("MATCH (n:P {name: 'Bo'}) SET n.age = 3", &params)
                 .unwrap();
             assert_eq!(db.batches_committed(), Some(2));
+            assert_eq!(db.version(), 2, "version = sealed batches");
             db.close().unwrap();
         }
         let mut db = Database::open(&dir).unwrap();
         assert_eq!(db.recovery().batches_replayed, 2);
+        assert_eq!(db.version(), 2, "versions continue across reopen");
         let out = db
             .query(
                 "MATCH (a:P)-[r:KNOWS]->(b) RETURN a.name, r.since, b.age",
@@ -426,5 +861,104 @@ mod tests {
         assert_eq!(db.batches_committed(), None);
         assert_eq!(db.wal_bytes(), None);
         assert!(!db.graph().has_change_sink());
+        assert_eq!(db.version(), 1);
+    }
+
+    #[test]
+    fn session_read_txn_pins_a_snapshot() {
+        let params = Params::new();
+        let db = Database::in_memory();
+        let mut writer = db.session();
+        let mut reader = db.session();
+        writer.query("CREATE (:N {v: 1})", &params).unwrap();
+        let pinned_at = reader.begin_read();
+        assert_eq!(pinned_at, 1);
+        writer.query("CREATE (:N {v: 2})", &params).unwrap();
+        writer
+            .query("MATCH (n:N {v: 1}) SET n.v = 99", &params)
+            .unwrap();
+        // Repeatable reads at the pinned version.
+        let count = |s: &mut Session| {
+            let t = s
+                .query("MATCH (n:N) RETURN count(*) AS c", &params)
+                .unwrap();
+            t.cell(0, "c").cloned().unwrap()
+        };
+        assert_eq!(count(&mut reader), Value::int(1));
+        assert_eq!(
+            reader
+                .query("MATCH (n:N) RETURN n.v AS v", &params)
+                .unwrap()
+                .cell(0, "v"),
+            Some(&Value::int(1)),
+            "pinned snapshot predates the SET"
+        );
+        // Updates are refused inside the read transaction.
+        let e = reader.query("CREATE (:Oops)", &params).unwrap_err();
+        assert!(
+            e.to_string().contains("read transaction"),
+            "unexpected error: {e}"
+        );
+        // Release: the same session now sees the latest version.
+        reader.commit();
+        assert_eq!(count(&mut reader), Value::int(2));
+        assert_eq!(db.version(), 3);
+    }
+
+    #[test]
+    fn close_poisons_writes_on_surviving_sessions_but_reads_continue() {
+        let dir = tmpdir("close-poison");
+        let params = Params::new();
+        let db = Database::open(&dir).unwrap();
+        let mut survivor = db.session();
+        survivor.query("CREATE (:N {v: 1})", &params).unwrap();
+        db.close().unwrap();
+        // A write after close would seal a batch no one ever fsyncs —
+        // it must fail loudly, not succeed silently.
+        let e = survivor.query("CREATE (:N {v: 2})", &params).unwrap_err();
+        assert!(e.to_string().contains("closed"), "unexpected error: {e}");
+        // Reads only touch published in-memory versions: still fine.
+        let t = survivor
+            .query("MATCH (n:N) RETURN count(*) AS c", &params)
+            .unwrap();
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(1)));
+        // close released the directory lock even though a session
+        // lingers: the directory reopens immediately.
+        let db2 = Database::open(&dir).unwrap();
+        assert_eq!(db2.version(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_stamps_the_snapshot_version() {
+        let params = Params::new();
+        let mut db = Database::in_memory();
+        db.query("CREATE (:P {v: 1})", &params).unwrap();
+        let plan = db.explain("MATCH (n:P) RETURN n").unwrap();
+        assert!(
+            plan.starts_with("snapshot version 1\n"),
+            "explain must witness the version its statistics came from:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn sessions_share_one_graph_and_one_plan_cache() {
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = None;
+        cfg.plan_cache_size = 16;
+        let db = Database::open_with(cfg).unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.query("CREATE (:P {v: 1}), (:P {v: 2})", &params).unwrap();
+        let q = "MATCH (n:P) RETURN n.v AS v ORDER BY v";
+        let ra = a.query(q, &params).unwrap();
+        let rb = b.query(q, &params).unwrap();
+        assert!(ra.ordered_eq(&rb));
+        let s = db.plan_cache_stats();
+        assert!(
+            s.hits >= 1,
+            "second session must hit the shared cache: {s:?}"
+        );
     }
 }

@@ -40,10 +40,13 @@ pub use cypher_core::{
     eval_query, table_of, EvalContext, EvalError, MatchConfig, Morphism, Params, Record, Schema,
     Table,
 };
-pub use cypher_engine::{EngineConfig, MultiResult, PartialAggMode, PlanMemo, PlannerMode};
+pub use cypher_engine::{
+    env_config_issues, EngineConfig, EnvConfigIssue, MultiResult, PartialAggMode, PlanMemo,
+    PlannerMode,
+};
 pub use cypher_graph::{
-    Catalog, Change, Direction, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer, Symbol,
-    Temporal, Tri, Value,
+    Catalog, Change, Direction, GraphView, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer,
+    Symbol, Temporal, Tri, Value, VersionedGraph, ViewRef, WriteTxn,
 };
 pub use cypher_parser::{parse_expression, parse_pattern, parse_query, ParseError};
 pub use cypher_storage as storage;
@@ -51,7 +54,7 @@ pub use cypher_storage::{RecoveryReport, StorageError, Store};
 pub use cypher_workload as workload;
 
 mod database;
-pub use database::{Database, PlanCacheStats};
+pub use database::{Database, PlanCacheStats, Session};
 
 /// Anything that can go wrong between query text and result table.
 #[derive(Debug, Clone)]

@@ -19,7 +19,7 @@
 use crate::exec::EngineConfig;
 use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
 use cypher_ast::pattern::PathPattern;
-use cypher_graph::PropertyGraph;
+use cypher_graph::{PropertyGraph, ViewRef};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -59,7 +59,7 @@ impl PlanMemo {
     pub(crate) fn get_or_plan(
         &self,
         site: MemoSite,
-        graph: &PropertyGraph,
+        view: ViewRef<'_>,
         fields: &[String],
         patterns: &[PathPattern],
         opts: PlannerOptions,
@@ -74,24 +74,24 @@ impl PlanMemo {
         }
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let planned = Arc::new(plan_match(graph, fields, patterns, opts));
+        let planned = Arc::new(plan_match(view, fields, patterns, opts));
         self.slots.lock().unwrap().insert(key, Arc::clone(&planned));
         planned
     }
 }
 
-/// Plans for `(site, fields)` — through the memo when one is installed,
-/// directly otherwise.
+/// Plans for `(site, fields)` against the given snapshot — through the
+/// memo when one is installed, directly otherwise.
 pub(crate) fn plan_match_memo(
     memo: Option<(&PlanMemo, MemoSite)>,
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     fields: &[String],
     patterns: &[PathPattern],
     opts: PlannerOptions,
 ) -> Arc<PlannedMatch> {
     match memo {
-        Some((m, site)) => m.get_or_plan(site, graph, fields, patterns, opts),
-        None => Arc::new(plan_match(graph, fields, patterns, opts)),
+        Some((m, site)) => m.get_or_plan(site, view, fields, patterns, opts),
+        None => Arc::new(plan_match(view, fields, patterns, opts)),
     }
 }
 

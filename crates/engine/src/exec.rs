@@ -8,7 +8,7 @@
 //! partial results are merged — in morsel order — into one table at these
 //! boundaries). The **final** `MATCH … RETURN` of an aggregating,
 //! `DISTINCT` or `ORDER BY … LIMIT` query is instead *fused* through
-//! [`crate::pushdown`]: workers fold partial aggregate / top-k states and
+//! `pushdown`: workers fold partial aggregate / top-k states and
 //! no merged table ever materializes. Updating clauses are dispatched to
 //! [`crate::update`].
 
@@ -27,7 +27,7 @@ use cypher_core::morphism::Morphism;
 use cypher_core::project::ProjectionPlan;
 use cypher_core::table::{Record, Schema, Table};
 use cypher_core::{EvalContext, MatchConfig, Params};
-use cypher_graph::{PropertyGraph, Value};
+use cypher_graph::{PropertyGraph, Value, ViewRef};
 
 /// Engine configuration: pattern-matching semantics, the plan strategy,
 /// which secondary indexes the planner may exploit, the batch/thread
@@ -106,13 +106,23 @@ pub enum PartialAggMode {
     Force,
 }
 
-impl PartialAggMode {
-    fn from_env(s: &str) -> PartialAggMode {
-        match s.to_ascii_lowercase().as_str() {
-            "off" | "0" | "false" | "no" => PartialAggMode::Off,
-            "force" => PartialAggMode::Force,
-            _ => PartialAggMode::Auto,
-        }
+/// One malformed environment override, reported instead of being
+/// silently replaced by the built-in default. Collected once at first
+/// config construction — inspect via [`env_config_issues`]; each issue
+/// is also printed to stderr once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigIssue {
+    /// The environment variable (e.g. `CYPHER_MORSEL_SIZE`).
+    pub var: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// Why it was rejected and what was used instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for EnvConfigIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.message)
     }
 }
 
@@ -126,44 +136,112 @@ struct EnvDefaults {
     wal_compact_bytes: u64,
     partial_agg: PartialAggMode,
     plan_cache_size: usize,
+    issues: Vec<EnvConfigIssue>,
+}
+
+/// Parses the `CYPHER_*` execution overrides from `get` (an environment
+/// lookup, injectable for tests; `get_path` serves `CYPHER_DATA_DIR`,
+/// which is a filesystem path and must not require UTF-8). An **unset
+/// or empty** variable silently keeps the default; anything else must
+/// parse, and a value that does not is reported as an
+/// [`EnvConfigIssue`] alongside the default that was used in its place
+/// — malformed configuration is never swallowed.
+fn parse_env_defaults(
+    get: &dyn Fn(&str) -> Option<String>,
+    get_path: &dyn Fn(&str) -> Option<std::ffi::OsString>,
+) -> EnvDefaults {
+    let mut issues: Vec<EnvConfigIssue> = Vec::new();
+    let mut parse_int = |var: &'static str, min: u64, fallback: u64| -> u64 {
+        match get(var).filter(|s| !s.is_empty()) {
+            None => fallback,
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(v) if v >= min => v,
+                Ok(v) => {
+                    issues.push(EnvConfigIssue {
+                        var,
+                        value: raw,
+                        message: format!(
+                            "must be at least {min}, got {v}; using default {fallback}"
+                        ),
+                    });
+                    fallback
+                }
+                Err(_) => {
+                    issues.push(EnvConfigIssue {
+                        var,
+                        value: raw,
+                        message: format!("not a valid integer; using default {fallback}"),
+                    });
+                    fallback
+                }
+            },
+        }
+    };
+    let morsel_size = parse_int("CYPHER_MORSEL_SIZE", 1, DEFAULT_MORSEL_SIZE as u64) as usize;
+    let num_threads = parse_int("CYPHER_NUM_THREADS", 1, 1) as usize;
+    let wal_compact_bytes = parse_int("CYPHER_WAL_COMPACT_BYTES", 1, DEFAULT_WAL_COMPACT_BYTES);
+    // 0 is meaningful here: it disables the plan cache.
+    let plan_cache_size =
+        parse_int("CYPHER_PLAN_CACHE_SIZE", 0, DEFAULT_PLAN_CACHE_SIZE as u64) as usize;
+    let partial_agg = match get("CYPHER_PARTIAL_AGG").filter(|s| !s.is_empty()) {
+        None => PartialAggMode::default(),
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "no" => PartialAggMode::Off,
+            "force" => PartialAggMode::Force,
+            "auto" | "on" | "1" | "true" | "yes" => PartialAggMode::Auto,
+            _ => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_PARTIAL_AGG",
+                    value: raw,
+                    message: "expected off/auto/force; using default auto".to_string(),
+                });
+                PartialAggMode::Auto
+            }
+        },
+    };
+    let persistence = get_path("CYPHER_DATA_DIR")
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from);
+    EnvDefaults {
+        morsel_size,
+        num_threads,
+        persistence,
+        wal_compact_bytes,
+        partial_agg,
+        plan_cache_size,
+        issues,
+    }
 }
 
 fn env_exec_defaults() -> &'static EnvDefaults {
     static CACHE: std::sync::OnceLock<EnvDefaults> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| {
-        let read = |name: &str, fallback: usize| {
-            std::env::var(name)
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .filter(|&v| v >= 1)
-                .unwrap_or(fallback)
-        };
-        let data_dir = std::env::var_os("CYPHER_DATA_DIR")
-            .filter(|s| !s.is_empty())
-            .map(std::path::PathBuf::from);
-        let compact = std::env::var("CYPHER_WAL_COMPACT_BYTES")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .filter(|&v| v >= 1)
-            .unwrap_or(DEFAULT_WAL_COMPACT_BYTES);
-        let partial_agg = std::env::var("CYPHER_PARTIAL_AGG")
-            .ok()
-            .filter(|s| !s.is_empty())
-            .map(|s| PartialAggMode::from_env(&s))
-            .unwrap_or_default();
-        let plan_cache_size = std::env::var("CYPHER_PLAN_CACHE_SIZE")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_PLAN_CACHE_SIZE);
-        EnvDefaults {
-            morsel_size: read("CYPHER_MORSEL_SIZE", DEFAULT_MORSEL_SIZE),
-            num_threads: read("CYPHER_NUM_THREADS", 1),
-            persistence: data_dir,
-            wal_compact_bytes: compact,
-            partial_agg,
-            plan_cache_size,
+        let defaults = parse_env_defaults(
+            &|name| match std::env::var(name) {
+                Ok(s) => Some(s),
+                Err(std::env::VarError::NotPresent) => None,
+                // A non-UTF-8 value cannot be a valid integer/mode
+                // token; surface it through the normal malformed-value
+                // path instead of silently treating it as unset.
+                Err(std::env::VarError::NotUnicode(_)) => Some("<non-unicode>".to_string()),
+            },
+            // Paths are OS strings, not UTF-8: read them losslessly.
+            &|name| std::env::var_os(name),
+        );
+        for issue in &defaults.issues {
+            eprintln!("warning: ignoring environment override {issue}");
         }
+        defaults
     })
+}
+
+/// The malformed `CYPHER_*` environment overrides found when the
+/// execution defaults were first read (empty when every override was
+/// well-formed). Each was replaced by its built-in default and printed
+/// to stderr once; this accessor lets embedders surface them their own
+/// way (or fail hard on them).
+pub fn env_config_issues() -> &'static [EnvConfigIssue] {
+    &env_exec_defaults().issues
 }
 
 impl Default for EngineConfig {
@@ -246,32 +324,36 @@ impl EngineConfig {
     }
 }
 
-/// Executes a read-only query. Updating clauses are rejected; use
-/// [`execute`] for those.
-pub fn execute_read(
-    graph: &PropertyGraph,
+/// Executes a read-only query against a frozen snapshot. Updating
+/// clauses are rejected; use [`execute`] for those.
+///
+/// The whole read path takes a [`ViewRef`]: a pinned
+/// [`cypher_graph::GraphView`] from a versioned session, or a plain
+/// `&PropertyGraph` borrow for single-owner callers — both convert.
+pub fn execute_read<'a>(
+    view: impl Into<ViewRef<'a>>,
     q: &Query,
     params: &Params,
     cfg: &EngineConfig,
 ) -> Result<Table, EvalError> {
-    execute_read_cached(graph, q, params, cfg, None)
+    execute_read_cached(view, q, params, cfg, None)
 }
 
 /// [`execute_read`] with an optional [`PlanMemo`]: `MATCH` clauses reuse
 /// plans the memo already holds and record the plans they compile.
-pub fn execute_read_cached(
-    graph: &PropertyGraph,
+pub fn execute_read_cached<'a>(
+    view: impl Into<ViewRef<'a>>,
     q: &Query,
     params: &Params,
     cfg: &EngineConfig,
     memo: Option<&PlanMemo>,
 ) -> Result<Table, EvalError> {
     let mut branch = 0usize;
-    exec_query_read(graph, q, params, cfg, memo, &mut branch)
+    exec_query_read(view.into(), q, params, cfg, memo, &mut branch)
 }
 
 fn exec_query_read(
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     q: &Query,
     params: &Params,
     cfg: &EngineConfig,
@@ -282,11 +364,11 @@ fn exec_query_read(
         Query::Single(sq) => {
             let b = *branch;
             *branch += 1;
-            exec_single_read(graph, sq, params, cfg, Table::unit(), memo, b)
+            exec_single_read(view, sq, params, cfg, Table::unit(), memo, b)
         }
         Query::Union { all, left, right } => {
-            let l = exec_query_read(graph, left, params, cfg, memo, branch)?;
-            let r = exec_query_read(graph, right, params, cfg, memo, branch)?;
+            let l = exec_query_read(view, left, params, cfg, memo, branch)?;
+            let r = exec_query_read(view, right, params, cfg, memo, branch)?;
             union_tables(l, r, *all)
         }
     }
@@ -365,7 +447,7 @@ fn fused_applicable(cfg: &EngineConfig, sq: &SingleQuery, ret: &Return) -> bool 
 /// Runs the final `MATCH` clause fused with the query's `RETURN`. On
 /// `Done` the returned table is the query's final output.
 fn exec_fused_final(
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     params: &Params,
     cfg: &EngineConfig,
     memo: Option<(&PlanMemo, MemoSite)>,
@@ -374,14 +456,8 @@ fn exec_fused_final(
     ret: &Return,
     t: Table,
 ) -> FusedOutcome {
-    let planned = plan_match_memo(
-        memo,
-        graph,
-        table_names(&t),
-        patterns,
-        cfg.planner_options(),
-    );
-    let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+    let planned = plan_match_memo(memo, view, table_names(&t), patterns, cfg.planner_options());
+    let ctx = EvalContext::new(view.graph(), params).with_config(cfg.match_config);
     try_fused_match_projection(&ctx, cfg, &planned, where_, ret, t)
 }
 
@@ -390,7 +466,7 @@ fn table_names(t: &Table) -> &[String] {
 }
 
 fn exec_single_read(
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     sq: &SingleQuery,
     params: &Params,
     cfg: &EngineConfig,
@@ -415,7 +491,7 @@ fn exec_single_read(
             {
                 if fused_applicable(cfg, sq, ret) {
                     match exec_fused_final(
-                        graph,
+                        view,
                         params,
                         cfg,
                         site,
@@ -436,7 +512,7 @@ fn exec_single_read(
                 patterns,
                 where_,
             } => exec_match_memo(
-                graph,
+                view,
                 params,
                 cfg,
                 patterns,
@@ -446,7 +522,7 @@ fn exec_single_read(
                 site,
             )?,
             Clause::With { ret, where_ } => {
-                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                let ctx = EvalContext::new(view.graph(), params).with_config(cfg.match_config);
                 let projected = apply_projection(&ctx, ret, t)?;
                 match where_ {
                     Some(p) => apply_where(&ctx, p, projected)?,
@@ -454,7 +530,7 @@ fn exec_single_read(
                 }
             }
             Clause::Unwind { expr, alias } => {
-                let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+                let ctx = EvalContext::new(view.graph(), params).with_config(cfg.match_config);
                 apply_unwind(&ctx, expr, alias, t)?
             }
             Clause::FromGraph { .. } => {
@@ -463,7 +539,7 @@ fn exec_single_read(
             _ => return err("updating clause in a read-only execution"),
         };
     }
-    finish_single(graph, sq, params, cfg, t)
+    finish_single(view, sq, params, cfg, t)
 }
 
 fn exec_single(
@@ -489,7 +565,7 @@ fn exec_single(
             {
                 if fused_applicable(cfg, sq, ret) {
                     match exec_fused_final(
-                        graph,
+                        ViewRef::from(&*graph),
                         params,
                         cfg,
                         site,
@@ -510,7 +586,7 @@ fn exec_single(
                 patterns,
                 where_,
             } => exec_match_memo(
-                graph,
+                ViewRef::from(&*graph),
                 params,
                 cfg,
                 patterns,
@@ -547,11 +623,11 @@ fn exec_single(
             }
         };
     }
-    finish_single(graph, sq, params, cfg, t)
+    finish_single(ViewRef::from(&*graph), sq, params, cfg, t)
 }
 
 fn finish_single(
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     sq: &SingleQuery,
     params: &Params,
     cfg: &EngineConfig,
@@ -565,7 +641,7 @@ fn finish_single(
             if ret.star && ret.items.is_empty() && t.schema().is_empty() {
                 return err("RETURN * requires at least one field");
             }
-            let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
+            let ctx = EvalContext::new(view.graph(), params).with_config(cfg.match_config);
             apply_projection(&ctx, ret, t)
         }
         // Update-only query: no rows, no fields.
@@ -574,9 +650,9 @@ fn finish_single(
 }
 
 /// Executes one `[OPTIONAL] MATCH … [WHERE …]` clause through the planned
-/// pipeline.
-pub fn exec_match(
-    graph: &PropertyGraph,
+/// pipeline, against a frozen snapshot.
+pub fn exec_match<'a>(
+    view: impl Into<ViewRef<'a>>,
     params: &Params,
     cfg: &EngineConfig,
     patterns: &[PathPattern],
@@ -584,13 +660,22 @@ pub fn exec_match(
     optional: bool,
     table: Table,
 ) -> Result<Table, EvalError> {
-    exec_match_memo(graph, params, cfg, patterns, where_, optional, table, None)
+    exec_match_memo(
+        view.into(),
+        params,
+        cfg,
+        patterns,
+        where_,
+        optional,
+        table,
+        None,
+    )
 }
 
 /// [`exec_match`] with an optional plan-memo site.
 #[allow(clippy::too_many_arguments)]
 fn exec_match_memo(
-    graph: &PropertyGraph,
+    view: ViewRef<'_>,
     params: &Params,
     cfg: &EngineConfig,
     patterns: &[PathPattern],
@@ -599,6 +684,7 @@ fn exec_match_memo(
     table: Table,
     memo: Option<(&PlanMemo, MemoSite)>,
 ) -> Result<Table, EvalError> {
+    let graph = view.graph();
     // Node isomorphism needs global node tracking that the pipeline does
     // not model; delegate to the reference matcher (documented fallback).
     if cfg.match_config.morphism == Morphism::NodeIsomorphism {
@@ -618,7 +704,7 @@ fn exec_match_memo(
     if !optional {
         let planned = plan_match_memo(
             memo,
-            graph,
+            view,
             table.schema().names(),
             patterns,
             cfg.planner_options(),
@@ -646,7 +732,7 @@ fn exec_match_memo(
     }
     let planned = plan_match_memo(
         memo,
-        graph,
+        view,
         tagged_schema.names(),
         patterns,
         cfg.planner_options(),
@@ -718,9 +804,15 @@ fn project_visible(raw: Table, driving: &[String], new_vars: &[String]) -> Table
 
 /// Renders the physical plan of every `MATCH` clause in a query — a
 /// minimal `EXPLAIN` — plus the projection pushdowns the executor will
-/// apply (`PartialAggregate(keys=…, aggs=…)` / `TopK(k=…)`).
-pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
-    fn go(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig, out: &mut String) {
+/// apply (`PartialAggregate(keys=…, aggs=…)` / `TopK(k=…)`), against the
+/// given snapshot's statistics.
+///
+/// When the handle carries a version (it came from a pinned
+/// `GraphView`), the output opens with a `snapshot version N` line —
+/// the witness of *which* committed state the statistics (and therefore
+/// the plan choices) were read from.
+pub fn explain<'a>(view: impl Into<ViewRef<'a>>, q: &Query, cfg: &EngineConfig) -> String {
+    fn go(view: ViewRef<'_>, q: &Query, cfg: &EngineConfig, out: &mut String) {
         match q {
             Query::Single(sq) => {
                 let mut fields: Vec<String> = Vec::new();
@@ -730,7 +822,7 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
                             patterns, optional, ..
                         } => {
                             let PlannedMatch { plan, new_vars } =
-                                plan_match(graph, &fields, patterns, cfg.planner_options());
+                                plan_match(view, &fields, patterns, cfg.planner_options());
                             out.push_str(if *optional {
                                 "OPTIONAL MATCH plan:\n"
                             } else {
@@ -764,7 +856,7 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
                             if i + 1 == sq.clauses.len() && !*optional {
                                 if let Some(ret) = &sq.ret {
                                     if fused_applicable(cfg, sq, ret) {
-                                        explain_pushdown(graph, cfg, ret, &fields, out);
+                                        explain_pushdown(view.graph(), cfg, ret, &fields, out);
                                     }
                                 }
                             }
@@ -798,13 +890,17 @@ pub fn explain(graph: &PropertyGraph, q: &Query, cfg: &EngineConfig) -> String {
                 }
             }
             Query::Union { left, right, .. } => {
-                go(graph, left, cfg, out);
-                go(graph, right, cfg, out);
+                go(view, left, cfg, out);
+                go(view, right, cfg, out);
             }
         }
     }
+    let view = view.into();
     let mut s = String::new();
-    go(graph, q, cfg, &mut s);
+    if let Some(v) = view.version() {
+        s.push_str(&format!("snapshot version {v}\n"));
+    }
+    go(view, q, cfg, &mut s);
     s
 }
 
@@ -1083,6 +1179,74 @@ mod tests {
                  engages when driving rows × scanned items exceed 512)"
             ),
             "{par}"
+        );
+    }
+
+    #[test]
+    fn malformed_env_overrides_are_reported_not_swallowed() {
+        let env = |pairs: &'static [(&'static str, &'static str)]| {
+            move |name: &str| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| *k == name)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        let no_paths = |_: &str| None::<std::ffi::OsString>;
+        // Well-formed values apply with no issues.
+        let d = parse_env_defaults(
+            &env(&[
+                ("CYPHER_MORSEL_SIZE", "64"),
+                ("CYPHER_NUM_THREADS", "4"),
+                ("CYPHER_PLAN_CACHE_SIZE", "0"),
+                ("CYPHER_PARTIAL_AGG", "force"),
+            ]),
+            &no_paths,
+        );
+        assert!(d.issues.is_empty(), "{:?}", d.issues);
+        assert_eq!(
+            (d.morsel_size, d.num_threads, d.plan_cache_size),
+            (64, 4, 0)
+        );
+        assert_eq!(d.partial_agg, PartialAggMode::Force);
+
+        // Unset and empty silently keep defaults.
+        let d = parse_env_defaults(&env(&[("CYPHER_MORSEL_SIZE", "")]), &no_paths);
+        assert!(d.issues.is_empty());
+        assert_eq!(d.morsel_size, DEFAULT_MORSEL_SIZE);
+
+        // Malformed values fall back to defaults AND surface an issue
+        // naming the variable, the rejected value and the fallback.
+        let d = parse_env_defaults(
+            &env(&[
+                ("CYPHER_MORSEL_SIZE", "banana"),
+                ("CYPHER_NUM_THREADS", "0"),
+                ("CYPHER_WAL_COMPACT_BYTES", "-5"),
+                ("CYPHER_PARTIAL_AGG", "sometimes"),
+            ]),
+            &no_paths,
+        );
+        assert_eq!(d.morsel_size, DEFAULT_MORSEL_SIZE);
+        assert_eq!(d.num_threads, 1);
+        assert_eq!(d.wal_compact_bytes, DEFAULT_WAL_COMPACT_BYTES);
+        assert_eq!(d.partial_agg, PartialAggMode::Auto);
+        let vars: Vec<&str> = d.issues.iter().map(|i| i.var).collect();
+        assert_eq!(
+            vars,
+            vec![
+                "CYPHER_MORSEL_SIZE",
+                "CYPHER_NUM_THREADS",
+                "CYPHER_WAL_COMPACT_BYTES",
+                "CYPHER_PARTIAL_AGG"
+            ]
+        );
+        let morsel = &d.issues[0];
+        assert_eq!(morsel.value, "banana");
+        assert!(morsel.message.contains("not a valid integer"), "{morsel}");
+        assert!(
+            d.issues[1].message.contains("at least 1"),
+            "{}",
+            d.issues[1]
         );
     }
 

@@ -73,7 +73,7 @@ fn exec_single(
             } => {
                 let gref = get(catalog, &current)?;
                 let g = gref.read();
-                t = exec_match(&g, params, cfg, patterns, where_.as_ref(), *optional, t)?;
+                t = exec_match(&*g, params, cfg, patterns, where_.as_ref(), *optional, t)?;
             }
             Clause::With { ret, where_ } => {
                 let gref = get(catalog, &current)?;

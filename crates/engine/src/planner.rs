@@ -30,7 +30,7 @@
 use crate::plan::{MatchPlan, PathElem, PlanStep};
 use cypher_ast::expr::Expr;
 use cypher_ast::pattern::{Dir, NodePattern, PathPattern, RelPattern};
-use cypher_graph::PropertyGraph;
+use cypher_graph::{PropertyGraph, ViewRef};
 
 /// Constant property values the planner may look up in the property
 /// index: literals or parameters (anything not depending on the row).
@@ -247,17 +247,19 @@ impl PlanCtx<'_> {
 
 /// Plans one `MATCH` clause over the given driving-table fields.
 ///
-/// `opts` accepts a bare [`PlannerMode`] (index usage defaults to on) or
-/// full [`PlannerOptions`].
-pub fn plan_match(
-    graph: &PropertyGraph,
+/// `view` is the snapshot whose statistics drive anchor/seek selection —
+/// a [`cypher_graph::GraphView`] from a versioned session or a plain
+/// `&PropertyGraph` borrow. `opts` accepts a bare [`PlannerMode`] (index
+/// usage defaults to on) or full [`PlannerOptions`].
+pub fn plan_match<'a>(
+    view: impl Into<ViewRef<'a>>,
     driving_fields: &[String],
     patterns: &[PathPattern],
     opts: impl Into<PlannerOptions>,
 ) -> PlannedMatch {
     let opts = opts.into();
     let mut ctx = PlanCtx {
-        graph,
+        graph: view.into().graph(),
         opts,
         bound: driving_fields.to_vec(),
         steps: Vec::new(),

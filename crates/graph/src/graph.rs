@@ -12,6 +12,7 @@ use crate::change::{Change, ChangeSink};
 use crate::fxhash::FxHashMap;
 use crate::index::{value_bucket, IndexCardinality, IndexSet};
 use crate::interner::{Interner, Symbol};
+use crate::slots::CowSlots;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -209,10 +210,17 @@ pub struct RelState {
 /// Node and relationship ids are dense indices; deletions leave tombstones
 /// so that ids of live entities are stable (the formal model's identifiers
 /// never change meaning).
+///
+/// All bulk structures — the node/relationship tables (`CowSlots`) and
+/// the index posting lists — are `Arc`-shared copy-on-write, so cloning a
+/// graph is cheap (O(chunks + index keys), no entity data copied) and the
+/// clone is a frozen snapshot: this is the versioned-core primitive that
+/// [`crate::version::VersionedGraph`] publishes one immutable
+/// [`crate::version::GraphView`] per committed write batch from.
 #[derive(Default)]
 pub struct PropertyGraph {
-    nodes: Vec<Option<NodeData>>,
-    rels: Vec<Option<RelData>>,
+    nodes: CowSlots<NodeData>,
+    rels: CowSlots<RelData>,
     interner: Interner,
     /// Label, property and composite label/property indexes, maintained
     /// incrementally by every mutation below (see [`crate::index`]). They
@@ -363,7 +371,7 @@ impl PropertyGraph {
     /// Adds a node with pre-interned labels and properties.
     pub fn add_node_syms(&mut self, labels: Vec<Symbol>, props: Vec<(Symbol, Value)>) -> NodeId {
         self.touch();
-        let id = NodeId(self.nodes.len() as u64);
+        let id = NodeId(self.nodes.slot_count() as u64);
         let mut pm = PropMap::default();
         for (k, v) in props {
             pm.set(k, v);
@@ -384,12 +392,12 @@ impl PropertyGraph {
             };
             self.emit(change);
         }
-        self.nodes.push(Some(NodeData {
+        self.nodes.push(NodeData {
             labels,
             props: pm,
             out: Vec::new(),
             inc: Vec::new(),
-        }));
+        });
         self.live_nodes += 1;
         id
     }
@@ -471,7 +479,7 @@ impl PropertyGraph {
         if !self.contains_node(tgt) {
             return Err(GraphError::NoSuchNode(tgt));
         }
-        let id = RelId(self.rels.len() as u64);
+        let id = RelId(self.rels.slot_count() as u64);
         let mut pm = PropMap::default();
         for (k, v) in props {
             pm.set(k, v);
@@ -486,12 +494,12 @@ impl PropertyGraph {
             };
             self.emit(change);
         }
-        self.rels.push(Some(RelData {
+        self.rels.push(RelData {
             src,
             tgt,
             rel_type,
             props: pm,
-        }));
+        });
         self.node_mut(src).unwrap().out.push(id);
         self.node_mut(tgt).unwrap().inc.push(id);
         *self.type_counts.entry(rel_type).or_insert(0) += 1;
@@ -506,8 +514,7 @@ impl PropertyGraph {
         self.touch();
         let data = self
             .rels
-            .get_mut(r.0 as usize)
-            .and_then(Option::take)
+            .take(r.0 as usize)
             .ok_or(GraphError::NoSuchRel(r))?;
         if let Some(n) = self.node_mut(data.src) {
             n.out.retain(|&x| x != r);
@@ -554,8 +561,7 @@ impl PropertyGraph {
     fn remove_node_record(&mut self, n: NodeId) -> Result<(), GraphError> {
         let data = self
             .nodes
-            .get_mut(n.0 as usize)
-            .and_then(Option::take)
+            .take(n.0 as usize)
             .ok_or(GraphError::NoSuchNode(n))?;
         let indexed: Vec<(Symbol, u64)> = data
             .props
@@ -571,19 +577,19 @@ impl PropertyGraph {
     // -- accessors -----------------------------------------------------------
 
     fn node(&self, n: NodeId) -> Option<&NodeData> {
-        self.nodes.get(n.0 as usize).and_then(Option::as_ref)
+        self.nodes.get(n.0 as usize)
     }
 
     fn node_mut(&mut self, n: NodeId) -> Option<&mut NodeData> {
-        self.nodes.get_mut(n.0 as usize).and_then(Option::as_mut)
+        self.nodes.get_mut(n.0 as usize)
     }
 
     fn rel(&self, r: RelId) -> Option<&RelData> {
-        self.rels.get(r.0 as usize).and_then(Option::as_ref)
+        self.rels.get(r.0 as usize)
     }
 
     fn rel_mut(&mut self, r: RelId) -> Option<&mut RelData> {
-        self.rels.get_mut(r.0 as usize).and_then(Option::as_mut)
+        self.rels.get_mut(r.0 as usize)
     }
 
     /// True iff `n` is a live node of the graph.
@@ -727,18 +733,12 @@ impl PropertyGraph {
 
     /// Iterates over live node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.as_ref().map(|_| NodeId(i as u64)))
+        self.nodes.iter_live().map(|(i, _)| NodeId(i as u64))
     }
 
     /// Iterates over live relationship ids.
     pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
-        self.rels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.as_ref().map(|_| RelId(i as u64)))
+        self.rels.iter_live().map(|(i, _)| RelId(i as u64))
     }
 
     /// Live nodes with the given label, via the label index.
@@ -937,29 +937,26 @@ impl PropertyGraph {
     /// assigned. Snapshots record it so restored graphs keep assigning
     /// fresh ids (ids are never reused).
     pub fn node_slot_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.slot_count()
     }
 
     /// Total relationship slots, live and tombstoned.
     pub fn rel_slot_count(&self) -> usize {
-        self.rels.len()
+        self.rels.slot_count()
     }
 
     /// Exports every live node in id order, tokens resolved to strings.
     pub fn export_nodes(&self) -> Vec<NodeState> {
         self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| {
-                d.as_ref().map(|d| NodeState {
-                    id: NodeId(i as u64),
-                    labels: d
-                        .labels
-                        .iter()
-                        .map(|&l| self.interner.resolve_arc(l))
-                        .collect(),
-                    props: self.resolved_props(&d.props),
-                })
+            .iter_live()
+            .map(|(i, d)| NodeState {
+                id: NodeId(i as u64),
+                labels: d
+                    .labels
+                    .iter()
+                    .map(|&l| self.interner.resolve_arc(l))
+                    .collect(),
+                props: self.resolved_props(&d.props),
             })
             .collect()
     }
@@ -967,16 +964,13 @@ impl PropertyGraph {
     /// Exports every live relationship in id order.
     pub fn export_rels(&self) -> Vec<RelState> {
         self.rels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| {
-                d.as_ref().map(|d| RelState {
-                    id: RelId(i as u64),
-                    src: d.src,
-                    tgt: d.tgt,
-                    rel_type: self.interner.resolve_arc(d.rel_type),
-                    props: self.resolved_props(&d.props),
-                })
+            .iter_live()
+            .map(|(i, d)| RelState {
+                id: RelId(i as u64),
+                src: d.src,
+                tgt: d.tgt,
+                rel_type: self.interner.resolve_arc(d.rel_type),
+                props: self.resolved_props(&d.props),
             })
             .collect()
     }
@@ -995,7 +989,7 @@ impl PropertyGraph {
     ) -> Result<PropertyGraph, GraphError> {
         let bad = |msg: String| GraphError::InvalidSnapshot(msg);
         let mut g = PropertyGraph::new();
-        g.nodes = (0..node_slots).map(|_| None).collect();
+        g.nodes = CowSlots::with_slots(node_slots);
         let mut last_node: Option<u64> = None;
         for ns in nodes {
             let idx = ns.id.0 as usize;
@@ -1022,15 +1016,18 @@ impl PropertyGraph {
             let indexed: Vec<(Symbol, u64)> =
                 pm.iter().map(|(k, v)| (k, value_bucket(v))).collect();
             g.indexes.on_node_added(ns.id, &labels, &indexed);
-            g.nodes[idx] = Some(NodeData {
-                labels,
-                props: pm,
-                out: Vec::new(),
-                inc: Vec::new(),
-            });
+            g.nodes.set(
+                idx,
+                NodeData {
+                    labels,
+                    props: pm,
+                    out: Vec::new(),
+                    inc: Vec::new(),
+                },
+            );
             g.live_nodes += 1;
         }
-        g.rels = (0..rel_slots).map(|_| None).collect();
+        g.rels = CowSlots::with_slots(rel_slots);
         let mut last_rel: Option<u64> = None;
         for rs in rels {
             let idx = rs.id.0 as usize;
@@ -1052,12 +1049,15 @@ impl PropertyGraph {
             for (k, v) in rs.props {
                 pm.set(g.interner.intern(&k), v);
             }
-            g.rels[idx] = Some(RelData {
-                src: rs.src,
-                tgt: rs.tgt,
-                rel_type,
-                props: pm,
-            });
+            g.rels.set(
+                idx,
+                RelData {
+                    src: rs.src,
+                    tgt: rs.tgt,
+                    rel_type,
+                    props: pm,
+                },
+            );
             // Relationships are exported in id order, which is exactly the
             // order `add_rel` appended them to the adjacency lists (ids
             // are never reused and deletions preserve relative order), so
@@ -1082,8 +1082,8 @@ impl PropertyGraph {
         writeln!(
             out,
             "slots nodes={} rels={} live nodes={} rels={}",
-            self.nodes.len(),
-            self.rels.len(),
+            self.nodes.slot_count(),
+            self.rels.slot_count(),
             self.live_nodes,
             self.live_rels
         )

@@ -23,7 +23,10 @@
 //!   relationship types `T` and names `A`,
 //! * [`Catalog`] — a registry of multiple named graphs (Cypher 10,
 //!   Section 6 of the paper),
-//! * [`Path`] — the path values `path(n₁, r₁, …, nₘ)` of Section 4.1.
+//! * [`Path`] — the path values `path(n₁, r₁, …, nₘ)` of Section 4.1,
+//! * [`GraphView`] / [`VersionedGraph`] — multi-version concurrency: one
+//!   writer prepares the next copy-on-write version while any number of
+//!   readers execute against frozen, immutable published snapshots.
 
 #![warn(missing_docs)]
 
@@ -34,8 +37,10 @@ pub mod graph;
 pub mod index;
 pub mod interner;
 pub mod path;
+mod slots;
 pub mod temporal;
 pub mod value;
+pub mod version;
 
 pub use catalog::Catalog;
 pub use change::{Change, ChangeSink, SharedChangeBuffer};
@@ -47,3 +52,4 @@ pub use interner::{Interner, Symbol};
 pub use path::Path;
 pub use temporal::{Date, Duration, LocalDateTime, LocalTime, Temporal, ZonedDateTime};
 pub use value::{Tri, Value};
+pub use version::{GraphView, VersionedGraph, ViewRef, WriteTxn};

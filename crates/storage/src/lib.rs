@@ -41,6 +41,19 @@ pub use store::{RecoveryReport, Store};
 use cypher_graph::GraphError;
 use std::fmt;
 
+/// A committed transaction's id: the sequence number of its WAL batch
+/// (0-based, assigned at commit, monotonic across checkpoints and
+/// reopens — sequence numbers are persisted in snapshots).
+///
+/// These ids double as the **version numbers** of the in-memory
+/// multi-version store ([`cypher_graph::VersionedGraph`]): the graph
+/// state containing batches `0..=i` is published as version `i + 1`
+/// (version 0 is the empty/initial state). The `Database` facade seals a
+/// batch in the WAL *first* and publishes the version *second*, so any
+/// version a reader can ever pin is, by construction, recoverable from
+/// disk.
+pub type TxnId = u64;
+
 /// Best-effort fsync of a path's parent directory, so a just-created or
 /// just-renamed file's directory entry also reaches stable storage.
 /// Failures are ignored: not every platform/filesystem supports opening

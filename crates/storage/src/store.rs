@@ -16,7 +16,7 @@
 //! generation's files — a crash at any point leaves at least one
 //! consistent `(snapshot, wal)` pair on disk.
 
-use crate::{snapshot, wal, StorageError};
+use crate::{snapshot, wal, StorageError, TxnId};
 use cypher_graph::change::Change;
 use cypher_graph::PropertyGraph;
 use std::path::{Path, PathBuf};
@@ -53,48 +53,67 @@ pub struct Store {
     poisoned: bool,
 }
 
-/// The single-writer guard: a `LOCK` file holding the owner's pid. Two
-/// writers appending to one WAL would interleave entity ids and destroy
-/// the log, so [`Store::open`] refuses while the recorded process is
-/// alive. A lock left behind by a crashed process (the pid is dead) is
-/// stale and is taken over — crash recovery must never require manual
-/// lock removal. The alive-check is best-effort (`/proc` on Linux;
-/// elsewhere locks are always considered stale) and the
-/// check-then-write is not atomic — this guards against accidental
-/// double-opens, not adversarial races.
+/// The single-writer guard: an exclusive **kernel advisory lock**
+/// (`flock`-style, via [`std::fs::File::try_lock`]) on the `LOCK` file,
+/// whose content is the holder's pid for diagnostics. Two writers
+/// appending to one WAL would interleave entity ids and destroy the log,
+/// so [`Store::open`] refuses while another open descriptor holds the
+/// lock.
+///
+/// Mutual exclusion lives entirely in the kernel lock, which makes the
+/// classic pid-file hazards structurally impossible:
+///
+/// * **stale locks cannot exist** — the kernel releases the lock the
+///   instant the holding process dies, however it dies, so takeover of a
+///   dead holder is automatic and race-free (the earlier protocol
+///   checked the recorded pid against `/proc` and then rewrote the file
+///   non-atomically: two processes could both judge the holder dead and
+///   both claim the lock — and even an atomic rename-away-then-recreate
+///   claim can be raced by a contender that read the stale pid just
+///   before the winner's new lock appeared, stealing a *live* lock);
+/// * **partial content cannot mislead** — the pid in the file is only
+///   ever read to decorate the `Locked` error; an unreadable pid
+///   degrades the message, never the exclusion.
+///
+/// The file itself is deliberately never unlinked (locks attach to the
+/// inode; unlink-on-release would let one contender lock a doomed inode
+/// while another creates — and locks — a fresh file at the same path).
 #[derive(Debug)]
 struct DirLock {
-    path: PathBuf,
-}
-
-#[cfg(target_os = "linux")]
-fn process_alive(pid: u32) -> bool {
-    std::path::Path::new(&format!("/proc/{pid}")).exists()
-}
-
-#[cfg(not(target_os = "linux"))]
-fn process_alive(_pid: u32) -> bool {
-    false
+    /// Holding this descriptor open *is* holding the lock; dropping it
+    /// releases the kernel lock.
+    _file: std::fs::File,
 }
 
 impl DirLock {
     fn acquire(dir: &Path) -> Result<DirLock, StorageError> {
         let path = dir.join("LOCK");
-        if let Ok(contents) = std::fs::read_to_string(&path) {
-            if let Ok(pid) = contents.trim().parse::<u32>() {
-                if process_alive(pid) {
-                    return Err(StorageError::Locked { pid });
-                }
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                let pid = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|c| c.trim().parse::<u32>().ok())
+                    .unwrap_or(0);
+                return Err(StorageError::Locked { pid });
             }
+            Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
         }
-        std::fs::write(&path, format!("{}\n", std::process::id()))?;
-        Ok(DirLock { path })
-    }
-}
-
-impl Drop for DirLock {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // Lock held: record our pid through the locked descriptor. Best
+        // effort and purely diagnostic — a concurrent contender reading
+        // mid-rewrite sees a garbled pid in its error message, nothing
+        // more.
+        use std::io::Write;
+        let _ = file.set_len(0);
+        let _ = writeln!(file, "{}", std::process::id());
+        let _ = file.sync_all();
+        Ok(DirLock { _file: file })
     }
 }
 
@@ -182,9 +201,11 @@ impl Store {
         Ok((store, graph))
     }
 
-    /// Appends one atomic batch of changes to the WAL. Returns the batch
-    /// sequence number.
-    pub fn commit(&mut self, changes: &[Change]) -> Result<u64, StorageError> {
+    /// Appends one atomic batch of changes to the WAL, **sealing** the
+    /// transaction on disk. Returns the batch sequence number — the
+    /// transaction's id, which versioned callers publish as the new
+    /// graph version (see [`TxnId`]).
+    pub fn commit(&mut self, changes: &[Change]) -> Result<TxnId, StorageError> {
         if self.poisoned {
             return Err(StorageError::corrupt(
                 "store disabled by an earlier failed checkpoint",
@@ -200,8 +221,9 @@ impl Store {
     }
 
     /// Total batches committed across the store's lifetime (monotonic
-    /// across checkpoints).
-    pub fn batches_committed(&self) -> u64 {
+    /// across checkpoints). Equivalently: the next [`TxnId`] to be
+    /// assigned, and the version id of the recovered graph.
+    pub fn batches_committed(&self) -> TxnId {
         self.wal.next_seq()
     }
 
@@ -469,6 +491,43 @@ mod tests {
         std::fs::write(dir.join("LOCK"), "4194000\n").unwrap();
         assert!(Store::open(&dir).is_ok(), "stale lock must be taken over");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stale_lock_takeover_has_exactly_one_winner() {
+        // Two claimants race for the same dead holder's lock. The kernel
+        // lock guarantees exactly one wins; the loser must see `Locked`,
+        // never a second acquisition. (The pre-kernel-lock protocol —
+        // check pid then rewrite the file — failed exactly this test.)
+        for round in 0..20 {
+            let dir = tmpdir(&format!("lockrace-{round}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("LOCK"), "4194000\n").unwrap(); // dead pid
+            let barrier = std::sync::Barrier::new(2);
+            let outcomes: Vec<Result<DirLock, StorageError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let barrier = &barrier;
+                        let dir = dir.clone();
+                        s.spawn(move || {
+                            barrier.wait();
+                            DirLock::acquire(&dir)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let wins = outcomes.iter().filter(|r| r.is_ok()).count();
+            assert_eq!(wins, 1, "round {round}: exactly one claimant must win");
+            assert!(
+                outcomes
+                    .iter()
+                    .any(|r| matches!(r, Err(StorageError::Locked { .. }))),
+                "round {round}: the loser must be told the directory is locked"
+            );
+            drop(outcomes); // releases the winner's lock
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -153,6 +153,140 @@ fn zero_capacity_disables_the_cache() {
 }
 
 #[test]
+fn concurrent_sessions_share_one_hot_plan() {
+    // Many sessions across threads hammer the same query text: after the
+    // first session plans it, every other execution must be a cache hit
+    // (no invalidation churn — the graph, hence the statistics
+    // fingerprint, is unchanged throughout), and every session must get
+    // identical rows.
+    let params = Params::new();
+    let mut db = db_with_cache(16);
+    for i in 0..64 {
+        db.query(&format!("CREATE (:P {{v: {}, i: {i}}})", i % 8), &params)
+            .unwrap();
+    }
+    let q = "MATCH (n:P) WHERE n.v = 3 RETURN n.i AS i ORDER BY i";
+    let expected = db.query(q, &params).unwrap();
+    let after_first = db.plan_cache_stats();
+    let threads = 6;
+    let per_thread = 25;
+    let sessions: Vec<_> = (0..threads).map(|_| db.session()).collect();
+    std::thread::scope(|sc| {
+        for mut s in sessions {
+            let expected = &expected;
+            let params = &params;
+            sc.spawn(move || {
+                for _ in 0..per_thread {
+                    let t = s.query(q, params).unwrap();
+                    assert!(t.ordered_eq(expected), "session saw different rows");
+                }
+            });
+        }
+    });
+    let s = db.plan_cache_stats();
+    assert_eq!(
+        s.hits,
+        after_first.hits + (threads * per_thread) as u64,
+        "every concurrent execution must hit the shared entry: {s:?}"
+    );
+    assert_eq!(
+        s.invalidations, after_first.invalidations,
+        "an unchanged graph must not invalidate: {s:?}"
+    );
+    assert_eq!(s.misses, after_first.misses, "{s:?}");
+}
+
+#[test]
+fn session_pinned_before_a_mutation_keeps_its_own_plans() {
+    // A session pins its snapshot, *then* a big mutation flips the
+    // statistics fingerprint. The pinned session must (a) still answer
+    // from its frozen version, and (b) observe the invalidation protocol:
+    // its fingerprint differs from the head's, so the cache holds one
+    // memo per fingerprint and neither session thrashes the other.
+    let params = Params::new();
+    let mut db = db_with_cache(16);
+    // Parameterized updates: one cache entry per statement *shape*, so
+    // the hot read entry below is never LRU-evicted by the setup.
+    let with_i = |i: i64| {
+        let mut p = Params::new();
+        p.insert("i".into(), Value::int(i));
+        p
+    };
+    for i in 0..4 {
+        db.query("CREATE (:A {i: $i})-[:X]->(:B {i: $i})", &with_i(i))
+            .unwrap();
+    }
+    for i in 0..96 {
+        db.query("CREATE (:B {i: $i})", &with_i(100 + i)).unwrap();
+    }
+    let q = "MATCH (a:A)-[:X]->(b:B) RETURN count(*) AS c";
+    let mut pinned = db.session();
+    let pinned_version = pinned.begin_read();
+    // Warm the cache at the pinned fingerprint.
+    assert_eq!(
+        pinned.query(q, &params).unwrap().cell(0, "c"),
+        Some(&Value::int(4))
+    );
+
+    // Mutation big enough to flip the anchor (A outgrows B), committed
+    // *after* the pin.
+    let before = db.explain(q).unwrap();
+    for i in 0..1000 {
+        db.query("CREATE (:A {i: $i})", &with_i(10_000 + i))
+            .unwrap();
+    }
+    let after = db.explain(q).unwrap();
+    assert_ne!(before, after, "anchor flip must be EXPLAIN-visible");
+
+    // A head session replans under the new fingerprint: invalidation,
+    // not a miss (the parse is kept). Deltas are measured around the
+    // read query alone — the parameterized CREATEs above are cache
+    // entries too and rack up their own invalidations while the graph
+    // grows through fingerprint buckets.
+    let mut head = db.session();
+    let pre_head = db.plan_cache_stats();
+    assert_eq!(
+        head.query(q, &params).unwrap().cell(0, "c"),
+        Some(&Value::int(4))
+    );
+    let post_head = db.plan_cache_stats();
+    assert_eq!(
+        post_head.invalidations,
+        pre_head.invalidations + 1,
+        "statistics drift must invalidate for the head session: {post_head:?}"
+    );
+    assert_eq!(post_head.misses, pre_head.misses, "parse must be kept");
+
+    // The pinned session still reads its frozen version — and its plans
+    // (cached under the *old* fingerprint) are hits, not churn.
+    assert_eq!(pinned.version(), Some(pinned_version));
+    assert_eq!(
+        pinned.query(q, &params).unwrap().cell(0, "c"),
+        Some(&Value::int(4)),
+        "pinned session must not see the 1000 new nodes' effect on the join"
+    );
+    let post_pinned = db.plan_cache_stats();
+    assert_eq!(
+        post_pinned.invalidations, post_head.invalidations,
+        "the pinned session's old-fingerprint plans must still be cached: {post_pinned:?}"
+    );
+    assert_eq!(post_pinned.hits, post_head.hits + 1);
+
+    // And both fingerprints' plans now coexist: alternating sessions hit.
+    head.query(q, &params).unwrap();
+    pinned.query(q, &params).unwrap();
+    let final_stats = db.plan_cache_stats();
+    assert_eq!(final_stats.hits, post_pinned.hits + 2);
+    assert_eq!(final_stats.invalidations, post_pinned.invalidations);
+    pinned.commit();
+    // Released: the session follows the head again.
+    let now = pinned
+        .query("MATCH (a:A) RETURN count(*) AS c", &params)
+        .unwrap();
+    assert_eq!(now.cell(0, "c"), Some(&Value::int(1004)));
+}
+
+#[test]
 fn cached_aggregate_queries_stay_correct_under_pushdown() {
     // The plan cache composes with the partial-aggregation pushdown: the
     // fused path plans through the same memo.
