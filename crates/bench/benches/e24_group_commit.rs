@@ -1,0 +1,121 @@
+//! Experiment E24: what group commit buys a burst of writers.
+//!
+//! Commits/second for N writer threads hammering one durable database
+//! with point `CREATE`s, swept across the write-path knobs:
+//!
+//! * `group_commit` **on vs off** — on, concurrently arriving
+//!   transactions coalesce into one WAL seal (+ one fsync); off, every
+//!   transaction seals alone (the serial baseline);
+//! * `fsync_mode` **os / sync / pipelined** — no fsync, fsync before
+//!   publish, and the overlapped fsync thread.
+//!
+//! The headline claim: at 4+ writer threads under `sync` durability,
+//! group commit is ≥ 2× the serial baseline, because one fsync
+//! amortizes across every member of the group. The assertion only fires
+//! on machines with ≥ 4 hardware threads — below that the OS can't
+//! actually overlap the writers, so grouping has nothing to coalesce
+//! and the ratio is noise (the numbers are still printed).
+//!
+//! Derived `e24:` lines feed the README performance table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypher::{Database, EngineConfig, FsyncMode, Params};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cypher-e24-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg_for(dir: PathBuf, group: bool, fsync: FsyncMode) -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = Some(dir);
+    // Every statement text is unique — the plan cache would only miss.
+    cfg.plan_cache_size = 0;
+    cfg.group_commit = group;
+    cfg.fsync_mode = fsync;
+    cfg
+}
+
+/// Runs `commits` point-insert transactions across `writers` threads and
+/// returns commits per second (wall clock, end to end).
+fn commits_per_sec(cfg: &EngineConfig, writers: usize, commits: usize) -> f64 {
+    let db = Database::open_with(cfg.clone()).expect("open bench db");
+    let per = commits / writers;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let mut session = db.session();
+            s.spawn(move || {
+                let params = Params::new();
+                for i in 0..per {
+                    session
+                        .query(&format!("CREATE (:C {{w: {w}, i: {i}}})"), &params)
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(db.version() as usize, per * writers, "lost commits");
+    let dir = cfg.persistence.clone().unwrap();
+    db.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (per * writers) as f64 / secs
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e24_group_commit");
+
+    // Criterion series: the contended sync-durability cell, both knob
+    // positions (small batches per iteration to keep wall time sane).
+    for (name, grouped) in [("grouped", true), ("serial", false)] {
+        group.bench_function(format!("sync_4writers/{name}"), |b| {
+            b.iter(|| {
+                let cfg = cfg_for(fresh_dir(name), grouped, FsyncMode::Sync);
+                std::hint::black_box(commits_per_sec(&cfg, 4, 64))
+            })
+        });
+    }
+
+    // Derived sweep for the README table.
+    let commits = 512usize;
+    let mut sync4 = [0.0f64; 2]; // [serial, grouped] at 4 writers, sync
+    for fsync in [FsyncMode::Os, FsyncMode::Sync, FsyncMode::Pipelined] {
+        for writers in [1usize, 2, 4, 8] {
+            for grouped in [false, true] {
+                let tag = format!("{fsync:?}-{writers}-{grouped}");
+                let cfg = cfg_for(fresh_dir(&tag), grouped, fsync);
+                let rate = commits_per_sec(&cfg, writers, commits);
+                eprintln!(
+                    "e24: {fsync:?} fsync, {writers} writers, group_commit {}: \
+                     {rate:.0} commits/s",
+                    if grouped { "on " } else { "off" },
+                );
+                if fsync == FsyncMode::Sync && writers == 4 {
+                    sync4[grouped as usize] = rate;
+                }
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ratio = sync4[1] / sync4[0];
+    eprintln!(
+        "e24: sync durability at 4 writers — group commit is {ratio:.2}x the \
+         serial baseline ({cores} hardware threads)"
+    );
+    if cores >= 4 {
+        assert!(
+            ratio >= 2.0,
+            "group commit under contention must amortize fsyncs ≥ 2x \
+             (got {ratio:.2}x on {cores} threads)"
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

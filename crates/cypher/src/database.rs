@@ -3,20 +3,37 @@
 //! versioned core of [`cypher_graph::VersionedGraph`] and the durable
 //! store of [`cypher_storage`].
 //!
-//! ## Concurrency model (snapshot isolation, single writer)
+//! ## Concurrency model (snapshot isolation, group commit)
 //!
 //! * Any number of [`Session`]s (cheap handles onto one shared database)
 //!   run **read queries concurrently**, each against a frozen
 //!   [`GraphView`]. Reader admission is lock-free (a few atomics — see
 //!   `cypher_graph::version`), so an in-flight writer never blocks
 //!   readers and readers never block the writer.
-//! * **Write queries are serialized** by the writer lock. A writer
-//!   executes against a private copy-on-write clone of the latest
-//!   version; its mutations become visible **all at once** when the
-//!   batch commits: the change records are sealed in the WAL first
-//!   (durability), then the new version is published (visibility) —
-//!   so every version a reader can pin is recoverable from disk, and no
-//!   reader ever observes a torn mid-batch state.
+//! * **Write execution is serialized** by the apply lock: each updating
+//!   query executes against a copy-on-write clone of the *apply head*
+//!   (the working graph carrying every commit admitted so far, published
+//!   or not), and its clone becomes the next apply head. Durability and
+//!   visibility are **decoupled from execution** by the group-commit
+//!   queue: the finished transaction enqueues its change batch and
+//!   candidate graph, and one *leader* drains the queue, sealing every
+//!   queued batch in a **single WAL write (+ fsync)** and publishing one
+//!   version that covers the whole group. Concurrent writers therefore
+//!   amortize the per-commit fsync; a solo writer forms groups of one
+//!   and behaves exactly like the classic serial path.
+//! * Batch seqs stay **per-transaction**: member `i` of a group sealed
+//!   at `first_seq` commits as seq `first_seq + i` and its version id is
+//!   `seq + 1`, so transaction id = batch seq = version survives
+//!   grouping (intermediate versions of a group are simply never
+//!   published — the group's last candidate is, covering them all).
+//! * [`EngineConfig::fsync_mode`] picks the durability schedule:
+//!   `Os` (seal, no fsync), `Sync` (fsync before publish), `Pipelined`
+//!   (a dedicated fsync thread flushes group N through a duplicate file
+//!   handle while the leader appends group N+1; publish and commit
+//!   acknowledgements happen after the flush). A failed seal or flush
+//!   **poisons exactly its group**: the member transactions get the
+//!   error, the WAL is rolled back to the last durable group, prior
+//!   groups stay durable, and the database turns read-only.
 //! * [`Session::begin_read`] pins the latest version for a multi-query
 //!   read transaction: every query until [`Session::commit`] sees that
 //!   one frozen state, regardless of concurrent commits.
@@ -26,26 +43,30 @@
 //! 1. **open** — `cypher_storage::Store::open` recovers the graph from
 //!    the latest valid snapshot plus the replayed WAL tail; the result
 //!    is published as the initial version (= batches recovered);
-//! 2. **query** — one WAL batch per mutating query; a query that errors
-//!    midway still commits the mutations it *did* apply (Cypher has no
-//!    rollback), atomically, so memory and disk stay aligned;
+//! 2. **query** — one WAL batch per mutating query, sealed inside a
+//!    group record; a query that errors midway still commits the
+//!    mutations it *did* apply (Cypher has no rollback), atomically, so
+//!    memory and disk stay aligned;
 //! 3. **checkpoint** — when the WAL outgrows
-//!    [`EngineConfig::wal_compact_bytes`] (or on demand), the latest
-//!    version is snapshotted and the WAL truncated;
-//! 4. **close** — fsyncs the WAL (committed batches are already with
-//!    the OS, so dropping without closing survives *process* crashes).
+//!    [`EngineConfig::wal_compact_bytes`] (or on demand), the commit
+//!    pipeline is quiesced (queue drained, in-flight fsyncs retired),
+//!    the latest version is snapshotted and the WAL truncated;
+//! 4. **close** — quiesces the pipeline and fsyncs the WAL (committed
+//!    batches are already with the OS, so dropping without closing
+//!    survives *process* crashes).
 
 use crate::{run_reference_with, Error, Table};
 use cypher_ast::query::Query;
 use cypher_core::error::EvalError;
 use cypher_core::Params;
-use cypher_engine::{stats_fingerprint, EngineConfig, PlanMemo};
-use cypher_graph::{GraphView, PropertyGraph, SharedChangeBuffer, VersionedGraph};
-use cypher_storage::{RecoveryReport, Store};
+use cypher_engine::{stats_fingerprint, EngineConfig, FsyncMode, PlanMemo};
+use cypher_graph::{Change, GraphView, PropertyGraph, SharedChangeBuffer, VersionedGraph};
+use cypher_storage::{RecoveryReport, StorageError, Store};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 
 /// Counters of the `Database` parse+plan cache. All zeros when the cache
 /// is disabled (`EngineConfig::plan_cache_size == 0`).
@@ -187,20 +208,10 @@ impl PlanCache {
     }
 }
 
-/// The writer-side state: the durable store and the change buffer that
-/// collects each query's mutation records. Everything here is touched
-/// only under the writer lock.
-struct WriterState {
-    store: Option<Store>,
-    buffer: SharedChangeBuffer,
-    poisoned_msg: Option<String>,
-}
-
 /// Lock-free mirror of the store's observability counters, refreshed
-/// under the writer lock after every commit/checkpoint. Monitoring
-/// getters (`batches_committed`, `wal_bytes`, `generation`) read these
-/// instead of taking the writer lock — which an in-flight bulk write
-/// transaction can hold for the whole duration of its query.
+/// under the store lock after every seal/checkpoint. Monitoring getters
+/// (`batches_committed`, `wal_bytes`, `generation`) read these instead
+/// of taking a lock the commit pipeline may hold for a while.
 struct StoreMetrics {
     durable: bool,
     batches: AtomicU64,
@@ -234,19 +245,244 @@ impl StoreMetrics {
     }
 }
 
+/// A finished-but-unsealed write transaction waiting in the group-commit
+/// queue: its batch seq, the change records to seal, the candidate graph
+/// that becomes the published state once its group is durable, and the
+/// ticket its writer blocks on.
+struct PendingCommit {
+    seq: u64,
+    changes: Vec<Change>,
+    candidate: Arc<PropertyGraph>,
+    ticket: Arc<Ticket>,
+}
+
+/// The commit a follower blocks on while the group leader (or the
+/// pipelined fsync thread) seals and publishes its group: completed
+/// exactly once with the member's version id or the group's error.
+#[derive(Default)]
+struct Ticket {
+    state: Mutex<Option<Result<u64, Error>>>,
+    done: Condvar,
+}
+
+impl Ticket {
+    fn complete(&self, r: Result<u64, Error>) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(s.is_none(), "tickets complete exactly once");
+        *s = Some(r);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<u64, Error> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = s.take() {
+                return r;
+            }
+            s = self.done.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Execution-side state of the commit pipeline, everything touched under
+/// the apply lock: the apply head (the working graph carrying every
+/// admitted commit, sealed or not), the next batch seq, the group-commit
+/// queue and the leader flag.
+struct ApplyState {
+    /// The apply head: the state every admitted commit has been applied
+    /// to, whether or not its group has been sealed/published yet. The
+    /// next write transaction clones this (copy-on-write) and executes
+    /// against the clone.
+    working: Arc<PropertyGraph>,
+    /// Seq the next admitted batch receives (= the apply head's version
+    /// id; the published version trails this while groups are in
+    /// flight).
+    next_seq: u64,
+    /// Admitted commits not yet handed to a seal. Invariant: non-empty
+    /// only while `leader_running` (the writer that enqueues into an
+    /// idle queue becomes the leader in the same critical section).
+    queue: Vec<PendingCommit>,
+    /// Exactly one leader drains the queue at a time.
+    leader_running: bool,
+    /// Change-record collector wired into each write transaction's
+    /// clone while it executes (only ever one executor: the apply lock).
+    buffer: SharedChangeBuffer,
+}
+
+/// A sealed group handed to the pipelined fsync thread: flush `file`,
+/// then publish the group's last candidate and complete the tickets —
+/// or, on a failed flush, poison the database, roll the WAL back to
+/// `wal_len_before` and fail exactly this group's tickets.
+struct FsyncJob {
+    file: std::fs::File,
+    wal_len_before: u64,
+    group: Vec<PendingCommit>,
+}
+
+/// Everything the commit pipeline shares between sessions, the group
+/// leader and the pipelined fsync thread. Lock hierarchy (outer →
+/// inner): `apply` → `store` → `inflight` → `poison`; the metrics
+/// mirror and the fail-injection counter are atomics.
+struct CommitShared {
+    versioned: VersionedGraph,
+    apply: Mutex<ApplyState>,
+    /// Signalled when the leader retires (queue drained); quiesce waits
+    /// here.
+    leader_done: Condvar,
+    store: Mutex<Option<Store>>,
+    /// First failure wins; set before any rollback I/O so a racing seal
+    /// leader aborts instead of appending past the truncation point.
+    poison: Mutex<Option<String>>,
+    /// Groups handed to the fsync thread and not yet published/failed.
+    inflight: Mutex<usize>,
+    /// Signalled when `inflight` drops; quiesce waits here.
+    drained: Condvar,
+    /// Test double: the next `n` pipelined flushes fail without touching
+    /// the file (the `Sync`-mode double lives in the store itself).
+    pipeline_fail_injections: AtomicU32,
+    metrics: StoreMetrics,
+}
+
+impl CommitShared {
+    fn lock_apply(&self) -> MutexGuard<'_, ApplyState> {
+        self.apply.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_store(&self) -> MutexGuard<'_, Option<Store>> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn poison_msg(&self) -> Option<String> {
+        self.poison
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// First poison wins: the original failure is the one later writers
+    /// should see, not whatever cascade it caused.
+    fn set_poison(&self, msg: String) {
+        let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
+        if p.is_none() {
+            *p = Some(msg);
+        }
+    }
+
+    /// Publishes a sealed-and-durable group: one version covering every
+    /// member (the last candidate at `last_seq + 1`), then each member's
+    /// ticket completes with its own version id `seq + 1`.
+    fn publish_group(&self, group: &[PendingCommit]) {
+        let last = group.last().expect("groups are non-empty");
+        self.versioned
+            .publish_view(Arc::clone(&last.candidate), last.seq + 1);
+        for p in group {
+            p.ticket.complete(Ok(p.seq + 1));
+        }
+    }
+
+    fn fail_group(&self, group: &[PendingCommit], err: &Error) {
+        for p in group {
+            p.ticket.complete(Err(err.clone()));
+        }
+    }
+
+    /// Blocks until the commit pipeline is idle — queue drained, no
+    /// leader, no in-flight fsyncs — and returns the apply guard, which
+    /// the caller holds to keep new writers out while it operates on the
+    /// store (checkpoint, close, compaction). On return the latest
+    /// published version is exactly the state of every sealed batch.
+    fn quiesce(&self) -> MutexGuard<'_, ApplyState> {
+        let mut apply = self.lock_apply();
+        while apply.leader_running || !apply.queue.is_empty() {
+            apply = self
+                .leader_done
+                .wait(apply)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while *inflight > 0 {
+            inflight = self
+                .drained
+                .wait(inflight)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(inflight);
+        apply
+    }
+}
+
+/// The pipelined fsync scheduler: flushes sealed groups in seal order
+/// through duplicate file handles, overlapping the flush of group N with
+/// the leader's append of group N+1. Publish (and the members' commit
+/// acknowledgements) happen here, *after* the flush — so in `Pipelined`
+/// mode no reader can pin a version whose group isn't on stable storage,
+/// the same guarantee `Sync` gives, at pipeline depth.
+/// The worker holds only a `Weak` so a dropped (not closed) `Database`
+/// releases its store — and with it the data directory's lock —
+/// synchronously, instead of waiting for this thread to notice the
+/// disconnected channel. A job can only be in flight while its writer
+/// blocks on the ticket (holding the database alive), so the upgrade
+/// cannot fail under a pending job.
+fn fsync_worker(shared: std::sync::Weak<CommitShared>, rx: Receiver<FsyncJob>) {
+    while let Ok(job) = rx.recv() {
+        let Some(shared) = shared.upgrade() else {
+            return;
+        };
+        let injected = shared
+            .pipeline_fail_injections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        let flushed: Result<(), Error> = if let Some(msg) = shared.poison_msg() {
+            // An earlier group already failed: this group was sealed
+            // after the failure point and its bytes are gone (or going)
+            // with the rollback — it must not publish.
+            Err(Error::Eval(EvalError::new(msg)))
+        } else if injected {
+            Err(StorageError::Io(std::io::Error::other("injected fsync failure")).into())
+        } else {
+            job.file.sync_all().map_err(|e| StorageError::Io(e).into())
+        };
+        match flushed {
+            Ok(()) => shared.publish_group(&job.group),
+            Err(e) => {
+                // Poison FIRST, then roll back under the store lock: a
+                // seal leader already holding the store lock gets its
+                // append cut by our truncation; one that hasn't acquired
+                // it yet sees the poison and aborts. Either way disk
+                // never keeps a group that memory refused.
+                shared.set_poison(format!(
+                    "database is read-only after a failed WAL commit: {e}"
+                ));
+                let mut store = shared.lock_store();
+                if let Some(store) = &mut *store {
+                    let _ = store.truncate_wal(job.wal_len_before);
+                    shared.metrics.refresh(store);
+                }
+                drop(store);
+                shared.fail_group(&job.group, &e);
+            }
+        }
+        let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight -= 1;
+        shared.drained.notify_all();
+    }
+}
+
 /// Everything shared between a [`Database`] and its [`Session`]s.
 struct DbInner {
-    versioned: VersionedGraph,
+    shared: Arc<CommitShared>,
     cfg: EngineConfig,
     recovery: RecoveryReport,
-    writer: Mutex<WriterState>,
-    metrics: StoreMetrics,
     cache: Mutex<PlanCache>,
     /// `(version, statistics fingerprint)` memo for recent versions: the
     /// fingerprint is recomputed only when a session reads a version it
     /// hasn't been computed for — read-only traffic on a quiet graph
     /// costs one lookup.
     stats_fp: Mutex<Vec<(u64, u64)>>,
+    /// Live only in `Pipelined` mode on a durable database. Dropping the
+    /// sender (close, or the last handle going away) retires the fsync
+    /// thread.
+    fsync_tx: Mutex<Option<Sender<FsyncJob>>>,
 }
 
 impl DbInner {
@@ -297,19 +533,17 @@ impl DbInner {
         fp
     }
 
-    fn lock_writer(&self) -> MutexGuard<'_, WriterState> {
-        self.writer.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     /// Executes one query: reads run lock-free against `view`; updating
-    /// queries take the writer lock (refused when `pinned` — a read
-    /// transaction never mutates).
+    /// queries enter the commit pipeline (refused when `pinned` — a read
+    /// transaction never mutates). `committed` reports the version id
+    /// the statement committed at, if it committed one.
     fn query_at(
         self: &Arc<Self>,
         view: &GraphView,
         pinned: bool,
         text: &str,
         params: &Params,
+        committed: &mut Option<u64>,
     ) -> Result<Table, Error> {
         let capacity = self.cfg.plan_cache_size;
         let (q, memo) = if capacity == 0 {
@@ -334,36 +568,46 @@ impl DbInner {
                  call Session::commit() to release the pinned snapshot first",
             )));
         }
-        self.write_query(text, &q, params)
+        self.write_query(text, &q, params, committed)
     }
 
     /// Executes an updating query as one transaction: private
-    /// copy-on-write clone → execute → drain the change records → seal
-    /// them in the WAL as one atomic batch → publish the new version.
-    fn write_query(&self, text: &str, q: &Arc<Query>, params: &Params) -> Result<Table, Error> {
-        let mut w = self.lock_writer();
-        if let Some(msg) = &w.poisoned_msg {
-            return Err(Error::Eval(EvalError::new(msg.clone())));
+    /// copy-on-write clone of the apply head → execute → drain the
+    /// change records → enqueue into the group-commit queue → the group
+    /// leader seals the queued batches in one atomic WAL write → the new
+    /// version publishes once the group is durable (per
+    /// [`EngineConfig::fsync_mode`]).
+    fn write_query(
+        &self,
+        text: &str,
+        q: &Arc<Query>,
+        params: &Params,
+        committed: &mut Option<u64>,
+    ) -> Result<Table, Error> {
+        let shared = &self.shared;
+        let mut apply = shared.lock_apply();
+        if let Some(msg) = shared.poison_msg() {
+            return Err(Error::Eval(EvalError::new(msg)));
         }
         // Resolve the plan memo against the statistics this transaction
-        // will *actually* execute under — the latest version is frozen
-        // for the duration (we hold the writer lock). The caller's
-        // pre-lock resolution may have been computed against an older
-        // version; caching plans chosen under these statistics into
-        // that older fingerprint's slot would poison it for sessions
-        // genuinely pinned there. Quiet: this query's cache outcome was
-        // already counted.
+        // will *actually* execute under — the apply head, frozen for the
+        // duration (we hold the apply lock). The caller's pre-lock
+        // resolution may have been computed against an older version;
+        // caching plans chosen under these statistics into that older
+        // fingerprint's slot would poison it for sessions genuinely
+        // pinned there. Quiet: this query's cache outcome was already
+        // counted.
         let capacity = self.cfg.plan_cache_size;
         let memo = if capacity == 0 {
             None
         } else {
-            let base = self.versioned.latest();
+            let base = GraphView::new(Arc::clone(&apply.working), apply.next_seq);
             let fp = self.stats_fp_for(&base);
             Some(self.resolve_cached(text, capacity, fp, false)?.1)
         };
         let memo = memo.as_deref();
-        let mut txn = self.versioned.begin_write();
-        let durable = w.store.is_some();
+        let durable = shared.metrics.durable;
+        let mut graph = (*apply.working).clone();
         if durable {
             // Collect this transaction's change records for the WAL
             // batch. Discard anything a previous transaction left
@@ -372,74 +616,228 @@ impl DbInner {
             // emitted — sealing them into this batch would write
             // mutations to disk that no published version ever
             // contained.
-            let _stale = w.buffer.drain();
-            txn.graph_mut().set_change_sink(Box::new(w.buffer.clone()));
+            let _stale = apply.buffer.drain();
+            graph.set_change_sink(Box::new(apply.buffer.clone()));
         }
         // In-memory databases skip the sink entirely (no records to
         // seal); the mutation counter is their did-anything-mutate
         // detector.
-        let version_before = txn.graph().version();
-        let result = cypher_engine::execute_cached(txn.graph_mut(), q, params, &self.cfg, memo)
+        let version_before = apply.working.version();
+        let result = cypher_engine::execute_cached(&mut graph, q, params, &self.cfg, memo)
             .map_err(Error::from);
-        // Even an errored query publishes (and seals) the mutations it
+        // Even an errored query commits (and seals) the mutations it
         // did apply before failing — Cypher has no rollback, so the
         // already-executed clauses are real and must be durable; they
         // become visible to readers atomically like any other batch.
         let changes = if durable {
-            w.buffer.drain()
+            apply.buffer.drain()
         } else {
             Vec::new()
         };
-        let version = match &mut w.store {
-            Some(store) => {
-                if changes.is_empty() {
-                    txn.abort();
-                    return result;
-                }
-                // Seal first: a version is published only once the batch
-                // that produced it is recoverable.
-                match store.commit(&changes) {
-                    Ok(seq) => seq + 1,
-                    Err(e) => {
-                        // The in-memory mutations cannot be made durable;
-                        // dropping the unpublished transaction keeps
-                        // readers (and future recovery) on the last
-                        // consistent version. The database stops
-                        // accepting writes: retrying against a store
-                        // that already failed a seal risks interleaving
-                        // half-sealed batches.
-                        w.poisoned_msg = Some(format!(
-                            "database is read-only after a failed WAL commit: {e}"
-                        ));
-                        txn.abort();
-                        return Err(e.into());
+        graph.take_change_sink();
+        let mutated = if durable {
+            !changes.is_empty()
+        } else {
+            // No mutator ran (e.g. a SET whose MATCH bound nothing):
+            // nothing to publish. A *failed* mutation attempt bumps the
+            // counter without changing state; publishing that
+            // content-identical version is harmless.
+            graph.version() != version_before
+        };
+        if !mutated {
+            return result;
+        }
+        // Admit the commit: the clone becomes the new apply head (the
+        // next writer executes on top of it, sealed or not) and joins
+        // the group-commit queue. If the queue was idle, *this* writer
+        // is the leader and drains it after releasing the apply lock.
+        let candidate = Arc::new(graph);
+        let seq = apply.next_seq;
+        apply.next_seq += 1;
+        apply.working = Arc::clone(&candidate);
+        let ticket = Arc::new(Ticket::default());
+        apply.queue.push(PendingCommit {
+            seq,
+            changes,
+            candidate,
+            ticket: Arc::clone(&ticket),
+        });
+        let leader = !apply.leader_running;
+        if leader {
+            apply.leader_running = true;
+        }
+        drop(apply);
+        if leader {
+            self.run_seal_leader();
+        }
+        let version = ticket.wait()?;
+        *committed = Some(version);
+        // Compaction trigger: quiesce the pipeline and checkpoint. Any
+        // error is this writer's to report (its own commit is already
+        // sealed and published).
+        if let Some(bytes) = shared.metrics.read(&shared.metrics.wal_bytes) {
+            if bytes > self.cfg.wal_compact_bytes {
+                let _apply = shared.quiesce();
+                let latest = shared.versioned.latest();
+                let mut store = shared.lock_store();
+                if let Some(store) = &mut *store {
+                    // Re-check under the lock: a racing writer may have
+                    // compacted already.
+                    if store.wal_bytes() > self.cfg.wal_compact_bytes {
+                        let ck = store.checkpoint(latest.graph());
+                        shared.metrics.refresh(store);
+                        ck?;
                     }
                 }
             }
-            None => {
-                if txn.graph().version() == version_before {
-                    // No mutator ran (e.g. a SET whose MATCH bound
-                    // nothing): nothing to publish. A *failed* mutation
-                    // attempt bumps the counter without changing state;
-                    // publishing that content-identical version is
-                    // harmless.
-                    txn.abort();
-                    return result;
-                }
-                txn.base_version() + 1
-            }
-        };
-        let published = txn.commit_as(version);
-        if let Some(store) = &mut w.store {
-            if store.wal_bytes() > self.cfg.wal_compact_bytes {
-                let ck = store.checkpoint(published.graph());
-                self.metrics.refresh(store);
-                ck?;
-            } else {
-                self.metrics.refresh(store);
-            }
         }
         result
+    }
+
+    /// The group-commit leader loop: drain the queue, seal the drained
+    /// batches as one group, repeat until the queue is empty, retire.
+    /// With [`EngineConfig::group_commit`] off every seal carries
+    /// exactly one batch — the serial baseline the `e24_group_commit`
+    /// bench compares against.
+    fn run_seal_leader(&self) {
+        let shared = &self.shared;
+        loop {
+            let mut apply = shared.lock_apply();
+            if apply.queue.is_empty() {
+                apply.leader_running = false;
+                shared.leader_done.notify_all();
+                return;
+            }
+            let group = if self.cfg.group_commit {
+                std::mem::take(&mut apply.queue)
+            } else {
+                vec![apply.queue.remove(0)]
+            };
+            drop(apply);
+            self.seal_group(group);
+        }
+    }
+
+    /// Seals one group: a single contiguous WAL write covering every
+    /// member batch plus the group record, then — per fsync mode —
+    /// publish immediately (`Os`), fsync-then-publish (`Sync`), or hand
+    /// off to the fsync thread (`Pipelined`). A failure poisons the
+    /// database and fails exactly this group's tickets; the WAL is
+    /// rolled back so prior groups stay durable and disk never exceeds
+    /// memory.
+    fn seal_group(&self, group: Vec<PendingCommit>) {
+        let shared = &self.shared;
+        let mut store_guard = shared.lock_store();
+        // Re-check poison *under the store lock*: the pipelined fsync
+        // thread sets poison before it truncates, so either we see it
+        // here and abort, or our append lands first and the truncation
+        // cuts it (see `fsync_worker`).
+        if let Some(msg) = shared.poison_msg() {
+            drop(store_guard);
+            shared.fail_group(&group, &Error::Eval(EvalError::new(msg)));
+            return;
+        }
+        let Some(store) = &mut *store_guard else {
+            // In-memory database: admission is durability; publish now.
+            drop(store_guard);
+            shared.publish_group(&group);
+            return;
+        };
+        let batches: Vec<&[Change]> = group.iter().map(|p| p.changes.as_slice()).collect();
+        let receipt = match store.commit_group(&batches) {
+            Ok(r) => r,
+            Err(e) => {
+                // The members' mutations cannot be made durable; leaving
+                // their versions unpublished keeps readers (and future
+                // recovery) on the last consistent state. The database
+                // stops accepting writes: retrying against a store that
+                // already failed a seal risks interleaving half-sealed
+                // groups.
+                shared.set_poison(format!(
+                    "database is read-only after a failed WAL commit: {e}"
+                ));
+                let err = Error::from(e);
+                drop(store_guard);
+                shared.fail_group(&group, &err);
+                return;
+            }
+        };
+        debug_assert_eq!(receipt.first_seq, group[0].seq, "queue seqs match the WAL");
+        match self.cfg.fsync_mode {
+            FsyncMode::Os => {
+                shared.metrics.refresh(store);
+                drop(store_guard);
+                shared.publish_group(&group);
+            }
+            FsyncMode::Sync => match store.sync() {
+                Ok(()) => {
+                    shared.metrics.refresh(store);
+                    drop(store_guard);
+                    shared.publish_group(&group);
+                }
+                Err(e) => {
+                    shared.set_poison(format!(
+                        "database is read-only after a failed WAL commit: {e}"
+                    ));
+                    // Roll the whole group back: after a failed fsync its
+                    // bytes may or may not be stable, so cutting them is
+                    // the only way disk and (unpublished) memory agree.
+                    let _ = store.truncate_wal(receipt.wal_len_before);
+                    shared.metrics.refresh(store);
+                    let err = Error::from(e);
+                    drop(store_guard);
+                    shared.fail_group(&group, &err);
+                }
+            },
+            FsyncMode::Pipelined => {
+                let file = match store.sync_handle() {
+                    Ok(f) => f,
+                    Err(e) => {
+                        shared.set_poison(format!(
+                            "database is read-only after a failed WAL commit: {e}"
+                        ));
+                        let _ = store.truncate_wal(receipt.wal_len_before);
+                        shared.metrics.refresh(store);
+                        let err = Error::from(e);
+                        drop(store_guard);
+                        shared.fail_group(&group, &err);
+                        return;
+                    }
+                };
+                // Count the group in flight before the leader can retire
+                // — quiesce must not observe an idle queue while a flush
+                // it cannot see is pending.
+                *shared.inflight.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                shared.metrics.refresh(store);
+                drop(store_guard);
+                let job = FsyncJob {
+                    file,
+                    wal_len_before: receipt.wal_len_before,
+                    group,
+                };
+                let sent = {
+                    let tx = self.fsync_tx.lock().unwrap_or_else(|e| e.into_inner());
+                    match &*tx {
+                        Some(tx) => tx.send(job).map_err(|e| e.0),
+                        None => Err(job),
+                    }
+                };
+                if let Err(job) = sent {
+                    // The fsync thread is gone (close raced us, or it
+                    // died): the group cannot be acknowledged.
+                    shared.set_poison(
+                        "database is read-only after a failed WAL commit: \
+                         fsync pipeline unavailable"
+                            .to_string(),
+                    );
+                    let msg = shared.poison_msg().expect("poison was just set");
+                    shared.fail_group(&job.group, &Error::Eval(EvalError::new(msg)));
+                    let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                    *inflight -= 1;
+                    shared.drained.notify_all();
+                }
+            }
+        }
     }
 }
 
@@ -496,10 +894,13 @@ impl Database {
     /// Opens a database as configured: durable when
     /// [`EngineConfig::persistence`] is set (which defaults from the
     /// `CYPHER_DATA_DIR` environment variable), in-memory otherwise.
+    /// Recovery fans large-batch index rebuilds out across
+    /// [`EngineConfig::num_threads`] workers; in `Pipelined` fsync mode
+    /// a dedicated flush thread is started here.
     pub fn open_with(cfg: EngineConfig) -> Result<Database, Error> {
         let (graph, store, recovery, initial_version) = match &cfg.persistence {
             Some(dir) => {
-                let (store, graph) = Store::open(dir)?;
+                let (store, graph) = Store::open_with_threads(dir, cfg.num_threads)?;
                 let recovery = store.report().clone();
                 let v = store.batches_committed();
                 (graph, Some(store), recovery, v)
@@ -507,19 +908,45 @@ impl Database {
             None => (PropertyGraph::new(), None, RecoveryReport::default(), 0),
         };
         let metrics = StoreMetrics::of(&store);
+        let durable = store.is_some();
+        let versioned = VersionedGraph::new(graph, initial_version);
+        let working = Arc::clone(versioned.latest().graph_arc());
+        let shared = Arc::new(CommitShared {
+            versioned,
+            apply: Mutex::new(ApplyState {
+                working,
+                next_seq: initial_version,
+                queue: Vec::new(),
+                leader_running: false,
+                buffer: SharedChangeBuffer::new(),
+            }),
+            leader_done: Condvar::new(),
+            store: Mutex::new(store),
+            poison: Mutex::new(None),
+            inflight: Mutex::new(0),
+            drained: Condvar::new(),
+            pipeline_fail_injections: AtomicU32::new(0),
+            metrics,
+        });
+        let fsync_tx = if durable && cfg.fsync_mode == FsyncMode::Pipelined {
+            let (tx, rx) = mpsc::channel();
+            let worker_shared = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name("cypher-fsync".to_string())
+                .spawn(move || fsync_worker(worker_shared, rx))
+                .map_err(StorageError::Io)?;
+            Some(tx)
+        } else {
+            None
+        };
         Ok(Database {
             inner: Arc::new(DbInner {
-                versioned: VersionedGraph::new(graph, initial_version),
+                shared,
                 cfg,
                 recovery,
-                writer: Mutex::new(WriterState {
-                    store,
-                    buffer: SharedChangeBuffer::new(),
-                    poisoned_msg: None,
-                }),
-                metrics,
                 cache: Mutex::new(PlanCache::default()),
                 stats_fp: Mutex::new(Vec::new()),
+                fsync_tx: Mutex::new(fsync_tx),
             }),
         })
     }
@@ -536,21 +963,25 @@ impl Database {
     /// database. Sessions on one database share the graph, the durable
     /// store and the plan cache; each may pin its own read snapshot, and
     /// any number of them may run queries concurrently (send them to
-    /// other threads freely).
+    /// other threads freely). Concurrent updating queries feed the
+    /// group-commit queue and share WAL seals (and fsyncs).
     pub fn session(&self) -> Session {
         Session {
             inner: Arc::clone(&self.inner),
             pinned: None,
+            last_commit: None,
         }
     }
 
     /// Executes one query (reads and updates) in auto-commit mode.
     ///
     /// Reads run lock-free against the latest published version. An
-    /// updating query runs as one write transaction: its change records
-    /// are sealed in the WAL as one atomic batch, then the new version
-    /// is published to readers (the snapshot-compaction trigger runs
-    /// afterwards).
+    /// updating query runs as one write transaction through the
+    /// group-commit pipeline: its change records are sealed in the WAL
+    /// inside an atomic group, then the new version is published to
+    /// readers once the group is durable per
+    /// [`EngineConfig::fsync_mode`] (the snapshot-compaction trigger
+    /// runs afterwards).
     ///
     /// Repeated query texts skip parsing and `MATCH` planning entirely via
     /// the shared LRU plan cache (capacity [`EngineConfig::plan_cache_size`];
@@ -561,27 +992,32 @@ impl Database {
     /// cache key: plans embed parameter *expressions*, evaluated freshly
     /// on every execution.
     pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
-        let view = self.inner.versioned.latest();
-        self.inner.query_at(&view, false, query, params)
+        let view = self.inner.shared.versioned.latest();
+        let mut committed = None;
+        self.inner
+            .query_at(&view, false, query, params, &mut committed)
     }
 
     /// Evaluates a read query with the reference evaluator (the paper's
     /// denotational semantics) against the latest version.
     pub fn query_reference(&self, query: &str, params: &Params) -> Result<Table, Error> {
-        let view = self.inner.versioned.latest();
+        let view = self.inner.shared.versioned.latest();
         run_reference_with(view.graph(), query, params, self.inner.cfg.match_config)
     }
 
-    /// Forces a snapshot + WAL truncation now. No-op for in-memory
-    /// databases.
+    /// Forces a snapshot + WAL truncation now (quiescing the commit
+    /// pipeline first). No-op for in-memory databases.
     pub fn checkpoint(&mut self) -> Result<(), Error> {
-        let mut w = self.inner.lock_writer();
-        // Under the writer lock no commit is in flight, so the latest
-        // published version is exactly the state of every sealed batch.
-        let view = self.inner.versioned.latest();
-        if let Some(store) = &mut w.store {
+        let shared = &self.inner.shared;
+        // Hold the apply guard across the snapshot: no commit is in
+        // flight and none can start, so the latest published version is
+        // exactly the state of every sealed batch.
+        let _apply = shared.quiesce();
+        let view = shared.versioned.latest();
+        let mut store = shared.lock_store();
+        if let Some(store) = &mut *store {
             let ck = store.checkpoint(view.graph());
-            self.inner.metrics.refresh(store);
+            shared.metrics.refresh(store);
             ck?;
         }
         Ok(())
@@ -589,8 +1025,9 @@ impl Database {
 
     /// Syncs the WAL to stable storage and consumes the database handle.
     /// Every committed batch is handed to the OS at commit time (durable
-    /// against process crashes); `close` forces the fsync that makes the
-    /// tail durable against OS crashes and power loss too.
+    /// against process crashes); `close` quiesces the commit pipeline
+    /// and forces the fsync that makes the tail durable against OS
+    /// crashes and power loss too.
     ///
     /// Sessions outlive the handle but the *write path does not*: after
     /// `close`, updating queries on any surviving session fail loudly —
@@ -598,16 +1035,27 @@ impl Database {
     /// break the durability promise `close` just made. Reads (which
     /// only touch published in-memory versions) keep working.
     pub fn close(self) -> Result<(), Error> {
-        let mut w = self.inner.lock_writer();
-        if let Some(store) = &mut w.store {
+        let shared = &self.inner.shared;
+        let _apply = shared.quiesce();
+        let mut store_guard = shared.lock_store();
+        if let Some(store) = &mut *store_guard {
             store.sync()?;
         }
         // Drop the store now (not when the last Session drops): this
         // releases the data directory's single-writer lock, so the
         // directory can be reopened even while sessions linger.
-        w.store = None;
-        w.poisoned_msg =
-            Some("database has been closed: open it again to resume writing".to_string());
+        *store_guard = None;
+        drop(store_guard);
+        {
+            let mut p = shared.poison.lock().unwrap_or_else(|e| e.into_inner());
+            *p = Some("database has been closed: open it again to resume writing".to_string());
+        }
+        // Retire the pipelined fsync thread (its channel disconnects).
+        *self
+            .inner
+            .fsync_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
         Ok(())
     }
 
@@ -615,13 +1063,13 @@ impl Database {
     /// handle (derefs to [`PropertyGraph`], so the whole read API is
     /// available on it).
     pub fn graph(&self) -> GraphView {
-        self.inner.versioned.latest()
+        self.inner.shared.versioned.latest()
     }
 
     /// The version id of the latest committed transaction (0 for a fresh
     /// in-memory database; the recovered batch count after `open`).
     pub fn version(&self) -> u64 {
-        self.inner.versioned.latest_version()
+        self.inner.shared.versioned.latest_version()
     }
 
     /// What recovery found when this database was opened (all zeros for
@@ -633,24 +1081,27 @@ impl Database {
     /// Number of WAL batches committed over the store's lifetime; `None`
     /// for in-memory databases. The recovery differential uses this to
     /// map kill points back to statement prefixes. Lock-free (reads a
-    /// mirror refreshed at each commit), so monitoring never stalls
-    /// behind an in-flight write transaction.
+    /// mirror refreshed at each seal), so monitoring never stalls behind
+    /// the commit pipeline.
     pub fn batches_committed(&self) -> Option<u64> {
-        self.inner.metrics.read(&self.inner.metrics.batches)
+        let m = &self.inner.shared.metrics;
+        m.read(&m.batches)
     }
 
-    /// WAL size in bytes as of the last commit/checkpoint; `None` for
+    /// WAL size in bytes as of the last seal/checkpoint; `None` for
     /// in-memory databases. Lock-free mirror, like
     /// [`Database::batches_committed`].
     pub fn wal_bytes(&self) -> Option<u64> {
-        self.inner.metrics.read(&self.inner.metrics.wal_bytes)
+        let m = &self.inner.shared.metrics;
+        m.read(&m.wal_bytes)
     }
 
-    /// Snapshot generation as of the last commit/checkpoint; `None` for
+    /// Snapshot generation as of the last seal/checkpoint; `None` for
     /// in-memory databases. Lock-free mirror, like
     /// [`Database::batches_committed`].
     pub fn generation(&self) -> Option<u64> {
-        self.inner.metrics.read(&self.inner.metrics.generation)
+        let m = &self.inner.shared.metrics;
+        m.read(&m.generation)
     }
 
     /// The engine configuration this database executes with.
@@ -678,13 +1129,29 @@ impl Database {
             .len()
     }
 
+    /// Test double for the fsync fault-injection harness: forces the
+    /// next `n` WAL flushes to fail. In `Pipelined` mode the failure is
+    /// injected at the flush thread; otherwise it arms the store's
+    /// injection (consumed by `Sync`-mode seals and by `close`).
+    #[doc(hidden)]
+    pub fn inject_fsync_failures(&self, n: u32) {
+        if self.inner.cfg.fsync_mode == FsyncMode::Pipelined {
+            self.inner
+                .shared
+                .pipeline_fail_injections
+                .store(n, Ordering::Relaxed);
+        } else if let Some(store) = &mut *self.inner.shared.lock_store() {
+            store.inject_sync_failures(n);
+        }
+    }
+
     /// Renders the physical plans (and projection pushdowns) this
     /// database's configuration produces for `query` against the latest
     /// version's statistics — the `EXPLAIN` witness the plan-cache tests
     /// compare before and after invalidation.
     pub fn explain(&self, query: &str) -> Result<String, Error> {
         let q = crate::parse_query(query)?;
-        let view = self.inner.versioned.latest();
+        let view = self.inner.shared.versioned.latest();
         Ok(cypher_engine::explain(&view, &q, &self.inner.cfg))
     }
 }
@@ -694,7 +1161,8 @@ impl Database {
 ///
 /// * `query()` outside a read transaction auto-commits: reads execute
 ///   against the latest version, updates run as their own atomic write
-///   transaction.
+///   transaction (through the group-commit pipeline — concurrent
+///   sessions' commits share WAL seals and fsyncs).
 /// * [`Session::begin_read`] … [`Session::commit`] brackets a **read
 ///   transaction**: every query in between executes against the one
 ///   version pinned at `begin_read`, unaffected by concurrent commits
@@ -708,6 +1176,7 @@ impl Database {
 pub struct Session {
     inner: Arc<DbInner>,
     pinned: Option<GraphView>,
+    last_commit: Option<u64>,
 }
 
 impl Session {
@@ -716,7 +1185,7 @@ impl Session {
     /// every query of this session executes against this frozen
     /// snapshot.
     pub fn begin_read(&mut self) -> u64 {
-        let view = self.inner.versioned.latest();
+        let view = self.inner.shared.versioned.latest();
         let v = view.version();
         self.pinned = Some(view);
         v
@@ -736,13 +1205,24 @@ impl Session {
         self.pinned.as_ref().map(|v| v.version())
     }
 
+    /// The version id this session's most recent statement committed at
+    /// — `None` if that statement was a read, a no-op update, or failed
+    /// to commit. Under group commit a member's version id may never be
+    /// published on its own (the group publishes one version covering
+    /// all members); the multi-writer differential harness orders its
+    /// oracle replay by these ids, which stay per-transaction and
+    /// monotonic.
+    pub fn last_commit_version(&self) -> Option<u64> {
+        self.last_commit
+    }
+
     /// The snapshot this session's next read query will execute against:
     /// the pinned version inside a read transaction, the latest version
     /// otherwise.
     pub fn snapshot(&self) -> GraphView {
         match &self.pinned {
             Some(v) => v.clone(),
-            None => self.inner.versioned.latest(),
+            None => self.inner.shared.versioned.latest(),
         }
     }
 
@@ -752,9 +1232,11 @@ impl Session {
     pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
         let (view, pinned) = match &self.pinned {
             Some(v) => (v.clone(), true),
-            None => (self.inner.versioned.latest(), false),
+            None => (self.inner.shared.versioned.latest(), false),
         };
-        self.inner.query_at(&view, pinned, query, params)
+        self.last_commit = None;
+        self.inner
+            .query_at(&view, pinned, query, params, &mut self.last_commit)
     }
 
     /// Evaluates a read query with the reference evaluator against this
@@ -959,6 +1441,160 @@ mod tests {
         assert!(
             s.hits >= 1,
             "second session must hit the shared cache: {s:?}"
+        );
+    }
+
+    #[test]
+    fn last_commit_version_tracks_write_statements_only() {
+        let params = Params::new();
+        let db = Database::in_memory();
+        let mut s = db.session();
+        assert_eq!(s.last_commit_version(), None);
+        s.query("CREATE (:N {v: 1})", &params).unwrap();
+        assert_eq!(s.last_commit_version(), Some(1));
+        s.query("MATCH (n:N) RETURN n.v", &params).unwrap();
+        assert_eq!(s.last_commit_version(), None, "reads commit nothing");
+        s.query("MATCH (n:Absent) SET n.v = 2", &params).unwrap();
+        assert_eq!(
+            s.last_commit_version(),
+            None,
+            "no-op updates commit nothing"
+        );
+        s.query("CREATE (:N {v: 2})", &params).unwrap();
+        assert_eq!(s.last_commit_version(), Some(2));
+    }
+
+    #[test]
+    fn sync_mode_fsync_failure_poisons_exactly_its_group() {
+        let dir = tmpdir("sync-fail");
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.clone());
+        cfg.fsync_mode = FsyncMode::Sync;
+        {
+            let mut db = Database::open_with(cfg.clone()).unwrap();
+            db.query("CREATE (:N {v: 1})", &params).unwrap();
+            db.inject_fsync_failures(1);
+            let e = db.query("CREATE (:N {v: 2})", &params).unwrap_err();
+            assert!(
+                e.to_string().contains("fsync"),
+                "the doomed writer gets the flush error: {e}"
+            );
+            // The failed group never published: memory stayed on the
+            // durable prefix.
+            assert_eq!(db.version(), 1);
+            // Later writers see the poison.
+            let e2 = db.query("CREATE (:N {v: 3})", &params).unwrap_err();
+            assert!(
+                e2.to_string()
+                    .contains("read-only after a failed WAL commit"),
+                "unexpected error: {e2}"
+            );
+        } // dropped, not closed: close would fsync a damaged writer
+        cfg.fsync_mode = FsyncMode::Os;
+        let mut db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(db2.version(), 1, "prior groups stayed durable");
+        let t = db2
+            .query("MATCH (n:N) RETURN count(*) AS c", &params)
+            .unwrap();
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_mode_publishes_after_flush_and_survives_reopen() {
+        let dir = tmpdir("pipelined");
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.clone());
+        cfg.fsync_mode = FsyncMode::Pipelined;
+        {
+            let mut db = Database::open_with(cfg.clone()).unwrap();
+            for i in 0..3 {
+                db.query(&format!("CREATE (:N {{v: {i}}})"), &params)
+                    .unwrap();
+            }
+            assert_eq!(db.version(), 3, "acknowledged commits are published");
+            db.close().unwrap();
+        }
+        let db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(db2.recovery().batches_replayed, 3);
+        assert_eq!(db2.version(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_flush_failure_poisons_and_rolls_back_its_group() {
+        let dir = tmpdir("pipelined-fail");
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.clone());
+        cfg.fsync_mode = FsyncMode::Pipelined;
+        {
+            let mut db = Database::open_with(cfg.clone()).unwrap();
+            db.query("CREATE (:N {v: 1})", &params).unwrap();
+            db.inject_fsync_failures(1);
+            let e = db.query("CREATE (:N {v: 2})", &params).unwrap_err();
+            assert!(
+                e.to_string().contains("fsync"),
+                "the doomed writer gets the flush error: {e}"
+            );
+            assert_eq!(db.version(), 1, "the failed group never published");
+            let e2 = db.query("CREATE (:N {v: 3})", &params).unwrap_err();
+            assert!(
+                e2.to_string()
+                    .contains("read-only after a failed WAL commit"),
+                "unexpected error: {e2}"
+            );
+        }
+        cfg.fsync_mode = FsyncMode::Os;
+        let mut db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(
+            db2.recovery().batches_replayed,
+            1,
+            "the WAL was rolled back to the durable group"
+        );
+        let t = db2
+            .query("MATCH (n:N) RETURN count(*) AS c", &params)
+            .unwrap();
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_share_groups_and_all_commit() {
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = None;
+        cfg.plan_cache_size = 0;
+        let db = Database::open_with(cfg).unwrap();
+        const WRITERS: usize = 4;
+        const EACH: usize = 25;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let mut session = db.session();
+                scope.spawn(move || {
+                    for i in 0..EACH {
+                        session
+                            .query(&format!("CREATE (:W {{w: {w}, i: {i}}})"), &Params::new())
+                            .unwrap();
+                        assert!(
+                            session.last_commit_version().is_some(),
+                            "every write commits a version"
+                        );
+                    }
+                });
+            }
+        });
+        let mut check = db.session();
+        let t = check
+            .query("MATCH (n:W) RETURN count(*) AS c", &params)
+            .unwrap();
+        assert_eq!(t.cell(0, "c"), Some(&Value::int((WRITERS * EACH) as i64)));
+        assert_eq!(
+            db.version(),
+            (WRITERS * EACH) as u64,
+            "the last group's publish covers every member seq"
         );
     }
 }

@@ -41,8 +41,8 @@ pub use cypher_core::{
     Table,
 };
 pub use cypher_engine::{
-    env_config_issues, EngineConfig, EnvConfigIssue, MultiResult, PartialAggMode, PlanMemo,
-    PlannerMode,
+    env_config_issues, EngineConfig, EnvConfigIssue, FsyncMode, MultiResult, PartialAggMode,
+    PlanMemo, PlannerMode,
 };
 pub use cypher_graph::{
     Catalog, Change, Direction, GraphView, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer,

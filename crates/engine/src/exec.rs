@@ -80,6 +80,17 @@ pub struct EngineConfig {
     /// `CYPHER_PLAN_CACHE_SIZE`. The stateless `run`/`run_read` helpers
     /// ignore this knob — only the `Database` facade holds a cache.
     pub plan_cache_size: usize,
+    /// Whether the `Database` write path coalesces concurrently-arriving
+    /// transactions into one WAL seal + one published version (group
+    /// commit). On by default; override with `CYPHER_GROUP_COMMIT`
+    /// (`on` / `off`). Off, every transaction seals its own group of
+    /// one — same protocol, no coalescing. Never changes per-transaction
+    /// semantics, only how many fsyncs a burst of writers pays.
+    pub group_commit: bool,
+    /// When the durable write path forces sealed groups to stable
+    /// storage. Defaults to [`FsyncMode::Os`]; override with
+    /// `CYPHER_FSYNC_MODE` (`os` / `sync` / `pipelined`).
+    pub fsync_mode: FsyncMode,
 }
 
 /// Default WAL size (bytes) beyond which a snapshot is taken.
@@ -104,6 +115,26 @@ pub enum PartialAggMode {
     /// merge path even on tiny inputs (CI's worst-case-interleaving
     /// matrix cell).
     Force,
+}
+
+/// When (and where) the durable write path fsyncs a sealed commit group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncMode {
+    /// Never fsync per group: sealed bytes sit in the kernel page cache
+    /// (process-crash durable, not power-loss durable) until a
+    /// checkpoint or close forces them down. The fastest mode and the
+    /// pre-group-commit behaviour.
+    #[default]
+    Os,
+    /// fsync every group before its version is published and its
+    /// transactions are acknowledged — power-loss durability, paid for
+    /// inline by the sealing leader.
+    Sync,
+    /// Like `Sync`, but the fsync runs on a background scheduler thread
+    /// through a duplicate file handle: the leader seals group N+1 while
+    /// group N flushes, overlapping WAL append with fsync latency.
+    /// Publish/acknowledge still happen only after the fsync succeeds.
+    Pipelined,
 }
 
 /// One malformed environment override, reported instead of being
@@ -136,6 +167,8 @@ struct EnvDefaults {
     wal_compact_bytes: u64,
     partial_agg: PartialAggMode,
     plan_cache_size: usize,
+    group_commit: bool,
+    fsync_mode: FsyncMode,
     issues: Vec<EnvConfigIssue>,
 }
 
@@ -199,6 +232,37 @@ fn parse_env_defaults(
             }
         },
     };
+    let group_commit = match get("CYPHER_GROUP_COMMIT").filter(|s| !s.is_empty()) {
+        None => true,
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "no" => false,
+            "on" | "1" | "true" | "yes" => true,
+            _ => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_GROUP_COMMIT",
+                    value: raw,
+                    message: "expected on/off; using default on".to_string(),
+                });
+                true
+            }
+        },
+    };
+    let fsync_mode = match get("CYPHER_FSYNC_MODE").filter(|s| !s.is_empty()) {
+        None => FsyncMode::default(),
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "os" => FsyncMode::Os,
+            "sync" => FsyncMode::Sync,
+            "pipelined" | "pipeline" => FsyncMode::Pipelined,
+            _ => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_FSYNC_MODE",
+                    value: raw,
+                    message: "expected os/sync/pipelined; using default os".to_string(),
+                });
+                FsyncMode::Os
+            }
+        },
+    };
     let persistence = get_path("CYPHER_DATA_DIR")
         .filter(|s| !s.is_empty())
         .map(std::path::PathBuf::from);
@@ -209,6 +273,8 @@ fn parse_env_defaults(
         wal_compact_bytes,
         partial_agg,
         plan_cache_size,
+        group_commit,
+        fsync_mode,
         issues,
     }
 }
@@ -258,6 +324,8 @@ impl Default for EngineConfig {
             wal_compact_bytes: env.wal_compact_bytes,
             partial_agg: env.partial_agg,
             plan_cache_size: env.plan_cache_size,
+            group_commit: env.group_commit,
+            fsync_mode: env.fsync_mode,
         }
     }
 }
@@ -321,6 +389,19 @@ impl EngineConfig {
             plan_cache_size,
             ..self
         }
+    }
+
+    /// This configuration with group commit forced on or off.
+    pub fn with_group_commit(self, group_commit: bool) -> Self {
+        EngineConfig {
+            group_commit,
+            ..self
+        }
+    }
+
+    /// This configuration with the given fsync scheduling mode.
+    pub fn with_fsync_mode(self, fsync_mode: FsyncMode) -> Self {
+        EngineConfig { fsync_mode, ..self }
     }
 }
 
@@ -1200,6 +1281,8 @@ mod tests {
                 ("CYPHER_NUM_THREADS", "4"),
                 ("CYPHER_PLAN_CACHE_SIZE", "0"),
                 ("CYPHER_PARTIAL_AGG", "force"),
+                ("CYPHER_GROUP_COMMIT", "off"),
+                ("CYPHER_FSYNC_MODE", "pipelined"),
             ]),
             &no_paths,
         );
@@ -1209,6 +1292,8 @@ mod tests {
             (64, 4, 0)
         );
         assert_eq!(d.partial_agg, PartialAggMode::Force);
+        assert!(!d.group_commit);
+        assert_eq!(d.fsync_mode, FsyncMode::Pipelined);
 
         // Unset and empty silently keep defaults.
         let d = parse_env_defaults(&env(&[("CYPHER_MORSEL_SIZE", "")]), &no_paths);
@@ -1223,6 +1308,8 @@ mod tests {
                 ("CYPHER_NUM_THREADS", "0"),
                 ("CYPHER_WAL_COMPACT_BYTES", "-5"),
                 ("CYPHER_PARTIAL_AGG", "sometimes"),
+                ("CYPHER_GROUP_COMMIT", "maybe"),
+                ("CYPHER_FSYNC_MODE", "eventually"),
             ]),
             &no_paths,
         );
@@ -1230,6 +1317,8 @@ mod tests {
         assert_eq!(d.num_threads, 1);
         assert_eq!(d.wal_compact_bytes, DEFAULT_WAL_COMPACT_BYTES);
         assert_eq!(d.partial_agg, PartialAggMode::Auto);
+        assert!(d.group_commit, "malformed override keeps the default");
+        assert_eq!(d.fsync_mode, FsyncMode::Os);
         let vars: Vec<&str> = d.issues.iter().map(|i| i.var).collect();
         assert_eq!(
             vars,
@@ -1237,7 +1326,9 @@ mod tests {
                 "CYPHER_MORSEL_SIZE",
                 "CYPHER_NUM_THREADS",
                 "CYPHER_WAL_COMPACT_BYTES",
-                "CYPHER_PARTIAL_AGG"
+                "CYPHER_PARTIAL_AGG",
+                "CYPHER_GROUP_COMMIT",
+                "CYPHER_FSYNC_MODE"
             ]
         );
         let morsel = &d.issues[0];

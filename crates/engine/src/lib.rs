@@ -65,7 +65,7 @@ pub mod update;
 pub use cache::{stats_fingerprint, PlanMemo};
 pub use exec::{
     env_config_issues, execute, execute_cached, execute_read, execute_read_cached, explain,
-    EngineConfig, EnvConfigIssue, PartialAggMode,
+    EngineConfig, EnvConfigIssue, FsyncMode, PartialAggMode,
 };
 pub use multigraph::{execute_on_catalog, MultiResult};
 pub use ops::{ExecOptions, RowBatch, DEFAULT_MORSEL_SIZE};

@@ -295,6 +295,28 @@ impl VersionedGraph {
         }
     }
 
+    /// Publishes an externally prepared frozen graph as `version`,
+    /// taking the writer token internally. The group-commit pipeline
+    /// uses this instead of [`WriteTxn`]: transactions there execute
+    /// serialized by the commit queue's own apply lock, and their
+    /// pre-built `Arc` snapshots are published in seal order — possibly
+    /// from a different thread (the pipelined fsync scheduler) than the
+    /// one that executed them. `graph` must not carry a change sink, and
+    /// `version` must be strictly newer than the latest published one.
+    pub fn publish_view(&self, graph: Arc<PropertyGraph>, version: u64) -> GraphView {
+        let _token = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            version > self.version.load(Ordering::Relaxed),
+            "versions are monotonic: {} !> {}",
+            version,
+            self.version.load(Ordering::Relaxed)
+        );
+        debug_assert!(!graph.has_change_sink(), "published graphs are frozen");
+        let view = GraphView::new(graph, version);
+        self.publish(view.clone());
+        view
+    }
+
     /// Publishes `view` as the new latest version. Caller must hold the
     /// writer token and pass a strictly newer version id.
     fn publish(&self, view: GraphView) {

@@ -28,12 +28,26 @@ pub struct RecoveryReport {
     pub snapshot_generation: u64,
     /// Committed WAL batches replayed on top of the snapshot.
     pub batches_replayed: u64,
+    /// Sealed commit groups those batches arrived in.
+    pub groups_replayed: u64,
     /// Individual change records inside those batches.
     pub changes_replayed: usize,
     /// Bytes of torn/uncommitted WAL tail that were truncated.
     pub truncated_bytes: u64,
     /// Decoded-but-uncommitted changes the truncation discarded.
     pub discarded_changes: usize,
+}
+
+/// Receipt for one sealed commit group (see [`Store::commit_group`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupReceipt {
+    /// Batch seq of the group's first member; members are consecutive.
+    pub first_seq: TxnId,
+    /// Number of member batches in the group.
+    pub batches: u32,
+    /// WAL length before the group was appended — the rollback target
+    /// if the group's fsync fails.
+    pub wal_len_before: u64,
 }
 
 /// A durable store rooted at one data directory.
@@ -139,6 +153,16 @@ impl Store {
     /// Opens (creating if necessary) the store at `dir` and recovers the
     /// graph it holds: latest valid snapshot plus replayed WAL tail.
     pub fn open(dir: impl AsRef<Path>) -> Result<(Store, PropertyGraph), StorageError> {
+        Store::open_with_threads(dir, 1)
+    }
+
+    /// [`Store::open`] with an index-maintenance thread budget for
+    /// replay: large WAL tails fan index upkeep out across shards (see
+    /// [`wal::replay_with_threads`]).
+    pub fn open_with_threads(
+        dir: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<(Store, PropertyGraph), StorageError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         // Single-writer rule; released on drop (including every error
@@ -179,8 +203,9 @@ impl Store {
         // crash window between snapshot publication and WAL creation).
         let path = wal_path(&dir, generation);
         let wal = if path.exists() {
-            let summary = wal::replay(&path, &mut graph)?;
+            let summary = wal::replay_with_threads(&path, &mut graph, threads)?;
             report.batches_replayed = summary.batches_applied;
+            report.groups_replayed = summary.groups_applied;
             report.changes_replayed = summary.changes_applied;
             report.truncated_bytes = summary.truncated_bytes;
             report.discarded_changes = summary.discarded_changes;
@@ -201,18 +226,54 @@ impl Store {
         Ok((store, graph))
     }
 
-    /// Appends one atomic batch of changes to the WAL, **sealing** the
-    /// transaction on disk. Returns the batch sequence number — the
-    /// transaction's id, which versioned callers publish as the new
-    /// graph version (see [`TxnId`]).
-    pub fn commit(&mut self, changes: &[Change]) -> Result<TxnId, StorageError> {
+    /// Appends one commit group — each member batch plus one covering
+    /// group record — to the WAL in a single contiguous write,
+    /// **sealing** every member transaction on disk at once. Members
+    /// receive consecutive batch seqs from `first_seq` in slice order;
+    /// the receipt records the pre-append WAL length so a failed
+    /// fsync can roll the whole group back with
+    /// [`Store::truncate_wal`].
+    pub fn commit_group(&mut self, batches: &[&[Change]]) -> Result<GroupReceipt, StorageError> {
         if self.poisoned {
             return Err(StorageError::corrupt(
                 "store disabled by an earlier failed checkpoint",
                 0,
             ));
         }
-        self.wal.append_batch(changes)
+        let wal_len_before = self.wal.bytes();
+        let first_seq = self.wal.append_group(batches)?;
+        Ok(GroupReceipt {
+            first_seq,
+            batches: batches.len() as u32,
+            wal_len_before,
+        })
+    }
+
+    /// Appends one atomic batch of changes as a group of one. Returns
+    /// the batch sequence number — the transaction's id, which versioned
+    /// callers publish as the new graph version (see [`TxnId`]).
+    pub fn commit(&mut self, changes: &[Change]) -> Result<TxnId, StorageError> {
+        self.commit_group(&[changes]).map(|r| r.first_seq)
+    }
+
+    /// A duplicate handle onto the live WAL file for off-thread fsync —
+    /// the pipelined scheduler flushes group N through this handle while
+    /// the leader appends group N+1 through the store.
+    pub fn sync_handle(&self) -> Result<std::fs::File, StorageError> {
+        self.wal.sync_handle()
+    }
+
+    /// Rolls the WAL back to `len` bytes (a [`GroupReceipt`]'s
+    /// `wal_len_before`) after a failed group seal, so disk never holds
+    /// a group that memory refused to acknowledge.
+    pub fn truncate_wal(&mut self, len: u64) -> Result<(), StorageError> {
+        self.wal.truncate_to(len)
+    }
+
+    /// Test double: forces the next `n` WAL fsyncs to fail.
+    #[doc(hidden)]
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.wal.inject_sync_failures(n);
     }
 
     /// Bytes in the current WAL — the compaction trigger's input.
@@ -528,6 +589,42 @@ mod tests {
             drop(outcomes); // releases the winner's lock
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn failed_group_fsync_rolls_back_to_the_prior_durable_group() {
+        // The fsync fault double: a group whose seal fails to reach
+        // stable storage is truncated away whole, so a reopen recovers
+        // exactly the prior groups — disk never runs ahead of what the
+        // database acknowledged.
+        let dir = tmpdir("groupfsync");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            let receipt = store
+                .commit_group(&[&add_node_batch(0), &add_node_batch(1)])
+                .unwrap();
+            assert_eq!(receipt.first_seq, 0);
+            assert_eq!(receipt.batches, 2);
+            store.sync().unwrap();
+            let doomed = store
+                .commit_group(&[&add_node_batch(2), &add_node_batch(3)])
+                .unwrap();
+            assert_eq!(doomed.first_seq, 2);
+            store.inject_sync_failures(1);
+            assert!(store.sync().is_err(), "injected fsync failure surfaces");
+            store.truncate_wal(doomed.wal_len_before).unwrap();
+            assert_eq!(store.wal_bytes(), doomed.wal_len_before);
+            assert!(
+                store.commit(&add_node_batch(2)).is_err(),
+                "writer stays damaged after a failed fsync"
+            );
+        }
+        let (store, graph) = Store::open(&dir).unwrap();
+        assert_eq!(store.report().batches_replayed, 2);
+        assert_eq!(store.report().groups_replayed, 1);
+        assert_eq!(graph.node_count(), 2, "only the durable group survives");
+        assert_eq!(store.batches_committed(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,21 +4,27 @@
 //!
 //! ```text
 //! file   := magic record*
-//! magic  := "CYWAL001"                      (8 bytes)
+//! magic  := "CYWAL002"                      (8 bytes)
 //! record := len:u32 crc:u32 payload         (len = payload bytes, crc = CRC-32(payload))
 //! payload := 0x01 change                    (one encoded Change)
 //!          | 0x02 seq:u64 count:u32         (commit: batch seq + change count)
+//!          | 0x03 first_seq:u64 count:u32   (group seal: `count` batches from `first_seq`)
 //! ```
 //!
-//! Changes stream in mutation order; a **commit record** seals the
-//! preceding changes into one atomic batch (the `Database` facade writes
-//! one batch per executed query). Replay applies a batch only when its
-//! commit record is intact: a crash mid-batch — between records or inside
-//! one — leaves an uncommitted or torn tail, which replay discards by
-//! truncating the file back to the last committed boundary. Torn tails
-//! are expected (that is what a crash looks like); corruption *before*
-//! the last committed record is not, and surfaces as
-//! [`StorageError::Corrupt`] instead of silently dropping data.
+//! Changes stream in mutation order; a **commit record** stages the
+//! preceding changes as one batch, and a **group record** seals every
+//! batch staged since the previous group as one durable unit (the
+//! `Database` facade's group-commit queue writes one group per WAL
+//! write+fsync — a group of one for sequential writers). Replay applies
+//! batches only when their covering group record is intact: a crash
+//! anywhere inside a group — between records, inside one, or before the
+//! group record lands — leaves a torn tail, which replay discards by
+//! truncating the file back to the last sealed group boundary. A group
+//! is therefore all-or-nothing: recovery never yields a torn group, and
+//! never a partially-applied member batch. Torn tails are expected (that
+//! is what a crash looks like); corruption *before* the last sealed
+//! group is not, and surfaces as [`StorageError::Corrupt`] instead of
+//! silently dropping data.
 
 use crate::codec::{crc32, put_change, put_u32, put_u64, Reader};
 use crate::StorageError;
@@ -29,12 +35,14 @@ use std::io::Write;
 use std::path::Path;
 
 /// The WAL file magic (8 bytes, versioned).
-pub const WAL_MAGIC: &[u8; 8] = b"CYWAL001";
+pub const WAL_MAGIC: &[u8; 8] = b"CYWAL002";
 
 /// Payload kind byte: one change record.
 pub const KIND_CHANGE: u8 = 0x01;
-/// Payload kind byte: a batch commit.
+/// Payload kind byte: a batch commit (stages the preceding changes).
 pub const KIND_COMMIT: u8 = 0x02;
+/// Payload kind byte: a group seal (makes the staged batches durable).
+pub const KIND_GROUP: u8 = 0x03;
 
 /// Frames a payload as one WAL record: length, CRC-32, payload.
 pub fn frame_record(payload: &[u8]) -> Vec<u8> {
@@ -121,6 +129,8 @@ pub struct WalWriter {
     /// a recoverable torn tail into unrecoverable mid-file corruption.
     /// A damaged writer refuses all further appends.
     damaged: bool,
+    /// Test double: number of upcoming `sync` calls forced to fail.
+    fail_syncs: u32,
 }
 
 impl WalWriter {
@@ -141,6 +151,7 @@ impl WalWriter {
             bytes: WAL_MAGIC.len() as u64,
             next_seq: first_seq,
             damaged: false,
+            fail_syncs: 0,
         })
     }
 
@@ -157,38 +168,50 @@ impl WalWriter {
             bytes: valid_len,
             next_seq,
             damaged: false,
+            fail_syncs: 0,
         })
     }
 
-    /// Appends one atomic batch — every change framed individually, then
-    /// a commit record — as a single contiguous write handed to the OS.
-    /// Returns the batch sequence number.
+    /// Appends one sealed commit group — every member batch as change
+    /// records plus a commit record, then one group record covering them
+    /// all — as a single contiguous write handed to the OS. Returns the
+    /// sequence number of the group's first batch; members receive
+    /// consecutive seqs in slice order.
     ///
-    /// Durability scope: a committed batch survives **process** death
-    /// (the bytes live in the kernel page cache after `write(2)`
-    /// returns); it is not yet fsynced, so an OS crash or power loss may
-    /// still tear it — which replay then handles as a torn tail. Call
-    /// [`WalWriter::sync`] (or checkpoint) to force stable storage.
-    pub fn append_batch(&mut self, changes: &[Change]) -> Result<u64, StorageError> {
+    /// Durability scope: a sealed group survives **process** death (the
+    /// bytes live in the kernel page cache after `write(2)` returns); it
+    /// is not yet fsynced, so an OS crash or power loss may still tear
+    /// it — which replay then handles as a torn tail covering the whole
+    /// group. Call [`WalWriter::sync`] (or checkpoint) to force stable
+    /// storage.
+    pub fn append_group(&mut self, batches: &[&[Change]]) -> Result<u64, StorageError> {
         if self.damaged {
             return Err(StorageError::corrupt(
                 "wal writer disabled by an earlier append/sync failure",
                 self.bytes,
             ));
         }
-        let seq = self.next_seq;
+        assert!(!batches.is_empty(), "a commit group has at least one batch");
+        let first_seq = self.next_seq;
         let mut out = Vec::new();
         let mut payload = Vec::new();
-        for c in changes {
+        for (i, changes) in batches.iter().enumerate() {
+            for c in *changes {
+                payload.clear();
+                payload.push(KIND_CHANGE);
+                put_change(&mut payload, c);
+                out.extend_from_slice(&frame_record(&payload));
+            }
             payload.clear();
-            payload.push(KIND_CHANGE);
-            put_change(&mut payload, c);
+            payload.push(KIND_COMMIT);
+            put_u64(&mut payload, first_seq + i as u64);
+            put_u32(&mut payload, changes.len() as u32);
             out.extend_from_slice(&frame_record(&payload));
         }
         payload.clear();
-        payload.push(KIND_COMMIT);
-        put_u64(&mut payload, seq);
-        put_u32(&mut payload, changes.len() as u32);
+        payload.push(KIND_GROUP);
+        put_u64(&mut payload, first_seq);
+        put_u32(&mut payload, batches.len() as u32);
         out.extend_from_slice(&frame_record(&payload));
         if let Err(e) = self.file.write_all(&out).and_then(|()| self.file.flush()) {
             // The file may now end in a partial frame. Refuse further
@@ -199,8 +222,13 @@ impl WalWriter {
             return Err(e.into());
         }
         self.bytes += out.len() as u64;
-        self.next_seq = seq + 1;
-        Ok(seq)
+        self.next_seq = first_seq + batches.len() as u64;
+        Ok(first_seq)
+    }
+
+    /// Appends one atomic batch as a group of one. Returns its seq.
+    pub fn append_batch(&mut self, changes: &[Change]) -> Result<u64, StorageError> {
+        self.append_group(&[changes])
     }
 
     /// Bytes written so far (the compaction trigger reads this).
@@ -218,11 +246,40 @@ impl WalWriter {
     /// kernel's page-cache state is unknowable, so the writer is
     /// disabled (the classic fsync-error rule: never retry blindly).
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        if self.fail_syncs > 0 {
+            self.fail_syncs -= 1;
+            self.damaged = true;
+            return Err(std::io::Error::other("injected fsync failure").into());
+        }
         if let Err(e) = self.file.sync_all() {
             self.damaged = true;
             return Err(e.into());
         }
         Ok(())
+    }
+
+    /// A duplicate handle onto the log file, for fsyncing off-thread:
+    /// `sync_all` on the dup reaches the same inode, so the pipelined
+    /// fsync scheduler can flush group N while the writer appends N+1.
+    pub fn sync_handle(&self) -> Result<File, StorageError> {
+        Ok(self.file.try_clone()?)
+    }
+
+    /// Cuts the file back to `len` bytes — the group-commit pipeline's
+    /// cleanup after a failed seal, restoring disk to the last durable
+    /// group so it never holds more than memory acknowledged. The writer
+    /// stays damaged if it already was; truncation does not re-arm it.
+    pub fn truncate_to(&mut self, len: u64) -> Result<(), StorageError> {
+        self.file.set_len(len)?;
+        self.bytes = len;
+        Ok(())
+    }
+
+    /// Test double: forces the next `n` calls to [`WalWriter::sync`] to
+    /// fail (and damage the writer) without touching the file.
+    #[doc(hidden)]
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.fail_syncs = n;
     }
 }
 
@@ -235,11 +292,14 @@ impl WalWriter {
 pub struct ReplaySummary {
     /// Committed batches applied to the graph.
     pub batches_applied: u64,
+    /// Sealed commit groups those batches arrived in.
+    pub groups_applied: u64,
     /// Change records inside those batches.
     pub changes_applied: usize,
-    /// Bytes cut off the end of the file (torn or uncommitted tail).
+    /// Bytes cut off the end of the file (torn or unsealed tail).
     pub truncated_bytes: u64,
-    /// Decoded-but-uncommitted change records the truncation discarded.
+    /// Decoded-but-unsealed change records the truncation discarded
+    /// (loose changes plus staged batches no group record covered).
     pub discarded_changes: usize,
     /// File length after truncation — where the writer resumes.
     pub valid_len: u64,
@@ -247,13 +307,28 @@ pub struct ReplaySummary {
     pub next_seq: u64,
 }
 
-/// Replays a WAL into `graph`, truncating any torn or uncommitted tail.
+/// Replays a WAL into `graph`, truncating any torn or unsealed tail.
 ///
-/// Total by construction: corrupt *committed* data (a batch whose records
+/// Total by construction: corrupt *sealed* data (a group whose records
 /// are intact but whose application the graph rejects, e.g. a dangling
 /// id) is a hard [`StorageError`]; everything after the last intact
-/// commit record is treated as a crash artifact and truncated away.
+/// group record is treated as a crash artifact and truncated away —
+/// commit groups are all-or-nothing, so a crash mid-group discards every
+/// member batch, never a prefix of one.
 pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, StorageError> {
+    replay_with_threads(path, graph, 1)
+}
+
+/// [`replay`] with an index-maintenance thread budget: large replays
+/// defer index upkeep and fan it out across shards at the end (see
+/// `PropertyGraph::finish_bulk_index_maintenance`), which is
+/// state-identical to incremental maintenance because deferred ops are
+/// applied per disjoint posting unit in emission order.
+pub fn replay_with_threads(
+    path: &Path,
+    graph: &mut PropertyGraph,
+    threads: usize,
+) -> Result<ReplaySummary, StorageError> {
     let buf = std::fs::read(path)?;
     let mut summary = ReplaySummary::default();
     if buf.len() < WAL_MAGIC.len() {
@@ -268,9 +343,14 @@ pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, S
         return Err(StorageError::corrupt("wal: bad magic", 0));
     }
 
+    let bulk = threads > 1;
+    if bulk {
+        graph.begin_bulk_index_maintenance();
+    }
     let mut pos = WAL_MAGIC.len();
-    let mut last_committed_end = pos;
+    let mut last_sealed_end = pos;
     let mut pending: Vec<Change> = Vec::new();
+    let mut staged: Vec<(u64, Vec<Change>)> = Vec::new();
     loop {
         if pos == buf.len() {
             break;
@@ -279,14 +359,15 @@ pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, S
             Ok(ok) => ok,
             // A frame failure that touches EOF is what a crash looks
             // like: truncate. One with intact data after it means bytes
-            // that were once durably committed have rotted — surface it
-            // instead of silently cutting off every later batch.
+            // that were once durably written have rotted — surface it
+            // instead of silently cutting off every later group.
             Err(_) if frame_failure_is_torn_tail(&buf, pos) => break,
             Err(e) => return Err(e),
         };
         enum Decoded {
             Change(Change),
             Commit { seq: u64, count: usize },
+            Group { first_seq: u64, count: usize },
         }
         let mut r = Reader::new(payload, "wal payload");
         let decoded: Result<Decoded, StorageError> = (|| match r.u8()? {
@@ -295,6 +376,11 @@ pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, S
                 let seq = r.u64()?;
                 let count = r.u32()? as usize;
                 Ok(Decoded::Commit { seq, count })
+            }
+            KIND_GROUP => {
+                let first_seq = r.u64()?;
+                let count = r.u32()? as usize;
+                Ok(Decoded::Group { first_seq, count })
             }
             _ => Err(StorageError::corrupt(
                 "wal: unknown record kind",
@@ -320,16 +406,47 @@ pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, S
                     }
                     return Err(e);
                 }
+                staged.push((seq, std::mem::take(&mut pending)));
+            }
+            Ok(Decoded::Group { first_seq, count }) => {
+                // The group record must cover exactly the batches staged
+                // since the previous group: right count, right first seq,
+                // consecutive seqs, no loose changes after the last
+                // commit. A mismatched *final* record is a torn seal;
+                // anywhere else the sealed history has rotted.
+                let coherent = count > 0
+                    && pending.is_empty()
+                    && staged.len() == count
+                    && staged
+                        .iter()
+                        .enumerate()
+                        .all(|(i, (seq, _))| *seq == first_seq + i as u64);
+                if !coherent {
+                    let e = StorageError::corrupt(
+                        format!(
+                            "wal group at {first_seq}: claims {count} staged batches, found {}",
+                            staged.len()
+                        ),
+                        pos as u64,
+                    );
+                    if end == buf.len() {
+                        break;
+                    }
+                    return Err(e);
+                }
                 // Application failures are *always* hard errors — changes
                 // mutate the graph as they apply, so a partially applied
-                // batch must never be reported as a clean recovery.
-                for c in pending.drain(..) {
-                    apply_change(graph, &c)?;
-                    summary.changes_applied += 1;
+                // group must never be reported as a clean recovery.
+                for (seq, changes) in staged.drain(..) {
+                    for c in changes {
+                        apply_change(graph, &c)?;
+                        summary.changes_applied += 1;
+                    }
+                    summary.batches_applied += 1;
+                    summary.next_seq = seq + 1;
                 }
-                summary.batches_applied += 1;
-                summary.next_seq = seq + 1;
-                last_committed_end = end;
+                summary.groups_applied += 1;
+                last_sealed_end = end;
             }
             Err(e) => {
                 // Decode errors never mutate the graph: a final record
@@ -342,10 +459,13 @@ pub fn replay(path: &Path, graph: &mut PropertyGraph) -> Result<ReplaySummary, S
         }
         pos = end;
     }
+    if bulk {
+        graph.finish_bulk_index_maintenance(threads);
+    }
 
-    summary.discarded_changes = pending.len();
-    summary.truncated_bytes = (buf.len() - last_committed_end) as u64;
-    summary.valid_len = last_committed_end as u64;
+    summary.discarded_changes = pending.len() + staged.iter().map(|(_, c)| c.len()).sum::<usize>();
+    summary.truncated_bytes = (buf.len() - last_sealed_end) as u64;
+    summary.valid_len = last_sealed_end as u64;
     if summary.truncated_bytes > 0 {
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(summary.valid_len)?;
@@ -440,10 +560,15 @@ pub struct WalRecordInfo {
     pub start: u64,
     /// Byte offset one past the record's last byte.
     pub end: u64,
-    /// The payload kind ([`KIND_CHANGE`] or [`KIND_COMMIT`]).
+    /// The payload kind ([`KIND_CHANGE`], [`KIND_COMMIT`] or
+    /// [`KIND_GROUP`]).
     pub kind: u8,
-    /// Number of commit records at or before this record.
+    /// Number of commit records at or before this record (batches
+    /// *staged*, whether or not a group record has sealed them yet).
     pub commits_through: u64,
+    /// Number of batches covered by group records at or before this
+    /// record — what replay would recover from a file cut at `end`.
+    pub durable_through: u64,
 }
 
 /// Parses a WAL file's record structure without applying anything —
@@ -456,17 +581,25 @@ pub fn scan(path: &Path) -> Result<Vec<WalRecordInfo>, StorageError> {
     let mut out = Vec::new();
     let mut pos = WAL_MAGIC.len();
     let mut commits = 0u64;
+    let mut durable = 0u64;
     while pos < buf.len() {
         let (payload, end) = read_frame(&buf, pos)?;
         let kind = *payload.first().unwrap_or(&0);
         if kind == KIND_COMMIT {
             commits += 1;
         }
+        if kind == KIND_GROUP {
+            // A well-formed log seals every staged batch with its next
+            // group record, so "durable through here" is simply every
+            // commit seen so far.
+            durable = commits;
+        }
         out.push(WalRecordInfo {
             start: pos as u64,
             end: end as u64,
             kind,
             commits_through: commits,
+            durable_through: durable,
         });
         pos = end;
     }
@@ -523,6 +656,7 @@ mod tests {
         let mut g = PropertyGraph::new();
         let s = replay(&path, &mut g).unwrap();
         assert_eq!(s.batches_applied, 2);
+        assert_eq!(s.groups_applied, 2);
         assert_eq!(s.changes_applied, 4);
         assert_eq!(s.truncated_bytes, 0);
         assert_eq!(g.node_count(), 2);
@@ -608,14 +742,100 @@ mod tests {
         w.append_batch(&sample_batch()).unwrap();
         w.append_batch(&sample_batch()[1..2]).unwrap();
         let records = scan(&path).unwrap();
-        // 3 changes + commit, then 1 change + commit.
-        assert_eq!(records.len(), 6);
+        // 3 changes + commit + group, then 1 change + commit + group.
+        assert_eq!(records.len(), 8);
         assert_eq!(records[3].kind, KIND_COMMIT);
         assert_eq!(records[3].commits_through, 1);
-        assert_eq!(records[5].kind, KIND_COMMIT);
-        assert_eq!(records[5].commits_through, 2);
+        assert_eq!(records[3].durable_through, 0, "staged but not yet sealed");
+        assert_eq!(records[4].kind, KIND_GROUP);
+        assert_eq!(records[4].durable_through, 1);
+        assert_eq!(records[6].kind, KIND_COMMIT);
+        assert_eq!(records[6].commits_through, 2);
+        assert_eq!(records[7].kind, KIND_GROUP);
+        assert_eq!(records[7].durable_through, 2);
         assert_eq!(records[0].start, WAL_MAGIC.len() as u64);
-        assert_eq!(records[5].end, w.bytes());
+        assert_eq!(records[7].end, w.bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_batch_group_replays_every_member_with_consecutive_seqs() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        let update = [Change::SetNodeProp {
+            id: NodeId(1),
+            key: Arc::from("v"),
+            value: Value::int(9),
+        }];
+        let first = w.append_group(&[&sample_batch(), &update]).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(w.next_seq(), 2);
+        let mut g = PropertyGraph::new();
+        let s = replay(&path, &mut g).unwrap();
+        assert_eq!(s.batches_applied, 2);
+        assert_eq!(s.groups_applied, 1);
+        assert_eq!(s.next_seq, 2);
+        assert_eq!(g.node_prop_by_name(NodeId(1), "v"), Some(&Value::int(9)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staged_batches_without_a_group_record_are_discarded_whole() {
+        // A crash after the member records land but before the group
+        // record does must roll back *every* member batch — the group is
+        // all-or-nothing, even though each member's commit record is
+        // intact on disk.
+        let dir = tmpdir("unsealed");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append_batch(&sample_batch()).unwrap();
+        let sealed_len = w.bytes();
+        w.append_group(&[
+            &[Change::SetNodeProp {
+                id: NodeId(0),
+                key: Arc::from("v"),
+                value: Value::int(2),
+            }],
+            &[Change::DeleteRel { id: RelId(0) }],
+        ])
+        .unwrap();
+        // Cut the second group's seal record off (keep its commits).
+        let records = scan(&path).unwrap();
+        let last_group_start = records
+            .iter()
+            .rev()
+            .find(|r| r.kind == KIND_GROUP)
+            .unwrap()
+            .start;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(last_group_start).unwrap();
+        drop(f);
+
+        let mut g = PropertyGraph::new();
+        let s = replay(&path, &mut g).unwrap();
+        assert_eq!(s.batches_applied, 1, "only the sealed group recovered");
+        assert_eq!(s.groups_applied, 1);
+        assert_eq!(s.discarded_changes, 2, "both staged member batches dropped");
+        assert_eq!(s.valid_len, sealed_len);
+        assert_eq!(s.next_seq, 1);
+        assert_eq!(g.rel_count(), 1, "unsealed delete not applied");
+        assert_eq!(g.node_prop_by_name(NodeId(0), "v"), Some(&Value::int(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_sync_failure_damages_the_writer() {
+        let dir = tmpdir("failsync");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append_batch(&sample_batch()).unwrap();
+        w.inject_sync_failures(1);
+        assert!(w.sync().is_err(), "injected failure surfaces");
+        assert!(
+            w.append_batch(&sample_batch()[1..2]).is_err(),
+            "writer is disabled after a failed fsync"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -311,9 +311,21 @@ fn concurrent_readers_match_the_sequential_oracle_at_their_pinned_versions() {
     let params = Params::new();
     let readers = reader_count();
     let n = workload_count();
+    // CYPHER_TEST_SEED replays exactly one workload seed (the failure
+    // messages name it as `workload <seed>`); default sweeps the range.
+    let workload_seeds: Vec<u64> = match std::env::var("CYPHER_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(seed) => {
+            eprintln!("CYPHER_TEST_SEED={seed}: replaying a single workload");
+            vec![seed]
+        }
+        None => (0..n).map(|w| 0xC0FFEE + w).collect(),
+    };
     let mut overlapped_total = 0usize;
-    for w in 0..n {
-        overlapped_total += run_workload(0xC0FFEE + w, readers, &params);
+    for seed in workload_seeds {
+        overlapped_total += run_workload(seed, readers, &params);
     }
     // Readers must actually have proceeded during open write batches.
     // Asserted across the whole run: per-workload scheduling on a small
