@@ -33,7 +33,10 @@
 //!   acknowledgements happen after the flush). A failed seal or flush
 //!   **poisons exactly its group**: the member transactions get the
 //!   error, the WAL is rolled back to the last durable group, prior
-//!   groups stay durable, and the database turns read-only.
+//!   groups stay durable, and the database turns read-only. The *first*
+//!   failure owns that rollback — groups sealed behind it are already
+//!   cut by its truncation and just fail their tickets (a rollback
+//!   never extends the file).
 //! * [`Session::begin_read`] pins the latest version for a multi-query
 //!   read transaction: every query until [`Session::commit`] sees that
 //!   one frozen state, regardless of concurrent commits.
@@ -312,7 +315,8 @@ struct ApplyState {
 /// A sealed group handed to the pipelined fsync thread: flush `file`,
 /// then publish the group's last candidate and complete the tickets —
 /// or, on a failed flush, poison the database, roll the WAL back to
-/// `wal_len_before` and fail exactly this group's tickets.
+/// `wal_len_before` (first failure only — see
+/// [`CommitShared::set_poison`]) and fail exactly this group's tickets.
 struct FsyncJob {
     file: std::fs::File,
     wal_len_before: u64,
@@ -360,11 +364,18 @@ impl CommitShared {
     }
 
     /// First poison wins: the original failure is the one later writers
-    /// should see, not whatever cascade it caused.
-    fn set_poison(&self, msg: String) {
+    /// should see, not whatever cascade it caused. Returns whether this
+    /// call won — the winner, and only the winner, owns the WAL
+    /// rollback: its truncation restores the last durable boundary, and
+    /// any later group's rollback target lies *past* that boundary, so
+    /// truncating to it would zero-extend the file into garbage.
+    fn set_poison(&self, msg: String) -> bool {
         let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
         if p.is_none() {
             *p = Some(msg);
+            true
+        } else {
+            false
         }
     }
 
@@ -450,15 +461,26 @@ fn fsync_worker(shared: std::sync::Weak<CommitShared>, rx: Receiver<FsyncJob>) {
                 // append cut by our truncation; one that hasn't acquired
                 // it yet sees the poison and aborts. Either way disk
                 // never keeps a group that memory refused.
-                shared.set_poison(format!(
+                //
+                // Only the poison *winner* rolls back. With two groups
+                // in flight (the pipelined steady state), the first
+                // failure truncates to its own `wal_len_before` — which
+                // already cuts every later group's bytes. A later
+                // group's job lands here via the poison check above; its
+                // rollback target is past the restored boundary, and
+                // truncating to it would zero-extend the log past the
+                // durable prefix, turning a clean rollback into a
+                // corrupt, unopenable file.
+                let won = shared.set_poison(format!(
                     "database is read-only after a failed WAL commit: {e}"
                 ));
-                let mut store = shared.lock_store();
-                if let Some(store) = &mut *store {
-                    let _ = store.truncate_wal(job.wal_len_before);
-                    shared.metrics.refresh(store);
+                if won {
+                    let mut store = shared.lock_store();
+                    if let Some(store) = &mut *store {
+                        let _ = store.truncate_wal(job.wal_len_before);
+                        shared.metrics.refresh(store);
+                    }
                 }
-                drop(store);
                 shared.fail_group(&job.group, &e);
             }
         }
@@ -776,14 +798,18 @@ impl DbInner {
                     shared.publish_group(&group);
                 }
                 Err(e) => {
-                    shared.set_poison(format!(
-                        "database is read-only after a failed WAL commit: {e}"
-                    ));
                     // Roll the whole group back: after a failed fsync its
                     // bytes may or may not be stable, so cutting them is
                     // the only way disk and (unpublished) memory agree.
-                    let _ = store.truncate_wal(receipt.wal_len_before);
-                    shared.metrics.refresh(store);
+                    // Rollback belongs to the poison winner alone (see
+                    // `set_poison`); a loser's bytes are cut by the
+                    // winner's own truncation.
+                    if shared.set_poison(format!(
+                        "database is read-only after a failed WAL commit: {e}"
+                    )) {
+                        let _ = store.truncate_wal(receipt.wal_len_before);
+                        shared.metrics.refresh(store);
+                    }
                     let err = Error::from(e);
                     drop(store_guard);
                     shared.fail_group(&group, &err);
@@ -793,11 +819,17 @@ impl DbInner {
                 let file = match store.sync_handle() {
                     Ok(f) => f,
                     Err(e) => {
-                        shared.set_poison(format!(
+                        // As above: the poison winner owns the rollback.
+                        // Losing here means the fsync thread failed an
+                        // earlier group while we held the store lock —
+                        // its truncation (queued behind this lock) cuts
+                        // our group's bytes along with its own.
+                        if shared.set_poison(format!(
                             "database is read-only after a failed WAL commit: {e}"
-                        ));
-                        let _ = store.truncate_wal(receipt.wal_len_before);
-                        shared.metrics.refresh(store);
+                        )) {
+                            let _ = store.truncate_wal(receipt.wal_len_before);
+                            shared.metrics.refresh(store);
+                        }
                         let err = Error::from(e);
                         drop(store_guard);
                         shared.fail_group(&group, &err);
@@ -1554,6 +1586,90 @@ mod tests {
             1,
             "the WAL was rolled back to the durable group"
         );
+        let t = db2
+            .query("MATCH (n:N) RETURN count(*) AS c", &params)
+            .unwrap();
+        assert_eq!(t.cell(0, "c"), Some(&Value::int(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_failure_with_two_groups_in_flight_rolls_back_once() {
+        // The pipelined steady state holds two in-flight groups: N
+        // flushing while the leader seals N+1. If N's flush fails, only
+        // N's rollback may touch the file — N+1's rollback target lies
+        // past the restored boundary, and truncating to it would
+        // zero-extend the WAL into garbage that makes the database
+        // unopenable. This test stages that interleaving
+        // deterministically by capturing the sealed groups and feeding
+        // them to a worker only after both are in flight.
+        let dir = tmpdir("pipelined-two-inflight");
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = Some(dir.clone());
+        cfg.fsync_mode = FsyncMode::Pipelined;
+        {
+            let db = Database::open_with(cfg.clone()).unwrap();
+            let mut s0 = db.session();
+            s0.query("CREATE (:N {v: 0})", &params).unwrap();
+            // Intercept the pipeline: jobs land in the test's channel
+            // instead of the real worker (which retires when its sender
+            // drops), so the test controls when each flush runs.
+            let (tx, sealed_rx) = mpsc::channel();
+            let old = std::mem::replace(&mut *db.inner.fsync_tx.lock().unwrap(), Some(tx));
+            drop(old);
+            let spawn_writer = |v: i64| {
+                let mut s = db.session();
+                std::thread::spawn(move || {
+                    s.query(&format!("CREATE (:N {{v: {v}}})"), &Params::new())
+                })
+            };
+            // Each writer finds an idle queue, leads its own seal, and
+            // blocks on its ticket — receiving its job proves the group
+            // is sealed (appended to the WAL) and in flight.
+            let w1 = spawn_writer(1);
+            let job1 = sealed_rx.recv().unwrap();
+            let w2 = spawn_writer(2);
+            let job2 = sealed_rx.recv().unwrap();
+            let durable_len = job1.wal_len_before;
+            assert!(
+                job2.wal_len_before > durable_len,
+                "two distinct groups are in flight"
+            );
+            // Fail the first flush, then let a worker drain both jobs in
+            // seal order: job1 fails and rolls back to durable_len; job2
+            // sees the poison and must NOT roll back to its own (larger,
+            // no longer existing) target.
+            db.inner
+                .shared
+                .pipeline_fail_injections
+                .store(1, Ordering::Relaxed);
+            let (wtx, wrx) = mpsc::channel();
+            let weak = Arc::downgrade(&db.inner.shared);
+            let worker = std::thread::spawn(move || fsync_worker(weak, wrx));
+            wtx.send(job1).unwrap();
+            wtx.send(job2).unwrap();
+            drop(wtx);
+            worker.join().unwrap();
+            assert!(
+                w1.join().unwrap().is_err(),
+                "the failed group's writer errors"
+            );
+            assert!(w2.join().unwrap().is_err(), "the poisoned follower errors");
+            assert_eq!(
+                db.wal_bytes(),
+                Some(durable_len),
+                "the WAL sits exactly at the durable boundary — neither \
+                 extended nor cut below it"
+            );
+            assert_eq!(db.version(), 1, "neither group published");
+        }
+        // The decisive check: the directory reopens cleanly with exactly
+        // the durable prefix (the double-rollback bug left an unopenable
+        // zero-extended log here).
+        cfg.fsync_mode = FsyncMode::Os;
+        let mut db2 = Database::open_with(cfg).unwrap();
+        assert_eq!(db2.recovery().batches_replayed, 1);
         let t = db2
             .query("MATCH (n:N) RETURN count(*) AS c", &params)
             .unwrap();

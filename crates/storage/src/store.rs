@@ -202,6 +202,7 @@ impl Store {
         // Replay the paired WAL (creating it when absent — the legal
         // crash window between snapshot publication and WAL creation).
         let path = wal_path(&dir, generation);
+        let mut upgrade = false;
         let wal = if path.exists() {
             let summary = wal::replay_with_threads(&path, &mut graph, threads)?;
             report.batches_replayed = summary.batches_applied;
@@ -209,6 +210,7 @@ impl Store {
             report.changes_replayed = summary.changes_applied;
             report.truncated_bytes = summary.truncated_bytes;
             report.discarded_changes = summary.discarded_changes;
+            upgrade = summary.format_version < 2;
             wal::WalWriter::open_append(&path, summary.valid_len, summary.next_seq.max(base_seq))?
         } else {
             wal::WalWriter::create(&path, base_seq)?
@@ -223,6 +225,16 @@ impl Store {
             poisoned: false,
         };
         store.sweep_stale_files();
+        if upgrade {
+            // The log on disk is the previous format: replay just read
+            // it, but appending current-format group records into it
+            // would mix semantics. Absorb the recovered state into a
+            // snapshot and start a fresh current-format log — the
+            // ordinary checkpoint, crash-consistent at every step. On
+            // failure the old pair stays authoritative and `open`
+            // surfaces the error (nothing was appended).
+            store.checkpoint(&graph)?;
+        }
         Ok((store, graph))
     }
 
@@ -624,6 +636,88 @@ mod tests {
         assert_eq!(store.report().groups_replayed, 1);
         assert_eq!(graph.node_count(), 2, "only the durable group survives");
         assert_eq!(store.batches_committed(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_rollback_after_a_first_rollback_cannot_extend_the_wal() {
+        // The pipelined double-failure shape: group B's flush fails and
+        // rolls back to B's wal_len_before (cutting C's bytes too, since
+        // C sealed behind it); a stale rollback to C's — now larger than
+        // the file — must refuse rather than zero-extend the log past
+        // the durable boundary. Reopen recovers exactly group A.
+        let dir = tmpdir("staleroll");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            store.commit_group(&[&add_node_batch(0)]).unwrap();
+            store.sync().unwrap();
+            let b = store.commit_group(&[&add_node_batch(1)]).unwrap();
+            let c = store.commit_group(&[&add_node_batch(2)]).unwrap();
+            assert!(c.wal_len_before > b.wal_len_before);
+            store.truncate_wal(b.wal_len_before).unwrap();
+            assert!(
+                store.truncate_wal(c.wal_len_before).is_err(),
+                "a rollback target past EOF must be refused"
+            );
+            assert_eq!(store.wal_bytes(), b.wal_len_before);
+        }
+        let (store, graph) = Store::open(&dir).unwrap();
+        assert_eq!(store.report().batches_replayed, 1);
+        assert_eq!(graph.node_count(), 1, "exactly the durable prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Hand-writes `wal-0000000000.log` in the version-1 format (magic
+    /// `CYWAL001`, commit records, no group records) holding `n`
+    /// single-change batches.
+    fn write_v1_wal(dir: &Path, n: u64) {
+        use crate::codec::{put_change, put_u32, put_u64};
+        std::fs::create_dir_all(dir).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(wal::WAL_MAGIC_V1);
+        let mut payload = Vec::new();
+        for i in 0..n {
+            for c in &add_node_batch(i) {
+                payload.clear();
+                payload.push(wal::KIND_CHANGE);
+                put_change(&mut payload, c);
+                buf.extend_from_slice(&wal::frame_record(&payload));
+            }
+            payload.clear();
+            payload.push(wal::KIND_COMMIT);
+            put_u64(&mut payload, i);
+            put_u32(&mut payload, 1);
+            buf.extend_from_slice(&wal::frame_record(&payload));
+        }
+        std::fs::write(wal_path(dir, 0), &buf).unwrap();
+    }
+
+    #[test]
+    fn v1_directory_is_replayed_and_upgraded_on_open() {
+        let dir = tmpdir("v1dir");
+        write_v1_wal(&dir, 3);
+        {
+            let (mut store, graph) = Store::open(&dir).unwrap();
+            assert_eq!(graph.node_count(), 3, "v1 batches replayed");
+            assert_eq!(store.report().batches_replayed, 3);
+            assert_eq!(
+                store.generation(),
+                1,
+                "open upgrades the v1 directory via a checkpoint"
+            );
+            let bytes = std::fs::read(wal_path(&dir, 1)).unwrap();
+            assert_eq!(
+                &bytes[..wal::WAL_MAGIC.len()],
+                wal::WAL_MAGIC,
+                "the live log is current-format after the upgrade"
+            );
+            // Batch seqs continue where the v1 log left off.
+            let seq = store.commit(&add_node_batch(3)).unwrap();
+            assert_eq!(seq, 3);
+        }
+        let (store, graph) = Store::open(&dir).unwrap();
+        assert_eq!(graph.node_count(), 4);
+        assert_eq!(store.batches_committed(), 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,6 +25,13 @@
 //! is what a crash looks like); corruption *before* the last sealed
 //! group is not, and surfaces as [`StorageError::Corrupt`] instead of
 //! silently dropping data.
+//!
+//! Logs written by the previous release (magic `CYWAL001` — same
+//! framing, no group records) replay with each commit sealing its own
+//! batch; the store upgrades such directories immediately after replay
+//! (see [`WAL_MAGIC_V1`]). A `CYWAL0xx` magic of any *other* version is
+//! reported as [`StorageError::UnsupportedVersion`], never as
+//! corruption.
 
 use crate::codec::{crc32, put_change, put_u32, put_u64, Reader};
 use crate::StorageError;
@@ -36,6 +43,38 @@ use std::path::Path;
 
 /// The WAL file magic (8 bytes, versioned).
 pub const WAL_MAGIC: &[u8; 8] = b"CYWAL002";
+
+/// The previous format's magic. Version 1 had no group records: each
+/// commit record sealed its own batch — exactly a group of one under
+/// today's semantics — so [`replay`] still reads these logs.
+/// `Store::open` then upgrades the directory (checkpoint + fresh
+/// current-format log) so the writer never appends group records into a
+/// v1 file.
+pub const WAL_MAGIC_V1: &[u8; 8] = b"CYWAL001";
+
+/// Checks a WAL file's magic. `Ok(version)` for formats replay
+/// understands; a well-formed `CYWAL0xx` magic of any other version is
+/// the dedicated [`StorageError::UnsupportedVersion`] (a log written by
+/// a different release is not corruption); anything else is
+/// [`StorageError::Corrupt`]. The caller guarantees `buf` holds at
+/// least the 8 magic bytes.
+fn check_magic(buf: &[u8]) -> Result<u32, StorageError> {
+    let magic = &buf[..WAL_MAGIC.len()];
+    if magic == WAL_MAGIC {
+        return Ok(2);
+    }
+    if magic == WAL_MAGIC_V1 {
+        return Ok(1);
+    }
+    if let Some(v) = magic
+        .strip_prefix(b"CYWAL")
+        .and_then(|digits| std::str::from_utf8(digits).ok())
+        .and_then(|digits| digits.parse::<u32>().ok())
+    {
+        return Err(StorageError::UnsupportedVersion(v));
+    }
+    Err(StorageError::corrupt("wal: bad magic", 0))
+}
 
 /// Payload kind byte: one change record.
 pub const KIND_CHANGE: u8 = 0x01;
@@ -269,7 +308,22 @@ impl WalWriter {
     /// cleanup after a failed seal, restoring disk to the last durable
     /// group so it never holds more than memory acknowledged. The writer
     /// stays damaged if it already was; truncation does not re-arm it.
+    ///
+    /// A rollback must only ever *shrink* the log: `set_len` past EOF
+    /// zero-extends, and a zero-filled tail beyond the durable boundary
+    /// parses as garbage on replay. A target past the current length
+    /// (e.g. a second failed group whose rollback point was already cut
+    /// by the first failure's truncation) is therefore refused.
     pub fn truncate_to(&mut self, len: u64) -> Result<(), StorageError> {
+        if len > self.bytes {
+            return Err(StorageError::corrupt(
+                format!(
+                    "wal rollback to {len} bytes would extend the {}-byte log",
+                    self.bytes
+                ),
+                self.bytes,
+            ));
+        }
         self.file.set_len(len)?;
         self.bytes = len;
         Ok(())
@@ -305,6 +359,10 @@ pub struct ReplaySummary {
     pub valid_len: u64,
     /// The sequence number the next batch should use.
     pub next_seq: u64,
+    /// On-disk format version the log was written in (see
+    /// [`WAL_MAGIC_V1`]; the store upgrades version-1 directories right
+    /// after replay).
+    pub format_version: u32,
 }
 
 /// Replays a WAL into `graph`, truncating any torn or unsealed tail.
@@ -337,11 +395,11 @@ pub fn replay_with_threads(
         let writer = WalWriter::create(path, 0)?;
         summary.truncated_bytes = buf.len() as u64;
         summary.valid_len = writer.bytes();
+        summary.format_version = 2;
         return Ok(summary);
     }
-    if &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
-        return Err(StorageError::corrupt("wal: bad magic", 0));
-    }
+    let version = check_magic(&buf)?;
+    summary.format_version = version;
 
     let bulk = threads > 1;
     if bulk {
@@ -377,7 +435,9 @@ pub fn replay_with_threads(
                 let count = r.u32()? as usize;
                 Ok(Decoded::Commit { seq, count })
             }
-            KIND_GROUP => {
+            // Group records exist only in version 2; in a v1 log a 0x03
+            // kind byte is garbage and falls through to "unknown kind".
+            KIND_GROUP if version == 2 => {
                 let first_seq = r.u64()?;
                 let count = r.u32()? as usize;
                 Ok(Decoded::Group { first_seq, count })
@@ -387,6 +447,7 @@ pub fn replay_with_threads(
                 pos as u64,
             )),
         })();
+        let mut seal = false;
         match decoded {
             Ok(Decoded::Change(c)) => pending.push(c),
             Ok(Decoded::Commit { seq, count }) => {
@@ -407,6 +468,9 @@ pub fn replay_with_threads(
                     return Err(e);
                 }
                 staged.push((seq, std::mem::take(&mut pending)));
+                // Version 1 had no group records: every commit seals its
+                // own batch, a group of one.
+                seal = version == 1;
             }
             Ok(Decoded::Group { first_seq, count }) => {
                 // The group record must cover exactly the batches staged
@@ -434,19 +498,7 @@ pub fn replay_with_threads(
                     }
                     return Err(e);
                 }
-                // Application failures are *always* hard errors — changes
-                // mutate the graph as they apply, so a partially applied
-                // group must never be reported as a clean recovery.
-                for (seq, changes) in staged.drain(..) {
-                    for c in changes {
-                        apply_change(graph, &c)?;
-                        summary.changes_applied += 1;
-                    }
-                    summary.batches_applied += 1;
-                    summary.next_seq = seq + 1;
-                }
-                summary.groups_applied += 1;
-                last_sealed_end = end;
+                seal = true;
             }
             Err(e) => {
                 // Decode errors never mutate the graph: a final record
@@ -456,6 +508,21 @@ pub fn replay_with_threads(
                 }
                 return Err(e);
             }
+        }
+        if seal {
+            // Application failures are *always* hard errors — changes
+            // mutate the graph as they apply, so a partially applied
+            // group must never be reported as a clean recovery.
+            for (seq, changes) in staged.drain(..) {
+                for c in changes {
+                    apply_change(graph, &c)?;
+                    summary.changes_applied += 1;
+                }
+                summary.batches_applied += 1;
+                summary.next_seq = seq + 1;
+            }
+            summary.groups_applied += 1;
+            last_sealed_end = end;
         }
         pos = end;
     }
@@ -575,9 +642,10 @@ pub struct WalRecordInfo {
 /// the kill-point sweep uses the offsets as truncation targets.
 pub fn scan(path: &Path) -> Result<Vec<WalRecordInfo>, StorageError> {
     let buf = std::fs::read(path)?;
-    if buf.len() < WAL_MAGIC.len() || &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if buf.len() < WAL_MAGIC.len() {
         return Err(StorageError::corrupt("wal: bad magic", 0));
     }
+    let version = check_magic(&buf)?;
     let mut out = Vec::new();
     let mut pos = WAL_MAGIC.len();
     let mut commits = 0u64;
@@ -587,6 +655,10 @@ pub fn scan(path: &Path) -> Result<Vec<WalRecordInfo>, StorageError> {
         let kind = *payload.first().unwrap_or(&0);
         if kind == KIND_COMMIT {
             commits += 1;
+            if version == 1 {
+                // v1 has no group records: a commit is its own seal.
+                durable = commits;
+            }
         }
         if kind == KIND_GROUP {
             // A well-formed log seals every staged batch with its next
@@ -821,6 +893,104 @@ mod tests {
         assert_eq!(s.next_seq, 1);
         assert_eq!(g.rel_count(), 1, "unsealed delete not applied");
         assert_eq!(g.node_prop_by_name(NodeId(0), "v"), Some(&Value::int(1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_never_extends_the_file() {
+        let dir = tmpdir("noextend");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        let first = w.bytes();
+        w.append_batch(&sample_batch()).unwrap();
+        let sealed = w.bytes();
+        // A rollback target past EOF (a stale wal_len_before from a
+        // group whose bytes a prior rollback already cut) must refuse:
+        // set_len would zero-extend the log past the durable boundary.
+        assert!(w.truncate_to(sealed + 64).is_err());
+        assert_eq!(w.bytes(), sealed, "refused rollback leaves state alone");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), sealed);
+        // Shrinking (the legitimate direction) still works.
+        w.truncate_to(first).unwrap();
+        assert_eq!(w.bytes(), first);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Hand-writes a version-1 log: magic `CYWAL001`, then for each
+    /// batch its change records followed by a commit record — no group
+    /// records (they did not exist in v1).
+    fn write_v1_log(path: &Path, batches: &[Vec<Change>]) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(WAL_MAGIC_V1);
+        let mut payload = Vec::new();
+        for (seq, changes) in batches.iter().enumerate() {
+            for c in changes {
+                payload.clear();
+                payload.push(KIND_CHANGE);
+                put_change(&mut payload, c);
+                buf.extend_from_slice(&frame_record(&payload));
+            }
+            payload.clear();
+            payload.push(KIND_COMMIT);
+            put_u64(&mut payload, seq as u64);
+            put_u32(&mut payload, changes.len() as u32);
+            buf.extend_from_slice(&frame_record(&payload));
+        }
+        std::fs::write(path, &buf).unwrap();
+    }
+
+    #[test]
+    fn v1_log_replays_commits_as_groups_of_one() {
+        let dir = tmpdir("v1");
+        let path = dir.join("wal.log");
+        let update = vec![Change::SetNodeProp {
+            id: NodeId(1),
+            key: Arc::from("v"),
+            value: Value::int(9),
+        }];
+        write_v1_log(&path, &[sample_batch(), update]);
+        // An uncommitted trailing change is still a discardable tail.
+        let mut payload = vec![KIND_CHANGE];
+        put_change(&mut payload, &Change::DeleteRel { id: RelId(0) });
+        let committed_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&frame_record(&payload)).unwrap();
+        drop(f);
+
+        let mut g = PropertyGraph::new();
+        let s = replay(&path, &mut g).unwrap();
+        assert_eq!(s.format_version, 1);
+        assert_eq!(s.batches_applied, 2);
+        assert_eq!(s.groups_applied, 2, "each v1 commit is a group of one");
+        assert_eq!(s.next_seq, 2);
+        assert_eq!(s.discarded_changes, 1);
+        assert_eq!(s.valid_len, committed_len);
+        assert_eq!(g.rel_count(), 1, "uncommitted delete not applied");
+        assert_eq!(g.node_prop_by_name(NodeId(1), "v"), Some(&Value::int(9)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_wal_version_is_a_dedicated_error_not_corruption() {
+        let dir = tmpdir("future");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, b"CYWAL007").unwrap();
+        let mut g = PropertyGraph::new();
+        assert!(matches!(
+            replay(&path, &mut g),
+            Err(StorageError::UnsupportedVersion(7))
+        ));
+        assert!(matches!(
+            scan(&path),
+            Err(StorageError::UnsupportedVersion(7))
+        ));
+        // A magic that is not a CYWAL version at all stays "corrupt".
+        std::fs::write(&path, b"NOTAWAL!").unwrap();
+        assert!(matches!(
+            replay(&path, &mut g),
+            Err(StorageError::Corrupt { .. })
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
