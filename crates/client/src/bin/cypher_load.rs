@@ -1,0 +1,179 @@
+//! `cypher-load`: a saturation load generator for `cypher-server`.
+//!
+//! Seeds the server with `:Load {k, v}` nodes, then drives point reads
+//! from N concurrent connections — each preparing
+//! `MATCH (n:Load {k: $k}) RETURN n.v` once and executing it with fresh
+//! parameter bindings — and reports per-connection-count throughput and
+//! latency percentiles.
+//!
+//! ```text
+//! cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] [--no-prepare]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7474`; `--no-prepare` sends each point
+//! read as a full `Query` instead of a prepared `Execute` (to measure
+//! what prepared statements save).
+
+use cypher_client::Client;
+use cypher_core::Params;
+use cypher_graph::Value;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    conns: usize,
+    ops_per_conn: usize,
+    rows: usize,
+    seed: u64,
+    prepare: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".to_string(),
+        conns: 4,
+        ops_per_conn: 2000,
+        rows: 1000,
+        seed: 42,
+        prepare: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--conns" => args.conns = take("--conns")?.max(1),
+            "--ops" => args.ops_per_conn = take("--ops")?.max(1),
+            "--rows" => args.rows = take("--rows")?.max(1),
+            "--seed" => args.seed = take("--seed")? as u64,
+            "--no-prepare" => args.prepare = false,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] \
+                     [--no-prepare]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => args.addr = other.to_string(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// SplitMix64: a tiny deterministic PRNG, enough to pick keys.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn seed_rows(addr: &str, rows: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let mut admin = Client::connect(addr)?;
+    let params = Params::new();
+    let existing = admin.query("MATCH (n:Load) RETURN count(n) AS c", &params)?;
+    if existing.table.cell(0, "c") == Some(&Value::int(rows as i64)) {
+        admin.goodbye()?;
+        return Ok(());
+    }
+    admin.query("MATCH (n:Load) DETACH DELETE n", &params)?;
+    let mut k = 0usize;
+    while k < rows {
+        let batch = (rows - k).min(250);
+        let stmt = (k..k + batch)
+            .map(|i| format!("(:Load {{k: {i}, v: {}}})", (i * i) as i64))
+            .collect::<Vec<_>>()
+            .join(", ");
+        admin.query(&format!("CREATE {stmt}"), &params)?;
+        k += batch;
+    }
+    admin.goodbye()?;
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = seed_rows(&args.addr, args.rows) {
+        eprintln!("cypher-load: seeding failed: {e}");
+        std::process::exit(1);
+    }
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.conns)
+        .map(|w| {
+            let addr = args.addr.clone();
+            let ops = args.ops_per_conn;
+            let rows = args.rows;
+            let prepare = args.prepare;
+            let mut rng = args.seed ^ (w as u64).wrapping_mul(0xA5A5_A5A5);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let text = "MATCH (n:Load {k: $k}) RETURN n.v AS v";
+                let stmt = if prepare {
+                    Some(client.prepare(text).map_err(|e| e.to_string())?)
+                } else {
+                    None
+                };
+                let mut latencies = Vec::with_capacity(ops);
+                for _ in 0..ops {
+                    let k = (next_u64(&mut rng) % rows as u64) as i64;
+                    let mut params = Params::new();
+                    params.insert("k".to_string(), Value::int(k));
+                    let op_start = Instant::now();
+                    let out = match stmt {
+                        Some(id) => client.execute(id, &params),
+                        None => client.query(text, &params),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    latencies.push(op_start.elapsed().as_nanos() as u64);
+                    if out.table.cell(0, "v") != Some(&Value::int(k * k)) {
+                        return Err(format!("wrong answer for k={k}: {:?}", out.table.rows()));
+                    }
+                }
+                client.goodbye().map_err(|e| e.to_string())?;
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut all = Vec::with_capacity(args.conns * args.ops_per_conn);
+    for (w, h) in workers.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(lat)) => all.extend(lat),
+            Ok(Err(msg)) => {
+                eprintln!("cypher-load: worker {w} failed: {msg}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("cypher-load: worker {w} panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    let wall = started.elapsed();
+    all.sort_unstable();
+    let pct = |p: f64| all[(((all.len() - 1) as f64) * p) as usize];
+    let qps = all.len() as f64 / wall.as_secs_f64();
+    println!(
+        "cypher-load: conns={} ops={} mode={} qps={:.0} p50={}µs p99={}µs wall={:.2}s",
+        args.conns,
+        all.len(),
+        if args.prepare { "prepared" } else { "query" },
+        qps,
+        pct(0.50) / 1_000,
+        pct(0.99) / 1_000,
+        wall.as_secs_f64(),
+    );
+}

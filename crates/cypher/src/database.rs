@@ -447,7 +447,7 @@ fn fsync_worker(shared: std::sync::Weak<CommitShared>, rx: Receiver<FsyncJob>) {
             // An earlier group already failed: this group was sealed
             // after the failure point and its bytes are gone (or going)
             // with the rollback — it must not publish.
-            Err(Error::Eval(EvalError::new(msg)))
+            Err(Error::Unavailable(msg))
         } else if injected {
             Err(StorageError::Io(std::io::Error::other("injected fsync failure")).into())
         } else {
@@ -609,7 +609,7 @@ impl DbInner {
         let shared = &self.shared;
         let mut apply = shared.lock_apply();
         if let Some(msg) = shared.poison_msg() {
-            return Err(Error::Eval(EvalError::new(msg)));
+            return Err(Error::Unavailable(msg));
         }
         // Resolve the plan memo against the statistics this transaction
         // will *actually* execute under — the apply head, frozen for the
@@ -756,7 +756,7 @@ impl DbInner {
         // cuts it (see `fsync_worker`).
         if let Some(msg) = shared.poison_msg() {
             drop(store_guard);
-            shared.fail_group(&group, &Error::Eval(EvalError::new(msg)));
+            shared.fail_group(&group, &Error::Unavailable(msg));
             return;
         }
         let Some(store) = &mut *store_guard else {
@@ -863,7 +863,7 @@ impl DbInner {
                             .to_string(),
                     );
                     let msg = shared.poison_msg().expect("poison was just set");
-                    shared.fail_group(&job.group, &Error::Eval(EvalError::new(msg)));
+                    shared.fail_group(&job.group, &Error::Unavailable(msg));
                     let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
                     *inflight -= 1;
                     shared.drained.notify_all();
@@ -1165,8 +1165,17 @@ impl Database {
     /// next `n` WAL flushes to fail. In `Pipelined` mode the failure is
     /// injected at the flush thread; otherwise it arms the store's
     /// injection (consumed by `Sync`-mode seals and by `close`).
+    ///
+    /// **Inert outside the test harness.** A network-exposed binary must
+    /// not carry a live fault-injection hook, so arming requires the
+    /// `CYPHER_TEST_FAULTS` environment variable to be set (to anything)
+    /// — the fault-injection suites set it themselves. Without it the
+    /// call does nothing and returns `false`.
     #[doc(hidden)]
-    pub fn inject_fsync_failures(&self, n: u32) {
+    pub fn inject_fsync_failures(&self, n: u32) -> bool {
+        if std::env::var_os("CYPHER_TEST_FAULTS").is_none() {
+            return false;
+        }
         if self.inner.cfg.fsync_mode == FsyncMode::Pipelined {
             self.inner
                 .shared
@@ -1175,6 +1184,7 @@ impl Database {
         } else if let Some(store) = &mut *self.inner.shared.lock_store() {
             store.inject_sync_failures(n);
         }
+        true
     }
 
     /// Renders the physical plans (and projection pushdowns) this
@@ -1506,7 +1516,8 @@ mod tests {
         {
             let mut db = Database::open_with(cfg.clone()).unwrap();
             db.query("CREATE (:N {v: 1})", &params).unwrap();
-            db.inject_fsync_failures(1);
+            std::env::set_var("CYPHER_TEST_FAULTS", "1");
+            assert!(db.inject_fsync_failures(1), "armed under the env guard");
             let e = db.query("CREATE (:N {v: 2})", &params).unwrap_err();
             assert!(
                 e.to_string().contains("fsync"),
@@ -1565,7 +1576,8 @@ mod tests {
         {
             let mut db = Database::open_with(cfg.clone()).unwrap();
             db.query("CREATE (:N {v: 1})", &params).unwrap();
-            db.inject_fsync_failures(1);
+            std::env::set_var("CYPHER_TEST_FAULTS", "1");
+            assert!(db.inject_fsync_failures(1), "armed under the env guard");
             let e = db.query("CREATE (:N {v: 2})", &params).unwrap_err();
             assert!(
                 e.to_string().contains("fsync"),

@@ -65,6 +65,13 @@ pub enum Error {
     Eval(EvalError),
     /// The durable storage engine failed (I/O, corruption, recovery).
     Storage(std::sync::Arc<StorageError>),
+    /// The write path is unavailable: the database was closed, or turned
+    /// read-only after a failed WAL commit. Reads keep working. Clients
+    /// (in-process or remote) should treat this as "retry against a
+    /// reopened database", not as a statement-level failure — which is
+    /// why it is a dedicated variant rather than an [`EvalError`]: a
+    /// network front-end maps it to its own protocol error code.
+    Unavailable(String),
 }
 
 /// Structural equality; storage errors (which wrap non-comparable
@@ -75,6 +82,7 @@ impl PartialEq for Error {
             (Error::Parse(a), Error::Parse(b)) => a == b,
             (Error::Eval(a), Error::Eval(b)) => a == b,
             (Error::Storage(a), Error::Storage(b)) => a.to_string() == b.to_string(),
+            (Error::Unavailable(a), Error::Unavailable(b)) => a == b,
             _ => false,
         }
     }
@@ -86,6 +94,7 @@ impl fmt::Display for Error {
             Error::Parse(e) => write!(f, "{e}"),
             Error::Eval(e) => write!(f, "{e}"),
             Error::Storage(e) => write!(f, "{e}"),
+            Error::Unavailable(m) => write!(f, "{m}"),
         }
     }
 }

@@ -1,0 +1,39 @@
+//! # cypher-wire
+//!
+//! The hand-rolled binary wire protocol spoken between `cypher-server`
+//! and `cypher-client`: a length-framed, CRC-32-checked request/response
+//! exchange whose payloads reuse the [`cypher_storage`] codec for
+//! [`Value`](cypher_graph::Value) trees, so everything a query can
+//! return — including `NaN` payloads, nested lists/maps and temporal
+//! values — round-trips bit-exactly over TCP.
+//!
+//! ## Layering
+//!
+//! ```text
+//! handshake  := 8 magic bytes each way ("CYWIRE01"; last byte = version)
+//! frame      := len:u32 LE · payload[len] · crc:u32 LE   (CRC-32/IEEE of payload)
+//! payload    := one encoded Request (client→server) or Response (server→client)
+//! ```
+//!
+//! ## Totality and bounded allocation
+//!
+//! Decoding is **total**: every read is bounds-checked, collection
+//! counts are validated against the bytes actually present *before any
+//! allocation*, strings are UTF-8-verified and value nesting is
+//! depth-limited (all inherited from the storage codec), and the frame
+//! layer rejects any advertised length above the negotiated cap before
+//! allocating a single byte — a hostile 4 GiB length prefix costs the
+//! server an 8-byte read and an error, not 4 GiB. Hostile input can
+//! produce [`WireError`], never a panic or an allocation that is not
+//! bounded by a small constant multiple of the frame cap.
+
+#![warn(missing_docs)]
+
+mod frame;
+mod message;
+
+pub use frame::{
+    client_handshake, read_exact_frame, server_handshake, write_frame, WireError,
+    DEFAULT_MAX_FRAME_BYTES, HANDSHAKE_MAGIC,
+};
+pub use message::{ErrorCode, Request, Response, ServerStats};

@@ -438,7 +438,11 @@ fn pipelined_fault_poisons_followers_and_keeps_the_durable_prefix() {
         }
         let durable_versions = db.version();
         let durable_dump = oracle.canonical_dump();
-        db.inject_fsync_failures(1);
+        std::env::set_var("CYPHER_TEST_FAULTS", "1");
+        assert!(
+            db.inject_fsync_failures(1),
+            "fault injection arms under CYPHER_TEST_FAULTS"
+        );
 
         let total: usize = streams.iter().map(|s| s.len()).sum();
         let failed = Mutex::new(0usize);
