@@ -7,12 +7,14 @@
 //! latency percentiles.
 //!
 //! ```text
-//! cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] [--no-prepare]
+//! cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] [--no-prepare] [--metrics]
 //! ```
 //!
 //! `ADDR` defaults to `127.0.0.1:7474`; `--no-prepare` sends each point
 //! read as a full `Query` instead of a prepared `Execute` (to measure
-//! what prepared statements save).
+//! what prepared statements save); `--metrics` fetches and prints the
+//! server's full metrics page after the run, so a load test doubles as
+//! an exposition check.
 
 use cypher_client::Client;
 use cypher_core::Params;
@@ -26,6 +28,7 @@ struct Args {
     rows: usize,
     seed: u64,
     prepare: bool,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         rows: 1000,
         seed: 42,
         prepare: true,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,10 +55,11 @@ fn parse_args() -> Result<Args, String> {
             "--rows" => args.rows = take("--rows")?.max(1),
             "--seed" => args.seed = take("--seed")? as u64,
             "--no-prepare" => args.prepare = false,
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] \
-                     [--no-prepare]"
+                     [--no-prepare] [--metrics]"
                         .to_string(),
                 )
             }
@@ -176,4 +181,23 @@ fn main() {
         pct(0.99) / 1_000,
         wall.as_secs_f64(),
     );
+    if args.metrics {
+        match Client::connect(&args.addr).and_then(|mut c| {
+            let page = c.metrics()?;
+            let _ = c.goodbye();
+            Ok(page)
+        }) {
+            Ok(page) => {
+                println!(
+                    "# server uptime_ms={} version={} wal_generation={}",
+                    page.uptime_ms, page.version, page.wal_generation
+                );
+                print!("{}", page.text);
+            }
+            Err(e) => {
+                eprintln!("cypher-load: metrics fetch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

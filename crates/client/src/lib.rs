@@ -77,6 +77,23 @@ impl ClientError {
     }
 }
 
+/// The full metrics page of a server, as returned by a `Metrics`
+/// request: a few headline fields decoded for programmatic use, plus
+/// the complete Prometheus-style text exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsPage {
+    /// Milliseconds since the served database was opened.
+    pub uptime_ms: u64,
+    /// The currently committed graph version.
+    pub version: u64,
+    /// The WAL generation (bumps on every compaction).
+    pub wal_generation: u64,
+    /// Every instrument of every layer — engine, commit pipeline,
+    /// storage, sessions, server — rendered as `# HELP`/`# TYPE` +
+    /// sample lines.
+    pub text: String,
+}
+
 /// A successful statement execution: the result table plus the version
 /// the statement committed at, if it wrote.
 #[derive(Debug, Clone)]
@@ -223,6 +240,28 @@ impl Client {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(format!(
                 "wanted Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's full metrics page: headline fields plus the
+    /// Prometheus-style text exposition covering every layer.
+    pub fn metrics(&mut self) -> Result<MetricsPage, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics {
+                uptime_ms,
+                version,
+                wal_generation,
+                text,
+            } => Ok(MetricsPage {
+                uptime_ms,
+                version,
+                wal_generation,
+                text,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted Metrics, got {other:?}"
             ))),
         }
     }

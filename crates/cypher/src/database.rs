@@ -58,18 +58,23 @@
 //!    batches are already with the OS, so dropping without closing
 //!    survives *process* crashes).
 
-use crate::{run_reference_with, Error, Table};
+use crate::{run_reference_with, Error, Record, Schema, Table};
 use cypher_ast::query::Query;
 use cypher_core::error::EvalError;
 use cypher_core::Params;
-use cypher_engine::{stats_fingerprint, EngineConfig, FsyncMode, PlanMemo};
-use cypher_graph::{Change, GraphView, PropertyGraph, SharedChangeBuffer, VersionedGraph};
+use cypher_engine::{stats_fingerprint, EngineConfig, FsyncMode, PlanMemo, QueryProfile};
+use cypher_graph::{Change, GraphView, PropertyGraph, SharedChangeBuffer, Value, VersionedGraph};
+use cypher_metrics::{fmt_counter, fmt_gauge, fmt_histogram, Counter, Gauge, Histogram};
 use cypher_storage::{RecoveryReport, StorageError, Store};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Counters of the `Database` parse+plan cache. All zeros when the cache
 /// is disabled (`EngineConfig::plan_cache_size == 0`).
@@ -85,6 +90,387 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+}
+
+/// The engine-wide metrics registry: every layer of one database —
+/// query dispatch, the commit pipeline, checkpointing, sessions —
+/// records into these lock-free instruments (see [`cypher_metrics`]).
+/// Recording is gated on [`EngineConfig::metrics_enabled`]
+/// (`CYPHER_METRICS`); when disabled every hook is a single branch on a
+/// plain bool, so the hot path pays nothing.
+///
+/// Exposed through [`Database::metrics`] (typed, for tests and embedded
+/// monitoring) and [`Database::metrics_snapshot`] (Prometheus-style
+/// text, served over the wire protocol's `Metrics` request).
+#[derive(Debug)]
+pub struct DatabaseMetrics {
+    enabled: bool,
+    /// Read queries executed (successful or not; `EXPLAIN` excluded,
+    /// `PROFILE` included — it executes the query).
+    pub queries_read: Counter,
+    /// Updating queries executed (successful or not, including updates
+    /// refused inside a read transaction).
+    pub queries_write: Counter,
+    /// Queries that returned an error.
+    pub queries_failed: Counter,
+    /// Rows returned to clients by successful queries.
+    pub rows_returned: Counter,
+    /// End-to-end statement latency, microseconds (parse through
+    /// commit acknowledgement).
+    pub query_latency_us: Histogram,
+    /// Queries at or above the [`EngineConfig::slow_query_ms`]
+    /// threshold (0 when the slow-query log is disabled).
+    pub slow_queries: Counter,
+    /// Commit groups sealed by the group-commit leader.
+    pub commit_groups: Counter,
+    /// Member transactions per sealed group.
+    pub commit_group_size: Histogram,
+    /// Transactions currently waiting in the group-commit queue.
+    pub commit_queue_depth: Gauge,
+    /// Wall time of one group seal (WAL write + fsync handoff),
+    /// microseconds.
+    pub seal_latency_us: Histogram,
+    /// Wall time of one successful WAL flush, microseconds (`Sync` and
+    /// `Pipelined` fsync modes; `Os` mode never flushes).
+    pub fsync_latency_us: Histogram,
+    /// Times the database turned read-only after a failed WAL commit
+    /// (first failure only — the cascade it causes is not re-counted).
+    pub poison_events: Counter,
+    /// Explicit checkpoints ([`Database::checkpoint`] and `close`).
+    pub checkpoints: Counter,
+    /// Checkpoints triggered by the WAL outgrowing
+    /// [`EngineConfig::wal_compact_bytes`].
+    pub wal_compactions: Counter,
+    /// Open [`Session`] handles.
+    pub sessions_active: Gauge,
+    /// Sessions currently holding a pinned read snapshot.
+    pub sessions_pinned: Gauge,
+    /// `trace_id + 1` of the most recent commit whose group was sealed
+    /// and published carrying a trace id; 0 = none yet. The end-to-end
+    /// witness that a request's trace id survives from server accept to
+    /// WAL seal.
+    last_sealed_trace: AtomicU64,
+    /// Live read pins: `(token, pinned-at)`, for the oldest-pin-age
+    /// gauge (a long-forgotten pin is the classic version-GC leak).
+    pins: Mutex<Vec<(u64, Instant)>>,
+    next_pin: AtomicU64,
+}
+
+impl DatabaseMetrics {
+    fn new(enabled: bool) -> DatabaseMetrics {
+        DatabaseMetrics {
+            enabled,
+            queries_read: Counter::new(),
+            queries_write: Counter::new(),
+            queries_failed: Counter::new(),
+            rows_returned: Counter::new(),
+            query_latency_us: Histogram::new(),
+            slow_queries: Counter::new(),
+            commit_groups: Counter::new(),
+            commit_group_size: Histogram::new(),
+            commit_queue_depth: Gauge::new(),
+            seal_latency_us: Histogram::new(),
+            fsync_latency_us: Histogram::new(),
+            poison_events: Counter::new(),
+            checkpoints: Counter::new(),
+            wal_compactions: Counter::new(),
+            sessions_active: Gauge::new(),
+            sessions_pinned: Gauge::new(),
+            last_sealed_trace: AtomicU64::new(0),
+            pins: Mutex::new(Vec::new()),
+            next_pin: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether recording is on ([`EngineConfig::metrics_enabled`]).
+    /// When off, every instrument stays at zero.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The trace id of the most recent published commit that carried
+    /// one (threaded from the server's accept loop through
+    /// [`Session::query_traced`] into the WAL seal).
+    pub fn last_sealed_trace(&self) -> Option<u64> {
+        match self.last_sealed_trace.load(Ordering::Relaxed) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+
+    fn note_sealed_trace(&self, trace: Option<u64>) {
+        if let Some(t) = trace {
+            // Saturate rather than wrap: id u64::MAX must not read back
+            // as "none" (it clamps to u64::MAX - 1 instead — the one
+            // unrepresentable id in the zero-means-none encoding).
+            self.last_sealed_trace
+                .store(t.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+
+    fn register_pin(&self) -> u64 {
+        let id = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        if self.enabled {
+            self.sessions_pinned.inc();
+            self.pins
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((id, Instant::now()));
+        }
+        id
+    }
+
+    fn release_pin(&self, id: u64) {
+        if self.enabled {
+            let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(i) = pins.iter().position(|(p, _)| *p == id) {
+                pins.remove(i);
+                self.sessions_pinned.dec();
+            }
+        }
+    }
+
+    /// Age of the oldest live read pin, microseconds (0 when nothing is
+    /// pinned or metrics are disabled).
+    pub fn oldest_pin_age_us(&self) -> u64 {
+        self.pins
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(_, at)| at.elapsed().as_micros() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Appends this registry's instruments to a Prometheus-style text
+    /// page.
+    pub fn render_into(&self, out: &mut String) {
+        fmt_counter(
+            out,
+            "cypher_queries_read_total",
+            "read queries executed",
+            self.queries_read.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_queries_write_total",
+            "updating queries executed",
+            self.queries_write.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_queries_failed_total",
+            "queries that returned an error",
+            self.queries_failed.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_rows_returned_total",
+            "rows returned by successful queries",
+            self.rows_returned.get(),
+        );
+        fmt_histogram(
+            out,
+            "cypher_query_latency_us",
+            "end-to-end statement latency (microseconds)",
+            &self.query_latency_us.snapshot(),
+        );
+        fmt_counter(
+            out,
+            "cypher_slow_queries_total",
+            "queries at or above the slow-query threshold",
+            self.slow_queries.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_commit_groups_total",
+            "commit groups sealed",
+            self.commit_groups.get(),
+        );
+        fmt_histogram(
+            out,
+            "cypher_commit_group_size",
+            "member transactions per sealed group",
+            &self.commit_group_size.snapshot(),
+        );
+        fmt_gauge(
+            out,
+            "cypher_commit_queue_depth",
+            "transactions waiting in the group-commit queue",
+            self.commit_queue_depth.get(),
+        );
+        fmt_histogram(
+            out,
+            "cypher_seal_latency_us",
+            "group seal wall time (microseconds)",
+            &self.seal_latency_us.snapshot(),
+        );
+        fmt_histogram(
+            out,
+            "cypher_fsync_latency_us",
+            "WAL flush wall time (microseconds)",
+            &self.fsync_latency_us.snapshot(),
+        );
+        fmt_counter(
+            out,
+            "cypher_poison_events_total",
+            "times the database turned read-only after a failed WAL commit",
+            self.poison_events.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_checkpoints_total",
+            "explicit checkpoints",
+            self.checkpoints.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_wal_compactions_total",
+            "checkpoints triggered by WAL growth",
+            self.wal_compactions.get(),
+        );
+        fmt_gauge(
+            out,
+            "cypher_sessions_active",
+            "open session handles",
+            self.sessions_active.get(),
+        );
+        fmt_gauge(
+            out,
+            "cypher_sessions_pinned",
+            "sessions holding a pinned read snapshot",
+            self.sessions_pinned.get(),
+        );
+        fmt_gauge(
+            out,
+            "cypher_oldest_pin_age_us",
+            "age of the oldest live read pin (microseconds)",
+            self.oldest_pin_age_us() as i64,
+        );
+    }
+}
+
+/// One page of the database's metrics, with the headline identity
+/// fields broken out so the wire protocol can carry them as typed
+/// values next to the text exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since this database handle was opened.
+    pub uptime_ms: u64,
+    /// The latest published version id.
+    pub version: u64,
+    /// Snapshot generation of the store (0 for in-memory databases).
+    pub wal_generation: u64,
+    /// Prometheus-style text exposition of every instrument: the
+    /// database registry, executor counters, plan-cache stats, store
+    /// mirror and recovery report.
+    pub text: String,
+}
+
+/// One structured slow-query record, emitted when a statement's latency
+/// reaches [`EngineConfig::slow_query_ms`]. `Display` renders the
+/// machine-parseable single-line `key=value` form the default stderr
+/// sink logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// Stable hash of the query text (the text itself may hold
+    /// sensitive literals; the hash is enough to group repeat
+    /// offenders).
+    pub query_hash: u64,
+    /// End-to-end statement latency, microseconds.
+    pub duration_us: u64,
+    /// Rows returned; `None` when the statement failed.
+    pub rows: Option<u64>,
+    /// Whether the parse+plan cache answered without planning.
+    pub plan_cache_hit: bool,
+    /// The version the statement committed at, if it committed one.
+    pub committed_version: Option<u64>,
+    /// The caller-supplied trace id ([`Session::query_traced`]), if any.
+    pub trace_id: Option<u64>,
+    /// Whether the statement was an updating query.
+    pub write: bool,
+}
+
+impl fmt::Display for SlowQueryEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slow_query query_hash={:016x} duration_us={} rows={} cache_hit={} \
+             committed_version={} trace_id={} write={}",
+            self.query_hash,
+            self.duration_us,
+            self.rows
+                .map_or_else(|| "err".to_string(), |r| r.to_string()),
+            self.plan_cache_hit,
+            self.committed_version
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            self.trace_id
+                .map_or_else(|| "-".to_string(), |t| t.to_string()),
+            self.write,
+        )
+    }
+}
+
+/// Where slow-query records go. The default sink writes the `Display`
+/// line to stderr; embedders swap in their own collector with
+/// [`Database::set_slow_query_sink`]. Called on the query's own thread
+/// (only for statements past the threshold), so implementations should
+/// be quick or hand off.
+pub trait SlowQuerySink: Send + Sync {
+    /// Accepts one slow-query record.
+    fn record(&self, entry: &SlowQueryEntry);
+}
+
+/// The default sink: one machine-parseable line per slow query on
+/// stderr.
+struct StderrSlowQueryLog;
+
+impl SlowQuerySink for StderrSlowQueryLog {
+    fn record(&self, entry: &SlowQueryEntry) {
+        eprintln!("{entry}");
+    }
+}
+
+/// The result of profiling one query ([`Database::profile`]): the query
+/// result plus per-operator actuals, in both structured and rendered
+/// form.
+pub struct ProfileReport {
+    /// The query's own result table (bit-identical to an unprofiled
+    /// run).
+    pub result: Table,
+    /// One row per pipeline operator: `clause`, `operator`, `est_rows`,
+    /// `rows`, `batches`, `time_us` — what `PROFILE <query>` returns
+    /// over the wire.
+    pub operators: Table,
+    /// The annotated plan tree, rendered for humans.
+    pub text: String,
+    /// The raw structured profile.
+    pub profile: QueryProfile,
+}
+
+/// Case-insensitively strips leading keyword `kw` (which must be
+/// followed by whitespace) from `text`, returning the remainder.
+/// `EXPLAIN` / `PROFILE` are dispatch prefixes, not grammar: no valid
+/// Cypher statement starts with either token, so prefix matching here
+/// cannot shadow a real query.
+fn keyword_prefix<'t>(text: &'t str, kw: &str) -> Option<&'t str> {
+    let t = text.trim_start();
+    if t.len() <= kw.len() || !t.as_bytes()[..kw.len()].eq_ignore_ascii_case(kw.as_bytes()) {
+        return None;
+    }
+    let rest = &t[kw.len()..];
+    rest.starts_with(|c: char| c.is_whitespace())
+        .then(|| rest.trim_start())
+}
+
+/// A one-column table holding `text` line by line (how `EXPLAIN`
+/// renders into a result table).
+fn lines_table(column: &str, text: &str) -> Table {
+    let mut t = Table::empty(Schema::new(vec![column.to_string()]));
+    for line in text.lines() {
+        t.push(Record::new(vec![Value::str(line)]));
+    }
+    t
 }
 
 /// Plan memos kept per cached query text: one per recent statistics
@@ -123,13 +509,16 @@ impl PlanCache {
     /// `count` suppresses the public counters for internal re-lookups
     /// (a write transaction re-validating its memo against its actual
     /// base statistics, or the adopt path after a racing insert).
+    /// The returned `bool` is the *full hit* flag — `true` only when
+    /// both the parse and a valid plan memo were served from cache
+    /// (what the slow-query log reports as `cache_hit`).
     fn lookup(
         &mut self,
         text: &str,
         cfg_fp: u64,
         stats_fp: u64,
         count: bool,
-    ) -> Option<(Arc<Query>, Arc<PlanMemo>)> {
+    ) -> Option<(Arc<Query>, Arc<PlanMemo>, bool)> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(e) = self.entries.get_mut(text) {
@@ -140,7 +529,7 @@ impl PlanCache {
                     if count {
                         self.stats.hits += 1;
                     }
-                    return Some((Arc::clone(&e.query), Arc::clone(&slot.1)));
+                    return Some((Arc::clone(&e.query), Arc::clone(&slot.1), true));
                 }
                 // Statistics moved (or this session is pinned at another
                 // version): keep the parse, plan fresh under this
@@ -163,7 +552,7 @@ impl PlanCache {
                 if count {
                     self.stats.invalidations += 1;
                 }
-                return Some((Arc::clone(&e.query), memo));
+                return Some((Arc::clone(&e.query), memo, false));
             }
             // Config changed under the same text: drop; the caller
             // reparses and reinserts.
@@ -257,6 +646,9 @@ struct PendingCommit {
     changes: Vec<Change>,
     candidate: Arc<PropertyGraph>,
     ticket: Arc<Ticket>,
+    /// The caller's trace id ([`Session::query_traced`]), carried to
+    /// the seal so the metrics registry can witness it end to end.
+    trace: Option<u64>,
 }
 
 /// The commit a follower blocks on while the group leader (or the
@@ -345,6 +737,10 @@ struct CommitShared {
     /// the file (the `Sync`-mode double lives in the store itself).
     pipeline_fail_injections: AtomicU32,
     metrics: StoreMetrics,
+    /// The engine-wide metrics registry; lives here so the commit
+    /// pipeline (including the detached fsync thread) can record into
+    /// it.
+    db_metrics: Arc<DatabaseMetrics>,
 }
 
 impl CommitShared {
@@ -373,6 +769,9 @@ impl CommitShared {
         let mut p = self.poison.lock().unwrap_or_else(|e| e.into_inner());
         if p.is_none() {
             *p = Some(msg);
+            if self.db_metrics.enabled {
+                self.db_metrics.poison_events.inc();
+            }
             true
         } else {
             false
@@ -386,6 +785,11 @@ impl CommitShared {
         let last = group.last().expect("groups are non-empty");
         self.versioned
             .publish_view(Arc::clone(&last.candidate), last.seq + 1);
+        if self.db_metrics.enabled {
+            for p in group {
+                self.db_metrics.note_sealed_trace(p.trace);
+            }
+        }
         for p in group {
             p.ticket.complete(Ok(p.seq + 1));
         }
@@ -451,7 +855,15 @@ fn fsync_worker(shared: std::sync::Weak<CommitShared>, rx: Receiver<FsyncJob>) {
         } else if injected {
             Err(StorageError::Io(std::io::Error::other("injected fsync failure")).into())
         } else {
-            job.file.sync_all().map_err(|e| StorageError::Io(e).into())
+            let flush_started = Instant::now();
+            let r = job.file.sync_all().map_err(|e| StorageError::Io(e).into());
+            if r.is_ok() && shared.db_metrics.enabled {
+                shared
+                    .db_metrics
+                    .fsync_latency_us
+                    .record(flush_started.elapsed().as_micros() as u64);
+            }
+            r
         };
         match flushed {
             Ok(()) => shared.publish_group(&job.group),
@@ -505,6 +917,10 @@ struct DbInner {
     /// sender (close, or the last handle going away) retires the fsync
     /// thread.
     fsync_tx: Mutex<Option<Sender<FsyncJob>>>,
+    /// When this handle was opened (the metrics page's uptime).
+    opened: Instant,
+    /// Where slow-query records go; locked only on the slow path.
+    slow_sink: Mutex<Arc<dyn SlowQuerySink>>,
 }
 
 impl DbInner {
@@ -519,7 +935,7 @@ impl DbInner {
         capacity: usize,
         stats_fp: u64,
         count: bool,
-    ) -> Result<(Arc<Query>, Arc<PlanMemo>), Error> {
+    ) -> Result<(Arc<Query>, Arc<PlanMemo>, bool), Error> {
         let cfg_fp = self.cfg.plan_fingerprint();
         if let Some(hit) = self
             .cache
@@ -538,7 +954,8 @@ impl DbInner {
         if let Some(hit) = c.lookup(text, cfg_fp, stats_fp, count) {
             return Ok(hit);
         }
-        Ok(c.insert(text, parsed, capacity, cfg_fp, stats_fp))
+        let (q, memo) = c.insert(text, parsed, capacity, cfg_fp, stats_fp);
+        Ok((q, memo, false))
     }
 
     /// The statistics fingerprint of `view`, memoized by version.
@@ -558,7 +975,11 @@ impl DbInner {
     /// Executes one query: reads run lock-free against `view`; updating
     /// queries enter the commit pipeline (refused when `pinned` — a read
     /// transaction never mutates). `committed` reports the version id
-    /// the statement committed at, if it committed one.
+    /// the statement committed at, if it committed one. An `EXPLAIN ` /
+    /// `PROFILE ` prefix dispatches to plan rendering / instrumented
+    /// execution instead (neither token starts a valid Cypher
+    /// statement). `trace` is the caller's request id, threaded into
+    /// the slow-query log and the WAL seal.
     fn query_at(
         self: &Arc<Self>,
         view: &GraphView,
@@ -566,31 +987,170 @@ impl DbInner {
         text: &str,
         params: &Params,
         committed: &mut Option<u64>,
+        trace: Option<u64>,
     ) -> Result<Table, Error> {
+        if let Some(rest) = keyword_prefix(text, "EXPLAIN") {
+            let q = crate::parse_query(rest)?;
+            return Ok(lines_table(
+                "plan",
+                &cypher_engine::explain(view, &q, &self.cfg),
+            ));
+        }
+        if let Some(rest) = keyword_prefix(text, "PROFILE") {
+            // PROFILE executes the query for real, so it is observed
+            // like any read (its results are bit-identical to an
+            // unprofiled run; only the instrumentation differs).
+            let started = Instant::now();
+            let report = self.profile_at(view, rest, params);
+            let rows = report.as_ref().ok().map(|r| r.result.len() as u64);
+            self.observe_query(rest, started, false, false, None, trace, rows);
+            return report.map(|r| r.operators);
+        }
+        let started = Instant::now();
         let capacity = self.cfg.plan_cache_size;
-        let (q, memo) = if capacity == 0 {
-            (Arc::new(crate::parse_query(text)?), None)
+        let resolved = if capacity == 0 {
+            crate::parse_query(text)
+                .map(|q| (Arc::new(q), None, false))
+                .map_err(Error::from)
         } else {
             let stats_fp = self.stats_fp_for(view);
-            let (q, memo) = self.resolve_cached(text, capacity, stats_fp, true)?;
-            (q, Some(memo))
+            self.resolve_cached(text, capacity, stats_fp, true)
+                .map(|(q, memo, hit)| (q, Some(memo), hit))
         };
-        if !q.is_updating() {
-            return Ok(cypher_engine::execute_read_cached(
-                view,
-                &q,
-                params,
-                &self.cfg,
-                memo.as_deref(),
-            )?);
-        }
-        if pinned {
-            return Err(Error::Eval(EvalError::new(
+        let (q, memo, cache_hit) = match resolved {
+            Ok(r) => r,
+            Err(e) => {
+                self.observe_query(text, started, false, false, None, trace, None);
+                return Err(e);
+            }
+        };
+        let write = q.is_updating();
+        let result = if !write {
+            cypher_engine::execute_read_cached(view, &q, params, &self.cfg, memo.as_deref())
+                .map_err(Error::from)
+        } else if pinned {
+            Err(Error::Eval(EvalError::new(
                 "updating query inside a read transaction: \
                  call Session::commit() to release the pinned snapshot first",
+            )))
+        } else {
+            self.write_query(text, &q, params, committed, trace)
+        };
+        let rows = result.as_ref().ok().map(|t| t.len() as u64);
+        self.observe_query(text, started, write, cache_hit, *committed, trace, rows);
+        result
+    }
+
+    /// Profiles a read query against `view`: instrumented execution,
+    /// result bit-identical to the unprofiled run (see
+    /// `cypher_engine::profile_read` — profiling bypasses only the
+    /// fused-projection fast path, whose contract is result equality).
+    fn profile_at(
+        &self,
+        view: &GraphView,
+        text: &str,
+        params: &Params,
+    ) -> Result<ProfileReport, Error> {
+        let q = crate::parse_query(text)?;
+        if q.is_updating() {
+            return Err(Error::Eval(EvalError::new(
+                "PROFILE supports read-only queries: run the update without the prefix",
             )));
         }
-        self.write_query(text, &q, params, committed)
+        let (result, profile) = cypher_engine::profile_read(view, &q, params, &self.cfg)?;
+        let schema = Schema::new(
+            [
+                "clause", "operator", "est_rows", "rows", "batches", "time_us",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        let mut operators = Table::empty(schema);
+        for c in &profile.clauses {
+            if c.operators.is_empty() {
+                // Clause answered by the reference matcher (node
+                // isomorphism): no operator pipeline to report.
+                operators.push(Record::new(vec![
+                    Value::str(c.label.as_str()),
+                    Value::str("ReferenceMatcher"),
+                    Value::float(0.0),
+                    Value::int(0),
+                    Value::int(0),
+                    Value::int(0),
+                ]));
+                continue;
+            }
+            for op in &c.operators {
+                operators.push(Record::new(vec![
+                    Value::str(c.label.as_str()),
+                    Value::str(op.operator.as_str()),
+                    Value::float(op.estimated_rows),
+                    Value::int(op.rows as i64),
+                    Value::int(op.batches as i64),
+                    Value::int(op.time_us as i64),
+                ]));
+            }
+        }
+        let text = profile.render();
+        Ok(ProfileReport {
+            result,
+            operators,
+            text,
+            profile,
+        })
+    }
+
+    /// The per-statement observation tail: metrics (when enabled) and
+    /// the slow-query log (when configured). `rows` is `None` for a
+    /// failed statement.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_query(
+        &self,
+        text: &str,
+        started: Instant,
+        write: bool,
+        plan_cache_hit: bool,
+        committed: Option<u64>,
+        trace: Option<u64>,
+        rows: Option<u64>,
+    ) {
+        let elapsed = started.elapsed();
+        let m = &self.shared.db_metrics;
+        if m.enabled {
+            if write {
+                m.queries_write.inc();
+            } else {
+                m.queries_read.inc();
+            }
+            match rows {
+                Some(n) => m.rows_returned.add(n),
+                None => m.queries_failed.inc(),
+            }
+            m.query_latency_us.record(elapsed.as_micros() as u64);
+        }
+        let Some(threshold_ms) = self.cfg.slow_query_ms else {
+            return;
+        };
+        if (elapsed.as_millis() as u64) < threshold_ms {
+            return;
+        }
+        if m.enabled {
+            m.slow_queries.inc();
+        }
+        let mut h = DefaultHasher::new();
+        text.hash(&mut h);
+        let entry = SlowQueryEntry {
+            query_hash: h.finish(),
+            duration_us: elapsed.as_micros() as u64,
+            rows,
+            plan_cache_hit,
+            committed_version: committed,
+            trace_id: trace,
+            write,
+        };
+        let sink = Arc::clone(&*self.slow_sink.lock().unwrap_or_else(|e| e.into_inner()));
+        sink.record(&entry);
     }
 
     /// Executes an updating query as one transaction: private
@@ -605,6 +1165,7 @@ impl DbInner {
         q: &Arc<Query>,
         params: &Params,
         committed: &mut Option<u64>,
+        trace: Option<u64>,
     ) -> Result<Table, Error> {
         let shared = &self.shared;
         let mut apply = shared.lock_apply();
@@ -683,7 +1244,14 @@ impl DbInner {
             changes,
             candidate,
             ticket: Arc::clone(&ticket),
+            trace,
         });
+        if shared.db_metrics.enabled {
+            shared
+                .db_metrics
+                .commit_queue_depth
+                .set(apply.queue.len() as i64);
+        }
         let leader = !apply.leader_running;
         if leader {
             apply.leader_running = true;
@@ -709,6 +1277,9 @@ impl DbInner {
                         let ck = store.checkpoint(latest.graph());
                         shared.metrics.refresh(store);
                         ck?;
+                        if shared.db_metrics.enabled {
+                            shared.db_metrics.wal_compactions.inc();
+                        }
                     }
                 }
             }
@@ -735,8 +1306,19 @@ impl DbInner {
             } else {
                 vec![apply.queue.remove(0)]
             };
+            let m = &shared.db_metrics;
+            if m.enabled {
+                m.commit_groups.inc();
+                m.commit_group_size.record(group.len() as u64);
+                m.commit_queue_depth.set(apply.queue.len() as i64);
+            }
             drop(apply);
+            let seal_started = Instant::now();
             self.seal_group(group);
+            if m.enabled {
+                m.seal_latency_us
+                    .record(seal_started.elapsed().as_micros() as u64);
+            }
         }
     }
 
@@ -791,30 +1373,40 @@ impl DbInner {
                 drop(store_guard);
                 shared.publish_group(&group);
             }
-            FsyncMode::Sync => match store.sync() {
-                Ok(()) => {
-                    shared.metrics.refresh(store);
-                    drop(store_guard);
-                    shared.publish_group(&group);
+            FsyncMode::Sync => {
+                let flush_started = Instant::now();
+                let flushed = store.sync();
+                if flushed.is_ok() && shared.db_metrics.enabled {
+                    shared
+                        .db_metrics
+                        .fsync_latency_us
+                        .record(flush_started.elapsed().as_micros() as u64);
                 }
-                Err(e) => {
-                    // Roll the whole group back: after a failed fsync its
-                    // bytes may or may not be stable, so cutting them is
-                    // the only way disk and (unpublished) memory agree.
-                    // Rollback belongs to the poison winner alone (see
-                    // `set_poison`); a loser's bytes are cut by the
-                    // winner's own truncation.
-                    if shared.set_poison(format!(
-                        "database is read-only after a failed WAL commit: {e}"
-                    )) {
-                        let _ = store.truncate_wal(receipt.wal_len_before);
+                match flushed {
+                    Ok(()) => {
                         shared.metrics.refresh(store);
+                        drop(store_guard);
+                        shared.publish_group(&group);
                     }
-                    let err = Error::from(e);
-                    drop(store_guard);
-                    shared.fail_group(&group, &err);
+                    Err(e) => {
+                        // Roll the whole group back: after a failed fsync its
+                        // bytes may or may not be stable, so cutting them is
+                        // the only way disk and (unpublished) memory agree.
+                        // Rollback belongs to the poison winner alone (see
+                        // `set_poison`); a loser's bytes are cut by the
+                        // winner's own truncation.
+                        if shared.set_poison(format!(
+                            "database is read-only after a failed WAL commit: {e}"
+                        )) {
+                            let _ = store.truncate_wal(receipt.wal_len_before);
+                            shared.metrics.refresh(store);
+                        }
+                        let err = Error::from(e);
+                        drop(store_guard);
+                        shared.fail_group(&group, &err);
+                    }
                 }
-            },
+            }
             FsyncMode::Pipelined => {
                 let file = match store.sync_handle() {
                     Ok(f) => f,
@@ -929,7 +1521,14 @@ impl Database {
     /// Recovery fans large-batch index rebuilds out across
     /// [`EngineConfig::num_threads`] workers; in `Pipelined` fsync mode
     /// a dedicated flush thread is started here.
-    pub fn open_with(cfg: EngineConfig) -> Result<Database, Error> {
+    pub fn open_with(mut cfg: EngineConfig) -> Result<Database, Error> {
+        // The metrics registry exists either way (a disabled one is a
+        // plain bool gate); the executor's counters are shared with the
+        // engine through the config only when recording is on.
+        let db_metrics = Arc::new(DatabaseMetrics::new(cfg.metrics_enabled));
+        if cfg.metrics_enabled && cfg.exec_metrics.is_none() {
+            cfg.exec_metrics = Some(Arc::new(cypher_engine::ExecMetrics::default()));
+        }
         let (graph, store, recovery, initial_version) = match &cfg.persistence {
             Some(dir) => {
                 let (store, graph) = Store::open_with_threads(dir, cfg.num_threads)?;
@@ -959,6 +1558,7 @@ impl Database {
             drained: Condvar::new(),
             pipeline_fail_injections: AtomicU32::new(0),
             metrics,
+            db_metrics,
         });
         let fsync_tx = if durable && cfg.fsync_mode == FsyncMode::Pipelined {
             let (tx, rx) = mpsc::channel();
@@ -979,6 +1579,8 @@ impl Database {
                 cache: Mutex::new(PlanCache::default()),
                 stats_fp: Mutex::new(Vec::new()),
                 fsync_tx: Mutex::new(fsync_tx),
+                opened: Instant::now(),
+                slow_sink: Mutex::new(Arc::new(StderrSlowQueryLog)),
             }),
         })
     }
@@ -998,10 +1600,15 @@ impl Database {
     /// other threads freely). Concurrent updating queries feed the
     /// group-commit queue and share WAL seals (and fsyncs).
     pub fn session(&self) -> Session {
+        let m = &self.inner.shared.db_metrics;
+        if m.enabled {
+            m.sessions_active.inc();
+        }
         Session {
             inner: Arc::clone(&self.inner),
             pinned: None,
             last_commit: None,
+            pin: None,
         }
     }
 
@@ -1027,7 +1634,7 @@ impl Database {
         let view = self.inner.shared.versioned.latest();
         let mut committed = None;
         self.inner
-            .query_at(&view, false, query, params, &mut committed)
+            .query_at(&view, false, query, params, &mut committed, None)
     }
 
     /// Evaluates a read query with the reference evaluator (the paper's
@@ -1051,6 +1658,9 @@ impl Database {
             let ck = store.checkpoint(view.graph());
             shared.metrics.refresh(store);
             ck?;
+            if shared.db_metrics.enabled {
+                shared.db_metrics.checkpoints.inc();
+            }
         }
         Ok(())
     }
@@ -1196,6 +1806,164 @@ impl Database {
         let view = self.inner.shared.versioned.latest();
         Ok(cypher_engine::explain(&view, &q, &self.inner.cfg))
     }
+
+    /// Executes a read query with per-operator instrumentation against
+    /// the latest version, returning the result (bit-identical to an
+    /// unprofiled run) alongside the profile in structured and rendered
+    /// form. A leading `PROFILE ` prefix on `query` is accepted and
+    /// stripped. The same profile is available through the normal query
+    /// path — `query("PROFILE …")` returns the per-operator rows — so
+    /// remote clients get it over the wire unchanged.
+    pub fn profile(&self, query: &str, params: &Params) -> Result<ProfileReport, Error> {
+        let text = keyword_prefix(query, "PROFILE").unwrap_or(query);
+        let view = self.inner.shared.versioned.latest();
+        self.inner.profile_at(&view, text, params)
+    }
+
+    /// The typed metrics registry of this database (always present; its
+    /// instruments stay at zero when [`EngineConfig::metrics_enabled`]
+    /// is off).
+    pub fn metrics(&self) -> &DatabaseMetrics {
+        &self.inner.shared.db_metrics
+    }
+
+    /// The executor's counters (morsels, rows, parallel runs), when
+    /// metrics are enabled.
+    pub fn exec_metrics(&self) -> Option<&cypher_engine::ExecMetrics> {
+        self.inner.cfg.exec_metrics.as_deref()
+    }
+
+    /// Renders one consistent-enough metrics page: every layer's
+    /// instruments as Prometheus-style text, plus the headline identity
+    /// fields broken out for the wire protocol. Lock-free except for
+    /// the plan-cache stats and the pin registry (both held briefly);
+    /// safe to call at any frequency under load.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let m = &inner.shared.db_metrics;
+        let uptime_ms = inner.opened.elapsed().as_millis() as u64;
+        let version = inner.shared.versioned.latest_version();
+        let sm = &inner.shared.metrics;
+        let wal_generation = sm.read(&sm.generation).unwrap_or(0);
+        let mut text = String::new();
+        fmt_gauge(
+            &mut text,
+            "cypher_metrics_enabled",
+            "1 when instrument recording is on",
+            m.enabled as i64,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_uptime_ms",
+            "milliseconds since this database handle was opened",
+            uptime_ms,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_version",
+            "latest published version id",
+            version,
+        );
+        m.render_into(&mut text);
+        if let Some(em) = &inner.cfg.exec_metrics {
+            fmt_counter(
+                &mut text,
+                "cypher_exec_morsels_total",
+                "morsels executed by MATCH pipelines",
+                em.morsels.get(),
+            );
+            fmt_counter(
+                &mut text,
+                "cypher_exec_rows_total",
+                "rows produced by MATCH pipelines (pre-projection)",
+                em.rows.get(),
+            );
+            fmt_counter(
+                &mut text,
+                "cypher_exec_parallel_runs_total",
+                "pipeline runs that engaged the parallel dispatcher",
+                em.parallel_runs.get(),
+            );
+        }
+        let pc = self.plan_cache_stats();
+        fmt_counter(
+            &mut text,
+            "cypher_plan_cache_hits_total",
+            "queries answered entirely from the plan cache",
+            pc.hits,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_plan_cache_misses_total",
+            "queries parsed and planned fresh",
+            pc.misses,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_plan_cache_invalidations_total",
+            "cache entries replanned after statistics drift",
+            pc.invalidations,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_plan_cache_evictions_total",
+            "cache entries evicted by the LRU policy",
+            pc.evictions,
+        );
+        fmt_gauge(
+            &mut text,
+            "cypher_plan_cache_entries",
+            "query texts currently cached",
+            self.plan_cache_len() as i64,
+        );
+        if let Some(batches) = self.batches_committed() {
+            fmt_counter(
+                &mut text,
+                "cypher_wal_batches_total",
+                "WAL batches committed over the store's lifetime",
+                batches,
+            );
+        }
+        if let Some(bytes) = self.wal_bytes() {
+            fmt_gauge(
+                &mut text,
+                "cypher_wal_bytes",
+                "WAL size as of the last seal/checkpoint",
+                bytes as i64,
+            );
+        }
+        if let Some(generation) = self.generation() {
+            fmt_counter(
+                &mut text,
+                "cypher_snapshot_generation",
+                "snapshot generation as of the last checkpoint",
+                generation,
+            );
+        }
+        fmt_counter(
+            &mut text,
+            "cypher_recovery_batches_replayed",
+            "WAL batches replayed when this database was opened",
+            inner.recovery.batches_replayed,
+        );
+        MetricsSnapshot {
+            uptime_ms,
+            version,
+            wal_generation,
+            text,
+        }
+    }
+
+    /// Replaces the slow-query sink (default: one machine-parseable
+    /// line per slow query on stderr). Takes effect for statements
+    /// observed after the call; the slow path is the only reader.
+    pub fn set_slow_query_sink(&self, sink: Arc<dyn SlowQuerySink>) {
+        *self
+            .inner
+            .slow_sink
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = sink;
+    }
 }
 
 /// One client's handle onto a shared [`Database`]: the unit of
@@ -1219,6 +1987,9 @@ pub struct Session {
     inner: Arc<DbInner>,
     pinned: Option<GraphView>,
     last_commit: Option<u64>,
+    /// Pin-registry token while a read transaction is open (feeds the
+    /// pinned-sessions gauge and the oldest-pin-age metric).
+    pin: Option<u64>,
 }
 
 impl Session {
@@ -1227,9 +1998,14 @@ impl Session {
     /// every query of this session executes against this frozen
     /// snapshot.
     pub fn begin_read(&mut self) -> u64 {
+        let m = &self.inner.shared.db_metrics;
+        if let Some(id) = self.pin.take() {
+            m.release_pin(id);
+        }
         let view = self.inner.shared.versioned.latest();
         let v = view.version();
         self.pinned = Some(view);
+        self.pin = Some(m.register_pin());
         v
     }
 
@@ -1238,6 +2014,9 @@ impl Session {
     /// transaction is open. The name mirrors the transactional bracket;
     /// read transactions have nothing to make durable.
     pub fn commit(&mut self) {
+        if let Some(id) = self.pin.take() {
+            self.inner.shared.db_metrics.release_pin(id);
+        }
         self.pinned = None;
     }
 
@@ -1272,13 +2051,45 @@ impl Session {
     /// reads see the pinned snapshot and updates are refused; outside,
     /// behaves exactly like [`Database::query`].
     pub fn query(&mut self, query: &str, params: &Params) -> Result<Table, Error> {
+        self.query_inner(query, params, None)
+    }
+
+    /// Like [`Session::query`], tagging the statement with a caller
+    /// trace id — the wire server stamps each request with
+    /// `(connection id << 32) | request seq`. The id rides into the
+    /// slow-query log, and for updating queries into the WAL seal
+    /// (witnessed by `DatabaseMetrics::last_sealed_trace`), so one
+    /// client request can be followed from accept to fsync.
+    pub fn query_traced(
+        &mut self,
+        query: &str,
+        params: &Params,
+        trace_id: u64,
+    ) -> Result<Table, Error> {
+        self.query_inner(query, params, Some(trace_id))
+    }
+
+    fn query_inner(
+        &mut self,
+        query: &str,
+        params: &Params,
+        trace: Option<u64>,
+    ) -> Result<Table, Error> {
         let (view, pinned) = match &self.pinned {
             Some(v) => (v.clone(), true),
             None => (self.inner.shared.versioned.latest(), false),
         };
         self.last_commit = None;
         self.inner
-            .query_at(&view, pinned, query, params, &mut self.last_commit)
+            .query_at(&view, pinned, query, params, &mut self.last_commit, trace)
+    }
+
+    /// Profiles a read query against this session's snapshot (pinned or
+    /// latest); see [`Database::profile`].
+    pub fn profile(&self, query: &str, params: &Params) -> Result<ProfileReport, Error> {
+        let text = keyword_prefix(query, "PROFILE").unwrap_or(query);
+        let view = self.snapshot();
+        self.inner.profile_at(&view, text, params)
     }
 
     /// Evaluates a read query with the reference evaluator against this
@@ -1286,6 +2097,18 @@ impl Session {
     pub fn query_reference(&self, query: &str, params: &Params) -> Result<Table, Error> {
         let view = self.snapshot();
         run_reference_with(view.graph(), query, params, self.inner.cfg.match_config)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let m = &self.inner.shared.db_metrics;
+        if let Some(id) = self.pin.take() {
+            m.release_pin(id);
+        }
+        if m.enabled {
+            m.sessions_active.dec();
+        }
     }
 }
 

@@ -41,20 +41,24 @@ pub use cypher_core::{
     Table,
 };
 pub use cypher_engine::{
-    env_config_issues, EngineConfig, EnvConfigIssue, FsyncMode, MultiResult, PartialAggMode,
-    PlanMemo, PlannerMode,
+    env_config_issues, ClauseProfile, EngineConfig, EnvConfigIssue, ExecMetrics, FsyncMode,
+    MultiResult, OpProfile, PartialAggMode, PlanMemo, PlannerMode, QueryProfile,
 };
 pub use cypher_graph::{
     Catalog, Change, Direction, GraphView, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer,
     Symbol, Temporal, Tri, Value, VersionedGraph, ViewRef, WriteTxn,
 };
+pub use cypher_metrics as metrics;
 pub use cypher_parser::{parse_expression, parse_pattern, parse_query, ParseError};
 pub use cypher_storage as storage;
 pub use cypher_storage::{RecoveryReport, StorageError, Store};
 pub use cypher_workload as workload;
 
 mod database;
-pub use database::{Database, PlanCacheStats, Session};
+pub use database::{
+    Database, DatabaseMetrics, MetricsSnapshot, PlanCacheStats, ProfileReport, Session,
+    SlowQueryEntry, SlowQuerySink,
+};
 
 /// Anything that can go wrong between query text and result table.
 #[derive(Debug, Clone)]

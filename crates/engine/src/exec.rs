@@ -13,7 +13,7 @@
 //! [`crate::update`].
 
 use crate::cache::{plan_match_memo, MemoSite, PlanMemo};
-use crate::ops::{run_plan, ExecOptions, DEFAULT_MORSEL_SIZE};
+use crate::ops::{run_plan, run_plan_profiled, ExecOptions, DEFAULT_MORSEL_SIZE};
 use crate::plan::PlanStep;
 use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
 use crate::pushdown::{ret_pushdown, try_fused_match_projection, FusedOutcome, PushdownKind};
@@ -91,6 +91,21 @@ pub struct EngineConfig {
     /// storage. Defaults to [`FsyncMode::Os`]; override with
     /// `CYPHER_FSYNC_MODE` (`os` / `sync` / `pipelined`).
     pub fsync_mode: FsyncMode,
+    /// Slow-query threshold in milliseconds: the `cypher::Database`
+    /// facade emits one structured log entry for every query whose wall
+    /// time meets or exceeds it (`0` logs everything). `None` (the
+    /// default when `CYPHER_SLOW_QUERY_MS` is unset) disables the log.
+    pub slow_query_ms: Option<u64>,
+    /// Whether the engine and the `Database` facade record metrics at
+    /// all. On by default; override with `CYPHER_METRICS` (`on` / `off`).
+    /// Off, every counter site is skipped — the hot path carries no
+    /// atomic traffic.
+    pub metrics_enabled: bool,
+    /// Executor counters ([`crate::ops::ExecMetrics`]) shared by the
+    /// owning `Database`, recorded once per pipeline run. `None` (the
+    /// default) records nothing; the field never enters the plan-cache
+    /// fingerprint.
+    pub exec_metrics: Option<std::sync::Arc<crate::ops::ExecMetrics>>,
 }
 
 /// Default WAL size (bytes) beyond which a snapshot is taken.
@@ -169,6 +184,8 @@ struct EnvDefaults {
     plan_cache_size: usize,
     group_commit: bool,
     fsync_mode: FsyncMode,
+    slow_query_ms: Option<u64>,
+    metrics_enabled: bool,
     issues: Vec<EnvConfigIssue>,
 }
 
@@ -263,6 +280,35 @@ fn parse_env_defaults(
             }
         },
     };
+    let slow_query_ms = match get("CYPHER_SLOW_QUERY_MS").filter(|s| !s.is_empty()) {
+        None => None,
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_SLOW_QUERY_MS",
+                    value: raw,
+                    message: "not a valid integer; slow-query log stays disabled".to_string(),
+                });
+                None
+            }
+        },
+    };
+    let metrics_enabled = match get("CYPHER_METRICS").filter(|s| !s.is_empty()) {
+        None => true,
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "no" => false,
+            "on" | "1" | "true" | "yes" => true,
+            _ => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_METRICS",
+                    value: raw,
+                    message: "expected on/off; using default on".to_string(),
+                });
+                true
+            }
+        },
+    };
     let persistence = get_path("CYPHER_DATA_DIR")
         .filter(|s| !s.is_empty())
         .map(std::path::PathBuf::from);
@@ -275,6 +321,8 @@ fn parse_env_defaults(
         plan_cache_size,
         group_commit,
         fsync_mode,
+        slow_query_ms,
+        metrics_enabled,
         issues,
     }
 }
@@ -326,6 +374,9 @@ impl Default for EngineConfig {
             plan_cache_size: env.plan_cache_size,
             group_commit: env.group_commit,
             fsync_mode: env.fsync_mode,
+            slow_query_ms: env.slow_query_ms,
+            metrics_enabled: env.metrics_enabled,
+            exec_metrics: None,
         }
     }
 }
@@ -403,6 +454,137 @@ impl EngineConfig {
     pub fn with_fsync_mode(self, fsync_mode: FsyncMode) -> Self {
         EngineConfig { fsync_mode, ..self }
     }
+
+    /// This configuration with the given slow-query threshold
+    /// (`None` disables the slow-query log).
+    pub fn with_slow_query_ms(self, slow_query_ms: Option<u64>) -> Self {
+        EngineConfig {
+            slow_query_ms,
+            ..self
+        }
+    }
+
+    /// This configuration with metrics recording forced on or off.
+    pub fn with_metrics(self, metrics_enabled: bool) -> Self {
+        EngineConfig {
+            metrics_enabled,
+            ..self
+        }
+    }
+}
+
+/// One operator line of a [`QueryProfile`]: the planned step, what the
+/// cost model predicted for it, and what actually happened.
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    /// The rendered plan step (same text as EXPLAIN).
+    pub operator: String,
+    /// The cost model's estimated output cardinality for this step.
+    pub estimated_rows: f64,
+    /// Rows the operator actually produced, summed across all morsels.
+    pub rows: u64,
+    /// Batches the operator emitted, summed across all morsels.
+    pub batches: u64,
+    /// Wall time spent *in* this operator (exclusive of the operators
+    /// beneath it), summed across all workers, in microseconds.
+    pub time_us: u64,
+}
+
+/// The measured execution of one `MATCH` clause.
+#[derive(Clone, Debug)]
+pub struct ClauseProfile {
+    /// `"MATCH"` or `"OPTIONAL MATCH"`.
+    pub label: String,
+    /// Per-operator measurements, in pipeline order. Empty when the
+    /// clause was delegated to the reference matcher (node-isomorphism
+    /// mode), which has no operator pipeline to instrument.
+    pub operators: Vec<OpProfile>,
+    /// Morsels executed (1 for a sequential run).
+    pub morsels: u64,
+    /// Whether the clause was dispatched across the worker pool.
+    pub parallel: bool,
+}
+
+/// The result of `PROFILE`-ing a query: per-clause, per-operator actuals
+/// next to the planner's estimates. Produced by [`profile_read`];
+/// rendered with [`QueryProfile::render`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryProfile {
+    /// One entry per executed `MATCH` clause, in execution order
+    /// (including clauses on both sides of a `UNION`).
+    pub clauses: Vec<ClauseProfile>,
+    /// Rows of the final result.
+    pub rows: u64,
+    /// End-to-end wall time, in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl QueryProfile {
+    /// Renders the annotated plan tree: the EXPLAIN layout with
+    /// `(est rows / rows / batches / time)` appended to every operator.
+    pub fn render(&self) -> String {
+        let mut s = String::from("PROFILE\n");
+        for c in &self.clauses {
+            if c.parallel {
+                s.push_str(&format!(
+                    "{} plan ({} morsels, parallel):\n",
+                    c.label, c.morsels
+                ));
+            } else {
+                s.push_str(&format!("{} plan:\n", c.label));
+            }
+            if c.operators.is_empty() {
+                s.push_str("(reference matcher: no operator pipeline)\n");
+            }
+            for (i, op) in c.operators.iter().enumerate() {
+                s.push_str(&format!(
+                    "{:indent$}{}  (est rows: {:.1}, rows: {}, batches: {}, time: {}us)\n",
+                    "",
+                    op.operator,
+                    op.estimated_rows,
+                    op.rows,
+                    op.batches,
+                    op.time_us,
+                    indent = i
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "(returned {} rows in {}us)",
+            self.rows, self.elapsed_us
+        ));
+        s
+    }
+}
+
+/// Executes a read-only query with per-operator instrumentation and
+/// returns the result table alongside its [`QueryProfile`].
+///
+/// The result rows are **bit-identical** to [`execute_read`] under the
+/// same configuration: profiling reuses the planner and the pipeline
+/// executor verbatim (it only wraps operators in measuring shims) and
+/// bypasses the fused-projection fast path, whose own contract is
+/// result-equality with the classic path.
+pub fn profile_read<'a>(
+    view: impl Into<ViewRef<'a>>,
+    q: &Query,
+    params: &Params,
+    cfg: &EngineConfig,
+) -> Result<(Table, QueryProfile), EvalError> {
+    let view = view.into();
+    let t0 = std::time::Instant::now();
+    let mut clauses: Vec<ClauseProfile> = Vec::new();
+    let mut branch = 0usize;
+    let t = exec_query_read(view, q, params, cfg, None, &mut branch, Some(&mut clauses))?;
+    let rows = t.len() as u64;
+    Ok((
+        t,
+        QueryProfile {
+            clauses,
+            rows,
+            elapsed_us: t0.elapsed().as_micros() as u64,
+        },
+    ))
 }
 
 /// Executes a read-only query against a frozen snapshot. Updating
@@ -430,9 +612,10 @@ pub fn execute_read_cached<'a>(
     memo: Option<&PlanMemo>,
 ) -> Result<Table, EvalError> {
     let mut branch = 0usize;
-    exec_query_read(view.into(), q, params, cfg, memo, &mut branch)
+    exec_query_read(view.into(), q, params, cfg, memo, &mut branch, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_query_read(
     view: ViewRef<'_>,
     q: &Query,
@@ -440,16 +623,25 @@ fn exec_query_read(
     cfg: &EngineConfig,
     memo: Option<&PlanMemo>,
     branch: &mut usize,
+    mut profile: Option<&mut Vec<ClauseProfile>>,
 ) -> Result<Table, EvalError> {
     match q {
         Query::Single(sq) => {
             let b = *branch;
             *branch += 1;
-            exec_single_read(view, sq, params, cfg, Table::unit(), memo, b)
+            exec_single_read(view, sq, params, cfg, Table::unit(), memo, b, profile)
         }
         Query::Union { all, left, right } => {
-            let l = exec_query_read(view, left, params, cfg, memo, branch)?;
-            let r = exec_query_read(view, right, params, cfg, memo, branch)?;
+            let l = exec_query_read(
+                view,
+                left,
+                params,
+                cfg,
+                memo,
+                branch,
+                profile.as_deref_mut(),
+            )?;
+            let r = exec_query_read(view, right, params, cfg, memo, branch, profile)?;
             union_tables(l, r, *all)
         }
     }
@@ -546,6 +738,7 @@ fn table_names(t: &Table) -> &[String] {
     t.schema().names()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_single_read(
     view: ViewRef<'_>,
     sq: &SingleQuery,
@@ -554,13 +747,16 @@ fn exec_single_read(
     mut t: Table,
     memo: Option<&PlanMemo>,
     branch: usize,
+    mut profile: Option<&mut Vec<ClauseProfile>>,
 ) -> Result<Table, EvalError> {
     for (i, clause) in sq.clauses.iter().enumerate() {
         let site = memo.map(|m| (m, (branch, i)));
         // The final MATCH of an aggregating / DISTINCT / top-k query is
         // fused with the RETURN: workers fold partial states instead of
-        // materializing the match output.
-        if i + 1 == sq.clauses.len() {
+        // materializing the match output. Profiling instruments the
+        // classic pipeline, so it skips the fusion (the fused path's own
+        // contract is result-equality with the classic one).
+        if i + 1 == sq.clauses.len() && profile.is_none() {
             if let (
                 Clause::Match {
                     optional: false,
@@ -601,6 +797,7 @@ fn exec_single_read(
                 *optional,
                 t,
                 site,
+                profile.as_deref_mut(),
             )?,
             Clause::With { ret, where_ } => {
                 let ctx = EvalContext::new(view.graph(), params).with_config(cfg.match_config);
@@ -675,6 +872,7 @@ fn exec_single(
                 *optional,
                 t,
                 site,
+                None,
             )?,
             Clause::With { ret, where_ } => {
                 let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
@@ -750,10 +948,55 @@ pub fn exec_match<'a>(
         optional,
         table,
         None,
+        None,
     )
 }
 
-/// [`exec_match`] with an optional plan-memo site.
+/// Builds the profiled view of one executed `MATCH` pipeline: plan-step
+/// text + cost-model estimate + the measured actuals. Operator timings
+/// from the shims are *inclusive* (each wraps everything beneath it);
+/// the exclusive time reported here subtracts the operator immediately
+/// below — except the pipeline's own source, whose measurement is
+/// direct (the parallel path times morsel-table construction itself, and
+/// the step above it wraps only the unmeasured table re-scan).
+fn clause_profile(
+    label: &str,
+    steps: &[PlanStep],
+    plan: &crate::plan::MatchPlan,
+    prof: crate::ops::PlanProfile,
+) -> ClauseProfile {
+    let mut operators = Vec::with_capacity(prof.steps.len());
+    for (i, st) in prof.steps.iter().enumerate() {
+        let nested = if i == 0 || (prof.parallel && i == 1) {
+            0
+        } else {
+            prof.steps[i - 1].nanos
+        };
+        // The appended WHERE filter has no planner entry; its estimate
+        // is the plan's final cardinality.
+        let est = plan
+            .step_estimates
+            .get(i)
+            .copied()
+            .unwrap_or(plan.estimated_rows);
+        operators.push(OpProfile {
+            operator: steps[i].to_string(),
+            estimated_rows: est,
+            rows: st.rows,
+            batches: st.batches,
+            time_us: st.nanos.saturating_sub(nested) / 1_000,
+        });
+    }
+    ClauseProfile {
+        label: label.to_string(),
+        operators,
+        morsels: prof.morsels,
+        parallel: prof.parallel,
+    }
+}
+
+/// [`exec_match`] with an optional plan-memo site and an optional
+/// profile sink (per-operator instrumentation).
 #[allow(clippy::too_many_arguments)]
 fn exec_match_memo(
     view: ViewRef<'_>,
@@ -764,11 +1007,23 @@ fn exec_match_memo(
     optional: bool,
     table: Table,
     memo: Option<(&PlanMemo, MemoSite)>,
+    profile: Option<&mut Vec<ClauseProfile>>,
 ) -> Result<Table, EvalError> {
     let graph = view.graph();
+    let label = if optional { "OPTIONAL MATCH" } else { "MATCH" };
     // Node isomorphism needs global node tracking that the pipeline does
     // not model; delegate to the reference matcher (documented fallback).
     if cfg.match_config.morphism == Morphism::NodeIsomorphism {
+        if let Some(prof_out) = profile {
+            // No operator pipeline to instrument; record the clause so
+            // the profile still mirrors the query's shape.
+            prof_out.push(ClauseProfile {
+                label: label.to_string(),
+                operators: Vec::new(),
+                morsels: 0,
+                parallel: false,
+            });
+        }
         let ctx = EvalContext::new(graph, params).with_config(cfg.match_config);
         return if optional {
             cypher_core::clauses::apply_optional_match(&ctx, patterns, where_, table)
@@ -795,7 +1050,20 @@ fn exec_match_memo(
             steps.push(PlanStep::FilterExpr { pred: p.clone() });
         }
         let driving: Vec<String> = table.schema().names().to_vec();
-        let raw = run_plan(&ctx, &steps, table, cfg.exec_options())?;
+        let raw = match profile {
+            Some(prof_out) => {
+                let (raw, pp) = run_plan_profiled(&ctx, &steps, table, cfg.exec_options())?;
+                prof_out.push(clause_profile(label, &steps, &planned.plan, pp));
+                raw
+            }
+            None => run_plan(
+                &ctx,
+                &steps,
+                table,
+                cfg.exec_options(),
+                cfg.exec_metrics.as_deref(),
+            )?,
+        };
         return Ok(project_visible(raw, &driving, &planned.new_vars));
     }
 
@@ -822,7 +1090,20 @@ fn exec_match_memo(
     if let Some(p) = where_ {
         steps.push(PlanStep::FilterExpr { pred: p.clone() });
     }
-    let raw = run_plan(&ctx, &steps, tagged, cfg.exec_options())?;
+    let raw = match profile {
+        Some(prof_out) => {
+            let (raw, pp) = run_plan_profiled(&ctx, &steps, tagged, cfg.exec_options())?;
+            prof_out.push(clause_profile(label, &steps, &planned.plan, pp));
+            raw
+        }
+        None => run_plan(
+            &ctx,
+            &steps,
+            tagged,
+            cfg.exec_options(),
+            cfg.exec_metrics.as_deref(),
+        )?,
+    };
 
     // Group pipeline outputs by input index.
     let idx_pos = raw.schema().index_of(&idx_col).expect("hidden idx kept");
@@ -1283,6 +1564,8 @@ mod tests {
                 ("CYPHER_PARTIAL_AGG", "force"),
                 ("CYPHER_GROUP_COMMIT", "off"),
                 ("CYPHER_FSYNC_MODE", "pipelined"),
+                ("CYPHER_SLOW_QUERY_MS", "250"),
+                ("CYPHER_METRICS", "off"),
             ]),
             &no_paths,
         );
@@ -1294,6 +1577,8 @@ mod tests {
         assert_eq!(d.partial_agg, PartialAggMode::Force);
         assert!(!d.group_commit);
         assert_eq!(d.fsync_mode, FsyncMode::Pipelined);
+        assert_eq!(d.slow_query_ms, Some(250));
+        assert!(!d.metrics_enabled);
 
         // Unset and empty silently keep defaults.
         let d = parse_env_defaults(&env(&[("CYPHER_MORSEL_SIZE", "")]), &no_paths);
@@ -1310,6 +1595,8 @@ mod tests {
                 ("CYPHER_PARTIAL_AGG", "sometimes"),
                 ("CYPHER_GROUP_COMMIT", "maybe"),
                 ("CYPHER_FSYNC_MODE", "eventually"),
+                ("CYPHER_SLOW_QUERY_MS", "soon"),
+                ("CYPHER_METRICS", "perhaps"),
             ]),
             &no_paths,
         );
@@ -1319,6 +1606,8 @@ mod tests {
         assert_eq!(d.partial_agg, PartialAggMode::Auto);
         assert!(d.group_commit, "malformed override keeps the default");
         assert_eq!(d.fsync_mode, FsyncMode::Os);
+        assert_eq!(d.slow_query_ms, None);
+        assert!(d.metrics_enabled, "malformed override keeps the default");
         let vars: Vec<&str> = d.issues.iter().map(|i| i.var).collect();
         assert_eq!(
             vars,
@@ -1328,7 +1617,9 @@ mod tests {
                 "CYPHER_WAL_COMPACT_BYTES",
                 "CYPHER_PARTIAL_AGG",
                 "CYPHER_GROUP_COMMIT",
-                "CYPHER_FSYNC_MODE"
+                "CYPHER_FSYNC_MODE",
+                "CYPHER_SLOW_QUERY_MS",
+                "CYPHER_METRICS"
             ]
         );
         let morsel = &d.issues[0];

@@ -65,9 +65,10 @@ pub mod update;
 pub use cache::{stats_fingerprint, PlanMemo};
 pub use exec::{
     env_config_issues, execute, execute_cached, execute_read, execute_read_cached, explain,
-    EngineConfig, EnvConfigIssue, FsyncMode, PartialAggMode,
+    profile_read, ClauseProfile, EngineConfig, EnvConfigIssue, FsyncMode, OpProfile,
+    PartialAggMode, QueryProfile,
 };
 pub use multigraph::{execute_on_catalog, MultiResult};
-pub use ops::{ExecOptions, RowBatch, DEFAULT_MORSEL_SIZE};
+pub use ops::{ExecMetrics, ExecOptions, OpStats, PlanProfile, RowBatch, DEFAULT_MORSEL_SIZE};
 pub use plan::{MatchPlan, PlanStep};
 pub use planner::{plan_match, PlannerMode, PlannerOptions};

@@ -28,6 +28,9 @@ use cypher_core::morphism::Morphism;
 use cypher_core::table::{Record, Schema, Table};
 use cypher_core::EvalContext;
 use cypher_graph::{Direction, NodeId, Path, RelId, Symbol, Tri, Value};
+use cypher_metrics::Counter;
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -111,6 +114,88 @@ impl Default for ExecOptions {
     }
 }
 
+/// Executor-level event counters, shared through
+/// [`crate::exec::EngineConfig::exec_metrics`]. Recording is lock-free
+/// (relaxed atomics) and happens once per pipeline run — never per row
+/// or per batch — so the hot path stays untouched; a `None` handle
+/// skips even that.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Morsels executed by `MATCH` pipelines (a sequential run counts 1).
+    pub morsels: Counter,
+    /// Rows produced by `MATCH` pipelines (pre-projection).
+    pub rows: Counter,
+    /// Pipeline runs that engaged the parallel morsel dispatcher.
+    pub parallel_runs: Counter,
+}
+
+/// Measured totals of one plan step across a profiled run: every batch
+/// the operator emitted, every row in those batches, and the wall time
+/// spent inside its `next_batch` (inclusive of its children — the
+/// pipeline is linear, so callers recover exclusive time by subtracting
+/// the child's total).
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    /// Rows the operator emitted.
+    pub rows: u64,
+    /// Non-empty batches the operator emitted.
+    pub batches: u64,
+    /// Wall nanoseconds inside `next_batch`, children included. Parallel
+    /// runs sum the per-worker times (CPU-style, not elapsed).
+    pub nanos: u64,
+}
+
+impl OpStats {
+    fn merge(&mut self, other: &OpStats) {
+        self.rows += other.rows;
+        self.batches += other.batches;
+        self.nanos += other.nanos;
+    }
+}
+
+/// The measured execution of one plan, from [`run_plan_profiled`]:
+/// per-step totals (indexed like the step slice) aggregated across all
+/// morsels in claim-index order, plus the dispatch shape.
+#[derive(Clone, Debug, Default)]
+pub struct PlanProfile {
+    /// Per-step totals, one entry per plan step.
+    pub steps: Vec<OpStats>,
+    /// Morsels executed (1 for a sequential run).
+    pub morsels: u64,
+    /// Whether the parallel dispatcher engaged.
+    pub parallel: bool,
+}
+
+/// Wraps a pipeline operator with per-morsel measurement. The counters
+/// are plain (non-atomic) cells private to the morsel's thread; workers
+/// never share a slot, so profiling adds no synchronization to the
+/// pipeline itself.
+struct ProfiledOp<'a> {
+    inner: Box<dyn Operator + 'a>,
+    slot: Rc<RefCell<Vec<OpStats>>>,
+    idx: usize,
+}
+
+impl Operator for ProfiledOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, EvalError> {
+        let t = std::time::Instant::now();
+        let res = self.inner.next_batch();
+        let nanos = t.elapsed().as_nanos() as u64;
+        let mut stats = self.slot.borrow_mut();
+        let s = &mut stats[self.idx];
+        s.nanos += nanos;
+        if let Ok(Some(b)) = &res {
+            s.rows += b.len() as u64;
+            s.batches += 1;
+        }
+        res
+    }
+}
+
 /// Drains an operator into a materialized table.
 pub fn run_to_table(mut op: Box<dyn Operator + '_>) -> Result<Table, EvalError> {
     let schema = op.schema().clone();
@@ -140,6 +225,7 @@ pub fn run_plan<'a>(
     steps: &[PlanStep],
     input: Table,
     opts: ExecOptions,
+    metrics: Option<&ExecMetrics>,
 ) -> Result<Table, EvalError> {
     let morsel = opts.morsel_size.max(1);
     if opts.num_threads > 1 && steps.first().is_some_and(|s| s.is_source()) {
@@ -162,15 +248,198 @@ pub fn run_plan<'a>(
                 opts.num_threads,
             );
             match run {
-                Ok(t) => return Ok(t),
+                Ok(t) => {
+                    if let Some(m) = metrics {
+                        m.morsels.add(total.div_ceil(morsel) as u64);
+                        m.rows.add(t.len() as u64);
+                        m.parallel_runs.inc();
+                    }
+                    return Ok(t);
+                }
                 Err(_) => { /* canonical error from the sequential re-run */ }
             }
         }
         let pipeline = build_prepared(ctx, steps, &prepared, input, morsel)?;
-        return run_to_table(pipeline);
+        let t = run_to_table(pipeline)?;
+        if let Some(m) = metrics {
+            m.morsels.inc();
+            m.rows.add(t.len() as u64);
+        }
+        return Ok(t);
     }
     let pipeline = build_pipeline(ctx, steps, input, morsel)?;
-    run_to_table(pipeline)
+    let t = run_to_table(pipeline)?;
+    if let Some(m) = metrics {
+        m.morsels.inc();
+        m.rows.add(t.len() as u64);
+    }
+    Ok(t)
+}
+
+/// [`run_plan`] with per-operator instrumentation: the same dispatch
+/// decisions and the same output rows, but every operator is wrapped in
+/// a measuring shim and the per-morsel measurements are merged — in
+/// claim-index order, like the rows — into one [`PlanProfile`].
+///
+/// The counters each morsel writes are plain thread-local cells, not
+/// atomics: profiling costs one `Instant::now()` pair per batch and
+/// nothing at all when this entry point is not used.
+pub fn run_plan_profiled<'a>(
+    ctx: &'a EvalContext<'a>,
+    steps: &[PlanStep],
+    input: Table,
+    opts: ExecOptions,
+) -> Result<(Table, PlanProfile), EvalError> {
+    let morsel = opts.morsel_size.max(1);
+    if opts.num_threads > 1 && steps.first().is_some_and(|s| s.is_source()) {
+        let prepared = prepare_sources(ctx, steps)?;
+        let (var, items) = prepared[0].as_ref().expect("is_source");
+        let total = input.len().saturating_mul(items.len());
+        if total > morsel {
+            match run_parallel_profiled(
+                ctx,
+                steps,
+                &prepared,
+                &input,
+                var,
+                items,
+                morsel,
+                opts.num_threads,
+            ) {
+                Ok(r) => return Ok(r),
+                Err(_) => { /* canonical error from the sequential re-run */ }
+            }
+        }
+        return run_sequential_profiled(ctx, steps, &prepared, input, morsel);
+    }
+    let prepared = prepare_sources(ctx, steps)?;
+    run_sequential_profiled(ctx, steps, &prepared, input, morsel)
+}
+
+/// One profiled pipeline over the whole input on the calling thread.
+fn run_sequential_profiled<'a>(
+    ctx: &'a EvalContext<'a>,
+    steps: &[PlanStep],
+    prepared: &[PreparedSource],
+    input: Table,
+    morsel: usize,
+) -> Result<(Table, PlanProfile), EvalError> {
+    let slot = Rc::new(RefCell::new(vec![OpStats::default(); steps.len()]));
+    let pipeline = build_profiled(ctx, steps, prepared, input, morsel, &slot, 0)?;
+    let t = run_to_table(pipeline)?;
+    let stats = slot.borrow().clone();
+    Ok((
+        t,
+        PlanProfile {
+            steps: stats,
+            morsels: 1,
+            parallel: false,
+        },
+    ))
+}
+
+/// The profiled mirror of [`run_parallel`]: each worker measures its own
+/// morsels into private cells; per-morsel profiles are summed in
+/// claim-index order alongside the row merge. `steps` still includes the
+/// source step (index 0); the source's work — reconstructing the
+/// morsel's rows — is measured directly and attributed to it.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_profiled<'a>(
+    ctx: &'a EvalContext<'a>,
+    steps: &[PlanStep],
+    prepared: &[PreparedSource],
+    driving: &Table,
+    var: &str,
+    items: &[Value],
+    morsel: usize,
+    threads: usize,
+) -> Result<(Table, PlanProfile), EvalError> {
+    let rest = &steps[1..];
+    let rest_sources = &prepared[1..];
+    let total = driving.len() * items.len();
+    let n_morsels = total.div_ceil(morsel);
+    let src_schema = driving.schema().with_field(var.to_string());
+
+    let slots = parallel_morsels(threads, n_morsels, |i| {
+        let lo = i * morsel;
+        let hi = ((i + 1) * morsel).min(total);
+        let per_row = items.len();
+        let t0 = std::time::Instant::now();
+        let mut t = Table::empty(src_schema.clone());
+        for idx in lo..hi {
+            let mut r = driving.rows()[idx / per_row].cloned_with_extra(1);
+            r.push(items[idx % per_row].clone());
+            t.push(r);
+        }
+        let src_nanos = t0.elapsed().as_nanos() as u64;
+        let slot = Rc::new(RefCell::new(vec![OpStats::default(); steps.len()]));
+        {
+            let mut s = slot.borrow_mut();
+            s[0] = OpStats {
+                rows: (hi - lo) as u64,
+                batches: 1,
+                nanos: src_nanos,
+            };
+        }
+        let pipeline = build_profiled(ctx, rest, rest_sources, t, morsel, &slot, 1)?;
+        let out = run_to_table(pipeline)?;
+        let stats = slot.borrow().clone();
+        Ok((out, stats))
+    })?;
+
+    let mut out: Option<Table> = None;
+    let mut stats = vec![OpStats::default(); steps.len()];
+    for slot in slots {
+        let Some((t, part)) = slot else { continue };
+        for (acc, s) in stats.iter_mut().zip(&part) {
+            acc.merge(s);
+        }
+        match &mut out {
+            None => out = Some(t),
+            Some(acc) => {
+                for r in t.into_rows() {
+                    acc.push(r);
+                }
+            }
+        }
+    }
+    match out {
+        Some(t) => Ok((
+            t,
+            PlanProfile {
+                steps: stats,
+                morsels: n_morsels as u64,
+                parallel: true,
+            },
+        )),
+        // total > morsel ≥ 1 guarantees at least one morsel ran.
+        None => unreachable!("parallel run with zero morsels"),
+    }
+}
+
+/// [`build_prepared`] with a measuring shim around every attached step.
+/// Step `i` accumulates into `slot[base + i]` (`base` skips entries the
+/// caller fills directly, e.g. the parallel path's source step).
+fn build_profiled<'a>(
+    ctx: &'a EvalContext<'a>,
+    steps: &[PlanStep],
+    prepared: &[PreparedSource],
+    input: Table,
+    morsel_size: usize,
+    slot: &Rc<RefCell<Vec<OpStats>>>,
+    base: usize,
+) -> Result<Box<dyn Operator + 'a>, EvalError> {
+    let cap = morsel_size.max(1);
+    let mut op: Box<dyn Operator + 'a> = Box::new(TableScan::new(input, cap));
+    for (i, (step, prep)) in steps.iter().zip(prepared).enumerate() {
+        op = attach(ctx, step, prep, op, cap)?;
+        op = Box::new(ProfiledOp {
+            inner: op,
+            slot: Rc::clone(slot),
+            idx: base + i,
+        });
+    }
+    Ok(op)
 }
 
 /// The generic morsel dispatcher behind [`run_plan`] and the

@@ -187,6 +187,11 @@ pub struct MatchPlan {
     pub steps: Vec<PlanStep>,
     /// Estimated output cardinality (cost-model output, for EXPLAIN).
     pub estimated_rows: f64,
+    /// The cost model's running estimate *after* each step — one entry
+    /// per step, printed on the step's EXPLAIN line and compared against
+    /// actual counts by PROFILE. Empty for hand-built plans; `Display`
+    /// then omits the per-line annotation.
+    pub step_estimates: Vec<f64>,
 }
 
 impl fmt::Display for PlanStep {
@@ -256,7 +261,10 @@ impl fmt::Display for PlanStep {
 impl fmt::Display for MatchPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, s) in self.steps.iter().enumerate() {
-            writeln!(f, "{:indent$}{s}", "", indent = i)?;
+            match self.step_estimates.get(i) {
+                Some(e) => writeln!(f, "{:indent$}{s}  (est rows: {e:.1})", "", indent = i)?,
+                None => writeln!(f, "{:indent$}{s}", "", indent = i)?,
+            }
         }
         write!(f, "(estimated rows: {:.1})", self.estimated_rows)
     }

@@ -102,6 +102,7 @@ struct PlanCtx<'a> {
     opts: PlannerOptions,
     bound: Vec<String>,
     steps: Vec<PlanStep>,
+    step_est: Vec<f64>,
     rel_cols: Vec<String>,
     anon_counter: usize,
     est_rows: f64,
@@ -117,6 +118,14 @@ struct SeekChoice {
 }
 
 impl PlanCtx<'_> {
+    /// Appends a step and records the cost model's running estimate at
+    /// that point — callers multiply `est_rows` *before* emitting, so
+    /// each step's recorded value is its own estimated output.
+    fn emit(&mut self, step: PlanStep) {
+        self.steps.push(step);
+        self.step_est.push(self.est_rows);
+    }
+
     fn is_bound(&self, name: &str) -> bool {
         self.bound.iter().any(|b| b == name)
     }
@@ -263,6 +272,7 @@ pub fn plan_match<'a>(
         opts,
         bound: driving_fields.to_vec(),
         steps: Vec::new(),
+        step_est: Vec::new(),
         rel_cols: Vec::new(),
         anon_counter: 0,
         est_rows: 1.0,
@@ -288,6 +298,7 @@ pub fn plan_match<'a>(
         plan: MatchPlan {
             steps: ctx.steps,
             estimated_rows: ctx.est_rows,
+            step_estimates: ctx.step_est,
         },
         new_vars,
     }
@@ -314,7 +325,7 @@ fn path_columns(ctx: &mut PlanCtx<'_>, pat: &PathPattern) -> (Vec<String>, Vec<S
 /// filters.
 fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
     if ctx.is_bound(col) {
-        ctx.steps.push(PlanStep::Argument { var: col.into() });
+        ctx.emit(PlanStep::Argument { var: col.into() });
         emit_node_filters(ctx, col, chi, None);
         return;
     }
@@ -322,13 +333,13 @@ fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
     // (label, key, value) index when a label is present.
     if let Some(seek) = ctx.best_seek(chi) {
         let scanned_label = seek.label.clone();
-        ctx.steps.push(PlanStep::PropertyIndexSeek {
+        ctx.est_rows *= seek.est.max(1.0);
+        ctx.emit(PlanStep::PropertyIndexSeek {
             var: col.into(),
             label: seek.label,
             key: seek.key,
             value: seek.value,
         });
-        ctx.est_rows *= seek.est.max(1.0);
         ctx.bind(col);
         // Labels not covered by the composite seek and all property
         // conditions still apply; the re-checked key is cheap and keeps
@@ -338,8 +349,8 @@ fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
         return;
     }
     if chi.labels.is_empty() || !ctx.opts.use_label_index {
-        ctx.steps.push(PlanStep::AllNodesScan { var: col.into() });
         ctx.est_rows *= ctx.graph.node_count() as f64;
+        ctx.emit(PlanStep::AllNodesScan { var: col.into() });
         ctx.bind(col);
         emit_node_filters(ctx, col, chi, None);
     } else {
@@ -351,7 +362,7 @@ fn emit_start(ctx: &mut PlanCtx<'_>, col: &str, chi: &NodePattern) {
             .unwrap()
             .clone();
         ctx.est_rows *= ctx.label_cardinality(&best).max(1) as f64;
-        ctx.steps.push(PlanStep::NodeIndexScan {
+        ctx.emit(PlanStep::NodeIndexScan {
             var: col.into(),
             label: best.clone(),
         });
@@ -375,13 +386,13 @@ fn emit_node_filters(
         .cloned()
         .collect();
     if !labels.is_empty() {
-        ctx.steps.push(PlanStep::FilterLabels {
+        ctx.emit(PlanStep::FilterLabels {
             var: col.into(),
             labels,
         });
     }
     if !chi.props.is_empty() {
-        ctx.steps.push(PlanStep::FilterProps {
+        ctx.emit(PlanStep::FilterProps {
             var: col.into(),
             props: chi.props.clone(),
         });
@@ -410,7 +421,8 @@ fn emit_expand(
         rho.dir
     };
     let (lo, hi) = rho.range.bounds();
-    ctx.steps.push(PlanStep::Expand {
+    ctx.est_rows *= ctx.expand_factor(rho).max(0.1);
+    ctx.emit(PlanStep::Expand {
         from: from_col.into(),
         rel: rel_col.into(),
         to: to_col.into(),
@@ -427,7 +439,6 @@ fn emit_expand(
             rho.props.clone()
         },
     });
-    ctx.est_rows *= ctx.expand_factor(rho).max(0.1);
     ctx.rel_cols.push(rel_col.to_string());
     ctx.bind(rel_col);
     let newly_bound_to = !ctx.is_bound(to_col);
@@ -442,7 +453,7 @@ fn emit_expand(
     // Relationship property conditions apply per traversed hop and are
     // evaluated inside the Expand operator via FilterProps on single hops.
     if !rho.props.is_empty() && rho.range.is_single() {
-        ctx.steps.push(PlanStep::FilterProps {
+        ctx.emit(PlanStep::FilterProps {
             var: rel_col.into(),
             props: rho.props.clone(),
         });
@@ -514,13 +525,13 @@ fn plan_path_cartesian(ctx: &mut PlanCtx<'_>, pat: &PathPattern) {
     for (i, rho) in rel_pats.iter().enumerate() {
         let rel_col = &rel_cols[i];
         if !ctx.is_bound(rel_col) {
-            ctx.steps.push(PlanStep::RelScan {
+            ctx.est_rows *= ctx.graph.rel_count().max(1) as f64;
+            ctx.emit(PlanStep::RelScan {
                 var: rel_col.clone(),
             });
-            ctx.est_rows *= ctx.graph.rel_count().max(1) as f64;
             ctx.bind(rel_col);
         }
-        ctx.steps.push(PlanStep::FilterEndpoints {
+        ctx.emit(PlanStep::FilterEndpoints {
             rel: rel_col.clone(),
             from: node_cols[i].clone(),
             to: node_cols[i + 1].clone(),
@@ -530,7 +541,7 @@ fn plan_path_cartesian(ctx: &mut PlanCtx<'_>, pat: &PathPattern) {
         });
         ctx.rel_cols.push(rel_col.clone());
         if !rho.props.is_empty() {
-            ctx.steps.push(PlanStep::FilterProps {
+            ctx.emit(PlanStep::FilterProps {
                 var: rel_col.clone(),
                 props: rho.props.clone(),
             });
@@ -556,7 +567,7 @@ fn emit_path_bind(
         }
         elements.push(PathElem::Node(node_cols[i + 1].clone()));
     }
-    ctx.steps.push(PlanStep::PathBind {
+    ctx.emit(PlanStep::PathBind {
         var: path_name.clone(),
         elements,
     });

@@ -130,6 +130,19 @@ struct ServerShared {
     pinned: AtomicUsize,
     requests: AtomicU64,
     conn_seq: AtomicU64,
+    /// Requests by type: `Query`, `Prepare`, `Execute`, everything else
+    /// (control traffic: pings, stats, transaction brackets, goodbyes).
+    requests_query: AtomicU64,
+    requests_prepare: AtomicU64,
+    requests_execute: AtomicU64,
+    requests_control: AtomicU64,
+    /// Frame payload bytes received from / sent to clients (framing
+    /// overhead excluded).
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    /// Broken frames and malformed messages rejected by the total
+    /// decoder.
+    frame_errors: AtomicU64,
     /// Duplicate handles of every live connection's stream, so shutdown
     /// can force blocked reads to return.
     open_streams: Mutex<HashMap<u64, TcpStream>>,
@@ -147,6 +160,81 @@ impl ServerShared {
             plan_misses: plan.misses,
             plan_invalidations: plan.invalidations,
             plan_evictions: plan.evictions,
+        }
+    }
+
+    /// The full metrics page: the database's own exposition plus the
+    /// server-level instruments appended, so one request observes every
+    /// layer.
+    fn metrics(&self) -> Response {
+        use cypher::metrics::{fmt_counter, fmt_gauge};
+        let snap = self.db.metrics_snapshot();
+        let mut text = snap.text;
+        fmt_gauge(
+            &mut text,
+            "cypher_server_connections",
+            "connections currently served",
+            self.connections.load(Ordering::Relaxed) as i64,
+        );
+        fmt_gauge(
+            &mut text,
+            "cypher_server_pinned_connections",
+            "connections inside a pinned read transaction",
+            self.pinned.load(Ordering::Relaxed) as i64,
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_requests_total",
+            "requests answered over the server's lifetime",
+            self.requests.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_requests_query_total",
+            "Query requests",
+            self.requests_query.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_requests_prepare_total",
+            "Prepare requests",
+            self.requests_prepare.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_requests_execute_total",
+            "Execute requests",
+            self.requests_execute.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_requests_control_total",
+            "control requests (ping/stats/metrics/transactions/goodbye)",
+            self.requests_control.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_bytes_in_total",
+            "request payload bytes received",
+            self.bytes_in.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_bytes_out_total",
+            "response payload bytes sent",
+            self.bytes_out.load(Ordering::Relaxed),
+        );
+        fmt_counter(
+            &mut text,
+            "cypher_server_frame_errors_total",
+            "broken frames and malformed messages rejected",
+            self.frame_errors.load(Ordering::Relaxed),
+        );
+        Response::Metrics {
+            uptime_ms: snap.uptime_ms,
+            version: snap.version,
+            wal_generation: snap.wal_generation,
+            text,
         }
     }
 }
@@ -173,6 +261,13 @@ impl Server {
             pinned: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
+            requests_query: AtomicU64::new(0),
+            requests_prepare: AtomicU64::new(0),
+            requests_execute: AtomicU64::new(0),
+            requests_control: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
             open_streams: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -326,6 +421,13 @@ struct ConnState {
     statements: HashMap<u32, Arc<str>>,
     next_statement: u32,
     pinned: bool,
+    /// Connection id and per-connection request sequence, combined into
+    /// the trace id `(conn_id << 32) | req_seq` stamped on every
+    /// statement this connection runs — the same id the slow-query log
+    /// and the WAL seal witness report, so one grep correlates a wire
+    /// request with its durability record.
+    conn_id: u64,
+    req_seq: u64,
 }
 
 /// Gauge/registry cleanup that must run however the connection ends —
@@ -376,6 +478,8 @@ fn serve_connection(shared: Arc<ServerShared>, mut stream: TcpStream, conn_id: u
         statements: HashMap::new(),
         next_statement: 1,
         pinned: false,
+        conn_id,
+        req_seq: 0,
     });
     let state = guard.state.as_mut().expect("state was just installed");
     loop {
@@ -385,6 +489,7 @@ fn serve_connection(shared: Arc<ServerShared>, mut stream: TcpStream, conn_id: u
             Err(e) => {
                 // Framing can no longer be trusted: answer once (best
                 // effort) and drop the connection.
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: e.to_string(),
@@ -398,18 +503,32 @@ fn serve_connection(shared: Arc<ServerShared>, mut stream: TcpStream, conn_id: u
             return;
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .bytes_in
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        state.req_seq += 1;
         let (resp, goodbye) = match Request::decode(&payload) {
-            Err(e) => (
+            Err(e) => {
                 // The frame was intact (length + CRC), only the message
                 // inside was malformed: answer and keep serving.
-                Response::Error {
-                    code: ErrorCode::Protocol,
-                    message: e.to_string(),
-                },
-                false,
-            ),
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                    false,
+                )
+            }
             Ok(req) => {
                 let goodbye = matches!(req, Request::Goodbye);
+                match &req {
+                    Request::Query { .. } => &shared.requests_query,
+                    Request::Prepare { .. } => &shared.requests_prepare,
+                    Request::Execute { .. } => &shared.requests_execute,
+                    _ => &shared.requests_control,
+                }
+                .fetch_add(1, Ordering::Relaxed);
                 let resp = catch_unwind(AssertUnwindSafe(|| handle_request(&shared, state, req)))
                     .unwrap_or_else(|panic| Response::Error {
                         code: ErrorCode::Internal,
@@ -418,7 +537,11 @@ fn serve_connection(shared: Arc<ServerShared>, mut stream: TcpStream, conn_id: u
                 (resp, goodbye)
             }
         };
-        if write_frame(&mut writer, &resp.encode()).is_err() || writer.flush().is_err() {
+        let encoded = resp.encode();
+        shared
+            .bytes_out
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        if write_frame(&mut writer, &encoded).is_err() || writer.flush().is_err() {
             return;
         }
         if goodbye {
@@ -501,6 +624,7 @@ fn handle_request(shared: &ServerShared, state: &mut ConnState, req: Request) ->
         }
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(shared.stats()),
+        Request::Metrics => shared.metrics(),
         Request::Goodbye => Response::Bye,
     }
 }
@@ -517,7 +641,8 @@ fn run_statement(
     if text == "__CYPHER_TEST_PANIC__" && std::env::var_os("CYPHER_TEST_FAULTS").is_some() {
         panic!("injected test panic");
     }
-    match state.session.query(text, params) {
+    let trace = (state.conn_id << 32) | (state.req_seq & 0xffff_ffff);
+    match state.session.query_traced(text, params, trace) {
         Ok(table) => Response::Rows {
             committed: state.session.last_commit_version(),
             table,

@@ -122,6 +122,10 @@ pub enum Request {
     Stats,
     /// Graceful goodbye; the server answers `Bye` and closes.
     Goodbye,
+    /// Ask for the full metrics page ([`Response::Metrics`]): identity
+    /// fields plus the Prometheus-style text exposition of every layer's
+    /// instruments.
+    Metrics,
 }
 
 /// A server→client message.
@@ -164,6 +168,20 @@ pub enum Response {
     Stats(ServerStats),
     /// Answer to `Goodbye`; the server closes after sending it.
     Bye,
+    /// Answer to `Metrics`: headline identity fields as typed values,
+    /// everything else as text exposition (new instruments append lines
+    /// — no wire change needed).
+    Metrics {
+        /// Milliseconds since the served database handle was opened.
+        uptime_ms: u64,
+        /// Latest published database version.
+        version: u64,
+        /// Snapshot generation of the store (0 for in-memory).
+        wal_generation: u64,
+        /// Prometheus-style text exposition (database, executor,
+        /// plan-cache, store and server-level instruments).
+        text: String,
+    },
 }
 
 fn put_params(buf: &mut Vec<u8>, params: &Params) {
@@ -281,6 +299,7 @@ impl Request {
             Request::Ping => buf.push(7),
             Request::Stats => buf.push(8),
             Request::Goodbye => buf.push(9),
+            Request::Metrics => buf.push(10),
         }
         buf
     }
@@ -307,6 +326,7 @@ impl Request {
             7 => Request::Ping,
             8 => Request::Stats,
             9 => Request::Goodbye,
+            10 => Request::Metrics,
             t => return Err(WireError::Protocol(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -356,6 +376,18 @@ impl Response {
                 put_u64(&mut buf, s.plan_evictions);
             }
             Response::Bye => buf.push(9),
+            Response::Metrics {
+                uptime_ms,
+                version,
+                wal_generation,
+                text,
+            } => {
+                buf.push(10);
+                put_u64(&mut buf, *uptime_ms);
+                put_u64(&mut buf, *version);
+                put_u64(&mut buf, *wal_generation);
+                put_str(&mut buf, text);
+            }
         }
         buf
     }
@@ -394,6 +426,12 @@ impl Response {
                 plan_evictions: r.u64()?,
             }),
             9 => Response::Bye,
+            10 => Response::Metrics {
+                uptime_ms: r.u64()?,
+                version: r.u64()?,
+                wal_generation: r.u64()?,
+                text: r.str()?.to_string(),
+            },
             t => return Err(WireError::Protocol(format!("unknown response tag {t}"))),
         };
         if !r.is_empty() {
@@ -432,6 +470,7 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Goodbye,
+            Request::Metrics,
         ];
         for req in &reqs {
             let bytes = req.encode();
@@ -474,6 +513,14 @@ mod tests {
                 plan_evictions: 0,
             }),
             Response::Bye,
+            Response::Metrics {
+                uptime_ms: 12_345,
+                version: 7,
+                wal_generation: 2,
+                text: "# TYPE cypher_queries_read_total counter\n\
+                       cypher_queries_read_total 3\n"
+                    .to_string(),
+            },
         ];
         for resp in &resps {
             let bytes = resp.encode();

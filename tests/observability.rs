@@ -1,0 +1,503 @@
+//! End-to-end tests of the observability subsystem: `PROFILE`, the
+//! engine-wide metrics registry, the structured slow-query log, and
+//! their exposition over the wire.
+//!
+//! What must hold:
+//!
+//! * **PROFILE is an observer, not a participant** — a profiled query's
+//!   result table is bit-identical (same row sequence) to the
+//!   unprofiled run of the same statement, across a matrix of
+//!   thread-count × morsel-size configurations;
+//! * **metrics tell the truth** — query/commit/session counters move by
+//!   exactly the amounts the workload implies, histogram counts equal
+//!   the sum of their buckets, and turning metrics off freezes every
+//!   instrument without changing results;
+//! * **the slow-query log fires on its threshold exactly** — threshold
+//!   0 logs every query (with hash, rows, cache-hit, commit version and
+//!   trace id fields filled truthfully), a huge threshold logs none,
+//!   and an unset threshold disables the path entirely;
+//! * **the wire exposes all of it** — a `Metrics` request returns a
+//!   parseable Prometheus-style page whose counters are monotone under
+//!   concurrent load, `PROFILE` over TCP returns structured operator
+//!   rows, and a remote write's trace id is witnessed at the WAL seal.
+
+use cypher::{Database, EngineConfig, Params, SlowQueryEntry, SlowQuerySink, Value};
+use cypher_client::Client;
+use cypher_server::{Server, ServerConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+fn mem_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = None;
+    cfg
+}
+
+/// Seeds a small two-label graph with enough rows for parallel scans to
+/// actually split into morsels.
+fn seed(db: &Database, rows: usize) {
+    let params = Params::new();
+    let mut session = db.session();
+    let mut k = 0usize;
+    while k < rows {
+        let batch = (rows - k).min(200);
+        let stmt = (k..k + batch)
+            .map(|i| format!("(:P {{x: {i}}})-[:R]->(:Q {{y: {}}})", i * 2))
+            .collect::<Vec<_>>()
+            .join(", ");
+        session
+            .query(&format!("CREATE {stmt}"), &params)
+            .expect("seed batch");
+        k += batch;
+    }
+}
+
+const QUERIES: &[&str] = &[
+    "MATCH (p:P) RETURN p.x ORDER BY p.x",
+    "MATCH (p:P) WHERE p.x < 50 RETURN p.x ORDER BY p.x",
+    "MATCH (p:P)-[:R]->(q:Q) RETURN p.x, q.y ORDER BY p.x",
+    "MATCH (p:P) RETURN count(p) AS c, sum(p.x) AS s",
+    "MATCH (p:P)-[:R]->(q) WHERE q.y > 100 RETURN count(q) AS c",
+];
+
+// ---------------------------------------------------------------------
+// PROFILE: bit-identical results, structured output, update refusal.
+// ---------------------------------------------------------------------
+
+/// A profiled query must return exactly the rows of its unprofiled twin
+/// — same multiset, same order — no matter how the executor is
+/// parallelised.
+#[test]
+fn profile_results_bit_identical_across_parallel_configs() {
+    let params = Params::new();
+    for &(threads, morsel) in &[(1usize, 1024usize), (2, 1), (3, 7), (4, 64), (8, 1024)] {
+        let mut cfg = mem_cfg();
+        cfg.num_threads = threads;
+        cfg.morsel_size = morsel;
+        let db = Database::open_with(cfg).expect("open");
+        seed(&db, 300);
+        let mut session = db.session();
+        for q in QUERIES {
+            let plain = session.query(q, &params).expect("plain run");
+            let report = db.profile(q, &params).expect("profiled run");
+            assert!(
+                report.result.ordered_eq(&plain),
+                "threads={threads} morsel={morsel}: profiled rows diverged for {q}"
+            );
+            assert_eq!(report.profile.rows, plain.len() as u64);
+            // The annotated text names at least one operator and the
+            // structured table is one row per operator.
+            assert!(!report.profile.clauses.is_empty());
+            assert!(!report.operators.is_empty());
+            assert_eq!(
+                report.operators.schema().names(),
+                &["clause", "operator", "est_rows", "rows", "batches", "time_us"]
+            );
+        }
+    }
+}
+
+/// `PROFILE` is read-only: an update under it must refuse rather than
+/// commit as a side effect of being observed. The prefix itself is
+/// accepted and stripped by [`Database::profile`].
+#[test]
+fn profile_strips_prefix_and_refuses_updates() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    seed(&db, 20);
+    let params = Params::new();
+    let bare = db.profile("MATCH (p:P) RETURN p.x", &params).expect("bare");
+    let prefixed = db
+        .profile("PROFILE MATCH (p:P) RETURN p.x", &params)
+        .expect("prefixed");
+    assert!(bare.result.ordered_eq(&prefixed.result));
+    let before = db.version();
+    let err = db
+        .profile("CREATE (:Nope)", &params)
+        .map(|r| r.text)
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"), "got: {err}");
+    assert_eq!(db.version(), before, "refused PROFILE must not commit");
+}
+
+/// Through the normal statement path, `PROFILE <q>` answers the
+/// structured per-operator table — that is what a remote client sees.
+#[test]
+fn profile_statement_returns_operator_rows() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    seed(&db, 20);
+    let mut session = db.session();
+    let t = session
+        .query(
+            "PROFILE MATCH (p:P)-[:R]->(q:Q) RETURN p.x, q.y",
+            &Params::new(),
+        )
+        .expect("profile statement");
+    assert_eq!(
+        t.schema().names(),
+        &["clause", "operator", "est_rows", "rows", "batches", "time_us"]
+    );
+    assert!(!t.is_empty());
+}
+
+/// Every `EXPLAIN` plan line of a `MATCH` step carries the planner's
+/// estimated cardinality next to what will actually run.
+#[test]
+fn explain_lines_carry_estimates() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    seed(&db, 50);
+    let mut session = db.session();
+    let t = session
+        .query(
+            "EXPLAIN MATCH (p:P)-[:R]->(q:Q) RETURN p.x, q.y",
+            &Params::new(),
+        )
+        .expect("explain");
+    assert_eq!(t.schema().names(), &["plan"]);
+    let mut step_lines = 0usize;
+    for row in t.rows() {
+        if let Some(line) = row.values().first().and_then(Value::as_str) {
+            if line.contains("(est rows:") {
+                step_lines += 1;
+            }
+        }
+    }
+    assert!(step_lines >= 2, "expected estimates on plan steps: {t:?}");
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry: counters move exactly, histograms stay consistent.
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_counters_track_the_workload_exactly() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    let m = db.metrics();
+    assert!(m.enabled());
+    seed(&db, 40);
+    let params = Params::new();
+    let mut session = db.session();
+
+    let reads0 = m.queries_read.get();
+    let writes0 = m.queries_write.get();
+    let failed0 = m.queries_failed.get();
+    let rows0 = m.rows_returned.get();
+    let lat0 = m.query_latency_us.snapshot().count;
+
+    let t = session
+        .query("MATCH (p:P) RETURN p.x ORDER BY p.x", &params)
+        .expect("read");
+    session
+        .query("CREATE (:P {x: -1})", &params)
+        .expect("write");
+    session.query("RETURN nosuch", &params).unwrap_err();
+
+    // A failed statement still counts as the read (or write) it was,
+    // *plus* one failure — `failed / (read + write)` is the error rate.
+    assert_eq!(m.queries_read.get(), reads0 + 2);
+    assert_eq!(m.queries_write.get(), writes0 + 1);
+    assert_eq!(m.queries_failed.get(), failed0 + 1);
+    // Only the successful read returned rows (`CREATE` returns none).
+    assert_eq!(m.rows_returned.get(), rows0 + t.len() as u64);
+    // Reads, writes and failures all pay one latency observation.
+    let lat = m.query_latency_us.snapshot();
+    assert_eq!(lat.count, lat0 + 3);
+    assert_eq!(lat.count, lat.buckets.iter().sum::<u64>());
+    assert!(m.commit_groups.get() >= 1, "the writes sealed groups");
+
+    // Session gauges: one live session here; a pin moves the pinned
+    // gauge and the pin registry's age witness.
+    assert_eq!(m.sessions_active.get(), 1);
+    assert_eq!(m.sessions_pinned.get(), 0);
+    session.begin_read();
+    assert_eq!(m.sessions_pinned.get(), 1);
+    session.commit();
+    assert_eq!(m.sessions_pinned.get(), 0);
+    drop(session);
+    assert_eq!(m.sessions_active.get(), 0);
+}
+
+/// With `metrics_enabled = false` results are unchanged and every
+/// instrument stays at zero — the off switch is really off.
+#[test]
+fn disabled_metrics_freeze_but_do_not_change_results() {
+    let mut cfg = mem_cfg();
+    cfg.metrics_enabled = false;
+    let db = Database::open_with(cfg).expect("open");
+    seed(&db, 30);
+    let params = Params::new();
+    let mut session = db.session();
+    let on_db = Database::open_with(mem_cfg()).expect("open twin");
+    seed(&on_db, 30);
+    let mut on_session = on_db.session();
+    for q in QUERIES {
+        let off = session.query(q, &params).expect("metrics-off run");
+        let on = on_session.query(q, &params).expect("metrics-on run");
+        assert!(off.ordered_eq(&on), "metrics toggle changed rows for {q}");
+    }
+    let m = db.metrics();
+    assert!(!m.enabled());
+    assert_eq!(m.queries_read.get(), 0);
+    assert_eq!(m.queries_write.get(), 0);
+    assert_eq!(m.query_latency_us.snapshot().count, 0);
+    assert_eq!(m.sessions_active.get(), 0);
+    // The page still renders, and says the registry is off.
+    let snap = db.metrics_snapshot();
+    assert!(snap.text.contains("cypher_metrics_enabled 0"));
+}
+
+/// The rendered exposition parses line by line: every non-comment line
+/// is `name[{labels}] value` with a numeric value, and histogram
+/// `_count` lines agree with their cumulative last bucket.
+#[test]
+fn metrics_snapshot_text_parses() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    seed(&db, 25);
+    let mut session = db.session();
+    let params = Params::new();
+    for q in QUERIES {
+        session.query(q, &params).expect("warm instruments");
+    }
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.version, db.version());
+    let samples = parse_exposition(&snap.text);
+    assert!(samples.get("cypher_queries_read_total").copied() >= Some(5.0));
+    assert!(samples.contains_key("cypher_uptime_ms"));
+    assert!(samples.contains_key("cypher_query_latency_us_sum"));
+    assert_eq!(
+        samples.get("cypher_query_latency_us_count"),
+        samples.get("cypher_query_latency_us_bucket{le=\"+Inf\"}"),
+        "histogram count must equal its +Inf cumulative bucket"
+    );
+}
+
+/// Splits a Prometheus-style page into `name -> value` samples,
+/// panicking on any malformed line.
+fn parse_exposition(text: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unsplittable sample line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+        out.insert(name.to_string(), value);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log: threshold exactness and truthful fields.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct CaptureSink(Mutex<Vec<SlowQueryEntry>>);
+
+impl SlowQuerySink for CaptureSink {
+    fn record(&self, entry: &SlowQueryEntry) {
+        self.0.lock().unwrap().push(entry.clone());
+    }
+}
+
+#[test]
+fn slow_query_log_threshold_zero_logs_everything_truthfully() {
+    let mut cfg = mem_cfg();
+    cfg.slow_query_ms = Some(0);
+    let db = Database::open_with(cfg).expect("open");
+    let sink = Arc::new(CaptureSink::default());
+    db.set_slow_query_sink(Arc::clone(&sink) as Arc<dyn SlowQuerySink>);
+    let params = Params::new();
+    let mut session = db.session();
+
+    session
+        .query("CREATE (:P {x: 1}), (:P {x: 2})", &params)
+        .expect("write");
+    let t = session
+        .query("MATCH (p:P) RETURN p.x ORDER BY p.x", &params)
+        .expect("read");
+    session.query("RETURN nosuch", &params).unwrap_err();
+    session
+        .query_traced("MATCH (p:P) RETURN p.x ORDER BY p.x", &params, 99)
+        .expect("traced read");
+
+    let entries = sink.0.lock().unwrap().clone();
+    assert_eq!(
+        entries.len(),
+        4,
+        "threshold 0 logs every query: {entries:?}"
+    );
+
+    let write = &entries[0];
+    assert!(write.write);
+    assert_eq!(write.committed_version, Some(db.version()));
+    assert_eq!(write.trace_id, None);
+
+    let read = &entries[1];
+    assert!(!read.write);
+    assert_eq!(read.rows, Some(t.len() as u64));
+    assert_eq!(read.committed_version, None);
+
+    let failed = &entries[2];
+    assert_eq!(failed.rows, None, "failed queries log rows=err");
+
+    let traced = &entries[3];
+    assert_eq!(traced.trace_id, Some(99));
+    assert_eq!(
+        traced.query_hash, read.query_hash,
+        "same text, same hash — that is what makes the log groupable"
+    );
+    assert_ne!(write.query_hash, read.query_hash);
+
+    // The rendered line is one machine-parseable record.
+    let line = traced.to_string();
+    assert!(line.starts_with("slow_query "), "got: {line}");
+    for key in [
+        "query_hash=",
+        "duration_us=",
+        "rows=",
+        "cache_hit=",
+        "trace_id=99",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+    assert_eq!(db.metrics().slow_queries.get(), 4);
+}
+
+#[test]
+fn slow_query_log_high_threshold_and_unset_stay_silent() {
+    for threshold in [Some(u64::MAX), None] {
+        let mut cfg = mem_cfg();
+        cfg.slow_query_ms = threshold;
+        let db = Database::open_with(cfg).expect("open");
+        let sink = Arc::new(CaptureSink::default());
+        db.set_slow_query_sink(Arc::clone(&sink) as Arc<dyn SlowQuerySink>);
+        let params = Params::new();
+        let mut session = db.session();
+        session.query("CREATE (:P {x: 1})", &params).expect("write");
+        session
+            .query("MATCH (p:P) RETURN p.x", &params)
+            .expect("read");
+        assert!(
+            sink.0.lock().unwrap().is_empty(),
+            "threshold {threshold:?} must not log sub-threshold queries"
+        );
+        assert_eq!(db.metrics().slow_queries.get(), 0);
+    }
+}
+
+/// A write's trace id survives the whole pipeline: session → pending
+/// commit → group seal, where the registry witnesses it.
+#[test]
+fn trace_ids_are_witnessed_at_the_seal() {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    assert_eq!(db.metrics().last_sealed_trace(), None);
+    let params = Params::new();
+    let mut session = db.session();
+    session
+        .query_traced("CREATE (:P {x: 7})", &params, 0xDEAD_BEEF)
+        .expect("traced write");
+    assert_eq!(db.metrics().last_sealed_trace(), Some(0xDEAD_BEEF));
+    // Untraced writes do not overwrite the witness with garbage.
+    session
+        .query("CREATE (:P {x: 8})", &params)
+        .expect("untraced write");
+    assert_eq!(db.metrics().last_sealed_trace(), Some(0xDEAD_BEEF));
+    // The one unrepresentable id, u64::MAX, clamps rather than erasing
+    // the witness.
+    session
+        .query_traced("CREATE (:P {x: 9})", &params, u64::MAX)
+        .expect("max-id write");
+    assert_eq!(db.metrics().last_sealed_trace(), Some(u64::MAX - 1));
+}
+
+// ---------------------------------------------------------------------
+// Over the wire: Metrics requests under load, PROFILE rows, trace ids.
+// ---------------------------------------------------------------------
+
+fn start_server() -> Server {
+    let db = Database::open_with(mem_cfg()).expect("open");
+    Server::bind(db, "127.0.0.1:0", ServerConfig::default()).expect("bind")
+}
+
+#[test]
+fn wire_metrics_page_is_monotone_and_parseable_under_load() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let params = Params::new();
+                for i in 0..40 {
+                    if i % 8 == 0 {
+                        client
+                            .query(&format!("CREATE (:W {{w: {w}, i: {i}}})"), &params)
+                            .expect("remote write");
+                    } else {
+                        client
+                            .query("MATCH (n:W) RETURN count(n) AS c", &params)
+                            .expect("remote read");
+                    }
+                }
+                client.goodbye().expect("goodbye");
+            })
+        })
+        .collect();
+
+    let mut poller = Client::connect(addr).expect("connect poller");
+    let mut last_requests = 0.0f64;
+    let mut last_uptime = 0u64;
+    for _ in 0..20 {
+        let page = poller.metrics().expect("metrics request");
+        assert!(page.uptime_ms >= last_uptime);
+        last_uptime = page.uptime_ms;
+        let samples = parse_exposition(&page.text);
+        let requests = samples["cypher_server_requests_total"];
+        assert!(
+            requests >= last_requests,
+            "requests counter went backwards: {requests} < {last_requests}"
+        );
+        last_requests = requests;
+        assert!(samples["cypher_server_connections"] >= 1.0);
+        assert_eq!(samples["cypher_server_frame_errors_total"], 0.0);
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let page = poller.metrics().expect("final metrics");
+    let samples = parse_exposition(&page.text);
+    // 4 workers × 40 statements, plus this poller's traffic.
+    assert!(samples["cypher_server_requests_query_total"] >= 160.0);
+    assert!(samples["cypher_queries_write_total"] >= 4.0 * 5.0);
+    assert!(samples["cypher_server_bytes_in_total"] > 0.0);
+    assert!(samples["cypher_server_bytes_out_total"] > 0.0);
+    assert_eq!(page.version, server.db().version());
+    poller.goodbye().expect("goodbye");
+}
+
+#[test]
+fn wire_profile_returns_structured_rows_and_seal_sees_the_trace() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let params = Params::new();
+    client
+        .query("CREATE (:P {x: 1})-[:R]->(:Q {y: 2})", &params)
+        .expect("remote write");
+    // The remote write was stamped (conn_id << 32) | req_seq by the
+    // server; the seal witnessed some such nonzero id.
+    let sealed = server.db().metrics().last_sealed_trace();
+    assert!(sealed.is_some_and(|t| t > 0), "got {sealed:?}");
+
+    let rows = client
+        .query("PROFILE MATCH (p:P)-[:R]->(q:Q) RETURN p.x, q.y", &params)
+        .expect("remote profile");
+    assert_eq!(
+        rows.table.schema().names(),
+        &["clause", "operator", "est_rows", "rows", "batches", "time_us"]
+    );
+    assert!(!rows.table.is_empty());
+    client.goodbye().expect("goodbye");
+}
