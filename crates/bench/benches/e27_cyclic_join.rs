@@ -1,0 +1,144 @@
+//! Experiment E27: what the worst-case-optimal multiway intersection join
+//! buys on cyclic patterns over a skewed graph.
+//!
+//! The substrate is a preferential-attachment social graph
+//! (`powerlaw_social`): every node follows 8 earlier accounts with
+//! probability proportional to degree, so a handful of celebrity nodes
+//! collect thousands of followers and the triangle/diamond counts are
+//! dominated by the dense core — exactly where a binary expand chain
+//! enumerates a quadratic intermediate (every length-2 path) before the
+//! closing edge filters it, while the intersection plan touches only
+//! nodes in the *intersection* of the bound endpoints' adjacencies.
+//!
+//! Series: triangle and diamond counting queries under
+//! `CYPHER_WCO_JOIN=off` (expand chain) and `force` (multiway
+//! intersection), sequential and at 4 threads. On a multi-core box the
+//! triangle query must run ≥ 2× faster under the intersection plan; the
+//! assertion is gated on `available_parallelism` like E20/E24 so weak CI
+//! containers still run the correctness and memory checks.
+//!
+//! The memory tripwire: the intersection operator streams batches and
+//! probes a shared immutable adjacency snapshot, so (after the snapshot
+//! is built once) a full triangle count must not grow the peak heap by
+//! more than a fixed budget — no materialized intermediates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cypher::workload::powerlaw_social;
+use cypher::{run_read_with, EngineConfig, Params, PropertyGraph, WcoJoinMode};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: cypher_bench::CountingAlloc = cypher_bench::CountingAlloc;
+
+const PERSONS: usize = 20_000;
+const EDGES_PER: usize = 8;
+const TRIANGLE: &str =
+    "MATCH (a)-[:FOLLOWS]->(b)-[:FOLLOWS]->(c), (a)-[:FOLLOWS]->(c) RETURN count(*) AS n";
+const DIAMOND: &str = "MATCH (a)-[:FOLLOWS]->(b)-[:FOLLOWS]->(d), \
+                       (a)-[:FOLLOWS]->(c)-[:FOLLOWS]->(d) RETURN count(*) AS n";
+
+fn cfg(threads: usize, wco: WcoJoinMode) -> EngineConfig {
+    EngineConfig::default()
+        .with_threads(threads)
+        .with_morsel_size(1024)
+        .with_wco_join(wco)
+}
+
+/// Median-of-5 wall time of one run.
+fn time_once(g: &PropertyGraph, q: &str, params: &Params, c: &EngineConfig) -> f64 {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            criterion::black_box(run_read_with(g, q, params, c).unwrap());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[2]
+}
+
+fn bench(c: &mut Criterion) {
+    let g = powerlaw_social(PERSONS, EDGES_PER, 27);
+    let params = Params::new();
+
+    // Sanity: both plans count the same cycles, at every thread count.
+    let expand = run_read_with(&g, TRIANGLE, &params, &cfg(1, WcoJoinMode::Off)).unwrap();
+    let intersect = run_read_with(&g, TRIANGLE, &params, &cfg(1, WcoJoinMode::Force)).unwrap();
+    assert!(
+        intersect.ordered_eq(&expand),
+        "plans disagree on the triangle count"
+    );
+    for threads in [2, 4] {
+        let par = run_read_with(&g, TRIANGLE, &params, &cfg(threads, WcoJoinMode::Force)).unwrap();
+        assert!(par.ordered_eq(&intersect), "threads={threads} drifted");
+    }
+    let triangles = intersect.cell(0, "n").and_then(|v| v.as_int()).unwrap();
+    assert!(triangles > 0, "substrate closed no triangles");
+
+    // Memory tripwire. The first intersection run above built and cached
+    // the sorted-adjacency snapshot; a further full count must stream.
+    let (_, peak) = cypher_bench::peak_during(|| {
+        criterion::black_box(
+            run_read_with(&g, TRIANGLE, &params, &cfg(1, WcoJoinMode::Force)).unwrap(),
+        )
+    });
+    println!(
+        "e27: triangle count over {PERSONS} nodes / {} rels grew the heap by \
+         {:.1} MiB at peak",
+        g.rel_count(),
+        peak as f64 / (1024.0 * 1024.0)
+    );
+    assert!(
+        peak < 64 * 1024 * 1024,
+        "intersection join materialized an intermediate: peak {peak} bytes"
+    );
+
+    // Speedup summary: intersection vs expand chain, sequentially.
+    let t_expand = time_once(&g, TRIANGLE, &params, &cfg(1, WcoJoinMode::Off));
+    let t_isect = time_once(&g, TRIANGLE, &params, &cfg(1, WcoJoinMode::Force));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "e27: {triangles} triangles — expand: {:.1} ms, intersect: {:.1} ms, \
+         speedup {:.2}x ({} hardware threads)",
+        t_expand * 1e3,
+        t_isect * 1e3,
+        t_expand / t_isect,
+        cores
+    );
+    if cores >= 4 {
+        assert!(
+            t_expand / t_isect >= 2.0,
+            "expected the intersection plan ≥2x faster on triangles, got {:.2}x",
+            t_expand / t_isect
+        );
+    }
+
+    let mut group = c.benchmark_group("e27_cyclic_join");
+    for (name, query) in [("triangle", TRIANGLE), ("diamond", DIAMOND)] {
+        for (plan, wco) in [
+            ("expand", WcoJoinMode::Off),
+            ("intersect", WcoJoinMode::Force),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("{name}/{plan}"), 1), &g, |b, g| {
+                b.iter(|| run_read_with(g, query, &params, &cfg(1, wco)).unwrap())
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/intersect_threads"), 4),
+            &g,
+            |b, g| {
+                b.iter(|| run_read_with(g, query, &params, &cfg(4, WcoJoinMode::Force)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1884,6 +1884,24 @@ impl Database {
                 "pipeline runs that engaged the parallel dispatcher",
                 em.parallel_runs.get(),
             );
+            fmt_counter(
+                &mut text,
+                "cypher_exec_intersect_probes_total",
+                "galloping probes issued by multiway intersection joins",
+                em.intersect_probes.get(),
+            );
+            fmt_counter(
+                &mut text,
+                "cypher_exec_intersect_nodes_total",
+                "candidate nodes surviving multiway adjacency intersection",
+                em.intersect_nodes.get(),
+            );
+            fmt_counter(
+                &mut text,
+                "cypher_exec_intersect_rows_total",
+                "rows emitted by MultiwayIntersect operators",
+                em.intersect_rows.get(),
+            );
         }
         let pc = self.plan_cache_stats();
         fmt_counter(

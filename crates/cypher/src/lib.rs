@@ -42,7 +42,7 @@ pub use cypher_core::{
 };
 pub use cypher_engine::{
     env_config_issues, ClauseProfile, EngineConfig, EnvConfigIssue, ExecMetrics, FsyncMode,
-    MultiResult, OpProfile, PartialAggMode, PlanMemo, PlannerMode, QueryProfile,
+    MultiResult, OpProfile, PartialAggMode, PlanMemo, PlannerMode, QueryProfile, WcoJoinMode,
 };
 pub use cypher_graph::{
     Catalog, Change, Direction, GraphView, NodeId, Path, PropertyGraph, RelId, SharedChangeBuffer,

@@ -17,7 +17,7 @@
 //! coarse invalidation is safe by construction.
 
 use crate::exec::EngineConfig;
-use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
+use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions, WcoJoinMode};
 use cypher_ast::pattern::PathPattern;
 use cypher_graph::{PropertyGraph, ViewRef};
 use std::collections::hash_map::DefaultHasher;
@@ -148,6 +148,12 @@ impl EngineConfig {
         mode.hash(&mut h);
         self.use_label_index.hash(&mut h);
         self.use_property_index.hash(&mut h);
+        let wco: u8 = match self.wco_join {
+            WcoJoinMode::Off => 0,
+            WcoJoinMode::Auto => 1,
+            WcoJoinMode::Force => 2,
+        };
+        wco.hash(&mut h);
         h.finish()
     }
 }
@@ -190,11 +196,20 @@ mod tests {
 
     #[test]
     fn config_fingerprint_tracks_planner_slice() {
-        let a = EngineConfig::default();
-        let b = EngineConfig::default().without_indexes();
+        // Pin the join policy so the test holds under a CYPHER_WCO_JOIN
+        // override (the CI matrix runs the whole suite with it set).
+        let base = || EngineConfig::default().with_wco_join(WcoJoinMode::Auto);
+        let a = base();
+        let b = base().without_indexes();
         assert_ne!(a.plan_fingerprint(), b.plan_fingerprint());
         // Runtime knobs do not reshape plans.
-        let c = EngineConfig::default().with_threads(8).with_morsel_size(2);
+        let c = base().with_threads(8).with_morsel_size(2);
         assert_eq!(a.plan_fingerprint(), c.plan_fingerprint());
+        // The worst-case-optimal join policy does.
+        let d = base().with_wco_join(WcoJoinMode::Off);
+        assert_ne!(a.plan_fingerprint(), d.plan_fingerprint());
+        let e = base().with_wco_join(WcoJoinMode::Force);
+        assert_ne!(a.plan_fingerprint(), e.plan_fingerprint());
+        assert_ne!(d.plan_fingerprint(), e.plan_fingerprint());
     }
 }

@@ -15,7 +15,7 @@
 use crate::cache::{plan_match_memo, MemoSite, PlanMemo};
 use crate::ops::{run_plan, run_plan_profiled, ExecOptions, DEFAULT_MORSEL_SIZE};
 use crate::plan::PlanStep;
-use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions};
+use crate::planner::{plan_match, PlannedMatch, PlannerMode, PlannerOptions, WcoJoinMode};
 use crate::pushdown::{ret_pushdown, try_fused_match_projection, FusedOutcome, PushdownKind};
 use crate::update;
 use cypher_ast::expr::Expr;
@@ -46,6 +46,12 @@ pub struct EngineConfig {
     /// Allow `PropertyIndexSeek` over the exact-match property indexes
     /// (on by default).
     pub use_property_index: bool,
+    /// Worst-case-optimal join policy for cyclic `MATCH` patterns.
+    /// Defaults to [`WcoJoinMode::Auto`] (cost-based); override with
+    /// `CYPHER_WCO_JOIN` (`off` / `auto` / `force`). Never changes
+    /// results — only whether cycle-closing variables are bound by a
+    /// `MultiwayIntersect` or an `Expand` chain.
+    pub wco_join: WcoJoinMode,
     /// Rows per batch (morsel) flowing between operators, and the
     /// granularity at which parallel workers claim scan work. Defaults to
     /// 1024 (override with the `CYPHER_MORSEL_SIZE` environment variable;
@@ -181,6 +187,7 @@ struct EnvDefaults {
     persistence: Option<std::path::PathBuf>,
     wal_compact_bytes: u64,
     partial_agg: PartialAggMode,
+    wco_join: WcoJoinMode,
     plan_cache_size: usize,
     group_commit: bool,
     fsync_mode: FsyncMode,
@@ -246,6 +253,22 @@ fn parse_env_defaults(
                     message: "expected off/auto/force; using default auto".to_string(),
                 });
                 PartialAggMode::Auto
+            }
+        },
+    };
+    let wco_join = match get("CYPHER_WCO_JOIN").filter(|s| !s.is_empty()) {
+        None => WcoJoinMode::default(),
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "no" => WcoJoinMode::Off,
+            "force" => WcoJoinMode::Force,
+            "auto" | "on" | "1" | "true" | "yes" => WcoJoinMode::Auto,
+            _ => {
+                issues.push(EnvConfigIssue {
+                    var: "CYPHER_WCO_JOIN",
+                    value: raw,
+                    message: "expected off/auto/force; using default auto".to_string(),
+                });
+                WcoJoinMode::Auto
             }
         },
     };
@@ -318,6 +341,7 @@ fn parse_env_defaults(
         persistence,
         wal_compact_bytes,
         partial_agg,
+        wco_join,
         plan_cache_size,
         group_commit,
         fsync_mode,
@@ -366,6 +390,7 @@ impl Default for EngineConfig {
             planner_mode: PlannerMode::default(),
             use_label_index: true,
             use_property_index: true,
+            wco_join: env.wco_join,
             morsel_size: env.morsel_size,
             num_threads: env.num_threads,
             persistence: env.persistence.clone(),
@@ -388,6 +413,7 @@ impl EngineConfig {
             mode: self.planner_mode,
             use_label_index: self.use_label_index,
             use_property_index: self.use_property_index,
+            wco_join: self.wco_join,
         }
     }
 
@@ -432,6 +458,11 @@ impl EngineConfig {
             partial_agg,
             ..self
         }
+    }
+
+    /// This configuration with the given worst-case-optimal join mode.
+    pub fn with_wco_join(self, wco_join: WcoJoinMode) -> Self {
+        EngineConfig { wco_join, ..self }
     }
 
     /// This configuration with the given plan-cache capacity (0 disables).
@@ -488,6 +519,12 @@ pub struct OpProfile {
     /// Wall time spent *in* this operator (exclusive of the operators
     /// beneath it), summed across all workers, in microseconds.
     pub time_us: u64,
+    /// Galloping probes the operator's intersection kernel performed
+    /// (`MultiwayIntersect` only; 0 elsewhere).
+    pub probes: u64,
+    /// Summed intersection lengths — candidate nodes adjacent to every
+    /// guard (`MultiwayIntersect` only; 0 elsewhere).
+    pub isect: u64,
 }
 
 /// The measured execution of one `MATCH` clause.
@@ -537,14 +574,22 @@ impl QueryProfile {
                 s.push_str("(reference matcher: no operator pipeline)\n");
             }
             for (i, op) in c.operators.iter().enumerate() {
+                // Intersection kernel counters only where they exist, so
+                // every other operator line keeps its exact shape.
+                let kernel = if op.probes != 0 || op.isect != 0 {
+                    format!(", probes: {}, isect: {}", op.probes, op.isect)
+                } else {
+                    String::new()
+                };
                 s.push_str(&format!(
-                    "{:indent$}{}  (est rows: {:.1}, rows: {}, batches: {}, time: {}us)\n",
+                    "{:indent$}{}  (est rows: {:.1}, rows: {}, batches: {}, time: {}us{})\n",
                     "",
                     op.operator,
                     op.estimated_rows,
                     op.rows,
                     op.batches,
                     op.time_us,
+                    kernel,
                     indent = i
                 ));
             }
@@ -985,6 +1030,8 @@ fn clause_profile(
             rows: st.rows,
             batches: st.batches,
             time_us: st.nanos.saturating_sub(nested) / 1_000,
+            probes: st.probes,
+            isect: st.isect,
         });
     }
     ClauseProfile {
@@ -1562,6 +1609,7 @@ mod tests {
                 ("CYPHER_NUM_THREADS", "4"),
                 ("CYPHER_PLAN_CACHE_SIZE", "0"),
                 ("CYPHER_PARTIAL_AGG", "force"),
+                ("CYPHER_WCO_JOIN", "force"),
                 ("CYPHER_GROUP_COMMIT", "off"),
                 ("CYPHER_FSYNC_MODE", "pipelined"),
                 ("CYPHER_SLOW_QUERY_MS", "250"),
@@ -1575,6 +1623,7 @@ mod tests {
             (64, 4, 0)
         );
         assert_eq!(d.partial_agg, PartialAggMode::Force);
+        assert_eq!(d.wco_join, WcoJoinMode::Force);
         assert!(!d.group_commit);
         assert_eq!(d.fsync_mode, FsyncMode::Pipelined);
         assert_eq!(d.slow_query_ms, Some(250));
@@ -1593,6 +1642,7 @@ mod tests {
                 ("CYPHER_NUM_THREADS", "0"),
                 ("CYPHER_WAL_COMPACT_BYTES", "-5"),
                 ("CYPHER_PARTIAL_AGG", "sometimes"),
+                ("CYPHER_WCO_JOIN", "sometimes"),
                 ("CYPHER_GROUP_COMMIT", "maybe"),
                 ("CYPHER_FSYNC_MODE", "eventually"),
                 ("CYPHER_SLOW_QUERY_MS", "soon"),
@@ -1604,6 +1654,7 @@ mod tests {
         assert_eq!(d.num_threads, 1);
         assert_eq!(d.wal_compact_bytes, DEFAULT_WAL_COMPACT_BYTES);
         assert_eq!(d.partial_agg, PartialAggMode::Auto);
+        assert_eq!(d.wco_join, WcoJoinMode::Auto);
         assert!(d.group_commit, "malformed override keeps the default");
         assert_eq!(d.fsync_mode, FsyncMode::Os);
         assert_eq!(d.slow_query_ms, None);
@@ -1616,6 +1667,7 @@ mod tests {
                 "CYPHER_NUM_THREADS",
                 "CYPHER_WAL_COMPACT_BYTES",
                 "CYPHER_PARTIAL_AGG",
+                "CYPHER_WCO_JOIN",
                 "CYPHER_GROUP_COMMIT",
                 "CYPHER_FSYNC_MODE",
                 "CYPHER_SLOW_QUERY_MS",

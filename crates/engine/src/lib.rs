@@ -70,5 +70,5 @@ pub use exec::{
 };
 pub use multigraph::{execute_on_catalog, MultiResult};
 pub use ops::{ExecMetrics, ExecOptions, OpStats, PlanProfile, RowBatch, DEFAULT_MORSEL_SIZE};
-pub use plan::{MatchPlan, PlanStep};
-pub use planner::{plan_match, PlannerMode, PlannerOptions};
+pub use plan::{IntersectGuard, MatchPlan, PlanStep};
+pub use planner::{plan_match, PlannerMode, PlannerOptions, WcoJoinMode};

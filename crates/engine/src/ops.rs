@@ -27,7 +27,9 @@ use cypher_core::expr::{eval_expr, truth_of, Bindings};
 use cypher_core::morphism::Morphism;
 use cypher_core::table::{Record, Schema, Table};
 use cypher_core::EvalContext;
-use cypher_graph::{Direction, NodeId, Path, RelId, Symbol, Tri, Value};
+use cypher_graph::{
+    gallop, Direction, Neighbor, NodeId, Path, RelId, SortedAdjacency, Symbol, Tri, Value,
+};
 use cypher_metrics::Counter;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -91,6 +93,12 @@ pub trait Operator {
     fn schema(&self) -> &Arc<Schema>;
     /// Pulls the next non-empty batch, `None` at end of stream.
     fn next_batch(&mut self) -> Result<Option<RowBatch>, EvalError>;
+    /// Kernel counters `(probes, intersection length)` for operators that
+    /// intersect sorted adjacencies; `None` for everything else. Read by
+    /// the profiling shim at end of stream.
+    fn intersect_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Execution knobs of the morsel-driven runtime: how many rows one morsel
@@ -127,6 +135,13 @@ pub struct ExecMetrics {
     pub rows: Counter,
     /// Pipeline runs that engaged the parallel morsel dispatcher.
     pub parallel_runs: Counter,
+    /// Galloping probes performed by `MultiwayIntersect` operators.
+    pub intersect_probes: Counter,
+    /// Nodes surviving a multiway adjacency intersection (the summed
+    /// intersection lengths, before label filtering).
+    pub intersect_nodes: Counter,
+    /// Rows emitted by `MultiwayIntersect` operators.
+    pub intersect_rows: Counter,
 }
 
 /// Measured totals of one plan step across a profiled run: every batch
@@ -143,6 +158,11 @@ pub struct OpStats {
     /// Wall nanoseconds inside `next_batch`, children included. Parallel
     /// runs sum the per-worker times (CPU-style, not elapsed).
     pub nanos: u64,
+    /// Galloping probes (`MultiwayIntersect` steps only; 0 elsewhere).
+    pub probes: u64,
+    /// Intersection length — nodes adjacent to every guard
+    /// (`MultiwayIntersect` steps only; 0 elsewhere).
+    pub isect: u64,
 }
 
 impl OpStats {
@@ -150,6 +170,8 @@ impl OpStats {
         self.rows += other.rows;
         self.batches += other.batches;
         self.nanos += other.nanos;
+        self.probes += other.probes;
+        self.isect += other.isect;
     }
 }
 
@@ -188,9 +210,19 @@ impl Operator for ProfiledOp<'_> {
         let mut stats = self.slot.borrow_mut();
         let s = &mut stats[self.idx];
         s.nanos += nanos;
-        if let Ok(Some(b)) = &res {
-            s.rows += b.len() as u64;
-            s.batches += 1;
+        match &res {
+            Ok(Some(b)) => {
+                s.rows += b.len() as u64;
+                s.batches += 1;
+            }
+            Ok(None) => {
+                // End of stream: harvest the operator's kernel counters.
+                if let Some((probes, isect)) = self.inner.intersect_stats() {
+                    s.probes = probes;
+                    s.isect = isect;
+                }
+            }
+            Err(_) => {}
         }
         res
     }
@@ -225,7 +257,7 @@ pub fn run_plan<'a>(
     steps: &[PlanStep],
     input: Table,
     opts: ExecOptions,
-    metrics: Option<&ExecMetrics>,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Table, EvalError> {
     let morsel = opts.morsel_size.max(1);
     if opts.num_threads > 1 && steps.first().is_some_and(|s| s.is_source()) {
@@ -246,6 +278,7 @@ pub fn run_plan<'a>(
                 items,
                 morsel,
                 opts.num_threads,
+                metrics,
             );
             match run {
                 Ok(t) => {
@@ -259,7 +292,7 @@ pub fn run_plan<'a>(
                 Err(_) => { /* canonical error from the sequential re-run */ }
             }
         }
-        let pipeline = build_prepared(ctx, steps, &prepared, input, morsel)?;
+        let pipeline = build_prepared(ctx, steps, &prepared, input, morsel, metrics)?;
         let t = run_to_table(pipeline)?;
         if let Some(m) = metrics {
             m.morsels.inc();
@@ -267,7 +300,7 @@ pub fn run_plan<'a>(
         }
         return Ok(t);
     }
-    let pipeline = build_pipeline(ctx, steps, input, morsel)?;
+    let pipeline = build_pipeline(ctx, steps, input, morsel, metrics)?;
     let t = run_to_table(pipeline)?;
     if let Some(m) = metrics {
         m.morsels.inc();
@@ -326,6 +359,7 @@ fn run_sequential_profiled<'a>(
 ) -> Result<(Table, PlanProfile), EvalError> {
     let slot = Rc::new(RefCell::new(vec![OpStats::default(); steps.len()]));
     let pipeline = build_profiled(ctx, steps, prepared, input, morsel, &slot, 0)?;
+    // (Profiled runs report through `PlanProfile`, not `ExecMetrics`.)
     let t = run_to_table(pipeline)?;
     let stats = slot.borrow().clone();
     Ok((
@@ -379,6 +413,7 @@ fn run_parallel_profiled<'a>(
                 rows: (hi - lo) as u64,
                 batches: 1,
                 nanos: src_nanos,
+                ..OpStats::default()
             };
         }
         let pipeline = build_profiled(ctx, rest, rest_sources, t, morsel, &slot, 1)?;
@@ -432,7 +467,8 @@ fn build_profiled<'a>(
     let cap = morsel_size.max(1);
     let mut op: Box<dyn Operator + 'a> = Box::new(TableScan::new(input, cap));
     for (i, (step, prep)) in steps.iter().zip(prepared).enumerate() {
-        op = attach(ctx, step, prep, op, cap)?;
+        // Profiled pipelines report through `OpStats`, not `ExecMetrics`.
+        op = attach(ctx, step, prep, op, cap, None)?;
         op = Box::new(ProfiledOp {
             inner: op,
             slot: Rc::clone(slot),
@@ -506,6 +542,7 @@ fn run_parallel<'a>(
     items: &[Value],
     morsel: usize,
     threads: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Table, EvalError> {
     let total = driving.len() * items.len();
     let n_morsels = total.div_ceil(morsel);
@@ -523,6 +560,7 @@ fn run_parallel<'a>(
             items,
             lo..hi,
             morsel,
+            metrics,
         )
     })?;
 
@@ -560,6 +598,7 @@ fn run_morsel<'a>(
     items: &[Value],
     range: std::ops::Range<usize>,
     morsel: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Table, EvalError> {
     let per_row = items.len();
     let mut t = Table::empty(src_schema.clone());
@@ -568,7 +607,7 @@ fn run_morsel<'a>(
         r.push(items[idx % per_row].clone());
         t.push(r);
     }
-    let pipeline = build_prepared(ctx, rest, rest_sources, t, morsel)?;
+    let pipeline = build_prepared(ctx, rest, rest_sources, t, morsel, metrics)?;
     run_to_table(pipeline)
 }
 
@@ -654,9 +693,10 @@ pub fn build_pipeline<'a>(
     steps: &[PlanStep],
     input: Table,
     morsel_size: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Box<dyn Operator + 'a>, EvalError> {
     let prepared = prepare_sources(ctx, steps)?;
-    build_prepared(ctx, steps, &prepared, input, morsel_size)
+    build_prepared(ctx, steps, &prepared, input, morsel_size, metrics)
 }
 
 /// [`build_pipeline`] over pre-resolved source lists (one entry per step).
@@ -666,11 +706,12 @@ pub(crate) fn build_prepared<'a>(
     prepared: &[PreparedSource],
     input: Table,
     morsel_size: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Box<dyn Operator + 'a>, EvalError> {
     let cap = morsel_size.max(1);
     let mut op: Box<dyn Operator + 'a> = Box::new(TableScan::new(input, cap));
     for (step, prep) in steps.iter().zip(prepared) {
-        op = attach(ctx, step, prep, op, cap)?;
+        op = attach(ctx, step, prep, op, cap, metrics)?;
     }
     Ok(op)
 }
@@ -687,6 +728,7 @@ fn attach<'a>(
     prep: &PreparedSource,
     child: Box<dyn Operator + 'a>,
     cap: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Box<dyn Operator + 'a>, EvalError> {
     let schema = child.schema().clone();
     if let Some((var, items)) = prep {
@@ -763,6 +805,56 @@ fn attach<'a>(
                 input: None,
                 row_idx: 0,
                 pending: Vec::new(),
+            })
+        }
+        PlanStep::MultiwayIntersect {
+            to,
+            guards,
+            labels,
+            exclude,
+        } => {
+            let mut out_schema = schema.clone();
+            let mut gstates = Vec::with_capacity(guards.len());
+            for g in guards {
+                let from_idx = col_idx(&schema, &g.from)?;
+                out_schema = out_schema.with_field(g.rel.clone());
+                let props = g
+                    .props
+                    .iter()
+                    .map(|(k, e)| (ctx.graph.interner().get(k), e.clone()))
+                    .collect();
+                gstates.push(IntersectGuardState {
+                    from_idx,
+                    dir: dir_of(g.dir),
+                    type_syms: resolve_types(ctx, &g.types),
+                    props,
+                });
+            }
+            let out_schema = out_schema.with_field(to.clone());
+            let exclude_idx: Vec<usize> = exclude
+                .iter()
+                .map(|c| col_idx(&schema, c))
+                .collect::<Result<_, _>>()?;
+            let label_syms: Option<Vec<Symbol>> =
+                labels.iter().map(|l| ctx.graph.interner().get(l)).collect();
+            Box::new(MultiwayIntersectOp {
+                ctx,
+                schema: out_schema,
+                in_schema: schema,
+                child,
+                guards: gstates,
+                label_syms,
+                exclude_idx,
+                adj: ctx.graph.sorted_adjacency(),
+                metrics,
+                cap,
+                input: None,
+                row_idx: 0,
+                pending: Vec::new(),
+                probes: 0,
+                isect: 0,
+                rows_out: 0,
+                flushed: false,
             })
         }
         PlanStep::FilterLabels { var, labels } => {
@@ -1227,6 +1319,414 @@ impl Operator for ExpandOp<'_> {
                 self.input = Some(batch);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiway intersect (worst-case-optimal join)
+// ---------------------------------------------------------------------------
+
+/// One compiled guard of a [`MultiwayIntersectOp`]: the bound node column
+/// the target must be adjacent to, the direction the pattern traverses
+/// that edge, and the type/property conditions its relationship must
+/// satisfy.
+struct IntersectGuardState {
+    from_idx: usize,
+    dir: Direction,
+    /// `Some(vec![])` = any type; `Some(list)` = one of; `None` = no
+    /// admissible type exists (match nothing).
+    type_syms: Option<Vec<Symbol>>,
+    /// Relationship property conditions, keys pre-resolved at build time.
+    props: Vec<(Option<Symbol>, Expr)>,
+}
+
+/// One guard's position in the sorted adjacency of its (already bound)
+/// endpoint. `Both` walks the out and incoming lists as a merged cursor;
+/// an incoming entry whose neighbour equals `from` is a self-loop already
+/// present in the out list and is skipped, so the union enumerates each
+/// `(node, rel)` pair once — exactly what `expand(_, Both)` yields.
+struct GuardCursor<'s> {
+    out: &'s [Neighbor],
+    inc: &'s [Neighbor],
+    opos: usize,
+    ipos: usize,
+    from: NodeId,
+    both: bool,
+}
+
+impl<'s> GuardCursor<'s> {
+    fn new(adj: &'s SortedAdjacency, from: NodeId, dir: Direction) -> Self {
+        let (out, inc) = match dir {
+            Direction::Outgoing => (adj.out(from), &[][..]),
+            Direction::Incoming => (&[][..], adj.inc(from)),
+            Direction::Both => (adj.out(from), adj.inc(from)),
+        };
+        let mut c = GuardCursor {
+            out,
+            inc,
+            opos: 0,
+            ipos: 0,
+            from,
+            both: matches!(dir, Direction::Both),
+        };
+        c.skip_loops();
+        c
+    }
+
+    /// Incoming entries at `from` itself are self-loops; in `Both` mode
+    /// the out list already carries them.
+    fn skip_loops(&mut self) {
+        if self.both {
+            while self.inc.get(self.ipos).is_some_and(|e| e.node == self.from) {
+                self.ipos += 1;
+            }
+        }
+    }
+
+    /// The smallest neighbour node at or beyond the cursor.
+    fn current(&self) -> Option<NodeId> {
+        match (self.out.get(self.opos), self.inc.get(self.ipos)) {
+            (Some(a), Some(b)) => Some(a.node.min(b.node)),
+            (Some(a), None) => Some(a.node),
+            (None, Some(b)) => Some(b.node),
+            (None, None) => None,
+        }
+    }
+
+    /// Gallops both lists to the first entry with node ≥ `target` and
+    /// returns the node found there (`None` when exhausted).
+    fn seek(&mut self, target: NodeId, probes: &mut u64) -> Option<NodeId> {
+        self.opos = gallop(self.out, self.opos, target, probes);
+        self.ipos = gallop(self.inc, self.ipos, target, probes);
+        self.skip_loops();
+        self.current()
+    }
+
+    /// Appends the relationship ids of every entry at exactly `v`. The
+    /// cursor must have been seeked to `v`.
+    fn rels_at(&self, v: NodeId, out: &mut Vec<RelId>) {
+        let mut i = self.opos;
+        while let Some(e) = self.out.get(i) {
+            if e.node != v {
+                break;
+            }
+            out.push(e.rel);
+            i += 1;
+        }
+        let mut i = self.ipos;
+        while let Some(e) = self.inc.get(i) {
+            if e.node != v {
+                break;
+            }
+            out.push(e.rel);
+            i += 1;
+        }
+    }
+
+    /// Advances both lists past every entry at `v`.
+    fn advance_past(&mut self, v: NodeId) {
+        while self.out.get(self.opos).is_some_and(|e| e.node == v) {
+            self.opos += 1;
+        }
+        while self.inc.get(self.ipos).is_some_and(|e| e.node == v) {
+            self.ipos += 1;
+        }
+        self.skip_loops();
+    }
+}
+
+/// The worst-case-optimal join operator: binds the target variable by
+/// *intersecting* the sorted adjacency lists of every already-bound
+/// pattern neighbour (leapfrog-style, one galloping cursor per guard),
+/// instead of expanding one edge and filtering the rest. For each node in
+/// the intersection it enumerates the admissible relationships of every
+/// guard and emits one row per combination (Cypher's bag semantics:
+/// parallel edges yield one match each), pairwise-distinct when the
+/// morphism mode demands relationship-uniqueness.
+///
+/// Determinism: candidates are produced in ascending node id order and
+/// relationship combinations in ascending lexicographic order, a pure
+/// function of the input row — morsel-order merging therefore reproduces
+/// the sequential row sequence at any thread count.
+struct MultiwayIntersectOp<'a> {
+    ctx: &'a EvalContext<'a>,
+    schema: Arc<Schema>,
+    in_schema: Arc<Schema>,
+    child: Box<dyn Operator + 'a>,
+    guards: Vec<IntersectGuardState>,
+    /// `None` when some label was never interned (matches nothing).
+    label_syms: Option<Vec<Symbol>>,
+    exclude_idx: Vec<usize>,
+    adj: Arc<SortedAdjacency>,
+    metrics: Option<&'a ExecMetrics>,
+    cap: usize,
+    /// Current input batch plus cursor, and the expansion of the current
+    /// row still awaiting emission (stored reversed; popped off the end).
+    input: Option<RowBatch>,
+    row_idx: usize,
+    pending: Vec<Record>,
+    /// Kernel counters, flushed to `metrics` once at end of stream.
+    probes: u64,
+    isect: u64,
+    rows_out: u64,
+    flushed: bool,
+}
+
+impl MultiwayIntersectOp<'_> {
+    fn type_ok(&self, g: &IntersectGuardState, r: RelId) -> bool {
+        match &g.type_syms {
+            None => false,
+            Some(list) if list.is_empty() => true,
+            Some(list) => {
+                let t = self.ctx.graph.rel_type(r).expect("live rel");
+                list.contains(&t)
+            }
+        }
+    }
+
+    fn rel_excluded(&self, row: &Record, r: RelId) -> bool {
+        if !self.ctx.config.morphism.rels_distinct() {
+            return false;
+        }
+        for &i in &self.exclude_idx {
+            match row.get(i) {
+                Value::Rel(r2) if *r2 == r => return true,
+                Value::List(items)
+                    if items
+                        .iter()
+                        .any(|v| matches!(v, Value::Rel(r2) if *r2 == r)) =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn props_ok(&self, expected: &[(Symbol, Value)], r: RelId) -> bool {
+        for (k, want) in expected {
+            match self.ctx.graph.rel_prop(r, *k) {
+                Some(v) if v.equals(want).is_true() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn labels_ok(&self, n: NodeId) -> bool {
+        match &self.label_syms {
+            None => false,
+            Some(syms) => syms.iter().all(|&l| self.ctx.graph.has_label(n, l)),
+        }
+    }
+
+    /// Computes all bindings of the target variable for one input row.
+    fn intersect_row(
+        &self,
+        row: &Record,
+        probes: &mut u64,
+        isect: &mut u64,
+    ) -> Result<Vec<Record>, EvalError> {
+        let mut out = Vec::new();
+        // Resolve every guard's bound endpoint and evaluate its expected
+        // relationship property values (once per row, like `ExpandOp`; a
+        // never-interned key or type makes the guard unsatisfiable but
+        // the remaining expressions are still evaluated so errors
+        // surface exactly as the expand-based plan raises them).
+        let mut froms = Vec::with_capacity(self.guards.len());
+        let mut expected: Vec<Vec<(Symbol, Value)>> = Vec::with_capacity(self.guards.len());
+        let mut possible = true;
+        for g in &self.guards {
+            let from = match row.get(g.from_idx) {
+                Value::Node(n) => *n,
+                Value::Null => return Ok(out),
+                other => {
+                    return err(format!(
+                        "Expand source must be a node, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            froms.push(from);
+            possible &= g.type_syms.is_some();
+            let mut exp = Vec::with_capacity(g.props.len());
+            for (sym, e) in &g.props {
+                let Some(sym) = sym else {
+                    possible = false;
+                    continue;
+                };
+                let b = Bindings::new(&self.in_schema, row);
+                exp.push((*sym, eval_expr(self.ctx, &b, e)?));
+            }
+            expected.push(exp);
+        }
+        if !possible {
+            return Ok(out);
+        }
+        let mut cursors: Vec<GuardCursor<'_>> = self
+            .guards
+            .iter()
+            .zip(&froms)
+            .map(|(g, &f)| GuardCursor::new(&self.adj, f, g.dir))
+            .collect();
+        // Leapfrog: gallop every cursor to the frontier; when all land on
+        // the same node it is adjacent to every guard.
+        let mut target = match cursors[0].current() {
+            Some(n) => n,
+            None => return Ok(out),
+        };
+        let mut rel_lists: Vec<Vec<RelId>> = vec![Vec::new(); self.guards.len()];
+        'outer: loop {
+            let mut all_equal = true;
+            for c in cursors.iter_mut() {
+                match c.seek(target, probes) {
+                    None => break 'outer,
+                    Some(n) if n > target => {
+                        target = n;
+                        all_equal = false;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if all_equal {
+                *isect += 1;
+                if self.labels_ok(target) {
+                    let mut any_empty = false;
+                    for ((list, c), (g, exp)) in rel_lists
+                        .iter_mut()
+                        .zip(&cursors)
+                        .zip(self.guards.iter().zip(&expected))
+                    {
+                        list.clear();
+                        c.rels_at(target, list);
+                        list.retain(|&r| {
+                            self.type_ok(g, r)
+                                && !self.rel_excluded(row, r)
+                                && self.props_ok(exp, r)
+                        });
+                        // Out- and inc-runs were appended back to back;
+                        // restore ascending rel order for determinism.
+                        list.sort_unstable();
+                        any_empty |= list.is_empty();
+                    }
+                    if !any_empty {
+                        let mut chosen = Vec::with_capacity(self.guards.len());
+                        self.emit_combos(row, target, &rel_lists, 0, &mut chosen, &mut out);
+                    }
+                }
+                for c in cursors.iter_mut() {
+                    c.advance_past(target);
+                }
+                match cursors[0].current() {
+                    Some(n) => target = n,
+                    None => break,
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Emits one output row per combination of admissible relationships,
+    /// ascending-lexicographic, honouring relationship-uniqueness among
+    /// the combination itself (`exclude_idx` covered the columns bound
+    /// before this operator).
+    fn emit_combos(
+        &self,
+        row: &Record,
+        v: NodeId,
+        lists: &[Vec<RelId>],
+        depth: usize,
+        chosen: &mut Vec<RelId>,
+        out: &mut Vec<Record>,
+    ) {
+        if depth == lists.len() {
+            let mut rec = row.cloned_with_extra(chosen.len() + 1);
+            for &r in chosen.iter() {
+                rec.push(Value::Rel(r));
+            }
+            rec.push(Value::Node(v));
+            out.push(rec);
+            return;
+        }
+        let distinct = self.ctx.config.morphism.rels_distinct();
+        for &r in &lists[depth] {
+            if distinct && chosen.contains(&r) {
+                continue;
+            }
+            chosen.push(r);
+            self.emit_combos(row, v, lists, depth + 1, chosen, out);
+            chosen.pop();
+        }
+    }
+
+    fn flush_metrics(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        if let Some(m) = self.metrics {
+            m.intersect_probes.add(self.probes);
+            m.intersect_nodes.add(self.isect);
+            m.intersect_rows.add(self.rows_out);
+        }
+    }
+}
+
+impl Operator for MultiwayIntersectOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, EvalError> {
+        let mut out = RowBatch::with_capacity(self.cap.min(64));
+        loop {
+            // Drain the current row's expansion first.
+            while out.len() < self.cap {
+                match self.pending.pop() {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+            if out.len() >= self.cap {
+                return Ok(Some(out));
+            }
+            // Advance to the next input row.
+            let Some(batch) = self.input.take() else {
+                match self.child.next_batch()? {
+                    Some(b) => {
+                        self.row_idx = 0;
+                        self.input = Some(b);
+                        continue;
+                    }
+                    None => {
+                        if out.is_empty() {
+                            self.flush_metrics();
+                            return Ok(None);
+                        }
+                        return Ok(Some(out));
+                    }
+                }
+            };
+            if self.row_idx < batch.len() {
+                let (mut probes, mut isect) = (0, 0);
+                let mut exp =
+                    self.intersect_row(&batch.rows()[self.row_idx], &mut probes, &mut isect)?;
+                self.probes += probes;
+                self.isect += isect;
+                self.rows_out += exp.len() as u64;
+                exp.reverse(); // pop() then restores natural order
+                self.pending = exp;
+                self.row_idx += 1;
+            }
+            if self.row_idx < batch.len() {
+                self.input = Some(batch);
+            }
+        }
+    }
+
+    fn intersect_stats(&self) -> Option<(u64, u64)> {
+        Some((self.probes, self.isect))
     }
 }
 

@@ -104,6 +104,24 @@ pub enum PlanStep {
         /// single-hop conditions are emitted as a separate `FilterProps`).
         props: Vec<(String, Expr)>,
     },
+    /// Worst-case-optimal closing step for cyclic patterns: bind `to` to
+    /// every node adjacent to **all** of the guards' already-bound `from`
+    /// nodes, by a leapfrog intersection of their sorted adjacency lists
+    /// (see `cypher_graph::adjacency`). One output row is emitted per
+    /// combination of admissible relationships across the guards, so the
+    /// step is a bag-semantics join, not a set intersection.
+    MultiwayIntersect {
+        /// Target node output column (unbound in the incoming schema).
+        to: Col,
+        /// The pattern edges being closed, one per already-bound
+        /// neighbour. At least two (a single guard is an `Expand`).
+        guards: Vec<IntersectGuard>,
+        /// Labels `to` must carry, checked inline during intersection.
+        labels: Vec<String>,
+        /// Relationship columns bound earlier in this `MATCH` that the
+        /// guards' matches must not reuse (relationship isomorphism).
+        exclude: Vec<Col>,
+    },
     /// Keep rows where the node in `var` has all the labels.
     FilterLabels {
         /// Node column.
@@ -148,6 +166,23 @@ pub enum PlanStep {
         /// The alternating element columns.
         elements: Vec<PathElem>,
     },
+}
+
+/// One edge closed by a [`PlanStep::MultiwayIntersect`]: the bound node
+/// it connects, the relationship column it binds, and the admissibility
+/// conditions of the pattern edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntersectGuard {
+    /// Already-bound node column (the pattern neighbour).
+    pub from: Col,
+    /// Relationship output column this guard binds.
+    pub rel: Col,
+    /// Direction as seen from `from` (towards the intersected node).
+    pub dir: Dir,
+    /// Admissible relationship types (empty = any).
+    pub types: Vec<String>,
+    /// Relationship property conditions (`key = expr`), checked inline.
+    pub props: Vec<(String, Expr)>,
 }
 
 impl PlanStep {
@@ -242,6 +277,31 @@ impl fmt::Display for PlanStep {
                 };
                 write!(f, "Expand({from}){arrow}[{rel}{t}{range}]({to})")
             }
+            PlanStep::MultiwayIntersect {
+                to, guards, labels, ..
+            } => {
+                let target = if labels.is_empty() {
+                    to.clone()
+                } else {
+                    format!("{to}:{}", labels.join(":"))
+                };
+                let gs: Vec<String> = guards
+                    .iter()
+                    .map(|g| {
+                        let t = if g.types.is_empty() {
+                            String::new()
+                        } else {
+                            format!(":{}", g.types.join("|"))
+                        };
+                        match g.dir {
+                            Dir::Out => format!("({})-[{}{t}]->", g.from, g.rel),
+                            Dir::In => format!("({})<-[{}{t}]-", g.from, g.rel),
+                            Dir::Both => format!("({})-[{}{t}]-", g.from, g.rel),
+                        }
+                    })
+                    .collect();
+                write!(f, "MultiwayIntersect({} ({target}))", gs.join(" & "))
+            }
             PlanStep::FilterLabels { var, labels } => {
                 write!(f, "Filter({var}:{})", labels.join(":"))
             }
@@ -322,5 +382,31 @@ mod tests {
             .to_string(),
             "PropertyIndexSeek(n:Person.name = x)"
         );
+        let m = PlanStep::MultiwayIntersect {
+            to: "c".into(),
+            guards: vec![
+                IntersectGuard {
+                    from: "a".into(),
+                    rel: "r1".into(),
+                    dir: Dir::Out,
+                    types: vec!["T".into()],
+                    props: vec![],
+                },
+                IntersectGuard {
+                    from: "b".into(),
+                    rel: "r2".into(),
+                    dir: Dir::Both,
+                    types: vec![],
+                    props: vec![],
+                },
+            ],
+            labels: vec!["L".into()],
+            exclude: vec![],
+        };
+        assert_eq!(
+            m.to_string(),
+            "MultiwayIntersect((a)-[r1:T]-> & (b)-[r2]- (c:L))"
+        );
+        assert!(!m.is_source());
     }
 }

@@ -27,7 +27,7 @@
 //! into morsels for the worker pool. Picking the cheapest anchor therefore
 //! also picks the smallest work list to split.
 
-use crate::plan::{MatchPlan, PathElem, PlanStep};
+use crate::plan::{IntersectGuard, MatchPlan, PathElem, PlanStep};
 use cypher_ast::expr::Expr;
 use cypher_ast::pattern::{Dir, NodePattern, PathPattern, RelPattern};
 use cypher_graph::{PropertyGraph, ViewRef};
@@ -53,6 +53,21 @@ pub enum PlannerMode {
     CartesianJoin,
 }
 
+/// When the planner may compile a cyclic `MATCH` to a worst-case-optimal
+/// multiway intersection instead of a binary `Expand` chain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WcoJoinMode {
+    /// Never: always plan `Expand` chains (the pre-intersection planner).
+    Off,
+    /// Cost-based: build both plans and keep the one whose *peak*
+    /// intermediate-cardinality estimate is lower. Ties keep the chain.
+    #[default]
+    Auto,
+    /// Always use the intersection plan when the pattern is eligible
+    /// (cyclic, single-hop, self-contained) — the benchmarking override.
+    Force,
+}
+
 /// Everything the planner needs to know besides the graph: the plan
 /// strategy plus which index families it may exploit. Turning an index
 /// off never affects results — only the shape (and speed) of the plan.
@@ -66,6 +81,8 @@ pub struct PlannerOptions {
     /// Allow `PropertyIndexSeek` over the exact-match property indexes
     /// (otherwise constant property predicates become residual filters).
     pub use_property_index: bool,
+    /// Worst-case-optimal join policy for cyclic patterns.
+    pub wco_join: WcoJoinMode,
 }
 
 impl Default for PlannerOptions {
@@ -74,6 +91,7 @@ impl Default for PlannerOptions {
             mode: PlannerMode::default(),
             use_label_index: true,
             use_property_index: true,
+            wco_join: WcoJoinMode::default(),
         }
     }
 }
@@ -252,6 +270,27 @@ impl PlanCtx<'_> {
             _ => per_dir,
         }
     }
+
+    /// Total relationships an edge pattern can draw from (`|E|` restricted
+    /// to its types) — the per-relation cardinality entering the AGM
+    /// bound.
+    fn edge_cardinality(&self, rho: &RelPattern) -> f64 {
+        let r = if rho.types.is_empty() {
+            self.graph.rel_count() as f64
+        } else {
+            rho.types
+                .iter()
+                .map(|t| {
+                    self.graph
+                        .interner()
+                        .get(t)
+                        .map(|sym| self.graph.type_cardinality(sym))
+                        .unwrap_or(0) as f64
+                })
+                .sum()
+        };
+        r.max(1.0)
+    }
 }
 
 /// Plans one `MATCH` clause over the given driving-table fields.
@@ -267,8 +306,9 @@ pub fn plan_match<'a>(
     opts: impl Into<PlannerOptions>,
 ) -> PlannedMatch {
     let opts = opts.into();
-    let mut ctx = PlanCtx {
-        graph: view.into().graph(),
+    let graph = view.into().graph();
+    let new_ctx = || PlanCtx {
+        graph,
         opts,
         bound: driving_fields.to_vec(),
         steps: Vec::new(),
@@ -277,8 +317,10 @@ pub fn plan_match<'a>(
         anon_counter: 0,
         est_rows: 1.0,
     };
-    let before: Vec<String> = ctx.bound.clone();
 
+    // The classic plan: each path independently, anchor + expand chain
+    // (or the cartesian baseline).
+    let mut ctx = new_ctx();
     for pat in patterns {
         let all_single = pat.rel_patterns().all(|r| r.range.is_single());
         if opts.mode == PlannerMode::CartesianJoin && all_single && !pat.steps.is_empty() {
@@ -287,11 +329,44 @@ pub fn plan_match<'a>(
             plan_path_expand(&mut ctx, pat);
         }
     }
+    let chain = finish_plan(ctx, driving_fields);
 
+    // The worst-case-optimal alternative: when the pattern's join graph
+    // is cyclic (and eligible), plan the whole `MATCH` by variable
+    // elimination, binding cycle-closing variables with one multiway
+    // intersection instead of expand + filter.
+    if opts.mode != PlannerMode::ExpandBased || opts.wco_join == WcoJoinMode::Off {
+        return chain;
+    }
+    let mut wco_ctx = new_ctx();
+    let Some((vertices, edges)) = wco_join_graph(&mut wco_ctx, patterns) else {
+        return chain;
+    };
+    plan_wco(&mut wco_ctx, &vertices, &edges);
+    let wco = finish_plan(wco_ctx, driving_fields);
+    match opts.wco_join {
+        WcoJoinMode::Force => wco,
+        // The decision metric is the *peak* estimated intermediate
+        // cardinality — the quantity worst-case-optimal joins bound.
+        // Strict `<`: on ties (e.g. statistics-free graphs) the chain
+        // plan keeps its well-tested pipeline.
+        _ => {
+            if peak_estimate(&wco.plan) < peak_estimate(&chain.plan) {
+                wco
+            } else {
+                chain
+            }
+        }
+    }
+}
+
+/// Packages a finished planning context, separating the visible new
+/// variables from hidden (space-prefixed) columns.
+fn finish_plan(ctx: PlanCtx<'_>, driving_fields: &[String]) -> PlannedMatch {
     let new_vars: Vec<String> = ctx
         .bound
         .iter()
-        .filter(|v| !before.contains(v) && !v.starts_with(' '))
+        .filter(|v| !driving_fields.contains(v) && !v.starts_with(' '))
         .cloned()
         .collect();
     PlannedMatch {
@@ -302,6 +377,12 @@ pub fn plan_match<'a>(
         },
         new_vars,
     }
+}
+
+/// The largest per-step cardinality estimate of a plan — the cost model's
+/// proxy for peak intermediate-result size.
+fn peak_estimate(plan: &MatchPlan) -> f64 {
+    plan.step_estimates.iter().copied().fold(0.0, f64::max)
 }
 
 /// Column names for the nodes and relationships of a path, generating
@@ -574,6 +655,378 @@ fn emit_path_bind(
     ctx.bind(path_name);
 }
 
+// ---------------------------------------------------------------------------
+// Worst-case-optimal planning (cyclic patterns)
+// ---------------------------------------------------------------------------
+
+/// One variable of the pattern join graph: its output column and every
+/// node pattern occurrence that constrains it (a named variable may
+/// appear in several paths; anonymous nodes are always fresh vertices and
+/// therefore can never close a cycle).
+struct WcoVertex<'p> {
+    col: String,
+    pats: Vec<&'p NodePattern>,
+}
+
+/// One relationship of the pattern join graph, written `(u)-rho-(v)` —
+/// `rho.dir` is relative to `u`.
+struct WcoEdge<'p> {
+    u: usize,
+    v: usize,
+    rel_col: String,
+    rho: &'p RelPattern,
+}
+
+/// Loop-free union-find lookup with halving.
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Builds the join graph of a whole `MATCH` clause and checks it is
+/// *eligible* for worst-case-optimal planning: every relationship
+/// single-hop with a fresh unique name, no named paths, no variables
+/// pre-bound by the driving table, only constant (literal/parameter)
+/// property maps — and, after merging repeated node variables, at least
+/// one cycle (an edge whose endpoints are already connected; self-loops
+/// don't count, expand-into closes those fine). Returns `None` when any
+/// condition fails, which sends the caller back to the chain plan.
+fn wco_join_graph<'p>(
+    ctx: &mut PlanCtx<'_>,
+    patterns: &'p [PathPattern],
+) -> Option<(Vec<WcoVertex<'p>>, Vec<WcoEdge<'p>>)> {
+    let constant = |e: &Expr| matches!(e, Expr::Lit(_) | Expr::Param(_));
+    let mut node_names: Vec<&str> = Vec::new();
+    let mut rel_names: Vec<&str> = Vec::new();
+    for pat in patterns {
+        if pat.name.is_some() {
+            return None; // named paths keep the chain plan's bind order
+        }
+        for chi in pat.node_patterns() {
+            if !chi.props.iter().all(|(_, e)| constant(e)) {
+                return None;
+            }
+            if let Some(n) = &chi.name {
+                if ctx.is_bound(n) {
+                    return None;
+                }
+                if !node_names.contains(&n.as_str()) {
+                    node_names.push(n);
+                }
+            }
+        }
+        for rho in pat.rel_patterns() {
+            if !rho.range.is_single() || !rho.props.iter().all(|(_, e)| constant(e)) {
+                return None;
+            }
+            if let Some(n) = &rho.name {
+                // A repeated relationship variable (or one shadowing a
+                // node variable or driving column) pins bindings across
+                // steps — the chain plan's rel_bound machinery handles
+                // those.
+                if ctx.is_bound(n) || rel_names.contains(&n.as_str()) {
+                    return None;
+                }
+                rel_names.push(n);
+            }
+        }
+    }
+    if rel_names.iter().any(|r| node_names.contains(r)) {
+        return None;
+    }
+
+    let mut vertices: Vec<WcoVertex<'p>> = Vec::new();
+    let mut edges: Vec<WcoEdge<'p>> = Vec::new();
+    for pat in patterns {
+        let mut prev = intern_vertex(ctx, &mut vertices, &pat.start);
+        for (rho, chi) in &pat.steps {
+            let cur = intern_vertex(ctx, &mut vertices, chi);
+            let rel_col = match &rho.name {
+                Some(n) => n.clone(),
+                None => ctx.fresh_anon(),
+            };
+            edges.push(WcoEdge {
+                u: prev,
+                v: cur,
+                rel_col,
+                rho,
+            });
+            prev = cur;
+        }
+    }
+
+    let mut parent: Vec<usize> = (0..vertices.len()).collect();
+    let mut cyclic = false;
+    for e in &edges {
+        if e.u == e.v {
+            continue;
+        }
+        let (ru, rv) = (uf_find(&mut parent, e.u), uf_find(&mut parent, e.v));
+        if ru == rv {
+            cyclic = true;
+        } else {
+            parent[ru] = rv;
+        }
+    }
+    cyclic.then_some((vertices, edges))
+}
+
+/// Looks up (by name) or creates the join-graph vertex of one node
+/// pattern occurrence.
+fn intern_vertex<'p>(
+    ctx: &mut PlanCtx<'_>,
+    vertices: &mut Vec<WcoVertex<'p>>,
+    chi: &'p NodePattern,
+) -> usize {
+    if let Some(name) = &chi.name {
+        if let Some(i) = vertices.iter().position(|v| &v.col == name) {
+            vertices[i].pats.push(chi);
+            return i;
+        }
+        vertices.push(WcoVertex {
+            col: name.clone(),
+            pats: vec![chi],
+        });
+    } else {
+        let col = ctx.fresh_anon();
+        vertices.push(WcoVertex {
+            col,
+            pats: vec![chi],
+        });
+    }
+    vertices.len() - 1
+}
+
+/// Plans an eligible cyclic `MATCH` by greedy variable elimination: each
+/// round binds the unbound vertex with the most edges into the bound set
+/// (ties keep pattern order; a fresh component anchors at its cheapest
+/// scan). One such edge is a plain `Expand`; two or more become a single
+/// `MultiwayIntersect` that binds the variable worst-case-optimally.
+/// Edges left between two bound vertices (self-loops included) close as
+/// expand-into, exactly like the chain plan's cycle closing.
+///
+/// Costing: an intersection's output estimate multiplies the guards'
+/// fan-outs and divides by `n^(k-1)` (independent-edge selectivity), then
+/// clamps to the running AGM bound `∏ card(e)^{w(e)}` with `w(e) = ½` for
+/// edges between two cycle vertices (join-graph degree ≥ 2) and `1`
+/// otherwise — the fractional edge cover that prices a triangle at
+/// `|E|^{3/2}` rather than `|E|³`.
+fn plan_wco(ctx: &mut PlanCtx<'_>, vertices: &[WcoVertex<'_>], edges: &[WcoEdge<'_>]) {
+    let nverts = vertices.len();
+    let mut vbound = vec![false; nverts];
+    let mut done = vec![false; edges.len()];
+    let mut degree = vec![0usize; nverts];
+    for e in edges {
+        degree[e.u] += 1;
+        degree[e.v] += 1;
+    }
+    let n = ctx.graph.node_count().max(1) as f64;
+    let mut agm = 1.0f64;
+
+    for _ in 0..nverts {
+        // Edges joining each unbound vertex to the bound set.
+        let incident_of = |v: usize, vbound: &[bool], done: &[bool]| -> Vec<usize> {
+            edges
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| {
+                    !done[*i]
+                        && ((e.u == v && e.v != v && vbound[e.v])
+                            || (e.v == v && e.u != v && vbound[e.u]))
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut pick = None;
+        let mut pick_incident: Vec<usize> = Vec::new();
+        for v in 0..nverts {
+            if vbound[v] {
+                continue;
+            }
+            let inc = incident_of(v, &vbound, &done);
+            if pick.is_none() || inc.len() > pick_incident.len() {
+                pick = Some(v);
+                pick_incident = inc;
+            }
+        }
+        let v = pick.expect("unbound vertex remains");
+
+        if pick_incident.is_empty() {
+            // Fresh component: re-anchor at the cheapest unbound vertex.
+            let mut anchor = v;
+            let mut anchor_cost = f64::INFINITY;
+            for (cand, vx) in vertices.iter().enumerate() {
+                if vbound[cand] {
+                    continue;
+                }
+                let cost = vx
+                    .pats
+                    .iter()
+                    .map(|chi| ctx.start_cost(chi))
+                    .fold(f64::INFINITY, f64::min);
+                if cost < anchor_cost {
+                    anchor_cost = cost;
+                    anchor = cand;
+                }
+            }
+            let vx = &vertices[anchor];
+            let mut best = 0;
+            let mut best_cost = f64::INFINITY;
+            for (i, chi) in vx.pats.iter().enumerate() {
+                let cost = ctx.start_cost(chi);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            emit_start(ctx, &vx.col, vx.pats[best]);
+            for (i, chi) in vx.pats.iter().enumerate() {
+                if i != best {
+                    emit_node_filters(ctx, &vx.col, chi, None);
+                }
+            }
+            vbound[anchor] = true;
+            close_bound_edges(ctx, vertices, edges, &vbound, &mut done, &degree, &mut agm);
+            continue;
+        }
+
+        let vx = &vertices[v];
+        if pick_incident.len() == 1 {
+            let e = &edges[pick_incident[0]];
+            let reversed = e.u == v; // expanding against the written side
+            let from_col = if reversed {
+                &vertices[e.v].col
+            } else {
+                &vertices[e.u].col
+            };
+            let from_col = from_col.clone();
+            agm *= ctx.edge_cardinality(e.rho).powf(edge_weight(e, &degree));
+            emit_expand(
+                ctx, &from_col, &e.rel_col, &vx.col, e.rho, vx.pats[0], reversed,
+            );
+            for chi in &vx.pats[1..] {
+                emit_node_filters(ctx, &vx.col, chi, None);
+            }
+            done[pick_incident[0]] = true;
+        } else {
+            let mut guards = Vec::with_capacity(pick_incident.len());
+            let mut factor = 1.0f64;
+            for &ei in &pick_incident {
+                let e = &edges[ei];
+                let flip = e.u == v; // guard hangs off the bound endpoint
+                let from = if flip { e.v } else { e.u };
+                let dir = if flip {
+                    match e.rho.dir {
+                        Dir::Out => Dir::In,
+                        Dir::In => Dir::Out,
+                        Dir::Both => Dir::Both,
+                    }
+                } else {
+                    e.rho.dir
+                };
+                guards.push(IntersectGuard {
+                    from: vertices[from].col.clone(),
+                    rel: e.rel_col.clone(),
+                    dir,
+                    types: e.rho.types.clone(),
+                    props: e.rho.props.clone(),
+                });
+                factor *= ctx.expand_factor(e.rho).max(0.1);
+                agm *= ctx.edge_cardinality(e.rho).powf(edge_weight(e, &degree));
+                done[ei] = true;
+            }
+            // Union of every occurrence's labels, checked inside the
+            // operator (candidates are filtered before relationship
+            // enumeration).
+            let mut labels: Vec<String> = Vec::new();
+            for chi in &vx.pats {
+                for l in &chi.labels {
+                    if !labels.contains(l) {
+                        labels.push(l.clone());
+                    }
+                }
+            }
+            let k = pick_incident.len() as i32;
+            ctx.est_rows *= (factor / n.powi(k - 1)).max(0.001);
+            ctx.est_rows = ctx.est_rows.min(agm);
+            ctx.emit(PlanStep::MultiwayIntersect {
+                to: vx.col.clone(),
+                guards,
+                labels,
+                exclude: ctx.rel_cols.clone(),
+            });
+            for &ei in &pick_incident {
+                ctx.rel_cols.push(edges[ei].rel_col.clone());
+                ctx.bind(&edges[ei].rel_col);
+            }
+            ctx.bind(&vx.col);
+            // Node labels were folded into the step; property maps become
+            // residual filters (as everywhere else in the planner).
+            for chi in &vx.pats {
+                if !chi.props.is_empty() {
+                    ctx.emit(PlanStep::FilterProps {
+                        var: vx.col.clone(),
+                        props: chi.props.clone(),
+                    });
+                }
+            }
+        }
+        vbound[v] = true;
+        close_bound_edges(ctx, vertices, edges, &vbound, &mut done, &degree, &mut agm);
+    }
+}
+
+/// AGM exponent of one edge: ½ inside a cycle, 1 on a tree edge.
+fn edge_weight(e: &WcoEdge<'_>, degree: &[usize]) -> f64 {
+    if degree[e.u] >= 2 && degree[e.v] >= 2 {
+        0.5
+    } else {
+        1.0
+    }
+}
+
+/// Emits expand-into steps for every remaining edge whose endpoints are
+/// both bound (cycle-closing edges the greedy pick didn't consume, and
+/// self-loops).
+#[allow(clippy::too_many_arguments)]
+fn close_bound_edges(
+    ctx: &mut PlanCtx<'_>,
+    vertices: &[WcoVertex<'_>],
+    edges: &[WcoEdge<'_>],
+    vbound: &[bool],
+    done: &mut [bool],
+    degree: &[usize],
+    agm: &mut f64,
+) {
+    let empty = NodePattern {
+        name: None,
+        labels: Vec::new(),
+        props: Vec::new(),
+    };
+    for (i, e) in edges.iter().enumerate() {
+        if done[i] || !vbound[e.u] || !vbound[e.v] {
+            continue;
+        }
+        *agm *= ctx.edge_cardinality(e.rho).powf(edge_weight(e, degree));
+        let from_col = vertices[e.u].col.clone();
+        // Node filters were emitted when the endpoints were bound; the
+        // empty pattern adds none.
+        emit_expand(
+            ctx,
+            &from_col,
+            &e.rel_col,
+            &vertices[e.v].col,
+            e.rho,
+            &empty,
+            false,
+        );
+        done[i] = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +1254,166 @@ mod tests {
             .steps
             .iter()
             .any(|s| matches!(s, PlanStep::FilterLabels { .. })));
+    }
+
+    /// 100 nodes, 10 outgoing KNOWS each — dense enough that expand
+    /// chains blow up quadratically on cyclic patterns.
+    fn dense_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let nodes: Vec<_> = (0..100)
+            .map(|i| g.add_node(&["N"], [("i", Value::int(i))]))
+            .collect();
+        for i in 0..100usize {
+            for j in 1..=10usize {
+                let t = (i * 7 + j * 13) % 100;
+                g.add_rel(nodes[i], nodes[t], "KNOWS", []).unwrap();
+            }
+        }
+        g
+    }
+
+    fn triangle() -> Vec<PathPattern> {
+        vec![
+            parse_pattern("(a)-[r1:KNOWS]->(b)-[r2:KNOWS]->(c)").unwrap(),
+            parse_pattern("(a)-[r3:KNOWS]->(c)").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn force_plans_cyclic_match_with_intersection() {
+        let g = sample_graph();
+        let opts = PlannerOptions {
+            wco_join: WcoJoinMode::Force,
+            ..PlannerOptions::default()
+        };
+        let planned = plan_match(&g, &[], &triangle(), opts);
+        let isect: Vec<&PlanStep> = planned
+            .plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::MultiwayIntersect { .. }))
+            .collect();
+        assert_eq!(isect.len(), 1, "plan: {}", planned.plan);
+        let PlanStep::MultiwayIntersect { to, guards, .. } = isect[0] else {
+            unreachable!()
+        };
+        // The cycle-closing variable is bound last, by intersecting the
+        // adjacencies of both already-bound neighbours.
+        assert_eq!(to, "c");
+        assert_eq!(guards.len(), 2);
+        assert_eq!(guards[0].from, "b");
+        assert_eq!(guards[1].from, "a");
+        assert!(guards.iter().all(|g| g.dir == Dir::Out));
+        assert_eq!(planned.new_vars, vec!["a", "r1", "b", "r2", "r3", "c"]);
+    }
+
+    #[test]
+    fn off_never_plans_intersection() {
+        let g = dense_graph();
+        let opts = PlannerOptions {
+            wco_join: WcoJoinMode::Off,
+            ..PlannerOptions::default()
+        };
+        let planned = plan_match(&g, &[], &triangle(), opts);
+        assert!(!planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::MultiwayIntersect { .. })));
+    }
+
+    #[test]
+    fn auto_intersects_on_dense_graphs_and_chains_on_sparse() {
+        // Dense (avg degree 10): the chain's intermediate result dwarfs
+        // the intersection's, so Auto flips to the intersect plan.
+        let planned = plan_match(&dense_graph(), &[], &triangle(), PlannerOptions::default());
+        assert!(
+            planned
+                .plan
+                .steps
+                .iter()
+                .any(|s| matches!(s, PlanStep::MultiwayIntersect { .. })),
+            "plan: {}",
+            planned.plan
+        );
+        // Sparse (a chain, avg degree ≈ 1): estimates tie at the anchor
+        // scan, and ties keep the expand chain.
+        let planned = plan_match(&sample_graph(), &[], &triangle(), PlannerOptions::default());
+        assert!(
+            !planned
+                .plan
+                .steps
+                .iter()
+                .any(|s| matches!(s, PlanStep::MultiwayIntersect { .. })),
+            "plan: {}",
+            planned.plan
+        );
+    }
+
+    #[test]
+    fn ineligible_patterns_keep_the_chain_plan_even_forced() {
+        let g = dense_graph();
+        let opts = PlannerOptions {
+            wco_join: WcoJoinMode::Force,
+            ..PlannerOptions::default()
+        };
+        let no_isect = |pats: Vec<PathPattern>| {
+            let planned = plan_match(&g, &[], &pats, opts);
+            assert!(
+                !planned
+                    .plan
+                    .steps
+                    .iter()
+                    .any(|s| matches!(s, PlanStep::MultiwayIntersect { .. })),
+                "plan: {}",
+                planned.plan
+            );
+        };
+        // Acyclic.
+        no_isect(vec![
+            parse_pattern("(a)-[r1:KNOWS]->(b)-[r2:KNOWS]->(c)").unwrap()
+        ]);
+        // Repeated relationship variable.
+        no_isect(vec![
+            parse_pattern("(a)-[r:KNOWS]->(b)-[r2:KNOWS]->(c)").unwrap(),
+            parse_pattern("(a)-[r:KNOWS]->(c)").unwrap(),
+        ]);
+        // Variable-length step in the cycle.
+        no_isect(vec![
+            parse_pattern("(a)-[r1:KNOWS*1..2]->(b)-[r2:KNOWS]->(c)").unwrap(),
+            parse_pattern("(a)-[r3:KNOWS]->(c)").unwrap(),
+        ]);
+        // Named path.
+        no_isect(vec![
+            parse_pattern("p = (a)-[r1:KNOWS]->(b)-[r2:KNOWS]->(c)").unwrap(),
+            parse_pattern("(a)-[r3:KNOWS]->(c)").unwrap(),
+        ]);
+        // A self-loop alone is not a cycle the intersection can exploit.
+        no_isect(vec![parse_pattern("(a)-[r1:KNOWS]->(a)").unwrap()]);
+    }
+
+    #[test]
+    fn two_cycle_flips_the_closing_guard_direction() {
+        let g = dense_graph();
+        let opts = PlannerOptions {
+            wco_join: WcoJoinMode::Force,
+            ..PlannerOptions::default()
+        };
+        let p = parse_pattern("(a)-[r1:KNOWS]->(b)<-[r2:KNOWS]-(a)").unwrap();
+        let planned = plan_match(&g, &[], &[p], opts);
+        let Some(PlanStep::MultiwayIntersect { to, guards, .. }) = planned
+            .plan
+            .steps
+            .iter()
+            .find(|s| matches!(s, PlanStep::MultiwayIntersect { .. }))
+        else {
+            panic!("expected intersection, plan: {}", planned.plan)
+        };
+        assert_eq!(to, "b");
+        // Both guards hang off `a`; directions follow the pattern as
+        // seen from `a`.
+        assert!(guards.iter().all(|g| g.from == "a"));
+        assert_eq!(guards.len(), 2);
     }
 
     #[test]

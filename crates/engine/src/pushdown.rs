@@ -33,7 +33,7 @@
 //! canonical (scheduling-independent) error.
 
 use crate::exec::{EngineConfig, PartialAggMode};
-use crate::ops::{build_prepared, parallel_morsels, prepare_sources, PreparedSource};
+use crate::ops::{build_prepared, parallel_morsels, prepare_sources, ExecMetrics, PreparedSource};
 use crate::plan::PlanStep;
 use crate::planner::PlannedMatch;
 use cypher_ast::expr::Expr;
@@ -266,6 +266,7 @@ pub(crate) fn try_fused_match_projection(
                 &items,
                 morsel,
                 threads,
+                cfg.exec_metrics.as_deref(),
             ) {
                 Ok(t) => return FusedOutcome::Done(t),
                 Err(_) => return FusedOutcome::Skipped(table),
@@ -278,21 +279,30 @@ pub(crate) fn try_fused_match_projection(
     // (The driving table is cloned so the classic path can still run if
     // the fold errors; driving tables at this point are the usually-tiny
     // pre-match context, not the scan output.)
-    match run_sequential_fused(ctx, &spec, &steps, &prepared, table.clone(), morsel) {
+    match run_sequential_fused(
+        ctx,
+        &spec,
+        &steps,
+        &prepared,
+        table.clone(),
+        morsel,
+        cfg.exec_metrics.as_deref(),
+    ) {
         Ok(t) => FusedOutcome::Done(t),
         Err(_) => FusedOutcome::Skipped(table),
     }
 }
 
-fn run_sequential_fused(
-    ctx: &EvalContext<'_>,
+fn run_sequential_fused<'a>(
+    ctx: &'a EvalContext<'a>,
     spec: &FusedSpec<'_>,
     steps: &[PlanStep],
     prepared: &[PreparedSource],
     input: Table,
     morsel: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Table, EvalError> {
-    let mut op = build_prepared(ctx, steps, prepared, input, morsel)?;
+    let mut op = build_prepared(ctx, steps, prepared, input, morsel, metrics)?;
     let raw_schema = op.schema().clone();
     let mut state = spec.new_state();
     while let Some(batch) = op.next_batch()? {
@@ -311,8 +321,8 @@ fn run_sequential_fused(
 /// sequential row order, and in-order merging reproduces the sequential
 /// fold.
 #[allow(clippy::too_many_arguments)]
-fn run_parallel_fused(
-    ctx: &EvalContext<'_>,
+fn run_parallel_fused<'a>(
+    ctx: &'a EvalContext<'a>,
     spec: &FusedSpec<'_>,
     rest: &[PlanStep],
     rest_sources: &[PreparedSource],
@@ -321,6 +331,7 @@ fn run_parallel_fused(
     items: &[cypher_graph::Value],
     morsel: usize,
     threads: usize,
+    metrics: Option<&'a ExecMetrics>,
 ) -> Result<Table, EvalError> {
     let total = driving.len() * items.len();
     let n_morsels = total.div_ceil(morsel);
@@ -340,7 +351,7 @@ fn run_parallel_fused(
             r.push(items[idx % per_row].clone());
             t.push(r);
         }
-        let mut op = build_prepared(ctx, rest, rest_sources, t, morsel)?;
+        let mut op = build_prepared(ctx, rest, rest_sources, t, morsel, metrics)?;
         let raw_schema = op.schema().clone();
         {
             let mut slot = schema_slot.lock().unwrap();

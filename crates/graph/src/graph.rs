@@ -8,6 +8,7 @@
 //! Mutation support (add/delete/set/remove) backs the update clauses of
 //! Section 2 (`CREATE`, `DELETE`, `SET`, `MERGE`).
 
+use crate::adjacency::{self, Neighbor, SortedAdjacency};
 use crate::change::{Change, ChangeSink};
 use crate::fxhash::FxHashMap;
 use crate::index::{value_bucket, IndexCardinality, IndexSet};
@@ -15,7 +16,7 @@ use crate::interner::{Interner, Symbol};
 use crate::slots::CowSlots;
 use crate::value::Value;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A node identifier — an element of the countably infinite set `N`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -238,6 +239,13 @@ pub struct PropertyGraph {
     /// so callers (the plan cache) can skip recomputing statistics
     /// fingerprints while the graph is provably unchanged.
     version: u64,
+    /// Per-shard adjacency epochs (see [`crate::adjacency`]): bumped by
+    /// every mutation that changes some node's incident-relationship
+    /// lists, indexed by node slot / [`adjacency::SHARD_SLOTS`].
+    adj_epochs: Vec<u64>,
+    /// The lazily built sorted-adjacency cache for the current version
+    /// (interior mutability: building it is not a graph mutation).
+    adj_cache: Mutex<Option<Arc<adjacency::SortedAdjacency>>>,
 }
 
 /// Clones the graph **without** its change sink: a clone is a detached
@@ -255,6 +263,15 @@ impl Clone for PropertyGraph {
             live_rels: self.live_rels,
             sink: None,
             version: self.version,
+            adj_epochs: self.adj_epochs.clone(),
+            // The cache describes the same version/epochs, so the clone
+            // may keep sharing it (an `Arc` bump, no data copied).
+            adj_cache: Mutex::new(
+                self.adj_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
         }
     }
 }
@@ -271,6 +288,7 @@ impl fmt::Debug for PropertyGraph {
             .field("live_nodes", &self.live_nodes)
             .field("live_rels", &self.live_rels)
             .field("sink", &self.sink.as_ref().map(|_| "<ChangeSink>"))
+            .field("adj_epochs", &self.adj_epochs)
             .finish()
     }
 }
@@ -341,6 +359,65 @@ impl PropertyGraph {
     /// only costs one fingerprint recomputation).
     fn touch(&mut self) {
         self.version += 1;
+    }
+
+    /// Marks `n`'s adjacency shard dirty for the sorted-adjacency cache.
+    /// Called by every mutation that changes an incident-relationship
+    /// list; pure node add/delete needs no bump (a node without
+    /// relationships has empty adjacency either way).
+    fn touch_adjacency(&mut self, n: NodeId) {
+        let shard = n.0 as usize / adjacency::SHARD_SLOTS;
+        if self.adj_epochs.len() <= shard {
+            self.adj_epochs.resize(shard + 1, 0);
+        }
+        self.adj_epochs[shard] += 1;
+    }
+
+    /// The sorted-adjacency cache for the current version (see
+    /// [`crate::adjacency`]): per-node neighbour lists sorted by
+    /// `(node, rel)`, the substrate of multiway intersection joins.
+    ///
+    /// Built lazily on first request after a version change and cached;
+    /// only shards whose epoch moved since the previous build are
+    /// re-sorted (shard-parallel), so a point commit against a large
+    /// graph rebuilds a handful of shards, not the world.
+    pub fn sorted_adjacency(&self) -> Arc<SortedAdjacency> {
+        let mut guard = self.adj_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cached) = guard.as_ref() {
+            if cached.version() == self.version {
+                return Arc::clone(cached);
+            }
+        }
+        let slot_count = self.nodes.slot_count();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        let built = Arc::new(adjacency::rebuild(
+            self.version,
+            slot_count,
+            &self.adj_epochs,
+            guard.as_deref(),
+            threads,
+            &|slot, out, inc| {
+                if let Some(d) = self.nodes.get(slot) {
+                    for &r in &d.out {
+                        out.push(Neighbor {
+                            node: self.tgt(r).expect("live rel"),
+                            rel: r,
+                        });
+                    }
+                    for &r in &d.inc {
+                        inc.push(Neighbor {
+                            node: self.src(r).expect("live rel"),
+                            rel: r,
+                        });
+                    }
+                }
+            },
+        ));
+        *guard = Some(Arc::clone(&built));
+        built
     }
 
     /// Resolves a property map into `(string key, value)` pairs for a
@@ -502,6 +579,8 @@ impl PropertyGraph {
         });
         self.node_mut(src).unwrap().out.push(id);
         self.node_mut(tgt).unwrap().inc.push(id);
+        self.touch_adjacency(src);
+        self.touch_adjacency(tgt);
         *self.type_counts.entry(rel_type).or_insert(0) += 1;
         self.live_rels += 1;
         Ok(id)
@@ -522,6 +601,8 @@ impl PropertyGraph {
         if let Some(n) = self.node_mut(data.tgt) {
             n.inc.retain(|&x| x != r);
         }
+        self.touch_adjacency(data.src);
+        self.touch_adjacency(data.tgt);
         if let Some(c) = self.type_counts.get_mut(&data.rel_type) {
             *c = c.saturating_sub(1);
         }

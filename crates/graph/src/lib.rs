@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adjacency;
 pub mod catalog;
 pub mod change;
 pub mod fxhash;
@@ -42,6 +43,7 @@ pub mod temporal;
 pub mod value;
 pub mod version;
 
+pub use adjacency::{gallop, intersect_nodes, Neighbor, SortedAdjacency};
 pub use catalog::Catalog;
 pub use change::{Change, ChangeSink, SharedChangeBuffer};
 pub use graph::{

@@ -207,6 +207,61 @@ pub fn citation_network(
     g
 }
 
+/// A preferential-attachment ("rich get richer") social graph: `persons`
+/// nodes labelled `Person` (every seventh also `Bot`), each following
+/// `edges_per` earlier accounts with probability proportional to current
+/// degree — the classic Barabási–Albert construction, yielding a
+/// power-law degree distribution whose dense, triangle-rich core is the
+/// worst case for binary expand chains and the showcase for multiway
+/// intersection joins. Nodes carry the differential substrate's integer
+/// properties (`i` unique, `v` collision-heavy); `FOLLOWS` edges carry
+/// `w`.
+pub fn powerlaw_social(persons: usize, edges_per: usize, seed: u64) -> PropertyGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = PropertyGraph::new();
+    let mut ids: Vec<NodeId> = Vec::with_capacity(persons);
+    // One entry per edge endpoint: drawing uniformly from this list is
+    // drawing nodes proportional to their degree.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for i in 0..persons {
+        let labels: &[&str] = if i % 7 == 0 {
+            &["Person", "Bot"]
+        } else {
+            &["Person"]
+        };
+        let n = g.add_node(
+            labels,
+            [
+                ("name", Value::str(format!("u{i}"))),
+                ("v", Value::int(rng.gen_range(0..10))),
+                ("i", Value::int(i as i64)),
+            ],
+        );
+        for _ in 0..edges_per {
+            if ids.is_empty() {
+                break;
+            }
+            // Uniform until enough degree mass exists to attach to.
+            let target = if endpoints.is_empty() {
+                ids[rng.gen_range(0..ids.len())]
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            g.add_rel(
+                n,
+                target,
+                "FOLLOWS",
+                [("w", Value::int(rng.gen_range(0..100)))],
+            )
+            .unwrap();
+            endpoints.push(n);
+            endpoints.push(target);
+        }
+        ids.push(n);
+    }
+    g
+}
+
 /// A simple directed chain of `n` nodes (`NEXT` edges), the worst case for
 /// deep variable-length traversal benchmarks.
 pub fn chain(n: usize) -> PropertyGraph {
@@ -360,6 +415,31 @@ mod tests {
         assert_eq!(g.label_cardinality(person), 100);
         let friend = g.interner().get("FRIEND").unwrap();
         assert!(g.type_cardinality(friend) > 100);
+    }
+
+    #[test]
+    fn powerlaw_social_is_deterministic_and_skewed() {
+        let a = powerlaw_social(300, 3, 11);
+        let b = powerlaw_social(300, 3, 11);
+        let ra: Vec<_> = a.rels().map(|r| (a.src(r), a.tgt(r))).collect();
+        let rb: Vec<_> = b.rels().map(|r| (b.src(r), b.tgt(r))).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.node_count(), 300);
+        // Every node after the first creates exactly `edges_per` edges.
+        assert_eq!(a.rel_count(), 299 * 3);
+        // Preferential attachment concentrates degree: the most-followed
+        // node collects far more than its fair share.
+        let max_in = a.nodes().map(|n| a.in_rels(n).len()).max().unwrap();
+        let avg = a.rel_count() as f64 / a.node_count() as f64;
+        assert!(
+            max_in as f64 > 3.0 * avg,
+            "max in-degree {max_in} not skewed over average {avg:.1}"
+        );
+        // Both labels exist for mixed-label cyclic queries.
+        let person = a.interner().get("Person").unwrap();
+        let bot = a.interner().get("Bot").unwrap();
+        assert_eq!(a.label_cardinality(person), 300);
+        assert!(a.label_cardinality(bot) > 0);
     }
 
     #[test]

@@ -22,4 +22,6 @@ pub mod generators;
 pub mod queries;
 
 pub use generators::*;
-pub use queries::{random_queries, random_updates, QueryGenerator, QueryVocabulary};
+pub use queries::{
+    random_cyclic_queries, random_queries, random_updates, QueryGenerator, QueryVocabulary,
+};

@@ -210,6 +210,135 @@ impl QueryGenerator {
         q
     }
 
+    /// Draws the next **cyclic-pattern** query: a triangle, diamond or
+    /// 4-cycle over named node variables — the shapes the worst-case-
+    /// optimal multiway intersection join targets — with mixed labels,
+    /// directions, relationship types and literal property predicates.
+    ///
+    /// Every step is single-hop and every relationship variable is
+    /// fresh, so the patterns stay eligible for the intersection plan
+    /// (the planner may still choose the expand chain; both enumerate
+    /// the same bag). Intersection and expand plans bind variables in
+    /// different orders, so harnesses compare these queries row-for-row
+    /// only *within* one plan policy (across thread counts) and as
+    /// sorted multisets across policies.
+    pub fn next_cyclic_query(&mut self) -> String {
+        let mut rel_idx = 0usize;
+        let mut rel = |rng: &mut SmallRng, vocab: &QueryVocabulary| -> String {
+            let var = if rng.gen_bool(0.5) {
+                let v = format!("e{rel_idx}");
+                rel_idx += 1;
+                v
+            } else {
+                String::new()
+            };
+            let ty = if rng.gen_bool(0.5) {
+                format!(":{}", pick(rng, &vocab.types))
+            } else {
+                String::new()
+            };
+            let props = if rng.gen_bool(0.15) {
+                format!(" {{w: {}}}", rng.gen_range(0..100))
+            } else {
+                String::new()
+            };
+            let body = format!("[{var}{ty}{props}]");
+            match rng.gen_range(0..3) {
+                0 => format!("-{body}->"),
+                1 => format!("<-{body}-"),
+                _ => format!("-{body}-"),
+            }
+        };
+        let node = |rng: &mut SmallRng, vocab: &QueryVocabulary, var: &str| -> String {
+            let label = if rng.gen_bool(0.35) {
+                format!(":{}", pick(rng, &vocab.labels))
+            } else {
+                String::new()
+            };
+            let props = if rng.gen_bool(0.15) {
+                format!(" {{v: {}}}", rng.gen_range(0..10))
+            } else {
+                String::new()
+            };
+            format!("({var}{label}{props})")
+        };
+        let rng = &mut self.rng;
+        let vocab = &self.vocab;
+        let (vars, pattern): (&[&str], String) = match rng.gen_range(0..3) {
+            // Triangle: a–b–c plus the closing a–c edge.
+            0 => {
+                let p = format!(
+                    "{}{}{}{}{}, {}{}{}",
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "b"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "c"),
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "c"),
+                );
+                (&["a", "b", "c"], p)
+            }
+            // Diamond: two length-2 paths a→…→d through b and c.
+            1 => {
+                let p = format!(
+                    "{}{}{}{}{}, {}{}{}{}{}",
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "b"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "d"),
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "c"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "d"),
+                );
+                (&["a", "b", "c", "d"], p)
+            }
+            // 4-cycle: a–b–c–d plus the closing a–d edge.
+            _ => {
+                let p = format!(
+                    "{}{}{}{}{}{}{}, {}{}{}",
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "b"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "c"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "d"),
+                    node(rng, vocab, "a"),
+                    rel(rng, vocab),
+                    node(rng, vocab, "d"),
+                );
+                (&["a", "b", "c", "d"], p)
+            }
+        };
+        let mut q = format!("MATCH {pattern}");
+        if rng.gen_bool(0.3) {
+            let x = *pick(rng, vars);
+            let y = *pick(rng, vars);
+            q.push_str(&match rng.gen_range(0..3) {
+                0 => format!(" WHERE {x}.v > {}", rng.gen_range(0..10)),
+                1 => format!(" WHERE {x}.v = {y}.v"),
+                _ => format!(" WHERE {x}.v < {} AND {y}.v > 0", rng.gen_range(1..10)),
+            });
+        }
+        match rng.gen_range(0..3) {
+            0 => {
+                let items: Vec<String> = vars.iter().map(|v| format!("{v}.i AS {v}0")).collect();
+                q.push_str(&format!(" RETURN {}", items.join(", ")));
+            }
+            1 => q.push_str(" RETURN count(*) AS c"),
+            _ => {
+                let x = *pick(rng, vars);
+                q.push_str(&format!(" RETURN DISTINCT {x}.v AS d"));
+            }
+        }
+        q
+    }
+
     /// The projection half of [`QueryGenerator::next_aggregate_query`].
     fn gen_aggregate_return(&mut self, vars: &[String]) -> String {
         let g = pick(&mut self.rng, vars).clone();
@@ -469,6 +598,12 @@ pub fn random_aggregate_queries(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|_| gen.next_aggregate_query()).collect()
 }
 
+/// Draws `n` cyclic-pattern queries from a fresh generator.
+pub fn random_cyclic_queries(n: usize, seed: u64) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..n).map(|_| gen.next_cyclic_query()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +705,43 @@ mod tests {
             if q.contains("LIMIT") || q.contains("SKIP") {
                 assert!(q.contains("ORDER BY"), "{q}");
             }
+        }
+    }
+
+    #[test]
+    fn cyclic_grammar_is_deterministic_and_covers_the_shapes() {
+        assert_eq!(random_cyclic_queries(60, 5), random_cyclic_queries(60, 5));
+        assert_ne!(random_cyclic_queries(60, 5), random_cyclic_queries(60, 6));
+        let qs = random_cyclic_queries(400, 2);
+        let all = qs.join("\n");
+        for needle in [
+            "(c), (a)", // triangle: closing edge back to a
+            "(d), (a)", // diamond / 4-cycle second path
+            "count(*)",
+            "RETURN DISTINCT",
+            "WHERE",
+            ":X",
+            ":Y",
+            ":A",
+            "{v:",
+            "{w:",
+            "]->",
+            "<-[",
+            "]-(", // undirected steps appear
+        ] {
+            assert!(
+                all.contains(needle),
+                "400 cyclic queries never produced {needle}"
+            );
+        }
+        for q in &qs {
+            // Every pattern has two comma-joined paths sharing endpoints,
+            // single-hop steps only, and fully named node variables.
+            assert!(q.starts_with("MATCH (a"), "{q}");
+            assert!(q.contains(", (a"), "{q}");
+            let pattern = q.split(" RETURN").next().unwrap();
+            assert!(!pattern.contains("count"), "{q}");
+            assert!(!pattern.contains('*'), "variable-length hop in {q}");
         }
     }
 

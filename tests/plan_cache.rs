@@ -2,7 +2,7 @@
 //! statistics-driven invalidation (witnessed through `EXPLAIN`), and the
 //! guarantee that cached plans honor fresh parameters.
 
-use cypher::{Database, EngineConfig, Params, Value};
+use cypher::{Database, EngineConfig, Params, Value, WcoJoinMode};
 
 /// An in-memory database with an explicit cache capacity (immune to the
 /// CI matrix's environment overrides).
@@ -110,6 +110,87 @@ fn statistics_drift_invalidates_and_replans() {
     assert!(
         post.invalidations > pre.invalidations,
         "statistics drift did not invalidate: {pre:?} → {post:?}"
+    );
+}
+
+#[test]
+fn statistics_drift_flips_intersect_and_expand_plans() {
+    // The worst-case-optimal join decision is cost-based: on a sparse
+    // graph the expand chain wins (estimates tie at the anchor scan); as
+    // the graph densifies, chain intermediates blow up quadratically and
+    // Auto mode flips the cached plan to the multiway intersection. The
+    // flip must ride the statistics-fingerprint invalidation protocol
+    // and be witnessed through EXPLAIN.
+    let params = Params::new();
+    let mut cfg = EngineConfig::default();
+    cfg.persistence = None;
+    cfg.plan_cache_size = 16;
+    // Pin Auto explicitly: immune to the CI matrix's CYPHER_WCO_JOIN.
+    cfg.wco_join = WcoJoinMode::Auto;
+    let mut db = Database::open_with(cfg).unwrap();
+    let with_ij = |i: i64, j: i64| {
+        let mut p = Params::new();
+        p.insert("i".into(), Value::int(i));
+        p.insert("j".into(), Value::int(j));
+        p
+    };
+    for i in 0..100 {
+        db.query("CREATE (:P {i: $i})", &with_ij(i, 0)).unwrap();
+    }
+    // Sparse wiring: a 60-edge chain, average degree well under 1.
+    for i in 0..60 {
+        db.query(
+            "MATCH (a:P {i: $i}), (b:P {i: $j}) CREATE (a)-[:X]->(b)",
+            &with_ij(i, i + 1),
+        )
+        .unwrap();
+    }
+    let q = "MATCH (a)-[:X]->(b)-[:X]->(c), (a)-[:X]->(c) RETURN count(*) AS n";
+    let before = db.explain(q).unwrap();
+    assert!(
+        !before.contains("MultiwayIntersect"),
+        "sparse graph must keep the expand chain:\n{before}"
+    );
+    assert!(before.contains("Expand"), "{before}");
+    let sparse = db.query(q, &params).unwrap();
+    let oracle = db.query_reference(q, &params).unwrap();
+    assert!(sparse.bag_eq(&oracle), "chain plan wrong on sparse graph");
+    db.query(q, &params).unwrap();
+    assert!(db.plan_cache_stats().hits >= 1);
+
+    // Densify to average degree ~10: the rel-count bucket moves (60 →
+    // 1000 crosses several powers of two), so the fingerprint flips.
+    for k in 0i64..940 {
+        let i = k % 100;
+        let mut j = (k * 13 + 7) % 100;
+        if j == i {
+            j = (j + 1) % 100;
+        }
+        db.query(
+            "MATCH (a:P {i: $i}), (b:P {i: $j}) CREATE (a)-[:X]->(b)",
+            &with_ij(i, j),
+        )
+        .unwrap();
+    }
+    let after = db.explain(q).unwrap();
+    assert!(
+        after.contains("MultiwayIntersect"),
+        "dense graph must flip to the intersection plan:\n{after}"
+    );
+    assert_ne!(before, after, "EXPLAIN witness did not change");
+    // The flip is an invalidation (replan), not a parse miss.
+    let pre = db.plan_cache_stats();
+    let dense = db.query(q, &params).unwrap();
+    let post = db.plan_cache_stats();
+    assert!(
+        post.invalidations > pre.invalidations,
+        "statistics drift did not invalidate: {pre:?} → {post:?}"
+    );
+    assert_eq!(post.misses, pre.misses, "parse must be kept");
+    let oracle = db.query_reference(q, &params).unwrap();
+    assert!(
+        dense.bag_eq(&oracle),
+        "intersection plan wrong on dense graph"
     );
 }
 
