@@ -83,6 +83,29 @@ fn bench(c: &mut Criterion) {
         "label scan allocation budget blown: {scan_allocs} for {NODES} rows"
     );
 
+    let mut report = cypher_bench::BenchReport::new("e19");
+    report.metric("seek_allocations", seek_allocs as f64);
+    report.metric("scan_allocations", scan_allocs as f64);
+    report.metric(
+        "index_seek_us",
+        cypher_bench::measure_us(|| {
+            run_read_with(&g, POINT_QUERY, &params, &indexed).unwrap();
+        }),
+    );
+    report.metric(
+        "label_scan_us",
+        cypher_bench::measure_us(|| {
+            run_read_with(&g, POINT_QUERY, &params, &label_only).unwrap();
+        }),
+    );
+    report.metric(
+        "full_scan_us",
+        cypher_bench::measure_us(|| {
+            run_read_with(&g, POINT_QUERY, &params, &no_indexes).unwrap();
+        }),
+    );
+    report.emit();
+
     let mut group = c.benchmark_group("e19_index_seek");
     group.bench_with_input(BenchmarkId::new("full_scan", NODES), &g, |b, g| {
         b.iter(|| run_read_with(g, POINT_QUERY, &params, &no_indexes).unwrap())

@@ -140,6 +140,18 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    let mut report = cypher_bench::BenchReport::new("e20");
+    report.metric("scan_allocations_per_row", allocs as f64 / NODES as f64);
+    report.metric(
+        "driven_scan_allocations_per_row",
+        join_allocs as f64 / NODES as f64,
+    );
+    report.metric("scan_threads1_us", t1 * 1e6);
+    report.metric("scan_threads4_us", t4 * 1e6);
+    report.metric("scan_speedup_4t", t1 / t4);
+    report.metric("hardware_threads", cores as f64);
+    report.emit();
+
     let mut group = c.benchmark_group("e20_parallel_scan");
     for threads in [1, 2, 4] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &g, |b, g| {

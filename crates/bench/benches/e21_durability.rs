@@ -84,6 +84,10 @@ fn bench(c: &mut Criterion) {
             reps as f64 * 16.0 / dt,
             bytes / dt / 1e6
         );
+        let mut report = cypher_bench::BenchReport::new("e21");
+        report.metric("wal_append_records_per_s", reps as f64 * 16.0 / dt);
+        report.metric("wal_append_mb_per_s", bytes / dt / 1e6);
+        report.emit();
     }
     let mut group = c.benchmark_group("e21_durability");
     group.bench_function("wal_append/batch16", |b| {

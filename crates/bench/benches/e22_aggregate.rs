@@ -261,6 +261,17 @@ fn bench(c: &mut Criterion) {
     assert!(stats_on.hits >= 1_999, "hot query did not hit the cache");
     assert_eq!(stats_off.hits, 0);
 
+    let mut report = cypher_bench::BenchReport::new("e22");
+    report.metric("group_few_merged_par_us", t_base * 1e6);
+    report.metric("group_few_fused_1t_us", t_seq * 1e6);
+    report.metric("group_few_fused_par_us", t_par * 1e6);
+    report.metric("group_few_speedup", t_base / t_par);
+    report.metric("fused_x4_peak_bytes", fused_x4 as f64);
+    report.metric("baseline_x4_peak_bytes", base_x4 as f64);
+    report.metric("plan_cache_on_qps", qps_on);
+    report.metric("plan_cache_off_qps", qps_off);
+    report.emit();
+
     // --- Criterion series. ---
     let mut group = c.benchmark_group("e22_aggregate");
     for (name, q) in [

@@ -44,6 +44,7 @@ fn build_graph(nodes: usize) -> PropertyGraph {
 }
 
 fn bench(c: &mut Criterion) {
+    let mut report = cypher_bench::BenchReport::new("e23");
     let mut group = c.benchmark_group("e23_snapshot");
 
     // --- reader admission -------------------------------------------------
@@ -57,6 +58,7 @@ fn bench(c: &mut Criterion) {
         }
         let per = t.elapsed().as_nanos() as f64 / reps as f64;
         eprintln!("e23: reader admission {per:.0} ns (lock-free pin + Arc clone)");
+        report.metric("reader_admission_ns", per);
     }
 
     // --- copy-on-write commit cost ---------------------------------------
@@ -146,6 +148,11 @@ fn bench(c: &mut Criterion) {
         "reads under write churn degraded {:.1}x — readers look blocked",
         busy / quiet
     );
+
+    report.metric("read_quiet_us", quiet * 1e6);
+    report.metric("read_under_writes_us", busy * 1e6);
+    report.metric("read_interference_ratio", busy / quiet);
+    report.emit();
 
     group.finish();
 }

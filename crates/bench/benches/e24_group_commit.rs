@@ -81,6 +81,7 @@ fn bench(c: &mut Criterion) {
     }
 
     // Derived sweep for the README table.
+    let mut report = cypher_bench::BenchReport::new("e24");
     let commits = 512usize;
     let mut sync4 = [0.0f64; 2]; // [serial, grouped] at 4 writers, sync
     for fsync in [FsyncMode::Os, FsyncMode::Sync, FsyncMode::Pipelined] {
@@ -94,6 +95,15 @@ fn bench(c: &mut Criterion) {
                      {rate:.0} commits/s",
                     if grouped { "on " } else { "off" },
                 );
+                report.metric(
+                    &format!(
+                        "{}_{}w_{}_commits_per_s",
+                        format!("{fsync:?}").to_lowercase(),
+                        writers,
+                        if grouped { "grouped" } else { "serial" }
+                    ),
+                    rate,
+                );
                 if fsync == FsyncMode::Sync && writers == 4 {
                     sync4[grouped as usize] = rate;
                 }
@@ -106,6 +116,8 @@ fn bench(c: &mut Criterion) {
         "e24: sync durability at 4 writers — group commit is {ratio:.2}x the \
          serial baseline ({cores} hardware threads)"
     );
+    report.metric("sync_4w_group_commit_speedup", ratio);
+    report.emit();
     if cores >= 4 {
         assert!(
             ratio >= 2.0,

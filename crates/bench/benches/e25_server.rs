@@ -129,6 +129,7 @@ fn bench(c: &mut Criterion) {
     // Derived sweep for the README table: connections × {prepared,plain}.
     let ops = ops_per_conn();
     let server = start_server();
+    let mut report = cypher_bench::BenchReport::new("e25");
     let mut best_qps = 0.0f64;
     for conns in [1usize, 2, 4, 8] {
         for prepared in [true, false] {
@@ -140,11 +141,16 @@ fn bench(c: &mut Criterion) {
                 cell.p50_us,
                 cell.p99_us,
             );
+            let mode = if prepared { "prepared" } else { "plain" };
+            report.metric(&format!("{mode}_{conns}conns_qps"), cell.qps);
+            report.metric(&format!("{mode}_{conns}conns_p99_us"), cell.p99_us as f64);
             if prepared {
                 best_qps = best_qps.max(cell.qps);
             }
         }
     }
+    report.metric("best_prepared_qps", best_qps);
+    report.emit();
     let stats = server.stats();
     eprintln!(
         "e25: plan cache after the sweep — {} hits, {} misses ({} requests total)",

@@ -118,6 +118,11 @@ fn bench(c: &mut Criterion) {
         "the metrics registry may cost at most 5% throughput \
          (on/off ratio {ratio:.3})"
     );
+    let mut report = cypher_bench::BenchReport::new("e26");
+    report.metric("metrics_on_qps", on_qps);
+    report.metric("metrics_off_qps", off_qps);
+    report.metric("metrics_on_off_ratio", ratio);
+    report.emit();
 
     // PROFILE and the metrics page, end to end over TCP.
     let server = Server::bind(open_db(true), "127.0.0.1:0", ServerConfig::default())

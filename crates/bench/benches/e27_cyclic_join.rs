@@ -115,6 +115,14 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    let mut report = cypher_bench::BenchReport::new("e27");
+    report.metric("triangles", triangles as f64);
+    report.metric("triangle_expand_us", t_expand * 1e6);
+    report.metric("triangle_intersect_us", t_isect * 1e6);
+    report.metric("triangle_speedup", t_expand / t_isect);
+    report.metric("triangle_peak_bytes", peak as f64);
+    report.emit();
+
     let mut group = c.benchmark_group("e27_cyclic_join");
     for (name, query) in [("triangle", TRIANGLE), ("diamond", DIAMOND)] {
         for (plan, wco) in [

@@ -111,3 +111,82 @@ pub fn peak_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let peak = PEAK_BYTES.load(Ordering::Relaxed);
     (out, peak.saturating_sub(baseline))
 }
+
+/// Median-of-five wall-clock time of one call to `f`, in microseconds —
+/// the cheap summary measurement bench binaries mirror into their
+/// [`BenchReport`] sidecar (criterion keeps its own statistics for the
+/// interactive output; the sidecar only needs a stable headline number).
+pub fn measure_us(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            us(t.elapsed())
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[2]
+}
+
+/// Machine-readable sidecar for a bench binary's headline numbers.
+///
+/// Every experiment prints its summary to stdout for humans; a
+/// [`BenchReport`] mirrors those numbers as a flat `metric → value`
+/// JSON object written to `<dir>/BENCH_<name>.json` when the
+/// `CYPHER_BENCH_JSON` environment variable names a directory (created
+/// if missing). Unset, everything is a no-op — local `cargo bench`
+/// runs stay file-free, CI uploads the sidecars as artifacts so runs
+/// can be compared without scraping stdout.
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// A report for the experiment `name` (`BENCH_<name>.json`).
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one metric. Call with the same numbers the bench prints.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// Writes `BENCH_<name>.json` into `$CYPHER_BENCH_JSON` (no-op when
+    /// the variable is unset or empty). Non-finite values serialize as
+    /// `null` — JSON has no NaN — and I/O failures panic: a CI job that
+    /// asked for sidecars must not silently produce none.
+    pub fn emit(&self) {
+        let Some(dir) = std::env::var_os("CYPHER_BENCH_JSON") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create CYPHER_BENCH_JSON directory");
+        let mut body = String::from("{\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let key = k.replace('\\', "\\\\").replace('"', "\\\"");
+            if v.is_finite() {
+                body.push_str(&format!("  \"{key}\": {v}"));
+            } else {
+                body.push_str(&format!("  \"{key}\": null"));
+            }
+            body.push_str(if i + 1 == self.metrics.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        body.push_str("}\n");
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, body).expect("write bench JSON sidecar");
+        println!("bench json: wrote {}", path.display());
+    }
+}

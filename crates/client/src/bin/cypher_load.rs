@@ -4,10 +4,13 @@
 //! from N concurrent connections — each preparing
 //! `MATCH (n:Load {k: $k}) RETURN n.v` once and executing it with fresh
 //! parameter bindings — and reports per-connection-count throughput and
-//! latency percentiles.
+//! latency percentiles. Connection setup (TCP connect + handshake, and
+//! the `PREPARE` round-trip) is timed and reported **separately** from
+//! operation latency, so slow admission can't masquerade as slow reads.
 //!
 //! ```text
-//! cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] [--no-prepare] [--metrics]
+//! cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N]
+//!             [--no-prepare] [--metrics] [--subscribe]
 //! ```
 //!
 //! `ADDR` defaults to `127.0.0.1:7474`; `--no-prepare` sends each point
@@ -15,11 +18,26 @@
 //! what prepared statements save); `--metrics` fetches and prints the
 //! server's full metrics page after the run, so a load test doubles as
 //! an exposition check.
+//!
+//! `--subscribe` switches to the standing-query drain mode: the tool
+//! registers a maintained aggregate view over the seeded rows (if it
+//! isn't registered already), attaches N subscriber connections, then
+//! drives point `SET` updates from one writer connection while the
+//! subscribers drain the pushed `ViewChange` frames. Reported: update
+//! commits/s on the write side, and frames + delta rows drained per
+//! subscriber. Note the updates mutate `v`, so a later point-read run
+//! against the same durable server must reseed (the tool does this
+//! automatically when the row count drifts).
 
 use cypher_client::Client;
 use cypher_core::Params;
 use cypher_graph::Value;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const VIEW_NAME: &str = "load_totals";
+const VIEW_QUERY: &str = "MATCH (n:Load) RETURN count(*) AS c, sum(n.v) AS s";
 
 struct Args {
     addr: String,
@@ -29,6 +47,7 @@ struct Args {
     seed: u64,
     prepare: bool,
     metrics: bool,
+    subscribe: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         prepare: true,
         metrics: false,
+        subscribe: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,10 +76,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = take("--seed")? as u64,
             "--no-prepare" => args.prepare = false,
             "--metrics" => args.metrics = true,
+            "--subscribe" => args.subscribe = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: cypher-load [ADDR] [--conns N] [--ops N] [--rows N] [--seed N] \
-                     [--no-prepare] [--metrics]"
+                     [--no-prepare] [--metrics] [--subscribe]"
                         .to_string(),
                 )
             }
@@ -84,8 +105,15 @@ fn seed_rows(addr: &str, rows: usize) -> Result<(), Box<dyn std::error::Error>> 
     let params = Params::new();
     let existing = admin.query("MATCH (n:Load) RETURN count(n) AS c", &params)?;
     if existing.table.cell(0, "c") == Some(&Value::int(rows as i64)) {
-        admin.goodbye()?;
-        return Ok(());
+        // A prior `--subscribe` run mutates `v` in place, so a matching
+        // count is not enough: every seeded row holds v = k², so the
+        // whole set checks against one aggregate. Reseed on drift.
+        let expected: i64 = (0..rows as i64).map(|i| i * i).sum();
+        let sum = admin.query("MATCH (n:Load) RETURN sum(n.v) AS s", &params)?;
+        if sum.table.cell(0, "s") == Some(&Value::int(expected)) {
+            admin.goodbye()?;
+            return Ok(());
+        }
     }
     admin.query("MATCH (n:Load) DETACH DELETE n", &params)?;
     let mut k = 0usize;
@@ -102,19 +130,28 @@ fn seed_rows(addr: &str, rows: usize) -> Result<(), Box<dyn std::error::Error>> 
     Ok(())
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if let Err(e) = seed_rows(&args.addr, args.rows) {
-        eprintln!("cypher-load: seeding failed: {e}");
-        std::process::exit(1);
-    }
+/// Per-connection timings: how long admission took vs how long the
+/// operations themselves took.
+struct WorkerReport {
+    connect_ns: u64,
+    prepare_ns: u64,
+    op_latencies: Vec<u64>,
+}
 
+fn print_setup(label: &str, mut setup: Vec<u64>) {
+    if setup.is_empty() {
+        return;
+    }
+    setup.sort_unstable();
+    println!(
+        "cypher-load: {label} setup — p50 {}µs max {}µs over {} connections",
+        setup[(setup.len() - 1) / 2] / 1_000,
+        setup[setup.len() - 1] / 1_000,
+        setup.len(),
+    );
+}
+
+fn run_point_reads(args: &Args) -> Result<(), String> {
     let started = Instant::now();
     let workers: Vec<_> = (0..args.conns)
         .map(|w| {
@@ -123,15 +160,19 @@ fn main() {
             let rows = args.rows;
             let prepare = args.prepare;
             let mut rng = args.seed ^ (w as u64).wrapping_mul(0xA5A5_A5A5);
-            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            std::thread::spawn(move || -> Result<WorkerReport, String> {
+                let t_connect = Instant::now();
                 let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let connect_ns = t_connect.elapsed().as_nanos() as u64;
                 let text = "MATCH (n:Load {k: $k}) RETURN n.v AS v";
+                let t_prepare = Instant::now();
                 let stmt = if prepare {
                     Some(client.prepare(text).map_err(|e| e.to_string())?)
                 } else {
                     None
                 };
-                let mut latencies = Vec::with_capacity(ops);
+                let prepare_ns = t_prepare.elapsed().as_nanos() as u64;
+                let mut op_latencies = Vec::with_capacity(ops);
                 for _ in 0..ops {
                     let k = (next_u64(&mut rng) % rows as u64) as i64;
                     let mut params = Params::new();
@@ -142,32 +183,40 @@ fn main() {
                         None => client.query(text, &params),
                     }
                     .map_err(|e| e.to_string())?;
-                    latencies.push(op_start.elapsed().as_nanos() as u64);
+                    op_latencies.push(op_start.elapsed().as_nanos() as u64);
                     if out.table.cell(0, "v") != Some(&Value::int(k * k)) {
                         return Err(format!("wrong answer for k={k}: {:?}", out.table.rows()));
                     }
                 }
                 client.goodbye().map_err(|e| e.to_string())?;
-                Ok(latencies)
+                Ok(WorkerReport {
+                    connect_ns,
+                    prepare_ns,
+                    op_latencies,
+                })
             })
         })
         .collect();
 
     let mut all = Vec::with_capacity(args.conns * args.ops_per_conn);
+    let mut connects = Vec::with_capacity(args.conns);
+    let mut prepares = Vec::with_capacity(args.conns);
     for (w, h) in workers.into_iter().enumerate() {
         match h.join() {
-            Ok(Ok(lat)) => all.extend(lat),
-            Ok(Err(msg)) => {
-                eprintln!("cypher-load: worker {w} failed: {msg}");
-                std::process::exit(1);
+            Ok(Ok(report)) => {
+                all.extend(report.op_latencies);
+                connects.push(report.connect_ns);
+                if args.prepare {
+                    prepares.push(report.prepare_ns);
+                }
             }
-            Err(_) => {
-                eprintln!("cypher-load: worker {w} panicked");
-                std::process::exit(1);
-            }
+            Ok(Err(msg)) => return Err(format!("worker {w} failed: {msg}")),
+            Err(_) => return Err(format!("worker {w} panicked")),
         }
     }
     let wall = started.elapsed();
+    print_setup("connect", connects);
+    print_setup("prepare", prepares);
     all.sort_unstable();
     let pct = |p: f64| all[(((all.len() - 1) as f64) * p) as usize];
     let qps = all.len() as f64 / wall.as_secs_f64();
@@ -181,6 +230,134 @@ fn main() {
         pct(0.99) / 1_000,
         wall.as_secs_f64(),
     );
+    Ok(())
+}
+
+/// The `--subscribe` drain mode: N subscribers on a maintained view, one
+/// writer churning the rows the view aggregates.
+fn run_subscribe(args: &Args) -> Result<(), String> {
+    // Register the standing query (idempotent: an existing registration
+    // is fine as long as the view is readable).
+    let mut admin = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    if admin.create_view(VIEW_NAME, VIEW_QUERY).is_err() {
+        admin
+            .read_view(VIEW_NAME)
+            .map_err(|e| format!("view {VIEW_NAME} neither creatable nor readable: {e}"))?;
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let subscribers: Vec<_> = (0..args.conns)
+        .map(|_| {
+            let addr = args.addr.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || -> Result<(u64, u64, u64, u64), String> {
+                let t_connect = Instant::now();
+                let client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let mut sub = client.subscribe(VIEW_NAME).map_err(|e| e.to_string())?;
+                let connect_ns = t_connect.elapsed().as_nanos() as u64;
+                let (mut frames, mut added, mut removed) = (0u64, 0u64, 0u64);
+                let mut idle = 0u32;
+                loop {
+                    match sub
+                        .next_timeout(Duration::from_millis(250))
+                        .map_err(|e| e.to_string())?
+                    {
+                        Some(frame) => {
+                            idle = 0;
+                            frames += 1;
+                            added += frame.added.len() as u64;
+                            removed += frame.removed.len() as u64;
+                        }
+                        // Idle: once the writer is done AND the stream
+                        // has stayed quiet for two consecutive polls,
+                        // stop — a single idle window can race the
+                        // server's push loop delivering the last frame.
+                        None => {
+                            if done.load(Ordering::Acquire) {
+                                idle += 1;
+                                if idle >= 2 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((connect_ns, frames, added, removed))
+            })
+        })
+        .collect();
+
+    // The write side: point updates on random keys, one commit each.
+    let mut writer = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    let stmt = writer
+        .prepare("MATCH (n:Load {k: $k}) SET n.v = n.v + 1")
+        .map_err(|e| e.to_string())?;
+    let total_ops = args.conns * args.ops_per_conn;
+    let mut rng = args.seed;
+    let t = Instant::now();
+    for _ in 0..total_ops {
+        let mut params = Params::new();
+        params.insert(
+            "k".to_string(),
+            Value::int((next_u64(&mut rng) % args.rows as u64) as i64),
+        );
+        writer.execute(stmt, &params).map_err(|e| e.to_string())?;
+    }
+    let write_secs = t.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    writer.goodbye().map_err(|e| e.to_string())?;
+
+    let mut connects = Vec::new();
+    let (mut frames, mut added, mut removed) = (0u64, 0u64, 0u64);
+    for (s, h) in subscribers.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok((connect_ns, f, a, r))) => {
+                connects.push(connect_ns);
+                frames += f;
+                added += a;
+                removed += r;
+            }
+            Ok(Err(msg)) => return Err(format!("subscriber {s} failed: {msg}")),
+            Err(_) => return Err(format!("subscriber {s} panicked")),
+        }
+    }
+    print_setup("subscribe", connects);
+    println!(
+        "cypher-load: subscribe conns={} updates={} commits/s={:.0} \
+         frames={frames} rows(+{added}/-{removed}) frames/s/conn={:.0}",
+        args.conns,
+        total_ops,
+        total_ops as f64 / write_secs,
+        frames as f64 / args.conns as f64 / write_secs,
+    );
+    if frames == 0 {
+        return Err("no ViewChange frames drained — is the view maintained?".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = seed_rows(&args.addr, args.rows) {
+        eprintln!("cypher-load: seeding failed: {e}");
+        std::process::exit(1);
+    }
+
+    let run = if args.subscribe {
+        run_subscribe(&args)
+    } else {
+        run_point_reads(&args)
+    };
+    if let Err(msg) = run {
+        eprintln!("cypher-load: {msg}");
+        std::process::exit(1);
+    }
     if args.metrics {
         match Client::connect(&args.addr).and_then(|mut c| {
             let page = c.metrics()?;

@@ -266,6 +266,69 @@ impl Client {
         }
     }
 
+    /// Registers a standing query under `name`: the server plans it
+    /// once, materializes it at the current version (returned), and
+    /// keeps it delta-maintained on every commit.
+    pub fn create_view(&mut self, name: &str, query: &str) -> Result<u64, ClientError> {
+        match self.request(&Request::CreateView {
+            name: name.to_string(),
+            query: query.to_string(),
+        })? {
+            Response::ViewCreated { version } => Ok(version),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted ViewCreated, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Unregisters a standing query (server-wide — any connection's
+    /// readers and subscribers see it end).
+    pub fn drop_view(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.request(&Request::DropView {
+            name: name.to_string(),
+        })? {
+            Response::ViewDropped => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted ViewDropped, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads a view's maintained contents and the version they are
+    /// exact at. Inside [`Client::begin_read`] the rows are the view as
+    /// of the pinned version.
+    pub fn read_view(&mut self, name: &str) -> Result<(u64, Table), ClientError> {
+        match self.request(&Request::ReadView {
+            name: name.to_string(),
+        })? {
+            Response::ViewRows { version, table } => Ok((version, table)),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted ViewRows, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Turns this connection into a push stream of `name`'s change
+    /// frames. Consumes the client: after `Subscribed`, the server
+    /// answers no further requests on this connection.
+    pub fn subscribe(mut self, name: &str) -> Result<Subscription, ClientError> {
+        match self.request(&Request::Subscribe {
+            name: name.to_string(),
+        })? {
+            Response::Subscribed => Ok(Subscription {
+                reader: self.reader,
+                max_frame_bytes: self.max_frame_bytes,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted Subscribed, got {other:?}"
+            ))),
+        }
+    }
+
     /// Graceful close: tells the server this connection is done and
     /// waits for its acknowledgement before dropping the socket.
     pub fn goodbye(mut self) -> Result<(), ClientError> {
@@ -274,6 +337,94 @@ impl Client {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(format!(
                 "wanted Bye, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One pushed change frame of a subscribed view: the bag delta a
+/// committed version produced. Replaying frames in `version` order
+/// against the subscribe-time contents reproduces every published state.
+#[derive(Debug, Clone)]
+pub struct ViewChangeFrame {
+    /// The subscribed view's name.
+    pub name: String,
+    /// The version whose commit produced this delta.
+    pub version: u64,
+    /// Rows present after this version that were not before.
+    pub added: Table,
+    /// Rows present before this version that are gone after.
+    pub removed: Table,
+}
+
+/// The receive half of a [`Client::subscribe`]d connection.
+///
+/// Dropping it closes the socket; the server notices at its next push.
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    max_frame_bytes: u32,
+}
+
+impl Subscription {
+    /// Blocks for the next change frame. `Ok(None)` means the stream
+    /// ended cleanly (the view was dropped or the server stopped).
+    pub fn next(&mut self) -> Result<Option<ViewChangeFrame>, ClientError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(None)
+            .map_err(WireError::Io)?;
+        self.read_frame()
+    }
+
+    /// Blocks up to `timeout` for the next change frame; `Ok(None)` on
+    /// timeout **or** clean end of stream (poll again to distinguish —
+    /// a dead stream keeps answering `None` immediately). Pick a
+    /// timeout comfortably above the server's push cadence: a timeout
+    /// firing mid-frame tears the stream's framing.
+    pub fn next_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<ViewChangeFrame>, ClientError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .map_err(WireError::Io)?;
+        match self.read_frame() {
+            Err(ClientError::Wire(WireError::Io(e)))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            other => other,
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Option<ViewChangeFrame>, ClientError> {
+        let payload = match read_exact_frame(&mut self.reader, self.max_frame_bytes) {
+            Ok(p) => p,
+            Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match Response::decode(&payload)? {
+            Response::ViewChange {
+                name,
+                version,
+                added,
+                removed,
+            } => Ok(Some(ViewChangeFrame {
+                name,
+                version,
+                added,
+                removed,
+            })),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!(
+                "wanted ViewChange, got {other:?}"
             ))),
         }
     }

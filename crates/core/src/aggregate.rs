@@ -75,6 +75,33 @@ impl AggKind {
             _ => return None,
         })
     }
+
+    /// True when [`Aggregator::retract`] undoes a [`Aggregator::push`] of
+    /// the same value *exactly* — feed-then-retract finishes identically
+    /// to never having fed.
+    ///
+    /// Counts and the exact sums/moments retract by inverse arithmetic
+    /// ([`ExactFloatSum`] keeps separate sign expansions, so `+x` then
+    /// `−x` cancels before the single final rounding). Non-distinct
+    /// `min`/`max` keep only the running extremum and cannot un-see a
+    /// retracted winner; `collect` is order-sensitive (removing an
+    /// arbitrary occurrence cannot restore the remaining feed order); the
+    /// percentiles carry a last-row auxiliary argument. `DISTINCT`
+    /// variants keep their full (refcounted) input set, which makes every
+    /// order-insensitive finisher retractable — only `collect(DISTINCT)`
+    /// (first-occurrence order) and the percentiles stay out.
+    pub fn is_retractable(self, distinct: bool) -> bool {
+        match self {
+            AggKind::Count
+            | AggKind::CountStar
+            | AggKind::Sum
+            | AggKind::Avg
+            | AggKind::StDev
+            | AggKind::StDevP => true,
+            AggKind::Min | AggKind::Max => distinct,
+            AggKind::Collect | AggKind::PercentileCont | AggKind::PercentileDisc => false,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -280,13 +307,30 @@ impl ExactFloatSum {
 // Distinct sets
 // ---------------------------------------------------------------------------
 
-/// An insertion-ordered set of [`Value`]s under Cypher *equivalence*
+/// One slot of a [`DistinctSet`]: the value plus how many live copies it
+/// currently represents (`0` = tombstone).
+#[derive(Clone, Debug)]
+struct DistinctSlot {
+    value: Value,
+    live: u64,
+}
+
+/// A refcounted multiset of [`Value`]s under Cypher *equivalence*
 /// (`null ≡ null`, `1 ≡ 1.0`), hash-indexed so membership is O(1)
-/// expected rather than the O(n) linear probe it used to be.
+/// expected, that exposes its **live** distinct values in
+/// first-live-insertion order.
+///
+/// Removal tombstones a slot rather than shifting the slot vector (bucket
+/// entries index into it), and a re-inserted value takes a **new** slot at
+/// the end. That makes full retraction order-transparent: inserting a
+/// value, draining every copy of it, and inserting it again yields the
+/// same visible sequence as if the drained copies were never inserted —
+/// the property the incremental-view retraction path relies on.
 #[derive(Clone, Debug, Default)]
 pub struct DistinctSet {
-    values: Vec<Value>,
+    slots: Vec<DistinctSlot>,
     buckets: HashMap<u64, Vec<usize>>,
+    distinct: usize,
 }
 
 impl DistinctSet {
@@ -301,43 +345,83 @@ impl DistinctSet {
         h.finish()
     }
 
-    /// Inserts a value; returns `true` when it was not yet present.
+    fn live_slot(&self, h: u64, v: &Value) -> Option<usize> {
+        self.buckets.get(&h)?.iter().copied().find(|&i| {
+            let s = &self.slots[i];
+            s.live > 0 && s.value.equivalent(v)
+        })
+    }
+
+    /// Inserts one copy; returns `true` when the value was not yet live
+    /// (it became visible by this insertion).
     pub fn insert(&mut self, v: Value) -> bool {
         let h = Self::hash_of(&v);
-        let bucket = self.buckets.entry(h).or_default();
-        if bucket.iter().any(|&i| self.values[i].equivalent(&v)) {
+        if let Some(i) = self.live_slot(h, &v) {
+            self.slots[i].live += 1;
             return false;
         }
-        bucket.push(self.values.len());
-        self.values.push(v);
+        self.buckets.entry(h).or_default().push(self.slots.len());
+        self.slots.push(DistinctSlot { value: v, live: 1 });
+        self.distinct += 1;
         true
     }
 
-    /// The distinct values in first-insertion order.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// Removes one copy; returns `true` when this removed the **last**
+    /// live copy (the value became invisible). Removing an absent value is
+    /// a no-op returning `false`.
+    pub fn remove(&mut self, v: &Value) -> bool {
+        let h = Self::hash_of(v);
+        let Some(i) = self.live_slot(h, v) else {
+            return false;
+        };
+        self.slots[i].live -= 1;
+        if self.slots[i].live == 0 {
+            self.distinct -= 1;
+            true
+        } else {
+            false
+        }
     }
 
-    /// Moves the values out (first-insertion order).
+    /// The live distinct values in first-live-insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.slots.iter().filter(|s| s.live > 0).map(|s| &s.value)
+    }
+
+    /// Moves the live values out (first-live-insertion order).
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.slots
+            .into_iter()
+            .filter(|s| s.live > 0)
+            .map(|s| s.value)
+            .collect()
     }
 
-    /// Number of distinct values.
+    /// Number of live distinct values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.distinct
     }
 
-    /// True when empty.
+    /// True when no value is live.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.distinct == 0
     }
 
-    /// Unions another set in, keeping first-occurrence order (this set's
-    /// occurrences count as earlier).
+    /// Unions another set in — copy counts add — keeping first-occurrence
+    /// order (this set's occurrences count as earlier).
     pub fn merge(&mut self, other: DistinctSet) {
-        for v in other.values {
-            self.insert(v);
+        for s in other.slots {
+            if s.live == 0 {
+                continue;
+            }
+            let h = Self::hash_of(&s.value);
+            if let Some(i) = self.live_slot(h, &s.value) {
+                self.slots[i].live += s.live;
+            } else {
+                self.buckets.entry(h).or_default().push(self.slots.len());
+                self.slots.push(s);
+                self.distinct += 1;
+            }
         }
     }
 }
@@ -357,10 +441,13 @@ enum AggState {
     Numeric {
         /// Non-null inputs seen.
         count: u64,
-        /// Exact integer sum; `None` once it overflowed `i64`.
-        int_sum: Option<i64>,
-        /// False as soon as a non-integer input arrives.
-        all_ints: bool,
+        /// Exact integer sum. `i128` cannot overflow under fewer than
+        /// 2⁶⁴ `i64` terms, so additions — and retractions — are always
+        /// exact; the `i64` range check happens once, at finish.
+        int_sum: i128,
+        /// Non-integer numeric inputs currently folded in (a count, not a
+        /// flag, so retracting the last float restores integer typing).
+        non_int: u64,
         /// Exact float sum of every input (ints included).
         float_sum: ExactFloatSum,
         /// First non-numeric input, reported at finish (matching the
@@ -403,8 +490,8 @@ fn fresh_state(kind: AggKind) -> AggState {
         AggKind::Count | AggKind::CountStar => AggState::Count(0),
         AggKind::Sum | AggKind::Avg => AggState::Numeric {
             count: 0,
-            int_sum: Some(0),
-            all_ints: true,
+            int_sum: 0,
+            non_int: 0,
             float_sum: ExactFloatSum::new(),
             error: None,
         },
@@ -458,6 +545,67 @@ impl Aggregator {
         self.aux = Some(v);
     }
 
+    /// Undoes one [`Aggregator::push`] of `v`. Only meaningful when
+    /// [`AggKind::is_retractable`] holds for this aggregator's kind —
+    /// feeding then retracting a value finishes identically to never
+    /// having fed it (counts reverse, `i128` integer sums subtract
+    /// exactly, and [`ExactFloatSum`] cancels `+x` against `−x` exactly
+    /// before its single final rounding). A recorded non-numeric error
+    /// stays sticky, exactly as it would had the offending row been fed
+    /// into a fresh accumulator and merged away.
+    pub fn retract(&mut self, v: Value) {
+        debug_assert!(
+            self.kind.is_retractable(self.distinct),
+            "retract on non-retractable {:?}",
+            self.kind
+        );
+        self.rows = self.rows.saturating_sub(1);
+        if self.kind == AggKind::CountStar || v.is_null() {
+            return;
+        }
+        if self.distinct {
+            self.seen.remove(&v);
+            return;
+        }
+        match &mut self.state {
+            AggState::Count(n) => *n = n.saturating_sub(1),
+            AggState::Numeric {
+                count,
+                int_sum,
+                non_int,
+                float_sum,
+                ..
+            } => {
+                *count = count.saturating_sub(1);
+                if let Some(x) = v.as_number() {
+                    float_sum.add(-x);
+                    match v {
+                        Value::Integer(i) => *int_sum -= i as i128,
+                        _ => *non_int = non_int.saturating_sub(1),
+                    }
+                }
+            }
+            AggState::Moments {
+                count, sum, sum_sq, ..
+            } => {
+                *count = count.saturating_sub(1);
+                if let Some(x) = v.as_number() {
+                    sum.add(-x);
+                    // Subtract x² exactly: the negated rounded product
+                    // plus the negated two-product remainder.
+                    let hi = x * x;
+                    sum_sq.add(-hi);
+                    if hi.is_finite() {
+                        sum_sq.add(-x.mul_add(x, -hi));
+                    }
+                }
+            }
+            AggState::Extremum(_) | AggState::Values(_) => {
+                debug_assert!(false, "retract on non-retractable state");
+            }
+        }
+    }
+
     /// Folds another partial accumulator of the same kind into this one.
     /// `other` must cover **later** rows than `self`; merging partials in
     /// row (morsel) order reproduces the sequential fold exactly —
@@ -480,24 +628,21 @@ impl Aggregator {
                 AggState::Numeric {
                     count,
                     int_sum,
-                    all_ints,
+                    non_int,
                     float_sum,
                     error,
                 },
                 AggState::Numeric {
                     count: c2,
                     int_sum: i2,
-                    all_ints: a2,
+                    non_int: n2,
                     float_sum: f2,
                     error: e2,
                 },
             ) => {
                 *count += c2;
-                *int_sum = match (*int_sum, i2) {
-                    (Some(a), Some(b)) => a.checked_add(b),
-                    _ => None,
-                };
-                *all_ints &= a2;
+                *int_sum += i2;
+                *non_int += n2;
                 float_sum.merge(&f2);
                 if error.is_none() {
                     *error = e2;
@@ -551,7 +696,7 @@ impl Aggregator {
             AggState::Numeric {
                 count,
                 int_sum,
-                all_ints,
+                non_int,
                 float_sum,
                 error,
             } => {
@@ -562,10 +707,10 @@ impl Aggregator {
                     AggKind::Sum => {
                         if count == 0 {
                             Ok(Value::int(0))
-                        } else if all_ints {
-                            int_sum
+                        } else if non_int == 0 {
+                            i64::try_from(int_sum)
                                 .map(Value::int)
-                                .ok_or_else(|| EvalError::new("integer overflow in sum()"))
+                                .map_err(|_| EvalError::new("integer overflow in sum()"))
                         } else {
                             Ok(Value::float(float_sum.value()))
                         }
@@ -604,7 +749,7 @@ fn accumulate(kind: AggKind, state: &mut AggState, v: Value) {
         AggState::Numeric {
             count,
             int_sum,
-            all_ints,
+            non_int,
             float_sum,
             error,
         } => {
@@ -613,10 +758,8 @@ fn accumulate(kind: AggKind, state: &mut AggState, v: Value) {
                 Some(x) => {
                     float_sum.add(x);
                     match v {
-                        Value::Integer(i) => {
-                            *int_sum = int_sum.and_then(|acc| acc.checked_add(i));
-                        }
-                        _ => *all_ints = false,
+                        Value::Integer(i) => *int_sum += i as i128,
+                        _ => *non_int += 1,
                     }
                 }
                 None => {
@@ -1217,7 +1360,87 @@ mod tests {
         assert!(s.insert(Value::Null));
         assert!(!s.insert(Value::Null));
         assert_eq!(s.len(), 3);
-        let shown: Vec<String> = s.values().iter().map(|v| v.to_string()).collect();
+        let shown: Vec<String> = s.values().map(|v| v.to_string()).collect();
         assert_eq!(shown, ["2", "1", "null"]);
+    }
+
+    #[test]
+    fn distinct_set_remove_is_refcounted_and_order_transparent() {
+        let mut s = DistinctSet::new();
+        s.insert(Value::int(1));
+        s.insert(Value::int(2));
+        s.insert(Value::float(2.0)); // refcount on the 2-slot
+        assert!(!s.remove(&Value::int(2))); // one copy left
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(&Value::int(2))); // last copy gone
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(&Value::int(2))); // absent: no-op
+                                            // Re-insertion takes a fresh slot at the end: same visible
+                                            // sequence as if the drained copies were never inserted.
+        s.insert(Value::int(3));
+        s.insert(Value::int(2));
+        let shown: Vec<String> = s.values().map(|v| v.to_string()).collect();
+        assert_eq!(shown, ["1", "3", "2"]);
+        assert_eq!(s.into_values().len(), 3);
+    }
+
+    #[test]
+    fn retract_restores_never_fed_result() {
+        // For every retractable shape: feed base ∪ extra, retract extra,
+        // finish — must equal (bit-for-bit, via Display) feeding base only.
+        let base = vec![
+            Value::int(3),
+            Value::float(0.1),
+            Value::Null,
+            Value::int(-7),
+            Value::float(1e8),
+        ];
+        let extra = vec![
+            Value::float(1e8 + 1.0),
+            Value::int(41),
+            Value::Null,
+            Value::float(-0.25),
+            Value::int(3),
+        ];
+        for kind in [
+            AggKind::Count,
+            AggKind::CountStar,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::StDev,
+            AggKind::StDevP,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
+            for distinct in [false, true] {
+                if !kind.is_retractable(distinct) || kind == AggKind::CountStar && distinct {
+                    continue;
+                }
+                let want = run(kind, distinct, base.clone());
+                let mut a = Aggregator::new(kind, distinct);
+                for v in base.iter().chain(&extra) {
+                    a.push(v.clone());
+                }
+                for v in &extra {
+                    a.retract(v.clone());
+                }
+                let got = a.finish().unwrap();
+                assert_eq!(
+                    want.to_string(),
+                    got.to_string(),
+                    "{kind:?} distinct={distinct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retracting_last_float_restores_integer_sum() {
+        let mut a = Aggregator::new(AggKind::Sum, false);
+        a.push(Value::int(1));
+        a.push(Value::float(0.5));
+        a.push(Value::int(2));
+        a.retract(Value::float(0.5));
+        assert_eq!(a.finish().unwrap(), Value::int(3));
     }
 }

@@ -280,6 +280,27 @@ impl ProjectionPlan {
             .collect()
     }
 
+    /// True when every aggregate call in the plan supports exact
+    /// retraction ([`AggKind::is_retractable`]) — a necessary condition
+    /// for delta-maintaining a view of this projection.
+    pub fn all_aggs_retractable(&self) -> bool {
+        self.specs.iter().all(|s| s.kind.is_retractable(s.distinct))
+    }
+
+    /// True when every aggregated item is a *bare* aggregate call (after
+    /// extraction the rewritten item is exactly its placeholder
+    /// parameter), e.g. `count(*)` or `sum(n.v)` but not `1 + count(*)`
+    /// with `count(*)` buried in arithmetic over the group's
+    /// representative row. Incremental maintenance requires this so
+    /// finalization never consults a representative source row (which a
+    /// retraction may have deleted from the graph).
+    pub fn aggregated_items_are_bare(&self) -> bool {
+        self.items
+            .iter()
+            .filter(|p| p.aggregated)
+            .all(|p| matches!(&p.expr, Expr::Param(name) if name.starts_with(" agg ")))
+    }
+
     /// Evaluates the non-aggregated projection of one row (the map-only
     /// path and the per-row half of top-k).
     pub fn project_row(
@@ -307,6 +328,12 @@ struct Group {
     /// The group's first source row (`None` for key-only/distinct states
     /// that will never need a pre-projection scope).
     repr: Option<Record>,
+    /// Rows currently folded in. A group retracted down to zero becomes a
+    /// tombstone: it keeps its slot (bucket entries index into `groups`)
+    /// but is invisible to lookup and finalization, and a re-fed key takes
+    /// a fresh slot at the end — so full retraction is order-transparent,
+    /// exactly like [`crate::aggregate::DistinctSet`] slots.
+    live: u64,
 }
 
 use cypher_graph::Value;
@@ -353,27 +380,42 @@ impl GroupedAggState {
         hasher.finish()
     }
 
+    /// Index of the **live** group for `key`, if any.
+    fn find_live(&self, key: &[Value]) -> Option<usize> {
+        let h = Self::key_hash(key);
+        self.buckets.get(&h)?.iter().copied().find(|&gi| {
+            let g = &self.groups[gi];
+            g.live > 0
+                && g.key.len() == key.len()
+                && g.key.iter().zip(key).all(|(a, b)| a.equivalent(b))
+        })
+    }
+
     fn group_index(
         &mut self,
         key: Vec<Value>,
         plan: &ProjectionPlan,
         repr: Option<Record>,
     ) -> usize {
-        let h = Self::key_hash(&key);
-        let bucket = self.buckets.entry(h).or_default();
-        if let Some(&gi) = bucket.iter().find(|&&gi| {
-            let g = &self.groups[gi];
-            g.key.len() == key.len() && g.key.iter().zip(&key).all(|(a, b)| a.equivalent(b))
-        }) {
+        if let Some(gi) = self.find_live(&key) {
             return gi;
         }
+        let h = Self::key_hash(&key);
         let aggs = plan
             .specs
             .iter()
             .map(|s| Aggregator::new(s.kind, s.distinct))
             .collect();
-        self.groups.push(Group { key, aggs, repr });
-        bucket.push(self.groups.len() - 1);
+        self.groups.push(Group {
+            key,
+            aggs,
+            repr,
+            live: 0,
+        });
+        self.buckets
+            .entry(h)
+            .or_default()
+            .push(self.groups.len() - 1);
         self.groups.len() - 1
     }
 
@@ -398,6 +440,7 @@ impl GroupedAggState {
         };
         let gi = self.group_index(key, plan, repr);
         let group = &mut self.groups[gi];
+        group.live += 1;
         for (agg, spec) in group.aggs.iter_mut().zip(&plan.specs) {
             let v = match &spec.arg {
                 Some(argexpr) => eval_expr(ctx, &Bindings::new(schema, row), argexpr)?,
@@ -412,14 +455,57 @@ impl GroupedAggState {
         Ok(())
     }
 
+    /// Undoes one [`GroupedAggState::feed`] of `row`: re-evaluates the
+    /// grouping keys and aggregate arguments (against `ctx` — for view
+    /// maintenance this is the **pre-update** graph, so the evaluations
+    /// reproduce what the original feed saw), retracts from every
+    /// aggregator, and tombstones the group when its last row leaves.
+    ///
+    /// Returns `false` (without touching anything) when no live group
+    /// matches — the row was never fed, which callers treat as a signal to
+    /// fall back to full recomputation rather than publish a corrupt
+    /// state. Requires every aggregate kind in the plan to satisfy
+    /// [`AggKind::is_retractable`].
+    pub fn retract(
+        &mut self,
+        ctx: &EvalContext<'_>,
+        plan: &ProjectionPlan,
+        schema: &Schema,
+        row: &Record,
+    ) -> Result<bool, EvalError> {
+        let b = Bindings::new(schema, row);
+        let mut key = Vec::with_capacity(plan.items.len());
+        for p in plan.items.iter().filter(|p| !p.aggregated) {
+            key.push(eval_expr(ctx, &b, &p.expr)?);
+        }
+        let Some(gi) = self.find_live(&key) else {
+            return Ok(false);
+        };
+        let group = &mut self.groups[gi];
+        for (agg, spec) in group.aggs.iter_mut().zip(&plan.specs) {
+            let v = match &spec.arg {
+                Some(argexpr) => eval_expr(ctx, &Bindings::new(schema, row), argexpr)?,
+                None => Value::Null,
+            };
+            agg.retract(v);
+        }
+        group.live -= 1;
+        Ok(true)
+    }
+
     /// Folds a sibling state covering **later** rows into this one. Group
     /// creation order, representative rows and every aggregator reproduce
     /// the row-order fold, so merging states in morsel order yields the
     /// bit-identical sequential result.
     pub fn merge(&mut self, other: GroupedAggState, plan: &ProjectionPlan) {
         for g in other.groups {
+            if g.live == 0 {
+                // Tombstoned in the sibling: nothing left to contribute.
+                continue;
+            }
             let gi = self.group_index(g.key, plan, g.repr);
             let group = &mut self.groups[gi];
+            group.live += g.live;
             if group.aggs.is_empty() {
                 group.aggs = g.aggs;
             } else {
@@ -443,7 +529,8 @@ impl GroupedAggState {
         src_schema: &Schema,
     ) -> Result<(Table, Vec<Record>), EvalError> {
         let has_keys = plan.items.iter().any(|p| !p.aggregated);
-        if self.groups.is_empty() && !has_keys && plan.any_agg {
+        let any_live = self.groups.iter().any(|g| g.live > 0);
+        if !any_live && !has_keys && plan.any_agg {
             let aggs = plan
                 .specs
                 .iter()
@@ -453,12 +540,17 @@ impl GroupedAggState {
                 key: Vec::new(),
                 aggs,
                 repr: None,
+                live: 1,
             });
         }
 
         let mut out = Table::empty(plan.out_schema.clone());
         let mut sources: Vec<Record> = Vec::new();
         for group in self.groups {
+            if group.live == 0 {
+                // Tombstone: every row retracted since it was created.
+                continue;
+            }
             if !plan.any_agg {
                 // Key-only (DISTINCT) state: the key *is* the output row.
                 out.push(Record::new(group.key));
@@ -509,6 +601,36 @@ impl GroupedAggState {
             }
         }
         Ok((out, sources))
+    }
+
+    /// Non-consuming [`GroupedAggState::finalize`]: clones the live groups
+    /// and finishes the clones, leaving this state intact for further
+    /// feeds/retractions. This is the incremental-view refresh path — the
+    /// state persists across commits, the output table is rebuilt per
+    /// publication (O(live groups), independent of the base table size).
+    pub fn finalize_snapshot(
+        &self,
+        ctx: &EvalContext<'_>,
+        plan: &ProjectionPlan,
+        src_schema: &Schema,
+    ) -> Result<Table, EvalError> {
+        let snapshot = GroupedAggState {
+            groups: self
+                .groups
+                .iter()
+                .filter(|g| g.live > 0)
+                .map(|g| Group {
+                    key: g.key.clone(),
+                    aggs: g.aggs.clone(),
+                    repr: g.repr.clone(),
+                    live: g.live,
+                })
+                .collect(),
+            buckets: HashMap::new(),
+            keep_repr: false,
+        };
+        let (out, _) = snapshot.finalize(ctx, plan, src_schema)?;
+        Ok(out)
     }
 }
 
@@ -567,6 +689,45 @@ impl TopKState {
             ascending: keys.iter().map(|s| s.ascending).collect(),
             heap: Vec::new(),
             next_seq: 0,
+        }
+    }
+
+    /// An **unbounded** accumulator: retains every offered row (no
+    /// eviction), which is what makes [`TopKState::retract`] sound — a
+    /// bounded state cannot un-evict. The final order/slice still comes
+    /// from [`TopKState::merge_sorted`].
+    pub fn new_unbounded(keys: &[SortItem]) -> TopKState {
+        TopKState::new(usize::MAX, keys)
+    }
+
+    /// Removes the most recently offered entry whose sort keys and row
+    /// both match (under Cypher equivalence). Only valid on unbounded
+    /// states. Returns `false` when nothing matches.
+    ///
+    /// Sequence numbers of the surviving entries are untouched; they
+    /// remain strictly increasing in offer order, so tie-breaking — and
+    /// therefore the sorted output — is bit-identical to a state that was
+    /// never fed the retracted row.
+    pub fn retract(&mut self, keys: &[Value], row: &Record) -> bool {
+        debug_assert_eq!(self.k, usize::MAX, "retract on a bounded top-k state");
+        let mut best: Option<usize> = None;
+        for (i, e) in self.heap.iter().enumerate() {
+            let matches = e.keys.len() == keys.len()
+                && e.keys.iter().zip(keys).all(|(a, b)| a.equivalent(b))
+                && e.row.equivalent(row);
+            if matches && best.map_or(true, |b| self.heap[b].seq < e.seq) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                // The heap invariant is irrelevant while unbounded (no
+                // eviction comparisons ever run; `into_sorted` re-sorts),
+                // so a positional removal is fine.
+                self.heap.remove(i);
+                true
+            }
+            None => false,
         }
     }
 

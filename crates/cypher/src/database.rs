@@ -145,6 +145,16 @@ pub struct DatabaseMetrics {
     pub sessions_active: Gauge,
     /// Sessions currently holding a pinned read snapshot.
     pub sessions_pinned: Gauge,
+    /// Wall time of one standing-view refresh (delta fold + snapshot),
+    /// microseconds, recorded per view per published commit group.
+    pub view_refresh_us: Histogram,
+    /// Delta rows folded into view states (retractions + insertions).
+    pub view_delta_rows: Counter,
+    /// View refreshes (or reads) that fell back to re-running the whole
+    /// query: `Full`-mode views pay one per commit; a delta-maintained
+    /// view counts one only when its state diverged, and a pinned reader
+    /// counts one when its snapshot predates the published ring.
+    pub view_full_recomputes: Counter,
     /// `trace_id + 1` of the most recent commit whose group was sealed
     /// and published carrying a trace id; 0 = none yet. The end-to-end
     /// witness that a request's trace id survives from server accept to
@@ -176,6 +186,9 @@ impl DatabaseMetrics {
             wal_compactions: Counter::new(),
             sessions_active: Gauge::new(),
             sessions_pinned: Gauge::new(),
+            view_refresh_us: Histogram::new(),
+            view_delta_rows: Counter::new(),
+            view_full_recomputes: Counter::new(),
             last_sealed_trace: AtomicU64::new(0),
             pins: Mutex::new(Vec::new()),
             next_pin: AtomicU64::new(0),
@@ -346,6 +359,24 @@ impl DatabaseMetrics {
             "cypher_oldest_pin_age_us",
             "age of the oldest live read pin (microseconds)",
             self.oldest_pin_age_us() as i64,
+        );
+        fmt_histogram(
+            out,
+            "cypher_view_refresh_us",
+            "standing-view refresh wall time per commit group (microseconds)",
+            &self.view_refresh_us.snapshot(),
+        );
+        fmt_counter(
+            out,
+            "cypher_view_delta_rows_total",
+            "delta rows folded into standing-view states",
+            self.view_delta_rows.get(),
+        );
+        fmt_counter(
+            out,
+            "cypher_view_full_recomputes_total",
+            "standing-view refreshes or reads that re-ran the whole query",
+            self.view_full_recomputes.get(),
         );
     }
 }
@@ -717,8 +748,10 @@ struct FsyncJob {
 
 /// Everything the commit pipeline shares between sessions, the group
 /// leader and the pipelined fsync thread. Lock hierarchy (outer →
-/// inner): `apply` → `store` → `inflight` → `poison`; the metrics
-/// mirror and the fail-injection counter are atomics.
+/// inner): `apply` → `store` → `inflight` → `poison`; `views` is a leaf
+/// lock (taken by the publisher with no other lock held, and under
+/// `apply` by view registration and the write path's has-views probe);
+/// the metrics mirror and the fail-injection counter are atomics.
 struct CommitShared {
     versioned: VersionedGraph,
     apply: Mutex<ApplyState>,
@@ -741,6 +774,10 @@ struct CommitShared {
     /// pipeline (including the detached fsync thread) can record into
     /// it.
     db_metrics: Arc<DatabaseMetrics>,
+    /// The standing-query registry (see [`crate::view`]); refreshed by
+    /// whichever thread publishes a commit group, *before* the data
+    /// version becomes visible.
+    views: Mutex<crate::view::ViewRegistry>,
 }
 
 impl CommitShared {
@@ -781,8 +818,29 @@ impl CommitShared {
     /// Publishes a sealed-and-durable group: one version covering every
     /// member (the last candidate at `last_seq + 1`), then each member's
     /// ticket completes with its own version id `seq + 1`.
+    ///
+    /// Standing views refresh here, **before** the version publishes:
+    /// the publishers are serialized (the seal leader in `Os`/`Sync`
+    /// mode, the single fsync thread in `Pipelined` mode), so each
+    /// refresh folds exactly one group's delta from the previously
+    /// published graph to this group's candidate, and a reader that sees
+    /// the new version sees the matching view contents.
     fn publish_group(&self, group: &[PendingCommit]) {
         let last = group.last().expect("groups are non-empty");
+        {
+            let mut views = self.views.lock().unwrap_or_else(|e| e.into_inner());
+            if !views.is_empty() {
+                let old = self.versioned.latest();
+                let changes: Vec<&[Change]> = group.iter().map(|p| p.changes.as_slice()).collect();
+                views.refresh_all(
+                    &old,
+                    &last.candidate,
+                    last.seq + 1,
+                    &changes,
+                    &self.db_metrics,
+                );
+            }
+        }
         self.versioned
             .publish_view(Arc::clone(&last.candidate), last.seq + 1);
         if self.db_metrics.enabled {
@@ -917,10 +975,38 @@ struct DbInner {
     /// sender (close, or the last handle going away) retires the fsync
     /// thread.
     fsync_tx: Mutex<Option<Sender<FsyncJob>>>,
+    /// The pipelined fsync thread itself, joined when the last handle
+    /// drops: mid-job it holds the store alive (and with it the data
+    /// directory's single-writer lock), so dropping the database must
+    /// not return until the lock is actually free — a reopen right
+    /// after the drop would otherwise race the release and see
+    /// `Locked`.
+    fsync_join: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// When this handle was opened (the metrics page's uptime).
     opened: Instant,
     /// Where slow-query records go; locked only on the slow path.
     slow_sink: Mutex<Arc<dyn SlowQuerySink>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Disconnect the pipelined fsync thread and wait for it. The
+        // worker may hold the store — and with it the data directory's
+        // single-writer lock — mid-job; without the join, a reopen of
+        // the same directory immediately after this drop races the
+        // worker's exit and fails with `Locked`. The worker only ever
+        // holds a `Weak` on `CommitShared` and nothing on `DbInner`,
+        // so joining from here cannot deadlock.
+        *self.fsync_tx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        if let Some(handle) = self
+            .fsync_join
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl DbInner {
@@ -990,6 +1076,18 @@ impl DbInner {
         trace: Option<u64>,
     ) -> Result<Table, Error> {
         if let Some(rest) = keyword_prefix(text, "EXPLAIN") {
+            // `EXPLAIN VIEW <name>` renders a standing view's
+            // maintenance plan (VIEW is not a Cypher keyword, so the
+            // prefix cannot shadow a real query).
+            if let Some(name) = keyword_prefix(rest, "VIEW") {
+                let text = self
+                    .shared
+                    .views
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .explain(name.trim())?;
+                return Ok(lines_table("view", &text));
+            }
             let q = crate::parse_query(rest)?;
             return Ok(lines_table(
                 "plan",
@@ -1101,6 +1199,64 @@ impl DbInner {
         })
     }
 
+    /// Registers and materializes a standing view (see [`crate::view`]).
+    /// The commit pipeline is quiesced first, so the view materializes
+    /// against a fully published state and no commit group can publish
+    /// mid-registration.
+    fn create_view(&self, name: &str, query: &str) -> Result<u64, Error> {
+        let shared = &self.shared;
+        let _apply = shared.quiesce();
+        let latest = shared.versioned.latest();
+        shared
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .create(name, query, &latest)
+    }
+
+    /// Unregisters a standing view; its subscriptions disconnect.
+    fn drop_view(&self, name: &str) -> Result<(), Error> {
+        self.shared
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drop_view(name)
+    }
+
+    /// Reads a view's contents as of `at`: the published table when the
+    /// snapshot is within the retained ring, a cold re-evaluation of the
+    /// view query against `at` otherwise (counted as a full recompute).
+    fn read_view(&self, name: &str, at: &GraphView) -> Result<Table, Error> {
+        let (published, query) = {
+            let views = self.shared.views.lock().unwrap_or_else(|e| e.into_inner());
+            (views.read_at(name, at.version())?, views.query_of(name)?)
+        };
+        if let Some(t) = published {
+            return Ok((*t).clone());
+        }
+        // The pin predates the retained publications: re-evaluate at the
+        // pinned snapshot — same contents, full query cost.
+        if self.shared.db_metrics.enabled {
+            self.shared.db_metrics.view_full_recomputes.inc();
+        }
+        Ok(cypher_engine::execute_read_cached(
+            at,
+            &query,
+            &Params::new(),
+            &self.cfg,
+            None,
+        )?)
+    }
+
+    /// Opens a change-stream subscription on a view.
+    fn subscribe(&self, name: &str) -> Result<crate::view::ViewSubscription, Error> {
+        self.shared
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .subscribe(name)
+    }
+
     /// The per-statement observation tail: metrics (when enabled) and
     /// the slow-query log (when configured). `rows` is `None` for a
     /// failed statement.
@@ -1190,21 +1346,30 @@ impl DbInner {
         };
         let memo = memo.as_deref();
         let durable = shared.metrics.durable;
+        // Change records are collected for the WAL batch (durable
+        // databases) and for standing-view delta folds — an in-memory
+        // database installs the sink only while views are registered
+        // (view creation quiesces the pipeline, so the flag cannot flip
+        // under an admitted transaction).
+        let track_changes = durable
+            || !shared
+                .views
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
         let mut graph = (*apply.working).clone();
-        if durable {
-            // Collect this transaction's change records for the WAL
-            // batch. Discard anything a previous transaction left
-            // behind: a query that *panicked* mid-execution aborted its
-            // clone but could not drain the records it had already
-            // emitted — sealing them into this batch would write
-            // mutations to disk that no published version ever
-            // contained.
+        if track_changes {
+            // Discard anything a previous transaction left behind: a
+            // query that *panicked* mid-execution aborted its clone but
+            // could not drain the records it had already emitted —
+            // sealing them into this batch would write mutations to disk
+            // that no published version ever contained.
             let _stale = apply.buffer.drain();
             graph.set_change_sink(Box::new(apply.buffer.clone()));
         }
-        // In-memory databases skip the sink entirely (no records to
-        // seal); the mutation counter is their did-anything-mutate
-        // detector.
+        // Without views, in-memory databases skip the sink entirely (no
+        // records to seal); the mutation counter is their
+        // did-anything-mutate detector.
         let version_before = apply.working.version();
         let result = cypher_engine::execute_cached(&mut graph, q, params, &self.cfg, memo)
             .map_err(Error::from);
@@ -1212,13 +1377,13 @@ impl DbInner {
         // did apply before failing — Cypher has no rollback, so the
         // already-executed clauses are real and must be durable; they
         // become visible to readers atomically like any other batch.
-        let changes = if durable {
+        let changes = if track_changes {
             apply.buffer.drain()
         } else {
             Vec::new()
         };
         graph.take_change_sink();
-        let mutated = if durable {
+        let mutated = if track_changes {
             !changes.is_empty()
         } else {
             // No mutator ran (e.g. a SET whose MATCH bound nothing):
@@ -1559,17 +1724,18 @@ impl Database {
             pipeline_fail_injections: AtomicU32::new(0),
             metrics,
             db_metrics,
+            views: Mutex::new(crate::view::ViewRegistry::new(cfg.clone())),
         });
-        let fsync_tx = if durable && cfg.fsync_mode == FsyncMode::Pipelined {
+        let (fsync_tx, fsync_join) = if durable && cfg.fsync_mode == FsyncMode::Pipelined {
             let (tx, rx) = mpsc::channel();
             let worker_shared = Arc::downgrade(&shared);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("cypher-fsync".to_string())
                 .spawn(move || fsync_worker(worker_shared, rx))
                 .map_err(StorageError::Io)?;
-            Some(tx)
+            (Some(tx), Some(handle))
         } else {
-            None
+            (None, None)
         };
         Ok(Database {
             inner: Arc::new(DbInner {
@@ -1579,6 +1745,7 @@ impl Database {
                 cache: Mutex::new(PlanCache::default()),
                 stats_fp: Mutex::new(Vec::new()),
                 fsync_tx: Mutex::new(fsync_tx),
+                fsync_join: Mutex::new(fsync_join),
                 opened: Instant::now(),
                 slow_sink: Mutex::new(Arc::new(StderrSlowQueryLog)),
             }),
@@ -1972,6 +2139,57 @@ impl Database {
         }
     }
 
+    /// Registers a **standing view**: `query` (read-only) is planned and
+    /// classified once, materialized at the current version, and kept
+    /// current across commits by the maintenance modes of the view
+    /// module — delta folds for the maintainable fragment, full
+    /// recomputation otherwise. Returns the version the view
+    /// materialized at. `EXPLAIN VIEW <name>` (through any query path)
+    /// shows the chosen maintenance plan.
+    pub fn create_view(&self, name: &str, query: &str) -> Result<u64, Error> {
+        self.inner.create_view(name, query)
+    }
+
+    /// Unregisters a standing view. Open subscriptions disconnect.
+    pub fn drop_view(&self, name: &str) -> Result<(), Error> {
+        self.inner.drop_view(name)
+    }
+
+    /// The contents of view `name` at the latest published version —
+    /// served from the maintained table, not by re-running the query.
+    pub fn view(&self, name: &str) -> Result<Table, Error> {
+        let at = self.inner.shared.versioned.latest();
+        self.inner.read_view(name, &at)
+    }
+
+    /// The registered view names, in creation order.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner
+            .shared
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .names()
+    }
+
+    /// Renders view `name`'s maintenance plan (same text as
+    /// `EXPLAIN VIEW <name>`).
+    pub fn explain_view(&self, name: &str) -> Result<String, Error> {
+        self.inner
+            .shared
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .explain(name)
+    }
+
+    /// Subscribes to view `name`'s change stream: one
+    /// [`crate::ViewChange`] per published commit group that changed the
+    /// view's contents, in version order.
+    pub fn subscribe(&self, name: &str) -> Result<crate::view::ViewSubscription, Error> {
+        self.inner.subscribe(name)
+    }
+
     /// Replaces the slow-query sink (default: one machine-parseable
     /// line per slow query on stderr). Takes effect for statements
     /// observed after the call; the slow path is the only reader.
@@ -2100,6 +2318,41 @@ impl Session {
         self.last_commit = None;
         self.inner
             .query_at(&view, pinned, query, params, &mut self.last_commit, trace)
+    }
+
+    /// Reads view `name` at this session's snapshot: inside a read
+    /// transaction the contents are exactly the view as of the pinned
+    /// version (from the published ring, or by cold re-evaluation when
+    /// the pin predates retention); outside, the latest published table.
+    pub fn view(&self, name: &str) -> Result<Table, Error> {
+        let at = self.snapshot();
+        self.inner.read_view(name, &at)
+    }
+
+    /// Like [`Session::view`], also reporting the version the rows are
+    /// exact at (the pinned version inside a read transaction, the
+    /// latest published version outside) — what a wire front-end stamps
+    /// on its `ViewRows` response.
+    pub fn view_versioned(&self, name: &str) -> Result<(u64, Table), Error> {
+        let at = self.snapshot();
+        let version = at.version();
+        Ok((version, self.inner.read_view(name, &at)?))
+    }
+
+    /// Registers a standing view; see [`Database::create_view`].
+    pub fn create_view(&self, name: &str, query: &str) -> Result<u64, Error> {
+        self.inner.create_view(name, query)
+    }
+
+    /// Unregisters a standing view; see [`Database::drop_view`].
+    pub fn drop_view(&self, name: &str) -> Result<(), Error> {
+        self.inner.drop_view(name)
+    }
+
+    /// Subscribes to view `name`'s change stream; see
+    /// [`Database::subscribe`].
+    pub fn subscribe(&self, name: &str) -> Result<crate::view::ViewSubscription, Error> {
+        self.inner.subscribe(name)
     }
 
     /// Profiles a read query against this session's snapshot (pinned or
@@ -2564,6 +2817,114 @@ mod tests {
             db.version(),
             (WRITERS * EACH) as u64,
             "the last group's publish covers every member seq"
+        );
+    }
+
+    #[test]
+    fn maintained_views_track_every_commit() {
+        let params = Params::new();
+        let mut db = Database::in_memory();
+        db.query(
+            "CREATE (:P {city: 'a', age: 30}), (:P {city: 'b', age: 40})",
+            &params,
+        )
+        .unwrap();
+        let q = "MATCH (p:P) RETURN p.city AS city, count(*) AS n, sum(p.age) AS total";
+        let v = db.create_view("by_city", q).unwrap();
+        assert_eq!(v, 1);
+        let explain = db.explain_view("by_city").unwrap();
+        assert!(
+            explain.contains("grouped-aggregate fold"),
+            "aggregate view should be delta-maintained:\n{explain}"
+        );
+        // Each commit's refreshed view must equal a cold re-evaluation.
+        let steps = [
+            "CREATE (:P {city: 'a', age: 10})",
+            "MATCH (p:P {age: 30}) SET p.age = 35",
+            "MATCH (p:P {city: 'b'}) DELETE p",
+            "MATCH (p:P {age: 10}) SET p.city = 'c'",
+        ];
+        for step in steps {
+            db.query(step, &params).unwrap();
+            let maintained = db.view("by_city").unwrap();
+            let cold = db.query(q, &params).unwrap();
+            maintained.assert_bag_eq(&cold);
+        }
+        db.drop_view("by_city").unwrap();
+        assert!(db.view("by_city").is_err());
+        assert!(
+            !db.graph().has_change_sink(),
+            "published graphs never carry the collector sink"
+        );
+    }
+
+    #[test]
+    fn pinned_session_reads_the_view_at_its_version() {
+        let params = Params::new();
+        let mut db = Database::in_memory();
+        db.query("CREATE (:N {v: 1})", &params).unwrap();
+        db.create_view("cnt", "MATCH (n:N) RETURN count(*) AS c")
+            .unwrap();
+        let mut reader = db.session();
+        reader.begin_read();
+        db.query("CREATE (:N {v: 2})", &params).unwrap();
+        assert_eq!(
+            reader.view("cnt").unwrap().cell(0, "c"),
+            Some(&Value::int(1)),
+            "pinned reader sees the view as of its snapshot"
+        );
+        reader.commit();
+        assert_eq!(
+            reader.view("cnt").unwrap().cell(0, "c"),
+            Some(&Value::int(2))
+        );
+    }
+
+    #[test]
+    fn subscriptions_stream_bag_deltas_per_version() {
+        let params = Params::new();
+        let mut db = Database::in_memory();
+        db.create_view("people", "MATCH (p:P) RETURN p.name AS name")
+            .unwrap();
+        let sub = db.subscribe("people").unwrap();
+        db.query("CREATE (:P {name: 'Ada'})", &params).unwrap();
+        db.query("MATCH (p:P {name: 'Ada'}) SET p.name = 'Bo'", &params)
+            .unwrap();
+        let first = sub
+            .next_timeout(std::time::Duration::from_secs(5))
+            .expect("first change frame");
+        assert_eq!(first.version, 1);
+        assert_eq!(first.added.len(), 1);
+        assert_eq!(first.removed.len(), 0);
+        assert_eq!(first.added.cell(0, "name"), Some(&Value::str("Ada")));
+        let second = sub
+            .next_timeout(std::time::Duration::from_secs(5))
+            .expect("second change frame");
+        assert_eq!(second.version, 2);
+        assert_eq!(second.added.cell(0, "name"), Some(&Value::str("Bo")));
+        assert_eq!(second.removed.cell(0, "name"), Some(&Value::str("Ada")));
+    }
+
+    #[test]
+    fn unmaintainable_views_fall_back_to_full_recompute() {
+        let params = Params::new();
+        let mut cfg = EngineConfig::default();
+        cfg.persistence = None;
+        cfg.metrics_enabled = true;
+        let mut db = Database::open_with(cfg).unwrap();
+        db.query("CREATE (:A)-[:R]->(:B)", &params).unwrap();
+        // Variable-length paths are outside the delta fragment.
+        let q = "MATCH (a:A)-[:R*1..2]->(b) RETURN count(*) AS c";
+        db.create_view("far", q).unwrap();
+        let explain = db.explain_view("far").unwrap();
+        assert!(explain.contains("full recomputation"), "{explain}");
+        db.query("CREATE (:A)-[:R]->(:B)", &params).unwrap();
+        let maintained = db.view("far").unwrap();
+        let cold = db.query(q, &params).unwrap();
+        maintained.assert_bag_eq(&cold);
+        assert!(
+            db.metrics().view_full_recomputes.get() >= 1,
+            "full-mode refreshes are counted"
         );
     }
 }

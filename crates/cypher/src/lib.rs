@@ -55,10 +55,12 @@ pub use cypher_storage::{RecoveryReport, StorageError, Store};
 pub use cypher_workload as workload;
 
 mod database;
+mod view;
 pub use database::{
     Database, DatabaseMetrics, MetricsSnapshot, PlanCacheStats, ProfileReport, Session,
     SlowQueryEntry, SlowQuerySink,
 };
+pub use view::{SubscriptionPoll, ViewChange, ViewSubscription};
 
 /// Anything that can go wrong between query text and result table.
 #[derive(Debug, Clone)]

@@ -1,0 +1,902 @@
+//! Incremental view maintenance: delta-maintained standing queries.
+//!
+//! A **view** is a read-only query registered once with
+//! [`crate::Database::create_view`] and kept materialized across commits.
+//! On every published commit group the registry folds the group's change
+//! records into each view's persistent state as **deltas** — retractions
+//! enumerated against the pre-group graph, insertions against the
+//! post-group graph — and publishes the refreshed output table
+//! *atomically with the data version*: a reader that sees version `v`
+//! of the graph sees exactly the view contents of version `v`.
+//!
+//! ## Maintenance modes
+//!
+//! [`ViewEntry`] classifies each view once, at creation:
+//!
+//! * **Grouped-aggregate fold** — the match half compiles to a
+//!   [`DeltaPlan`] (single rigid path, no graph-rescanning expressions)
+//!   and the projection aggregates or deduplicates through retractable
+//!   aggregators only ([`cypher_core::aggregate::AggKind::is_retractable`]),
+//!   with bare aggregate items, no `SKIP`/`LIMIT`, and `ORDER BY`
+//!   restricted to projected columns. The persistent state is a
+//!   [`GroupedAggState`]; a refresh retracts the old rows, feeds the new
+//!   ones, and snapshots the live groups — O(changed rows + live groups)
+//!   per commit, independent of the base table size.
+//! * **Counted-bag projection** — same match half, but a plain
+//!   (non-aggregating, non-`DISTINCT`) projection. The state is a
+//!   refcounted bag of projected rows (plus their precomputed `ORDER BY`
+//!   keys); a refresh adjusts counts — O(changed rows) — and re-sorts at
+//!   publication.
+//! * **Full recomputation** — everything else. The view stays correct
+//!   (the query is re-run against each published version) but pays full
+//!   evaluation per commit; `cypher_view_full_recomputes_total` counts
+//!   these so operators can see which standing queries missed the fast
+//!   path.
+//!
+//! A delta fold that cannot find a row it must retract (which would mean
+//! the maintained state diverged) falls back to a one-off full
+//! recomputation instead of publishing a corrupt table — correctness
+//! never depends on the incremental path being right, only speed does.
+//!
+//! Output tables are compared and diffed as **bags**: among rows with
+//! equal `ORDER BY` keys (or in unordered views), the maintained row
+//! order may differ from a cold re-evaluation's.
+//!
+//! ## Subscriptions
+//!
+//! [`ViewSubscription`] delivers one [`ViewChange`] per published commit
+//! group that changed the view's contents: the bag difference (added and
+//! removed rows) between the previous and the new published table,
+//! stamped with the version. Replaying the changes on top of the initial
+//! table reproduces every published state in order.
+
+use crate::database::DatabaseMetrics;
+use crate::{Error, Record, Schema, Table};
+use cypher_ast::expr::Expr;
+use cypher_ast::query::{Query, SortItem};
+use cypher_core::clauses::apply_order_by_scoped;
+use cypher_core::error::EvalError;
+use cypher_core::project::{GroupedAggState, ProjectionPlan};
+use cypher_core::{Bindings, EvalContext, Params, VarLookup};
+use cypher_engine::{DeltaPlan, EngineConfig};
+use cypher_graph::{affected_nodes, Change, GraphView, PropertyGraph, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Published tables retained per view: a pinned reader whose snapshot is
+/// at most this many versions behind the head reads its exact table from
+/// the ring; older pins fall back to cold evaluation.
+const PUBLISHED_RING: usize = 64;
+
+/// One delta of a view's contents, pushed to subscribers when a commit
+/// group publishes: the bag difference between the previous published
+/// table and the one at `version`.
+#[derive(Debug, Clone)]
+pub struct ViewChange {
+    /// The view's name.
+    pub name: String,
+    /// The published version this delta produces.
+    pub version: u64,
+    /// Rows present at `version` but not before (with multiplicity).
+    pub added: Table,
+    /// Rows present before but not at `version` (with multiplicity).
+    pub removed: Table,
+}
+
+/// A live subscription to one view's change stream (see
+/// [`crate::Database::subscribe`]). Dropping it unsubscribes lazily: the
+/// registry prunes the channel at its next send.
+pub struct ViewSubscription {
+    rx: Receiver<ViewChange>,
+}
+
+impl ViewSubscription {
+    /// Blocks up to `timeout` for the next change frame. `None` on
+    /// timeout or when the view was dropped.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<ViewChange> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll; `None` when no frame is pending.
+    pub fn try_next(&self) -> Option<ViewChange> {
+        match self.rx.try_recv() {
+            Ok(c) => Some(c),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks up to `timeout`, distinguishing "nothing yet" from "the
+    /// stream is over" — what a push loop needs to know when to stop.
+    pub fn poll(&self, timeout: Duration) -> SubscriptionPoll {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => SubscriptionPoll::Frame(c),
+            Err(RecvTimeoutError::Timeout) => SubscriptionPoll::Idle,
+            Err(RecvTimeoutError::Disconnected) => SubscriptionPoll::Closed,
+        }
+    }
+}
+
+/// Outcome of one [`ViewSubscription::poll`] round.
+#[derive(Debug)]
+pub enum SubscriptionPoll {
+    /// A committed version changed the view's rows.
+    Frame(ViewChange),
+    /// Nothing arrived within the timeout; the subscription is live.
+    Idle,
+    /// The view was dropped (or its database closed): no further frames
+    /// will ever arrive.
+    Closed,
+}
+
+/// How a view's output is kept current across commits.
+enum Maint {
+    /// Persistent [`GroupedAggState`]: aggregation and/or `DISTINCT`
+    /// folded with exact retraction support.
+    Agg {
+        delta: DeltaPlan,
+        proj: ProjectionPlan,
+        order: Vec<SortItem>,
+        state: GroupedAggState,
+    },
+    /// Refcounted bag of projected rows for plain projections.
+    Rows {
+        delta: DeltaPlan,
+        proj: ProjectionPlan,
+        order: Vec<SortItem>,
+        bag: CountedBag,
+    },
+    /// Re-run the whole query against each published version.
+    Full,
+}
+
+impl Maint {
+    fn mode_name(&self) -> &'static str {
+        match self {
+            Maint::Agg { .. } => "grouped-aggregate fold",
+            Maint::Rows { .. } => "counted-bag projection",
+            Maint::Full => "full recomputation",
+        }
+    }
+}
+
+/// One refcounted row of a counted-bag view: the precomputed sort keys,
+/// the projected output row, and how many copies are live. Entries
+/// retracted to zero become tombstones (bucket indices stay stable);
+/// re-inserted rows take a fresh slot.
+struct BagEntry {
+    keys: Vec<Value>,
+    row: Record,
+    count: u64,
+}
+
+/// A hash-bucketed bag of `(sort keys, projected row)` pairs with
+/// multiplicities — the persistent state of a `Rows` view.
+#[derive(Default)]
+struct CountedBag {
+    entries: Vec<BagEntry>,
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl CountedBag {
+    fn hash_of(keys: &[Value], row: &Record) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for k in keys {
+            k.hash_equivalent(&mut h);
+        }
+        for v in row.values() {
+            v.hash_equivalent(&mut h);
+        }
+        h.finish()
+    }
+
+    fn find_live(&self, h: u64, keys: &[Value], row: &Record) -> Option<usize> {
+        self.buckets.get(&h)?.iter().copied().find(|&i| {
+            let e = &self.entries[i];
+            e.count > 0
+                && e.keys.len() == keys.len()
+                && e.keys.iter().zip(keys).all(|(a, b)| a.equivalent(b))
+                && e.row.equivalent(row)
+        })
+    }
+
+    fn insert(&mut self, keys: Vec<Value>, row: Record) {
+        let h = Self::hash_of(&keys, &row);
+        if let Some(i) = self.find_live(h, &keys, &row) {
+            self.entries[i].count += 1;
+            return;
+        }
+        self.entries.push(BagEntry {
+            keys,
+            row,
+            count: 1,
+        });
+        self.buckets
+            .entry(h)
+            .or_default()
+            .push(self.entries.len() - 1);
+    }
+
+    /// Removes one copy; `false` when no live entry matches (the caller
+    /// falls back to full recomputation).
+    fn remove(&mut self, keys: &[Value], row: &Record) -> bool {
+        let h = Self::hash_of(keys, row);
+        match self.find_live(h, keys, row) {
+            Some(i) => {
+                self.entries[i].count -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.buckets.clear();
+    }
+
+    /// Expands the live entries into an output table, sorted by the
+    /// precomputed keys per `order` (entry order among equal keys).
+    fn snapshot(&self, schema: Arc<Schema>, order: &[SortItem]) -> Table {
+        let mut live: Vec<&BagEntry> = self.entries.iter().filter(|e| e.count > 0).collect();
+        if !order.is_empty() {
+            live.sort_by(|a, b| {
+                for (i, key) in order.iter().enumerate() {
+                    let ord = a.keys[i].cmp_order(&b.keys[i]);
+                    let ord = if key.ascending { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let mut out = Table::empty(schema);
+        for e in live {
+            for _ in 0..e.count {
+                out.push(e.row.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Two-layer `ORDER BY` scope for fold-time key computation: projected
+/// columns shadow the pre-projection match row (the same precedence
+/// [`apply_order_by_scoped`] gives a cold evaluation).
+struct FoldSortScope<'a> {
+    projected: Bindings<'a>,
+    source: Bindings<'a>,
+}
+
+impl VarLookup for FoldSortScope<'_> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.projected
+            .lookup(name)
+            .or_else(|| self.source.lookup(name))
+    }
+}
+
+/// True when `e` is a plain variable reference to one of `schema`'s
+/// columns — the conservative shape under which an aggregate view's
+/// `ORDER BY` is guaranteed to be computable from the finalized output
+/// alone (no group representative row needed).
+fn is_output_column_ref(e: &Expr, schema: &Schema) -> bool {
+    matches!(e, Expr::Var(name) if schema.contains(name))
+}
+
+/// One registered standing query.
+struct ViewEntry {
+    name: String,
+    query_text: String,
+    query: Arc<Query>,
+    maint: Maint,
+    /// `(version, output)` ring of recent publications, newest last.
+    published: VecDeque<(u64, Arc<Table>)>,
+    subs: Vec<Sender<ViewChange>>,
+    /// Set when a refresh failed even after the full-recompute fallback;
+    /// reads surface it instead of a stale table.
+    broken: Option<String>,
+}
+
+impl ViewEntry {
+    /// Classifies `query` and materializes the initial state and table
+    /// against `at`.
+    fn create(
+        name: &str,
+        text: &str,
+        query: Arc<Query>,
+        at: &GraphView,
+        cfg: &EngineConfig,
+    ) -> Result<ViewEntry, Error> {
+        let mut maint = Self::classify(&query, cfg);
+        let params = Params::new();
+        let initial = match &mut maint {
+            Maint::Full => cold_eval(at, &query, cfg)?,
+            Maint::Agg {
+                delta,
+                proj,
+                order,
+                state,
+            } => {
+                let ctx = EvalContext::new(at.graph(), &params).with_config(cfg.match_config);
+                for row in delta.all_rows(&ctx)? {
+                    state.feed(&ctx, proj, delta.schema(), &row)?;
+                }
+                finalize_agg(state, &ctx, proj, delta.schema(), order)?
+            }
+            Maint::Rows {
+                delta,
+                proj,
+                order,
+                bag,
+            } => {
+                let ctx = EvalContext::new(at.graph(), &params).with_config(cfg.match_config);
+                for row in delta.all_rows(&ctx)? {
+                    let (keys, out) = project_with_keys(&ctx, proj, delta, order, &row)?;
+                    bag.insert(keys, out);
+                }
+                bag.snapshot(proj.out_schema().clone(), order)
+            }
+        };
+        let mut published = VecDeque::with_capacity(PUBLISHED_RING);
+        published.push_back((at.version(), Arc::new(initial)));
+        Ok(ViewEntry {
+            name: name.to_string(),
+            query_text: text.to_string(),
+            query,
+            maint,
+            published,
+            subs: Vec::new(),
+            broken: None,
+        })
+    }
+
+    /// Picks the maintenance mode for `query`; never errors — anything
+    /// outside the delta-foldable fragment is a correct (if slower)
+    /// `Full` view, and genuinely invalid queries fail at the initial
+    /// materialization instead.
+    fn classify(query: &Query, _cfg: &EngineConfig) -> Maint {
+        let Some(delta) = DeltaPlan::compile(query) else {
+            return Maint::Full;
+        };
+        let Query::Single(sq) = query else {
+            return Maint::Full;
+        };
+        let Some(ret) = &sq.ret else {
+            return Maint::Full;
+        };
+        let Ok(proj) = ProjectionPlan::compile(ret, delta.visible_schema()) else {
+            return Maint::Full;
+        };
+        // SKIP/LIMIT slice an ordered sequence: under churn the slice
+        // boundary depends on tie order among equal keys, which a
+        // maintained bag does not preserve — always recompute.
+        if ret.skip.is_some() || ret.limit.is_some() {
+            return Maint::Full;
+        }
+        let aggregating = proj.is_aggregating() || ret.distinct;
+        if aggregating {
+            // DISTINCT *after* aggregation is a second dedup layer the
+            // single grouped state cannot express.
+            if proj.is_aggregating() && ret.distinct {
+                return Maint::Full;
+            }
+            if !proj.all_aggs_retractable() || !proj.aggregated_items_are_bare() {
+                return Maint::Full;
+            }
+            // Group representative rows are not retained (a retraction
+            // may concern entities deleted from the graph), so sort keys
+            // must be answerable from the output columns alone.
+            if !ret
+                .order_by
+                .iter()
+                .all(|s| is_output_column_ref(&s.expr, proj.out_schema()))
+            {
+                return Maint::Full;
+            }
+            Maint::Agg {
+                delta,
+                proj,
+                order: ret.order_by.clone(),
+                state: GroupedAggState::new(false),
+            }
+        } else {
+            Maint::Rows {
+                delta,
+                proj,
+                order: ret.order_by.clone(),
+                bag: CountedBag::default(),
+            }
+        }
+    }
+
+    /// The published table for a reader pinned at `version`: the newest
+    /// publication at or below it. `None` when the pin predates the
+    /// retained ring (the caller re-evaluates cold).
+    fn published_at(&self, version: u64) -> Option<Arc<Table>> {
+        self.published
+            .iter()
+            .rev()
+            .find(|(v, _)| *v <= version)
+            .map(|(_, t)| Arc::clone(t))
+    }
+
+    fn push_published(&mut self, version: u64, table: Arc<Table>) {
+        if self.published.len() >= PUBLISHED_RING {
+            self.published.pop_front();
+        }
+        self.published.push_back((version, table));
+    }
+
+    /// Folds one commit group's delta into the state and returns the new
+    /// output table. `Err` means even the full-recompute fallback failed.
+    fn refresh(
+        &mut self,
+        old: &GraphView,
+        new_graph: &Arc<PropertyGraph>,
+        changes: &[&[Change]],
+        cfg: &EngineConfig,
+        metrics: &DatabaseMetrics,
+    ) -> Result<Table, Error> {
+        let params = Params::new();
+        match &mut self.maint {
+            Maint::Full => {
+                if metrics.enabled() {
+                    metrics.view_full_recomputes.inc();
+                }
+                cold_eval_graph(new_graph, &self.query, cfg)
+            }
+            Maint::Agg {
+                delta,
+                proj,
+                order,
+                state,
+            } => {
+                let mut affected = Vec::new();
+                for batch in changes {
+                    affected.extend(affected_nodes(batch, old.graph()));
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                let ctx_old = EvalContext::new(old.graph(), &params).with_config(cfg.match_config);
+                let ctx_new = EvalContext::new(new_graph, &params).with_config(cfg.match_config);
+                let retractions = delta.affected_rows(&ctx_old, &affected)?;
+                let insertions = delta.affected_rows(&ctx_new, &affected)?;
+                if metrics.enabled() {
+                    metrics
+                        .view_delta_rows
+                        .add((retractions.len() + insertions.len()) as u64);
+                }
+                let mut diverged = false;
+                for row in &retractions {
+                    if !state.retract(&ctx_old, proj, delta.schema(), row)? {
+                        diverged = true;
+                        break;
+                    }
+                }
+                if diverged {
+                    // The state disagrees with the old graph: rebuild it
+                    // from scratch rather than publish a corrupt table.
+                    if metrics.enabled() {
+                        metrics.view_full_recomputes.inc();
+                    }
+                    *state = GroupedAggState::new(false);
+                    for row in delta.all_rows(&ctx_new)? {
+                        state.feed(&ctx_new, proj, delta.schema(), &row)?;
+                    }
+                } else {
+                    for row in &insertions {
+                        state.feed(&ctx_new, proj, delta.schema(), row)?;
+                    }
+                }
+                Ok(finalize_agg(state, &ctx_new, proj, delta.schema(), order)?)
+            }
+            Maint::Rows {
+                delta,
+                proj,
+                order,
+                bag,
+            } => {
+                let mut affected = Vec::new();
+                for batch in changes {
+                    affected.extend(affected_nodes(batch, old.graph()));
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                let ctx_old = EvalContext::new(old.graph(), &params).with_config(cfg.match_config);
+                let ctx_new = EvalContext::new(new_graph, &params).with_config(cfg.match_config);
+                let retractions = delta.affected_rows(&ctx_old, &affected)?;
+                let insertions = delta.affected_rows(&ctx_new, &affected)?;
+                if metrics.enabled() {
+                    metrics
+                        .view_delta_rows
+                        .add((retractions.len() + insertions.len()) as u64);
+                }
+                let mut diverged = false;
+                for row in &retractions {
+                    let (keys, out) = project_with_keys(&ctx_old, proj, delta, order, row)?;
+                    if !bag.remove(&keys, &out) {
+                        diverged = true;
+                        break;
+                    }
+                }
+                if diverged {
+                    if metrics.enabled() {
+                        metrics.view_full_recomputes.inc();
+                    }
+                    bag.clear();
+                    for row in delta.all_rows(&ctx_new)? {
+                        let (keys, out) = project_with_keys(&ctx_new, proj, delta, order, &row)?;
+                        bag.insert(keys, out);
+                    }
+                } else {
+                    for row in &insertions {
+                        let (keys, out) = project_with_keys(&ctx_new, proj, delta, order, row)?;
+                        bag.insert(keys, out);
+                    }
+                }
+                Ok(bag.snapshot(proj.out_schema().clone(), order))
+            }
+        }
+    }
+
+    /// The `EXPLAIN VIEW` rendering: mode, pattern, anchors, fold shape.
+    fn explain(&self) -> String {
+        let mut s = format!("view {}: {}\n", self.name, self.maint.mode_name());
+        s.push_str(&format!("  query: {}\n", self.query_text.trim()));
+        match &self.maint {
+            Maint::Full => {
+                s.push_str("  every commit re-evaluates the query against the new version\n");
+            }
+            Maint::Agg {
+                delta, proj, order, ..
+            } => {
+                s.push_str(&format!("  pattern: {}\n", delta.pattern()));
+                s.push_str(&format!(
+                    "  delta pass: {} anchor position(s), retract(old) + feed(new)\n",
+                    delta.anchor_count()
+                ));
+                s.push_str(&format!(
+                    "  fold: {} group key(s), aggregates [{}]\n",
+                    proj.key_names().len(),
+                    proj.agg_display().join(", ")
+                ));
+                if !order.is_empty() {
+                    s.push_str(&format!("  order: {} projected key(s)\n", order.len()));
+                }
+            }
+            Maint::Rows { delta, order, .. } => {
+                s.push_str(&format!("  pattern: {}\n", delta.pattern()));
+                s.push_str(&format!(
+                    "  delta pass: {} anchor position(s), counted-bag add/remove\n",
+                    delta.anchor_count()
+                ));
+                if !order.is_empty() {
+                    s.push_str(&format!(
+                        "  order: {} key(s), precomputed at fold time\n",
+                        order.len()
+                    ));
+                }
+            }
+        }
+        let head = self.published.back();
+        if let Some((v, t)) = head {
+            s.push_str(&format!("  published: version {v}, {} row(s)\n", t.len()));
+        }
+        s
+    }
+}
+
+/// Finalizes an aggregate view's state into its output table, applying
+/// the (projected-columns-only) `ORDER BY`.
+fn finalize_agg(
+    state: &GroupedAggState,
+    ctx: &EvalContext<'_>,
+    proj: &ProjectionPlan,
+    src_schema: &Schema,
+    order: &[SortItem],
+) -> Result<Table, EvalError> {
+    let out = state.finalize_snapshot(ctx, proj, src_schema)?;
+    if order.is_empty() {
+        return Ok(out);
+    }
+    apply_order_by_scoped(ctx, order, out, None)
+}
+
+/// Projects one match row and computes its `ORDER BY` keys under the
+/// two-layer scope (projected columns shadow the match row).
+fn project_with_keys(
+    ctx: &EvalContext<'_>,
+    proj: &ProjectionPlan,
+    delta: &DeltaPlan,
+    order: &[SortItem],
+    row: &Record,
+) -> Result<(Vec<Value>, Record), EvalError> {
+    let out = proj.project_row(ctx, delta.schema(), row)?;
+    let mut keys = Vec::with_capacity(order.len());
+    if !order.is_empty() {
+        let scope = FoldSortScope {
+            projected: Bindings::new(proj.out_schema(), &out),
+            source: Bindings::new(delta.schema(), row),
+        };
+        for k in order {
+            keys.push(cypher_core::eval_expr(ctx, &scope, &k.expr)?);
+        }
+    }
+    Ok((keys, out))
+}
+
+/// Cold evaluation of a view query at a published version.
+fn cold_eval(at: &GraphView, q: &Query, cfg: &EngineConfig) -> Result<Table, Error> {
+    Ok(cypher_engine::execute_read_cached(
+        at,
+        q,
+        &Params::new(),
+        cfg,
+        None,
+    )?)
+}
+
+/// Cold evaluation against a not-yet-published candidate graph.
+fn cold_eval_graph(g: &Arc<PropertyGraph>, q: &Query, cfg: &EngineConfig) -> Result<Table, Error> {
+    Ok(cypher_engine::execute_read_cached(
+        g.as_ref(),
+        q,
+        &Params::new(),
+        cfg,
+        None,
+    )?)
+}
+
+/// The bag difference `new − old` / `old − new`, for subscriber frames.
+fn bag_diff(old: &Table, new: &Table) -> (Table, Table) {
+    use std::hash::Hasher;
+    let hash_row = |r: &Record| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for v in r.values() {
+            v.hash_equivalent(&mut h);
+        }
+        h.finish()
+    };
+    // Collision-safe counted index over the old rows.
+    let mut counts: HashMap<u64, Vec<(&Record, i64)>> = HashMap::new();
+    for r in old.rows() {
+        let h = hash_row(r);
+        let bucket = counts.entry(h).or_default();
+        match bucket.iter_mut().find(|(e, _)| e.equivalent(r)) {
+            Some((_, n)) => *n += 1,
+            None => bucket.push((r, 1)),
+        }
+    }
+    let mut added = Table::empty(new.schema().clone());
+    for r in new.rows() {
+        let h = hash_row(r);
+        let surplus = counts
+            .get_mut(&h)
+            .and_then(|b| b.iter_mut().find(|(e, _)| e.equivalent(r)))
+            .filter(|(_, n)| *n > 0);
+        match surplus {
+            Some((_, n)) => *n -= 1,
+            None => added.push(r.clone()),
+        }
+    }
+    let mut removed = Table::empty(old.schema().clone());
+    for bucket in counts.values() {
+        for (r, n) in bucket {
+            for _ in 0..*n {
+                removed.push((*r).clone());
+            }
+        }
+    }
+    (added, removed)
+}
+
+/// The standing-query registry of one database: lives in the commit
+/// pipeline's shared state and is refreshed by whichever thread publishes
+/// a commit group, *before* the data version becomes visible — so view
+/// contents and graph version move atomically.
+pub(crate) struct ViewRegistry {
+    cfg: EngineConfig,
+    entries: Vec<ViewEntry>,
+}
+
+impl ViewRegistry {
+    pub(crate) fn new(cfg: EngineConfig) -> ViewRegistry {
+        ViewRegistry {
+            cfg,
+            entries: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn entry(&self, name: &str) -> Option<&ViewEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Registers and materializes a view at `at`. Errors when the name is
+    /// taken, the query does not parse, or it is not read-only.
+    pub(crate) fn create(&mut self, name: &str, text: &str, at: &GraphView) -> Result<u64, Error> {
+        if name.is_empty() {
+            return Err(Error::Eval(EvalError::new("view names must be non-empty")));
+        }
+        if self.entry(name).is_some() {
+            return Err(Error::Eval(EvalError::new(format!(
+                "view {name} already exists"
+            ))));
+        }
+        let query = Arc::new(crate::parse_query(text)?);
+        if query.is_updating() {
+            return Err(Error::Eval(EvalError::new(
+                "views must be read-only queries",
+            )));
+        }
+        let entry = ViewEntry::create(name, text, query, at, &self.cfg)?;
+        self.entries.push(entry);
+        Ok(at.version())
+    }
+
+    /// Unregisters a view; subscribers see their channel disconnect.
+    pub(crate) fn drop_view(&mut self, name: &str) -> Result<(), Error> {
+        match self.entries.iter().position(|e| e.name == name) {
+            Some(i) => {
+                self.entries.remove(i);
+                Ok(())
+            }
+            None => Err(Error::Eval(EvalError::new(format!("no such view: {name}")))),
+        }
+    }
+
+    /// The registered view names, in creation order.
+    pub(crate) fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    pub(crate) fn explain(&self, name: &str) -> Result<String, Error> {
+        match self.entry(name) {
+            Some(e) => Ok(e.explain()),
+            None => Err(Error::Eval(EvalError::new(format!("no such view: {name}")))),
+        }
+    }
+
+    /// The published table for a reader at `version`: `Ok(Some)` from the
+    /// ring, `Ok(None)` when the pin predates retention (caller
+    /// re-evaluates cold against its own snapshot).
+    pub(crate) fn read_at(&self, name: &str, version: u64) -> Result<Option<Arc<Table>>, Error> {
+        let Some(e) = self.entry(name) else {
+            return Err(Error::Eval(EvalError::new(format!("no such view: {name}"))));
+        };
+        if let Some(msg) = &e.broken {
+            return Err(Error::Eval(EvalError::new(format!(
+                "view {name} is broken: {msg}"
+            ))));
+        }
+        Ok(e.published_at(version))
+    }
+
+    /// The query text of `name` (for cold fallback evaluation).
+    pub(crate) fn query_of(&self, name: &str) -> Result<Arc<Query>, Error> {
+        match self.entry(name) {
+            Some(e) => Ok(Arc::clone(&e.query)),
+            None => Err(Error::Eval(EvalError::new(format!("no such view: {name}")))),
+        }
+    }
+
+    /// Opens a change-stream subscription on `name`.
+    pub(crate) fn subscribe(&mut self, name: &str) -> Result<ViewSubscription, Error> {
+        let Some(e) = self.entries.iter_mut().find(|e| e.name == name) else {
+            return Err(Error::Eval(EvalError::new(format!("no such view: {name}"))));
+        };
+        let (tx, rx) = mpsc::channel();
+        e.subs.push(tx);
+        Ok(ViewSubscription { rx })
+    }
+
+    /// Refreshes every view for one publishing commit group. Called by
+    /// the publisher with the pre-group published view (`old`), the
+    /// group's final candidate graph, the version it will publish as, and
+    /// the members' change batches in commit order.
+    pub(crate) fn refresh_all(
+        &mut self,
+        old: &GraphView,
+        new_graph: &Arc<PropertyGraph>,
+        new_version: u64,
+        changes: &[&[Change]],
+        metrics: &DatabaseMetrics,
+    ) {
+        let cfg = self.cfg.clone();
+        for e in &mut self.entries {
+            if e.broken.is_some() {
+                continue;
+            }
+            let started = Instant::now();
+            let refreshed = e.refresh(old, new_graph, changes, &cfg, metrics);
+            match refreshed {
+                Ok(table) => {
+                    let table = Arc::new(table);
+                    if !e.subs.is_empty() {
+                        let prev = e.published.back().map(|(_, t)| Arc::clone(t));
+                        if let Some(prev) = prev {
+                            let (added, removed) = bag_diff(&prev, &table);
+                            if !added.is_empty() || !removed.is_empty() {
+                                let change = ViewChange {
+                                    name: e.name.clone(),
+                                    version: new_version,
+                                    added,
+                                    removed,
+                                };
+                                e.subs.retain(|s| s.send(change.clone()).is_ok());
+                            }
+                        }
+                    }
+                    e.push_published(new_version, table);
+                }
+                Err(err) => {
+                    // Publishing a stale table would silently violate the
+                    // version-atomicity contract; surface the failure on
+                    // every subsequent read instead.
+                    e.broken = Some(err.to_string());
+                }
+            }
+            if metrics.enabled() {
+                metrics
+                    .view_refresh_us
+                    .record(started.elapsed().as_micros() as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: Vec<Vec<i64>>) -> Table {
+        let schema = Schema::new(vec!["a".into(), "b".into()]);
+        let mut t = Table::empty(schema);
+        for r in rows {
+            t.push(Record::new(r.into_iter().map(Value::int).collect()));
+        }
+        t
+    }
+
+    #[test]
+    fn bag_diff_reports_multiplicity() {
+        let old = table(vec![vec![1, 1], vec![2, 2], vec![2, 2], vec![3, 3]]);
+        let new = table(vec![vec![2, 2], vec![3, 3], vec![3, 3], vec![4, 4]]);
+        let (added, removed) = bag_diff(&old, &new);
+        // new − old: one extra (3,3) and (4,4); old − new: (1,1), one (2,2).
+        assert_eq!(added.len(), 2);
+        assert_eq!(removed.len(), 2);
+        let has = |t: &Table, v: i64, n: usize| {
+            t.rows()
+                .iter()
+                .filter(|r| r.get(0).equivalent(&Value::int(v)))
+                .count()
+                == n
+        };
+        assert!(has(&added, 3, 1) && has(&added, 4, 1));
+        assert!(has(&removed, 1, 1) && has(&removed, 2, 1));
+    }
+
+    #[test]
+    fn counted_bag_retraction_is_order_transparent() {
+        let mut bag = CountedBag::default();
+        let schema = Schema::new(vec!["x".into()]);
+        let row = |v: i64| Record::new(vec![Value::int(v)]);
+        bag.insert(vec![], row(1));
+        bag.insert(vec![], row(2));
+        bag.insert(vec![], row(1));
+        assert!(bag.remove(&[], &row(1)));
+        assert!(bag.remove(&[], &row(1)));
+        assert!(!bag.remove(&[], &row(1)), "third copy never existed");
+        bag.insert(vec![], row(1));
+        let out = bag.snapshot(schema, &[]);
+        assert_eq!(out.len(), 2);
+    }
+}

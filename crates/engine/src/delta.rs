@@ -1,0 +1,439 @@
+//! Changed-entity-anchored delta evaluation for incremental view
+//! maintenance (the "delta-join pass" of the standing-query subsystem).
+//!
+//! A maintainable match-shaped view is a query of the form
+//!
+//! ```text
+//! MATCH π [WHERE expr] RETURN …
+//! ```
+//!
+//! with a **single rigid path pattern** — every relationship pattern is a
+//! single hop (`RangeSpec::None`). [`DeltaPlan::compile`] rewrites the
+//! pattern so *every* node and relationship position carries a name
+//! (anonymous positions get synthetic names containing a space, which the
+//! surface syntax cannot produce), making each match row a complete
+//! binding tuple: one entity per position.
+//!
+//! The soundness argument for delta maintenance rests on that shape.
+//! Every change record either alters a node directly or alters a
+//! relationship, whose two endpoints [`cypher_graph::affected_nodes`]
+//! resolves against the pre-update graph. A row of the view can only
+//! appear, disappear, or change between versions if some entity it binds
+//! (or a property/label of one) changed — and since each bound
+//! relationship is incident to two bound node positions, every such row
+//! binds at least one *affected node*. So re-enumerating only the rows
+//! that bind an affected node — [`DeltaPlan::affected_rows`] against the
+//! old graph gives the retractions, the same call against the new graph
+//! gives the insertions — folds exactly the difference between the two
+//! versions into the view state.
+//!
+//! Because every position is named, each distinct binding tuple occurs in
+//! the match bag with multiplicity exactly one (the tuple determines the
+//! path tuple), so deduplicating by tuple across the anchor positions is
+//! exact: a row binding three affected nodes is enumerated up to three
+//! times and counted once.
+//!
+//! `WHERE` comes along for free — the predicate is evaluated on each
+//! enumerated row against the same graph the row was enumerated in — with
+//! one restriction, checked at compile time: no existential pattern
+//! predicate or pattern comprehension anywhere in the query
+//! ([`expr_rescans_graph`]). Those constructs consult parts of the graph
+//! the row does *not* bind, so a change far from a row could flip its
+//! predicate without touching any of its entities, breaking the anchoring
+//! argument. Views containing them fall back to full recomputation.
+
+use cypher_ast::expr::Expr;
+use cypher_ast::pattern::PathPattern;
+use cypher_ast::query::{Clause, Query};
+use cypher_core::error::EvalError;
+use cypher_core::expr::truth_of;
+use cypher_core::{match_patterns, EvalContext, Record, Schema, VarLookup};
+use cypher_graph::{NodeId, Tri, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// True when the expression (or any subexpression) re-scans the graph
+/// beyond the entities the current row binds: existential pattern
+/// predicates (`WHERE (a)-->(b)`) and pattern comprehensions. Such
+/// expressions are not delta-maintainable — their value can change
+/// without any bound entity changing.
+pub fn expr_rescans_graph(e: &Expr) -> bool {
+    fn walk(e: &Expr, found: &mut bool) {
+        if *found {
+            return;
+        }
+        match e {
+            Expr::PatternPredicate(_) | Expr::PatternComprehension { .. } => *found = true,
+            other => other.for_each_child(&mut |c| walk(c, found)),
+        }
+    }
+    let mut found = false;
+    walk(e, &mut found);
+    found
+}
+
+/// Prefix of the synthetic names given to anonymous pattern positions.
+/// Contains a space, so no parsed query can collide with (or project) one.
+const SYNTH: &str = " δ";
+
+/// A compiled delta-join pass: the fully-named single-path pattern, its
+/// `WHERE` predicate, and the binding schema.
+pub struct DeltaPlan {
+    /// The rewritten pattern: every node/relationship position named.
+    pattern: PathPattern,
+    /// The `MATCH`'s `WHERE` predicate, if any.
+    where_: Option<Expr>,
+    /// Distinct node-position names, in traversal order — the anchor set.
+    node_names: Vec<String>,
+    /// Schema of the binding rows: every distinct position name, in
+    /// traversal order (synthetic names included).
+    schema: Arc<Schema>,
+    /// The user-visible subset of [`DeltaPlan::schema`] (synthetic names
+    /// stripped) — what `RETURN *` may expand to.
+    visible: Arc<Schema>,
+}
+
+impl DeltaPlan {
+    /// Classifies a read query's *match shape* for delta maintenance.
+    /// Returns `None` — caller falls back to full recomputation — unless
+    /// the query is a single non-optional `MATCH` of one rigid,
+    /// single-hop-per-step, unnamed path followed directly by `RETURN`,
+    /// with no graph-rescanning expression anywhere (pattern property
+    /// maps, `WHERE`, return items, `ORDER BY`).
+    ///
+    /// The *projection* half of maintainability (retractable aggregates,
+    /// bare aggregate items, no `SKIP`/`LIMIT`) is the caller's check —
+    /// this function owns only the pattern-and-predicate half.
+    pub fn compile(q: &Query) -> Option<DeltaPlan> {
+        let Query::Single(sq) = q else {
+            return None;
+        };
+        if sq.ret_graph.is_some() {
+            return None;
+        }
+        let ret = sq.ret.as_ref()?;
+        let (patterns, where_) = match sq.clauses.as_slice() {
+            [Clause::Match {
+                optional: false,
+                patterns,
+                where_,
+            }] => (patterns, where_),
+            _ => return None,
+        };
+        let [pattern] = patterns.as_slice() else {
+            return None;
+        };
+        if pattern.name.is_some() {
+            return None;
+        }
+        if !pattern.rel_patterns().all(|r| r.range.is_single()) {
+            return None;
+        }
+        // No graph-rescanning subexpression anywhere the view evaluates.
+        let prop_exprs = pattern
+            .node_patterns()
+            .flat_map(|n| n.props.iter())
+            .map(|(_, e)| e)
+            .chain(
+                pattern
+                    .rel_patterns()
+                    .flat_map(|r| r.props.iter())
+                    .map(|(_, e)| e),
+            );
+        let ret_exprs = ret
+            .items
+            .iter()
+            .map(|i| &i.expr)
+            .chain(ret.order_by.iter().map(|s| &s.expr))
+            .chain(ret.skip.iter())
+            .chain(ret.limit.iter());
+        let mut all_exprs = prop_exprs.chain(ret_exprs).chain(where_.iter());
+        if all_exprs.any(expr_rescans_graph) {
+            return None;
+        }
+
+        // Name every anonymous position.
+        let mut pattern = pattern.clone();
+        let mut fresh = 0usize;
+        fn name_node(n: &mut cypher_ast::pattern::NodePattern, fresh: &mut usize) {
+            if n.name.is_none() {
+                n.name = Some(format!("{SYNTH}n{fresh}"));
+                *fresh += 1;
+            }
+        }
+        name_node(&mut pattern.start, &mut fresh);
+        for (r, n) in &mut pattern.steps {
+            if r.name.is_none() {
+                r.name = Some(format!("{SYNTH}r{fresh}"));
+                fresh += 1;
+            }
+            name_node(n, &mut fresh);
+        }
+
+        let mut node_names: Vec<String> = Vec::new();
+        for n in pattern.node_patterns() {
+            let name = n.name.clone().expect("all positions named");
+            if !node_names.contains(&name) {
+                node_names.push(name);
+            }
+        }
+        let all_names = pattern.free_vars();
+        let visible = Schema::new(
+            all_names
+                .iter()
+                .filter(|n| !n.starts_with(SYNTH))
+                .cloned()
+                .collect(),
+        );
+        let schema = Schema::new(all_names);
+        Some(DeltaPlan {
+            pattern,
+            where_: where_.clone(),
+            node_names,
+            schema,
+            visible,
+        })
+    }
+
+    /// Schema of the rows [`DeltaPlan::all_rows`] /
+    /// [`DeltaPlan::affected_rows`] produce: one column per pattern
+    /// position, synthetic names included.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The user-visible columns (what the projection may reference and
+    /// what `RETURN *` expands to).
+    pub fn visible_schema(&self) -> &Arc<Schema> {
+        &self.visible
+    }
+
+    /// Number of anchor positions (distinct node names) — the fan-out
+    /// factor of one delta pass, for `EXPLAIN VIEW`.
+    pub fn anchor_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The rewritten pattern, for `EXPLAIN VIEW` rendering.
+    pub fn pattern(&self) -> &PathPattern {
+        &self.pattern
+    }
+
+    /// Every binding row of the pattern over the whole graph, `WHERE`
+    /// applied — the initial materialization fold.
+    pub fn all_rows(&self, ctx: &EvalContext<'_>) -> Result<Vec<Record>, EvalError> {
+        let rows = match_patterns(
+            ctx,
+            &cypher_core::expr::NoVars,
+            std::slice::from_ref(&self.pattern),
+        )?;
+        let mut out = Vec::with_capacity(rows.len());
+        for pairs in rows {
+            let record = self.assemble(&pairs, None)?;
+            if self.passes_where(ctx, &record)? {
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every binding row that binds at least one node of `affected`,
+    /// enumerated by anchoring each affected node at each node position
+    /// and deduplicated by the complete binding tuple (exact — see the
+    /// module docs). Evaluated against `ctx.graph`: call with the
+    /// pre-update graph for retractions, the post-update graph for
+    /// insertions.
+    pub fn affected_rows(
+        &self,
+        ctx: &EvalContext<'_>,
+        affected: &[NodeId],
+    ) -> Result<Vec<Record>, EvalError> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<Vec<(u8, u64)>> = HashSet::new();
+        for &d in affected {
+            if !ctx.graph.contains_node(d) {
+                continue;
+            }
+            for name in &self.node_names {
+                let anchor = Anchor {
+                    name,
+                    value: Value::Node(d),
+                };
+                let rows = match_patterns(ctx, &anchor, std::slice::from_ref(&self.pattern))?;
+                for pairs in rows {
+                    let record = self.assemble(&pairs, Some((name, d)))?;
+                    if !seen.insert(entity_key(&record)) {
+                        continue;
+                    }
+                    if self.passes_where(ctx, &record)? {
+                        out.push(record);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reassembles a [`cypher_core::matching::MatchRow`] (bindings for the
+    /// positions *not* pre-bound, in traversal order) into a full record
+    /// in schema column order.
+    fn assemble(
+        &self,
+        pairs: &[(String, Value)],
+        anchor: Option<(&str, NodeId)>,
+    ) -> Result<Record, EvalError> {
+        let mut vals: Vec<Value> = Vec::with_capacity(self.schema.len());
+        for col in self.schema.names() {
+            if let Some((name, d)) = anchor {
+                if col == name {
+                    vals.push(Value::Node(d));
+                    continue;
+                }
+            }
+            match pairs.iter().find(|(n, _)| n == col) {
+                Some((_, v)) => vals.push(v.clone()),
+                None => return Err(EvalError::new(format!("delta pass lost binding for {col}"))),
+            }
+        }
+        Ok(Record::new(vals))
+    }
+
+    fn passes_where(&self, ctx: &EvalContext<'_>, record: &Record) -> Result<bool, EvalError> {
+        match &self.where_ {
+            None => Ok(true),
+            Some(w) => {
+                let b = cypher_core::Bindings::new(&self.schema, record);
+                Ok(truth_of(ctx, &b, w)? == Tri::True)
+            }
+        }
+    }
+}
+
+/// The dedup key of a binding row: every column is an entity (node or
+/// relationship) by construction, keyed by its id.
+fn entity_key(record: &Record) -> Vec<(u8, u64)> {
+    record
+        .values()
+        .iter()
+        .map(|v| match v {
+            Value::Node(n) => (0u8, n.0),
+            Value::Rel(r) => (1u8, r.0),
+            // Unreachable for a compiled DeltaPlan (all positions bind
+            // entities); keep total rather than panic in release.
+            other => {
+                debug_assert!(false, "non-entity binding {other:?}");
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                use std::hash::Hasher;
+                other.hash_equivalent(&mut h);
+                (2u8, h.finish())
+            }
+        })
+        .collect()
+}
+
+/// A one-name pre-binding: anchors a node position to a concrete node.
+struct Anchor<'a> {
+    name: &'a str,
+    value: Value,
+}
+
+impl VarLookup for Anchor<'_> {
+    fn lookup(&self, n: &str) -> Option<Value> {
+        (n == self.name).then(|| self.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypher_core::Params;
+    use cypher_graph::PropertyGraph;
+    use cypher_parser::parse_query;
+
+    fn plan_of(src: &str) -> Option<DeltaPlan> {
+        DeltaPlan::compile(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn classification_accepts_single_rigid_path() {
+        assert!(plan_of("MATCH (a)-[r:KNOWS]->(b) RETURN a, b").is_some());
+        assert!(plan_of("MATCH (a {k: 1})-->(b) WHERE b.v > 0 RETURN count(*) AS n").is_some());
+        assert!(plan_of("MATCH (n:Person) RETURN n.name AS name").is_some());
+    }
+
+    #[test]
+    fn classification_rejects_unmaintainable_shapes() {
+        // Multiple patterns, var-length, OPTIONAL, named path, multiple
+        // clauses, unions, pattern predicates.
+        assert!(plan_of("MATCH (a)-->(b), (b)-->(c) RETURN a").is_none());
+        assert!(plan_of("MATCH (a)-[*1..3]->(b) RETURN a").is_none());
+        assert!(plan_of("OPTIONAL MATCH (a)-->(b) RETURN a").is_none());
+        assert!(plan_of("MATCH p = (a)-->(b) RETURN a").is_none());
+        assert!(plan_of("MATCH (a) MATCH (b) RETURN a, b").is_none());
+        assert!(plan_of("MATCH (a) RETURN a UNION MATCH (b) RETURN b").is_none());
+        assert!(plan_of("MATCH (a) WHERE (a)-->() RETURN a").is_none());
+        assert!(plan_of("MATCH (a) RETURN [(a)-->(b) | b.v] AS vs").is_none());
+    }
+
+    #[test]
+    fn affected_rows_match_brute_force_diff() {
+        let params = Params::new();
+        let plan = plan_of("MATCH (a)-[r:KNOWS]->(b) WHERE b.v > 0 RETURN a").unwrap();
+
+        // Old graph: a chain with properties.
+        let mut old = PropertyGraph::new();
+        let n: Vec<_> = (0..5)
+            .map(|i| old.add_node(&["P"], [("v", Value::int(i - 1))]))
+            .collect();
+        for w in n.windows(2) {
+            old.add_rel(w[0], w[1], "KNOWS", []).unwrap();
+        }
+        // New graph: delete one edge (via clone-and-mutate), flip a prop.
+        let mut new = old.clone();
+        let changes = {
+            let buf = cypher_graph::SharedChangeBuffer::new();
+            new.set_change_sink(Box::new(buf.clone()));
+            let rid = new
+                .out_rels(n[1])
+                .iter()
+                .copied()
+                .find(|&r| new.tgt(r) == Some(n[2]))
+                .unwrap();
+            new.delete_rel(rid).unwrap();
+            let k = new.intern("v");
+            new.set_node_prop(n[1], k, Value::int(100)).unwrap();
+            let _ = new.take_change_sink();
+            buf.drain()
+        };
+
+        let affected = cypher_graph::affected_nodes(&changes, &old);
+        let octx = EvalContext::new(&old, &params);
+        let nctx = EvalContext::new(&new, &params);
+
+        // Delta algebra: all_rows(old) − retractions + insertions must be
+        // bag-equal to all_rows(new).
+        let mut rows: Vec<Vec<(u8, u64)>> = plan
+            .all_rows(&octx)
+            .unwrap()
+            .iter()
+            .map(entity_key)
+            .collect();
+        for r in plan.affected_rows(&octx, &affected).unwrap() {
+            let k = entity_key(&r);
+            let pos = rows.iter().position(|x| *x == k).expect("retract unknown");
+            rows.remove(pos);
+        }
+        for r in plan.affected_rows(&nctx, &affected).unwrap() {
+            rows.push(entity_key(&r));
+        }
+        let mut want: Vec<Vec<(u8, u64)>> = plan
+            .all_rows(&nctx)
+            .unwrap()
+            .iter()
+            .map(entity_key)
+            .collect();
+        rows.sort();
+        want.sort();
+        assert_eq!(rows, want);
+    }
+}

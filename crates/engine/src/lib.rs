@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delta;
 pub mod exec;
 pub mod multigraph;
 pub mod ops;
@@ -63,6 +64,7 @@ mod pushdown;
 pub mod update;
 
 pub use cache::{stats_fingerprint, PlanMemo};
+pub use delta::{expr_rescans_graph, DeltaPlan};
 pub use exec::{
     env_config_issues, execute, execute_cached, execute_read, execute_read_cached, explain,
     profile_read, ClauseProfile, EngineConfig, EnvConfigIssue, FsyncMode, OpProfile,

@@ -105,6 +105,55 @@ pub enum Change {
     },
 }
 
+/// The node ids a change batch *touches*, for delta-anchored incremental
+/// view maintenance: every row of a (single-path, fully-named) pattern
+/// match that differs between the pre- and post-batch graphs binds at
+/// least one of these nodes, because every change either alters a node
+/// directly or alters a relationship — whose two endpoints the pattern
+/// necessarily binds alongside it.
+///
+/// Relationship-level records that only name a [`RelId`]
+/// ([`Change::DeleteRel`], [`Change::SetRelProp`]) resolve their endpoints
+/// in `old`, the **pre-batch** graph. A record whose relationship is
+/// absent from `old` was added earlier in the *same* batch, and its
+/// [`Change::AddRel`] already contributed both endpoints — so the skip
+/// loses nothing.
+///
+/// The result is sorted and deduplicated. Node ids may name nodes that no
+/// longer exist post-batch (deletions) or never existed pre-batch
+/// (additions); callers anchor into whichever graph they re-evaluate
+/// against and must tolerate both.
+pub fn affected_nodes(changes: &[Change], old: &crate::PropertyGraph) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let rel_endpoints = |r: RelId, nodes: &mut Vec<NodeId>| {
+        if let (Some(s), Some(t)) = (old.src(r), old.tgt(r)) {
+            nodes.push(s);
+            nodes.push(t);
+        }
+    };
+    for c in changes {
+        match c {
+            Change::AddNode { id, .. }
+            | Change::DeleteNode { id }
+            | Change::SetNodeProp { id, .. }
+            | Change::RemoveNodeProp { id, .. }
+            | Change::ReplaceNodeProps { id, .. }
+            | Change::AddLabel { id, .. }
+            | Change::RemoveLabel { id, .. } => nodes.push(*id),
+            Change::AddRel { src, tgt, .. } => {
+                nodes.push(*src);
+                nodes.push(*tgt);
+            }
+            Change::DeleteRel { id } | Change::SetRelProp { id, .. } => {
+                rel_endpoints(*id, &mut nodes);
+            }
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
 /// A pluggable consumer of the graph's change stream.
 ///
 /// Installed into a [`crate::PropertyGraph`] with

@@ -45,7 +45,7 @@ pub mod version;
 
 pub use adjacency::{gallop, intersect_nodes, Neighbor, SortedAdjacency};
 pub use catalog::Catalog;
-pub use change::{Change, ChangeSink, SharedChangeBuffer};
+pub use change::{affected_nodes, Change, ChangeSink, SharedChangeBuffer};
 pub use graph::{
     Direction, GraphError, GraphStats, NodeId, NodeState, PropertyGraph, RelId, RelState,
 };

@@ -23,6 +23,15 @@
 //!   onto [`Session::begin_read`]/[`Session::commit`]: repeatable reads
 //!   at one frozen version, however many remote writers commit
 //!   in between;
+//! * `CreateView`/`DropView`/`ReadView` — **standing queries**: a view
+//!   registered by any connection is delta-maintained on every commit
+//!   and readable by every connection; `ReadView` inside a pinned read
+//!   transaction answers the view as of the pinned version;
+//! * `Subscribe` — turns the connection into a **push stream**: after
+//!   `Subscribed`, the server sends one `ViewChange` frame (bag deltas
+//!   `added`/`removed`) per committed version that changed the view's
+//!   rows, in version order, and closes the stream when the view is
+//!   dropped or the server stops;
 //! * `Ping`/`Stats`/`Goodbye` — liveness, observability, clean close.
 //!
 //! ## Error discipline (the hardening contract)
@@ -48,7 +57,7 @@
 
 #![warn(missing_docs)]
 
-use cypher::{Database, Error, Params, Session};
+use cypher::{Database, Error, Params, Session, SubscriptionPoll, ViewSubscription};
 use cypher_wire::{
     read_exact_frame, server_handshake, write_frame, ErrorCode, Request, Response, ServerStats,
     WireError, DEFAULT_MAX_FRAME_BYTES,
@@ -520,6 +529,31 @@ fn serve_connection(shared: Arc<ServerShared>, mut stream: TcpStream, conn_id: u
                     false,
                 )
             }
+            Ok(Request::Subscribe { name }) => {
+                // Mode switch: this connection stops answering requests
+                // and becomes a push stream of the view's change frames.
+                shared.requests_control.fetch_add(1, Ordering::Relaxed);
+                match shared.db.subscribe(&name) {
+                    Err(e) => (
+                        Response::Error {
+                            code: classify_error(&e),
+                            message: e.to_string(),
+                        },
+                        false,
+                    ),
+                    Ok(sub) => {
+                        let encoded = Response::Subscribed.encode();
+                        shared
+                            .bytes_out
+                            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+                        if write_frame(&mut writer, &encoded).is_err() || writer.flush().is_err() {
+                            return;
+                        }
+                        stream_view_changes(&shared, &mut writer, sub);
+                        return;
+                    }
+                }
+            }
             Ok(req) => {
                 let goodbye = matches!(req, Request::Goodbye);
                 match &req {
@@ -626,6 +660,69 @@ fn handle_request(shared: &ServerShared, state: &mut ConnState, req: Request) ->
         Request::Stats => Response::Stats(shared.stats()),
         Request::Metrics => shared.metrics(),
         Request::Goodbye => Response::Bye,
+        Request::CreateView { name, query } => match shared.db.create_view(&name, &query) {
+            Ok(version) => Response::ViewCreated { version },
+            Err(e) => Response::Error {
+                code: classify_error(&e),
+                message: e.to_string(),
+            },
+        },
+        Request::DropView { name } => match shared.db.drop_view(&name) {
+            Ok(()) => Response::ViewDropped,
+            Err(e) => Response::Error {
+                code: classify_error(&e),
+                message: e.to_string(),
+            },
+        },
+        Request::ReadView { name } => match state.session.view_versioned(&name) {
+            Ok((version, table)) => Response::ViewRows { version, table },
+            Err(e) => Response::Error {
+                code: classify_error(&e),
+                message: e.to_string(),
+            },
+        },
+        // Subscribe switches the connection into push mode, which owns
+        // the writer — the serve loop intercepts it before dispatching
+        // here. Reaching this arm means the loop's intercept is broken.
+        Request::Subscribe { .. } => Response::Error {
+            code: ErrorCode::Protocol,
+            message: "Subscribe must be handled by the connection loop".to_string(),
+        },
+    }
+}
+
+/// The push half of a `Subscribe`d connection: forwards every change
+/// frame until the view is dropped, the server stops, or the peer goes
+/// away (detected at the next write). The 100 ms poll bounds how long a
+/// stopping server waits on an idle stream.
+fn stream_view_changes(
+    shared: &ServerShared,
+    writer: &mut BufWriter<TcpStream>,
+    sub: ViewSubscription,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match sub.poll(std::time::Duration::from_millis(100)) {
+            SubscriptionPoll::Idle => {}
+            SubscriptionPoll::Closed => return,
+            SubscriptionPoll::Frame(c) => {
+                let resp = Response::ViewChange {
+                    name: c.name,
+                    version: c.version,
+                    added: c.added,
+                    removed: c.removed,
+                };
+                let encoded = resp.encode();
+                shared
+                    .bytes_out
+                    .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+                if write_frame(writer, &encoded).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+        }
     }
 }
 

@@ -126,6 +126,32 @@ pub enum Request {
     /// fields plus the Prometheus-style text exposition of every layer's
     /// instruments.
     Metrics,
+    /// Register a standing query: plan it once, materialize it at the
+    /// current version and keep it delta-maintained on every commit.
+    CreateView {
+        /// The view's name (server-wide namespace).
+        name: String,
+        /// The read-only Cypher statement the view materializes.
+        query: String,
+    },
+    /// Unregister a standing query.
+    DropView {
+        /// Name passed to `CreateView`.
+        name: String,
+    },
+    /// Read a view's maintained contents. Inside a pinned read
+    /// transaction the rows are the view as of the pinned version.
+    ReadView {
+        /// Name passed to `CreateView`.
+        name: String,
+    },
+    /// Turn this connection into a push stream: the server answers
+    /// `Subscribed`, then sends one [`Response::ViewChange`] frame per
+    /// committed version that changed the view's rows.
+    Subscribe {
+        /// Name passed to `CreateView`.
+        name: String,
+    },
 }
 
 /// A server→client message.
@@ -182,6 +208,38 @@ pub enum Response {
         /// plan-cache, store and server-level instruments).
         text: String,
     },
+    /// Answer to `CreateView`.
+    ViewCreated {
+        /// The version the view was materialized at.
+        version: u64,
+    },
+    /// Answer to `DropView`.
+    ViewDropped,
+    /// Answer to `ReadView`.
+    ViewRows {
+        /// The published version the rows are exact at.
+        version: u64,
+        /// The view's maintained contents.
+        table: Table,
+    },
+    /// Answer to `Subscribe`; [`Response::ViewChange`] frames follow.
+    Subscribed,
+    /// One committed version's effect on a subscribed view, pushed by
+    /// the server (never answers a request directly). `added` and
+    /// `removed` are bag deltas: replaying them in version order against
+    /// the `Subscribe`-time contents reproduces every published state.
+    ViewChange {
+        /// The subscribed view's name.
+        name: String,
+        /// The version whose commit produced this delta.
+        version: u64,
+        /// Rows present after this version that were not before
+        /// (with multiplicity).
+        added: Table,
+        /// Rows present before this version that are gone after
+        /// (with multiplicity).
+        removed: Table,
+    },
 }
 
 fn put_params(buf: &mut Vec<u8>, params: &Params) {
@@ -224,6 +282,10 @@ fn put_table(buf: &mut Vec<u8>, committed: Option<u64>, table: &Table) {
             put_u64(buf, v);
         }
     }
+    put_bare_table(buf, table);
+}
+
+fn put_bare_table(buf: &mut Vec<u8>, table: &Table) {
     let names = table.schema().names();
     put_u32(buf, names.len() as u32);
     for n in names {
@@ -244,6 +306,10 @@ fn read_table(r: &mut Reader<'_>) -> Result<(Option<u64>, Table), WireError> {
         1 => Some(r.u64()?),
         _ => return Err(WireError::Protocol("invalid committed flag".to_string())),
     };
+    Ok((committed, read_bare_table(r)?))
+}
+
+fn read_bare_table(r: &mut Reader<'_>) -> Result<Table, WireError> {
     let n_cols = checked_count(r)?;
     let mut names = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
@@ -268,7 +334,7 @@ fn read_table(r: &mut Reader<'_>) -> Result<(Option<u64>, Table), WireError> {
         }
         table.push(Record::new(values));
     }
-    Ok((committed, table))
+    Ok(table)
 }
 
 impl Request {
@@ -300,6 +366,23 @@ impl Request {
             Request::Stats => buf.push(8),
             Request::Goodbye => buf.push(9),
             Request::Metrics => buf.push(10),
+            Request::CreateView { name, query } => {
+                buf.push(11);
+                put_str(&mut buf, name);
+                put_str(&mut buf, query);
+            }
+            Request::DropView { name } => {
+                buf.push(12);
+                put_str(&mut buf, name);
+            }
+            Request::ReadView { name } => {
+                buf.push(13);
+                put_str(&mut buf, name);
+            }
+            Request::Subscribe { name } => {
+                buf.push(14);
+                put_str(&mut buf, name);
+            }
         }
         buf
     }
@@ -327,6 +410,19 @@ impl Request {
             8 => Request::Stats,
             9 => Request::Goodbye,
             10 => Request::Metrics,
+            11 => Request::CreateView {
+                name: r.str()?.to_string(),
+                query: r.str()?.to_string(),
+            },
+            12 => Request::DropView {
+                name: r.str()?.to_string(),
+            },
+            13 => Request::ReadView {
+                name: r.str()?.to_string(),
+            },
+            14 => Request::Subscribe {
+                name: r.str()?.to_string(),
+            },
             t => return Err(WireError::Protocol(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -388,6 +484,29 @@ impl Response {
                 put_u64(&mut buf, *wal_generation);
                 put_str(&mut buf, text);
             }
+            Response::ViewCreated { version } => {
+                buf.push(11);
+                put_u64(&mut buf, *version);
+            }
+            Response::ViewDropped => buf.push(12),
+            Response::ViewRows { version, table } => {
+                buf.push(13);
+                put_u64(&mut buf, *version);
+                put_bare_table(&mut buf, table);
+            }
+            Response::Subscribed => buf.push(14),
+            Response::ViewChange {
+                name,
+                version,
+                added,
+                removed,
+            } => {
+                buf.push(15);
+                put_str(&mut buf, name);
+                put_u64(&mut buf, *version);
+                put_bare_table(&mut buf, added);
+                put_bare_table(&mut buf, removed);
+            }
         }
         buf
     }
@@ -432,6 +551,19 @@ impl Response {
                 wal_generation: r.u64()?,
                 text: r.str()?.to_string(),
             },
+            11 => Response::ViewCreated { version: r.u64()? },
+            12 => Response::ViewDropped,
+            13 => Response::ViewRows {
+                version: r.u64()?,
+                table: read_bare_table(&mut r)?,
+            },
+            14 => Response::Subscribed,
+            15 => Response::ViewChange {
+                name: r.str()?.to_string(),
+                version: r.u64()?,
+                added: read_bare_table(&mut r)?,
+                removed: read_bare_table(&mut r)?,
+            },
             t => return Err(WireError::Protocol(format!("unknown response tag {t}"))),
         };
         if !r.is_empty() {
@@ -471,6 +603,19 @@ mod tests {
             Request::Stats,
             Request::Goodbye,
             Request::Metrics,
+            Request::CreateView {
+                name: "hot".to_string(),
+                query: "MATCH (n) RETURN count(*) AS c".to_string(),
+            },
+            Request::DropView {
+                name: "hot".to_string(),
+            },
+            Request::ReadView {
+                name: "hot".to_string(),
+            },
+            Request::Subscribe {
+                name: "hot".to_string(),
+            },
         ];
         for req in &reqs {
             let bytes = req.encode();
@@ -521,6 +666,19 @@ mod tests {
                        cypher_queries_read_total 3\n"
                     .to_string(),
             },
+            Response::ViewCreated { version: 4 },
+            Response::ViewDropped,
+            Response::ViewRows {
+                version: 4,
+                table: table_of(&["c"], vec![vec![Value::int(2)]]),
+            },
+            Response::Subscribed,
+            Response::ViewChange {
+                name: "hot".to_string(),
+                version: 5,
+                added: table_of(&["c"], vec![vec![Value::int(3)]]),
+                removed: table_of(&["c"], vec![vec![Value::int(2)]]),
+            },
         ];
         for resp in &resps {
             let bytes = resp.encode();
@@ -539,6 +697,24 @@ mod tests {
         put_u32(&mut buf, 1_000_000); // 1M rows claimed...
         buf.push(1); // ...1 marker byte present
         assert!(Response::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn view_change_row_bomb_bounded() {
+        // Same pre-allocation guarantee for the pushed-frame tables: a
+        // hostile row count in the `removed` table is caught against the
+        // bytes actually remaining.
+        let mut buf = vec![15u8];
+        put_str(&mut buf, "hot");
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, 0); // added: 0 columns
+        put_u32(&mut buf, 0); // added: 0 rows
+        put_u32(&mut buf, 0); // removed: 0 columns
+        put_u32(&mut buf, 1_000_000); // removed: 1M rows claimed, 0 present
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -173,6 +173,51 @@ impl QueryGenerator {
         }
     }
 
+    /// Draws the next **churn** update: the delete/retraction-heavy
+    /// mirror of [`QueryGenerator::next_update`]. Deletions, property
+    /// and label removals, and overwrites dominate; creations still
+    /// appear (3 in 10) so the graph never empties and the destructive
+    /// statements keep finding targets. This is the workload that
+    /// exercises incremental-view **retraction** paths: most statements
+    /// shrink or rewrite rows a standing query already materialized.
+    ///
+    /// The same totality invariant as `next_update` holds — deletions
+    /// always detach, empty matches are no-ops — so a churn stream
+    /// never errors and replays exactly.
+    pub fn next_churn_update(&mut self) -> String {
+        let label = pick(&mut self.rng, &self.vocab.labels).clone();
+        let label2 = pick(&mut self.rng, &self.vocab.labels).clone();
+        let ty = pick(&mut self.rng, &self.vocab.types).clone();
+        let k = self.rng.gen_range(0..10);
+        let k2 = self.rng.gen_range(0..10);
+        match self.rng.gen_range(0..10) {
+            // Keep some inflow so there is always something to retract.
+            0 | 1 => {
+                let (i1, i2) = (self.fresh, self.fresh + 1);
+                self.fresh += 2;
+                format!(
+                    "CREATE (:{label} {{v: {k}, i: {i1}}})-[:{ty} {{w: {k2}}}]->\
+                     (:{label2} {{v: {k2}, i: {i2}}})"
+                )
+            }
+            2 => {
+                let i1 = self.fresh;
+                self.fresh += 1;
+                format!("CREATE (:{label} {{v: {k}, i: {i1}}})")
+            }
+            // Relationship deletions.
+            3 | 4 => format!("MATCH (a)-[r:{ty}]->(b:{label}) WHERE b.v = {k} DELETE r"),
+            // Node deletions.
+            5 | 6 => format!("MATCH (n:{label}) WHERE n.v = {k} DETACH DELETE n"),
+            // Property retraction: the grouping key itself disappears.
+            7 => format!("MATCH (n:{label} {{v: {k}}}) REMOVE n.v"),
+            // Label retraction: rows leave label-filtered views.
+            8 => format!("MATCH (n:{label}) WHERE n.v = {k} REMOVE n:{label2}"),
+            // Overwrite: retraction + insertion in one statement.
+            _ => format!("MATCH (n:{label}) WHERE n.v = {k} SET n.v = {k2}"),
+        }
+    }
+
     /// Draws the next **aggregation-heavy** query: implicit grouping
     /// keys, `count`/`sum`/`min`/`max`/`avg`/`collect(DISTINCT …)`,
     /// `DISTINCT` projections, `ORDER BY … LIMIT` (top-k shaped), and
@@ -592,6 +637,13 @@ pub fn random_updates(n: usize, seed: u64) -> Vec<String> {
     (0..n).map(|_| gen.next_update()).collect()
 }
 
+/// Draws `n` churn (delete/retraction-heavy) update statements from a
+/// fresh generator.
+pub fn random_churn_updates(n: usize, seed: u64) -> Vec<String> {
+    let mut gen = QueryGenerator::new(seed);
+    (0..n).map(|_| gen.next_churn_update()).collect()
+}
+
 /// Draws `n` aggregation-heavy queries from a fresh generator.
 pub fn random_aggregate_queries(n: usize, seed: u64) -> Vec<String> {
     let mut gen = QueryGenerator::new(seed);
@@ -648,6 +700,34 @@ mod tests {
         ] {
             assert!(us.contains(needle), "400 updates never produced {needle}");
         }
+    }
+
+    #[test]
+    fn churn_generator_is_deterministic_and_retraction_heavy() {
+        assert_eq!(random_churn_updates(80, 7), random_churn_updates(80, 7));
+        assert_ne!(random_churn_updates(80, 7), random_churn_updates(80, 8));
+        let us = random_churn_updates(400, 3);
+        let joined = us.join("\n");
+        for needle in [
+            "CREATE",
+            "DELETE r",
+            "DETACH DELETE",
+            "REMOVE n.v",
+            "REMOVE n:",
+            "SET n.v",
+        ] {
+            assert!(
+                joined.contains(needle),
+                "400 churn updates never produced {needle}"
+            );
+        }
+        // The preset's point: destructive/rewriting statements dominate.
+        let destructive = us.iter().filter(|u| !u.starts_with("CREATE")).count();
+        assert!(
+            destructive * 2 > us.len(),
+            "only {destructive}/{} churn statements were non-CREATE",
+            us.len()
+        );
     }
 
     #[test]
